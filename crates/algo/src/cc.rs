@@ -1,0 +1,323 @@
+//! Connected components (CC), one of the registered query classes of the
+//! demo.
+//!
+//! Each vertex ends up labeled with the smallest vertex id in its weakly
+//! connected component.
+//!
+//! * **PEval** — a sequential union-find pass over the fragment's local
+//!   edges.
+//! * **IncEval** — incremental min-label propagation: arriving border labels
+//!   are merged into the union-find structure and only the affected classes
+//!   are relabeled.
+//! * **Aggregate** — `min`, which is monotonically decreasing, so termination
+//!   and correctness follow from the Assurance Theorem.
+
+use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use grape_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// CC query: no parameters (the whole graph is labeled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcQuery;
+
+/// Disjoint-set forest over arbitrary `u64` vertex ids.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: HashMap<VertexId, VertexId>,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finds the representative of `v`, inserting it as a singleton if new.
+    pub fn find(&mut self, v: VertexId) -> VertexId {
+        let parent = *self.parent.entry(v).or_insert(v);
+        if parent == v {
+            return v;
+        }
+        let root = self.find(parent);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// Unions the classes of `a` and `b`, keeping the smaller id as the root.
+    pub fn union(&mut self, a: VertexId, b: VertexId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(large, small);
+    }
+
+    /// Representative of `v` without inserting (read-only).
+    pub fn find_readonly(&self, mut v: VertexId) -> VertexId {
+        while let Some(&p) = self.parent.get(&v) {
+            if p == v {
+                return v;
+            }
+            v = p;
+        }
+        v
+    }
+}
+
+/// Sequential weakly-connected-components labeling of a whole graph: the
+/// reference used in tests (equivalent to
+/// [`grape_graph::metrics::weakly_connected_components`] but built on the
+/// same union-find the PIE program uses).
+pub fn sequential_cc<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> HashMap<VertexId, VertexId> {
+    let mut uf = UnionFind::new();
+    for v in graph.vertices() {
+        uf.find(v);
+    }
+    for (s, d, _) in graph.edges() {
+        uf.union(s, d);
+    }
+    graph.vertices().map(|v| (v, uf.find(v))).collect()
+}
+
+/// Per-fragment partial state: the local component label of every local
+/// vertex plus the union-find used to merge incremental updates.
+#[derive(Debug, Clone, Default)]
+pub struct CcPartial {
+    labels: HashMap<VertexId, VertexId>,
+}
+
+/// The CC PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcProgram;
+
+impl CcProgram {
+    fn relabel(
+        fragment: &Fragment<(), f64>,
+        labels: &mut HashMap<VertexId, VertexId>,
+    ) -> bool {
+        // Propagate min labels along local edges until stable.
+        let mut changed_any = false;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (s, d, _) in fragment.graph.edges() {
+                let ls = labels[&s];
+                let ld = labels[&d];
+                let m = ls.min(ld);
+                if ls != m {
+                    labels.insert(s, m);
+                    changed = true;
+                    changed_any = true;
+                }
+                if ld != m {
+                    labels.insert(d, m);
+                    changed = true;
+                    changed_any = true;
+                }
+            }
+        }
+        changed_any
+    }
+}
+
+impl PieProgram for CcProgram {
+    type Query = CcQuery;
+    type VertexData = ();
+    type EdgeData = f64;
+    type Value = VertexId;
+    type Partial = CcPartial;
+    type Output = HashMap<VertexId, VertexId>;
+
+    fn peval(
+        &self,
+        _query: &CcQuery,
+        fragment: &Fragment<(), f64>,
+        ctx: &mut PieContext<VertexId>,
+    ) -> CcPartial {
+        // Union-find over the local edges (textbook sequential CC).
+        let mut uf = UnionFind::new();
+        for v in fragment.graph.vertices() {
+            uf.find(v);
+        }
+        for (s, d, _) in fragment.graph.edges() {
+            uf.union(s, d);
+        }
+        let labels: HashMap<VertexId, VertexId> = fragment
+            .graph
+            .vertices()
+            .map(|v| (v, uf.find(v)))
+            .collect();
+        for &b in &fragment.border_vertices() {
+            ctx.update(b, labels[&b]);
+        }
+        CcPartial { labels }
+    }
+
+    fn inceval(
+        &self,
+        _query: &CcQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &mut CcPartial,
+        messages: &[(VertexId, VertexId)],
+        ctx: &mut PieContext<VertexId>,
+    ) {
+        let mut touched = false;
+        for (v, label) in messages {
+            if let Some(current) = partial.labels.get_mut(v) {
+                if label < current {
+                    *current = *label;
+                    touched = true;
+                }
+            }
+        }
+        if !touched {
+            return;
+        }
+        Self::relabel(fragment, &mut partial.labels);
+        for &b in &fragment.border_vertices() {
+            let value = partial.labels[&b];
+            ctx.update(b, value);
+        }
+    }
+
+    fn assemble(&self, partials: Vec<CcPartial>) -> HashMap<VertexId, VertexId> {
+        let mut out: HashMap<VertexId, VertexId> = HashMap::new();
+        for partial in partials {
+            for (v, label) in partial.labels {
+                out.entry(v)
+                    .and_modify(|l| *l = (*l).min(label))
+                    .or_insert(label);
+            }
+        }
+        out
+    }
+
+    fn aggregate(&self, a: &VertexId, b: &VertexId) -> VertexId {
+        *a.min(b)
+    }
+
+    fn monotonic(&self, old: &VertexId, new: &VertexId) -> Option<bool> {
+        Some(new <= old)
+    }
+
+    fn name(&self) -> &str {
+        "cc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::{EngineConfig, GrapeEngine};
+    use grape_graph::generators::{barabasi_albert, erdos_renyi, road_network, RoadNetworkConfig};
+    use grape_graph::GraphBuilder;
+    use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner, RangePartitioner};
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new();
+        uf.union(5, 3);
+        uf.union(3, 8);
+        assert_eq!(uf.find(8), 3);
+        assert_eq!(uf.find(5), 3);
+        assert_eq!(uf.find(42), 42);
+        assert_eq!(uf.find_readonly(8), 3);
+        assert_eq!(uf.find_readonly(1_000), 1_000);
+    }
+
+    #[test]
+    fn sequential_cc_labels_by_min_id() {
+        let mut b = GraphBuilder::<(), ()>::new();
+        b.add_edge(4, 2, ());
+        b.add_edge(2, 9, ());
+        b.add_edge(7, 8, ());
+        let g = b.build().unwrap();
+        let cc = sequential_cc(&g);
+        assert_eq!(cc[&4], 2);
+        assert_eq!(cc[&9], 2);
+        assert_eq!(cc[&7], 7);
+        assert_eq!(cc[&8], 7);
+    }
+
+    fn check_against_reference(g: &CsrGraph<(), f64>, k: usize, strategy: BuiltinStrategy) {
+        let expected = sequential_cc(g);
+        let assignment = strategy.partition(g, k);
+        let engine = GrapeEngine::new(CcProgram).with_config(EngineConfig {
+            check_monotonicity: true,
+            ..Default::default()
+        });
+        let result = engine.run_on_graph(&CcQuery, g, &assignment).unwrap();
+        for v in g.vertices() {
+            assert_eq!(result.output[&v], expected[&v], "vertex {v}");
+        }
+        assert_eq!(result.stats.monotonicity_violations, 0);
+    }
+
+    #[test]
+    fn pie_cc_matches_reference_on_random_graphs() {
+        check_against_reference(&erdos_renyi(300, 0.01, 5).unwrap(), 4, BuiltinStrategy::Hash);
+        check_against_reference(&barabasi_albert(400, 3, 6).unwrap(), 6, BuiltinStrategy::Ldg);
+    }
+
+    #[test]
+    fn pie_cc_matches_reference_on_road_network() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 20,
+                height: 20,
+                removal_prob: 0.15,
+                ..Default::default()
+            },
+            31,
+        )
+        .unwrap();
+        check_against_reference(&g, 8, BuiltinStrategy::MetisLike);
+    }
+
+    #[test]
+    fn many_small_components() {
+        // 50 disjoint edges -> 50 components.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for i in 0..50u64 {
+            b.add_edge(2 * i, 2 * i + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = HashPartitioner.partition(&g, 5);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &g, &assignment)
+            .unwrap();
+        let distinct: std::collections::HashSet<_> = result.output.values().collect();
+        assert_eq!(distinct.len(), 50);
+        for i in 0..50u64 {
+            assert_eq!(result.output[&(2 * i)], 2 * i);
+            assert_eq!(result.output[&(2 * i + 1)], 2 * i);
+        }
+    }
+
+    #[test]
+    fn chain_across_many_fragments_converges() {
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..100u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = RangePartitioner.partition(&g, 10);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &g, &assignment)
+            .unwrap();
+        assert!(result.output.values().all(|&l| l == 0));
+        // Label 0 must hop across 9 fragment boundaries one superstep at a
+        // time, plus the PEval round and a final quiescent round.
+        assert!(result.stats.supersteps >= 10);
+    }
+
+    #[test]
+    fn program_declarations() {
+        assert_eq!(CcProgram.aggregate(&7, &3), 3);
+        assert_eq!(CcProgram.monotonic(&7, &3), Some(true));
+        assert_eq!(CcProgram.monotonic(&3, &7), Some(false));
+        assert_eq!(CcProgram.name(), "cc");
+    }
+}

@@ -1,0 +1,403 @@
+//! Collaborative filtering (`CF`) — the machine-learning query class
+//! registered in the demo library.
+//!
+//! The model is classic matrix factorization trained with stochastic gradient
+//! descent (SGD): every user `u` and item `i` gets a latent factor vector and
+//! a rating is predicted as their dot product.
+//!
+//! PIE formulation:
+//!
+//! * The bipartite rating graph is partitioned like any other graph; a
+//!   fragment owns the users and items assigned to it and sees every rating
+//!   edge incident to them (cross edges give it mirror copies of remote
+//!   endpoints).
+//! * **PEval** initializes factors deterministically and runs one local SGD
+//!   epoch over the ratings whose *user* endpoint is inner (so each rating is
+//!   trained by exactly one fragment).
+//! * The **update parameters** are the factor vectors of border vertices; the
+//!   aggregate is the element-wise average (different fragments see different
+//!   ratings of a shared item and their estimates are blended, as in
+//!   distributed parameter averaging).
+//! * **IncEval** absorbs the averaged factors of its mirrors and runs another
+//!   epoch, up to the query's epoch budget; after the last epoch it stops
+//!   posting updates, so the engine reaches its fixpoint.
+//!
+//! CF is not monotonic — it is the example in the paper's library of a
+//! program that relies on a bounded number of rounds rather than the
+//! Assurance Theorem for termination.
+
+use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use std::collections::HashMap;
+
+/// A collaborative-filtering query/training job description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfQuery {
+    /// Latent factor dimensionality.
+    pub rank: usize,
+    /// Number of SGD epochs (= IncEval rounds after the PEval epoch).
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization weight.
+    pub regularization: f64,
+}
+
+impl Default for CfQuery {
+    fn default() -> Self {
+        Self {
+            rank: 8,
+            epochs: 10,
+            learning_rate: 0.05,
+            regularization: 0.05,
+        }
+    }
+}
+
+/// The learned model: a factor vector per vertex (users and items alike).
+#[derive(Debug, Clone, Default)]
+pub struct CfModel {
+    /// Factor vectors keyed by vertex id.
+    pub factors: HashMap<VertexId, Vec<f64>>,
+}
+
+impl CfModel {
+    /// Predicted rating for a `(user, item)` pair; `None` if either vertex is
+    /// unknown.
+    pub fn predict(&self, user: VertexId, item: VertexId) -> Option<f64> {
+        let u = self.factors.get(&user)?;
+        let i = self.factors.get(&item)?;
+        Some(u.iter().zip(i.iter()).map(|(a, b)| a * b).sum())
+    }
+
+    /// Root-mean-square error over a list of `(user, item, rating)` triples;
+    /// pairs with unknown vertices are skipped.
+    pub fn rmse(&self, ratings: &[(VertexId, VertexId, f64)]) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &(u, i, r) in ratings {
+            if let Some(p) = self.predict(u, i) {
+                sum += (p - r) * (p - r);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            (sum / count as f64).sqrt()
+        }
+    }
+}
+
+/// Deterministic pseudo-random initial factor for a vertex (splitmix64-based
+/// so every fragment initializes shared vertices identically).
+fn initial_factor(vertex: VertexId, rank: usize) -> Vec<f64> {
+    let mut state = vertex.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) * 0.2 + 0.4
+    };
+    (0..rank).map(|_| next()).collect()
+}
+
+/// One SGD epoch over the given ratings, updating the factors in place.
+fn sgd_epoch(
+    query: &CfQuery,
+    factors: &mut HashMap<VertexId, Vec<f64>>,
+    ratings: &[(VertexId, VertexId, f64)],
+) {
+    for &(u, i, r) in ratings {
+        let pu = factors
+            .entry(u)
+            .or_insert_with(|| initial_factor(u, query.rank))
+            .clone();
+        let qi = factors
+            .entry(i)
+            .or_insert_with(|| initial_factor(i, query.rank))
+            .clone();
+        let pred: f64 = pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum();
+        let err = r - pred;
+        let lr = query.learning_rate;
+        let reg = query.regularization;
+        let new_pu: Vec<f64> = pu
+            .iter()
+            .zip(qi.iter())
+            .map(|(p, q)| p + lr * (err * q - reg * p))
+            .collect();
+        let new_qi: Vec<f64> = qi
+            .iter()
+            .zip(pu.iter())
+            .map(|(q, p)| q + lr * (err * p - reg * q))
+            .collect();
+        factors.insert(u, new_pu);
+        factors.insert(i, new_qi);
+    }
+}
+
+/// Sequential matrix-factorization training — the reference implementation.
+pub fn sequential_cf(query: &CfQuery, ratings: &[(VertexId, VertexId, f64)]) -> CfModel {
+    let mut factors = HashMap::new();
+    for _ in 0..=query.epochs {
+        sgd_epoch(query, &mut factors, ratings);
+    }
+    CfModel { factors }
+}
+
+/// Per-fragment partial state.
+#[derive(Debug, Clone, Default)]
+pub struct CfPartial {
+    factors: HashMap<VertexId, Vec<f64>>,
+    /// Ratings trained by this fragment: edges whose source (user) is inner.
+    ratings: Vec<(VertexId, VertexId, f64)>,
+    epochs_done: usize,
+}
+
+/// The collaborative-filtering PIE program.
+///
+/// `num_users` distinguishes user vertices (`id < num_users`) from item
+/// vertices, matching the layout produced by
+/// [`grape_graph::generators::bipartite_ratings`].
+#[derive(Debug, Clone, Copy)]
+pub struct CfProgram {
+    /// Number of user vertices in the bipartite graph.
+    pub num_users: usize,
+}
+
+impl CfProgram {
+    /// Creates the program.
+    pub fn new(num_users: usize) -> Self {
+        Self { num_users }
+    }
+
+    fn publish_borders(
+        fragment: &Fragment<(), f64>,
+        partial: &CfPartial,
+        ctx: &mut PieContext<Vec<f64>>,
+    ) {
+        for b in fragment.border_vertices() {
+            if let Some(f) = partial.factors.get(&b) {
+                // Quantize slightly so tiny float jitter does not keep the
+                // fixpoint from being reached once the epoch budget is spent.
+                let rounded: Vec<f64> = f.iter().map(|x| (x * 1e9).round() / 1e9).collect();
+                ctx.update(b, rounded);
+            }
+        }
+    }
+}
+
+impl PieProgram for CfProgram {
+    type Query = CfQuery;
+    type VertexData = ();
+    type EdgeData = f64;
+    type Value = Vec<f64>;
+    type Partial = CfPartial;
+    type Output = CfModel;
+
+    fn peval(
+        &self,
+        query: &CfQuery,
+        fragment: &Fragment<(), f64>,
+        ctx: &mut PieContext<Vec<f64>>,
+    ) -> CfPartial {
+        // Collect the ratings this fragment is responsible for: edges whose
+        // user endpoint is inner (item -> user duplicates are skipped).
+        let ratings: Vec<(VertexId, VertexId, f64)> = fragment
+            .graph
+            .edges()
+            .filter(|(s, d, _)| {
+                (*s as usize) < self.num_users
+                    && (*d as usize) >= self.num_users
+                    && fragment.is_inner(*s)
+            })
+            .map(|(s, d, w)| (s, d, *w))
+            .collect();
+        let mut partial = CfPartial {
+            factors: HashMap::new(),
+            ratings,
+            epochs_done: 0,
+        };
+        sgd_epoch(query, &mut partial.factors, &partial.ratings.clone());
+        Self::publish_borders(fragment, &partial, ctx);
+        partial
+    }
+
+    fn inceval(
+        &self,
+        query: &CfQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &mut CfPartial,
+        messages: &[(VertexId, Vec<f64>)],
+        ctx: &mut PieContext<Vec<f64>>,
+    ) {
+        // Blend the received (already averaged) factors of mirror vertices
+        // into the local model.
+        for (v, remote) in messages {
+            match partial.factors.get_mut(v) {
+                Some(local) => {
+                    for (l, r) in local.iter_mut().zip(remote.iter()) {
+                        *l = (*l + *r) / 2.0;
+                    }
+                }
+                None => {
+                    partial.factors.insert(*v, remote.clone());
+                }
+            }
+        }
+        if partial.epochs_done >= query.epochs {
+            // Budget exhausted: absorb silently so the fixpoint is reached.
+            return;
+        }
+        partial.epochs_done += 1;
+        sgd_epoch(query, &mut partial.factors, &partial.ratings.clone());
+        Self::publish_borders(fragment, partial, ctx);
+    }
+
+    fn assemble(&self, partials: Vec<CfPartial>) -> CfModel {
+        // Average the factor estimates of vertices shared by several
+        // fragments.
+        let mut sums: HashMap<VertexId, (Vec<f64>, usize)> = HashMap::new();
+        for partial in partials {
+            for (v, f) in partial.factors {
+                match sums.get_mut(&v) {
+                    None => {
+                        sums.insert(v, (f, 1));
+                    }
+                    Some((acc, count)) => {
+                        for (a, x) in acc.iter_mut().zip(f.iter()) {
+                            *a += x;
+                        }
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        CfModel {
+            factors: sums
+                .into_iter()
+                .map(|(v, (sum, count))| {
+                    (v, sum.into_iter().map(|x| x / count as f64).collect())
+                })
+                .collect(),
+        }
+    }
+
+    fn aggregate(&self, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
+        a.iter().zip(b.iter()).map(|(x, y)| (x + y) / 2.0).collect()
+    }
+
+    fn name(&self) -> &str {
+        "cf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::GrapeEngine;
+    use grape_graph::generators::bipartite_ratings;
+    use grape_partition::{HashPartitioner, Partitioner};
+
+    fn as_triples(data: &grape_graph::generators::RatingData) -> Vec<(VertexId, VertexId, f64)> {
+        data.train.iter().map(|r| (r.user, r.item, r.score)).collect()
+    }
+
+    #[test]
+    fn sequential_cf_reduces_training_error() {
+        let data = bipartite_ratings(60, 30, 12, 4, 5).unwrap();
+        let triples = as_triples(&data);
+        let query = CfQuery {
+            epochs: 25,
+            ..Default::default()
+        };
+        // Error of an untrained model (single epoch) vs the trained one.
+        let rough = sequential_cf(
+            &CfQuery {
+                epochs: 0,
+                ..query.clone()
+            },
+            &triples,
+        );
+        let trained = sequential_cf(&query, &triples);
+        let before = rough.rmse(&triples);
+        let after = trained.rmse(&triples);
+        assert!(
+            after < before,
+            "training must reduce RMSE: before {before}, after {after}"
+        );
+        assert!(after < 0.8, "trained RMSE should be small, got {after}");
+    }
+
+    #[test]
+    fn model_predicts_in_rating_range_ballpark() {
+        let data = bipartite_ratings(40, 20, 10, 4, 9).unwrap();
+        let triples = as_triples(&data);
+        let model = sequential_cf(&CfQuery::default(), &triples);
+        for &(u, i, _) in triples.iter().take(20) {
+            let p = model.predict(u, i).unwrap();
+            assert!((0.0..=7.0).contains(&p), "prediction {p} is wildly off");
+        }
+        assert!(model.predict(9_999, 0).is_none());
+    }
+
+    #[test]
+    fn pie_cf_trains_comparably_to_sequential() {
+        let data = bipartite_ratings(80, 30, 15, 4, 13).unwrap();
+        let triples = as_triples(&data);
+        let query = CfQuery {
+            epochs: 15,
+            ..Default::default()
+        };
+        let sequential = sequential_cf(&query, &triples);
+        let seq_rmse = sequential.rmse(&triples);
+
+        let assignment = HashPartitioner.partition(&data.graph, 4);
+        let program = CfProgram::new(data.num_users);
+        let result = GrapeEngine::new(program)
+            .run_on_graph(&query, &data.graph, &assignment)
+            .unwrap();
+        let dist_rmse = result.output.rmse(&triples);
+        assert!(
+            dist_rmse < seq_rmse * 1.5 + 0.2,
+            "distributed training should be in the same ballpark: sequential {seq_rmse}, distributed {dist_rmse}"
+        );
+        // The engine terminates because each fragment's epoch budget bounds
+        // the total number of rounds by (fragments × epochs) + 2.
+        assert!(result.stats.supersteps <= 4 * query.epochs + 2);
+    }
+
+    #[test]
+    fn held_out_rmse_is_sane() {
+        let data = bipartite_ratings(100, 40, 20, 4, 21).unwrap();
+        let triples = as_triples(&data);
+        let test: Vec<(VertexId, VertexId, f64)> = data
+            .test
+            .iter()
+            .map(|r| (r.user, r.item, r.score))
+            .collect();
+        let model = sequential_cf(&CfQuery { epochs: 20, ..Default::default() }, &triples);
+        let rmse = model.rmse(&test);
+        assert!(rmse < 1.5, "held-out RMSE too large: {rmse}");
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        assert_eq!(initial_factor(42, 4), initial_factor(42, 4));
+        assert_ne!(initial_factor(42, 4), initial_factor(43, 4));
+        let f = initial_factor(7, 8);
+        assert_eq!(f.len(), 8);
+        assert!(f.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn program_declarations() {
+        let p = CfProgram::new(10);
+        assert_eq!(p.num_users, 10);
+        assert_eq!(p.name(), "cf");
+        assert_eq!(p.aggregate(&vec![1.0, 3.0], &vec![3.0, 5.0]), vec![2.0, 4.0]);
+        let q = CfQuery::default();
+        assert!(q.rank > 0 && q.epochs > 0);
+    }
+}

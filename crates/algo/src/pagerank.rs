@@ -1,0 +1,376 @@
+//! PageRank — an extra iterative query class used by the analytics panel and
+//! by the engine-comparison benches (it is the canonical workload of
+//! vertex-centric systems, so it completes the Table-1-style comparison).
+//!
+//! The PIE formulation follows the GRAPE idea of running a *whole sequential
+//! algorithm per fragment*:
+//!
+//! * **PEval** runs local power iteration over the fragment's inner vertices.
+//! * The **update parameter** of a border vertex `u` is the *per-edge rank
+//!   share* `rank(u) / outdeg(u)` computed by `u`'s owner fragment; mirrors
+//!   of `u` use that share to account for rank flowing in over cut edges.
+//!   Only the owner ever proposes a value for `u`, so no aggregation
+//!   conflicts arise.
+//! * **IncEval** re-runs local iteration after new mirror shares arrive.
+//! * Values are rounded to the query tolerance, so once shares stop moving by
+//!   more than the tolerance nothing changes and the engine reaches its
+//!   fixpoint.
+//!
+//! PageRank is not monotonic, so (unlike SSSP/CC) it does not fall under the
+//! Assurance Theorem; termination is ensured by the tolerance rounding, as in
+//! every practical PageRank implementation.
+
+use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use grape_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// PageRank query parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankQuery {
+    /// Damping factor (0.85 in the original paper).
+    pub damping: f64,
+    /// Maximum local power-iteration sweeps per PEval/IncEval call.
+    pub max_local_iterations: usize,
+    /// Convergence tolerance on rank values and shipped shares.
+    pub tolerance: f64,
+}
+
+impl Default for PageRankQuery {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            max_local_iterations: 30,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Sequential PageRank over a whole graph — the reference implementation.
+pub fn sequential_pagerank(
+    graph: &CsrGraph<(), f64>,
+    query: &PageRankQuery,
+    iterations: usize,
+) -> HashMap<VertexId, f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let mut rank: HashMap<VertexId, f64> = graph.vertices().map(|v| (v, 1.0 / n as f64)).collect();
+    for _ in 0..iterations {
+        let mut next: HashMap<VertexId, f64> = graph
+            .vertices()
+            .map(|v| (v, (1.0 - query.damping) / n as f64))
+            .collect();
+        for v in graph.vertices() {
+            let out = graph.out_degree(v);
+            let r = rank[&v];
+            if out == 0 {
+                continue;
+            }
+            let share = query.damping * r / out as f64;
+            for (u, _) in graph.out_edges(v) {
+                *next.get_mut(&u).expect("vertex exists") += share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Rounds a value to the tolerance grid so equality (and thus convergence of
+/// the update parameters) is well defined.
+fn quantize(value: f64, tolerance: f64) -> f64 {
+    (value / tolerance).round() * tolerance
+}
+
+/// Per-fragment partial state.
+#[derive(Debug, Clone, Default)]
+pub struct PageRankPartial {
+    /// Current rank of every inner vertex.
+    pub rank: HashMap<VertexId, f64>,
+    /// Per-edge rank share of each outer (mirror) vertex, as received from
+    /// its owner.
+    mirror_share: HashMap<VertexId, f64>,
+}
+
+/// The PageRank PIE program.
+///
+/// The `global_vertices` field must be set to the vertex count of the whole
+/// graph (fragments only know their own slice).
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankProgram {
+    /// Number of vertices of the global graph.
+    pub global_vertices: usize,
+}
+
+impl PageRankProgram {
+    /// Creates the program for a graph with `global_vertices` vertices.
+    pub fn new(global_vertices: usize) -> Self {
+        Self { global_vertices }
+    }
+
+    /// Local power iteration over the fragment's inner vertices, treating the
+    /// mirror shares as fixed external input.
+    fn local_iterate(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &mut PageRankPartial,
+    ) {
+        let n = self.global_vertices.max(1) as f64;
+        for _ in 0..query.max_local_iterations {
+            let mut next: HashMap<VertexId, f64> = fragment
+                .inner_vertices()
+                .iter()
+                .map(|&v| (v, (1.0 - query.damping) / n))
+                .collect();
+            // Rank flowing along edges whose source is an inner vertex.
+            for &v in fragment.inner_vertices() {
+                let out = fragment.graph.out_degree(v);
+                if out == 0 {
+                    continue;
+                }
+                let share =
+                    query.damping * partial.rank.get(&v).copied().unwrap_or(1.0 / n) / out as f64;
+                for (u, _) in fragment.graph.out_edges(v) {
+                    if let Some(r) = next.get_mut(&u) {
+                        *r += share;
+                    }
+                }
+            }
+            // Rank flowing in over cut edges, using the owners' shares.
+            for (&u, &share) in &partial.mirror_share {
+                for (w, _) in fragment.graph.out_edges(u) {
+                    if let Some(r) = next.get_mut(&w) {
+                        *r += query.damping * share;
+                    }
+                }
+            }
+            let mut delta = 0.0f64;
+            for (v, r) in &next {
+                delta += (r - partial.rank.get(v).copied().unwrap_or(1.0 / n)).abs();
+            }
+            partial.rank = next;
+            if delta < query.tolerance {
+                break;
+            }
+        }
+    }
+
+    /// Posts the rank share of every inner border vertex (vertices mirrored
+    /// at other fragments).
+    fn emit_shares(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &PageRankPartial,
+        ctx: &mut PieContext<f64>,
+    ) {
+        for &v in fragment.inner_vertices() {
+            if fragment.mirrors_of(v).is_empty() {
+                continue;
+            }
+            let out = fragment.graph.out_degree(v);
+            if out == 0 {
+                continue;
+            }
+            let share = partial.rank.get(&v).copied().unwrap_or(0.0) / out as f64;
+            ctx.update(v, quantize(share, query.tolerance));
+        }
+    }
+}
+
+impl PieProgram for PageRankProgram {
+    type Query = PageRankQuery;
+    type VertexData = ();
+    type EdgeData = f64;
+    type Value = f64;
+    type Partial = PageRankPartial;
+    type Output = HashMap<VertexId, f64>;
+
+    fn peval(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        ctx: &mut PieContext<f64>,
+    ) -> PageRankPartial {
+        let n = self.global_vertices.max(1) as f64;
+        let mut partial = PageRankPartial {
+            rank: fragment
+                .inner_vertices()
+                .iter()
+                .map(|&v| (v, 1.0 / n))
+                .collect(),
+            mirror_share: HashMap::new(),
+        };
+        self.local_iterate(query, fragment, &mut partial);
+        self.emit_shares(query, fragment, &partial, ctx);
+        partial
+    }
+
+    fn inceval(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &mut PageRankPartial,
+        messages: &[(VertexId, f64)],
+        ctx: &mut PieContext<f64>,
+    ) {
+        let mut changed = false;
+        for (u, share) in messages {
+            if fragment.is_outer(*u) {
+                let entry = partial.mirror_share.entry(*u).or_insert(0.0);
+                if (*entry - *share).abs() >= query.tolerance / 2.0 {
+                    *entry = *share;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+        self.local_iterate(query, fragment, partial);
+        self.emit_shares(query, fragment, partial, ctx);
+    }
+
+    fn assemble(&self, partials: Vec<PageRankPartial>) -> HashMap<VertexId, f64> {
+        let mut out = HashMap::new();
+        for partial in partials {
+            for (v, r) in partial.rank {
+                out.insert(v, r);
+            }
+        }
+        out
+    }
+
+    fn aggregate(&self, a: &f64, b: &f64) -> f64 {
+        // Only the owner of a vertex proposes its share, so conflicts should
+        // not arise; prefer the larger share if they ever do.
+        a.max(*b)
+    }
+
+    fn name(&self) -> &str {
+        "pagerank"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::GrapeEngine;
+    use grape_graph::generators::{barabasi_albert, erdos_renyi};
+    use grape_graph::GraphBuilder;
+    use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner};
+
+    #[test]
+    fn sequential_pagerank_sums_to_roughly_one_and_ranks_hubs_higher() {
+        let g = barabasi_albert(300, 3, 17).unwrap();
+        let pr = sequential_pagerank(&g, &PageRankQuery::default(), 40);
+        let total: f64 = pr.values().sum();
+        assert!(
+            (total - 1.0).abs() < 0.01,
+            "ranks sum to ~1 on a graph without dangling vertices, got {total}"
+        );
+        let hub = g
+            .vertices()
+            .max_by_key(|v| g.in_degree(*v) + g.out_degree(*v))
+            .unwrap();
+        let avg = 1.0 / g.num_vertices() as f64;
+        assert!(pr[&hub] > 2.0 * avg);
+    }
+
+    #[test]
+    fn star_graph_centre_dominates() {
+        let mut b = GraphBuilder::<(), f64>::new().symmetric(true);
+        for leaf in 1..=20u64 {
+            b.add_edge(leaf, 0, 1.0);
+        }
+        let g = b.build().unwrap();
+        let pr = sequential_pagerank(&g, &PageRankQuery::default(), 30);
+        for leaf in 1..=20u64 {
+            assert!(pr[&0] > pr[&leaf] * 5.0);
+        }
+    }
+
+    #[test]
+    fn pie_pagerank_approximates_sequential() {
+        let g = erdos_renyi(150, 0.05, 9).unwrap();
+        let query = PageRankQuery {
+            max_local_iterations: 80,
+            tolerance: 1e-9,
+            ..Default::default()
+        };
+        let reference = sequential_pagerank(&g, &query, 80);
+        let assignment = HashPartitioner.partition(&g, 4);
+        let program = PageRankProgram::new(g.num_vertices());
+        let result = GrapeEngine::new(program)
+            .run_on_graph(&query, &g, &assignment)
+            .unwrap();
+        let mut max_err = 0.0f64;
+        for (v, r) in &reference {
+            let got = result.output.get(v).copied().unwrap_or(0.0);
+            max_err = max_err.max((got - r).abs());
+        }
+        assert!(
+            max_err < 5e-3,
+            "distributed PageRank deviates too much: {max_err}"
+        );
+        let total: f64 = result.output.values().sum();
+        assert!((total - 1.0).abs() < 0.05, "mass roughly preserved: {total}");
+    }
+
+    #[test]
+    fn pie_pagerank_is_partition_invariant() {
+        let g = barabasi_albert(200, 3, 23).unwrap();
+        let query = PageRankQuery {
+            tolerance: 1e-9,
+            max_local_iterations: 80,
+            ..Default::default()
+        };
+        let program = PageRankProgram::new(g.num_vertices());
+        let r1 = GrapeEngine::new(program)
+            .run_on_graph(&query, &g, &BuiltinStrategy::Hash.partition(&g, 3))
+            .unwrap();
+        let r2 = GrapeEngine::new(program)
+            .run_on_graph(&query, &g, &BuiltinStrategy::MetisLike.partition(&g, 6))
+            .unwrap();
+        for v in g.vertices() {
+            let a = r1.output[&v];
+            let b = r2.output[&v];
+            assert!(
+                (a - b).abs() < 5e-3,
+                "vertex {v} rank differs across partitions: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_fragment_matches_sequential_exactly_in_shape() {
+        let g = barabasi_albert(100, 2, 5).unwrap();
+        let query = PageRankQuery {
+            tolerance: 1e-10,
+            max_local_iterations: 100,
+            ..Default::default()
+        };
+        let program = PageRankProgram::new(g.num_vertices());
+        let result = GrapeEngine::new(program)
+            .run_on_graph(&query, &g, &HashPartitioner.partition(&g, 1))
+            .unwrap();
+        let reference = sequential_pagerank(&g, &query, 100);
+        for v in g.vertices() {
+            assert!((result.output[&v] - reference[&v]).abs() < 1e-6);
+        }
+        assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    fn query_defaults_and_declarations() {
+        let q = PageRankQuery::default();
+        assert_eq!(q.damping, 0.85);
+        assert!(q.tolerance > 0.0);
+        assert_eq!(PageRankProgram::new(10).global_vertices, 10);
+        assert_eq!(PageRankProgram::new(10).name(), "pagerank");
+        assert_eq!(PageRankProgram::new(10).aggregate(&0.25, &0.5), 0.5);
+        assert_eq!(quantize(0.123456, 1e-3), 0.123);
+    }
+}

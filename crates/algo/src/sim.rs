@@ -1,0 +1,406 @@
+//! Graph pattern matching via simulation (`Sim`), one of the registered
+//! query classes of the demo.
+//!
+//! Graph simulation computes, for every pattern vertex `u`, the set of data
+//! vertices `v` that can *simulate* it: `label(v) = label(u)` and for every
+//! pattern edge `u → u'` there is a data edge `v → v'` (with a matching
+//! relation type, when the pattern edge specifies one) such that `v'`
+//! simulates `u'`. Unlike subgraph isomorphism, simulation is computable in
+//! polynomial time and is the pattern-matching semantics GRAPE's
+//! social-network analyses prefer.
+//!
+//! PIE formulation:
+//!
+//! * The candidate set of every data vertex is encoded as a **bitmask over
+//!   pattern vertices** (`u64`, patterns are small).
+//! * **PEval** runs the sequential Henzinger–Henzinger–Kopke-style fixpoint
+//!   on the fragment, treating mirror vertices optimistically (any
+//!   label-compatible pattern vertex).
+//! * The **update parameter** of a border vertex is its bitmask, *owned* by
+//!   the fragment that holds its out-edges; masks only lose bits, so the
+//!   computation is monotonic (aggregate = bitwise AND) and the Assurance
+//!   Theorem applies.
+//! * **IncEval** shrinks mirror masks with the received values and re-runs
+//!   the local fixpoint.
+
+use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use grape_graph::labels::{LabeledVertex, PatternGraph};
+use grape_graph::CsrGraph;
+use std::collections::{HashMap, HashSet};
+
+/// A graph-simulation query: a small pattern graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimQuery {
+    /// The pattern; at most 64 vertices (masks are `u64`).
+    pub pattern: PatternGraph,
+}
+
+impl SimQuery {
+    /// Creates a query, validating the pattern.
+    ///
+    /// # Panics
+    /// Panics if the pattern has more than 64 vertices or dangling edge
+    /// endpoints — both indicate programmer error in query construction.
+    pub fn new(pattern: PatternGraph) -> Self {
+        assert!(
+            pattern.num_vertices() <= 64,
+            "simulation patterns are limited to 64 vertices"
+        );
+        pattern.validate().expect("pattern edges must be valid");
+        Self { pattern }
+    }
+}
+
+/// The match relation produced by simulation: for each pattern vertex, the
+/// set of data vertices simulating it.
+pub type SimMatches = Vec<HashSet<VertexId>>;
+
+fn label_mask(pattern: &PatternGraph, data: &LabeledVertex) -> u64 {
+    let mut mask = 0u64;
+    for (u, label) in pattern.labels.iter().enumerate() {
+        if *label == data.label {
+            mask |= 1 << u;
+        }
+    }
+    mask
+}
+
+/// One pass of the simulation-refinement loop over the given vertices.
+/// `check_out_edges(v)` tells whether `v`'s out-edges are fully known (inner
+/// vertices of a fragment, or all vertices in the sequential case).
+fn refine(
+    pattern: &PatternGraph,
+    graph: &CsrGraph<LabeledVertex, String>,
+    masks: &mut HashMap<VertexId, u64>,
+    check: &dyn Fn(VertexId) -> bool,
+) -> bool {
+    let mut changed_any = false;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let vertices: Vec<VertexId> = masks.keys().copied().collect();
+        for v in vertices {
+            if !check(v) {
+                continue;
+            }
+            let current = masks[&v];
+            if current == 0 {
+                continue;
+            }
+            let mut next = current;
+            for u in 0..pattern.num_vertices() {
+                if next & (1 << u) == 0 {
+                    continue;
+                }
+                // Every pattern out-edge of u must be witnessed.
+                for (u_child, relation) in pattern.out_edges(u) {
+                    let witnessed = graph.out_edges(v).any(|(v_child, rel)| {
+                        relation.is_none_or(|r| r == rel)
+                            && masks.get(&v_child).copied().unwrap_or(0) & (1 << u_child) != 0
+                    });
+                    if !witnessed {
+                        next &= !(1 << u);
+                        break;
+                    }
+                }
+            }
+            if next != current {
+                masks.insert(v, next);
+                changed = true;
+                changed_any = true;
+            }
+        }
+    }
+    changed_any
+}
+
+/// Sequential graph simulation over a whole labeled graph — the reference
+/// algorithm (and what a user would plug into PEval).
+pub fn sequential_sim(
+    graph: &CsrGraph<LabeledVertex, String>,
+    pattern: &PatternGraph,
+) -> SimMatches {
+    let mut masks: HashMap<VertexId, u64> = graph
+        .vertices()
+        .map(|v| (v, label_mask(pattern, graph.vertex_data(v).expect("present"))))
+        .collect();
+    refine(pattern, graph, &mut masks, &|_| true);
+    collect_matches(pattern, &masks, None)
+}
+
+fn collect_matches(
+    pattern: &PatternGraph,
+    masks: &HashMap<VertexId, u64>,
+    only: Option<&HashSet<VertexId>>,
+) -> SimMatches {
+    let mut out = vec![HashSet::new(); pattern.num_vertices()];
+    for (&v, &mask) in masks {
+        if let Some(filter) = only {
+            if !filter.contains(&v) {
+                continue;
+            }
+        }
+        for (u, bucket) in out.iter_mut().enumerate() {
+            if mask & (1 << u) != 0 {
+                bucket.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Per-fragment partial state: the bitmask of every local vertex.
+#[derive(Debug, Clone, Default)]
+pub struct SimPartial {
+    masks: HashMap<VertexId, u64>,
+    inner: HashSet<VertexId>,
+    /// Number of pattern vertices (needed by Assemble to size the result).
+    pattern_width: usize,
+}
+
+/// The graph-simulation PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimProgram;
+
+impl PieProgram for SimProgram {
+    type Query = SimQuery;
+    type VertexData = LabeledVertex;
+    type EdgeData = String;
+    type Value = u64;
+    type Partial = SimPartial;
+    type Output = SimMatches;
+
+    fn peval(
+        &self,
+        query: &SimQuery,
+        fragment: &Fragment<LabeledVertex, String>,
+        ctx: &mut PieContext<u64>,
+    ) -> SimPartial {
+        let mut masks: HashMap<VertexId, u64> = fragment
+            .graph
+            .vertices()
+            .map(|v| {
+                (
+                    v,
+                    label_mask(&query.pattern, fragment.graph.vertex_data(v).expect("present")),
+                )
+            })
+            .collect();
+        let inner: HashSet<VertexId> = fragment.inner_vertices().iter().copied().collect();
+        {
+            let inner_ref = &inner;
+            refine(&query.pattern, &fragment.graph, &mut masks, &|v| {
+                inner_ref.contains(&v)
+            });
+        }
+        // The owner of each inner border vertex publishes its (authoritative)
+        // mask so fragments holding it as a mirror can tighten their view.
+        for &v in fragment.inner_vertices() {
+            if !fragment.mirrors_of(v).is_empty() {
+                ctx.update(v, masks[&v]);
+            }
+        }
+        SimPartial {
+            masks,
+            inner,
+            pattern_width: query.pattern.num_vertices(),
+        }
+    }
+
+    fn inceval(
+        &self,
+        query: &SimQuery,
+        fragment: &Fragment<LabeledVertex, String>,
+        partial: &mut SimPartial,
+        messages: &[(VertexId, u64)],
+        ctx: &mut PieContext<u64>,
+    ) {
+        let mut changed = false;
+        for (v, mask) in messages {
+            if fragment.is_outer(*v) {
+                let entry = partial.masks.entry(*v).or_insert(u64::MAX);
+                let tightened = *entry & *mask;
+                if tightened != *entry {
+                    *entry = tightened;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return;
+        }
+        let inner_ref = &partial.inner;
+        refine(&query.pattern, &fragment.graph, &mut partial.masks, &|v| {
+            inner_ref.contains(&v)
+        });
+        for &v in fragment.inner_vertices() {
+            if !fragment.mirrors_of(v).is_empty() {
+                let value = partial.masks[&v];
+                ctx.update(v, value);
+            }
+        }
+    }
+
+    fn assemble(&self, partials: Vec<SimPartial>) -> SimMatches {
+        // Merge the masks of inner vertices only (mirror masks may be stale
+        // supersets).
+        let width = partials.iter().map(|p| p.pattern_width).max().unwrap_or(0);
+        let mut merged: HashMap<VertexId, u64> = HashMap::new();
+        for partial in &partials {
+            for (&v, &mask) in &partial.masks {
+                if partial.inner.contains(&v) {
+                    merged.insert(v, mask);
+                }
+            }
+        }
+        let pattern_stub = PatternGraph::new(vec![Default::default(); width]);
+        collect_matches(&pattern_stub, &merged, None)
+    }
+
+    fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+        a & b
+    }
+
+    fn monotonic(&self, old: &u64, new: &u64) -> Option<bool> {
+        Some(new & old == *new)
+    }
+
+    fn name(&self) -> &str {
+        "sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::{EngineConfig, GrapeEngine};
+    use grape_graph::generators::{labeled_social, SocialGraphConfig};
+    use grape_graph::labels::lv;
+    use grape_graph::types::EdgeRecord;
+    use grape_graph::LabeledGraph;
+    use grape_partition::BuiltinStrategy;
+
+    /// person --follows--> person --recommends--> product
+    fn chain_pattern() -> PatternGraph {
+        PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+            .edge_labeled(0, 1, "follows")
+            .edge_labeled(1, 2, "recommends")
+    }
+
+    fn tiny_graph() -> LabeledGraph {
+        let vs = vec![
+            lv(0, "person", &[]),
+            lv(1, "person", &[]),
+            lv(2, "product", &[]),
+            lv(3, "person", &[]), // follows nobody who recommends
+        ];
+        let es = vec![
+            EdgeRecord::new(0, 1, "follows".to_string()),
+            EdgeRecord::new(1, 2, "recommends".to_string()),
+            EdgeRecord::new(3, 0, "follows".to_string()),
+        ];
+        LabeledGraph::from_records(vs, es, true).unwrap()
+    }
+
+    #[test]
+    fn sequential_sim_small_example() {
+        let g = tiny_graph();
+        let matches = sequential_sim(&g, &chain_pattern());
+        // Pattern vertex 0 (a person following a recommender): only vertex 0
+        // qualifies (3 follows 0, but 0 does not recommend anything).
+        assert_eq!(matches[0], HashSet::from([0]));
+        // Pattern vertex 1 (a person who recommends a product): vertex 1.
+        assert_eq!(matches[1], HashSet::from([1]));
+        // Pattern vertex 2 (a product): vertex 2.
+        assert_eq!(matches[2], HashSet::from([2]));
+    }
+
+    #[test]
+    fn unlabeled_pattern_edge_matches_any_relation() {
+        let g = tiny_graph();
+        let pattern = PatternGraph::new(vec!["person".into(), "person".into()]).edge(0, 1);
+        let matches = sequential_sim(&g, &pattern);
+        // Any person with an out-edge (of any relation) to a person: 0 and 3.
+        assert_eq!(matches[0], HashSet::from([0, 3]));
+    }
+
+    #[test]
+    fn empty_result_when_label_absent() {
+        let g = tiny_graph();
+        let pattern = PatternGraph::new(vec!["robot".into()]);
+        let matches = sequential_sim(&g, &pattern);
+        assert!(matches[0].is_empty());
+    }
+
+    fn equal_matches(a: &SimMatches, b: &SimMatches) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(b.iter()).all(|(x, y)| x == y)
+    }
+
+    #[test]
+    fn pie_sim_matches_sequential_on_social_graph() {
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 300,
+                num_products: 8,
+                ..Default::default()
+            },
+            42,
+        )
+        .unwrap();
+        let query = SimQuery::new(chain_pattern());
+        let reference = sequential_sim(&g, &query.pattern);
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::Fennel] {
+            let assignment = strategy.partition(&g, 4);
+            let engine = GrapeEngine::new(SimProgram).with_config(EngineConfig {
+                check_monotonicity: true,
+                ..Default::default()
+            });
+            let result = engine.run_on_graph(&query, &g, &assignment).unwrap();
+            assert!(
+                equal_matches(&result.output, &reference),
+                "strategy {:?} diverges from the sequential result",
+                strategy
+            );
+            assert_eq!(result.stats.monotonicity_violations, 0);
+        }
+    }
+
+    #[test]
+    fn pie_sim_single_fragment_equals_sequential() {
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 120,
+                num_products: 4,
+                ..Default::default()
+            },
+            7,
+        )
+        .unwrap();
+        let query = SimQuery::new(chain_pattern());
+        let reference = sequential_sim(&g, &query.pattern);
+        let assignment = BuiltinStrategy::Hash.partition(&g, 1);
+        let result = GrapeEngine::new(SimProgram)
+            .run_on_graph(&query, &g, &assignment)
+            .unwrap();
+        assert!(equal_matches(&result.output, &reference));
+        assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "64 vertices")]
+    fn oversized_pattern_is_rejected() {
+        let labels = vec![grape_graph::VertexLabel::from("x"); 65];
+        SimQuery::new(PatternGraph::new(labels));
+    }
+
+    #[test]
+    fn program_declarations() {
+        assert_eq!(SimProgram.aggregate(&0b1101, &0b1011), 0b1001);
+        assert_eq!(SimProgram.monotonic(&0b111, &0b011), Some(true));
+        assert_eq!(SimProgram.monotonic(&0b011, &0b111), Some(false));
+        assert_eq!(SimProgram.name(), "sim");
+    }
+}

@@ -1,0 +1,411 @@
+//! Single-source shortest paths (SSSP) — Example 1 of the paper.
+//!
+//! * **PEval** is textbook Dijkstra run on the local fragment.
+//! * **IncEval** is the bounded incremental shortest-path algorithm of
+//!   Ramalingam & Reps: when border distances drop, only the affected
+//!   vertices are re-relaxed, so its cost depends on the size of the change
+//!   (`|M| + |ΔO|`), not on the fragment size.
+//! * **Assemble** takes, for every vertex, the smallest distance any fragment
+//!   knows.
+//! * The update parameters are the distances of border vertices, aggregated
+//!   with `min`; they decrease monotonically, so the Assurance Theorem
+//!   applies and the fixpoint is reached with correct answers.
+
+use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use grape_graph::CsrGraph;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Distance value used throughout: `f64` seconds/metres/weights.
+pub type Distance = f64;
+
+/// An SSSP query: the source vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsspQuery {
+    /// The source vertex (global id).
+    pub source: VertexId,
+}
+
+impl SsspQuery {
+    /// Creates a query.
+    pub fn new(source: VertexId) -> Self {
+        Self { source }
+    }
+}
+
+/// Min-heap entry for Dijkstra.
+#[derive(PartialEq)]
+struct HeapEntry(Distance, VertexId);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse so BinaryHeap pops the smallest distance first.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Sequential Dijkstra from `source` over the whole graph: the reference
+/// answer used by tests and by the single-machine baseline of the benches.
+pub fn sequential_sssp(
+    graph: &CsrGraph<(), Distance>,
+    source: VertexId,
+) -> HashMap<VertexId, Distance> {
+    let mut dist: HashMap<VertexId, Distance> = HashMap::new();
+    if !graph.contains(source) {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(HeapEntry(0.0, source));
+    while let Some(HeapEntry(d, u)) = heap.pop() {
+        if d > dist.get(&u).copied().unwrap_or(Distance::INFINITY) {
+            continue;
+        }
+        for (v, w) in graph.out_edges(u) {
+            let nd = d + *w;
+            if nd < dist.get(&v).copied().unwrap_or(Distance::INFINITY) {
+                dist.insert(v, nd);
+                heap.push(HeapEntry(nd, v));
+            }
+        }
+    }
+    dist
+}
+
+/// Bounded incremental SSSP in the style of Ramalingam & Reps: given current
+/// distances and a set of vertices whose distance just dropped, propagate the
+/// improvements. Only vertices whose distance actually changes are touched.
+///
+/// Returns the number of vertices whose distance changed (`|ΔO|`), which the
+/// boundedness experiment measures.
+pub fn incremental_sssp(
+    graph: &CsrGraph<(), Distance>,
+    dist: &mut HashMap<VertexId, Distance>,
+    seeds: &[(VertexId, Distance)],
+) -> usize {
+    let mut heap = BinaryHeap::new();
+    let mut changed = 0usize;
+    for &(v, d) in seeds {
+        if d < dist.get(&v).copied().unwrap_or(Distance::INFINITY) {
+            dist.insert(v, d);
+            changed += 1;
+            heap.push(HeapEntry(d, v));
+        }
+    }
+    while let Some(HeapEntry(d, u)) = heap.pop() {
+        if d > dist.get(&u).copied().unwrap_or(Distance::INFINITY) {
+            continue;
+        }
+        for (v, w) in graph.out_edges(u) {
+            let nd = d + *w;
+            if nd < dist.get(&v).copied().unwrap_or(Distance::INFINITY) {
+                dist.insert(v, nd);
+                changed += 1;
+                heap.push(HeapEntry(nd, v));
+            }
+        }
+    }
+    changed
+}
+
+/// Per-fragment partial result: the current distance estimates for every
+/// local vertex (inner and mirror).
+#[derive(Debug, Clone, Default)]
+pub struct SsspPartial {
+    /// Distance estimates keyed by global vertex id.
+    pub dist: HashMap<VertexId, Distance>,
+    /// Total number of distance changes applied by IncEval calls; used by the
+    /// boundedness experiment (F-inc).
+    pub inceval_changes: usize,
+}
+
+/// The SSSP PIE program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsspProgram;
+
+impl PieProgram for SsspProgram {
+    type Query = SsspQuery;
+    type VertexData = ();
+    type EdgeData = Distance;
+    type Value = Distance;
+    type Partial = SsspPartial;
+    type Output = HashMap<VertexId, Distance>;
+
+    fn peval(
+        &self,
+        query: &SsspQuery,
+        fragment: &Fragment<(), Distance>,
+        ctx: &mut PieContext<Distance>,
+    ) -> SsspPartial {
+        // Dijkstra on the local fragment (distances stay infinite when the
+        // source lives elsewhere).
+        let dist = sequential_sssp(&fragment.graph, query.source);
+        // Declare update parameters: the current distance of every border
+        // vertex that is already reachable locally.
+        for &b in &fragment.border_vertices() {
+            if let Some(&d) = dist.get(&b) {
+                ctx.update(b, d);
+            }
+        }
+        SsspPartial {
+            dist,
+            inceval_changes: 0,
+        }
+    }
+
+    fn inceval(
+        &self,
+        _query: &SsspQuery,
+        fragment: &Fragment<(), Distance>,
+        partial: &mut SsspPartial,
+        messages: &[(VertexId, Distance)],
+        ctx: &mut PieContext<Distance>,
+    ) {
+        // Treat improved border distances as seeds for the incremental
+        // algorithm.
+        let changed = incremental_sssp(&fragment.graph, &mut partial.dist, messages);
+        partial.inceval_changes += changed;
+        if changed == 0 {
+            return;
+        }
+        for &b in &fragment.border_vertices() {
+            if let Some(&d) = partial.dist.get(&b) {
+                ctx.update(b, d);
+            }
+        }
+    }
+
+    fn assemble(&self, partials: Vec<SsspPartial>) -> HashMap<VertexId, Distance> {
+        let mut out: HashMap<VertexId, Distance> = HashMap::new();
+        for partial in partials {
+            for (v, d) in partial.dist {
+                out.entry(v)
+                    .and_modify(|cur| {
+                        if d < *cur {
+                            *cur = d;
+                        }
+                    })
+                    .or_insert(d);
+            }
+        }
+        out
+    }
+
+    fn aggregate(&self, a: &Distance, b: &Distance) -> Distance {
+        a.min(*b)
+    }
+
+    fn monotonic(&self, old: &Distance, new: &Distance) -> Option<bool> {
+        Some(new <= old)
+    }
+
+    fn name(&self) -> &str {
+        "sssp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_core::{EngineConfig, GrapeEngine};
+    use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+    use grape_graph::GraphBuilder;
+    use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner, RangePartitioner};
+
+    fn assert_distances_match(
+        got: &HashMap<VertexId, Distance>,
+        expected: &HashMap<VertexId, Distance>,
+    ) {
+        for (v, d) in expected {
+            let g = got.get(v).copied().unwrap_or(Distance::INFINITY);
+            assert!(
+                (g - d).abs() < 1e-9,
+                "vertex {v}: engine {g} vs reference {d}"
+            );
+        }
+        // No spurious finite distances for unreachable vertices.
+        for (v, d) in got {
+            if d.is_finite() {
+                assert!(expected.contains_key(v), "vertex {v} should be unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_dijkstra_small_example() {
+        let mut b = GraphBuilder::<(), f64>::new();
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(0, 2, 4.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build().unwrap();
+        let d = sequential_sssp(&g, 0);
+        assert_eq!(d[&0], 0.0);
+        assert_eq!(d[&1], 1.0);
+        assert_eq!(d[&2], 3.0);
+        assert_eq!(d[&3], 4.0);
+        assert!(sequential_sssp(&g, 99).is_empty());
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let g = barabasi_albert(300, 3, 7).unwrap();
+        // Start from distances computed with an artificially bad source
+        // estimate, then feed the true source as a seed.
+        let mut dist = HashMap::new();
+        let changed = incremental_sssp(&g, &mut dist, &[(0, 0.0)]);
+        assert!(changed > 0);
+        let expected = sequential_sssp(&g, 0);
+        assert_distances_match(&dist, &expected);
+        // Feeding the same seeds again changes nothing (idempotent).
+        assert_eq!(incremental_sssp(&g, &mut dist, &[(0, 0.0)]), 0);
+    }
+
+    #[test]
+    fn incremental_cost_scales_with_change_not_graph() {
+        // On a long chain, improving the distance of a vertex near the end
+        // touches only the tail — the boundedness property of IncEval.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..10_000u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let mut dist = sequential_sssp(&g, 0);
+        let near_end = 9_990u64;
+        let changed = incremental_sssp(&g, &mut dist, &[(near_end, 1.0)]);
+        assert!(changed <= 11, "only the tail is touched, got {changed}");
+    }
+
+    #[test]
+    fn pie_sssp_matches_reference_on_road_network() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 24,
+                height: 24,
+                ..Default::default()
+            },
+            11,
+        )
+        .unwrap();
+        let expected = sequential_sssp(&g, 0);
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+            let assignment = strategy.partition(&g, 6);
+            let engine = GrapeEngine::new(SsspProgram).with_config(EngineConfig {
+                check_monotonicity: true,
+                ..Default::default()
+            });
+            let result = engine
+                .run_on_graph(&SsspQuery::new(0), &g, &assignment)
+                .unwrap();
+            assert_distances_match(&result.output, &expected);
+            assert_eq!(result.stats.monotonicity_violations, 0);
+        }
+    }
+
+    #[test]
+    fn pie_sssp_matches_reference_on_power_law_graph() {
+        let g = barabasi_albert(800, 4, 3).unwrap();
+        let expected = sequential_sssp(&g, 5);
+        let assignment = HashPartitioner.partition(&g, 8);
+        let result = GrapeEngine::new(SsspProgram)
+            .run_on_graph(&SsspQuery::new(5), &g, &assignment)
+            .unwrap();
+        assert_distances_match(&result.output, &expected);
+        assert!(result.stats.supersteps >= 2, "cross-fragment paths exist");
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        // Two disjoint chains; source in the first one.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..10u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        for v in 100..110u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = RangePartitioner.partition(&g, 4);
+        let result = GrapeEngine::new(SsspProgram)
+            .run_on_graph(&SsspQuery::new(0), &g, &assignment)
+            .unwrap();
+        for v in 100..=110u64 {
+            assert!(
+                !result.output.contains_key(&v) || result.output[&v].is_infinite(),
+                "vertex {v} must not receive a finite distance"
+            );
+        }
+        assert_eq!(result.output[&10], 10.0);
+    }
+
+    #[test]
+    fn source_missing_from_graph_gives_empty_result() {
+        let g = barabasi_albert(50, 2, 2).unwrap();
+        let assignment = HashPartitioner.partition(&g, 3);
+        let result = GrapeEngine::new(SsspProgram)
+            .run_on_graph(&SsspQuery::new(9_999), &g, &assignment)
+            .unwrap();
+        assert!(result.output.values().all(|d| d.is_infinite() || *d == 0.0));
+        assert!(result.output.is_empty());
+        assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    fn better_partitions_ship_fewer_messages() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 32,
+                height: 32,
+                removal_prob: 0.0,
+                shortcut_prob: 0.0,
+                ..Default::default()
+            },
+            13,
+        )
+        .unwrap();
+        let hash = GrapeEngine::new(SsspProgram)
+            .run_on_graph(
+                &SsspQuery::new(0),
+                &g,
+                &BuiltinStrategy::Hash.partition(&g, 8),
+            )
+            .unwrap();
+        let metis = GrapeEngine::new(SsspProgram)
+            .run_on_graph(
+                &SsspQuery::new(0),
+                &g,
+                &BuiltinStrategy::MetisLike.partition(&g, 8),
+            )
+            .unwrap();
+        assert!(
+            metis.stats.messages < hash.stats.messages,
+            "metis {} messages should undercut hash {}",
+            metis.stats.messages,
+            hash.stats.messages
+        );
+        // Same answers either way.
+        let reference = sequential_sssp(&g, 0);
+        assert_distances_match(&metis.output, &reference);
+        assert_distances_match(&hash.output, &reference);
+    }
+
+    #[test]
+    fn query_constructor() {
+        assert_eq!(SsspQuery::new(7).source, 7);
+        assert_eq!(SsspProgram.name(), "sssp");
+        assert_eq!(SsspProgram.aggregate(&3.0, &5.0), 3.0);
+        assert_eq!(SsspProgram.monotonic(&5.0, &3.0), Some(true));
+        assert_eq!(SsspProgram.monotonic(&3.0, &5.0), Some(false));
+    }
+}

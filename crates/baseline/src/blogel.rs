@@ -1,0 +1,231 @@
+//! Blogel-like block-centric engine.
+//!
+//! Blogel ("think like a block") groups vertices into blocks and lets a
+//! *block* compute function process a whole block sequentially per
+//! superstep, exchanging messages between blocks. It removes much of
+//! Pregel's per-vertex messaging overhead — in Table 1 it is ~40× faster
+//! than Giraph on road-network SSSP — but, unlike GRAPE, it re-runs the
+//! block computation from the incoming messages each superstep instead of
+//! performing *bounded incremental* evaluation, and it cannot reuse existing
+//! sequential algorithms unchanged.
+
+use crate::stats::BaselineStats;
+use grape_comm::MessageSize;
+use grape_graph::{CsrGraph, VertexId};
+use grape_partition::{build_fragments, Fragment, PartitionAssignment};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A block-centric program.
+pub trait BlockProgram: Send + Sync {
+    /// Query parameters.
+    type Query: Clone + Send + Sync;
+    /// Per-vertex state within a block.
+    type State: Clone + Send + Sync;
+    /// Message exchanged between blocks, addressed to a vertex.
+    type Message: Clone + Send + Sync + MessageSize;
+
+    /// Initializes the state of every vertex of a block.
+    fn init_block(
+        &self,
+        query: &Self::Query,
+        block: &Fragment<(), f64>,
+    ) -> HashMap<VertexId, Self::State>;
+
+    /// Block compute: processes the whole block given the messages addressed
+    /// to its vertices, mutating the states and pushing outgoing messages for
+    /// vertices of other blocks into `outbox`. Returns `true` if the block
+    /// wants to stay active even without incoming messages.
+    fn block_compute(
+        &self,
+        query: &Self::Query,
+        block: &Fragment<(), f64>,
+        states: &mut HashMap<VertexId, Self::State>,
+        inbox: &[(VertexId, Self::Message)],
+        superstep: usize,
+        outbox: &mut Vec<(VertexId, Self::Message)>,
+    ) -> bool;
+
+    /// Program name for statistics.
+    fn name(&self) -> &str {
+        "block-program"
+    }
+}
+
+/// The block-centric engine: one block per fragment of the supplied
+/// partition, one worker thread per block.
+#[derive(Debug, Clone, Copy)]
+pub struct BlogelEngine {
+    /// Safety bound on supersteps.
+    pub max_supersteps: usize,
+}
+
+impl Default for BlogelEngine {
+    fn default() -> Self {
+        Self {
+            max_supersteps: 100_000,
+        }
+    }
+}
+
+impl BlogelEngine {
+    /// Creates an engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the program over `graph` partitioned into blocks by `assignment`.
+    pub fn run<P: BlockProgram>(
+        &self,
+        program: &P,
+        query: &P::Query,
+        graph: &CsrGraph<(), f64>,
+        assignment: &PartitionAssignment,
+    ) -> (HashMap<VertexId, P::State>, BaselineStats) {
+        let started = Instant::now();
+        let blocks = build_fragments(graph, assignment);
+        let owner: HashMap<VertexId, usize> = blocks
+            .iter()
+            .flat_map(|b| b.inner_vertices().iter().map(move |&v| (v, b.id)))
+            .collect();
+
+        let mut states: Vec<HashMap<VertexId, P::State>> = blocks
+            .iter()
+            .map(|b| program.init_block(query, b))
+            .collect();
+        let mut inboxes: Vec<Vec<(VertexId, P::Message)>> = vec![Vec::new(); blocks.len()];
+        let mut stats = BaselineStats {
+            engine: format!("blogel/{}", program.name()),
+            num_workers: blocks.len(),
+            ..Default::default()
+        };
+
+        let mut first = true;
+        for superstep in 0..self.max_supersteps {
+            let any_input = first || inboxes.iter().any(|i| !i.is_empty());
+            if !any_input {
+                break;
+            }
+            stats.supersteps = superstep + 1;
+
+            let current_inboxes: Vec<Vec<(VertexId, P::Message)>> =
+                std::mem::replace(&mut inboxes, vec![Vec::new(); blocks.len()]);
+            let outboxes: Vec<Vec<(VertexId, P::Message)>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for ((block, block_states), inbox) in blocks
+                    .iter()
+                    .zip(states.iter_mut())
+                    .zip(current_inboxes.iter())
+                {
+                    let run_this_block = first || !inbox.is_empty();
+                    handles.push(scope.spawn(move || {
+                        let mut outbox = Vec::new();
+                        if run_this_block {
+                            program.block_compute(
+                                query,
+                                block,
+                                block_states,
+                                inbox,
+                                superstep,
+                                &mut outbox,
+                            );
+                        }
+                        outbox
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
+            first = false;
+
+            // Route messages block-to-block and account the traffic.
+            for (src_block, outbox) in outboxes.into_iter().enumerate() {
+                for (dst, msg) in outbox {
+                    let Some(&dst_block) = owner.get(&dst) else {
+                        continue;
+                    };
+                    if dst_block != src_block {
+                        stats.messages += 1;
+                        stats.bytes += msg.size_bytes() as u64 + 8;
+                        inboxes[dst_block].push((dst, msg));
+                    }
+                    // Messages to the own block are ignored: the block
+                    // already processed its local information.
+                }
+            }
+        }
+
+        stats.wall_time = started.elapsed();
+        let mut merged = HashMap::new();
+        for (block, block_states) in blocks.iter().zip(states.into_iter()) {
+            for (v, s) in block_states {
+                if block.is_inner(v) {
+                    merged.insert(v, s);
+                }
+            }
+        }
+        (merged, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::BlockSssp;
+    use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+    use grape_partition::{BuiltinStrategy, Partitioner, RangePartitioner};
+
+    #[test]
+    fn block_sssp_matches_dijkstra() {
+        let g = barabasi_albert(300, 3, 6).unwrap();
+        let reference = grape_algo::sssp::sequential_sssp(&g, 0);
+        let assignment = BuiltinStrategy::Hash.partition(&g, 4);
+        let (states, stats) = BlogelEngine::new().run(&BlockSssp, &0, &g, &assignment);
+        for (v, d) in &reference {
+            assert!((states[v] - d).abs() < 1e-9, "vertex {v}");
+        }
+        assert!(stats.supersteps >= 2);
+    }
+
+    #[test]
+    fn block_sssp_uses_far_fewer_supersteps_than_vertex_centric() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 24,
+                height: 24,
+                removal_prob: 0.0,
+                shortcut_prob: 0.0,
+                ..Default::default()
+            },
+            2,
+        )
+        .unwrap();
+        let assignment = BuiltinStrategy::MetisLike.partition(&g, 4);
+        let (_, blogel_stats) = BlogelEngine::new().run(&BlockSssp, &0, &g, &assignment);
+        let pregel = crate::pregel::PregelEngine::new(4);
+        let (_, pregel_stats) = pregel.run(&crate::programs::PregelSssp, &0, &g);
+        assert!(
+            blogel_stats.supersteps * 4 < pregel_stats.supersteps,
+            "block-centric {} supersteps vs vertex-centric {}",
+            blogel_stats.supersteps,
+            pregel_stats.supersteps
+        );
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_at_infinity() {
+        let mut b = grape_graph::GraphBuilder::<(), f64>::new();
+        for v in 0..10u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        for v in 100..105u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = RangePartitioner.partition(&g, 3);
+        let (states, _) = BlogelEngine::new().run(&BlockSssp, &0, &g, &assignment);
+        assert_eq!(states[&10], 10.0);
+        for v in 100..=105u64 {
+            assert!(states[&v].is_infinite());
+        }
+    }
+}

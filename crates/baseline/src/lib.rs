@@ -1,0 +1,28 @@
+//! # grape-baseline
+//!
+//! The comparator engines of Table 1: a **Pregel-like vertex-centric BSP
+//! engine** (standing in for Giraph), a **GAS engine** (gather–apply–scatter,
+//! standing in for GraphLab's synchronous mode) and a **Blogel-like
+//! block-centric engine**. The paper's argument is architectural — "think
+//! like a vertex" forces traversal queries into one superstep per hop and a
+//! message per relaxed edge, while GRAPE runs whole sequential algorithms per
+//! fragment — so faithful reproductions of those cost structures (supersteps,
+//! messages, bytes) are what these engines provide. They run in-process on
+//! threads, exactly like the GRAPE engine, so wall-clock comparisons are
+//! apples-to-apples.
+
+#![warn(missing_docs)]
+
+pub mod blogel;
+pub mod gas;
+pub mod pregel;
+pub mod programs;
+pub mod stats;
+
+pub use blogel::{BlockProgram, BlogelEngine};
+pub use gas::{GasEngine, GasProgram};
+pub use pregel::{PregelEngine, VertexContext, VertexProgram};
+pub use programs::{
+    normalize_for_pagerank, BlockSssp, GasPageRank, GasSssp, PregelCc, PregelPageRank, PregelSssp,
+};
+pub use stats::BaselineStats;

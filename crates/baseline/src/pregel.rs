@@ -1,0 +1,350 @@
+//! Pregel-like vertex-centric BSP engine (the Giraph stand-in of Table 1).
+//!
+//! Users implement [`VertexProgram`] — the "think like a vertex" model the
+//! paper contrasts with GRAPE: a `compute` function invoked per active vertex
+//! per superstep, communicating only through messages along edges and
+//! halting by vote. The engine partitions vertices over worker threads,
+//! executes supersteps with a barrier between them, optionally applies a
+//! combiner, and accounts every message that crosses a worker boundary.
+
+use crate::stats::BaselineStats;
+use grape_comm::MessageSize;
+use grape_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A vertex-centric program in the Pregel style.
+pub trait VertexProgram: Send + Sync {
+    /// Query parameters (e.g. the SSSP source).
+    type Query: Clone + Send + Sync;
+    /// Per-vertex state.
+    type State: Clone + Send + Sync;
+    /// Message type exchanged along edges.
+    type Message: Clone + Send + Sync + MessageSize;
+
+    /// Initial state of a vertex.
+    fn init(&self, query: &Self::Query, vertex: VertexId) -> Self::State;
+
+    /// Whether the vertex starts active in superstep 0 (default: all do).
+    fn initially_active(&self, _query: &Self::Query, _vertex: VertexId) -> bool {
+        true
+    }
+
+    /// The per-vertex compute function.
+    fn compute(
+        &self,
+        query: &Self::Query,
+        vertex: VertexId,
+        state: &mut Self::State,
+        messages: &[Self::Message],
+        ctx: &mut VertexContext<'_, Self::Message>,
+    );
+
+    /// Optional message combiner (e.g. `min` for SSSP): combines two messages
+    /// headed to the same destination. Returning `None` disables combining.
+    fn combine(&self, _a: &Self::Message, _b: &Self::Message) -> Option<Self::Message> {
+        None
+    }
+
+    /// Program name used in statistics.
+    fn name(&self) -> &str {
+        "vertex-program"
+    }
+}
+
+/// What a vertex sees while computing: its out-edges, the current superstep,
+/// an outbox and a halt flag.
+pub struct VertexContext<'a, M> {
+    superstep: usize,
+    out_edges: &'a [(VertexId, f64)],
+    outbox: &'a mut Vec<(VertexId, M)>,
+    halt: bool,
+}
+
+impl<'a, M> VertexContext<'a, M> {
+    /// Current superstep number (0-based).
+    pub fn superstep(&self) -> usize {
+        self.superstep
+    }
+
+    /// The vertex's out-edges as `(neighbour, weight)` pairs.
+    pub fn out_edges(&self) -> &[(VertexId, f64)] {
+        self.out_edges
+    }
+
+    /// Sends a message to any vertex (usually a neighbour).
+    pub fn send(&mut self, to: VertexId, message: M) {
+        self.outbox.push((to, message));
+    }
+
+    /// Votes to halt; the vertex is reactivated by incoming messages.
+    pub fn vote_to_halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// The Pregel-like engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PregelEngine {
+    /// Number of worker threads.
+    pub num_workers: usize,
+    /// Safety bound on supersteps.
+    pub max_supersteps: usize,
+    /// Whether the program's combiner (if any) is applied before shipping.
+    pub use_combiner: bool,
+}
+
+impl PregelEngine {
+    /// Creates an engine with `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        Self {
+            num_workers: num_workers.max(1),
+            max_supersteps: 100_000,
+            use_combiner: true,
+        }
+    }
+
+    fn worker_of(&self, v: VertexId) -> usize {
+        (v.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.num_workers as u64) as usize
+    }
+
+    /// Runs the program to quiescence and returns the final vertex states
+    /// plus run statistics.
+    pub fn run<P: VertexProgram>(
+        &self,
+        program: &P,
+        query: &P::Query,
+        graph: &CsrGraph<(), f64>,
+    ) -> (HashMap<VertexId, P::State>, BaselineStats) {
+        let started = Instant::now();
+        // Per-worker vertex lists and adjacency snapshots.
+        let mut vertices_of: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_workers];
+        for v in graph.vertices() {
+            vertices_of[self.worker_of(v)].push(v);
+        }
+        let adjacency: HashMap<VertexId, Vec<(VertexId, f64)>> = graph
+            .vertices()
+            .map(|v| (v, graph.out_edges(v).map(|(d, w)| (d, *w)).collect()))
+            .collect();
+
+        // Global state / activity tables (indexed by vertex).
+        let mut states: HashMap<VertexId, P::State> = graph
+            .vertices()
+            .map(|v| (v, program.init(query, v)))
+            .collect();
+        let mut active: HashMap<VertexId, bool> = graph
+            .vertices()
+            .map(|v| (v, program.initially_active(query, v)))
+            .collect();
+        let mut inboxes: HashMap<VertexId, Vec<P::Message>> = HashMap::new();
+
+        let mut stats = BaselineStats {
+            engine: format!("pregel/{}", program.name()),
+            num_workers: self.num_workers,
+            ..Default::default()
+        };
+
+        for superstep in 0..self.max_supersteps {
+            let any_active = active.values().any(|a| *a) || !inboxes.is_empty();
+            if !any_active {
+                break;
+            }
+            stats.supersteps = superstep + 1;
+
+            // Move state/inbox entries into per-worker shards so worker
+            // threads can mutate them independently.
+            let mut shard_states: Vec<HashMap<VertexId, P::State>> =
+                vec![HashMap::new(); self.num_workers];
+            let mut shard_inbox: Vec<HashMap<VertexId, Vec<P::Message>>> =
+                vec![HashMap::new(); self.num_workers];
+            let mut shard_active: Vec<HashMap<VertexId, bool>> =
+                vec![HashMap::new(); self.num_workers];
+            for (v, s) in states.drain() {
+                shard_states[self.worker_of(v)].insert(v, s);
+            }
+            for (v, m) in inboxes.drain() {
+                shard_inbox[self.worker_of(v)].insert(v, m);
+            }
+            for (v, a) in active.drain() {
+                shard_active[self.worker_of(v)].insert(v, a);
+            }
+
+            // Each worker computes its vertices and returns its outbox.
+            let results: Vec<(
+                HashMap<VertexId, P::State>,
+                HashMap<VertexId, bool>,
+                Vec<(VertexId, P::Message)>,
+            )> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for ((mut w_states, w_inbox), (mut w_active, w_vertices)) in shard_states
+                    .into_iter()
+                    .zip(shard_inbox.into_iter())
+                    .zip(shard_active.into_iter().zip(vertices_of.iter()))
+                {
+                    let adjacency = &adjacency;
+                    handles.push(scope.spawn(move || {
+                        let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
+                        for &v in w_vertices {
+                            let messages = w_inbox.get(&v).map(|m| m.as_slice()).unwrap_or(&[]);
+                            let is_active =
+                                w_active.get(&v).copied().unwrap_or(false) || !messages.is_empty();
+                            if !is_active {
+                                continue;
+                            }
+                            let state = w_states.get_mut(&v).expect("state exists");
+                            let empty: Vec<(VertexId, f64)> = Vec::new();
+                            let out_edges = adjacency.get(&v).unwrap_or(&empty);
+                            let mut ctx = VertexContext {
+                                superstep,
+                                out_edges,
+                                outbox: &mut outbox,
+                                halt: false,
+                            };
+                            program.compute(query, v, state, messages, &mut ctx);
+                            w_active.insert(v, !ctx.halt);
+                        }
+                        (w_states, w_active, outbox)
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            });
+
+            // Merge shards back and route messages.
+            let mut combined: HashMap<(usize, VertexId), P::Message> = HashMap::new();
+            let mut routed: HashMap<VertexId, Vec<P::Message>> = HashMap::new();
+            for (worker, (w_states, w_active, outbox)) in results.into_iter().enumerate() {
+                states.extend(w_states);
+                active.extend(w_active);
+                for (dst, msg) in outbox {
+                    let dst_worker = self.worker_of(dst);
+                    if self.use_combiner {
+                        // Combine per (source worker, destination vertex), as
+                        // Giraph combiners do, before the message leaves the
+                        // worker.
+                        match combined.remove(&(worker, dst)) {
+                            None => {
+                                combined.insert((worker, dst), msg);
+                            }
+                            Some(existing) => match program.combine(&existing, &msg) {
+                                Some(folded) => {
+                                    combined.insert((worker, dst), folded);
+                                }
+                                None => {
+                                    // No combiner: ship the existing one now.
+                                    if dst_worker != worker {
+                                        stats.messages += 1;
+                                        stats.bytes += existing.size_bytes() as u64 + 8;
+                                    }
+                                    routed.entry(dst).or_default().push(existing);
+                                    combined.insert((worker, dst), msg);
+                                }
+                            },
+                        }
+                    } else {
+                        if dst_worker != worker {
+                            stats.messages += 1;
+                            stats.bytes += msg.size_bytes() as u64 + 8;
+                        }
+                        routed.entry(dst).or_default().push(msg);
+                    }
+                }
+            }
+            for ((worker, dst), msg) in combined {
+                if self.worker_of(dst) != worker {
+                    stats.messages += 1;
+                    stats.bytes += msg.size_bytes() as u64 + 8;
+                }
+                routed.entry(dst).or_default().push(msg);
+            }
+            inboxes = routed;
+        }
+
+        stats.wall_time = started.elapsed();
+        (states, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{PregelCc, PregelSssp};
+    use grape_graph::generators::barabasi_albert;
+    use grape_graph::GraphBuilder;
+
+    #[test]
+    fn sssp_on_a_chain_takes_one_superstep_per_hop() {
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..20u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let engine = PregelEngine::new(4);
+        let (states, stats) = engine.run(&PregelSssp, &0, &g);
+        for v in 0..=20u64 {
+            assert_eq!(states[&v], v as f64);
+        }
+        assert!(
+            stats.supersteps >= 20,
+            "vertex-centric SSSP needs O(diameter) supersteps, got {}",
+            stats.supersteps
+        );
+        assert!(stats.messages > 0);
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra_on_random_graph() {
+        let g = barabasi_albert(300, 3, 3).unwrap();
+        let reference = grape_algo::sssp::sequential_sssp(&g, 0);
+        let engine = PregelEngine::new(6);
+        let (states, _) = engine.run(&PregelSssp, &0, &g);
+        for (v, d) in &reference {
+            assert!((states[v] - d).abs() < 1e-9, "vertex {v}");
+        }
+        for (v, d) in &states {
+            if d.is_finite() {
+                assert!(reference.contains_key(v), "vertex {v} wrongly reached");
+            }
+        }
+    }
+
+    #[test]
+    fn cc_matches_reference() {
+        let g = barabasi_albert(200, 2, 8).unwrap();
+        let reference = grape_algo::cc::sequential_cc(&g);
+        let engine = PregelEngine::new(4);
+        let (states, _) = engine.run(&PregelCc, &(), &g);
+        for v in g.vertices() {
+            assert_eq!(states[&v], reference[&v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_messages() {
+        let g = barabasi_albert(400, 4, 5).unwrap();
+        let with = PregelEngine {
+            use_combiner: true,
+            ..PregelEngine::new(4)
+        };
+        let without = PregelEngine {
+            use_combiner: false,
+            ..PregelEngine::new(4)
+        };
+        let (_, s_with) = with.run(&PregelSssp, &0, &g);
+        let (_, s_without) = without.run(&PregelSssp, &0, &g);
+        assert!(
+            s_with.messages <= s_without.messages,
+            "combining can only reduce traffic: {} vs {}",
+            s_with.messages,
+            s_without.messages
+        );
+    }
+
+    #[test]
+    fn empty_graph_terminates_immediately() {
+        let g = CsrGraph::<(), f64>::from_records(vec![], vec![], true).unwrap();
+        let engine = PregelEngine::new(2);
+        let (states, stats) = engine.run(&PregelSssp, &0, &g);
+        assert!(states.is_empty());
+        assert!(stats.supersteps <= 1);
+    }
+}

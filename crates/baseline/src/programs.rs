@@ -1,0 +1,418 @@
+//! Vertex-centric, GAS and block-centric programs used by the comparison
+//! benches: SSSP (the Table 1 workload), connected components and PageRank.
+
+use crate::blogel::BlockProgram;
+use crate::gas::GasProgram;
+use crate::pregel::{VertexContext, VertexProgram};
+use grape_graph::VertexId;
+use grape_partition::Fragment;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Pregel programs
+// ---------------------------------------------------------------------------
+
+/// Pregel SSSP: the textbook "think like a vertex" formulation — a vertex
+/// keeps its best known distance, relaxes it with incoming messages and sends
+/// `distance + weight` along its out-edges whenever it improves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PregelSssp;
+
+impl VertexProgram for PregelSssp {
+    type Query = VertexId;
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, query: &VertexId, vertex: VertexId) -> f64 {
+        if vertex == *query {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn initially_active(&self, query: &VertexId, vertex: VertexId) -> bool {
+        vertex == *query
+    }
+
+    fn compute(
+        &self,
+        _query: &VertexId,
+        _vertex: VertexId,
+        state: &mut f64,
+        messages: &[f64],
+        ctx: &mut VertexContext<'_, f64>,
+    ) {
+        let best_incoming = messages.iter().copied().fold(f64::INFINITY, f64::min);
+        let improved = best_incoming < *state;
+        if improved {
+            *state = best_incoming;
+        }
+        if improved || ctx.superstep() == 0 {
+            if state.is_finite() {
+                let out: Vec<(VertexId, f64)> = ctx.out_edges().to_vec();
+                for (neighbour, weight) in out {
+                    ctx.send(neighbour, *state + weight);
+                }
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+        Some(a.min(*b))
+    }
+
+    fn name(&self) -> &str {
+        "sssp"
+    }
+}
+
+/// Pregel connected components by min-label flooding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PregelCc;
+
+impl VertexProgram for PregelCc {
+    type Query = ();
+    type State = VertexId;
+    type Message = VertexId;
+
+    fn init(&self, _query: &(), vertex: VertexId) -> VertexId {
+        vertex
+    }
+
+    fn compute(
+        &self,
+        _query: &(),
+        _vertex: VertexId,
+        state: &mut VertexId,
+        messages: &[VertexId],
+        ctx: &mut VertexContext<'_, VertexId>,
+    ) {
+        let best = messages.iter().copied().min().unwrap_or(VertexId::MAX);
+        let improved = best < *state;
+        if improved {
+            *state = best;
+        }
+        if improved || ctx.superstep() == 0 {
+            let out: Vec<(VertexId, f64)> = ctx.out_edges().to_vec();
+            for (neighbour, _) in out {
+                ctx.send(neighbour, *state);
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: &VertexId, b: &VertexId) -> Option<VertexId> {
+        Some(*a.min(b))
+    }
+
+    fn name(&self) -> &str {
+        "cc"
+    }
+}
+
+/// Pregel PageRank with a fixed number of iterations (the standard Pregel
+/// example program).
+#[derive(Debug, Clone, Copy)]
+pub struct PregelPageRank {
+    /// Damping factor.
+    pub damping: f64,
+    /// Number of iterations to run.
+    pub iterations: usize,
+    /// Number of vertices of the graph (for the teleport term).
+    pub num_vertices: usize,
+}
+
+impl VertexProgram for PregelPageRank {
+    type Query = ();
+    type State = f64;
+    type Message = f64;
+
+    fn init(&self, _query: &(), _vertex: VertexId) -> f64 {
+        1.0 / self.num_vertices.max(1) as f64
+    }
+
+    fn compute(
+        &self,
+        _query: &(),
+        _vertex: VertexId,
+        state: &mut f64,
+        messages: &[f64],
+        ctx: &mut VertexContext<'_, f64>,
+    ) {
+        if ctx.superstep() > 0 {
+            let sum: f64 = messages.iter().sum();
+            *state = (1.0 - self.damping) / self.num_vertices.max(1) as f64 + self.damping * sum;
+        }
+        if ctx.superstep() < self.iterations {
+            let out: Vec<(VertexId, f64)> = ctx.out_edges().to_vec();
+            if !out.is_empty() {
+                let share = *state / out.len() as f64;
+                for (neighbour, _) in out {
+                    ctx.send(neighbour, share);
+                }
+            }
+        }
+        ctx.vote_to_halt();
+    }
+
+    fn combine(&self, a: &f64, b: &f64) -> Option<f64> {
+        Some(a + b)
+    }
+
+    fn name(&self) -> &str {
+        "pagerank"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GAS programs
+// ---------------------------------------------------------------------------
+
+/// GAS SSSP: gather the minimum of `dist(src) + weight` over in-edges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GasSssp;
+
+impl GasProgram for GasSssp {
+    type Query = VertexId;
+    type State = f64;
+    type Gather = f64;
+
+    fn init(&self, query: &VertexId, vertex: VertexId) -> f64 {
+        if vertex == *query {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn gather(&self, _query: &VertexId, src_state: &f64, weight: f64) -> f64 {
+        src_state + weight
+    }
+
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+
+    fn apply(&self, _query: &VertexId, _vertex: VertexId, state: &f64, gathered: Option<f64>) -> f64 {
+        match gathered {
+            Some(g) => state.min(g),
+            None => *state,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sssp"
+    }
+}
+
+/// GAS PageRank with tolerance-based convergence.
+///
+/// The program expects the graph to be *pre-normalized* with
+/// [`normalize_for_pagerank`]: each edge `u → v` carries weight
+/// `1 / outdeg(u)`, so the gather of an in-edge is exactly the rank share the
+/// source pushes along it — the way GraphLab's PageRank toolkit stores the
+/// transition matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct GasPageRank {
+    /// Damping factor.
+    pub damping: f64,
+    /// Convergence tolerance: a vertex stops changing when its rank moves by
+    /// less than this.
+    pub tolerance: f64,
+    /// Number of vertices of the graph.
+    pub num_vertices: usize,
+}
+
+/// Rewrites every edge weight to `1 / outdeg(src)`, the transition
+/// probability [`GasPageRank`] gathers over.
+pub fn normalize_for_pagerank(
+    graph: &grape_graph::CsrGraph<(), f64>,
+) -> grape_graph::CsrGraph<(), f64> {
+    let vertices: Vec<(VertexId, ())> = graph.vertices().map(|v| (v, ())).collect();
+    let edges: Vec<grape_graph::types::EdgeRecord<f64>> = graph
+        .edges()
+        .map(|(s, d, _)| {
+            grape_graph::types::EdgeRecord::new(s, d, 1.0 / graph.out_degree(s).max(1) as f64)
+        })
+        .collect();
+    grape_graph::CsrGraph::from_records(vertices, edges, true).expect("same vertex set")
+}
+
+impl GasProgram for GasPageRank {
+    type Query = ();
+    type State = f64;
+    type Gather = f64;
+
+    fn init(&self, _query: &(), _vertex: VertexId) -> f64 {
+        1.0 / self.num_vertices.max(1) as f64
+    }
+
+    fn gather(&self, _query: &(), src_state: &f64, weight: f64) -> f64 {
+        // weight = 1 / outdeg(src), so this is the source's rank share.
+        src_state * weight
+    }
+
+    fn merge(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn apply(&self, _query: &(), _vertex: VertexId, state: &f64, gathered: Option<f64>) -> f64 {
+        let sum = gathered.unwrap_or(0.0);
+        let next = (1.0 - self.damping) / self.num_vertices.max(1) as f64 + self.damping * sum;
+        if (next - state).abs() < self.tolerance {
+            *state
+        } else {
+            next
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pagerank"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blogel programs
+// ---------------------------------------------------------------------------
+
+/// Block-centric SSSP: each superstep runs Bellman–Ford over the whole block
+/// seeded by the incoming border distances, then ships improved border
+/// distances to neighbouring blocks. Unlike GRAPE's IncEval this recomputes
+/// within the block from scratch every superstep — the cost difference the
+/// paper attributes to bounded incremental evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockSssp;
+
+impl BlockProgram for BlockSssp {
+    type Query = VertexId;
+    type State = f64;
+    type Message = f64;
+
+    fn init_block(
+        &self,
+        query: &VertexId,
+        block: &Fragment<(), f64>,
+    ) -> HashMap<VertexId, f64> {
+        block
+            .graph
+            .vertices()
+            .map(|v| (v, if v == *query { 0.0 } else { f64::INFINITY }))
+            .collect()
+    }
+
+    fn block_compute(
+        &self,
+        _query: &VertexId,
+        block: &Fragment<(), f64>,
+        states: &mut HashMap<VertexId, f64>,
+        inbox: &[(VertexId, f64)],
+        _superstep: usize,
+        outbox: &mut Vec<(VertexId, f64)>,
+    ) -> bool {
+        // Fold in the messages.
+        let mut improved_any = false;
+        for (v, d) in inbox {
+            if let Some(current) = states.get_mut(v) {
+                if d < current {
+                    *current = *d;
+                    improved_any = true;
+                }
+            }
+        }
+        let before: HashMap<VertexId, f64> = states.clone();
+        // Full Bellman–Ford over the block (not incremental, by design).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (s, d, w) in block.graph.edges() {
+                let ds = states.get(&s).copied().unwrap_or(f64::INFINITY);
+                if !ds.is_finite() {
+                    continue;
+                }
+                let candidate = ds + w;
+                let dd = states.get_mut(&d).expect("vertex exists");
+                if candidate < *dd {
+                    *dd = candidate;
+                    changed = true;
+                    improved_any = true;
+                }
+            }
+        }
+        // Ship improved distances of vertices owned by other blocks.
+        for (&v, &d) in states.iter() {
+            if !block.is_inner(v) && d < before.get(&v).copied().unwrap_or(f64::INFINITY) {
+                outbox.push((v, d));
+            }
+        }
+        // Also ship improvements of our own border vertices to blocks that
+        // mirror them.
+        for &v in block.inner_vertices() {
+            if block.mirrors_of(v).is_empty() {
+                continue;
+            }
+            let d = states[&v];
+            if d < before.get(&v).copied().unwrap_or(f64::INFINITY) {
+                outbox.push((v, d));
+            }
+        }
+        improved_any
+    }
+
+    fn name(&self) -> &str {
+        "sssp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::GasEngine;
+    use crate::pregel::PregelEngine;
+    use grape_graph::generators::barabasi_albert;
+
+    #[test]
+    fn pregel_pagerank_ranks_hub_highest() {
+        let g = barabasi_albert(200, 3, 12).unwrap();
+        let engine = PregelEngine::new(4);
+        let program = PregelPageRank {
+            damping: 0.85,
+            iterations: 20,
+            num_vertices: g.num_vertices(),
+        };
+        let (states, stats) = engine.run(&program, &(), &g);
+        let hub = g
+            .vertices()
+            .max_by_key(|v| g.in_degree(*v) + g.out_degree(*v))
+            .unwrap();
+        let avg = 1.0 / g.num_vertices() as f64;
+        assert!(states[&hub] > avg, "hub should beat the average rank");
+        // Messages are emitted in supersteps 0..iterations and absorbed one
+        // superstep later, so the run spans iterations + 1 supersteps.
+        assert_eq!(stats.supersteps, program.iterations + 1);
+    }
+
+    #[test]
+    fn pregel_and_gas_sssp_agree() {
+        let g = barabasi_albert(200, 3, 14).unwrap();
+        let (pregel_states, _) = PregelEngine::new(4).run(&PregelSssp, &0, &g);
+        let (gas_states, _) = GasEngine::new(4).run(&GasSssp, &0, &g);
+        for v in g.vertices() {
+            let a = pregel_states[&v];
+            let b = gas_states[&v];
+            assert!(
+                (a == b) || (a - b).abs() < 1e-9,
+                "vertex {v}: pregel {a} vs gas {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn program_names() {
+        assert_eq!(VertexProgram::name(&PregelSssp), "sssp");
+        assert_eq!(VertexProgram::name(&PregelCc), "cc");
+        assert_eq!(GasProgram::name(&GasSssp), "sssp");
+        assert_eq!(BlockProgram::name(&BlockSssp), "sssp");
+    }
+}

@@ -1,0 +1,61 @@
+//! Statistics shared by all baseline engines.
+
+use std::time::Duration;
+
+/// Run statistics of a baseline engine, mirroring the fields the paper
+/// reports for Giraph / GraphLab / Blogel in Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineStats {
+    /// Engine name (`pregel`, `gas`, `blogel`).
+    pub engine: String,
+    /// Number of workers.
+    pub num_workers: usize,
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Messages crossing worker boundaries.
+    pub messages: u64,
+    /// Bytes crossing worker boundaries.
+    pub bytes: u64,
+    /// Wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl BaselineStats {
+    /// Communication volume in megabytes (10^6 bytes).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / 1_000_000.0
+    }
+
+    /// One-line summary used in benchmark tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} workers, {} supersteps, {:.3}s, {} msgs, {:.3} MB",
+            self.engine,
+            self.num_workers,
+            self.supersteps,
+            self.wall_time.as_secs_f64(),
+            self.messages,
+            self.megabytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_and_megabytes() {
+        let s = BaselineStats {
+            engine: "pregel".into(),
+            num_workers: 4,
+            supersteps: 30,
+            messages: 1_000,
+            bytes: 3_000_000,
+            wall_time: Duration::from_secs(2),
+        };
+        assert!((s.megabytes() - 3.0).abs() < 1e-9);
+        assert!(s.summary().contains("pregel"));
+        assert!(s.summary().contains("30 supersteps"));
+    }
+}

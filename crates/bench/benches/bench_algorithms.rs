@@ -1,0 +1,140 @@
+//! Criterion bench over the registered query classes (the §3(3) library):
+//! GRAPE wall time of each PIE program on its natural workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grape_algo::{
+    CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, MarketingProgram,
+    MarketingQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
+};
+use grape_bench::{labeled_network, social_network, table1_road_network};
+use grape_core::GrapeEngine;
+use grape_graph::generators::bipartite_ratings;
+use grape_graph::labels::PatternGraph;
+use grape_partition::BuiltinStrategy;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let workers = 4;
+    let road = table1_road_network(40);
+    let social = social_network(2_000);
+    let labeled = labeled_network(350, 6);
+    let ratings = bipartite_ratings(400, 100, 15, 8, 3).unwrap();
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+
+    let road_assignment = BuiltinStrategy::MetisLike.partition(&road, workers);
+    let social_assignment = BuiltinStrategy::Fennel.partition(&social, workers);
+    let labeled_assignment = BuiltinStrategy::Fennel.partition(&labeled, workers);
+    let ratings_assignment = BuiltinStrategy::Hash.partition(&ratings.graph, workers);
+
+    let mut group = c.benchmark_group("query_classes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("sssp_road", |b| {
+        let engine = GrapeEngine::new(SsspProgram);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&SsspQuery::new(0), &road, &road_assignment)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("cc_social", |b| {
+        let engine = GrapeEngine::new(CcProgram);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&CcQuery, &social, &social_assignment)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("sim_labeled", |b| {
+        let engine = GrapeEngine::new(SimProgram);
+        let query = SimQuery::new(pattern.clone());
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&query, &labeled, &labeled_assignment)
+                    .unwrap()
+                    .output[0]
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("subiso_labeled", |b| {
+        let engine = GrapeEngine::new(SubIsoProgram);
+        let query = SubIsoQuery::new(pattern.clone()).with_max_matches(500);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&query, &labeled, &labeled_assignment)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("keyword_labeled", |b| {
+        let engine = GrapeEngine::new(KeywordProgram);
+        let query = KeywordQuery::new(["phone", "laptop"], f64::INFINITY);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&query, &labeled, &labeled_assignment)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("cf_ratings", |b| {
+        let engine = GrapeEngine::new(CfProgram::new(ratings.num_users));
+        let query = CfQuery {
+            epochs: 5,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&query, &ratings.graph, &ratings_assignment)
+                    .unwrap()
+                    .output
+                    .factors
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("gpar_marketing_labeled", |b| {
+        let engine = GrapeEngine::new(MarketingProgram);
+        let query = MarketingQuery::new(350);
+        b.iter(|| {
+            black_box(
+                engine
+                    .run_on_graph(&query, &labeled, &labeled_assignment)
+                    .unwrap()
+                    .output
+                    .len(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion bench comparing the engines on the two workload families the
+//! paper contrasts: high-diameter road networks (where GRAPE's fragment-level
+//! Dijkstra dominates) and low-diameter power-law social graphs (where the
+//! gap narrows) — plus GRAPE's scale-up across worker counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grape_algo::{SsspProgram, SsspQuery};
+use grape_baseline::{PregelEngine, PregelSssp};
+use grape_bench::{social_network, table1_road_network};
+use grape_core::GrapeEngine;
+use grape_partition::BuiltinStrategy;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let workers = 4;
+    let road = table1_road_network(40);
+    let social = social_network(3_000);
+
+    let mut group = c.benchmark_group("grape_vs_pregel_by_workload");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, graph) in [("road40", &road), ("social3k", &social)] {
+        let assignment = BuiltinStrategy::MetisLike.partition(graph, workers);
+        group.bench_with_input(BenchmarkId::new("grape", name), graph, |b, graph| {
+            let engine = GrapeEngine::new(SsspProgram);
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run_on_graph(&SsspQuery::new(0), graph, &assignment)
+                        .unwrap()
+                        .stats
+                        .supersteps,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pregel", name), graph, |b, graph| {
+            let engine = PregelEngine::new(workers);
+            b.iter(|| black_box(engine.run(&PregelSssp, &0, graph).1.supersteps))
+        });
+    }
+    group.finish();
+
+    let mut scale_group = c.benchmark_group("grape_scaleup_road40");
+    scale_group.sample_size(10);
+    scale_group.measurement_time(std::time::Duration::from_secs(2));
+    scale_group.warm_up_time(std::time::Duration::from_millis(500));
+    for workers in [1usize, 2, 4, 8] {
+        let assignment = BuiltinStrategy::MetisLike.partition(&road, workers);
+        scale_group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &assignment,
+            |b, assignment| {
+                let engine = GrapeEngine::new(SsspProgram);
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_on_graph(&SsspQuery::new(0), &road, assignment)
+                            .unwrap()
+                            .output
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    scale_group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for the §2.2 bounded-IncEval claim: incremental SSSP cost
+//! as the fragment grows (should stay flat) and as the change grows (should
+//! grow), compared against recomputation from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grape_algo::sssp::{incremental_sssp, sequential_sssp};
+use grape_graph::generators::{road_network, RoadNetworkConfig};
+use std::hint::black_box;
+
+fn grid(side: usize) -> grape_graph::CsrGraph<(), f64> {
+    road_network(
+        RoadNetworkConfig {
+            width: side,
+            height: side,
+            removal_prob: 0.0,
+            shortcut_prob: 0.0,
+            ..Default::default()
+        },
+        7,
+    )
+    .unwrap()
+}
+
+fn bench_inceval(c: &mut Criterion) {
+    // Sweep 1: fixed small change, growing fragment.
+    let mut group = c.benchmark_group("inceval_fixed_change_growing_fragment");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for side in [32usize, 64, 96] {
+        let graph = grid(side);
+        let base = sequential_sssp(&graph, 0);
+        let far = (side * side - 2) as u64;
+        let seed = base.get(&far).copied().unwrap_or(100.0) * 0.999;
+        group.bench_with_input(BenchmarkId::new("inceval", side), &side, |b, _| {
+            b.iter(|| {
+                let mut dist = base.clone();
+                black_box(incremental_sssp(&graph, &mut dist, &[(far, seed)]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("recompute", side), &side, |b, _| {
+            b.iter(|| black_box(sequential_sssp(&graph, 0)).len())
+        });
+    }
+    group.finish();
+
+    // Sweep 2: fixed fragment, growing change.
+    let graph = grid(96);
+    let base = sequential_sssp(&graph, 0);
+    let mut group = c.benchmark_group("inceval_growing_change_fixed_fragment");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for seeds in [1usize, 16, 256] {
+        let m: Vec<(u64, f64)> = (0..seeds as u64)
+            .map(|i| {
+                let v = (i * 97) % graph.num_vertices() as u64;
+                (v, base.get(&v).copied().unwrap_or(500.0) * 0.5)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(seeds), &m, |b, m| {
+            b.iter(|| {
+                let mut dist = base.clone();
+                black_box(incremental_sssp(&graph, &mut dist, m))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inceval);
+criterion_main!(benches);

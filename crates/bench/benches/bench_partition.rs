@@ -1,0 +1,61 @@
+//! Criterion bench for the §3(3) partition-strategy experiment: GRAPE SSSP
+//! wall time per partition strategy, plus the cost of computing the
+//! partitions themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grape_algo::{SsspProgram, SsspQuery};
+use grape_bench::social_network;
+use grape_core::GrapeEngine;
+use grape_partition::BuiltinStrategy;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let graph = social_network(5_000);
+    let workers = 8;
+    let strategies = [
+        BuiltinStrategy::MetisLike,
+        BuiltinStrategy::Ldg,
+        BuiltinStrategy::Fennel,
+        BuiltinStrategy::Hash,
+    ];
+
+    let mut partition_group = c.benchmark_group("partitioning_social5k");
+    partition_group.sample_size(10);
+    partition_group.measurement_time(std::time::Duration::from_secs(2));
+    partition_group.warm_up_time(std::time::Duration::from_millis(500));
+    for strategy in strategies {
+        partition_group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, strategy| {
+                b.iter(|| black_box(strategy.partition(&graph, workers)).num_assigned())
+            },
+        );
+    }
+    partition_group.finish();
+
+    let mut sssp_group = c.benchmark_group("sssp_by_partition_social5k");
+    sssp_group.sample_size(10);
+    sssp_group.measurement_time(std::time::Duration::from_secs(2));
+    sssp_group.warm_up_time(std::time::Duration::from_millis(500));
+    for strategy in strategies {
+        let assignment = strategy.partition(&graph, workers);
+        sssp_group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &assignment,
+            |b, assignment| {
+                let engine = GrapeEngine::new(SsspProgram);
+                b.iter(|| {
+                    let r = engine
+                        .run_on_graph(&SsspQuery::new(0), &graph, assignment)
+                        .unwrap();
+                    black_box(r.stats.messages)
+                })
+            },
+        );
+    }
+    sssp_group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

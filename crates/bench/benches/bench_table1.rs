@@ -1,0 +1,61 @@
+//! Criterion bench for the Table 1 experiment: SSSP wall time of GRAPE vs
+//! the Pregel-like, GAS and Blogel-like engines on a road-network workload.
+//! Run `cargo run --release -p grape-bench --bin table1_sssp` for the full
+//! table including communication volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grape_algo::{SsspProgram, SsspQuery};
+use grape_baseline::{BlockSssp, BlogelEngine, GasEngine, GasSssp, PregelEngine, PregelSssp};
+use grape_bench::{table1_assignment, table1_road_network};
+use grape_core::GrapeEngine;
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let workers = 4;
+    let graph = table1_road_network(48);
+    let assignment = table1_assignment(&graph, workers);
+
+    let mut group = c.benchmark_group("table1_sssp_road48");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    group.bench_function("grape", |b| {
+        let engine = GrapeEngine::new(SsspProgram);
+        b.iter(|| {
+            let r = engine
+                .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+                .unwrap();
+            black_box(r.output.len())
+        })
+    });
+
+    group.bench_function("blogel", |b| {
+        let engine = BlogelEngine::new();
+        b.iter(|| {
+            let (states, _) = engine.run(&BlockSssp, &0, &graph, &assignment);
+            black_box(states.len())
+        })
+    });
+
+    group.bench_function("gas_graphlab_like", |b| {
+        let engine = GasEngine::new(workers);
+        b.iter(|| {
+            let (states, _) = engine.run(&GasSssp, &0, &graph);
+            black_box(states.len())
+        })
+    });
+
+    group.bench_function("pregel_giraph_like", |b| {
+        let engine = PregelEngine::new(workers);
+        b.iter(|| {
+            let (states, _) = engine.run(&PregelSssp, &0, &graph);
+            black_box(states.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

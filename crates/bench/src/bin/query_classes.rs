@@ -1,0 +1,123 @@
+//! Reproduces the §3(3) "registered query classes" experiment: every PIE
+//! program in the library (SSSP, CC, Sim, SubIso, Keyword, CF, PageRank,
+//! GPAR marketing) run under GRAPE on its natural workload, reporting the
+//! per-class cost breakdown of the analytics panel.
+//!
+//! Usage: `cargo run --release -p grape-bench --bin query_classes [workers] [scale]`
+
+use grape_algo::{
+    CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, MarketingProgram,
+    MarketingQuery, PageRankProgram, PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery,
+    SubIsoProgram, SubIsoQuery,
+};
+use grape_bench::{labeled_network, social_network, table1_road_network};
+use grape_core::{GrapeEngine, RunStats};
+use grape_graph::generators::bipartite_ratings;
+use grape_graph::labels::PatternGraph;
+use grape_partition::BuiltinStrategy;
+
+fn row(name: &str, stats: &RunStats) {
+    println!(
+        "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>12} {:>12} {:>12.4}",
+        name,
+        stats.wall_time.as_secs_f64(),
+        stats.peval_seconds,
+        stats.inceval_seconds,
+        stats.supersteps,
+        stats.messages,
+        stats.megabytes()
+    );
+}
+
+fn main() {
+    let workers = grape_bench::workers_from_args(8);
+    let scale = grape_bench::scale_from_args(1);
+    let road = table1_road_network(72 * scale);
+    let social = social_network(10_000 * scale);
+    // The labeled workload is intentionally smaller: SubIso's border
+    // neighbourhood exchange is the most expensive PIE program in the
+    // library (see DESIGN.md), and the demo runs it on pattern-sized
+    // neighbourhoods rather than the full Weibo graph.
+    let labeled = labeled_network(600 * scale, 8);
+    let ratings = bipartite_ratings(1_500 * scale, 300, 20, 8, 7).expect("valid config");
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "class", "total(s)", "peval(s)", "inceval(s)", "supersteps", "messages", "comm(MB)"
+    );
+
+    let road_assignment = BuiltinStrategy::MetisLike.partition(&road, workers);
+    let sssp = GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(0), &road, &road_assignment)
+        .expect("sssp");
+    row("SSSP", &sssp.stats);
+
+    let social_assignment = BuiltinStrategy::Fennel.partition(&social, workers);
+    let cc = GrapeEngine::new(CcProgram)
+        .run_on_graph(&CcQuery, &social, &social_assignment)
+        .expect("cc");
+    row("CC", &cc.stats);
+
+    let pr = GrapeEngine::new(PageRankProgram::new(social.num_vertices()))
+        .run_on_graph(
+            &PageRankQuery {
+                max_local_iterations: 20,
+                tolerance: 1e-4,
+                ..Default::default()
+            },
+            &social,
+            &social_assignment,
+        )
+        .expect("pagerank");
+    row("PageRank", &pr.stats);
+
+    let labeled_assignment = BuiltinStrategy::Fennel.partition(&labeled, workers);
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+
+    let sim = GrapeEngine::new(SimProgram)
+        .run_on_graph(&SimQuery::new(pattern.clone()), &labeled, &labeled_assignment)
+        .expect("sim");
+    row("Sim", &sim.stats);
+
+    let subiso = GrapeEngine::new(SubIsoProgram)
+        .run_on_graph(
+            &SubIsoQuery::new(pattern).with_max_matches(2_000),
+            &labeled,
+            &labeled_assignment,
+        )
+        .expect("subiso");
+    row("SubIso", &subiso.stats);
+
+    let keyword = GrapeEngine::new(KeywordProgram)
+        .run_on_graph(
+            &KeywordQuery::new(["phone", "laptop"], f64::INFINITY),
+            &labeled,
+            &labeled_assignment,
+        )
+        .expect("keyword");
+    row("Keyword", &keyword.stats);
+
+    let cf_assignment = BuiltinStrategy::Hash.partition(&ratings.graph, workers);
+    let cf = GrapeEngine::new(CfProgram::new(ratings.num_users))
+        .run_on_graph(
+            &CfQuery {
+                epochs: 8,
+                ..Default::default()
+            },
+            &ratings.graph,
+            &cf_assignment,
+        )
+        .expect("cf");
+    row("CF", &cf.stats);
+
+    let marketing = GrapeEngine::new(MarketingProgram)
+        .run_on_graph(
+            &MarketingQuery::new(600 * scale as u64),
+            &labeled,
+            &labeled_assignment,
+        )
+        .expect("marketing");
+    row("GPAR-marketing", &marketing.stats);
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Table 1**: graph traversal (SSSP) on parallel systems —
+//! Giraph-like, GraphLab-like, Blogel-like and GRAPE — over a road-network
+//! workload, reporting wall time and communication volume.
+//!
+//! Usage: `cargo run --release -p grape-bench --bin table1_sssp [workers] [grid_side]`
+
+use grape_bench::{print_engine_table, run_table1, table1_road_network, DEFAULT_WORKERS};
+
+fn main() {
+    let workers = grape_bench::workers_from_args(DEFAULT_WORKERS);
+    let side = grape_bench::scale_from_args(160);
+    let graph = table1_road_network(side);
+    println!(
+        "workload: {}x{} road-network grid, {} vertices, {} edges, {} workers",
+        side,
+        side,
+        graph.num_vertices(),
+        graph.num_edges(),
+        workers
+    );
+    let rows = run_table1(&graph, 0, workers);
+    print_engine_table("Table 1: SSSP on a road network", &rows);
+    let pregel = &rows[0];
+    let grape = &rows[3];
+    println!(
+        "\nshape check: GRAPE vs vertex-centric — {:.1}x faster, {:.0}x fewer supersteps, {:.0}x less communication",
+        pregel.seconds / grape.seconds.max(1e-9),
+        pregel.supersteps as f64 / grape.supersteps.max(1) as f64,
+        pregel.comm_mb / grape.comm_mb.max(1e-9)
+    );
+}

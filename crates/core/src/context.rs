@@ -1,0 +1,152 @@
+//! The per-worker context PIE programs write update parameters into.
+
+use grape_graph::VertexId;
+use std::collections::{HashMap, HashSet};
+
+/// The update-parameter table of one fragment.
+///
+/// PEval *declares* update parameters by calling [`PieContext::update`] for
+/// border vertices; IncEval calls the same method whenever a border value
+/// improves. The engine harvests the vertices whose value actually changed
+/// ([`PieContext::take_dirty`]) after each call and turns them into messages;
+/// values persist across supersteps so programs can consult the current value
+/// with [`PieContext::get`].
+#[derive(Debug, Clone)]
+pub struct PieContext<V> {
+    values: HashMap<VertexId, V>,
+    dirty: HashSet<VertexId>,
+    /// Cumulative number of `update` calls that changed a value (used by the
+    /// boundedness experiment to measure |ΔO| on the border).
+    changed_updates: u64,
+}
+
+impl<V: Clone + PartialEq> Default for PieContext<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + PartialEq> PieContext<V> {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self {
+            values: HashMap::new(),
+            dirty: HashSet::new(),
+            changed_updates: 0,
+        }
+    }
+
+    /// Sets the update parameter of `vertex` to `value`. The vertex is marked
+    /// dirty (and the value shipped at the end of the superstep) only if the
+    /// value differs from the stored one.
+    pub fn update(&mut self, vertex: VertexId, value: V) {
+        match self.values.get(&vertex) {
+            Some(existing) if *existing == value => {}
+            _ => {
+                self.values.insert(vertex, value);
+                self.dirty.insert(vertex);
+                self.changed_updates += 1;
+            }
+        }
+    }
+
+    /// Current value of the update parameter of `vertex`, if declared.
+    pub fn get(&self, vertex: VertexId) -> Option<&V> {
+        self.values.get(&vertex)
+    }
+
+    /// Number of declared update parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no update parameter has been declared yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of `update` calls that actually changed a value so far.
+    pub fn changed_updates(&self) -> u64 {
+        self.changed_updates
+    }
+
+    /// Drains the set of vertices whose value changed since the last call and
+    /// returns them with their current values. Called by the engine after
+    /// each PEval / IncEval invocation.
+    pub fn take_dirty(&mut self) -> Vec<(VertexId, V)> {
+        let mut out: Vec<(VertexId, V)> = self
+            .dirty
+            .drain()
+            .map(|v| (v, self.values.get(&v).cloned().expect("dirty implies present")))
+            .collect();
+        out.sort_unstable_by_key(|(v, _)| *v);
+        out
+    }
+
+    /// Records an externally received value (from the coordinator) without
+    /// marking it dirty, so the worker will not echo it back unchanged.
+    pub fn absorb(&mut self, vertex: VertexId, value: V) {
+        self.values.insert(vertex, value);
+        self.dirty.remove(&vertex);
+    }
+
+    /// Iterates over all `(vertex, value)` pairs currently stored.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &V)> + '_ {
+        self.values.iter().map(|(v, val)| (*v, val))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_marks_dirty_only_on_change() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.update(1, 10);
+        ctx.update(2, 20);
+        ctx.update(1, 10); // no change
+        assert_eq!(ctx.changed_updates(), 2);
+        let dirty = ctx.take_dirty();
+        assert_eq!(dirty, vec![(1, 10), (2, 20)]);
+        assert!(ctx.take_dirty().is_empty(), "drained");
+        ctx.update(1, 5);
+        assert_eq!(ctx.take_dirty(), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn get_and_len() {
+        let mut ctx = PieContext::<f64>::new();
+        assert!(ctx.is_empty());
+        ctx.update(7, 1.5);
+        assert_eq!(ctx.get(7), Some(&1.5));
+        assert_eq!(ctx.get(8), None);
+        assert_eq!(ctx.len(), 1);
+        assert!(!ctx.is_empty());
+    }
+
+    #[test]
+    fn absorb_does_not_echo() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.absorb(3, 30);
+        assert!(ctx.take_dirty().is_empty());
+        assert_eq!(ctx.get(3), Some(&30));
+        // A later genuine improvement is still reported.
+        ctx.update(3, 10);
+        assert_eq!(ctx.take_dirty(), vec![(3, 10)]);
+        // Absorbing over a dirty value clears the dirty flag.
+        ctx.update(3, 5);
+        ctx.absorb(3, 1);
+        assert!(ctx.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.update(1, 1);
+        ctx.absorb(2, 2);
+        let mut all: Vec<(VertexId, u64)> = ctx.iter().map(|(v, x)| (v, *x)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![(1, 1), (2, 2)]);
+    }
+}

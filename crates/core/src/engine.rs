@@ -1,0 +1,719 @@
+//! The BSP fixpoint engine (coordinator + workers).
+//!
+//! [`GrapeEngine::run`] implements the workflow of Fig. 1 / Section 2.2:
+//!
+//! 1. **PEval superstep** — every worker runs PEval on its fragment in
+//!    parallel and reports its changed update parameters to the coordinator.
+//! 2. **IncEval supersteps** — the coordinator aggregates the changed values
+//!    per border vertex (using the program's aggregate function), routes the
+//!    results to every fragment that has the vertex on its border, and those
+//!    workers run IncEval; they again report changed values.
+//! 3. **Termination** — when a superstep produces no changed update
+//!    parameters (every worker is inactive), the coordinator collects the
+//!    partial results and Assemble combines them into `Q(G)`.
+//!
+//! Workers are OS threads; "network" traffic flows through
+//! [`grape_comm::CommNetwork`] so every message and byte is accounted in the
+//! run statistics, mirroring the communication columns of the paper's
+//! tables.
+
+use crate::context::PieContext;
+use crate::message::{CoordCommand, WorkerReport};
+use crate::program::PieProgram;
+use crate::stats::{RunStats, SuperstepTrace};
+use grape_comm::{CommNetwork, CommStats, COORDINATOR};
+use grape_graph::{CsrGraph, VertexId};
+use grape_partition::{build_fragments, Fragment, PartitionAssignment};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Hard limit on supersteps; exceeded only by non-terminating (e.g.
+    /// non-monotonic) programs.
+    pub max_supersteps: usize,
+    /// When set, every aggregated update-parameter transition is checked
+    /// against [`PieProgram::monotonic`] and violations are counted in
+    /// [`RunStats::monotonicity_violations`].
+    pub check_monotonicity: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_supersteps: 100_000,
+            check_monotonicity: false,
+        }
+    }
+}
+
+/// Errors produced by [`GrapeEngine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The fragment list was empty.
+    NoFragments,
+    /// The superstep limit was reached before the fixpoint.
+    SuperstepLimit(usize),
+    /// A worker thread panicked (the payload carries the panic message).
+    WorkerPanic(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::NoFragments => write!(f, "no fragments to run on"),
+            RunError::SuperstepLimit(n) => {
+                write!(f, "no fixpoint after {n} supersteps (non-monotonic program?)")
+            }
+            RunError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The answer of a run plus its statistics.
+#[derive(Debug)]
+pub struct GrapeResult<O> {
+    /// `Q(G)` as produced by Assemble.
+    pub output: O,
+    /// Timing / communication statistics.
+    pub stats: RunStats,
+}
+
+/// The parallel query engine: wraps a [`PieProgram`] and executes it over
+/// fragmented graphs.
+#[derive(Debug, Clone)]
+pub struct GrapeEngine<P> {
+    program: Arc<P>,
+    config: EngineConfig,
+}
+
+impl<P: PieProgram> GrapeEngine<P> {
+    /// Wraps a program with the default configuration.
+    pub fn new(program: P) -> Self {
+        Self {
+            program: Arc::new(program),
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Access to the wrapped program.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Partitions `graph` with `assignment`, builds the fragments and runs
+    /// the query.
+    pub fn run_on_graph(
+        &self,
+        query: &P::Query,
+        graph: &CsrGraph<P::VertexData, P::EdgeData>,
+        assignment: &PartitionAssignment,
+    ) -> Result<GrapeResult<P::Output>, RunError> {
+        let fragments = build_fragments(graph, assignment);
+        self.run(query, &fragments)
+    }
+
+    /// Runs the simultaneous fixpoint over prebuilt fragments.
+    pub fn run(
+        &self,
+        query: &P::Query,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+    ) -> Result<GrapeResult<P::Output>, RunError> {
+        let n = fragments.len();
+        if n == 0 {
+            return Err(RunError::NoFragments);
+        }
+        let started = Instant::now();
+
+        // Routing table: vertex -> fragments where it is a border vertex.
+        let mut border_homes: HashMap<VertexId, Vec<usize>> = HashMap::new();
+        for fragment in fragments {
+            for v in fragment.border_vertices() {
+                border_homes.entry(v).or_default().push(fragment.id);
+            }
+        }
+
+        // Two typed networks (worker -> coordinator reports, coordinator ->
+        // worker commands) sharing one set of communication counters.
+        let stats = Arc::new(CommStats::new());
+        let up = CommNetwork::<WorkerReport<P::Value>>::with_stats(n, Arc::clone(&stats));
+        let down = CommNetwork::<CoordCommand<P::Value>>::with_stats(n, Arc::clone(&stats));
+        let (up_coord, up_workers) = up.split();
+        let (down_coord, down_workers) = down.split();
+
+        let program = Arc::clone(&self.program);
+        let config = self.config;
+
+        let run_result: Result<(Vec<P::Partial>, RunStats), RunError> =
+            std::thread::scope(|scope| {
+                // ---------------- workers ----------------
+                let mut handles = Vec::with_capacity(n);
+                for ((fragment, up_link), down_link) in fragments
+                    .iter()
+                    .zip(up_workers.into_iter())
+                    .zip(down_workers.into_iter())
+                {
+                    let program = Arc::clone(&program);
+                    handles.push(scope.spawn(move || {
+                        let mut ctx = PieContext::<P::Value>::new();
+                        let t0 = Instant::now();
+                        let mut partial = program.peval(query, fragment, &mut ctx);
+                        let eval_seconds = t0.elapsed().as_secs_f64();
+                        let changes = ctx.take_dirty();
+                        up_link.send(
+                            COORDINATOR,
+                            WorkerReport::Done {
+                                superstep: 0,
+                                changes,
+                                eval_seconds,
+                            },
+                        );
+                        loop {
+                            let commands = down_link.recv_blocking();
+                            if commands.is_empty() {
+                                // Coordinator vanished; stop gracefully.
+                                return partial;
+                            }
+                            for envelope in commands {
+                                match envelope.payload {
+                                    CoordCommand::IncEval {
+                                        superstep,
+                                        messages,
+                                    } => {
+                                        let t0 = Instant::now();
+                                        program.inceval(
+                                            query,
+                                            fragment,
+                                            &mut partial,
+                                            &messages,
+                                            &mut ctx,
+                                        );
+                                        let eval_seconds = t0.elapsed().as_secs_f64();
+                                        let changes = ctx.take_dirty();
+                                        up_link.send(
+                                            COORDINATOR,
+                                            WorkerReport::Done {
+                                                superstep,
+                                                changes,
+                                                eval_seconds,
+                                            },
+                                        );
+                                    }
+                                    CoordCommand::Finish => {
+                                        return partial;
+                                    }
+                                }
+                            }
+                        }
+                    }));
+                }
+
+                // ---------------- coordinator ----------------
+                let coordination = Self::coordinate(
+                    &program,
+                    &config,
+                    n,
+                    &border_homes,
+                    &up_coord,
+                    &down_coord,
+                    &stats,
+                );
+
+                // Always release the workers, even on error, so the scope can
+                // join them.
+                for f in 0..n {
+                    down_coord.send(f, CoordCommand::Finish);
+                }
+                let mut partials = Vec::with_capacity(n);
+                let mut panic_message = None;
+                for handle in handles {
+                    match handle.join() {
+                        Ok(partial) => partials.push(partial),
+                        Err(payload) => {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            panic_message = Some(msg);
+                        }
+                    }
+                }
+                if let Some(msg) = panic_message {
+                    return Err(RunError::WorkerPanic(msg));
+                }
+                let mut stats_out = coordination?;
+                stats_out.num_workers = n;
+                stats_out.program = program.name().to_string();
+                Ok((partials, stats_out))
+            });
+
+        let (partials, mut stats_out) = run_result?;
+        let output = self.program.assemble(partials);
+        stats_out.wall_time = started.elapsed();
+        Ok(GrapeResult {
+            output,
+            stats: stats_out,
+        })
+    }
+
+    /// The coordinator's superstep loop. Returns the (partially filled) run
+    /// statistics once the fixpoint is reached.
+    #[allow(clippy::too_many_arguments)]
+    fn coordinate(
+        program: &Arc<P>,
+        config: &EngineConfig,
+        n: usize,
+        border_homes: &HashMap<VertexId, Vec<usize>>,
+        up_coord: &grape_comm::WorkerLink<WorkerReport<P::Value>>,
+        down_coord: &grape_comm::WorkerLink<CoordCommand<P::Value>>,
+        stats: &Arc<CommStats>,
+    ) -> Result<RunStats, RunError> {
+        let mut run_stats = RunStats::default();
+        // Last aggregated value per vertex, for the monotonicity check.
+        let mut last_value: HashMap<VertexId, P::Value> = HashMap::new();
+        let mut pending = n;
+        let mut superstep = 0usize;
+
+        loop {
+            // Gather the reports of every worker that evaluated this superstep.
+            let mut reports: Vec<(usize, Vec<(VertexId, P::Value)>, f64)> = Vec::new();
+            while reports.len() < pending {
+                let envelopes = up_coord.recv_blocking();
+                if envelopes.is_empty() {
+                    return Err(RunError::WorkerPanic(
+                        "a worker disconnected before reporting".into(),
+                    ));
+                }
+                for env in envelopes {
+                    let WorkerReport::Done {
+                        changes,
+                        eval_seconds,
+                        ..
+                    } = env.payload;
+                    reports.push((env.from, changes, eval_seconds));
+                }
+            }
+
+            // Aggregate the proposals per border vertex.
+            // For each vertex keep the folded value and the workers whose
+            // proposal already equals it (they do not need an echo).
+            let mut aggregated: HashMap<VertexId, (P::Value, Vec<usize>)> = HashMap::new();
+            let mut changed_parameters = 0usize;
+            let mut max_eval = 0.0f64;
+            let mut total_eval = 0.0f64;
+            for (from, changes, eval_seconds) in &reports {
+                max_eval = max_eval.max(*eval_seconds);
+                total_eval += *eval_seconds;
+                changed_parameters += changes.len();
+                for (v, value) in changes {
+                    match aggregated.get_mut(v) {
+                        None => {
+                            aggregated.insert(*v, (value.clone(), vec![*from]));
+                        }
+                        Some((current, holders)) => {
+                            let folded = program.aggregate(current, value);
+                            if folded == *value && folded != *current {
+                                // The new proposal wins outright.
+                                holders.clear();
+                                holders.push(*from);
+                            } else if folded == *current && folded == *value {
+                                holders.push(*from);
+                            }
+                            *current = folded;
+                        }
+                    }
+                }
+            }
+
+            if config.check_monotonicity {
+                for (v, (value, _)) in &aggregated {
+                    if let Some(old) = last_value.get(v) {
+                        if program.monotonic(old, value) == Some(false) {
+                            run_stats.monotonicity_violations += 1;
+                        }
+                    }
+                    last_value.insert(*v, value.clone());
+                }
+            }
+
+            // Close the books on this superstep.
+            let comm = stats.end_superstep(superstep);
+            let trace = SuperstepTrace {
+                superstep,
+                active_workers: reports.len(),
+                max_eval_seconds: max_eval,
+                total_eval_seconds: total_eval,
+                changed_parameters,
+                messages: comm.messages,
+                bytes: comm.bytes,
+            };
+            if superstep == 0 {
+                run_stats.peval_seconds = max_eval;
+            } else {
+                run_stats.inceval_seconds += max_eval;
+            }
+            run_stats.history.push(trace);
+            run_stats.supersteps = superstep + 1;
+
+            // Fixpoint: no worker changed any update parameter.
+            if changed_parameters == 0 {
+                break;
+            }
+            if superstep + 1 >= config.max_supersteps {
+                return Err(RunError::SuperstepLimit(config.max_supersteps));
+            }
+
+            // Route the aggregated values to every fragment that has the
+            // vertex on its border, except fragments already holding the
+            // aggregated value.
+            let mut outbox: Vec<Vec<(VertexId, P::Value)>> = vec![Vec::new(); n];
+            for (v, (value, holders)) in aggregated {
+                if let Some(homes) = border_homes.get(&v) {
+                    for &f in homes {
+                        if !holders.contains(&f) {
+                            outbox[f].push((v, value.clone()));
+                        }
+                    }
+                }
+            }
+            superstep += 1;
+            pending = 0;
+            for (f, messages) in outbox.into_iter().enumerate() {
+                if !messages.is_empty() {
+                    down_coord.send(
+                        f,
+                        CoordCommand::IncEval {
+                            superstep,
+                            messages,
+                        },
+                    );
+                    pending += 1;
+                }
+            }
+            if pending == 0 {
+                // Changes happened but every interested fragment already
+                // holds the aggregated values: fixpoint.
+                break;
+            }
+        }
+
+        run_stats.messages = stats.messages();
+        run_stats.bytes = stats.bytes();
+        Ok(run_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+    use grape_graph::GraphBuilder;
+    use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner};
+
+    /// Connected components by min-label propagation: the update parameter of
+    /// a border vertex is the smallest vertex id known to be connected to it.
+    struct MinLabelCc;
+
+    impl PieProgram for MinLabelCc {
+        type Query = ();
+        type VertexData = ();
+        type EdgeData = f64;
+        type Value = u64;
+        type Partial = HashMap<VertexId, u64>;
+        type Output = HashMap<VertexId, u64>;
+
+        fn peval(
+            &self,
+            _q: &(),
+            fragment: &Fragment<(), f64>,
+            ctx: &mut PieContext<u64>,
+        ) -> Self::Partial {
+            // Local label propagation to convergence (sequential CC on F_i).
+            let mut label: HashMap<VertexId, u64> = fragment
+                .graph
+                .vertices()
+                .map(|v| (v, v))
+                .collect();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for (s, d, _) in fragment.graph.edges() {
+                    let ls = label[&s];
+                    let ld = label[&d];
+                    let m = ls.min(ld);
+                    if ls != m {
+                        label.insert(s, m);
+                        changed = true;
+                    }
+                    if ld != m {
+                        label.insert(d, m);
+                        changed = true;
+                    }
+                }
+            }
+            for &b in &fragment.border_vertices() {
+                ctx.update(b, label[&b]);
+            }
+            label
+        }
+
+        fn inceval(
+            &self,
+            _q: &(),
+            fragment: &Fragment<(), f64>,
+            partial: &mut Self::Partial,
+            messages: &[(VertexId, u64)],
+            ctx: &mut PieContext<u64>,
+        ) {
+            let mut changed = false;
+            for (v, incoming) in messages {
+                if let Some(current) = partial.get_mut(v) {
+                    if *incoming < *current {
+                        *current = *incoming;
+                        changed = true;
+                    }
+                }
+            }
+            while changed {
+                changed = false;
+                for (s, d, _) in fragment.graph.edges() {
+                    let ls = partial[&s];
+                    let ld = partial[&d];
+                    let m = ls.min(ld);
+                    if ls != m {
+                        partial.insert(s, m);
+                        changed = true;
+                    }
+                    if ld != m {
+                        partial.insert(d, m);
+                        changed = true;
+                    }
+                }
+            }
+            for &b in &fragment.border_vertices() {
+                let value = partial[&b];
+                ctx.update(b, value);
+            }
+        }
+
+        fn assemble(&self, partials: Vec<Self::Partial>) -> Self::Output {
+            // Keep the smallest label seen for each vertex (mirrors may carry
+            // stale larger labels).
+            let mut out: HashMap<VertexId, u64> = HashMap::new();
+            for partial in partials {
+                for (v, label) in partial {
+                    out.entry(v)
+                        .and_modify(|l| *l = (*l).min(label))
+                        .or_insert(label);
+                }
+            }
+            out
+        }
+
+        fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+            *a.min(b)
+        }
+
+        fn monotonic(&self, old: &u64, new: &u64) -> Option<bool> {
+            Some(new <= old)
+        }
+
+        fn name(&self) -> &str {
+            "min-label-cc"
+        }
+    }
+
+    fn reference_cc(graph: &CsrGraph<(), f64>) -> HashMap<VertexId, u64> {
+        grape_graph::metrics::weakly_connected_components(graph)
+    }
+
+    #[test]
+    fn cc_matches_reference_on_power_law_graph() {
+        let g = barabasi_albert(500, 3, 21).unwrap();
+        let assignment = HashPartitioner.partition(&g, 4);
+        let engine = GrapeEngine::new(MinLabelCc).with_config(EngineConfig {
+            check_monotonicity: true,
+            ..Default::default()
+        });
+        let result = engine.run_on_graph(&(), &g, &assignment).unwrap();
+        let expected = reference_cc(&g);
+        for v in g.vertices() {
+            assert_eq!(result.output[&v], expected[&v], "vertex {v}");
+        }
+        assert_eq!(result.stats.monotonicity_violations, 0);
+        assert!(result.stats.supersteps >= 1);
+        assert_eq!(result.stats.num_workers, 4);
+        assert_eq!(result.stats.program, "min-label-cc");
+    }
+
+    #[test]
+    fn cc_on_disconnected_graph_keeps_components_apart() {
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..10u64 {
+            b.add_edge(v, (v + 1) % 10, 1.0);
+        }
+        for v in 100..105u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = HashPartitioner.partition(&g, 3);
+        let result = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        for v in 0..10u64 {
+            assert_eq!(result.output[&v], 0);
+        }
+        for v in 100..=105u64 {
+            assert_eq!(result.output[&v], 100);
+        }
+    }
+
+    #[test]
+    fn single_fragment_needs_one_superstep() {
+        let g = barabasi_albert(100, 2, 3).unwrap();
+        let assignment = HashPartitioner.partition(&g, 1);
+        let result = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        assert_eq!(result.stats.supersteps, 1, "no borders, PEval suffices");
+        assert_eq!(result.stats.messages, result.stats.history[0].messages);
+        assert!(result.output.values().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn more_workers_more_supersteps_on_chains() {
+        // A long chain partitioned into many contiguous ranges needs label
+        // propagation across every boundary: supersteps grow with k.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..64u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let few = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(
+                &(),
+                &g,
+                &grape_partition::RangePartitioner.partition(&g, 2),
+            )
+            .unwrap();
+        let many = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(
+                &(),
+                &g,
+                &grape_partition::RangePartitioner.partition(&g, 8),
+            )
+            .unwrap();
+        assert!(many.stats.supersteps > few.stats.supersteps);
+        assert!(many.stats.messages > few.stats.messages);
+        // Both still compute the right answer.
+        assert!(many.output.values().all(|&l| l == 0));
+        assert!(few.output.values().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_fragment_list_is_an_error() {
+        let engine = GrapeEngine::new(MinLabelCc);
+        let err = engine.run(&(), &[]).unwrap_err();
+        assert_eq!(err, RunError::NoFragments);
+        assert!(err.to_string().contains("no fragments"));
+    }
+
+    #[test]
+    fn superstep_limit_is_enforced() {
+        /// A deliberately non-monotonic program that flips a border value
+        /// forever.
+        struct Oscillator;
+        impl PieProgram for Oscillator {
+            type Query = ();
+            type VertexData = ();
+            type EdgeData = f64;
+            type Value = u64;
+            type Partial = u64;
+            type Output = u64;
+            fn peval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                ctx: &mut PieContext<u64>,
+            ) -> u64 {
+                for &b in &fragment.border_vertices() {
+                    ctx.update(b, fragment.id as u64);
+                }
+                0
+            }
+            fn inceval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                partial: &mut u64,
+                _messages: &[(VertexId, u64)],
+                ctx: &mut PieContext<u64>,
+            ) {
+                *partial += 1;
+                for &b in &fragment.border_vertices() {
+                    // Alternate the value every superstep: never converges.
+                    ctx.update(b, *partial % 2 + fragment.id as u64 * 10);
+                }
+            }
+            fn assemble(&self, partials: Vec<u64>) -> u64 {
+                partials.into_iter().sum()
+            }
+            fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+                *a.min(b)
+            }
+            fn monotonic(&self, old: &u64, new: &u64) -> Option<bool> {
+                Some(new <= old)
+            }
+        }
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..16u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let engine = GrapeEngine::new(Oscillator).with_config(EngineConfig {
+            max_supersteps: 10,
+            check_monotonicity: true,
+        });
+        let err = engine.run_on_graph(&(), &g, &assignment).unwrap_err();
+        assert_eq!(err, RunError::SuperstepLimit(10));
+    }
+
+    #[test]
+    fn statistics_history_is_consistent() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 16,
+                height: 16,
+                ..Default::default()
+            },
+            4,
+        )
+        .unwrap();
+        let assignment = BuiltinStrategy::MetisLike.partition(&g, 4);
+        let result = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        let stats = &result.stats;
+        assert_eq!(stats.history.len(), stats.supersteps);
+        let history_messages: u64 = stats.history.iter().map(|t| t.messages).sum();
+        assert_eq!(history_messages, stats.messages);
+        assert!(stats.wall_time.as_secs_f64() > 0.0);
+        assert!(stats.compute_seconds() >= stats.peval_seconds);
+        // The first superstep involves every worker.
+        assert_eq!(stats.history[0].active_workers, 4);
+        assert!(!stats.summary().is_empty());
+    }
+}

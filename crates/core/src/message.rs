@@ -1,0 +1,90 @@
+//! Messages exchanged between the coordinator and the workers.
+
+use grape_comm::MessageSize;
+use grape_graph::VertexId;
+
+/// A `(vertex, value)` pair: one changed update parameter.
+pub type VertexValue<V> = (VertexId, V);
+
+/// Message from a worker to the coordinator at the end of a superstep.
+#[derive(Debug, Clone)]
+pub enum WorkerReport<V> {
+    /// The worker finished its PEval / IncEval call.
+    Done {
+        /// Superstep the report belongs to.
+        superstep: usize,
+        /// Update parameters whose value changed during the call.
+        changes: Vec<VertexValue<V>>,
+        /// Wall-clock seconds the evaluation took on this worker.
+        eval_seconds: f64,
+    },
+}
+
+impl<V: MessageSize> MessageSize for WorkerReport<V> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            // superstep (8) + vector of (id, value) + timing is bookkeeping
+            // that a real deployment would not ship, so it is not charged.
+            WorkerReport::Done { changes, .. } => {
+                8 + changes
+                    .iter()
+                    .map(|(v, val)| v.size_bytes() + val.size_bytes())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Message from the coordinator to a worker.
+#[derive(Debug, Clone)]
+pub enum CoordCommand<V> {
+    /// Run IncEval with these aggregated border values.
+    IncEval {
+        /// Superstep being started.
+        superstep: usize,
+        /// Aggregated `(vertex, value)` updates relevant to this fragment.
+        messages: Vec<VertexValue<V>>,
+    },
+    /// Fixpoint reached: stop and hand back the partial result.
+    Finish,
+}
+
+impl<V: MessageSize> MessageSize for CoordCommand<V> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            CoordCommand::IncEval { messages, .. } => {
+                8 + messages
+                    .iter()
+                    .map(|(v, val)| v.size_bytes() + val.size_bytes())
+                    .sum::<usize>()
+            }
+            CoordCommand::Finish => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_size_counts_changes() {
+        let r: WorkerReport<f64> = WorkerReport::Done {
+            superstep: 3,
+            changes: vec![(1, 1.0), (2, 2.0)],
+            eval_seconds: 0.5,
+        };
+        assert_eq!(r.size_bytes(), 8 + 2 * 16);
+    }
+
+    #[test]
+    fn command_sizes() {
+        let c: CoordCommand<u64> = CoordCommand::IncEval {
+            superstep: 1,
+            messages: vec![(1, 9)],
+        };
+        assert_eq!(c.size_bytes(), 8 + 16);
+        let f: CoordCommand<u64> = CoordCommand::Finish;
+        assert_eq!(f.size_bytes(), 1);
+    }
+}

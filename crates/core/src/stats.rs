@@ -1,0 +1,118 @@
+//! Run statistics.
+//!
+//! The demo's Analytics panel (Section 3(4)) visualizes "the communication
+//! and computational costs for computing Q(G)" with "a fine-grained analysis
+//! … of partial evaluation (PEval) and incremental steps (IncEval)". This
+//! module is that report: per-superstep traces plus job totals, filled in by
+//! the engine and printed by the benchmark harness.
+
+use std::time::Duration;
+
+/// Trace of a single superstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperstepTrace {
+    /// Superstep index; 0 is the PEval round.
+    pub superstep: usize,
+    /// Number of workers that evaluated during this superstep.
+    pub active_workers: usize,
+    /// Longest per-worker evaluation time (the BSP critical path).
+    pub max_eval_seconds: f64,
+    /// Sum of per-worker evaluation times (total compute).
+    pub total_eval_seconds: f64,
+    /// Changed update parameters reported by all workers.
+    pub changed_parameters: usize,
+    /// Messages shipped (worker → coordinator and coordinator → worker).
+    pub messages: u64,
+    /// Bytes shipped.
+    pub bytes: u64,
+}
+
+/// Statistics of one [`crate::GrapeEngine::run`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Name of the PIE program that ran.
+    pub program: String,
+    /// Number of fragments / workers.
+    pub num_workers: usize,
+    /// Number of supersteps executed (PEval counts as one).
+    pub supersteps: usize,
+    /// Wall-clock duration of the whole run, including assemble.
+    pub wall_time: Duration,
+    /// Wall-clock seconds spent in PEval (critical path).
+    pub peval_seconds: f64,
+    /// Wall-clock seconds spent in IncEval supersteps (critical path).
+    pub inceval_seconds: f64,
+    /// Total messages shipped through the coordinator.
+    pub messages: u64,
+    /// Total bytes shipped.
+    pub bytes: u64,
+    /// Number of update-parameter transitions that violated the program's
+    /// declared partial order (only counted when monotonicity checking is
+    /// enabled; should be zero for correct programs).
+    pub monotonicity_violations: u64,
+    /// Per-superstep traces.
+    pub history: Vec<SuperstepTrace>,
+}
+
+impl RunStats {
+    /// Communication volume in megabytes (10^6 bytes, as the paper reports).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / 1_000_000.0
+    }
+
+    /// Critical-path compute time (PEval + IncEval supersteps).
+    pub fn compute_seconds(&self) -> f64 {
+        self.peval_seconds + self.inceval_seconds
+    }
+
+    /// Renders a compact single-line summary for logs and tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} workers, {} supersteps, {:.3}s wall ({:.3}s peval + {:.3}s inceval), {} msgs, {:.3} MB",
+            self.program,
+            self.num_workers,
+            self.supersteps,
+            self.wall_time.as_secs_f64(),
+            self.peval_seconds,
+            self.inceval_seconds,
+            self.messages,
+            self.megabytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let stats = RunStats {
+            program: "sssp".into(),
+            num_workers: 4,
+            supersteps: 3,
+            wall_time: Duration::from_millis(1500),
+            peval_seconds: 0.6,
+            inceval_seconds: 0.4,
+            messages: 1000,
+            bytes: 2_000_000,
+            monotonicity_violations: 0,
+            history: vec![],
+        };
+        assert!((stats.megabytes() - 2.0).abs() < 1e-9);
+        assert!((stats.compute_seconds() - 1.0).abs() < 1e-9);
+        let s = stats.summary();
+        assert!(s.contains("sssp"));
+        assert!(s.contains("4 workers"));
+        assert!(s.contains("3 supersteps"));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = RunStats::default();
+        assert_eq!(stats.supersteps, 0);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.megabytes(), 0.0);
+        assert!(stats.history.is_empty());
+    }
+}

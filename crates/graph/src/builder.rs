@@ -1,0 +1,153 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] accumulates vertices and edges in insertion order and
+//! finalizes into a [`CsrGraph`]. It tolerates edges that mention vertices
+//! which were never explicitly added (they receive the default payload),
+//! which matches how raw edge-list datasets are usually consumed.
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeRecord, GraphError, VertexId};
+use std::collections::HashMap;
+
+/// Edge-at-a-time builder for [`CsrGraph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder<V, E> {
+    vertices: HashMap<VertexId, V>,
+    edges: Vec<EdgeRecord<E>>,
+    with_reverse: bool,
+    symmetric: bool,
+}
+
+impl<V: Clone + Default, E: Clone> Default for GraphBuilder<V, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Default, E: Clone> GraphBuilder<V, E> {
+    /// Creates an empty builder that will also build the reverse adjacency.
+    pub fn new() -> Self {
+        Self {
+            vertices: HashMap::new(),
+            edges: Vec::new(),
+            with_reverse: true,
+            symmetric: false,
+        }
+    }
+
+    /// Configures whether the reverse (in-edge) adjacency is materialized.
+    pub fn with_reverse(mut self, yes: bool) -> Self {
+        self.with_reverse = yes;
+        self
+    }
+
+    /// When set, every added edge `(u, v)` also inserts `(v, u)` with the
+    /// same payload, producing an undirected graph in directed representation
+    /// (the convention used for road networks in the paper's experiments).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Adds (or overwrites) a vertex with an explicit payload.
+    pub fn add_vertex(&mut self, id: VertexId, data: V) -> &mut Self {
+        self.vertices.insert(id, data);
+        self
+    }
+
+    /// Ensures a vertex exists, inserting the default payload if not.
+    pub fn ensure_vertex(&mut self, id: VertexId) -> &mut Self {
+        self.vertices.entry(id).or_default();
+        self
+    }
+
+    /// Adds a directed edge; endpoints are created on demand.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, data: E) -> &mut Self {
+        self.ensure_vertex(src);
+        self.ensure_vertex(dst);
+        self.edges.push(EdgeRecord::new(src, dst, data.clone()));
+        if self.symmetric && src != dst {
+            self.edges.push(EdgeRecord::new(dst, src, data));
+        }
+        self
+    }
+
+    /// Number of vertices currently known to the builder.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edge records accumulated (including symmetric duplicates).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into a [`CsrGraph`].
+    pub fn build(self) -> Result<CsrGraph<V, E>, GraphError> {
+        let vertices: Vec<(VertexId, V)> = self.vertices.into_iter().collect();
+        CsrGraph::from_records(vertices, self.edges, self.with_reverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::<(), f64>::new();
+        b.add_edge(0, 1, 1.0).add_edge(1, 2, 2.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn symmetric_builder_duplicates_edges() {
+        let mut b = GraphBuilder::<(), u32>::new().symmetric(true);
+        b.add_edge(0, 1, 7);
+        b.add_edge(2, 2, 9); // self loop must not be duplicated
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.out_degree(2), 1);
+    }
+
+    #[test]
+    fn explicit_vertex_payloads_survive() {
+        let mut b = GraphBuilder::<u8, ()>::new();
+        b.add_vertex(5, 42);
+        b.add_edge(5, 6, ());
+        let g = b.build().unwrap();
+        assert_eq!(*g.vertex_data(5).unwrap(), 42);
+        assert_eq!(*g.vertex_data(6).unwrap(), 0, "implicit vertex uses default");
+    }
+
+    #[test]
+    fn no_reverse_option_respected() {
+        let mut b = GraphBuilder::<(), ()>::new().with_reverse(false);
+        b.add_edge(1, 2, ());
+        let g = b.build().unwrap();
+        assert!(!g.has_reverse());
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let mut b = GraphBuilder::<(), ()>::new();
+        b.ensure_vertex(3);
+        b.add_edge(0, 1, ());
+        let g = b.build().unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn counts_track_insertions() {
+        let mut b = GraphBuilder::<(), ()>::new();
+        assert_eq!(b.num_vertices(), 0);
+        b.add_edge(0, 1, ());
+        assert_eq!(b.num_vertices(), 2);
+        assert_eq!(b.num_edges(), 1);
+    }
+}

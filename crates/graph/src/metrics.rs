@@ -1,0 +1,229 @@
+//! Graph summary statistics.
+//!
+//! These metrics back the Analytics panel of the demo (Section 3(4)): the
+//! load balancer uses degree/size estimates, the partition-quality report
+//! uses component structure, and the benchmark harness prints dataset
+//! summaries alongside every reproduced table.
+
+use crate::csr::CsrGraph;
+use crate::types::{Direction, VertexId};
+use std::collections::{HashMap, VecDeque};
+
+/// Degree-distribution and size summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of directed edges.
+    pub num_edges: usize,
+    /// Minimum out-degree.
+    pub min_out_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Number of weakly connected components.
+    pub num_components: usize,
+    /// Size of the largest weakly connected component.
+    pub largest_component: usize,
+}
+
+/// Computes a [`GraphSummary`].
+pub fn summarize<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> GraphSummary {
+    let n = graph.num_vertices();
+    let mut min_d = usize::MAX;
+    let mut max_d = 0usize;
+    for v in graph.vertices() {
+        let d = graph.out_degree(v);
+        min_d = min_d.min(d);
+        max_d = max_d.max(d);
+    }
+    if n == 0 {
+        min_d = 0;
+    }
+    let components = weakly_connected_components(graph);
+    let mut sizes: HashMap<VertexId, usize> = HashMap::new();
+    for &c in components.values() {
+        *sizes.entry(c).or_insert(0) += 1;
+    }
+    GraphSummary {
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        min_out_degree: min_d,
+        max_out_degree: max_d,
+        avg_out_degree: if n == 0 {
+            0.0
+        } else {
+            graph.num_edges() as f64 / n as f64
+        },
+        num_components: sizes.len(),
+        largest_component: sizes.values().copied().max().unwrap_or(0),
+    }
+}
+
+/// Assigns every vertex a weakly-connected-component id (the smallest vertex
+/// id in its component). This is also the sequential reference used by the CC
+/// PIE program's tests.
+pub fn weakly_connected_components<V: Clone, E: Clone>(
+    graph: &CsrGraph<V, E>,
+) -> HashMap<VertexId, VertexId> {
+    let mut component: HashMap<VertexId, VertexId> = HashMap::new();
+    for start in graph.vertices() {
+        if component.contains_key(&start) {
+            continue;
+        }
+        // BFS over the undirected view; record members, then label with min id.
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        component.insert(start, start);
+        while let Some(u) = queue.pop_front() {
+            members.push(u);
+            for (v, _) in graph.neighbours(u, Direction::Both) {
+                if !component.contains_key(&v) {
+                    component.insert(v, start);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let min_id = members.iter().copied().min().unwrap_or(start);
+        for m in members {
+            component.insert(m, min_id);
+        }
+    }
+    component
+}
+
+/// Out-degree histogram bucketed by powers of two: `bucket[i]` counts
+/// vertices with out-degree in `[2^i, 2^(i+1))` (bucket 0 additionally holds
+/// degree-0 vertices).
+pub fn degree_histogram<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> Vec<usize> {
+    let mut hist = vec![0usize; 1];
+    for v in graph.vertices() {
+        let d = graph.out_degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Breadth-first estimate of the graph's diameter: runs BFS from `samples`
+/// pseudo-evenly-spaced start vertices and returns the maximum eccentricity
+/// observed (a lower bound of the true diameter). Used by the bench harness
+/// to document why road networks punish vertex-centric engines.
+pub fn estimate_diameter<V: Clone, E: Clone>(graph: &CsrGraph<V, E>, samples: usize) -> usize {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let ids: Vec<VertexId> = graph.vertices().collect();
+    let step = (n / samples.max(1)).max(1);
+    let mut best = 0usize;
+    for chunk_start in (0..n).step_by(step).take(samples.max(1)) {
+        let start = ids[chunk_start];
+        let mut dist: HashMap<VertexId, usize> = HashMap::new();
+        dist.insert(start, 0);
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            best = best.max(du);
+            for (v, _) in graph.neighbours(u, Direction::Both) {
+                if !dist.contains_key(&v) {
+                    dist.insert(v, du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+
+    fn two_components() -> CsrGraph<(), ()> {
+        let mut b = GraphBuilder::<(), ()>::new();
+        b.add_edge(0, 1, ());
+        b.add_edge(1, 2, ());
+        b.add_edge(10, 11, ());
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn summary_counts_components() {
+        let g = two_components();
+        let s = summarize(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.num_components, 2);
+        assert_eq!(s.largest_component, 3);
+        assert!(s.avg_out_degree > 0.0);
+    }
+
+    #[test]
+    fn wcc_labels_are_min_ids() {
+        let g = two_components();
+        let cc = weakly_connected_components(&g);
+        assert_eq!(cc[&0], 0);
+        assert_eq!(cc[&1], 0);
+        assert_eq!(cc[&2], 0);
+        assert_eq!(cc[&10], 10);
+        assert_eq!(cc[&11], 10);
+    }
+
+    #[test]
+    fn wcc_follows_edges_in_both_directions() {
+        let mut b = GraphBuilder::<(), ()>::new();
+        // 5 -> 3, 4 -> 3: all three are one weak component labeled 3.
+        b.add_edge(5, 3, ());
+        b.add_edge(4, 3, ());
+        let g = b.build().unwrap();
+        let cc = weakly_connected_components(&g);
+        assert_eq!(cc[&5], 3);
+        assert_eq!(cc[&4], 3);
+    }
+
+    #[test]
+    fn histogram_has_counts_for_every_vertex() {
+        let g = barabasi_albert(500, 3, 5).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 500);
+        assert!(hist.len() > 2, "power-law graph spreads over several buckets");
+    }
+
+    #[test]
+    fn road_network_has_large_diameter_relative_to_social() {
+        let road = road_network(
+            RoadNetworkConfig {
+                width: 24,
+                height: 24,
+                removal_prob: 0.0,
+                shortcut_prob: 0.0,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        let social = barabasi_albert(road.num_vertices(), 4, 1).unwrap();
+        let d_road = estimate_diameter(&road, 4);
+        let d_social = estimate_diameter(&social, 4);
+        assert!(
+            d_road > 3 * d_social,
+            "road diameter {d_road} should dwarf social diameter {d_social}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = CsrGraph::<(), ()>::from_records(vec![], vec![], false).unwrap();
+        let s = summarize(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.num_components, 0);
+        assert_eq!(estimate_diameter(&g, 3), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fundamental identifier and error types shared across the workspace.
+
+use std::fmt;
+
+/// Global vertex identifier. The paper's graphs have billions of nodes, so a
+/// 64-bit id is used for the global namespace; fragments map these to dense
+/// 32-bit local ids.
+pub type VertexId = u64;
+
+/// Edge identifier: the position of the edge in the CSR edge arrays.
+pub type EdgeId = usize;
+
+/// Sentinel value representing "no vertex".
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// Direction of traversal over a directed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow edges from source to destination.
+    Out,
+    /// Follow edges from destination to source (requires the reverse CSR).
+    In,
+    /// Treat the graph as undirected: union of `Out` and `In`.
+    Both,
+}
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that is not part of the graph.
+    UnknownVertex(VertexId),
+    /// The input file / text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing graph data.
+    Io(String),
+    /// The requested operation needs the reverse adjacency but the graph was
+    /// built without it.
+    MissingReverseAdjacency,
+    /// A generator or builder was given inconsistent parameters.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex id {v}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::MissingReverseAdjacency => {
+                write!(f, "graph was built without reverse adjacency")
+            }
+            GraphError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+/// A single directed edge record `(src, dst, data)` used by builders,
+/// loaders and generators before CSR construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeRecord<E> {
+    /// Source vertex (global id).
+    pub src: VertexId,
+    /// Destination vertex (global id).
+    pub dst: VertexId,
+    /// Edge payload (e.g. a weight).
+    pub data: E,
+}
+
+impl<E> EdgeRecord<E> {
+    /// Creates a new edge record.
+    pub fn new(src: VertexId, dst: VertexId, data: E) -> Self {
+        Self { src, dst, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::UnknownVertex(7);
+        assert!(e.to_string().contains('7'));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad weight".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad weight"));
+        let e = GraphError::InvalidParameter("k must be > 0".into());
+        assert!(e.to_string().contains("k must be > 0"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn edge_record_constructor() {
+        let r = EdgeRecord::new(1, 2, 3.5);
+        assert_eq!(r.src, 1);
+        assert_eq!(r.dst, 2);
+        assert_eq!(r.data, 3.5);
+    }
+
+    #[test]
+    fn invalid_vertex_is_max() {
+        assert_eq!(INVALID_VERTEX, u64::MAX);
+    }
+}

@@ -1,0 +1,334 @@
+//! Fragment construction.
+//!
+//! A [`Fragment`] is the unit of work a GRAPE worker owns: the subgraph
+//! induced by the vertices assigned to it, extended with *mirror* copies of
+//! the remote endpoints of cross edges. The paper's *border nodes* — the
+//! vertices that carry update parameters — are exactly:
+//!
+//! * the **outer** vertices: mirrors of vertices owned by another fragment
+//!   that appear as endpoints of this fragment's edges, and
+//! * the **inner-border** vertices: this fragment's own vertices that appear
+//!   as mirrors in some other fragment (so other workers may send updated
+//!   values for them).
+//!
+//! [`build_fragments`] cuts a global [`CsrGraph`] according to a
+//! [`PartitionAssignment`] and computes all of this routing information once,
+//! so the engine never has to consult the global graph again.
+
+use crate::assignment::{FragmentId, PartitionAssignment};
+use grape_graph::types::EdgeRecord;
+use grape_graph::{CsrGraph, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// A graph fragment owned by one worker.
+#[derive(Debug, Clone)]
+pub struct Fragment<V, E> {
+    /// This fragment's id (`P_i` in the paper).
+    pub id: FragmentId,
+    /// Total number of fragments in the job.
+    pub num_fragments: usize,
+    /// Local subgraph: inner vertices plus mirrored outer vertices, with all
+    /// edges incident to at least one inner vertex.
+    pub graph: CsrGraph<V, E>,
+    /// Vertices owned by this fragment (sorted).
+    inner: Vec<VertexId>,
+    inner_set: HashSet<VertexId>,
+    /// Mirrors of remote vertices that appear in local edges (sorted).
+    outer: Vec<VertexId>,
+    /// Owner fragment of each outer vertex.
+    outer_owner: HashMap<VertexId, FragmentId>,
+    /// For each inner vertex that is mirrored elsewhere, the fragments that
+    /// hold a mirror of it.
+    mirrored_at: HashMap<VertexId, Vec<FragmentId>>,
+}
+
+impl<V: Clone, E: Clone> Fragment<V, E> {
+    /// The vertices owned by this fragment, in ascending order.
+    pub fn inner_vertices(&self) -> &[VertexId] {
+        &self.inner
+    }
+
+    /// The mirror (outer) vertices, in ascending order.
+    pub fn outer_vertices(&self) -> &[VertexId] {
+        &self.outer
+    }
+
+    /// Whether `v` is owned by this fragment.
+    pub fn is_inner(&self, v: VertexId) -> bool {
+        self.inner_set.contains(&v)
+    }
+
+    /// Whether `v` is a mirror of a remote vertex.
+    pub fn is_outer(&self, v: VertexId) -> bool {
+        self.outer_owner.contains_key(&v)
+    }
+
+    /// The fragment that owns an outer vertex.
+    pub fn owner_of(&self, v: VertexId) -> Option<FragmentId> {
+        if self.is_inner(v) {
+            Some(self.id)
+        } else {
+            self.outer_owner.get(&v).copied()
+        }
+    }
+
+    /// Fragments that hold a mirror of the inner vertex `v` (empty slice if
+    /// none or if `v` is not inner).
+    pub fn mirrors_of(&self, v: VertexId) -> &[FragmentId] {
+        self.mirrored_at
+            .get(&v)
+            .map(|f| f.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Border nodes in the paper's sense: vertices of this fragment that
+    /// carry update parameters. These are the outer vertices plus the inner
+    /// vertices mirrored at other fragments, in ascending order.
+    pub fn border_vertices(&self) -> Vec<VertexId> {
+        let mut border: Vec<VertexId> = self
+            .outer
+            .iter()
+            .copied()
+            .chain(self.mirrored_at.keys().copied())
+            .collect();
+        border.sort_unstable();
+        border.dedup();
+        border
+    }
+
+    /// All fragments that must be informed when the value of `v` changes at
+    /// this fragment: the owner of `v` (if remote) plus every fragment that
+    /// mirrors `v`.
+    pub fn recipients_of(&self, v: VertexId) -> Vec<FragmentId> {
+        let mut out = Vec::new();
+        if let Some(owner) = self.outer_owner.get(&v) {
+            out.push(*owner);
+        }
+        for f in self.mirrors_of(v) {
+            if *f != self.id {
+                out.push(*f);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of inner vertices.
+    pub fn num_inner(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Number of outer (mirror) vertices.
+    pub fn num_outer(&self) -> usize {
+        self.outer.len()
+    }
+
+    /// Number of local edges (edges with at least one inner endpoint,
+    /// counted once per direction present in the global graph).
+    pub fn num_local_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Cuts `graph` into fragments according to `assignment`.
+///
+/// Every vertex must be assigned; vertices missing from the assignment are
+/// placed on fragment 0 so the engine never loses data.
+///
+/// Each fragment receives every edge whose source *or* destination it owns,
+/// so both out-edges of inner vertices and in-edges from remote vertices are
+/// locally visible (the latter are what IncEval needs to relax when a border
+/// value arrives).
+pub fn build_fragments<V: Clone + Default, E: Clone>(
+    graph: &CsrGraph<V, E>,
+    assignment: &PartitionAssignment,
+) -> Vec<Fragment<V, E>> {
+    let k = assignment.num_fragments().max(1);
+    let owner = |v: VertexId| assignment.fragment_of(v).unwrap_or(0);
+
+    // Vertex memberships.
+    let mut inner: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for v in graph.vertices() {
+        inner[owner(v)].push(v);
+    }
+
+    // Edge memberships and mirror discovery.
+    let mut edges: Vec<Vec<EdgeRecord<E>>> = vec![Vec::new(); k];
+    let mut outer: Vec<HashSet<VertexId>> = vec![HashSet::new(); k];
+    // mirrored_at[owner fragment] : vertex -> set of fragments mirroring it
+    let mut mirrored_at: Vec<HashMap<VertexId, HashSet<FragmentId>>> = vec![HashMap::new(); k];
+    for (s, d, w) in graph.edges() {
+        let fs = owner(s);
+        let fd = owner(d);
+        edges[fs].push(EdgeRecord::new(s, d, w.clone()));
+        if fd != fs {
+            // The destination fragment also sees this edge (as an in-edge of
+            // its inner vertex d from the mirror of s).
+            edges[fd].push(EdgeRecord::new(s, d, w.clone()));
+            // s is mirrored at fd; d is mirrored at fs.
+            outer[fd].insert(s);
+            outer[fs].insert(d);
+            mirrored_at[fs].entry(s).or_default().insert(fd);
+            mirrored_at[fd].entry(d).or_default().insert(fs);
+        }
+    }
+
+    let mut fragments = Vec::with_capacity(k);
+    for f in 0..k {
+        let mut inner_list = std::mem::take(&mut inner[f]);
+        inner_list.sort_unstable();
+        let inner_set: HashSet<VertexId> = inner_list.iter().copied().collect();
+        let mut outer_list: Vec<VertexId> = outer[f].iter().copied().collect();
+        outer_list.sort_unstable();
+        let outer_owner: HashMap<VertexId, FragmentId> =
+            outer_list.iter().map(|&v| (v, owner(v))).collect();
+        let mirrored: HashMap<VertexId, Vec<FragmentId>> = mirrored_at[f]
+            .iter()
+            .map(|(v, set)| {
+                let mut list: Vec<FragmentId> = set.iter().copied().collect();
+                list.sort_unstable();
+                (*v, list)
+            })
+            .collect();
+
+        // Local vertex set: inner + outer, each with its payload from the
+        // global graph (mirrors keep the payload so label/keyword predicates
+        // still work on them).
+        let mut vertices: Vec<(VertexId, V)> = Vec::with_capacity(inner_list.len() + outer_list.len());
+        for &v in inner_list.iter().chain(outer_list.iter()) {
+            let data = graph.vertex_data(v).cloned().unwrap_or_default();
+            vertices.push((v, data));
+        }
+        let local_graph = CsrGraph::from_records(vertices, std::mem::take(&mut edges[f]), true)
+            .expect("fragment edges reference only local vertices");
+
+        fragments.push(Fragment {
+            id: f,
+            num_fragments: k,
+            graph: local_graph,
+            inner: inner_list,
+            inner_set,
+            outer: outer_list,
+            outer_owner,
+            mirrored_at: mirrored,
+        });
+    }
+    fragments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{HashPartitioner, Partitioner, RangePartitioner};
+    use grape_graph::generators::{barabasi_albert, erdos_renyi};
+    use grape_graph::GraphBuilder;
+
+    fn chain(n: u64) -> CsrGraph<(), f64> {
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..n - 1 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inner_vertices_partition_the_graph() {
+        let g = barabasi_albert(200, 3, 1).unwrap();
+        let a = HashPartitioner.partition(&g, 4);
+        let frags = build_fragments(&g, &a);
+        assert_eq!(frags.len(), 4);
+        let total_inner: usize = frags.iter().map(|f| f.num_inner()).sum();
+        assert_eq!(total_inner, g.num_vertices());
+        // No vertex is inner in two fragments.
+        let mut seen = HashSet::new();
+        for f in &frags {
+            for &v in f.inner_vertices() {
+                assert!(seen.insert(v), "vertex {v} owned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_split_in_two_has_one_cross_edge_and_correct_borders() {
+        let g = chain(10);
+        let a = RangePartitioner.partition(&g, 2);
+        let frags = build_fragments(&g, &a);
+        let f0 = &frags[0];
+        let f1 = &frags[1];
+        // Vertices 0..4 on fragment 0, 5..9 on fragment 1; cross edge 4 -> 5.
+        assert!(f0.is_inner(4));
+        assert!(f1.is_inner(5));
+        assert!(f0.is_outer(5), "5 is mirrored on fragment 0");
+        assert!(f1.is_outer(4), "4 is mirrored on fragment 1");
+        assert_eq!(f0.owner_of(5), Some(1));
+        assert_eq!(f1.owner_of(4), Some(0));
+        assert_eq!(f0.mirrors_of(4), &[1]);
+        assert_eq!(f1.mirrors_of(5), &[0]);
+        assert_eq!(f0.border_vertices(), vec![4, 5]);
+        assert_eq!(f1.border_vertices(), vec![4, 5]);
+        // Message routing: if fragment 0 updates mirror 5, it informs owner 1.
+        assert_eq!(f0.recipients_of(5), vec![1]);
+        // If fragment 0 updates its own border vertex 4, it informs mirror 1.
+        assert_eq!(f0.recipients_of(4), vec![1]);
+    }
+
+    #[test]
+    fn cross_edges_visible_from_both_sides() {
+        let g = chain(10);
+        let a = RangePartitioner.partition(&g, 2);
+        let frags = build_fragments(&g, &a);
+        // Edge 4 -> 5 must exist in both local graphs.
+        assert!(frags[0].graph.out_edges(4).any(|(d, _)| d == 5));
+        assert!(frags[1].graph.out_edges(4).any(|(d, _)| d == 5));
+    }
+
+    #[test]
+    fn local_edge_counts_cover_global_edges() {
+        let g = erdos_renyi(150, 0.03, 3).unwrap();
+        let a = HashPartitioner.partition(&g, 5);
+        let frags = build_fragments(&g, &a);
+        let local_total: usize = frags.iter().map(|f| f.num_local_edges()).sum();
+        // Cross edges are duplicated in exactly two fragments.
+        let q = crate::quality::evaluate_partition(&g, &a);
+        assert_eq!(local_total, g.num_edges() + q.cut_edges);
+    }
+
+    #[test]
+    fn single_fragment_has_no_borders() {
+        let g = barabasi_albert(100, 2, 2).unwrap();
+        let a = HashPartitioner.partition(&g, 1);
+        let frags = build_fragments(&g, &a);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].num_outer(), 0);
+        assert!(frags[0].border_vertices().is_empty());
+        assert_eq!(frags[0].num_inner(), 100);
+    }
+
+    #[test]
+    fn mirror_payloads_are_preserved() {
+        let mut b = GraphBuilder::<u8, ()>::new();
+        b.add_vertex(0, 10);
+        b.add_vertex(1, 20);
+        b.add_edge(0, 1, ());
+        let g = b.build().unwrap();
+        let mut a = PartitionAssignment::new(2);
+        a.assign(0, 0);
+        a.assign(1, 1);
+        let frags = build_fragments(&g, &a);
+        // Fragment 0 sees vertex 1 as a mirror but keeps its payload.
+        assert_eq!(*frags[0].graph.vertex_data(1).unwrap(), 20);
+    }
+
+    #[test]
+    fn unassigned_vertices_default_to_fragment_zero() {
+        let g = chain(4);
+        let mut a = PartitionAssignment::new(2);
+        a.assign(0, 1); // only vertex 0 assigned explicitly
+        let frags = build_fragments(&g, &a);
+        let total: usize = frags.iter().map(|f| f.num_inner()).sum();
+        assert_eq!(total, 4);
+        assert!(frags[1].is_inner(0));
+        assert!(frags[0].is_inner(1));
+    }
+}

@@ -1,0 +1,413 @@
+//! Multilevel (METIS-like) partitioner.
+//!
+//! The demo highlights METIS as the "best strategy" for SSSP on LiveJournal
+//! (18.3 s / 7.5 M messages vs 30 s / 40 M messages for streaming). METIS
+//! itself is a large C library; what matters for reproducing the paper's
+//! result is the *multilevel* scheme it pioneered:
+//!
+//! 1. **Coarsen** the graph by repeatedly collapsing a heavy-edge matching
+//!    until it is small.
+//! 2. **Partition** the coarsest graph greedily (region growing from seeds).
+//! 3. **Uncoarsen** and apply boundary refinement (a lightweight
+//!    Kernighan–Lin / Fiduccia–Mattheyses pass) at every level.
+//!
+//! The implementation here follows that recipe and, on mesh-like and
+//! community-structured graphs, produces edge cuts several times smaller
+//! than hash or streaming placement — exactly the property the paper's
+//! partition-strategy experiment depends on.
+
+use crate::assignment::{FragmentId, PartitionAssignment};
+use crate::strategy::Partitioner;
+use grape_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
+
+/// Multilevel METIS-like partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct MetisLikePartitioner {
+    /// Stop coarsening when the graph has at most `coarsen_until · k`
+    /// vertices.
+    pub coarsen_until: usize,
+    /// Number of boundary-refinement sweeps per level.
+    pub refine_passes: usize,
+    /// Maximum allowed imbalance: a fragment may hold up to
+    /// `balance_slack · n / k` vertex weight.
+    pub balance_slack: f64,
+}
+
+impl Default for MetisLikePartitioner {
+    fn default() -> Self {
+        Self {
+            coarsen_until: 30,
+            refine_passes: 4,
+            balance_slack: 1.15,
+        }
+    }
+}
+
+/// A small weighted graph used internally during coarsening. Vertices are
+/// dense `usize` indices; `weight[v]` counts how many original vertices the
+/// coarse vertex represents.
+#[derive(Debug, Clone)]
+struct CoarseGraph {
+    /// Adjacency: for each vertex, (neighbour, edge weight) pairs.
+    adj: Vec<Vec<(usize, u64)>>,
+    /// Vertex weights (number of collapsed original vertices).
+    weight: Vec<u64>,
+}
+
+impl CoarseGraph {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.weight.iter().sum()
+    }
+}
+
+impl MetisLikePartitioner {
+    /// Builds the level-0 coarse graph from the input CSR (undirected view,
+    /// parallel edges merged, self-loops dropped).
+    fn initial_coarse<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> (CoarseGraph, Vec<VertexId>) {
+        let n = graph.num_vertices();
+        let ids: Vec<VertexId> = graph.vertices().collect();
+        let mut adj_maps: Vec<HashMap<usize, u64>> = vec![HashMap::new(); n];
+        for (s, d, _) in graph.edges() {
+            if s == d {
+                continue;
+            }
+            let si = graph.dense_index(s).unwrap() as usize;
+            let di = graph.dense_index(d).unwrap() as usize;
+            *adj_maps[si].entry(di).or_insert(0) += 1;
+            *adj_maps[di].entry(si).or_insert(0) += 1;
+        }
+        let adj = adj_maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(usize, u64)> = m.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        (
+            CoarseGraph {
+                adj,
+                weight: vec![1; n],
+            },
+            ids,
+        )
+    }
+
+    /// One round of heavy-edge-matching coarsening. Returns the coarser graph
+    /// and the map from fine vertex to coarse vertex.
+    fn coarsen_once(graph: &CoarseGraph) -> (CoarseGraph, Vec<usize>) {
+        let n = graph.num_vertices();
+        let mut matched = vec![usize::MAX; n];
+        let mut coarse_of = vec![usize::MAX; n];
+        let mut next_coarse = 0usize;
+        // Visit vertices in order of increasing degree so low-degree vertices
+        // get matched before hubs swallow everything.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&v| graph.adj[v].len());
+        for &v in &order {
+            if matched[v] != usize::MAX {
+                continue;
+            }
+            // Heaviest unmatched neighbour.
+            let mut best = usize::MAX;
+            let mut best_w = 0u64;
+            for &(u, w) in &graph.adj[v] {
+                if matched[u] == usize::MAX && w > best_w {
+                    best = u;
+                    best_w = w;
+                }
+            }
+            if best != usize::MAX {
+                matched[v] = best;
+                matched[best] = v;
+                coarse_of[v] = next_coarse;
+                coarse_of[best] = next_coarse;
+            } else {
+                matched[v] = v;
+                coarse_of[v] = next_coarse;
+            }
+            next_coarse += 1;
+        }
+        // Build the coarse graph.
+        let mut weight = vec![0u64; next_coarse];
+        for v in 0..n {
+            weight[coarse_of[v]] += graph.weight[v];
+        }
+        let mut adj_maps: Vec<HashMap<usize, u64>> = vec![HashMap::new(); next_coarse];
+        for v in 0..n {
+            let cv = coarse_of[v];
+            for &(u, w) in &graph.adj[v] {
+                let cu = coarse_of[u];
+                if cu != cv {
+                    *adj_maps[cv].entry(cu).or_insert(0) += w;
+                }
+            }
+        }
+        let adj = adj_maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(usize, u64)> = m.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        (CoarseGraph { adj, weight }, coarse_of)
+    }
+
+    /// Greedy region-growing partition of the coarsest graph.
+    fn initial_partition(graph: &CoarseGraph, k: usize) -> Vec<FragmentId> {
+        let n = graph.num_vertices();
+        let mut part = vec![usize::MAX; n];
+        if n == 0 {
+            return part;
+        }
+        let target = (graph.total_weight() as f64 / k as f64).ceil() as u64;
+        let mut loads = vec![0u64; k];
+        // Seeds: spread over the vertex order.
+        for f in 0..k {
+            let seed = (f * n / k).min(n - 1);
+            // BFS from the seed claiming unassigned vertices until the target
+            // load is reached.
+            let start = (seed..n)
+                .chain(0..seed)
+                .find(|&v| part[v] == usize::MAX);
+            let Some(start) = start else { break };
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                if part[v] != usize::MAX {
+                    continue;
+                }
+                if loads[f] >= target && f + 1 < k {
+                    break;
+                }
+                part[v] = f;
+                loads[f] += graph.weight[v];
+                for &(u, _) in &graph.adj[v] {
+                    if part[u] == usize::MAX {
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        // Any vertex still unassigned goes to the least-loaded fragment.
+        for v in 0..n {
+            if part[v] == usize::MAX {
+                let f = (0..k).min_by_key(|&f| loads[f]).unwrap_or(0);
+                part[v] = f;
+                loads[f] += graph.weight[v];
+            }
+        }
+        part
+    }
+
+    /// Boundary refinement: greedily move boundary vertices to the
+    /// neighbouring fragment that most reduces the cut, while respecting the
+    /// balance constraint.
+    fn refine(&self, graph: &CoarseGraph, part: &mut [FragmentId], k: usize, passes: usize) {
+        let n = graph.num_vertices();
+        if n == 0 {
+            return;
+        }
+        let max_load = (self.balance_slack * graph.total_weight() as f64 / k as f64).ceil() as u64;
+        let mut loads = vec![0u64; k];
+        for v in 0..n {
+            loads[part[v]] += graph.weight[v];
+        }
+        for _ in 0..passes {
+            let mut moved = 0usize;
+            for v in 0..n {
+                let current = part[v];
+                // Gain of moving v to fragment f = (edges to f) - (edges to current).
+                let mut edges_to: HashMap<FragmentId, u64> = HashMap::new();
+                for &(u, w) in &graph.adj[v] {
+                    *edges_to.entry(part[u]).or_insert(0) += w;
+                }
+                let internal = edges_to.get(&current).copied().unwrap_or(0);
+                let mut best_f = current;
+                let mut best_gain = 0i64;
+                let mut candidates: Vec<(FragmentId, u64)> = edges_to.into_iter().collect();
+                candidates.sort_unstable();
+                for (f, w) in candidates {
+                    if f == current {
+                        continue;
+                    }
+                    if loads[f] + graph.weight[v] > max_load {
+                        continue;
+                    }
+                    let gain = w as i64 - internal as i64;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_f = f;
+                    }
+                }
+                if best_f != current {
+                    loads[current] -= graph.weight[v];
+                    loads[best_f] += graph.weight[v];
+                    part[v] = best_f;
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Partitioner for MetisLikePartitioner {
+    fn partition<V: Clone, E: Clone>(
+        &self,
+        graph: &CsrGraph<V, E>,
+        k: usize,
+    ) -> PartitionAssignment {
+        let k = k.max(1);
+        let mut assignment = PartitionAssignment::new(k);
+        let n = graph.num_vertices();
+        if n == 0 {
+            return assignment;
+        }
+        if k == 1 {
+            for v in graph.vertices() {
+                assignment.assign(v, 0);
+            }
+            return assignment;
+        }
+
+        // 1. Coarsening: keep every level so refinement can run on each one
+        // during the uncoarsening phase.
+        let (g0, ids) = Self::initial_coarse(graph);
+        let mut levels: Vec<CoarseGraph> = vec![g0];
+        let mut maps: Vec<Vec<usize>> = Vec::new();
+        let stop = (self.coarsen_until * k).max(2 * k);
+        let mut guard = 0;
+        while levels.last().expect("non-empty").num_vertices() > stop && guard < 64 {
+            guard += 1;
+            let current = levels.last().expect("non-empty");
+            let before = current.num_vertices();
+            let (coarser, map) = Self::coarsen_once(current);
+            if coarser.num_vertices() as f64 > 0.95 * before as f64 {
+                // Matching stopped making progress (e.g. star graphs).
+                break;
+            }
+            maps.push(map);
+            levels.push(coarser);
+        }
+
+        // 2. Initial partition of the coarsest graph + refinement there.
+        let coarsest = levels.last().expect("non-empty");
+        let mut part = Self::initial_partition(coarsest, k);
+        self.refine(coarsest, &mut part, k, self.refine_passes);
+
+        // 3. Uncoarsen with refinement at every level.
+        for (level_idx, map) in maps.iter().enumerate().rev() {
+            let finer = &levels[level_idx];
+            let mut fine_part = vec![0usize; finer.num_vertices()];
+            for (v, p) in fine_part.iter_mut().enumerate() {
+                *p = part[map[v]];
+            }
+            part = fine_part;
+            self.refine(finer, &mut part, k, self.refine_passes);
+        }
+
+        for (dense, &frag) in part.iter().enumerate() {
+            assignment.assign(ids[dense], frag.min(k - 1));
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "metis-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::evaluate_partition;
+    use crate::strategy::HashPartitioner;
+    use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+
+    #[test]
+    fn covers_every_vertex_with_valid_fragments() {
+        let g = barabasi_albert(500, 3, 4).unwrap();
+        let a = MetisLikePartitioner::default().partition(&g, 6);
+        assert_eq!(a.num_assigned(), 500);
+        assert!(a.iter().all(|(_, f)| f < 6));
+    }
+
+    #[test]
+    fn grid_cut_is_near_optimal_order() {
+        // A 32×32 grid split into 4 parts has an optimal cut of ~64 edges
+        // (2 straight cuts × 32 edges × 2 directions /2 ...). We only require
+        // that the multilevel cut is within a small factor of that and far
+        // below the hash cut.
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 32,
+                height: 32,
+                removal_prob: 0.0,
+                shortcut_prob: 0.0,
+                ..Default::default()
+            },
+            5,
+        )
+        .unwrap();
+        let metis = evaluate_partition(&g, &MetisLikePartitioner::default().partition(&g, 4));
+        let hash = evaluate_partition(&g, &HashPartitioner.partition(&g, 4));
+        assert!(
+            metis.cut_edges < hash.cut_edges / 3,
+            "metis cut {} vs hash cut {}",
+            metis.cut_edges,
+            hash.cut_edges
+        );
+    }
+
+    #[test]
+    fn balance_constraint_is_respected() {
+        let g = barabasi_albert(800, 3, 9).unwrap();
+        let p = MetisLikePartitioner::default();
+        let a = p.partition(&g, 8);
+        let sizes = a.sizes();
+        let cap = (p.balance_slack * 800.0 / 8.0).ceil() as usize;
+        for s in &sizes {
+            assert!(*s <= cap + 2, "fragment size {s} exceeds cap {cap}: {sizes:?}");
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 800);
+    }
+
+    #[test]
+    fn k_one_trivial_partition() {
+        let g = barabasi_albert(50, 2, 1).unwrap();
+        let a = MetisLikePartitioner::default().partition(&g, 1);
+        assert!(a.iter().all(|(_, f)| f == 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = barabasi_albert(300, 3, 8).unwrap();
+        let a1 = MetisLikePartitioner::default().partition(&g, 4);
+        let a2 = MetisLikePartitioner::default().partition(&g, 4);
+        for v in g.vertices() {
+            assert_eq!(a1.fragment_of(v), a2.fragment_of(v));
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let mut b = grape_graph::GraphBuilder::<(), ()>::new();
+        for i in 0..10u64 {
+            b.add_edge(i, (i + 1) % 10, ());
+        }
+        for i in 100..110u64 {
+            b.add_edge(i, (i + 1 - 100) % 10 + 100, ());
+        }
+        let g = b.build().unwrap();
+        let a = MetisLikePartitioner::default().partition(&g, 2);
+        assert_eq!(a.num_assigned(), 20);
+    }
+}

@@ -1,0 +1,204 @@
+//! Basic partition strategies: hash, contiguous range (1D) and 2-D grid.
+//!
+//! These are the "1D/2D" strategies mentioned in Section 3(2) of the paper.
+//! They ignore the edge structure entirely and therefore serve as the
+//! baseline that the streaming and multilevel strategies improve upon.
+
+use crate::assignment::PartitionAssignment;
+use grape_graph::CsrGraph;
+
+/// A graph-partition strategy: maps every vertex of a graph to one of `k`
+/// fragments.
+pub trait Partitioner {
+    /// Partitions `graph` into at most `k` fragments.
+    fn partition<V: Clone, E: Clone>(
+        &self,
+        graph: &CsrGraph<V, E>,
+        k: usize,
+    ) -> PartitionAssignment;
+
+    /// Short name used in reports and benchmark tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Hash partitioner: `fragment = hash(vertex) % k`.
+///
+/// This is the default placement of Pregel/Giraph and GraphLab, and the
+/// strategy GRAPE's Table 1 competitors implicitly use.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition<V: Clone, E: Clone>(
+        &self,
+        graph: &CsrGraph<V, E>,
+        k: usize,
+    ) -> PartitionAssignment {
+        let k = k.max(1);
+        let mut assignment = PartitionAssignment::new(k);
+        for v in graph.vertices() {
+            // Fibonacci hashing of the 64-bit id for good spread even when
+            // ids are consecutive integers.
+            let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assignment.assign(v, (h % k as u64) as usize);
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Range partitioner: sorts vertex ids and cuts them into `k` contiguous
+/// chunks (the classic 1D partition). Works well when vertex ids encode
+/// locality (e.g. road networks numbered row by row).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition<V: Clone, E: Clone>(
+        &self,
+        graph: &CsrGraph<V, E>,
+        k: usize,
+    ) -> PartitionAssignment {
+        let k = k.max(1);
+        let mut assignment = PartitionAssignment::new(k);
+        let n = graph.num_vertices();
+        if n == 0 {
+            return assignment;
+        }
+        let per = n.div_ceil(k);
+        for (pos, v) in graph.vertices().enumerate() {
+            assignment.assign(v, (pos / per).min(k - 1));
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "range-1d"
+    }
+}
+
+/// 2-D grid partitioner: interprets the sorted vertex position as a point in
+/// a √n × √n square and tiles the square with a `rows × cols` grid of
+/// fragments. A simple stand-in for 2D edge partitioning schemes; for road
+/// networks whose ids are laid out row-major (as our generator does) this
+/// yields spatially compact fragments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Grid2DPartitioner;
+
+impl Partitioner for Grid2DPartitioner {
+    fn partition<V: Clone, E: Clone>(
+        &self,
+        graph: &CsrGraph<V, E>,
+        k: usize,
+    ) -> PartitionAssignment {
+        let k = k.max(1);
+        let mut assignment = PartitionAssignment::new(k);
+        let n = graph.num_vertices();
+        if n == 0 {
+            return assignment;
+        }
+        // Choose a fragment grid  rows × cols ≈ k  with rows <= cols.
+        let mut rows = (k as f64).sqrt().floor() as usize;
+        while rows > 1 && k % rows != 0 {
+            rows -= 1;
+        }
+        let rows = rows.max(1);
+        let cols = k / rows;
+        let side = (n as f64).sqrt().ceil() as usize;
+        let side = side.max(1);
+        for (pos, v) in graph.vertices().enumerate() {
+            let x = pos % side;
+            let y = pos / side;
+            let fx = (x * cols / side).min(cols - 1);
+            let fy = (y.min(side - 1) * rows / side).min(rows - 1);
+            let frag = fy * cols + fx;
+            assignment.assign(v, frag.min(k - 1));
+        }
+        assignment
+    }
+
+    fn name(&self) -> &'static str {
+        "grid-2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::{erdos_renyi, road_network, RoadNetworkConfig};
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let g = erdos_renyi(1_000, 0.005, 1).unwrap();
+        let a = HashPartitioner.partition(&g, 8);
+        let sizes = a.sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min < 120, "hash keeps fragments similar: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 1_000);
+    }
+
+    #[test]
+    fn range_partition_is_contiguous() {
+        let g = erdos_renyi(100, 0.05, 2).unwrap();
+        let a = RangePartitioner.partition(&g, 4);
+        // Vertices are 0..100 in sorted order; fragment must be monotone.
+        let mut last = 0;
+        for v in g.vertices() {
+            let f = a.fragment_of(v).unwrap();
+            assert!(f >= last);
+            last = f;
+        }
+        assert_eq!(a.sizes().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn grid_partition_covers_all_and_stays_in_range() {
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 20,
+                height: 20,
+                removal_prob: 0.0,
+                shortcut_prob: 0.0,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        for k in [1, 2, 4, 6, 9, 16] {
+            let a = Grid2DPartitioner.partition(&g, k);
+            assert_eq!(a.num_assigned(), g.num_vertices(), "k = {k}");
+            for (_, f) in a.iter() {
+                assert!(f < k);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioners_handle_k_one_and_empty_graphs() {
+        let g = erdos_renyi(10, 0.2, 3).unwrap();
+        let single = [
+            HashPartitioner.partition(&g, 1),
+            RangePartitioner.partition(&g, 1),
+            Grid2DPartitioner.partition(&g, 1),
+        ];
+        for a in &single {
+            assert!(a.iter().all(|(_, f)| f == 0));
+        }
+        let empty = grape_graph::CsrGraph::<(), ()>::from_records(vec![], vec![], false).unwrap();
+        let a = RangePartitioner.partition(&empty, 4);
+        assert_eq!(a.num_assigned(), 0);
+        let a = Grid2DPartitioner.partition(&empty, 4);
+        assert_eq!(a.num_assigned(), 0);
+    }
+
+    #[test]
+    fn partitioner_names() {
+        assert_eq!(HashPartitioner.name(), "hash");
+        assert_eq!(RangePartitioner.name(), "range-1d");
+        assert_eq!(Grid2DPartitioner.name(), "grid-2d");
+    }
+}

@@ -1,0 +1,182 @@
+//! The Load Balancer.
+//!
+//! The paper's architecture includes "a Load Balancer to balance workload
+//! across workers", and Section 3(4) lists "load balancing in terms of graph
+//! partitions and workload estimates" among the graph-level optimizations
+//! GRAPE inherits. This module provides:
+//!
+//! * [`WorkloadEstimate`] — a per-fragment cost model combining vertex count,
+//!   edge count and border size (border size drives communication cost).
+//! * [`balance_fragments`] — a longest-processing-time (LPT) greedy
+//!   assignment of fragments to a possibly smaller number of physical
+//!   workers, minimizing the maximum per-worker load.
+
+use grape_partition::{Fragment, FragmentId};
+
+/// Estimated cost of processing one fragment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadEstimate {
+    /// Fragment this estimate describes.
+    pub fragment: FragmentId,
+    /// Inner vertices.
+    pub vertices: usize,
+    /// Local edges.
+    pub edges: usize,
+    /// Border vertices (mirrors + mirrored inner vertices).
+    pub border: usize,
+}
+
+impl WorkloadEstimate {
+    /// Builds the estimate from a fragment.
+    pub fn of<V: Clone, E: Clone>(fragment: &Fragment<V, E>) -> Self {
+        Self {
+            fragment: fragment.id,
+            vertices: fragment.num_inner(),
+            edges: fragment.num_local_edges(),
+            border: fragment.border_vertices().len(),
+        }
+    }
+
+    /// Scalar cost used for balancing: compute cost (vertices + edges) plus a
+    /// communication weight on border vertices. The weights follow the usual
+    /// rule of thumb that shipping a border value costs about as much as
+    /// scanning ten edges.
+    pub fn cost(&self) -> f64 {
+        self.vertices as f64 + self.edges as f64 + 10.0 * self.border as f64
+    }
+}
+
+/// Assignment of fragments to physical workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancedAssignment {
+    /// `worker_of[f]` = physical worker hosting fragment `f`.
+    pub worker_of: Vec<usize>,
+    /// Total estimated cost per worker.
+    pub worker_cost: Vec<f64>,
+}
+
+impl BalancedAssignment {
+    /// Ratio of the maximum worker cost to the mean worker cost (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.worker_cost.iter().cloned().fold(0.0, f64::max);
+        let mean = self.worker_cost.iter().sum::<f64>() / self.worker_cost.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// The fragments hosted by each worker.
+    pub fn fragments_of(&self, worker: usize) -> Vec<FragmentId> {
+        self.worker_of
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w == worker)
+            .map(|(f, _)| f)
+            .collect()
+    }
+}
+
+/// Assigns fragments to `num_workers` physical workers using the LPT
+/// heuristic: sort fragments by decreasing cost, repeatedly give the next
+/// fragment to the least-loaded worker.
+pub fn balance_fragments(estimates: &[WorkloadEstimate], num_workers: usize) -> BalancedAssignment {
+    let num_workers = num_workers.max(1);
+    let mut order: Vec<&WorkloadEstimate> = estimates.iter().collect();
+    order.sort_by(|a, b| b.cost().partial_cmp(&a.cost()).unwrap_or(std::cmp::Ordering::Equal));
+    let num_fragments = estimates
+        .iter()
+        .map(|e| e.fragment + 1)
+        .max()
+        .unwrap_or(0);
+    let mut worker_of = vec![0usize; num_fragments];
+    let mut worker_cost = vec![0.0f64; num_workers];
+    for est in order {
+        let (worker, _) = worker_cost
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("num_workers >= 1");
+        worker_of[est.fragment] = worker;
+        worker_cost[worker] += est.cost();
+    }
+    BalancedAssignment {
+        worker_of,
+        worker_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::barabasi_albert;
+    use grape_partition::{build_fragments, HashPartitioner, Partitioner};
+
+    fn estimates(k: usize) -> Vec<WorkloadEstimate> {
+        let g = barabasi_albert(400, 3, 6).unwrap();
+        let a = HashPartitioner.partition(&g, k);
+        build_fragments(&g, &a)
+            .iter()
+            .map(WorkloadEstimate::of)
+            .collect()
+    }
+
+    #[test]
+    fn estimates_reflect_fragment_sizes() {
+        let ests = estimates(4);
+        assert_eq!(ests.len(), 4);
+        for e in &ests {
+            assert!(e.vertices > 0);
+            assert!(e.edges > 0);
+            assert!(e.cost() > 0.0);
+        }
+    }
+
+    #[test]
+    fn one_fragment_per_worker_is_identity_like() {
+        let ests = estimates(4);
+        let b = balance_fragments(&ests, 4);
+        // With 4 fragments on 4 workers every worker hosts exactly one.
+        let mut hosted = vec![0; 4];
+        for &w in &b.worker_of {
+            hosted[w] += 1;
+        }
+        assert_eq!(hosted, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn more_fragments_than_workers_balances_load() {
+        let ests = estimates(16);
+        let b = balance_fragments(&ests, 4);
+        assert!(b.imbalance() < 1.3, "LPT keeps imbalance small: {}", b.imbalance());
+        let all: usize = (0..4).map(|w| b.fragments_of(w).len()).sum();
+        assert_eq!(all, 16);
+    }
+
+    #[test]
+    fn skewed_costs_spread_over_workers() {
+        let ests = vec![
+            WorkloadEstimate { fragment: 0, vertices: 1_000, edges: 10_000, border: 100 },
+            WorkloadEstimate { fragment: 1, vertices: 10, edges: 20, border: 1 },
+            WorkloadEstimate { fragment: 2, vertices: 10, edges: 20, border: 1 },
+            WorkloadEstimate { fragment: 3, vertices: 10, edges: 20, border: 1 },
+        ];
+        let b = balance_fragments(&ests, 2);
+        // The heavy fragment is alone on its worker; the three light ones share.
+        let heavy_worker = b.worker_of[0];
+        assert_eq!(b.fragments_of(heavy_worker), vec![0]);
+        assert_eq!(b.fragments_of(1 - heavy_worker).len(), 3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let b = balance_fragments(&[], 3);
+        assert!(b.worker_of.is_empty());
+        assert_eq!(b.worker_cost.len(), 3);
+        assert_eq!(b.imbalance(), 1.0);
+        let one = vec![WorkloadEstimate { fragment: 0, vertices: 1, edges: 1, border: 0 }];
+        let b = balance_fragments(&one, 0);
+        assert_eq!(b.worker_of, vec![0]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The Index Manager.
+//!
+//! GRAPE "inherits optimization strategies available for sequential
+//! algorithms and graphs, e.g. indexing" (Section 1). The Index Manager of
+//! the architecture (Fig. 2) loads such indices for the query engine. Three
+//! index families are provided, matching what the registered PIE programs
+//! can exploit:
+//!
+//! * [`DegreeIndex`] — vertices sorted by degree; used by SubIso to pick
+//!   selective pattern vertices first and by the load balancer for hub
+//!   detection.
+//! * [`LabelIndex`] — label → vertices; used by Sim / SubIso / GPARs to
+//!   enumerate candidate matches without scanning the whole fragment.
+//! * [`LandmarkIndex`] — exact distances from a set of landmark vertices;
+//!   provides lower/upper distance bounds for traversal queries.
+
+use grape_graph::labels::LabeledGraph;
+use grape_graph::{CsrGraph, VertexId};
+use parking_lot::RwLock;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Vertices ordered by (out-)degree, with O(1) degree lookup.
+#[derive(Debug, Clone, Default)]
+pub struct DegreeIndex {
+    /// `(degree, vertex)` sorted descending by degree.
+    by_degree: Vec<(usize, VertexId)>,
+    degree_of: HashMap<VertexId, usize>,
+}
+
+impl DegreeIndex {
+    /// Builds the index over the out-degrees of `graph`.
+    pub fn build<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> Self {
+        let mut by_degree: Vec<(usize, VertexId)> = graph
+            .vertices()
+            .map(|v| (graph.out_degree(v), v))
+            .collect();
+        by_degree.sort_unstable_by(|a, b| b.cmp(a));
+        let degree_of = by_degree.iter().map(|(d, v)| (*v, *d)).collect();
+        Self {
+            by_degree,
+            degree_of,
+        }
+    }
+
+    /// The `k` highest-degree vertices (hubs).
+    pub fn top_k(&self, k: usize) -> Vec<VertexId> {
+        self.by_degree.iter().take(k).map(|(_, v)| *v).collect()
+    }
+
+    /// Degree of a vertex (0 if unknown).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degree_of.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of indexed vertices.
+    pub fn len(&self) -> usize {
+        self.by_degree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_degree.is_empty()
+    }
+}
+
+/// Label → sorted vertex list index over a [`LabeledGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct LabelIndex {
+    by_label: HashMap<String, Vec<VertexId>>,
+}
+
+impl LabelIndex {
+    /// Builds the index.
+    pub fn build(graph: &LabeledGraph) -> Self {
+        let mut by_label: HashMap<String, Vec<VertexId>> = HashMap::new();
+        for v in graph.vertices() {
+            if let Some(data) = graph.vertex_data(v) {
+                by_label.entry(data.label.0.clone()).or_default().push(v);
+            }
+        }
+        for list in by_label.values_mut() {
+            list.sort_unstable();
+        }
+        Self { by_label }
+    }
+
+    /// Vertices carrying `label` (empty slice if none).
+    pub fn vertices_with(&self, label: &str) -> &[VertexId] {
+        self.by_label.get(label).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct labels.
+    pub fn num_labels(&self) -> usize {
+        self.by_label.len()
+    }
+
+    /// All labels, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut l: Vec<&str> = self.by_label.keys().map(|s| s.as_str()).collect();
+        l.sort_unstable();
+        l
+    }
+}
+
+/// Exact shortest-path distances from a small set of landmark vertices.
+#[derive(Debug, Clone, Default)]
+pub struct LandmarkIndex {
+    landmarks: Vec<VertexId>,
+    /// `distances[i][v]` = distance from landmark `i` to `v`.
+    distances: Vec<HashMap<VertexId, f64>>,
+}
+
+impl LandmarkIndex {
+    /// Builds the index by running Dijkstra from the `k` highest-degree
+    /// vertices of `graph` (a standard landmark-selection heuristic).
+    pub fn build(graph: &CsrGraph<(), f64>, k: usize) -> Self {
+        let deg = DegreeIndex::build(graph);
+        let landmarks = deg.top_k(k);
+        let distances = landmarks
+            .iter()
+            .map(|&l| dijkstra_from(graph, l))
+            .collect();
+        Self {
+            landmarks,
+            distances,
+        }
+    }
+
+    /// The landmark vertices.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// Distance from landmark index `i` to `v`, if reachable.
+    pub fn distance_from_landmark(&self, i: usize, v: VertexId) -> Option<f64> {
+        self.distances.get(i).and_then(|d| d.get(&v)).copied()
+    }
+
+    /// Triangle-inequality upper bound on `dist(u, v)`:
+    /// `min_i dist(l_i, u) + dist(l_i, v)` (requires symmetric graphs for a
+    /// true bound; on directed graphs it is a heuristic estimate).
+    pub fn upper_bound(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for d in &self.distances {
+            if let (Some(du), Some(dv)) = (d.get(&u), d.get(&v)) {
+                let bound = du + dv;
+                best = Some(best.map_or(bound, |b: f64| b.min(bound)));
+            }
+        }
+        best
+    }
+}
+
+/// Dijkstra used by the landmark index (duplicated in `grape-algo` as the
+/// reference PEval; kept private here to avoid a dependency cycle).
+fn dijkstra_from(graph: &CsrGraph<(), f64>, source: VertexId) -> HashMap<VertexId, f64> {
+    #[derive(PartialEq)]
+    struct Entry(f64, VertexId);
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut dist = HashMap::new();
+    if !graph.contains(source) {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(Entry(0.0, source));
+    while let Some(Entry(d, u)) = heap.pop() {
+        if d > dist.get(&u).copied().unwrap_or(f64::INFINITY) {
+            continue;
+        }
+        for (v, w) in graph.out_edges(u) {
+            let nd = d + w;
+            if nd < dist.get(&v).copied().unwrap_or(f64::INFINITY) {
+                dist.insert(v, nd);
+                heap.push(Entry(nd, v));
+            }
+        }
+    }
+    dist
+}
+
+/// A named cache of built indices, shared between workers.
+///
+/// The demo's architecture loads indices once and makes them available to the
+/// query engine; here the manager is an in-memory registry keyed by
+/// `(dataset, kind)`.
+#[derive(Debug, Default, Clone)]
+pub struct IndexManager {
+    degree: Arc<RwLock<HashMap<String, Arc<DegreeIndex>>>>,
+    label: Arc<RwLock<HashMap<String, Arc<LabelIndex>>>>,
+    landmark: Arc<RwLock<HashMap<String, Arc<LandmarkIndex>>>>,
+}
+
+impl IndexManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (building and caching on first use) the degree index of a
+    /// dataset.
+    pub fn degree_index<V: Clone, E: Clone>(
+        &self,
+        dataset: &str,
+        graph: &CsrGraph<V, E>,
+    ) -> Arc<DegreeIndex> {
+        if let Some(idx) = self.degree.read().get(dataset) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(DegreeIndex::build(graph));
+        self.degree
+            .write()
+            .insert(dataset.to_string(), Arc::clone(&idx));
+        idx
+    }
+
+    /// Returns (building and caching on first use) the label index.
+    pub fn label_index(&self, dataset: &str, graph: &LabeledGraph) -> Arc<LabelIndex> {
+        if let Some(idx) = self.label.read().get(dataset) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(LabelIndex::build(graph));
+        self.label
+            .write()
+            .insert(dataset.to_string(), Arc::clone(&idx));
+        idx
+    }
+
+    /// Returns (building and caching on first use) a landmark index with `k`
+    /// landmarks.
+    pub fn landmark_index(
+        &self,
+        dataset: &str,
+        graph: &CsrGraph<(), f64>,
+        k: usize,
+    ) -> Arc<LandmarkIndex> {
+        if let Some(idx) = self.landmark.read().get(dataset) {
+            return Arc::clone(idx);
+        }
+        let idx = Arc::new(LandmarkIndex::build(graph, k));
+        self.landmark
+            .write()
+            .insert(dataset.to_string(), Arc::clone(&idx));
+        idx
+    }
+
+    /// Drops every cached index (e.g. after the dataset changed).
+    pub fn invalidate(&self, dataset: &str) {
+        self.degree.write().remove(dataset);
+        self.label.write().remove(dataset);
+        self.landmark.write().remove(dataset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::{barabasi_albert, labeled_social, SocialGraphConfig};
+    use grape_graph::GraphBuilder;
+
+    #[test]
+    fn degree_index_orders_hubs_first() {
+        let g = barabasi_albert(300, 3, 2).unwrap();
+        let idx = DegreeIndex::build(&g);
+        let top = idx.top_k(5);
+        assert_eq!(top.len(), 5);
+        // Degrees are non-increasing along the top-k list.
+        for w in top.windows(2) {
+            assert!(idx.degree(w[0]) >= idx.degree(w[1]));
+        }
+        assert_eq!(idx.len(), 300);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.degree(999_999), 0);
+    }
+
+    #[test]
+    fn label_index_finds_products() {
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 100,
+                num_products: 7,
+                ..Default::default()
+            },
+            4,
+        )
+        .unwrap();
+        let idx = LabelIndex::build(&g);
+        assert_eq!(idx.vertices_with("product").len(), 7);
+        assert_eq!(idx.vertices_with("person").len(), 100);
+        assert!(idx.vertices_with("robot").is_empty());
+        assert_eq!(idx.num_labels(), 2);
+        assert_eq!(idx.labels(), vec!["person", "product"]);
+    }
+
+    #[test]
+    fn landmark_index_distances_and_bounds() {
+        // Path graph 0 - 1 - 2 - 3 with unit weights (symmetric).
+        let mut b = GraphBuilder::<(), f64>::new().symmetric(true);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        let g = b.build().unwrap();
+        let idx = LandmarkIndex::build(&g, 2);
+        assert_eq!(idx.landmarks().len(), 2);
+        let l0 = idx.landmarks()[0];
+        assert_eq!(idx.distance_from_landmark(0, l0), Some(0.0));
+        // The triangle bound is at least the true distance 3 for (0, 3).
+        let bound = idx.upper_bound(0, 3).unwrap();
+        assert!(bound >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn index_manager_caches_and_invalidates() {
+        let mgr = IndexManager::new();
+        let g = barabasi_albert(100, 2, 9).unwrap();
+        let a = mgr.degree_index("d", &g);
+        let b = mgr.degree_index("d", &g);
+        assert!(Arc::ptr_eq(&a, &b), "second call hits the cache");
+        mgr.invalidate("d");
+        let c = mgr.degree_index("d", &g);
+        assert!(!Arc::ptr_eq(&a, &c), "invalidate forces a rebuild");
+    }
+
+    #[test]
+    fn landmark_index_on_missing_source_is_empty() {
+        let g = CsrGraph::<(), f64>::from_records(vec![], vec![], true).unwrap();
+        let idx = LandmarkIndex::build(&g, 3);
+        assert!(idx.landmarks().is_empty());
+        assert!(idx.upper_bound(0, 1).is_none());
+    }
+}

@@ -1,0 +1,23 @@
+//! # grape-storage
+//!
+//! The storage layer of GRAPE-RS, standing in for the lower tiers of the
+//! paper's architecture (Fig. 2):
+//!
+//! * [`store`] — a **DFS-simulating fragment store**: partitioned graphs are
+//!   saved as one edge-list file per fragment plus a JSON manifest, exactly
+//!   the layout a worker would read from a distributed file system.
+//! * [`index`] — the **Index Manager**: degree, label and landmark indices
+//!   that PIE programs may load to speed up their sequential algorithms
+//!   (graph-level optimization, Section 3(4)).
+//! * [`balance`] — the **Load Balancer**: workload estimates per fragment and
+//!   a longest-processing-time assignment of fragments to physical workers.
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod index;
+pub mod store;
+
+pub use balance::{balance_fragments, WorkloadEstimate};
+pub use index::{DegreeIndex, IndexManager, LabelIndex, LandmarkIndex};
+pub use store::{FragmentStore, StoreManifest};

@@ -1,0 +1,277 @@
+//! DFS-simulating fragment store.
+//!
+//! The real GRAPE keeps graph data "in DFS (distributed file system)"
+//! accessible to the query engine, the Index Manager, the Partition Manager
+//! and the Load Balancer. This module reproduces that interface with a local
+//! directory per dataset:
+//!
+//! ```text
+//! <root>/<dataset>/manifest.json      -- partition metadata
+//! <root>/<dataset>/fragment_<i>.el    -- edge list owned by fragment i
+//! <root>/<dataset>/assignment.json    -- vertex -> fragment map
+//! ```
+//!
+//! Workers load only their own fragment file, which is what a distributed
+//! deployment would do.
+
+use grape_graph::io::{load_weighted_edge_list, write_weighted_edge_list, EdgeListOptions};
+use grape_graph::types::EdgeRecord;
+use grape_graph::{CsrGraph, GraphError, VertexId};
+use grape_partition::{build_fragments, Fragment, PartitionAssignment};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Metadata describing a stored, partitioned dataset.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct StoreManifest {
+    /// Dataset name (directory name under the store root).
+    pub dataset: String,
+    /// Partition strategy used to produce the fragments.
+    pub strategy: String,
+    /// Number of fragments.
+    pub num_fragments: usize,
+    /// Total number of vertices in the dataset.
+    pub num_vertices: usize,
+    /// Total number of directed edges in the dataset.
+    pub num_edges: usize,
+    /// Inner-vertex count per fragment.
+    pub fragment_sizes: Vec<usize>,
+}
+
+/// A directory-backed store of partitioned graphs.
+#[derive(Debug, Clone)]
+pub struct FragmentStore {
+    root: PathBuf,
+}
+
+impl FragmentStore {
+    /// Opens (and creates if necessary) a store rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, GraphError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn dataset_dir(&self, dataset: &str) -> PathBuf {
+        self.root.join(dataset)
+    }
+
+    /// Saves a weighted graph partitioned by `assignment` under `dataset`,
+    /// overwriting any previous contents. Returns the manifest.
+    pub fn save_partitioned(
+        &self,
+        dataset: &str,
+        graph: &CsrGraph<(), f64>,
+        assignment: &PartitionAssignment,
+        strategy: &str,
+    ) -> Result<StoreManifest, GraphError> {
+        let dir = self.dataset_dir(dataset);
+        fs::create_dir_all(&dir)?;
+        let fragments = build_fragments(graph, assignment);
+        let mut sizes = Vec::with_capacity(fragments.len());
+        for fragment in &fragments {
+            sizes.push(fragment.num_inner());
+            let path = dir.join(format!("fragment_{}.el", fragment.id));
+            // Persist only edges owned by the fragment (source is inner), so
+            // the union of all fragment files is exactly the global edge set.
+            let owned_edges: Vec<EdgeRecord<f64>> = fragment
+                .graph
+                .edges()
+                .filter(|(s, _, _)| fragment.is_inner(*s))
+                .map(|(s, d, w)| EdgeRecord::new(s, d, *w))
+                .collect();
+            let vertices: Vec<(VertexId, ())> = fragment
+                .graph
+                .vertices()
+                .filter(|v| {
+                    fragment.is_inner(*v)
+                        || owned_edges.iter().any(|e| e.src == *v || e.dst == *v)
+                })
+                .map(|v| (v, ()))
+                .collect();
+            let sub = CsrGraph::from_records(vertices, owned_edges, false)?;
+            write_weighted_edge_list(&sub, &path)?;
+        }
+        let manifest = StoreManifest {
+            dataset: dataset.to_string(),
+            strategy: strategy.to_string(),
+            num_fragments: fragments.len(),
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            fragment_sizes: sizes,
+        };
+        let manifest_json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        fs::write(dir.join("manifest.json"), manifest_json)?;
+        let assignment_json = serde_json::to_string(assignment)
+            .map_err(|e| GraphError::Io(e.to_string()))?;
+        fs::write(dir.join("assignment.json"), assignment_json)?;
+        Ok(manifest)
+    }
+
+    /// Reads the manifest of a stored dataset.
+    pub fn manifest(&self, dataset: &str) -> Result<StoreManifest, GraphError> {
+        let path = self.dataset_dir(dataset).join("manifest.json");
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| GraphError::Io(e.to_string()))
+    }
+
+    /// Reads the stored vertex → fragment assignment.
+    pub fn assignment(&self, dataset: &str) -> Result<PartitionAssignment, GraphError> {
+        let path = self.dataset_dir(dataset).join("assignment.json");
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| GraphError::Io(e.to_string()))
+    }
+
+    /// Loads the edge-list file owned by one fragment.
+    pub fn load_fragment_edges(
+        &self,
+        dataset: &str,
+        fragment: usize,
+    ) -> Result<CsrGraph<(), f64>, GraphError> {
+        let path = self
+            .dataset_dir(dataset)
+            .join(format!("fragment_{fragment}.el"));
+        load_weighted_edge_list(path, EdgeListOptions::default())
+    }
+
+    /// Reassembles the full graph from all fragment files.
+    pub fn load_full_graph(&self, dataset: &str) -> Result<CsrGraph<(), f64>, GraphError> {
+        let manifest = self.manifest(dataset)?;
+        let mut vertices: Vec<(VertexId, ())> = Vec::new();
+        let mut edges: Vec<EdgeRecord<f64>> = Vec::new();
+        for f in 0..manifest.num_fragments {
+            let part = self.load_fragment_edges(dataset, f)?;
+            vertices.extend(part.vertices().map(|v| (v, ())));
+            edges.extend(
+                part.edges()
+                    .map(|(s, d, w)| EdgeRecord::new(s, d, *w)),
+            );
+        }
+        vertices.sort_unstable_by_key(|(v, _)| *v);
+        vertices.dedup_by_key(|(v, _)| *v);
+        CsrGraph::from_records(vertices, edges, true)
+    }
+
+    /// Rebuilds the in-memory [`Fragment`]s exactly as the engine would use
+    /// them, from the stored assignment and fragment files.
+    pub fn load_fragments(&self, dataset: &str) -> Result<Vec<Fragment<(), f64>>, GraphError> {
+        let graph = self.load_full_graph(dataset)?;
+        let assignment = self.assignment(dataset)?;
+        Ok(build_fragments(&graph, &assignment))
+    }
+
+    /// Lists the datasets currently in the store.
+    pub fn datasets(&self) -> Result<Vec<String>, GraphError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.path().join("manifest.json").exists() {
+                out.push(entry.file_name().to_string_lossy().to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Removes a dataset from the store.
+    pub fn remove(&self, dataset: &str) -> Result<(), GraphError> {
+        let dir = self.dataset_dir(dataset);
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+    use grape_partition::{HashPartitioner, MetisLikePartitioner, Partitioner};
+
+    fn temp_store(name: &str) -> FragmentStore {
+        let dir = std::env::temp_dir().join(format!("grape_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        FragmentStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let store = temp_store("roundtrip");
+        let g = barabasi_albert(200, 3, 1).unwrap();
+        let a = HashPartitioner.partition(&g, 4);
+        let manifest = store.save_partitioned("social", &g, &a, "hash").unwrap();
+        assert_eq!(manifest.num_fragments, 4);
+        assert_eq!(manifest.num_vertices, 200);
+        assert_eq!(manifest.fragment_sizes.iter().sum::<usize>(), 200);
+
+        let reloaded = store.load_full_graph("social").unwrap();
+        assert_eq!(reloaded.num_vertices(), g.num_vertices());
+        assert_eq!(reloaded.num_edges(), g.num_edges());
+
+        let manifest2 = store.manifest("social").unwrap();
+        assert_eq!(manifest, manifest2);
+        store.remove("social").unwrap();
+    }
+
+    #[test]
+    fn fragment_files_partition_the_edge_set() {
+        let store = temp_store("edgesplit");
+        let g = road_network(
+            RoadNetworkConfig {
+                width: 12,
+                height: 12,
+                ..Default::default()
+            },
+            2,
+        )
+        .unwrap();
+        let a = MetisLikePartitioner::default().partition(&g, 3);
+        store.save_partitioned("road", &g, &a, "metis-like").unwrap();
+        let mut total_edges = 0;
+        for f in 0..3 {
+            total_edges += store.load_fragment_edges("road", f).unwrap().num_edges();
+        }
+        assert_eq!(total_edges, g.num_edges());
+        store.remove("road").unwrap();
+    }
+
+    #[test]
+    fn stored_assignment_and_fragments_match_in_memory_build() {
+        let store = temp_store("frags");
+        let g = barabasi_albert(120, 2, 5).unwrap();
+        let a = HashPartitioner.partition(&g, 3);
+        store.save_partitioned("bg", &g, &a, "hash").unwrap();
+        let frags = store.load_fragments("bg").unwrap();
+        let direct = grape_partition::build_fragments(&g, &a);
+        assert_eq!(frags.len(), direct.len());
+        for (fa, fb) in frags.iter().zip(direct.iter()) {
+            assert_eq!(fa.num_inner(), fb.num_inner());
+            assert_eq!(fa.num_outer(), fb.num_outer());
+        }
+        store.remove("bg").unwrap();
+    }
+
+    #[test]
+    fn datasets_listing_and_removal() {
+        let store = temp_store("listing");
+        let g = barabasi_albert(50, 2, 3).unwrap();
+        let a = HashPartitioner.partition(&g, 2);
+        store.save_partitioned("one", &g, &a, "hash").unwrap();
+        store.save_partitioned("two", &g, &a, "hash").unwrap();
+        assert_eq!(store.datasets().unwrap(), vec!["one", "two"]);
+        store.remove("one").unwrap();
+        assert_eq!(store.datasets().unwrap(), vec!["two"]);
+        store.remove("two").unwrap();
+        assert!(store.datasets().unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_dataset_is_an_error() {
+        let store = temp_store("missing");
+        assert!(store.manifest("nope").is_err());
+        assert!(store.load_fragment_edges("nope", 0).is_err());
+    }
+}

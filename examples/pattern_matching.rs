@@ -1,0 +1,74 @@
+//! Pattern matching on a labeled social graph: graph simulation, subgraph
+//! isomorphism and keyword search — the remaining query classes registered in
+//! the demo library (Section 3(3)).
+//!
+//! Run with: `cargo run --release --example pattern_matching`
+
+use grape::graph::labels::PatternGraph;
+use grape::prelude::*;
+
+fn main() {
+    let graph = grape::graph::generators::labeled_social(
+        grape::graph::generators::SocialGraphConfig {
+            num_persons: 800,
+            num_products: 10,
+            ..Default::default()
+        },
+        5,
+    )
+    .expect("valid generator parameters");
+    let workers = 6;
+    let assignment = BuiltinStrategy::MetisLike.partition(&graph, workers);
+    println!(
+        "labeled graph: {} vertices, {} edges, {} workers",
+        graph.num_vertices(),
+        graph.num_edges(),
+        workers
+    );
+
+    // person --follows--> person --recommends--> product
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+
+    // 1. Graph simulation (polynomial time, set semantics).
+    let sim = GrapeEngine::new(SimProgram)
+        .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
+        .expect("sim run succeeds");
+    println!("\nsimulation:");
+    for (u, matches) in sim.output.iter().enumerate() {
+        println!("  pattern vertex {u}: {} matching data vertices", matches.len());
+    }
+    println!("  {}", sim.stats.summary());
+
+    // 2. Subgraph isomorphism (exact embeddings, capped for the demo).
+    let subiso_query = SubIsoQuery::new(pattern).with_max_matches(1_000);
+    let subiso = GrapeEngine::new(SubIsoProgram)
+        .run_on_graph(&subiso_query, &graph, &assignment)
+        .expect("subiso run succeeds");
+    println!("\nsubgraph isomorphism: {} embeddings found", subiso.output.len());
+    println!("  {}", subiso.stats.summary());
+
+    // 3. Keyword search: who can reach both a phone and a laptop quickly?
+    let keyword_query = KeywordQuery::new(["phone", "laptop"], 6.0);
+    let keyword = GrapeEngine::new(KeywordProgram)
+        .run_on_graph(&keyword_query, &graph, &assignment)
+        .expect("keyword run succeeds");
+    let within: Vec<_> = keyword
+        .output
+        .iter()
+        .filter(|a| a.total <= keyword_query.max_total_distance)
+        .collect();
+    println!(
+        "\nkeyword search: {} roots reach all keywords within total distance {}",
+        within.len(),
+        keyword_query.max_total_distance
+    );
+    for answer in within.iter().take(5) {
+        println!(
+            "  root {:>6}: distances {:?} (total {})",
+            answer.root, answer.distances, answer.total
+        );
+    }
+    println!("  {}", keyword.stats.summary());
+}

@@ -1,0 +1,85 @@
+//! # GRAPE-RS
+//!
+//! A Rust reproduction of **GRAPE: Parallelizing Sequential Graph
+//! Computations** (Fan, Xu, Wu, Yu, Jiang — PVLDB 10(12), 2017).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`graph`] — CSR graph storage, loaders and synthetic generators.
+//! * [`partition`] — partition strategies (hash, 1D/2D, LDG, Fennel,
+//!   METIS-like) and fragment construction.
+//! * [`comm`] — the in-process message bus standing in for the MPI
+//!   controller, with full communication accounting.
+//! * [`storage`] — the DFS-simulating fragment store, Index Manager and Load
+//!   Balancer.
+//! * [`core`] — the PIE programming model and the BSP fixpoint engine.
+//! * [`algo`] — registered PIE programs: SSSP, CC, PageRank, Sim, SubIso,
+//!   Keyword, CF and the GPAR marketing use case.
+//! * [`baseline`] — the Table 1 comparators: Pregel-like, GAS and Blogel-like
+//!   engines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use grape::prelude::*;
+//!
+//! // A small road-network-like graph.
+//! let graph = grape::graph::generators::road_network(
+//!     grape::graph::generators::RoadNetworkConfig { width: 16, height: 16, ..Default::default() },
+//!     7,
+//! ).unwrap();
+//!
+//! // Partition it into 4 fragments with the METIS-like strategy.
+//! let assignment = BuiltinStrategy::MetisLike.partition(&graph, 4);
+//!
+//! // Plug the sequential Dijkstra + incremental SSSP into GRAPE and run.
+//! let engine = GrapeEngine::new(SsspProgram);
+//! let result = engine.run_on_graph(&SsspQuery::new(0), &graph, &assignment).unwrap();
+//! assert_eq!(result.output[&0], 0.0);
+//! println!("{}", result.stats.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use grape_algo as algo;
+pub use grape_baseline as baseline;
+pub use grape_comm as comm;
+pub use grape_core as core;
+pub use grape_graph as graph;
+pub use grape_partition as partition;
+pub use grape_storage as storage;
+
+/// The most frequently used items, importable with `use grape::prelude::*`.
+pub mod prelude {
+    pub use grape_algo::{
+        CcProgram, CcQuery, CfProgram, CfQuery, Gpar, KeywordProgram, KeywordQuery,
+        MarketingProgram, MarketingQuery, PageRankProgram, PageRankQuery, SimProgram, SimQuery,
+        SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
+    };
+    pub use grape_baseline::{BlogelEngine, GasEngine, PregelEngine};
+    pub use grape_core::{
+        build_fragments, EngineConfig, Fragment, GrapeEngine, GrapeResult, PieContext, PieProgram,
+        RunStats, VertexId,
+    };
+    pub use grape_graph::{CsrGraph, GraphBuilder, LabeledGraph, WeightedGraph};
+    pub use grape_partition::{
+        BuiltinStrategy, HashPartitioner, MetisLikePartitioner, PartitionAssignment, Partitioner,
+    };
+    pub use grape_storage::{FragmentStore, IndexManager};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let graph = crate::graph::generators::barabasi_albert(100, 2, 1).unwrap();
+        let assignment = BuiltinStrategy::Hash.partition(&graph, 2);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &graph, &assignment)
+            .unwrap();
+        assert_eq!(result.output.len(), 100);
+    }
+}

@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: generators → partitioners → fragments →
+//! PIE engine → answers, checked against the sequential references for every
+//! registered query class.
+
+use grape::algo::{
+    cc::sequential_cc, keyword::sequential_keyword, marketing::sequential_marketing,
+    sim::sequential_sim, sssp::sequential_sssp, subiso::sequential_subiso,
+};
+use grape::graph::generators::{
+    barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
+};
+use grape::graph::labels::PatternGraph;
+use grape::prelude::*;
+
+fn road() -> WeightedGraph {
+    road_network(
+        RoadNetworkConfig {
+            width: 28,
+            height: 28,
+            ..Default::default()
+        },
+        17,
+    )
+    .unwrap()
+}
+
+#[test]
+fn sssp_agrees_with_dijkstra_across_strategies_and_worker_counts() {
+    let graph = road();
+    let expected = sequential_sssp(&graph, 0);
+    for strategy in [
+        BuiltinStrategy::Hash,
+        BuiltinStrategy::Range,
+        BuiltinStrategy::Grid2D,
+        BuiltinStrategy::Ldg,
+        BuiltinStrategy::Fennel,
+        BuiltinStrategy::MetisLike,
+    ] {
+        for workers in [1, 3, 8] {
+            let assignment = strategy.partition(&graph, workers);
+            let result = GrapeEngine::new(SsspProgram)
+                .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+                .unwrap();
+            for (v, d) in &expected {
+                let got = result.output.get(v).copied().unwrap_or(f64::INFINITY);
+                assert!(
+                    (got - d).abs() < 1e-9,
+                    "strategy {:?}, {} workers, vertex {v}: {got} vs {d}",
+                    strategy,
+                    workers
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cc_agrees_with_union_find_on_fragmented_power_law_graph() {
+    let graph = barabasi_albert(1_500, 3, 23).unwrap();
+    let expected = sequential_cc(&graph);
+    for workers in [2, 5, 12] {
+        let assignment = BuiltinStrategy::Fennel.partition(&graph, workers);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &graph, &assignment)
+            .unwrap();
+        for v in graph.vertices() {
+            assert_eq!(result.output[&v], expected[&v]);
+        }
+    }
+}
+
+#[test]
+fn pattern_queries_agree_with_sequential_references() {
+    let graph = labeled_social(
+        SocialGraphConfig {
+            num_persons: 200,
+            num_products: 6,
+            ..Default::default()
+        },
+        9,
+    )
+    .unwrap();
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+    let assignment = BuiltinStrategy::MetisLike.partition(&graph, 5);
+
+    // Simulation.
+    let sim = GrapeEngine::new(SimProgram)
+        .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
+        .unwrap();
+    assert_eq!(sim.output, sequential_sim(&graph, &pattern));
+
+    // Subgraph isomorphism.
+    let mut sub = GrapeEngine::new(SubIsoProgram)
+        .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
+        .unwrap()
+        .output;
+    let mut expected = sequential_subiso(&graph, &pattern);
+    sub.sort();
+    expected.sort();
+    assert_eq!(sub, expected);
+
+    // Keyword search.
+    let kq = KeywordQuery::new(["phone", "laptop"], f64::INFINITY);
+    let kw = GrapeEngine::new(KeywordProgram)
+        .run_on_graph(&kq, &graph, &assignment)
+        .unwrap();
+    let reference = sequential_keyword(&graph, &kq);
+    assert_eq!(kw.output.len(), reference.len());
+    for (a, b) in kw.output.iter().zip(reference.iter()) {
+        assert_eq!(a.root, b.root);
+        assert_eq!(a.distances, b.distances);
+    }
+
+    // Marketing rule.
+    let mq = MarketingQuery::new(200);
+    let mk = GrapeEngine::new(MarketingProgram)
+        .run_on_graph(&mq, &graph, &assignment)
+        .unwrap();
+    assert_eq!(mk.output, sequential_marketing(&graph, &mq));
+}
+
+#[test]
+fn engine_statistics_are_internally_consistent() {
+    let graph = road();
+    let assignment = BuiltinStrategy::MetisLike.partition(&graph, 6);
+    let result = GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+        .unwrap();
+    let stats = &result.stats;
+    assert_eq!(stats.history.len(), stats.supersteps);
+    assert_eq!(
+        stats.history.iter().map(|t| t.messages).sum::<u64>(),
+        stats.messages
+    );
+    assert_eq!(
+        stats.history.iter().map(|t| t.bytes).sum::<u64>(),
+        stats.bytes
+    );
+    assert!(stats.history[0].active_workers == 6);
+    assert!(stats.peval_seconds >= 0.0 && stats.inceval_seconds >= 0.0);
+}
+
+#[test]
+fn grape_and_all_baselines_agree_on_sssp() {
+    use grape::baseline::{BlockSssp, BlogelEngine, GasEngine, GasSssp, PregelEngine, PregelSssp};
+    let graph = barabasi_albert(600, 3, 31).unwrap();
+    let source = 3;
+    let assignment = BuiltinStrategy::Hash.partition(&graph, 4);
+    let grape_run = GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(source), &graph, &assignment)
+        .unwrap();
+    let (pregel, _) = PregelEngine::new(4).run(&PregelSssp, &source, &graph);
+    let (gas, _) = GasEngine::new(4).run(&GasSssp, &source, &graph);
+    let (blogel, _) = BlogelEngine::new().run(&BlockSssp, &source, &graph, &assignment);
+    let expected = sequential_sssp(&graph, source);
+    for (v, d) in &expected {
+        assert!((grape_run.output[v] - d).abs() < 1e-9);
+        assert!((pregel[v] - d).abs() < 1e-9);
+        assert!((gas[v] - d).abs() < 1e-9);
+        assert!((blogel[v] - d).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn storage_round_trip_feeds_the_engine() {
+    let dir = std::env::temp_dir().join(format!("grape_it_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FragmentStore::open(&dir).unwrap();
+    let graph = road();
+    let assignment = BuiltinStrategy::MetisLike.partition(&graph, 4);
+    store
+        .save_partitioned("road", &graph, &assignment, "metis-like")
+        .unwrap();
+
+    // Reload the fragments from "DFS" and run the query on them directly.
+    let fragments = store.load_fragments("road").unwrap();
+    let result = GrapeEngine::new(SsspProgram)
+        .run(&SsspQuery::new(0), &fragments)
+        .unwrap();
+    let expected = sequential_sssp(&graph, 0);
+    for (v, d) in &expected {
+        assert!((result.output[v] - d).abs() < 1e-9);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_balancer_assigns_every_fragment_and_keeps_balance() {
+    let graph = barabasi_albert(2_000, 4, 7).unwrap();
+    let assignment = BuiltinStrategy::Ldg.partition(&graph, 16);
+    let fragments = build_fragments(&graph, &assignment);
+    let estimates: Vec<grape::storage::WorkloadEstimate> = fragments
+        .iter()
+        .map(grape::storage::WorkloadEstimate::of)
+        .collect();
+    let balanced = grape::storage::balance_fragments(&estimates, 4);
+    assert_eq!(balanced.worker_of.len(), 16);
+    assert!(balanced.imbalance() < 1.5);
+    let hosted: usize = (0..4).map(|w| balanced.fragments_of(w).len()).sum();
+    assert_eq!(hosted, 16);
+}
+
+#[test]
+fn index_manager_supports_pie_program_optimizations() {
+    let graph = labeled_social(
+        SocialGraphConfig {
+            num_persons: 300,
+            num_products: 6,
+            ..Default::default()
+        },
+        3,
+    )
+    .unwrap();
+    let manager = IndexManager::new();
+    let labels = manager.label_index("social", &graph);
+    assert_eq!(labels.vertices_with("product").len(), 6);
+    let degrees = manager.degree_index("social", &graph);
+    assert!(degrees.top_k(3).len() == 3);
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the core invariants of GRAPE-RS, using proptest.
+//!
+//! * partitioners always produce total, in-range assignments;
+//! * fragment construction preserves the vertex set and the cut-edge
+//!   bookkeeping;
+//! * the PIE engine's answers are independent of the partition strategy and
+//!   the number of workers (the Assurance Theorem's observable consequence);
+//! * the bounded incremental SSSP always agrees with recomputation from
+//!   scratch.
+
+use grape::algo::sssp::{incremental_sssp, sequential_sssp};
+use grape::algo::{cc::sequential_cc, CcProgram, CcQuery, SsspProgram, SsspQuery};
+use grape::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random edge list over `n` vertices (ensuring every vertex id
+/// in 0..n exists), with weights in [0.5, 10].
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = WeightedGraph> {
+    (2..max_n, 1..max_m).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec(
+            (0..n as u64, 0..n as u64, 1u32..20),
+            1..m.max(2),
+        );
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::<(), f64>::new();
+            for v in 0..n as u64 {
+                b.ensure_vertex(v);
+            }
+            for (s, d, w) in edges {
+                b.add_edge(s, d, w as f64 / 2.0);
+            }
+            b.build().expect("valid edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partitioners_cover_every_vertex_within_range(
+        graph in arb_graph(120, 500),
+        k in 1usize..9,
+    ) {
+        for strategy in BuiltinStrategy::all() {
+            let assignment = strategy.partition(&graph, k);
+            prop_assert_eq!(assignment.num_assigned(), graph.num_vertices());
+            for (_, f) in assignment.iter() {
+                prop_assert!(f < k);
+            }
+            let sizes = assignment.sizes();
+            prop_assert_eq!(sizes.iter().sum::<usize>(), graph.num_vertices());
+        }
+    }
+
+    #[test]
+    fn fragments_partition_vertices_and_duplicate_only_cut_edges(
+        graph in arb_graph(100, 400),
+        k in 1usize..7,
+    ) {
+        let assignment = BuiltinStrategy::Hash.partition(&graph, k);
+        let quality = grape::partition::evaluate_partition(&graph, &assignment);
+        let fragments = build_fragments(&graph, &assignment);
+        let total_inner: usize = fragments.iter().map(|f| f.num_inner()).sum();
+        prop_assert_eq!(total_inner, graph.num_vertices());
+        let total_edges: usize = fragments.iter().map(|f| f.num_local_edges()).sum();
+        prop_assert_eq!(total_edges, graph.num_edges() + quality.cut_edges);
+        // Border bookkeeping is symmetric: v is outer somewhere iff its owner
+        // lists that fragment as a mirror location.
+        for fragment in &fragments {
+            for &v in fragment.outer_vertices() {
+                let owner = fragment.owner_of(v).expect("outer vertices have owners");
+                prop_assert!(fragments[owner].mirrors_of(v).contains(&fragment.id));
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_answers_are_partition_invariant(
+        graph in arb_graph(80, 300),
+        k in 1usize..6,
+    ) {
+        let expected = sequential_sssp(&graph, 0);
+        let assignment = BuiltinStrategy::Ldg.partition(&graph, k);
+        let result = GrapeEngine::new(SsspProgram)
+            .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+            .unwrap();
+        for (v, d) in &expected {
+            let got = result.output.get(v).copied().unwrap_or(f64::INFINITY);
+            prop_assert!((got - d).abs() < 1e-9, "vertex {} {} vs {}", v, got, d);
+        }
+        for (v, d) in &result.output {
+            if d.is_finite() {
+                prop_assert!(expected.contains_key(v));
+            }
+        }
+    }
+
+    #[test]
+    fn cc_answers_are_partition_invariant(
+        graph in arb_graph(80, 250),
+        k in 1usize..6,
+    ) {
+        let expected = sequential_cc(&graph);
+        let assignment = BuiltinStrategy::MetisLike.partition(&graph, k);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &graph, &assignment)
+            .unwrap();
+        for v in graph.vertices() {
+            prop_assert_eq!(result.output[&v], expected[&v]);
+        }
+    }
+
+    #[test]
+    fn incremental_sssp_equals_recomputation(
+        graph in arb_graph(60, 200),
+        new_source in 0u64..60,
+    ) {
+        // Start from the distances of source 0, then additionally seed
+        // `new_source` at distance 0; the result must equal a two-source
+        // recomputation.
+        let mut dist = sequential_sssp(&graph, 0);
+        if !graph.contains(new_source) {
+            return Ok(());
+        }
+        incremental_sssp(&graph, &mut dist, &[(new_source, 0.0)]);
+        // Reference: min over both single-source runs.
+        let a = sequential_sssp(&graph, 0);
+        let b = sequential_sssp(&graph, new_source);
+        let mut expected: HashMap<VertexId, f64> = a;
+        for (v, d) in b {
+            expected
+                .entry(v)
+                .and_modify(|e| *e = e.min(d))
+                .or_insert(d);
+        }
+        for (v, d) in &expected {
+            prop_assert!((dist[v] - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn message_totals_match_superstep_history(
+        graph in arb_graph(70, 250),
+        k in 2usize..6,
+    ) {
+        let assignment = BuiltinStrategy::Hash.partition(&graph, k);
+        let result = GrapeEngine::new(CcProgram)
+            .run_on_graph(&CcQuery, &graph, &assignment)
+            .unwrap();
+        let by_history: u64 = result.stats.history.iter().map(|t| t.messages).sum();
+        prop_assert_eq!(by_history, result.stats.messages);
+        prop_assert_eq!(result.stats.history.len(), result.stats.supersteps);
+    }
+}
