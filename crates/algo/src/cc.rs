@@ -93,10 +93,7 @@ pub struct CcPartial {
 pub struct CcProgram;
 
 impl CcProgram {
-    fn relabel(
-        fragment: &Fragment<(), f64>,
-        labels: &mut HashMap<VertexId, VertexId>,
-    ) -> bool {
+    fn relabel(fragment: &Fragment<(), f64>, labels: &mut HashMap<VertexId, VertexId>) -> bool {
         // Propagate min labels along local edges until stable.
         let mut changed_any = false;
         let mut changed = true;
@@ -144,11 +141,8 @@ impl PieProgram for CcProgram {
         for (s, d, _) in fragment.graph.edges() {
             uf.union(s, d);
         }
-        let labels: HashMap<VertexId, VertexId> = fragment
-            .graph
-            .vertices()
-            .map(|v| (v, uf.find(v)))
-            .collect();
+        let labels: HashMap<VertexId, VertexId> =
+            fragment.graph.vertices().map(|v| (v, uf.find(v))).collect();
         for &b in &fragment.border_vertices() {
             ctx.update(b, labels[&b]);
         }
@@ -257,8 +251,16 @@ mod tests {
 
     #[test]
     fn pie_cc_matches_reference_on_random_graphs() {
-        check_against_reference(&erdos_renyi(300, 0.01, 5).unwrap(), 4, BuiltinStrategy::Hash);
-        check_against_reference(&barabasi_albert(400, 3, 6).unwrap(), 6, BuiltinStrategy::Ldg);
+        check_against_reference(
+            &erdos_renyi(300, 0.01, 5).unwrap(),
+            4,
+            BuiltinStrategy::Hash,
+        );
+        check_against_reference(
+            &barabasi_albert(400, 3, 6).unwrap(),
+            6,
+            BuiltinStrategy::Ldg,
+        );
     }
 
     #[test]

@@ -277,9 +277,7 @@ impl PieProgram for CfProgram {
         CfModel {
             factors: sums
                 .into_iter()
-                .map(|(v, (sum, count))| {
-                    (v, sum.into_iter().map(|x| x / count as f64).collect())
-                })
+                .map(|(v, (sum, count))| (v, sum.into_iter().map(|x| x / count as f64).collect()))
                 .collect(),
         }
     }
@@ -301,7 +299,10 @@ mod tests {
     use grape_partition::{HashPartitioner, Partitioner};
 
     fn as_triples(data: &grape_graph::generators::RatingData) -> Vec<(VertexId, VertexId, f64)> {
-        data.train.iter().map(|r| (r.user, r.item, r.score)).collect()
+        data.train
+            .iter()
+            .map(|r| (r.user, r.item, r.score))
+            .collect()
     }
 
     #[test]
@@ -377,7 +378,13 @@ mod tests {
             .iter()
             .map(|r| (r.user, r.item, r.score))
             .collect();
-        let model = sequential_cf(&CfQuery { epochs: 20, ..Default::default() }, &triples);
+        let model = sequential_cf(
+            &CfQuery {
+                epochs: 20,
+                ..Default::default()
+            },
+            &triples,
+        );
         let rmse = model.rmse(&test);
         assert!(rmse < 1.5, "held-out RMSE too large: {rmse}");
     }
@@ -396,7 +403,10 @@ mod tests {
         let p = CfProgram::new(10);
         assert_eq!(p.num_users, 10);
         assert_eq!(p.name(), "cf");
-        assert_eq!(p.aggregate(&vec![1.0, 3.0], &vec![3.0, 5.0]), vec![2.0, 4.0]);
+        assert_eq!(
+            p.aggregate(&vec![1.0, 3.0], &vec![3.0, 5.0]),
+            vec![2.0, 4.0]
+        );
         let q = CfQuery::default();
         assert!(q.rank > 0 && q.epochs > 0);
     }

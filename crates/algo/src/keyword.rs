@@ -119,7 +119,11 @@ pub fn sequential_keyword(
     for (k, keyword) in query.keywords.iter().enumerate() {
         let sources: Vec<VertexId> = graph
             .vertices()
-            .filter(|v| graph.vertex_data(*v).is_some_and(|d| d.has_keyword(keyword)))
+            .filter(|v| {
+                graph
+                    .vertex_data(*v)
+                    .is_some_and(|d| d.has_keyword(keyword))
+            })
             .collect();
         let mut dist: HashMap<VertexId, f64> = HashMap::new();
         backward_bfs(
@@ -181,11 +185,8 @@ impl KeywordProgram {
     ) -> usize {
         // Backward Dijkstra restricted to keyword slot `k`, seeded with the
         // given (vertex, distance) pairs.
-        let mut dist: HashMap<VertexId, f64> = partial
-            .dist
-            .iter()
-            .map(|(v, vec)| (*v, vec[k]))
-            .collect();
+        let mut dist: HashMap<VertexId, f64> =
+            partial.dist.iter().map(|(v, vec)| (*v, vec[k])).collect();
         let mut heap = BinaryHeap::new();
         let mut changed = 0usize;
         for &(v, d) in seeds {
@@ -327,10 +328,7 @@ impl PieProgram for KeywordProgram {
     }
 
     fn aggregate(&self, a: &DistanceVector, b: &DistanceVector) -> DistanceVector {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| x.min(*y))
-            .collect()
+        a.iter().zip(b.iter()).map(|(x, y)| x.min(*y)).collect()
     }
 
     fn monotonic(&self, old: &DistanceVector, new: &DistanceVector) -> Option<bool> {
@@ -440,7 +438,10 @@ mod tests {
     #[test]
     fn program_declarations() {
         let p = KeywordProgram;
-        assert_eq!(p.aggregate(&vec![1.0, 5.0], &vec![2.0, 3.0]), vec![1.0, 3.0]);
+        assert_eq!(
+            p.aggregate(&vec![1.0, 5.0], &vec![2.0, 3.0]),
+            vec![1.0, 3.0]
+        );
         assert_eq!(p.monotonic(&vec![2.0], &vec![1.0]), Some(true));
         assert_eq!(p.monotonic(&vec![1.0], &vec![2.0]), Some(false));
         assert_eq!(p.name(), "keyword");

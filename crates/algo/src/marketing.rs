@@ -145,7 +145,11 @@ const FLAG_RECOMMENDS: u8 = 0b001;
 const FLAG_RATES_BAD: u8 = 0b010;
 const FLAG_BUYS: u8 = 0b100;
 
-fn product_flags(graph: &grape_graph::CsrGraph<LabeledVertex, String>, person: VertexId, product: VertexId) -> u8 {
+fn product_flags(
+    graph: &grape_graph::CsrGraph<LabeledVertex, String>,
+    person: VertexId,
+    product: VertexId,
+) -> u8 {
     let mut flags = 0u8;
     for (d, rel) in graph.out_edges(person) {
         if d != product {
@@ -431,8 +435,10 @@ mod tests {
             min_recommend_ratio: 0.1,
             min_followees: 1,
         };
-        let people: Vec<VertexId> =
-            sequential_marketing(&g, &q).iter().map(|p| p.person).collect();
+        let people: Vec<VertexId> = sequential_marketing(&g, &q)
+            .iter()
+            .map(|p| p.person)
+            .collect();
         assert!(people.contains(&0));
         assert!(!people.contains(&4));
         assert!(!people.contains(&7));
@@ -497,13 +503,9 @@ mod tests {
     fn gpar_confidence_on_fig4_graph() {
         let g = fig4_graph();
         // Antecedent: person follows someone who recommends the product.
-        let pattern = PatternGraph::new(vec![
-            "person".into(),
-            "person".into(),
-            "product".into(),
-        ])
-        .edge_labeled(0, 1, "follows")
-        .edge_labeled(1, 2, "recommends");
+        let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+            .edge_labeled(0, 1, "follows")
+            .edge_labeled(1, 2, "recommends");
         let rule = Gpar::new(pattern, 0, 2, "buys");
         let stats = rule.evaluate(&g);
         // (x, y) pairs satisfying the antecedent: x in {0, 4, 5?, 7}: 0 and 7

@@ -316,7 +316,10 @@ mod tests {
             "distributed PageRank deviates too much: {max_err}"
         );
         let total: f64 = result.output.values().sum();
-        assert!((total - 1.0).abs() < 0.05, "mass roughly preserved: {total}");
+        assert!(
+            (total - 1.0).abs() < 0.05,
+            "mass roughly preserved: {total}"
+        );
     }
 
     #[test]

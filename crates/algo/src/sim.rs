@@ -122,7 +122,12 @@ pub fn sequential_sim(
 ) -> SimMatches {
     let mut masks: HashMap<VertexId, u64> = graph
         .vertices()
-        .map(|v| (v, label_mask(pattern, graph.vertex_data(v).expect("present"))))
+        .map(|v| {
+            (
+                v,
+                label_mask(pattern, graph.vertex_data(v).expect("present")),
+            )
+        })
         .collect();
     refine(pattern, graph, &mut masks, &|_| true);
     collect_matches(pattern, &masks, None)
@@ -182,7 +187,10 @@ impl PieProgram for SimProgram {
             .map(|v| {
                 (
                     v,
-                    label_mask(&query.pattern, fragment.graph.vertex_data(v).expect("present")),
+                    label_mask(
+                        &query.pattern,
+                        fragment.graph.vertex_data(v).expect("present"),
+                    ),
                 )
             })
             .collect();

@@ -90,8 +90,7 @@ impl NeighborhoodDelta {
     pub fn contains(&self, other: &NeighborhoodDelta) -> bool {
         let vs: HashSet<&(VertexId, String)> = self.vertices.iter().collect();
         let es: HashSet<&(VertexId, VertexId, String)> = self.edges.iter().collect();
-        other.vertices.iter().all(|v| vs.contains(v))
-            && other.edges.iter().all(|e| es.contains(e))
+        other.vertices.iter().all(|v| vs.contains(v)) && other.edges.iter().all(|e| es.contains(e))
     }
 }
 
@@ -274,13 +273,15 @@ fn enumerate(
             for (f, t, _) in &pattern.edges {
                 if *f == u {
                     if let Some(Some(w)) = assignment.get(*t) {
-                        from_neighbours = Some(graph.in_edges(*w).into_iter().map(|(s, _)| s).collect());
+                        from_neighbours =
+                            Some(graph.in_edges(*w).into_iter().map(|(s, _)| s).collect());
                         break;
                     }
                 }
                 if *t == u {
                     if let Some(Some(w)) = assignment.get(*f) {
-                        from_neighbours = Some(graph.out_edges(*w).into_iter().map(|(d, _)| d).collect());
+                        from_neighbours =
+                            Some(graph.out_edges(*w).into_iter().map(|(d, _)| d).collect());
                         break;
                     }
                 }
@@ -346,20 +347,15 @@ fn enumerate(
 
 /// Sequential subgraph isomorphism over a whole labeled graph — the reference
 /// algorithm.
-pub fn sequential_subiso(
-    graph: &grape_graph::LabeledGraph,
-    pattern: &PatternGraph,
-) -> Embeddings {
+pub fn sequential_subiso(graph: &grape_graph::LabeledGraph, pattern: &PatternGraph) -> Embeddings {
     // Reuse the fragment-based matcher by viewing the whole graph as one
     // fragment-less knowledge graph.
     let ext_labels: HashMap<VertexId, String> = graph
         .vertices()
         .map(|v| (v, graph.vertex_data(v).expect("present").label.0.clone()))
         .collect();
-    let ext_edges: HashSet<(VertexId, VertexId, String)> = graph
-        .edges()
-        .map(|(s, d, r)| (s, d, r.clone()))
-        .collect();
+    let ext_edges: HashSet<(VertexId, VertexId, String)> =
+        graph.edges().map(|(s, d, r)| (s, d, r.clone())).collect();
     let kg = KnowledgeGraph {
         fragment: None,
         ext_labels: &ext_labels,
@@ -608,8 +604,8 @@ mod tests {
             EdgeRecord::new(1, 0, "follows".to_string()),
         ];
         let g = LabeledGraph::from_records(vs, es, true).unwrap();
-        let p = PatternGraph::new(vec!["person".into(), "person".into()])
-            .edge_labeled(0, 1, "follows");
+        let p =
+            PatternGraph::new(vec!["person".into(), "person".into()]).edge_labeled(0, 1, "follows");
         let matches = sequential_subiso(&g, &p);
         assert_eq!(matches.len(), 2);
         for m in matches {
@@ -620,11 +616,17 @@ mod tests {
     #[test]
     fn relation_constraint_filters_matches() {
         let g = tiny_graph();
-        let wrong_rel = PatternGraph::new(vec!["person".into(), "product".into()])
-            .edge_labeled(0, 1, "rates_bad");
+        let wrong_rel = PatternGraph::new(vec!["person".into(), "product".into()]).edge_labeled(
+            0,
+            1,
+            "rates_bad",
+        );
         assert!(sequential_subiso(&g, &wrong_rel).is_empty());
-        let right_rel = PatternGraph::new(vec!["person".into(), "product".into()])
-            .edge_labeled(0, 1, "recommends");
+        let right_rel = PatternGraph::new(vec!["person".into(), "product".into()]).edge_labeled(
+            0,
+            1,
+            "recommends",
+        );
         assert_eq!(sequential_subiso(&g, &right_rel).len(), 2);
     }
 

@@ -133,7 +133,10 @@ impl BlogelEngine {
                         outbox
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             });
             first = false;
 
@@ -156,7 +159,7 @@ impl BlogelEngine {
 
         stats.wall_time = started.elapsed();
         let mut merged = HashMap::new();
-        for (block, block_states) in blocks.iter().zip(states.into_iter()) {
+        for (block, block_states) in blocks.iter().zip(states) {
             for (v, s) in block_states {
                 if block.is_inner(v) {
                     merged.insert(v, s);

@@ -124,8 +124,7 @@ impl GasEngine {
                                     Some(acc) => program.merge(acc, g),
                                 });
                             }
-                            let new_state =
-                                program.apply(query, v, &states_ref[&v], gathered);
+                            let new_state = program.apply(query, v, &states_ref[&v], gathered);
                             if new_state != states_ref[&v] {
                                 out.push((v, new_state));
                             }
@@ -133,7 +132,10 @@ impl GasEngine {
                         out
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             });
 
             // Commit the changes, account ghost synchronization and scatter.
@@ -150,8 +152,7 @@ impl GasEngine {
                     }
                 }
                 stats.messages += remote_workers.len() as u64;
-                stats.bytes +=
-                    remote_workers.len() as u64 * (new_state.size_bytes() as u64 + 8);
+                stats.bytes += remote_workers.len() as u64 * (new_state.size_bytes() as u64 + 8);
                 // Scatter: activate the out-neighbours (they must re-gather).
                 for (u, _) in graph.out_edges(v) {
                     next_active.insert(u);

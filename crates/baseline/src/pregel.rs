@@ -13,6 +13,14 @@ use grape_graph::{CsrGraph, VertexId};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Per-worker outcome of one superstep: updated vertex states, updated
+/// active flags, and the outbox of `(target, message)` pairs.
+type WorkerOutcome<S, M> = (
+    HashMap<VertexId, S>,
+    HashMap<VertexId, bool>,
+    Vec<(VertexId, M)>,
+);
+
 /// A vertex-centric program in the Pregel style.
 pub trait VertexProgram: Send + Sync {
     /// Query parameters (e.g. the SSSP source).
@@ -170,15 +178,11 @@ impl PregelEngine {
             }
 
             // Each worker computes its vertices and returns its outbox.
-            let results: Vec<(
-                HashMap<VertexId, P::State>,
-                HashMap<VertexId, bool>,
-                Vec<(VertexId, P::Message)>,
-            )> = std::thread::scope(|scope| {
+            let results: Vec<WorkerOutcome<P::State, P::Message>> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for ((mut w_states, w_inbox), (mut w_active, w_vertices)) in shard_states
                     .into_iter()
-                    .zip(shard_inbox.into_iter())
+                    .zip(shard_inbox)
                     .zip(shard_active.into_iter().zip(vertices_of.iter()))
                 {
                     let adjacency = &adjacency;
@@ -206,7 +210,10 @@ impl PregelEngine {
                         (w_states, w_active, outbox)
                     }));
                 }
-                handles.into_iter().map(|h| h.join().expect("worker")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker"))
+                    .collect()
             });
 
             // Merge shards back and route messages.

@@ -48,12 +48,10 @@ impl VertexProgram for PregelSssp {
         if improved {
             *state = best_incoming;
         }
-        if improved || ctx.superstep() == 0 {
-            if state.is_finite() {
-                let out: Vec<(VertexId, f64)> = ctx.out_edges().to_vec();
-                for (neighbour, weight) in out {
-                    ctx.send(neighbour, *state + weight);
-                }
+        if (improved || ctx.superstep() == 0) && state.is_finite() {
+            let out: Vec<(VertexId, f64)> = ctx.out_edges().to_vec();
+            for (neighbour, weight) in out {
+                ctx.send(neighbour, *state + weight);
             }
         }
         ctx.vote_to_halt();
@@ -195,7 +193,13 @@ impl GasProgram for GasSssp {
         a.min(b)
     }
 
-    fn apply(&self, _query: &VertexId, _vertex: VertexId, state: &f64, gathered: Option<f64>) -> f64 {
+    fn apply(
+        &self,
+        _query: &VertexId,
+        _vertex: VertexId,
+        state: &f64,
+        gathered: Option<f64>,
+    ) -> f64 {
         match gathered {
             Some(g) => state.min(g),
             None => *state,
@@ -290,11 +294,7 @@ impl BlockProgram for BlockSssp {
     type State = f64;
     type Message = f64;
 
-    fn init_block(
-        &self,
-        query: &VertexId,
-        block: &Fragment<(), f64>,
-    ) -> HashMap<VertexId, f64> {
+    fn init_block(&self, query: &VertexId, block: &Fragment<(), f64>) -> HashMap<VertexId, f64> {
         block
             .graph
             .vertices()

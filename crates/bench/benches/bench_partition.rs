@@ -27,9 +27,7 @@ fn bench_partition(c: &mut Criterion) {
         partition_group.bench_with_input(
             BenchmarkId::from_parameter(strategy.name()),
             &strategy,
-            |b, strategy| {
-                b.iter(|| black_box(strategy.partition(&graph, workers)).num_assigned())
-            },
+            |b, strategy| b.iter(|| black_box(strategy.partition(&graph, workers)).num_assigned()),
         );
     }
     partition_group.finish();

@@ -47,9 +47,7 @@ fn main() {
             let mut dist = base.clone();
             incremental_sssp(&graph, &mut dist, &[(far, seed)])
         });
-        let (full_ms, _) = timed(|| {
-            sequential_sssp(&graph, 0).len()
-        });
+        let (full_ms, _) = timed(|| sequential_sssp(&graph, 0).len());
         println!(
             "{:>12} {:>14} {:>18.3} {:>18.3}",
             graph.num_vertices(),

@@ -77,7 +77,11 @@ fn main() {
         .edge_labeled(1, 2, "recommends");
 
     let sim = GrapeEngine::new(SimProgram)
-        .run_on_graph(&SimQuery::new(pattern.clone()), &labeled, &labeled_assignment)
+        .run_on_graph(
+            &SimQuery::new(pattern.clone()),
+            &labeled,
+            &labeled_assignment,
+        )
         .expect("sim");
     row("Sim", &sim.stats);
 

@@ -29,7 +29,10 @@ fn main() {
     );
     let mut single_worker_time = None;
     let mut reference: Option<Vec<grape_algo::marketing::Prospect>> = None;
-    for workers in [1usize, 2, 4, 8, 16, 24].into_iter().filter(|w| *w <= max_workers) {
+    for workers in [1usize, 2, 4, 8, 16, 24]
+        .into_iter()
+        .filter(|w| *w <= max_workers)
+    {
         let assignment = BuiltinStrategy::Fennel.partition(&graph, workers);
         let result = GrapeEngine::new(MarketingProgram)
             .run_on_graph(&query, &graph, &assignment)
@@ -46,7 +49,10 @@ fn main() {
             single_worker_time = Some(result.stats.wall_time.as_secs_f64());
         }
         if let Some(r) = &reference {
-            assert_eq!(r, &result.output, "answers must not depend on the worker count");
+            assert_eq!(
+                r, &result.output,
+                "answers must not depend on the worker count"
+            );
         }
         reference = Some(result.output);
     }

@@ -20,9 +20,7 @@
 #![warn(missing_docs)]
 
 use grape_algo::{SsspProgram, SsspQuery};
-use grape_baseline::{
-    BlockSssp, BlogelEngine, GasEngine, GasSssp, PregelEngine, PregelSssp,
-};
+use grape_baseline::{BlockSssp, BlogelEngine, GasEngine, GasSssp, PregelEngine, PregelSssp};
 use grape_core::{GrapeEngine, VertexId};
 use grape_graph::generators::{
     barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
@@ -102,11 +100,7 @@ pub fn labeled_network(persons: usize, products: usize) -> LabeledGraph {
 }
 
 /// Runs SSSP on all four engines (Table 1) and returns the rows.
-pub fn run_table1(
-    graph: &CsrGraph<(), f64>,
-    source: VertexId,
-    workers: usize,
-) -> Vec<EngineRow> {
+pub fn run_table1(graph: &CsrGraph<(), f64>, source: VertexId, workers: usize) -> Vec<EngineRow> {
     let mut rows = Vec::new();
 
     // Giraph stand-in: vertex-centric BSP.

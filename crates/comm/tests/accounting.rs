@@ -1,0 +1,102 @@
+//! Message-accounting invariants of the comm bus.
+//!
+//! Two layers are checked:
+//!
+//! 1. **Bus-level:** bytes and message counts recorded by [`CommStats`]
+//!    match, exactly, the [`MessageSize`] estimates of the payloads pushed
+//!    through [`CommNetwork`], with self-sends excluded and the superstep
+//!    history summing back to the totals.
+//! 2. **Engine-level:** for a small SSSP run through the real PIE engine,
+//!    the totals the run reports (`RunStats::{messages, bytes}`) agree with
+//!    the per-superstep history — i.e. what the bus counted is what `stats`
+//!    reports.
+//!
+//! (`grape-core`/`grape-algo` are dev-dependencies: they depend on this
+//! crate, and cargo permits dev-dependency cycles.)
+
+use grape_comm::{CommNetwork, CommStats, MessageSize, COORDINATOR};
+use std::sync::Arc;
+
+#[test]
+fn bus_counts_match_message_size_estimates() {
+    let stats = Arc::new(CommStats::new());
+    let net = CommNetwork::<Vec<(u64, f64)>>::with_stats(3, Arc::clone(&stats));
+    let (coord, workers) = net.split();
+
+    // Superstep 0: worker 0 → worker 1 (2 entries), worker 2 → coordinator
+    // (1 entry), worker 1 → itself (uncounted self-send).
+    let p01 = vec![(1u64, 0.5f64), (2, 1.5)];
+    let p2c = vec![(9u64, 3.0f64)];
+    let expected0 = (p01.size_bytes() + p2c.size_bytes()) as u64;
+    assert!(workers[0].send(1, p01));
+    assert!(workers[2].send(COORDINATOR, p2c));
+    assert!(workers[1].send(1, vec![(7, 7.0)]));
+    let s0 = stats.end_superstep(0);
+    assert_eq!(s0.messages, 2, "self-sends are not network traffic");
+    assert_eq!(s0.bytes, expected0);
+
+    // Superstep 1: coordinator broadcasts one entry to every worker.
+    let reply = vec![(0u64, 0.25f64)];
+    let expected1 = 3 * reply.size_bytes() as u64;
+    for w in 0..3 {
+        assert!(coord.send(w, reply.clone()));
+    }
+    let s1 = stats.end_superstep(1);
+    assert_eq!(s1.messages, 3);
+    assert_eq!(s1.bytes, expected1);
+
+    // Totals equal the sum of the history, and the payloads all arrived.
+    assert_eq!(stats.messages(), 5);
+    assert_eq!(stats.bytes(), expected0 + expected1);
+    let history = stats.history();
+    assert_eq!(
+        history.iter().map(|s| s.messages).sum::<u64>(),
+        stats.messages()
+    );
+    assert_eq!(history.iter().map(|s| s.bytes).sum::<u64>(), stats.bytes());
+    assert_eq!(workers[1].drain().len(), 3);
+    assert_eq!(coord.drain().len(), 1);
+}
+
+#[test]
+fn sssp_run_stats_agree_with_bus_history() {
+    use grape_algo::{SsspProgram, SsspQuery};
+    use grape_core::GrapeEngine;
+    use grape_graph::generators::{road_network, RoadNetworkConfig};
+    use grape_partition::BuiltinStrategy;
+
+    let graph = road_network(
+        RoadNetworkConfig {
+            width: 12,
+            height: 12,
+            ..Default::default()
+        },
+        21,
+    )
+    .unwrap();
+    let assignment = BuiltinStrategy::Hash.partition(&graph, 4);
+    let result = GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+        .unwrap();
+
+    let stats = &result.stats;
+    assert!(stats.supersteps >= 1);
+    assert_eq!(stats.history.len(), stats.supersteps);
+    // The totals the run reports are exactly the sum of what the bus
+    // recorded per superstep.
+    let messages: u64 = stats.history.iter().map(|t| t.messages).sum();
+    let bytes: u64 = stats.history.iter().map(|t| t.bytes).sum();
+    assert_eq!(messages, stats.messages);
+    assert_eq!(bytes, stats.bytes);
+    // A 4-fragment run must actually communicate, and every message has a
+    // nonzero wire-size estimate.
+    assert!(stats.messages > 0);
+    assert!(stats.bytes > 0);
+    for trace in &stats.history {
+        assert!(
+            trace.bytes == 0 || trace.messages > 0,
+            "bytes without messages in superstep {}",
+            trace.superstep
+        );
+    }
+}

@@ -77,7 +77,12 @@ impl<V: Clone + PartialEq> PieContext<V> {
         let mut out: Vec<(VertexId, V)> = self
             .dirty
             .drain()
-            .map(|v| (v, self.values.get(&v).cloned().expect("dirty implies present")))
+            .map(|v| {
+                (
+                    v,
+                    self.values.get(&v).cloned().expect("dirty implies present"),
+                )
+            })
             .collect();
         out.sort_unstable_by_key(|(v, _)| *v);
         out

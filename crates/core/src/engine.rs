@@ -29,6 +29,10 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// One worker's superstep report as gathered by the coordinator:
+/// `(worker id, changed border values, eval seconds)`.
+type GatheredReport<V> = (usize, Vec<(VertexId, V)>, f64);
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -66,7 +70,10 @@ impl fmt::Display for RunError {
         match self {
             RunError::NoFragments => write!(f, "no fragments to run on"),
             RunError::SuperstepLimit(n) => {
-                write!(f, "no fixpoint after {n} supersteps (non-monotonic program?)")
+                write!(
+                    f,
+                    "no fixpoint after {n} supersteps (non-monotonic program?)"
+                )
             }
             RunError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
         }
@@ -159,10 +166,8 @@ impl<P: PieProgram> GrapeEngine<P> {
             std::thread::scope(|scope| {
                 // ---------------- workers ----------------
                 let mut handles = Vec::with_capacity(n);
-                for ((fragment, up_link), down_link) in fragments
-                    .iter()
-                    .zip(up_workers.into_iter())
-                    .zip(down_workers.into_iter())
+                for ((fragment, up_link), down_link) in
+                    fragments.iter().zip(up_workers).zip(down_workers)
                 {
                     let program = Arc::clone(&program);
                     handles.push(scope.spawn(move || {
@@ -288,7 +293,7 @@ impl<P: PieProgram> GrapeEngine<P> {
 
         loop {
             // Gather the reports of every worker that evaluated this superstep.
-            let mut reports: Vec<(usize, Vec<(VertexId, P::Value)>, f64)> = Vec::new();
+            let mut reports: Vec<GatheredReport<P::Value>> = Vec::new();
             while reports.len() < pending {
                 let envelopes = up_coord.recv_blocking();
                 if envelopes.is_empty() {
@@ -441,11 +446,8 @@ mod tests {
             ctx: &mut PieContext<u64>,
         ) -> Self::Partial {
             // Local label propagation to convergence (sequential CC on F_i).
-            let mut label: HashMap<VertexId, u64> = fragment
-                .graph
-                .vertices()
-                .map(|v| (v, v))
-                .collect();
+            let mut label: HashMap<VertexId, u64> =
+                fragment.graph.vertices().map(|v| (v, v)).collect();
             let mut changed = true;
             while changed {
                 changed = false;
@@ -602,18 +604,10 @@ mod tests {
         }
         let g = b.build().unwrap();
         let few = GrapeEngine::new(MinLabelCc)
-            .run_on_graph(
-                &(),
-                &g,
-                &grape_partition::RangePartitioner.partition(&g, 2),
-            )
+            .run_on_graph(&(), &g, &grape_partition::RangePartitioner.partition(&g, 2))
             .unwrap();
         let many = GrapeEngine::new(MinLabelCc)
-            .run_on_graph(
-                &(),
-                &g,
-                &grape_partition::RangePartitioner.partition(&g, 8),
-            )
+            .run_on_graph(&(), &g, &grape_partition::RangePartitioner.partition(&g, 8))
             .unwrap();
         assert!(many.stats.supersteps > few.stats.supersteps);
         assert!(many.stats.messages > few.stats.messages);

@@ -91,12 +91,7 @@ mod tests {
         type Partial = u64;
         type Output = u64;
 
-        fn peval(
-            &self,
-            _q: &(),
-            fragment: &Fragment<(), f64>,
-            ctx: &mut PieContext<u64>,
-        ) -> u64 {
+        fn peval(&self, _q: &(), fragment: &Fragment<(), f64>, ctx: &mut PieContext<u64>) -> u64 {
             let local_min = fragment
                 .inner_vertices()
                 .iter()

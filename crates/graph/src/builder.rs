@@ -121,7 +121,11 @@ mod tests {
         b.add_edge(5, 6, ());
         let g = b.build().unwrap();
         assert_eq!(*g.vertex_data(5).unwrap(), 42);
-        assert_eq!(*g.vertex_data(6).unwrap(), 0, "implicit vertex uses default");
+        assert_eq!(
+            *g.vertex_data(6).unwrap(),
+            0,
+            "implicit vertex uses default"
+        );
     }
 
     #[test]

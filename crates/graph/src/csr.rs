@@ -77,7 +77,10 @@ where
             let idx = index_of[&id] as usize;
             vertex_data[idx] = Some(data);
         }
-        let vertex_data: Vec<V> = vertex_data.into_iter().map(|d| d.expect("filled")).collect();
+        let vertex_data: Vec<V> = vertex_data
+            .into_iter()
+            .map(|d| d.expect("filled"))
+            .collect();
 
         // Count out-degrees.
         let mut out_degree = vec![0usize; n];
@@ -121,8 +124,10 @@ where
             let mut in_edge_pos = vec![0usize; m];
             let mut cursor = in_offsets.clone();
             for s in 0..n {
-                for pos in out_offsets[s]..out_offsets[s + 1] {
-                    let t = out_targets[pos] as usize;
+                let range = out_offsets[s]..out_offsets[s + 1];
+                for (pos, &target) in out_targets[range.clone()].iter().enumerate() {
+                    let pos = range.start + pos;
+                    let t = target as usize;
                     let p = cursor[t];
                     in_sources[p] = s as u32;
                     in_edge_pos[p] = pos;

@@ -321,14 +321,18 @@ pub fn bipartite_ratings(
     for i in 0..num_items as VertexId {
         builder.ensure_vertex(num_users as VertexId + i);
     }
-    for u in 0..num_users {
+    for (u, user_factor) in user_factors.iter().enumerate() {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..ratings_per_user {
             let item = rng.random_range(0..num_items);
             if !seen.insert(item) {
                 continue;
             }
-            let dot: f64 = (0..rank).map(|k| user_factors[u][k] * item_factors[item][k]).sum();
+            let dot: f64 = user_factor
+                .iter()
+                .zip(&item_factors[item])
+                .map(|(a, b)| a * b)
+                .sum();
             let noise = (rng.random::<f64>() - 0.5) * 0.2;
             #[allow(clippy::manual_clamp)]
             let score = (1.0 + 4.0 * (dot / rank as f64) + noise).clamp(1.0, 5.0);
@@ -506,7 +510,11 @@ mod tests {
     fn barabasi_albert_has_heavy_tail() {
         let g = barabasi_albert(2_000, 4, 13).unwrap();
         assert_eq!(g.num_vertices(), 2_000);
-        let max_deg = g.vertices().map(|v| g.degree(v, crate::types::Direction::Both)).max().unwrap();
+        let max_deg = g
+            .vertices()
+            .map(|v| g.degree(v, crate::types::Direction::Both))
+            .max()
+            .unwrap();
         let avg_deg = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(
             max_deg as f64 > 4.0 * avg_deg,

@@ -102,7 +102,12 @@ pub fn write_weighted_edge_list(
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
     writeln!(w, "# grape-rs weighted edge list")?;
-    writeln!(w, "# vertices: {} edges: {}", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# vertices: {} edges: {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, d, weight) in graph.edges() {
         writeln!(w, "{s} {d} {weight}")?;
     }
@@ -168,15 +173,14 @@ mod tests {
 
     #[test]
     fn malformed_lines_are_reported_with_line_numbers() {
-        let err =
-            read_weighted_edge_list("0 1\nxyz 2\n".as_bytes(), EdgeListOptions::default())
-                .unwrap_err();
+        let err = read_weighted_edge_list("0 1\nxyz 2\n".as_bytes(), EdgeListOptions::default())
+            .unwrap_err();
         match err {
             GraphError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
-        let err = read_weighted_edge_list("0\n".as_bytes(), EdgeListOptions::default())
-            .unwrap_err();
+        let err =
+            read_weighted_edge_list("0\n".as_bytes(), EdgeListOptions::default()).unwrap_err();
         assert!(matches!(err, GraphError::Parse { line: 1, .. }));
         let err = read_weighted_edge_list("0 1 heavy\n".as_bytes(), EdgeListOptions::default())
             .unwrap_err();

@@ -164,7 +164,11 @@ impl PatternGraph {
                 }
             }
         }
-        dist.iter().filter(|d| **d != usize::MAX).copied().max().unwrap_or(0)
+        dist.iter()
+            .filter(|d| **d != usize::MAX)
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -212,8 +216,11 @@ mod tests {
 
     #[test]
     fn pattern_graph_edges_and_validation() {
-        let p = PatternGraph::new(vec!["person".into(), "product".into()])
-            .edge_labeled(0, 1, "recommends");
+        let p = PatternGraph::new(vec!["person".into(), "product".into()]).edge_labeled(
+            0,
+            1,
+            "recommends",
+        );
         assert_eq!(p.num_vertices(), 2);
         assert_eq!(p.num_edges(), 1);
         assert!(p.validate().is_ok());

@@ -79,8 +79,8 @@ pub fn weakly_connected_components<V: Clone, E: Clone>(
         while let Some(u) = queue.pop_front() {
             members.push(u);
             for (v, _) in graph.neighbours(u, Direction::Both) {
-                if !component.contains_key(&v) {
-                    component.insert(v, start);
+                if let std::collections::hash_map::Entry::Vacant(e) = component.entry(v) {
+                    e.insert(start);
                     queue.push_back(v);
                 }
             }
@@ -100,7 +100,11 @@ pub fn degree_histogram<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> Vec<usize
     let mut hist = vec![0usize; 1];
     for v in graph.vertices() {
         let d = graph.out_degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - (d as usize).leading_zeros()) as usize - 1 };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }
@@ -130,8 +134,8 @@ pub fn estimate_diameter<V: Clone, E: Clone>(graph: &CsrGraph<V, E>, samples: us
             let du = dist[&u];
             best = best.max(du);
             for (v, _) in graph.neighbours(u, Direction::Both) {
-                if !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                    e.insert(du + 1);
                     queue.push_back(v);
                 }
             }
@@ -193,7 +197,10 @@ mod tests {
         let g = barabasi_albert(500, 3, 5).unwrap();
         let hist = degree_histogram(&g);
         assert_eq!(hist.iter().sum::<usize>(), 500);
-        assert!(hist.len() > 2, "power-law graph spreads over several buckets");
+        assert!(
+            hist.len() > 2,
+            "power-law graph spreads over several buckets"
+        );
     }
 
     #[test]

@@ -195,7 +195,8 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
         // Local vertex set: inner + outer, each with its payload from the
         // global graph (mirrors keep the payload so label/keyword predicates
         // still work on them).
-        let mut vertices: Vec<(VertexId, V)> = Vec::with_capacity(inner_list.len() + outer_list.len());
+        let mut vertices: Vec<(VertexId, V)> =
+            Vec::with_capacity(inner_list.len() + outer_list.len());
         for &v in inner_list.iter().chain(outer_list.iter()) {
             let data = graph.vertex_data(v).cloned().unwrap_or_default();
             vertices.push((v, data));

@@ -77,9 +77,9 @@ impl BuiltinStrategy {
         k: usize,
     ) -> PartitionAssignment {
         match self {
-            BuiltinStrategy::Hash => HashPartitioner::default().partition(graph, k),
-            BuiltinStrategy::Range => RangePartitioner::default().partition(graph, k),
-            BuiltinStrategy::Grid2D => Grid2DPartitioner::default().partition(graph, k),
+            BuiltinStrategy::Hash => HashPartitioner.partition(graph, k),
+            BuiltinStrategy::Range => RangePartitioner.partition(graph, k),
+            BuiltinStrategy::Grid2D => Grid2DPartitioner.partition(graph, k),
             BuiltinStrategy::Ldg => LdgPartitioner::default().partition(graph, k),
             BuiltinStrategy::Fennel => FennelPartitioner::default().partition(graph, k),
             BuiltinStrategy::MetisLike => MetisLikePartitioner::default().partition(graph, k),

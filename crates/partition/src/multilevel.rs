@@ -169,24 +169,22 @@ impl MetisLikePartitioner {
         let target = (graph.total_weight() as f64 / k as f64).ceil() as u64;
         let mut loads = vec![0u64; k];
         // Seeds: spread over the vertex order.
-        for f in 0..k {
+        for (f, load) in loads.iter_mut().enumerate() {
             let seed = (f * n / k).min(n - 1);
             // BFS from the seed claiming unassigned vertices until the target
             // load is reached.
-            let start = (seed..n)
-                .chain(0..seed)
-                .find(|&v| part[v] == usize::MAX);
+            let start = (seed..n).chain(0..seed).find(|&v| part[v] == usize::MAX);
             let Some(start) = start else { break };
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(v) = queue.pop_front() {
                 if part[v] != usize::MAX {
                     continue;
                 }
-                if loads[f] >= target && f + 1 < k {
+                if *load >= target && f + 1 < k {
                     break;
                 }
                 part[v] = f;
-                loads[f] += graph.weight[v];
+                *load += graph.weight[v];
                 for &(u, _) in &graph.adj[v] {
                     if part[u] == usize::MAX {
                         queue.push_back(u);
@@ -195,10 +193,10 @@ impl MetisLikePartitioner {
             }
         }
         // Any vertex still unassigned goes to the least-loaded fragment.
-        for v in 0..n {
-            if part[v] == usize::MAX {
+        for (v, p) in part.iter_mut().enumerate() {
+            if *p == usize::MAX {
                 let f = (0..k).min_by_key(|&f| loads[f]).unwrap_or(0);
-                part[v] = f;
+                *p = f;
                 loads[f] += graph.weight[v];
             }
         }
@@ -375,7 +373,10 @@ mod tests {
         let sizes = a.sizes();
         let cap = (p.balance_slack * 800.0 / 8.0).ceil() as usize;
         for s in &sizes {
-            assert!(*s <= cap + 2, "fragment size {s} exceeds cap {cap}: {sizes:?}");
+            assert!(
+                *s <= cap + 2,
+                "fragment size {s} exceeds cap {cap}: {sizes:?}"
+            );
         }
         assert_eq!(sizes.iter().sum::<usize>(), 800);
     }

@@ -102,7 +102,7 @@ impl Partitioner for Grid2DPartitioner {
         }
         // Choose a fragment grid  rows × cols ≈ k  with rows <= cols.
         let mut rows = (k as f64).sqrt().floor() as usize;
-        while rows > 1 && k % rows != 0 {
+        while rows > 1 && !k.is_multiple_of(rows) {
             rows -= 1;
         }
         let rows = rows.max(1);

@@ -223,9 +223,16 @@ mod tests {
     #[test]
     fn empty_graph_is_fine() {
         let empty = grape_graph::CsrGraph::<(), ()>::from_records(vec![], vec![], false).unwrap();
-        assert_eq!(LdgPartitioner::default().partition(&empty, 3).num_assigned(), 0);
         assert_eq!(
-            FennelPartitioner::default().partition(&empty, 3).num_assigned(),
+            LdgPartitioner::default()
+                .partition(&empty, 3)
+                .num_assigned(),
+            0
+        );
+        assert_eq!(
+            FennelPartitioner::default()
+                .partition(&empty, 3)
+                .num_assigned(),
             0
         );
     }

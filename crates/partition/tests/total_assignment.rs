@@ -1,0 +1,110 @@
+//! Every builtin partition strategy must produce a *total* assignment: all
+//! vertices of the input graph placed, every fragment id in `0..k`, and the
+//! per-fragment sizes summing back to the vertex count. This is the contract
+//! `build_fragments` and the PIE engine rely on; a partitioner that drops or
+//! misplaces a vertex would silently corrupt query answers.
+
+use grape_graph::generators::{
+    barabasi_albert, erdos_renyi, rmat, road_network, RmatConfig, RoadNetworkConfig,
+};
+use grape_graph::CsrGraph;
+use grape_partition::BuiltinStrategy;
+
+fn workloads() -> Vec<(&'static str, CsrGraph<(), f64>)> {
+    vec![
+        (
+            "road_grid_10x14",
+            road_network(
+                RoadNetworkConfig {
+                    width: 10,
+                    height: 14,
+                    ..Default::default()
+                },
+                3,
+            )
+            .unwrap(),
+        ),
+        ("barabasi_albert_180", barabasi_albert(180, 3, 7).unwrap()),
+        ("erdos_renyi_90", erdos_renyi(90, 0.06, 11).unwrap()),
+        (
+            "rmat_128",
+            rmat(
+                RmatConfig {
+                    scale: 7,
+                    ..Default::default()
+                },
+                5,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn every_builtin_strategy_places_every_vertex_in_range() {
+    for (name, graph) in workloads() {
+        for &strategy in BuiltinStrategy::all() {
+            for k in 1..=8usize {
+                let assignment = strategy.partition(&graph, k);
+                assert_eq!(
+                    assignment.num_fragments(),
+                    k,
+                    "{strategy:?} on {name} with k={k}: wrong fragment count"
+                );
+                assert_eq!(
+                    assignment.num_assigned(),
+                    graph.num_vertices(),
+                    "{strategy:?} on {name} with k={k}: not a total assignment"
+                );
+                for v in graph.vertices() {
+                    let f = assignment.fragment_of(v).unwrap_or_else(|| {
+                        panic!("{strategy:?} on {name} with k={k}: vertex {v} unplaced")
+                    });
+                    assert!(
+                        f < k,
+                        "{strategy:?} on {name} with k={k}: vertex {v} in fragment {f}"
+                    );
+                }
+                let sizes = assignment.sizes();
+                assert_eq!(sizes.len(), k);
+                assert_eq!(
+                    sizes.iter().sum::<usize>(),
+                    graph.num_vertices(),
+                    "{strategy:?} on {name} with k={k}: sizes do not sum to |V|"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategies_are_deterministic() {
+    // Same graph, same k → identical assignment: required for reproducible
+    // experiments and for the fragment store round trip.
+    let graph = barabasi_albert(150, 2, 9).unwrap();
+    for &strategy in BuiltinStrategy::all() {
+        let a = strategy.partition(&graph, 5);
+        let b = strategy.partition(&graph, 5);
+        for v in graph.vertices() {
+            assert_eq!(
+                a.fragment_of(v),
+                b.fragment_of(v),
+                "{strategy:?} is nondeterministic at vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_fragment_owns_everything() {
+    let graph = erdos_renyi(60, 0.1, 2).unwrap();
+    for &strategy in BuiltinStrategy::all() {
+        let assignment = strategy.partition(&graph, 1);
+        assert!(
+            graph
+                .vertices()
+                .all(|v| assignment.fragment_of(v) == Some(0)),
+            "{strategy:?} with k=1 must place everything in fragment 0"
+        );
+    }
+}

@@ -84,12 +84,12 @@ impl BalancedAssignment {
 pub fn balance_fragments(estimates: &[WorkloadEstimate], num_workers: usize) -> BalancedAssignment {
     let num_workers = num_workers.max(1);
     let mut order: Vec<&WorkloadEstimate> = estimates.iter().collect();
-    order.sort_by(|a, b| b.cost().partial_cmp(&a.cost()).unwrap_or(std::cmp::Ordering::Equal));
-    let num_fragments = estimates
-        .iter()
-        .map(|e| e.fragment + 1)
-        .max()
-        .unwrap_or(0);
+    order.sort_by(|a, b| {
+        b.cost()
+            .partial_cmp(&a.cost())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let num_fragments = estimates.iter().map(|e| e.fragment + 1).max().unwrap_or(0);
     let mut worker_of = vec![0usize; num_fragments];
     let mut worker_cost = vec![0.0f64; num_workers];
     for est in order {
@@ -149,7 +149,11 @@ mod tests {
     fn more_fragments_than_workers_balances_load() {
         let ests = estimates(16);
         let b = balance_fragments(&ests, 4);
-        assert!(b.imbalance() < 1.3, "LPT keeps imbalance small: {}", b.imbalance());
+        assert!(
+            b.imbalance() < 1.3,
+            "LPT keeps imbalance small: {}",
+            b.imbalance()
+        );
         let all: usize = (0..4).map(|w| b.fragments_of(w).len()).sum();
         assert_eq!(all, 16);
     }
@@ -157,10 +161,30 @@ mod tests {
     #[test]
     fn skewed_costs_spread_over_workers() {
         let ests = vec![
-            WorkloadEstimate { fragment: 0, vertices: 1_000, edges: 10_000, border: 100 },
-            WorkloadEstimate { fragment: 1, vertices: 10, edges: 20, border: 1 },
-            WorkloadEstimate { fragment: 2, vertices: 10, edges: 20, border: 1 },
-            WorkloadEstimate { fragment: 3, vertices: 10, edges: 20, border: 1 },
+            WorkloadEstimate {
+                fragment: 0,
+                vertices: 1_000,
+                edges: 10_000,
+                border: 100,
+            },
+            WorkloadEstimate {
+                fragment: 1,
+                vertices: 10,
+                edges: 20,
+                border: 1,
+            },
+            WorkloadEstimate {
+                fragment: 2,
+                vertices: 10,
+                edges: 20,
+                border: 1,
+            },
+            WorkloadEstimate {
+                fragment: 3,
+                vertices: 10,
+                edges: 20,
+                border: 1,
+            },
         ];
         let b = balance_fragments(&ests, 2);
         // The heavy fragment is alone on its worker; the three light ones share.
@@ -175,7 +199,12 @@ mod tests {
         assert!(b.worker_of.is_empty());
         assert_eq!(b.worker_cost.len(), 3);
         assert_eq!(b.imbalance(), 1.0);
-        let one = vec![WorkloadEstimate { fragment: 0, vertices: 1, edges: 1, border: 0 }];
+        let one = vec![WorkloadEstimate {
+            fragment: 0,
+            vertices: 1,
+            edges: 1,
+            border: 0,
+        }];
         let b = balance_fragments(&one, 0);
         assert_eq!(b.worker_of, vec![0]);
     }

@@ -31,10 +31,8 @@ pub struct DegreeIndex {
 impl DegreeIndex {
     /// Builds the index over the out-degrees of `graph`.
     pub fn build<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> Self {
-        let mut by_degree: Vec<(usize, VertexId)> = graph
-            .vertices()
-            .map(|v| (graph.out_degree(v), v))
-            .collect();
+        let mut by_degree: Vec<(usize, VertexId)> =
+            graph.vertices().map(|v| (graph.out_degree(v), v)).collect();
         by_degree.sort_unstable_by(|a, b| b.cmp(a));
         let degree_of = by_degree.iter().map(|(d, v)| (*v, *d)).collect();
         Self {
@@ -87,7 +85,10 @@ impl LabelIndex {
 
     /// Vertices carrying `label` (empty slice if none).
     pub fn vertices_with(&self, label: &str) -> &[VertexId] {
-        self.by_label.get(label).map(|v| v.as_slice()).unwrap_or(&[])
+        self.by_label
+            .get(label)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Number of distinct labels.
@@ -117,10 +118,7 @@ impl LandmarkIndex {
     pub fn build(graph: &CsrGraph<(), f64>, k: usize) -> Self {
         let deg = DegreeIndex::build(graph);
         let landmarks = deg.top_k(k);
-        let distances = landmarks
-            .iter()
-            .map(|&l| dijkstra_from(graph, l))
-            .collect();
+        let distances = landmarks.iter().map(|&l| dijkstra_from(graph, l)).collect();
         Self {
             landmarks,
             distances,
@@ -160,7 +158,10 @@ fn dijkstra_from(graph: &CsrGraph<(), f64>, source: VertexId) -> HashMap<VertexI
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     impl PartialOrd for Entry {

@@ -85,8 +85,7 @@ impl FragmentStore {
                 .graph
                 .vertices()
                 .filter(|v| {
-                    fragment.is_inner(*v)
-                        || owned_edges.iter().any(|e| e.src == *v || e.dst == *v)
+                    fragment.is_inner(*v) || owned_edges.iter().any(|e| e.src == *v || e.dst == *v)
                 })
                 .map(|v| (v, ()))
                 .collect();
@@ -101,11 +100,11 @@ impl FragmentStore {
             num_edges: graph.num_edges(),
             fragment_sizes: sizes,
         };
-        let manifest_json = serde_json::to_string_pretty(&manifest)
-            .map_err(|e| GraphError::Io(e.to_string()))?;
+        let manifest_json =
+            serde_json::to_string_pretty(&manifest).map_err(|e| GraphError::Io(e.to_string()))?;
         fs::write(dir.join("manifest.json"), manifest_json)?;
-        let assignment_json = serde_json::to_string(assignment)
-            .map_err(|e| GraphError::Io(e.to_string()))?;
+        let assignment_json =
+            serde_json::to_string(assignment).map_err(|e| GraphError::Io(e.to_string()))?;
         fs::write(dir.join("assignment.json"), assignment_json)?;
         Ok(manifest)
     }
@@ -144,10 +143,7 @@ impl FragmentStore {
         for f in 0..manifest.num_fragments {
             let part = self.load_fragment_edges(dataset, f)?;
             vertices.extend(part.vertices().map(|v| (v, ())));
-            edges.extend(
-                part.edges()
-                    .map(|(s, d, w)| EdgeRecord::new(s, d, *w)),
-            );
+            edges.extend(part.edges().map(|(s, d, w)| EdgeRecord::new(s, d, *w)));
         }
         vertices.sort_unstable_by_key(|(v, _)| *v);
         vertices.dedup_by_key(|(v, _)| *v);
@@ -229,7 +225,9 @@ mod tests {
         )
         .unwrap();
         let a = MetisLikePartitioner::default().partition(&g, 3);
-        store.save_partitioned("road", &g, &a, "metis-like").unwrap();
+        store
+            .save_partitioned("road", &g, &a, "metis-like")
+            .unwrap();
         let mut total_edges = 0;
         for f in 0..3 {
             total_edges += store.load_fragment_edges("road", f).unwrap().num_edges();

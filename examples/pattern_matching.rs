@@ -37,7 +37,10 @@ fn main() {
         .expect("sim run succeeds");
     println!("\nsimulation:");
     for (u, matches) in sim.output.iter().enumerate() {
-        println!("  pattern vertex {u}: {} matching data vertices", matches.len());
+        println!(
+            "  pattern vertex {u}: {} matching data vertices",
+            matches.len()
+        );
     }
     println!("  {}", sim.stats.summary());
 
@@ -46,7 +49,10 @@ fn main() {
     let subiso = GrapeEngine::new(SubIsoProgram)
         .run_on_graph(&subiso_query, &graph, &assignment)
         .expect("subiso run succeeds");
-    println!("\nsubgraph isomorphism: {} embeddings found", subiso.output.len());
+    println!(
+        "\nsubgraph isomorphism: {} embeddings found",
+        subiso.output.len()
+    );
     println!("  {}", subiso.stats.summary());
 
     // 3. Keyword search: who can reach both a phone and a laptop quickly?

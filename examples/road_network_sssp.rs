@@ -34,7 +34,8 @@ fn main() {
 
     // Vertex-centric (Giraph-like) and GAS (GraphLab-like) engines.
     let started = Instant::now();
-    let (pregel_states, pregel_stats) = PregelEngine::new(workers).run(&PregelSssp, &source, &graph);
+    let (pregel_states, pregel_stats) =
+        PregelEngine::new(workers).run(&PregelSssp, &source, &graph);
     let _ = started.elapsed();
     let (gas_states, gas_stats) = GasEngine::new(workers).run(&GasSssp, &source, &graph);
 
@@ -51,7 +52,10 @@ fn main() {
         }
     }
 
-    println!("\n{:<22} {:>10} {:>12} {:>14} {:>12}", "system", "time (s)", "supersteps", "messages", "comm (MB)");
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>14} {:>12}",
+        "system", "time (s)", "supersteps", "messages", "comm (MB)"
+    );
     println!(
         "{:<22} {:>10.3} {:>12} {:>14} {:>12.4}",
         "pregel (Giraph-like)",

@@ -33,7 +33,10 @@ fn main() {
     let query = MarketingQuery::new(product);
 
     // Scale-up: the more workers, the faster the prospects are found.
-    println!("\n{:<10} {:>12} {:>12} {:>12}", "workers", "prospects", "time (s)", "messages");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>12}",
+        "workers", "prospects", "time (s)", "messages"
+    );
     let mut last: Option<Vec<grape::algo::marketing::Prospect>> = None;
     for workers in [1, 2, 4, 8] {
         let assignment = BuiltinStrategy::Fennel.partition(&graph, workers);
@@ -55,10 +58,16 @@ fn main() {
 
     let prospects = last.expect("at least one run");
     let reference = sequential_marketing(&graph, &query);
-    assert_eq!(prospects, reference, "parallel run matches the sequential rule");
+    assert_eq!(
+        prospects, reference,
+        "parallel run matches the sequential rule"
+    );
     println!("\ntop prospects (person, confidence, followees):");
     for p in prospects.iter().take(5) {
-        println!("  person {:>6}  {:.2}  {}", p.person, p.recommend_ratio, p.followees);
+        println!(
+            "  person {:>6}  {:.2}  {}",
+            p.person, p.recommend_ratio, p.followees
+        );
     }
 
     // The same rule expressed as a generic GPAR, with measured confidence.

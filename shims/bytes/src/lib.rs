@@ -1,0 +1,90 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The workspace builds without network access, so instead of the real
+//! `bytes` dependency this shim provides the tiny subset GRAPE-RS uses: a
+//! cheaply clonable, immutable byte container with `from_static`, `len`, and
+//! slice access.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// A cheaply clonable, immutable container of bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates `Bytes` from a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self { data: bytes.into() }
+    }
+
+    /// Copies `bytes` into a new `Bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self { data: bytes.into() }
+    }
+
+    /// Number of bytes in the container.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_and_owned_round_trip() {
+        let s = Bytes::from_static(b"xy");
+        assert_eq!(s.len(), 2);
+        assert_eq!(&s[..], b"xy");
+        let o = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(o.len(), 3);
+        assert!(!o.is_empty());
+        assert_eq!(o.clone(), o);
+    }
+}

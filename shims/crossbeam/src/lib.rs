@@ -1,0 +1,34 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! GRAPE-RS uses only `crossbeam::channel::{unbounded, Sender, Receiver}`;
+//! `std::sync::mpsc` provides the same multi-producer unbounded semantics
+//! (each endpoint owns its own receiver, so single-consumer is sufficient),
+//! so this shim re-exports the std types under the crossbeam module path.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (the subset of `crossbeam-channel` GRAPE-RS uses).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert!(rx.try_recv().is_err());
+    }
+}

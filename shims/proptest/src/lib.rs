@@ -1,0 +1,396 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API that `tests/property_tests.rs`
+//! uses: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, integer
+//! range and tuple strategies, [`collection::vec`], the [`proptest!`] macro
+//! with `#![proptest_config(...)]`, and the `prop_assert!` family.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are generated from a **deterministic seed** derived from the test
+//!   name, so failures are reproducible run-to-run;
+//! * there is **no shrinking** — the failing case is reported as generated;
+//! * a failing `prop_assert!` panics with the assertion message after the
+//!   case number.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Deterministic RNG driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Creates a runner seeded from `seed` (typically a hash of the test
+    /// name, so each test gets an independent deterministic stream).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// FNV-1a hash of a test name, used as the deterministic seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().random_range(self.clone())
+            }
+        })*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with element strategy `S` and length in `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = if self.len.is_empty() {
+                self.len.start
+            } else {
+                runner.rng().random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// The commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut runner =
+                $crate::TestRunner::new($crate::seed_from_name(stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut runner = crate::TestRunner::new(1);
+        let strat = (1usize..5, 0u64..10).prop_map(|(a, b)| a as u64 + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut runner);
+            assert!(v <= 13);
+        }
+    }
+
+    #[test]
+    fn flat_map_uses_outer_value() {
+        let mut runner = crate::TestRunner::new(2);
+        let strat = (2usize..6)
+            .prop_flat_map(|n| crate::collection::vec(0usize..n, 1..4).prop_map(move |v| (n, v)));
+        for _ in 0..100 {
+            let (n, v) = strat.generate(&mut runner);
+            assert!(!v.is_empty() && v.len() < 4);
+            assert!(v.iter().all(|x| *x < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b + 1);
+            if a == 0 {
+                return Ok(());
+            }
+            prop_assert!(a >= 1, "a was {}", a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn always_fails(a in 0u32..10) {
+                prop_assert!(a > 100);
+            }
+        }
+        always_fails();
+    }
+}

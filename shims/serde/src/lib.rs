@@ -1,0 +1,413 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access, so this shim replaces the
+//! real `serde` with a small value-tree model sufficient for GRAPE-RS's
+//! needs (JSON manifests and assignments in `grape-storage`):
+//!
+//! * [`Value`] — a JSON-shaped data model;
+//! * [`Serialize`] / [`Deserialize`] — conversions to and from [`Value`],
+//!   implemented for the std types the workspace serializes and derivable
+//!   for structs via the re-exported [`macro@Serialize`] /
+//!   [`macro@Deserialize`] derive macros;
+//! * the `serde_json` shim crate renders [`Value`] to JSON text and back.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number without a fractional part.
+    Int(i128),
+    /// JSON number with a fractional part (or exponent).
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type from `v`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Int(*self as i128)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    let n = match v {
+                        Value::Int(n) => *n,
+                        Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                        other => {
+                            return Err(DeError::new(format!(
+                                "expected integer, found {other:?}"
+                            )))
+                        }
+                    };
+                    <$t>::try_from(n).map_err(|_| {
+                        DeError::new(format!(
+                            "integer {n} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })
+                }
+            }
+        )*
+    };
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {
+        $(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    Value::Float(*self as f64)
+                }
+            }
+
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    match v {
+                        Value::Float(f) => Ok(*f as $t),
+                        Value::Int(n) => Ok(*n as $t),
+                        other => Err(DeError::new(format!(
+                            "expected number, found {other:?}"
+                        ))),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, found {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.to_value()),+])
+                }
+            }
+
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn from_value(v: &Value) -> Result<Self, DeError> {
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| DeError::new(format!("expected tuple array, found {v:?}")))?;
+                    let expected = [$($idx,)+].len();
+                    if items.len() != expected {
+                        return Err(DeError::new(format!(
+                            "expected array of {expected}, found {}",
+                            items.len()
+                        )));
+                    }
+                    Ok(($($name::from_value(&items[$idx])?,)+))
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Types usable as JSON object keys (serialized as strings, like
+/// `serde_json` does for integer-keyed maps).
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {
+        $(impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::new(format!("invalid {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        })*
+    };
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Object(entries)
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize, S> Deserialize for HashMap<K, V, S>
+where
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, found {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_round_trips() {
+        let v: Vec<(u64, Option<String>)> = vec![(1, None), (2, Some("x".into()))];
+        let round: Vec<(u64, Option<String>)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, round);
+
+        let mut m: HashMap<u64, usize> = HashMap::new();
+        m.insert(10, 1);
+        m.insert(20, 2);
+        let round: HashMap<u64, usize> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, round);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::Int(3)).is_err());
+        assert!(<Vec<u64>>::from_value(&Value::Null).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+}

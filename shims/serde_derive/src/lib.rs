@@ -1,0 +1,237 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports the shapes GRAPE-RS derives on: non-generic structs with named
+//! fields (serialized as JSON objects) and tuple structs (a single field
+//! serializes as the inner value, newtype-style; multiple fields as an
+//! array). Enums and generic types are rejected with a compile error —
+//! extend the parser here if a future type needs them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the struct a derive is applied to.
+enum StructShape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of fields.
+    Tuple(usize),
+}
+
+/// Parses `input` (the item a `#[derive(...)]` is attached to) into the
+/// struct name and its shape. Panics with a readable message on
+/// unsupported input; proc-macro panics surface as compile errors.
+fn parse_struct(input: TokenStream) -> (String, StructShape) {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde shim derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+            panic!("serde shim derive: enums are not supported; write manual impls")
+        }
+        other => panic!("serde shim derive: expected `struct`, found {other:?}"),
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct name, found {other:?}"),
+    };
+
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive: generic structs are not supported ({name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, StructShape::Named(parse_named_fields(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            (name, StructShape::Tuple(count_tuple_fields(g.stream())))
+        }
+        other => panic!("serde shim derive: expected struct body for {name}, found {other:?}"),
+    }
+}
+
+/// Extracts field names from the brace-delimited body of a named struct.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after {name}, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => {
+                            tokens.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct body (top-level comma-separated).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for token in body {
+        any = true;
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Derives `serde::Serialize` for a struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match &shape {
+        StructShape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        StructShape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        StructShape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for a struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match &shape {
+        StructShape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get_field({f:?}).ok_or_else(|| \
+                         ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return Err(::serde::DeError::new(\"expected object for {name}\"));\n\
+                 }}\n\
+                 Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        StructShape::Tuple(1) => "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        StructShape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated invalid Deserialize impl")
+}

@@ -18,10 +18,7 @@ use std::collections::HashMap;
 /// in 0..n exists), with weights in [0.5, 10].
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = WeightedGraph> {
     (2..max_n, 1..max_m).prop_flat_map(|(n, m)| {
-        let edges = proptest::collection::vec(
-            (0..n as u64, 0..n as u64, 1u32..20),
-            1..m.max(2),
-        );
+        let edges = proptest::collection::vec((0..n as u64, 0..n as u64, 1u32..20), 1..m.max(2));
         edges.prop_map(move |edges| {
             let mut b = GraphBuilder::<(), f64>::new();
             for v in 0..n as u64 {
