@@ -5,22 +5,28 @@
 //! connected component.
 //!
 //! * **PEval** — a sequential union-find pass over the fragment's local
-//!   edges.
+//!   edges, run entirely over dense CSR indices.
 //! * **IncEval** — incremental min-label propagation: arriving border labels
-//!   are merged into the union-find structure and only the affected classes
-//!   are relabeled.
+//!   are merged into the flat label array and propagated along the dense
+//!   adjacency until stable.
 //! * **Aggregate** — `min`, which is monotonically decreasing, so termination
 //!   and correctness follow from the Assurance Theorem.
+//!
+//! The per-fragment state is a [`VertexDenseMap`] of labels; because a
+//! [`CsrGraph`]'s dense indices are assigned in ascending global-id order,
+//! "smallest dense index in the class" and "smallest global id in the class"
+//! coincide, which [`DenseUnionFind`] exploits.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
-use grape_graph::CsrGraph;
+use grape_graph::{CsrGraph, VertexDenseMap};
 use std::collections::HashMap;
 
 /// CC query: no parameters (the whole graph is labeled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CcQuery;
 
-/// Disjoint-set forest over arbitrary `u64` vertex ids.
+/// Disjoint-set forest over arbitrary `u64` vertex ids (the global-id
+/// reference variant; the PIE hot path uses [`DenseUnionFind`]).
 #[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: HashMap<VertexId, VertexId>,
@@ -66,6 +72,55 @@ impl UnionFind {
     }
 }
 
+/// Disjoint-set forest over dense `0..n` indices: a flat parent array with
+/// path halving, keeping the smallest index as the representative.
+#[derive(Debug, Clone)]
+pub struct DenseUnionFind {
+    parent: Vec<u32>,
+}
+
+impl DenseUnionFind {
+    /// A forest of `n` singletons.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    /// Finds the representative of `i` with path halving.
+    #[inline]
+    pub fn find(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            let grandparent = self.parent[self.parent[i as usize] as usize];
+            self.parent[i as usize] = grandparent;
+            i = grandparent;
+        }
+        i
+    }
+
+    /// Unions the classes of `a` and `b`, keeping the smaller index as root.
+    #[inline]
+    pub fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[large as usize] = small;
+    }
+
+    /// Number of elements in the forest.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
 /// Sequential weakly-connected-components labeling of a whole graph: the
 /// reference used in tests (equivalent to
 /// [`grape_graph::metrics::weakly_connected_components`] but built on the
@@ -81,11 +136,13 @@ pub fn sequential_cc<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> HashMap<Vert
     graph.vertices().map(|v| (v, uf.find(v))).collect()
 }
 
-/// Per-fragment partial state: the local component label of every local
-/// vertex plus the union-find used to merge incremental updates.
+/// Per-fragment partial state: the component label (smallest known global id)
+/// of every local vertex, keyed by the fragment's dense indices.
 #[derive(Debug, Clone, Default)]
 pub struct CcPartial {
-    labels: HashMap<VertexId, VertexId>,
+    labels: VertexDenseMap<VertexId>,
+    /// Global ids aligned with `labels`, for Assemble.
+    vertex_ids: Vec<VertexId>,
 }
 
 /// The CC PIE program.
@@ -93,29 +150,48 @@ pub struct CcPartial {
 pub struct CcProgram;
 
 impl CcProgram {
-    fn relabel(fragment: &Fragment<(), f64>, labels: &mut HashMap<VertexId, VertexId>) -> bool {
-        // Propagate min labels along local edges until stable.
+    /// Propagates min labels along the dense local edges until stable.
+    /// Returns whether any label changed.
+    fn relabel(fragment: &Fragment<(), f64>, labels: &mut VertexDenseMap<VertexId>) -> bool {
+        let g = &fragment.graph;
+        let n = g.num_vertices() as u32;
         let mut changed_any = false;
         let mut changed = true;
         while changed {
             changed = false;
-            for (s, d, _) in fragment.graph.edges() {
-                let ls = labels[&s];
-                let ld = labels[&d];
-                let m = ls.min(ld);
-                if ls != m {
-                    labels.insert(s, m);
-                    changed = true;
-                    changed_any = true;
-                }
-                if ld != m {
-                    labels.insert(d, m);
-                    changed = true;
-                    changed_any = true;
+            for u in 0..n {
+                for &w in g.out_neighbors_dense(u) {
+                    let lu = labels[u];
+                    let lw = labels[w];
+                    let m = lu.min(lw);
+                    if lu != m {
+                        labels[u] = m;
+                        changed = true;
+                        changed_any = true;
+                    }
+                    if lw != m {
+                        labels[w] = m;
+                        changed = true;
+                        changed_any = true;
+                    }
                 }
             }
         }
         changed_any
+    }
+
+    fn publish_borders(
+        fragment: &Fragment<(), f64>,
+        labels: &VertexDenseMap<VertexId>,
+        ctx: &mut PieContext<VertexId>,
+    ) {
+        for (&b, &i) in fragment
+            .border_vertices()
+            .iter()
+            .zip(fragment.border_dense_indices())
+        {
+            ctx.update(b, labels[i]);
+        }
     }
 }
 
@@ -133,20 +209,24 @@ impl PieProgram for CcProgram {
         fragment: &Fragment<(), f64>,
         ctx: &mut PieContext<VertexId>,
     ) -> CcPartial {
-        // Union-find over the local edges (textbook sequential CC).
-        let mut uf = UnionFind::new();
-        for v in fragment.graph.vertices() {
-            uf.find(v);
+        // Union-find over the local edges (textbook sequential CC), entirely
+        // on dense indices.
+        let g = &fragment.graph;
+        let n = g.num_vertices();
+        let mut uf = DenseUnionFind::new(n);
+        for u in 0..n as u32 {
+            for &w in g.out_neighbors_dense(u) {
+                uf.union(u, w);
+            }
         }
-        for (s, d, _) in fragment.graph.edges() {
-            uf.union(s, d);
+        // Dense indices ascend with global ids, so the root's id is the
+        // smallest global id of the class.
+        let labels = VertexDenseMap::from_fn(n, |i| g.vertex_of(uf.find(i)));
+        Self::publish_borders(fragment, &labels, ctx);
+        CcPartial {
+            labels,
+            vertex_ids: g.vertex_ids().to_vec(),
         }
-        let labels: HashMap<VertexId, VertexId> =
-            fragment.graph.vertices().map(|v| (v, uf.find(v))).collect();
-        for &b in &fragment.border_vertices() {
-            ctx.update(b, labels[&b]);
-        }
-        CcPartial { labels }
     }
 
     fn inceval(
@@ -157,11 +237,12 @@ impl PieProgram for CcProgram {
         messages: &[(VertexId, VertexId)],
         ctx: &mut PieContext<VertexId>,
     ) {
+        let g = &fragment.graph;
         let mut touched = false;
-        for (v, label) in messages {
-            if let Some(current) = partial.labels.get_mut(v) {
-                if label < current {
-                    *current = *label;
+        for &(v, label) in messages {
+            if let Some(i) = g.dense_index(v) {
+                if label < partial.labels[i] {
+                    partial.labels[i] = label;
                     touched = true;
                 }
             }
@@ -170,16 +251,13 @@ impl PieProgram for CcProgram {
             return;
         }
         Self::relabel(fragment, &mut partial.labels);
-        for &b in &fragment.border_vertices() {
-            let value = partial.labels[&b];
-            ctx.update(b, value);
-        }
+        Self::publish_borders(fragment, &partial.labels, ctx);
     }
 
     fn assemble(&self, partials: Vec<CcPartial>) -> HashMap<VertexId, VertexId> {
         let mut out: HashMap<VertexId, VertexId> = HashMap::new();
         for partial in partials {
-            for (v, label) in partial.labels {
+            for (&v, &label) in partial.vertex_ids.iter().zip(partial.labels.as_slice()) {
                 out.entry(v)
                     .and_modify(|l| *l = (*l).min(label))
                     .or_insert(label);
@@ -219,6 +297,38 @@ mod tests {
         assert_eq!(uf.find(42), 42);
         assert_eq!(uf.find_readonly(8), 3);
         assert_eq!(uf.find_readonly(1_000), 1_000);
+    }
+
+    #[test]
+    fn dense_union_find_basics() {
+        let mut uf = DenseUnionFind::new(10);
+        assert_eq!(uf.len(), 10);
+        assert!(!uf.is_empty());
+        uf.union(5, 3);
+        uf.union(3, 8);
+        assert_eq!(uf.find(8), 3);
+        assert_eq!(uf.find(5), 3);
+        assert_eq!(uf.find(9), 9);
+        // The smallest index always wins the root.
+        uf.union(8, 0);
+        assert_eq!(uf.find(5), 0);
+        assert!(DenseUnionFind::new(0).is_empty());
+    }
+
+    #[test]
+    fn dense_and_hash_union_find_agree() {
+        let g = erdos_renyi(120, 0.03, 13).unwrap();
+        let reference = sequential_cc(&g);
+        let n = g.num_vertices();
+        let mut uf = DenseUnionFind::new(n);
+        for u in 0..n as u32 {
+            for &w in g.out_neighbors_dense(u) {
+                uf.union(u, w);
+            }
+        }
+        for u in 0..n as u32 {
+            assert_eq!(g.vertex_of(uf.find(u)), reference[&g.vertex_of(u)]);
+        }
     }
 
     #[test]

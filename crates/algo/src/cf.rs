@@ -177,7 +177,7 @@ impl CfProgram {
         partial: &CfPartial,
         ctx: &mut PieContext<Vec<f64>>,
     ) {
-        for b in fragment.border_vertices() {
+        for &b in fragment.border_vertices() {
             if let Some(f) = partial.factors.get(&b) {
                 // Quantize slightly so tiny float jitter does not keep the
                 // fixpoint from being reached once the epoch budget is spent.

@@ -222,7 +222,7 @@ impl KeywordProgram {
         partial: &KeywordPartial,
         ctx: &mut PieContext<DistanceVector>,
     ) {
-        for b in fragment.border_vertices() {
+        for &b in fragment.border_vertices() {
             if let Some(vec) = partial.dist.get(&b) {
                 if vec.iter().any(|d| d.is_finite()) {
                     ctx.update(b, vec.clone());

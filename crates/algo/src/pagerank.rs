@@ -21,7 +21,7 @@
 //! every practical PageRank implementation.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
-use grape_graph::CsrGraph;
+use grape_graph::{CsrGraph, VertexDenseMap};
 use std::collections::HashMap;
 
 /// PageRank query parameters.
@@ -83,14 +83,21 @@ fn quantize(value: f64, tolerance: f64) -> f64 {
     (value / tolerance).round() * tolerance
 }
 
-/// Per-fragment partial state.
+/// Per-fragment partial state, kept in flat per-vertex arrays over the
+/// fragment's dense CSR indices.
 #[derive(Debug, Clone, Default)]
 pub struct PageRankPartial {
-    /// Current rank of every inner vertex.
-    pub rank: HashMap<VertexId, f64>,
-    /// Per-edge rank share of each outer (mirror) vertex, as received from
-    /// its owner.
-    mirror_share: HashMap<VertexId, f64>,
+    /// Current rank by local dense index; only the slots of inner vertices
+    /// are meaningful (mirror slots are scratch space for the iteration).
+    rank: VertexDenseMap<f64>,
+    /// Per-edge rank share of each outer (mirror) vertex by local dense
+    /// index, as received from its owner (0.0 until the first message).
+    mirror_share: VertexDenseMap<f64>,
+    /// Global ids of the inner vertices, aligned with `inner_dense`, so
+    /// Assemble can translate without the fragments at hand.
+    inner_ids: Vec<VertexId>,
+    /// Dense indices of the inner vertices.
+    inner_dense: Vec<u32>,
 }
 
 /// The PageRank PIE program.
@@ -110,47 +117,49 @@ impl PageRankProgram {
     }
 
     /// Local power iteration over the fragment's inner vertices, treating the
-    /// mirror shares as fixed external input.
+    /// mirror shares as fixed external input. Runs entirely over the flat
+    /// dense arrays; contributions that land on mirror slots are dead writes
+    /// (mirror ranks are never read or emitted).
     fn local_iterate(
         &self,
         query: &PageRankQuery,
         fragment: &Fragment<(), f64>,
         partial: &mut PageRankPartial,
     ) {
+        let g = &fragment.graph;
         let n = self.global_vertices.max(1) as f64;
+        let n_local = g.num_vertices();
         for _ in 0..query.max_local_iterations {
-            let mut next: HashMap<VertexId, f64> = fragment
-                .inner_vertices()
-                .iter()
-                .map(|&v| (v, (1.0 - query.damping) / n))
-                .collect();
+            let mut next = vec![0.0f64; n_local];
+            for &i in fragment.inner_dense_indices() {
+                next[i as usize] = (1.0 - query.damping) / n;
+            }
             // Rank flowing along edges whose source is an inner vertex.
-            for &v in fragment.inner_vertices() {
-                let out = fragment.graph.out_degree(v);
+            for &i in fragment.inner_dense_indices() {
+                let out = g.out_degree_dense(i);
                 if out == 0 {
                     continue;
                 }
-                let share =
-                    query.damping * partial.rank.get(&v).copied().unwrap_or(1.0 / n) / out as f64;
-                for (u, _) in fragment.graph.out_edges(v) {
-                    if let Some(r) = next.get_mut(&u) {
-                        *r += share;
-                    }
+                let share = query.damping * partial.rank[i] / out as f64;
+                for &w in g.out_neighbors_dense(i) {
+                    next[w as usize] += share;
                 }
             }
             // Rank flowing in over cut edges, using the owners' shares.
-            for (&u, &share) in &partial.mirror_share {
-                for (w, _) in fragment.graph.out_edges(u) {
-                    if let Some(r) = next.get_mut(&w) {
-                        *r += query.damping * share;
-                    }
+            for &o in fragment.outer_dense_indices() {
+                let share = partial.mirror_share[o];
+                if share == 0.0 {
+                    continue;
+                }
+                for &w in g.out_neighbors_dense(o) {
+                    next[w as usize] += query.damping * share;
                 }
             }
             let mut delta = 0.0f64;
-            for (v, r) in &next {
-                delta += (r - partial.rank.get(v).copied().unwrap_or(1.0 / n)).abs();
+            for &i in fragment.inner_dense_indices() {
+                delta += (next[i as usize] - partial.rank[i]).abs();
             }
-            partial.rank = next;
+            partial.rank = VertexDenseMap::from_vec(next);
             if delta < query.tolerance {
                 break;
             }
@@ -166,15 +175,16 @@ impl PageRankProgram {
         partial: &PageRankPartial,
         ctx: &mut PieContext<f64>,
     ) {
-        for &v in fragment.inner_vertices() {
-            if fragment.mirrors_of(v).is_empty() {
-                continue;
-            }
-            let out = fragment.graph.out_degree(v);
+        for (&v, &i) in fragment
+            .mirrored_inner_vertices()
+            .iter()
+            .zip(fragment.mirrored_inner_dense_indices())
+        {
+            let out = fragment.graph.out_degree_dense(i);
             if out == 0 {
                 continue;
             }
-            let share = partial.rank.get(&v).copied().unwrap_or(0.0) / out as f64;
+            let share = partial.rank[i] / out as f64;
             ctx.update(v, quantize(share, query.tolerance));
         }
     }
@@ -195,13 +205,12 @@ impl PieProgram for PageRankProgram {
         ctx: &mut PieContext<f64>,
     ) -> PageRankPartial {
         let n = self.global_vertices.max(1) as f64;
+        let g = &fragment.graph;
         let mut partial = PageRankPartial {
-            rank: fragment
-                .inner_vertices()
-                .iter()
-                .map(|&v| (v, 1.0 / n))
-                .collect(),
-            mirror_share: HashMap::new(),
+            rank: VertexDenseMap::for_graph(g, 1.0 / n),
+            mirror_share: VertexDenseMap::for_graph(g, 0.0),
+            inner_ids: fragment.inner_vertices().to_vec(),
+            inner_dense: fragment.inner_dense_indices().to_vec(),
         };
         self.local_iterate(query, fragment, &mut partial);
         self.emit_shares(query, fragment, &partial, ctx);
@@ -216,12 +225,14 @@ impl PieProgram for PageRankProgram {
         messages: &[(VertexId, f64)],
         ctx: &mut PieContext<f64>,
     ) {
+        let g = &fragment.graph;
         let mut changed = false;
-        for (u, share) in messages {
-            if fragment.is_outer(*u) {
-                let entry = partial.mirror_share.entry(*u).or_insert(0.0);
-                if (*entry - *share).abs() >= query.tolerance / 2.0 {
-                    *entry = *share;
+        for &(u, share) in messages {
+            if let Some(o) = g.dense_index(u) {
+                if fragment.is_outer_dense(o)
+                    && (partial.mirror_share[o] - share).abs() >= query.tolerance / 2.0
+                {
+                    partial.mirror_share[o] = share;
                     changed = true;
                 }
             }
@@ -236,8 +247,8 @@ impl PieProgram for PageRankProgram {
     fn assemble(&self, partials: Vec<PageRankPartial>) -> HashMap<VertexId, f64> {
         let mut out = HashMap::new();
         for partial in partials {
-            for (v, r) in partial.rank {
-                out.insert(v, r);
+            for (&v, &i) in partial.inner_ids.iter().zip(&partial.inner_dense) {
+                out.insert(v, partial.rank[i]);
             }
         }
         out

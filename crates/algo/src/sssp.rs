@@ -10,9 +10,16 @@
 //! * The update parameters are the distances of border vertices, aggregated
 //!   with `min`; they decrease monotonically, so the Assurance Theorem
 //!   applies and the fixpoint is reached with correct answers.
+//!
+//! The PIE program keeps its per-fragment state in a [`VertexDenseMap`]
+//! keyed by the fragment's dense CSR indices and relaxes edges over the flat
+//! CSR neighbour/weight slices, so the hot loops never touch a `HashMap`.
+//! The global-id `HashMap` variants ([`sequential_sssp`],
+//! [`incremental_sssp`]) remain as the sequential references the tests and
+//! benches compare against.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
-use grape_graph::CsrGraph;
+use grape_graph::{CsrGraph, VertexDenseMap};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Distance value used throughout: `f64` seconds/metres/weights.
@@ -32,7 +39,7 @@ impl SsspQuery {
     }
 }
 
-/// Min-heap entry for Dijkstra.
+/// Min-heap entry for Dijkstra over global ids.
 #[derive(PartialEq)]
 struct HeapEntry(Distance, VertexId);
 
@@ -50,6 +57,28 @@ impl Ord for HeapEntry {
 }
 
 impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry for Dijkstra over dense indices (the hot path).
+#[derive(PartialEq)]
+struct DenseHeapEntry(Distance, u32);
+
+impl Eq for DenseHeapEntry {}
+
+impl Ord for DenseHeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for DenseHeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -119,12 +148,63 @@ pub fn incremental_sssp(
     changed
 }
 
+/// Dense Dijkstra from the dense index `source` (if any), writing distances
+/// into a flat per-vertex array. The fast path used by PEval.
+pub fn dense_sssp(graph: &CsrGraph<(), Distance>, source: Option<u32>) -> VertexDenseMap<Distance> {
+    let mut dist = VertexDenseMap::for_graph(graph, Distance::INFINITY);
+    if let Some(src) = source {
+        dense_relax(graph, &mut dist, &[(src, 0.0)]);
+    }
+    dist
+}
+
+/// Dense bounded incremental SSSP: seeds whose distance improves are pushed
+/// and relaxed over the flat CSR neighbour/weight slices. Returns `|ΔO|`,
+/// the number of vertices whose distance changed.
+pub fn dense_relax(
+    graph: &CsrGraph<(), Distance>,
+    dist: &mut VertexDenseMap<Distance>,
+    seeds: &[(u32, Distance)],
+) -> usize {
+    let mut heap = BinaryHeap::new();
+    let mut changed = 0usize;
+    for &(u, d) in seeds {
+        if d < dist[u] {
+            dist[u] = d;
+            changed += 1;
+            heap.push(DenseHeapEntry(d, u));
+        }
+    }
+    while let Some(DenseHeapEntry(d, u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (&v, &w) in graph
+            .out_neighbors_dense(u)
+            .iter()
+            .zip(graph.out_edge_data_dense(u))
+        {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                changed += 1;
+                heap.push(DenseHeapEntry(nd, v));
+            }
+        }
+    }
+    changed
+}
+
 /// Per-fragment partial result: the current distance estimates for every
-/// local vertex (inner and mirror).
+/// local vertex (inner and mirror), keyed by the fragment's dense indices.
 #[derive(Debug, Clone, Default)]
 pub struct SsspPartial {
-    /// Distance estimates keyed by global vertex id.
-    pub dist: HashMap<VertexId, Distance>,
+    /// Distance estimates keyed by the local graph's dense index
+    /// (`INFINITY` = unreached).
+    pub dist: VertexDenseMap<Distance>,
+    /// Global ids aligned with `dist` (the local graph's vertex-id table),
+    /// kept so Assemble can translate without the fragments at hand.
+    vertex_ids: Vec<VertexId>,
     /// Total number of distance changes applied by IncEval calls; used by the
     /// boundedness experiment (F-inc).
     pub inceval_changes: usize,
@@ -148,18 +228,25 @@ impl PieProgram for SsspProgram {
         fragment: &Fragment<(), Distance>,
         ctx: &mut PieContext<Distance>,
     ) -> SsspPartial {
-        // Dijkstra on the local fragment (distances stay infinite when the
-        // source lives elsewhere).
-        let dist = sequential_sssp(&fragment.graph, query.source);
+        let g = &fragment.graph;
+        // Dense Dijkstra on the local fragment (distances stay infinite when
+        // the source lives elsewhere).
+        let dist = dense_sssp(g, g.dense_index(query.source));
         // Declare update parameters: the current distance of every border
         // vertex that is already reachable locally.
-        for &b in &fragment.border_vertices() {
-            if let Some(&d) = dist.get(&b) {
+        for (&b, &i) in fragment
+            .border_vertices()
+            .iter()
+            .zip(fragment.border_dense_indices())
+        {
+            let d = dist[i];
+            if d.is_finite() {
                 ctx.update(b, d);
             }
         }
         SsspPartial {
             dist,
+            vertex_ids: g.vertex_ids().to_vec(),
             inceval_changes: 0,
         }
     }
@@ -172,15 +259,25 @@ impl PieProgram for SsspProgram {
         messages: &[(VertexId, Distance)],
         ctx: &mut PieContext<Distance>,
     ) {
+        let g = &fragment.graph;
         // Treat improved border distances as seeds for the incremental
-        // algorithm.
-        let changed = incremental_sssp(&fragment.graph, &mut partial.dist, messages);
+        // algorithm, translated to dense indices once at the boundary.
+        let seeds: Vec<(u32, Distance)> = messages
+            .iter()
+            .filter_map(|&(v, d)| g.dense_index(v).map(|i| (i, d)))
+            .collect();
+        let changed = dense_relax(g, &mut partial.dist, &seeds);
         partial.inceval_changes += changed;
         if changed == 0 {
             return;
         }
-        for &b in &fragment.border_vertices() {
-            if let Some(&d) = partial.dist.get(&b) {
+        for (&b, &i) in fragment
+            .border_vertices()
+            .iter()
+            .zip(fragment.border_dense_indices())
+        {
+            let d = partial.dist[i];
+            if d.is_finite() {
                 ctx.update(b, d);
             }
         }
@@ -189,7 +286,10 @@ impl PieProgram for SsspProgram {
     fn assemble(&self, partials: Vec<SsspPartial>) -> HashMap<VertexId, Distance> {
         let mut out: HashMap<VertexId, Distance> = HashMap::new();
         for partial in partials {
-            for (v, d) in partial.dist {
+            for (&v, &d) in partial.vertex_ids.iter().zip(partial.dist.as_slice()) {
+                if !d.is_finite() {
+                    continue;
+                }
                 out.entry(v)
                     .and_modify(|cur| {
                         if d < *cur {
@@ -256,6 +356,32 @@ mod tests {
         assert_eq!(d[&2], 3.0);
         assert_eq!(d[&3], 4.0);
         assert!(sequential_sssp(&g, 99).is_empty());
+    }
+
+    #[test]
+    fn dense_sssp_matches_sequential_reference() {
+        let g = barabasi_albert(400, 3, 19).unwrap();
+        let dense = dense_sssp(&g, g.dense_index(0));
+        let reference = sequential_sssp(&g, 0);
+        for (v, d) in dense.iter_with(&g) {
+            match reference.get(&v) {
+                Some(r) => assert_eq!(*d, *r, "vertex {v}"),
+                None => assert!(d.is_infinite(), "vertex {v} should be unreached"),
+            }
+        }
+        // A missing source yields an all-infinite map.
+        let empty = dense_sssp(&g, None);
+        assert!(empty.as_slice().iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn dense_relax_is_idempotent() {
+        let g = barabasi_albert(300, 3, 7).unwrap();
+        let mut dist = VertexDenseMap::for_graph(&g, Distance::INFINITY);
+        let src = g.dense_index(0).unwrap();
+        let changed = dense_relax(&g, &mut dist, &[(src, 0.0)]);
+        assert!(changed > 0);
+        assert_eq!(dense_relax(&g, &mut dist, &[(src, 0.0)]), 0);
     }
 
     #[test]

@@ -441,7 +441,7 @@ impl SubIsoProgram {
         ctx: &mut PieContext<NeighborhoodDelta>,
     ) {
         let radius = query.pattern.radius().max(1);
-        for b in fragment.border_vertices() {
+        for &b in fragment.border_vertices() {
             let ball = Self::ball(fragment, partial, b, radius);
             // Only publish if it extends what is already recorded, otherwise
             // the context suppresses the no-op automatically via PartialEq.

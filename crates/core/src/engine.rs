@@ -33,6 +33,141 @@ use std::time::Instant;
 /// `(worker id, changed border values, eval seconds)`.
 type GatheredReport<V> = (usize, Vec<(VertexId, V)>, f64);
 
+/// The coordinator's aggregation table: one stable slot per border vertex,
+/// built once per run from the fragments' border lists.
+///
+/// Every superstep the coordinator folds the workers' proposals into the
+/// slots (instead of rebuilding a `HashMap<VertexId, (V, Vec<usize>)>`), and
+/// echo suppression is a single bit test per `(slot, worker)` instead of a
+/// linear `Vec::contains` scan.
+struct SlotTable<V> {
+    /// Global id -> slot. The only hashing left, hit once per changed value.
+    slot_of: HashMap<VertexId, u32>,
+    /// Slot -> global id.
+    vertex: Vec<VertexId>,
+    /// Slot -> fragments that have the vertex on their border.
+    homes: Vec<Vec<usize>>,
+    /// Folded value of each slot in the current superstep (`None` =
+    /// untouched this superstep).
+    value: Vec<Option<V>>,
+    /// Folded value of each slot in any previous superstep, for the
+    /// monotonicity check.
+    last_value: Vec<Option<V>>,
+    /// Packed per-slot worker bitmask: bit `f` of slot `s` set means worker
+    /// `f` already holds the folded value of `s` (no echo needed).
+    holders: Vec<u64>,
+    /// 64-bit words per slot in `holders`.
+    words_per_slot: usize,
+    /// Slots touched in the current superstep, so clearing is O(touched).
+    touched: Vec<u32>,
+}
+
+impl<V: Clone> SlotTable<V> {
+    /// Builds the table from the borders of `fragments`.
+    fn build<VD, ED>(fragments: &[grape_partition::Fragment<VD, ED>], n_workers: usize) -> Self
+    where
+        VD: Clone,
+        ED: Clone,
+    {
+        let mut slot_of: HashMap<VertexId, u32> = HashMap::new();
+        let mut vertex: Vec<VertexId> = Vec::new();
+        let mut homes: Vec<Vec<usize>> = Vec::new();
+        for fragment in fragments {
+            for &v in fragment.border_vertices() {
+                let slot = *slot_of.entry(v).or_insert_with(|| {
+                    vertex.push(v);
+                    homes.push(Vec::new());
+                    (vertex.len() - 1) as u32
+                });
+                homes[slot as usize].push(fragment.id);
+            }
+        }
+        let num_slots = vertex.len();
+        let words_per_slot = n_workers.div_ceil(64).max(1);
+        Self {
+            slot_of,
+            vertex,
+            homes,
+            value: vec![None; num_slots],
+            last_value: vec![None; num_slots],
+            holders: vec![0u64; num_slots * words_per_slot],
+            words_per_slot,
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn holds(&self, slot: u32, worker: usize) -> bool {
+        let base = slot as usize * self.words_per_slot;
+        self.holders[base + worker / 64] & (1u64 << (worker % 64)) != 0
+    }
+
+    #[inline]
+    fn set_holder(&mut self, slot: u32, worker: usize) {
+        let base = slot as usize * self.words_per_slot;
+        self.holders[base + worker / 64] |= 1u64 << (worker % 64);
+    }
+
+    #[inline]
+    fn clear_holders(&mut self, slot: u32) {
+        let base = slot as usize * self.words_per_slot;
+        self.holders[base..base + self.words_per_slot].fill(0);
+    }
+
+    /// Resets the per-superstep state (folded values + holder bits) of every
+    /// slot touched since the last call.
+    fn begin_superstep(&mut self) {
+        let touched = std::mem::take(&mut self.touched);
+        for &slot in &touched {
+            self.value[slot as usize] = None;
+            self.clear_holders(slot);
+        }
+    }
+
+    /// Folds `proposal` from `worker` into the slot of `v` using
+    /// `aggregate`. Returns `false` when `v` is on no fragment's border:
+    /// such values have nowhere to route and are dropped (the caller may
+    /// still track them for the monotonicity diagnostic).
+    fn fold(
+        &mut self,
+        v: VertexId,
+        worker: usize,
+        proposal: &V,
+        aggregate: impl Fn(&V, &V) -> V,
+    ) -> bool
+    where
+        V: PartialEq,
+    {
+        let Some(&slot) = self.slot_of.get(&v) else {
+            return false;
+        };
+        match &self.value[slot as usize] {
+            None => {
+                self.value[slot as usize] = Some(proposal.clone());
+                self.touched.push(slot);
+                self.set_holder(slot, worker);
+            }
+            Some(current) => {
+                let folded = aggregate(current, proposal);
+                // Any worker recorded as holding the previous fold is stale
+                // the moment the folded value moves; only workers whose own
+                // proposal equals the fold can skip the echo. This also
+                // covers non-selective aggregates (sums, element-wise mins)
+                // where the fold equals *neither* input: everyone gets the
+                // message.
+                if folded != *current {
+                    self.clear_holders(slot);
+                }
+                if folded == *proposal {
+                    self.set_holder(slot, worker);
+                }
+                self.value[slot as usize] = Some(folded);
+            }
+        }
+        true
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -143,13 +278,9 @@ impl<P: PieProgram> GrapeEngine<P> {
         }
         let started = Instant::now();
 
-        // Routing table: vertex -> fragments where it is a border vertex.
-        let mut border_homes: HashMap<VertexId, Vec<usize>> = HashMap::new();
-        for fragment in fragments {
-            for v in fragment.border_vertices() {
-                border_homes.entry(v).or_default().push(fragment.id);
-            }
-        }
+        // Stable aggregation slots: one per border vertex, with its routing
+        // targets. Built once; reused every superstep.
+        let mut slots: SlotTable<P::Value> = SlotTable::build(fragments, n);
 
         // Two typed networks (worker -> coordinator reports, coordinator ->
         // worker commands) sharing one set of communication counters.
@@ -229,7 +360,7 @@ impl<P: PieProgram> GrapeEngine<P> {
                     &program,
                     &config,
                     n,
-                    &border_homes,
+                    &mut slots,
                     &up_coord,
                     &down_coord,
                     &stats,
@@ -280,14 +411,16 @@ impl<P: PieProgram> GrapeEngine<P> {
         program: &Arc<P>,
         config: &EngineConfig,
         n: usize,
-        border_homes: &HashMap<VertexId, Vec<usize>>,
+        slots: &mut SlotTable<P::Value>,
         up_coord: &grape_comm::WorkerLink<WorkerReport<P::Value>>,
         down_coord: &grape_comm::WorkerLink<CoordCommand<P::Value>>,
         stats: &Arc<CommStats>,
     ) -> Result<RunStats, RunError> {
         let mut run_stats = RunStats::default();
-        // Last aggregated value per vertex, for the monotonicity check.
-        let mut last_value: HashMap<VertexId, P::Value> = HashMap::new();
+        // Last folded value of each non-border vertex a program proposed,
+        // kept only for the monotonicity diagnostic (border vertices use the
+        // slot table's `last_value`).
+        let mut stray_last: HashMap<VertexId, P::Value> = HashMap::new();
         let mut pending = n;
         let mut superstep = 0usize;
 
@@ -311,45 +444,54 @@ impl<P: PieProgram> GrapeEngine<P> {
                 }
             }
 
-            // Aggregate the proposals per border vertex.
-            // For each vertex keep the folded value and the workers whose
-            // proposal already equals it (they do not need an echo).
-            let mut aggregated: HashMap<VertexId, (P::Value, Vec<usize>)> = HashMap::new();
+            // Fold the proposals into the per-border-vertex slots. Each slot
+            // keeps the aggregated value plus a worker bitmask of who already
+            // holds it (those workers do not need an echo).
+            slots.begin_superstep();
             let mut changed_parameters = 0usize;
             let mut max_eval = 0.0f64;
             let mut total_eval = 0.0f64;
+            // Proposals for vertices on no fragment's border cannot be
+            // routed, but the monotonicity diagnostic still folds them here
+            // so it keeps catching programs that update the wrong vertices.
+            let mut stray: HashMap<VertexId, P::Value> = HashMap::new();
             for (from, changes, eval_seconds) in &reports {
                 max_eval = max_eval.max(*eval_seconds);
                 total_eval += *eval_seconds;
                 changed_parameters += changes.len();
                 for (v, value) in changes {
-                    match aggregated.get_mut(v) {
-                        None => {
-                            aggregated.insert(*v, (value.clone(), vec![*from]));
-                        }
-                        Some((current, holders)) => {
-                            let folded = program.aggregate(current, value);
-                            if folded == *value && folded != *current {
-                                // The new proposal wins outright.
-                                holders.clear();
-                                holders.push(*from);
-                            } else if folded == *current && folded == *value {
-                                holders.push(*from);
+                    let routed = slots.fold(*v, *from, value, |a, b| program.aggregate(a, b));
+                    if !routed && config.check_monotonicity {
+                        match stray.get_mut(v) {
+                            None => {
+                                stray.insert(*v, value.clone());
                             }
-                            *current = folded;
+                            Some(current) => *current = program.aggregate(current, value),
                         }
                     }
                 }
             }
 
             if config.check_monotonicity {
-                for (v, (value, _)) in &aggregated {
-                    if let Some(old) = last_value.get(v) {
+                for idx in 0..slots.touched.len() {
+                    let slot = slots.touched[idx] as usize;
+                    let value = slots.value[slot]
+                        .as_ref()
+                        .expect("touched slots carry values");
+                    if let Some(old) = &slots.last_value[slot] {
                         if program.monotonic(old, value) == Some(false) {
                             run_stats.monotonicity_violations += 1;
                         }
                     }
-                    last_value.insert(*v, value.clone());
+                    slots.last_value[slot] = Some(value.clone());
+                }
+                for (v, value) in stray {
+                    if let Some(old) = stray_last.get(&v) {
+                        if program.monotonic(old, &value) == Some(false) {
+                            run_stats.monotonicity_violations += 1;
+                        }
+                    }
+                    stray_last.insert(v, value);
                 }
             }
 
@@ -382,14 +524,16 @@ impl<P: PieProgram> GrapeEngine<P> {
 
             // Route the aggregated values to every fragment that has the
             // vertex on its border, except fragments already holding the
-            // aggregated value.
+            // aggregated value (one bit test per recipient).
             let mut outbox: Vec<Vec<(VertexId, P::Value)>> = vec![Vec::new(); n];
-            for (v, (value, holders)) in aggregated {
-                if let Some(homes) = border_homes.get(&v) {
-                    for &f in homes {
-                        if !holders.contains(&f) {
-                            outbox[f].push((v, value.clone()));
-                        }
+            for &slot in &slots.touched {
+                let v = slots.vertex[slot as usize];
+                let value = slots.value[slot as usize]
+                    .as_ref()
+                    .expect("touched slots carry values");
+                for &f in &slots.homes[slot as usize] {
+                    if !slots.holds(slot, f) {
+                        outbox[f].push((v, value.clone()));
                     }
                 }
             }
@@ -465,7 +609,7 @@ mod tests {
                     }
                 }
             }
-            for &b in &fragment.border_vertices() {
+            for &b in fragment.border_vertices() {
                 ctx.update(b, label[&b]);
             }
             label
@@ -504,7 +648,7 @@ mod tests {
                     }
                 }
             }
-            for &b in &fragment.border_vertices() {
+            for &b in fragment.border_vertices() {
                 let value = partial[&b];
                 ctx.update(b, value);
             }
@@ -642,7 +786,7 @@ mod tests {
                 fragment: &Fragment<(), f64>,
                 ctx: &mut PieContext<u64>,
             ) -> u64 {
-                for &b in &fragment.border_vertices() {
+                for &b in fragment.border_vertices() {
                     ctx.update(b, fragment.id as u64);
                 }
                 0
@@ -656,7 +800,7 @@ mod tests {
                 ctx: &mut PieContext<u64>,
             ) {
                 *partial += 1;
-                for &b in &fragment.border_vertices() {
+                for &b in fragment.border_vertices() {
                     // Alternate the value every superstep: never converges.
                     ctx.update(b, *partial % 2 + fragment.id as u64 * 10);
                 }
@@ -683,6 +827,277 @@ mod tests {
         });
         let err = engine.run_on_graph(&(), &g, &assignment).unwrap_err();
         assert_eq!(err, RunError::SuperstepLimit(10));
+    }
+
+    /// A probe program for the coordinator's echo suppression: PEval proposes
+    /// a per-fragment value for every border vertex and IncEval records every
+    /// message that arrives (without proposing anything new, so the run
+    /// terminates after one exchange).
+    struct EchoProbe;
+
+    impl PieProgram for EchoProbe {
+        type Query = ();
+        type VertexData = ();
+        type EdgeData = f64;
+        type Value = u64;
+        /// Messages received by this fragment, in arrival order.
+        type Partial = Vec<(VertexId, u64)>;
+        /// The per-fragment message logs, in fragment order.
+        type Output = Vec<Vec<(VertexId, u64)>>;
+
+        fn peval(
+            &self,
+            _q: &(),
+            fragment: &Fragment<(), f64>,
+            ctx: &mut PieContext<u64>,
+        ) -> Self::Partial {
+            // Fragment 0 proposes 0, fragment 1 proposes 100, ...: the
+            // aggregate (min) is always fragment 0's proposal.
+            for &b in fragment.border_vertices() {
+                ctx.update(b, fragment.id as u64 * 100);
+            }
+            Vec::new()
+        }
+
+        fn inceval(
+            &self,
+            _q: &(),
+            _fragment: &Fragment<(), f64>,
+            partial: &mut Self::Partial,
+            messages: &[(VertexId, u64)],
+            _ctx: &mut PieContext<u64>,
+        ) {
+            partial.extend_from_slice(messages);
+        }
+
+        fn assemble(&self, partials: Vec<Self::Partial>) -> Self::Output {
+            partials
+        }
+
+        fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+            *a.min(b)
+        }
+    }
+
+    #[test]
+    fn echo_suppression_prevents_self_messages() {
+        // Chain 0-1-2-3 split in two: border vertices {1, 2} on both sides.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..3u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let result = GrapeEngine::new(EchoProbe)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        // Fragment 0 proposed the winning value 0 for both border vertices,
+        // so it must receive no echo; fragment 1 receives the fold.
+        assert!(
+            result.output[0].is_empty(),
+            "the proposer of the aggregated value got echoed its own message: {:?}",
+            result.output[0]
+        );
+        assert_eq!(result.output[1], vec![(1, 0), (2, 0)]);
+        assert_eq!(result.stats.supersteps, 2);
+    }
+
+    #[test]
+    fn non_selective_aggregate_reaches_every_proposer() {
+        /// A sum aggregate: the fold of two different proposals equals
+        /// *neither* of them, so no proposer holds the folded value and
+        /// every fragment must receive it (a stale holder bit here would
+        /// leave one fragment with its own, wrong value).
+        struct SumProbe;
+        impl PieProgram for SumProbe {
+            type Query = ();
+            type VertexData = ();
+            type EdgeData = f64;
+            type Value = u64;
+            type Partial = Vec<(VertexId, u64)>;
+            type Output = Vec<Vec<(VertexId, u64)>>;
+            fn peval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                ctx: &mut PieContext<u64>,
+            ) -> Self::Partial {
+                for &b in fragment.border_vertices() {
+                    ctx.update(b, 10 + fragment.id as u64);
+                }
+                Vec::new()
+            }
+            fn inceval(
+                &self,
+                _q: &(),
+                _fragment: &Fragment<(), f64>,
+                partial: &mut Self::Partial,
+                messages: &[(VertexId, u64)],
+                _ctx: &mut PieContext<u64>,
+            ) {
+                partial.extend_from_slice(messages);
+            }
+            fn assemble(&self, partials: Vec<Self::Partial>) -> Self::Output {
+                partials
+            }
+            fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+                *a + *b
+            }
+        }
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..3u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let result = GrapeEngine::new(SumProbe)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        // Proposals 10 and 11 fold to 21 for both border vertices {1, 2};
+        // neither fragment holds 21, so both must be told.
+        for (f, received) in result.output.iter().enumerate() {
+            assert_eq!(
+                received,
+                &vec![(1, 21), (2, 21)],
+                "fragment {f} must receive the folded sum"
+            );
+        }
+    }
+
+    #[test]
+    fn monotonicity_check_sees_non_border_updates() {
+        /// A program that (buggily) posts *increasing* values for a
+        /// non-border inner vertex while driving normal decreasing border
+        /// traffic: the stray updates can never be routed, but the
+        /// monotonicity diagnostic must still flag them.
+        struct StrayOscillator;
+        impl StrayOscillator {
+            fn stray_vertex(fragment: &Fragment<(), f64>) -> VertexId {
+                fragment
+                    .inner_vertices()
+                    .iter()
+                    .copied()
+                    .find(|&v| fragment.mirrors_of(v).is_empty())
+                    .expect("a non-border inner vertex exists")
+            }
+        }
+        impl PieProgram for StrayOscillator {
+            type Query = ();
+            type VertexData = ();
+            type EdgeData = f64;
+            type Value = u64;
+            type Partial = u64;
+            type Output = u64;
+            fn peval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                ctx: &mut PieContext<u64>,
+            ) -> u64 {
+                ctx.update(Self::stray_vertex(fragment), 100);
+                for &b in fragment.border_vertices() {
+                    ctx.update(b, 50 + fragment.id as u64);
+                }
+                0
+            }
+            fn inceval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                partial: &mut u64,
+                _messages: &[(VertexId, u64)],
+                ctx: &mut PieContext<u64>,
+            ) {
+                *partial += 1;
+                if *partial > 3 {
+                    return;
+                }
+                // Increasing: violates the min-order declared below.
+                ctx.update(Self::stray_vertex(fragment), 100 + *partial);
+                for &b in fragment.border_vertices() {
+                    // Decreasing: monotone, keeps the exchange alive.
+                    ctx.update(b, 50 - *partial);
+                }
+            }
+            fn assemble(&self, partials: Vec<u64>) -> u64 {
+                partials.into_iter().sum()
+            }
+            fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+                *a.min(b)
+            }
+            fn monotonic(&self, old: &u64, new: &u64) -> Option<bool> {
+                Some(new <= old)
+            }
+        }
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..3u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let engine = GrapeEngine::new(StrayOscillator).with_config(EngineConfig {
+            check_monotonicity: true,
+            ..Default::default()
+        });
+        let result = engine.run_on_graph(&(), &g, &assignment).unwrap();
+        assert!(
+            result.stats.monotonicity_violations > 0,
+            "increasing non-border updates must be flagged"
+        );
+    }
+
+    #[test]
+    fn agreeing_proposals_ship_no_messages() {
+        /// Both fragments propose the same constant for their borders: every
+        /// interested fragment already holds the folded value, so the run
+        /// must reach its fixpoint after PEval with zero messages shipped.
+        struct ConstantProbe;
+        impl PieProgram for ConstantProbe {
+            type Query = ();
+            type VertexData = ();
+            type EdgeData = f64;
+            type Value = u64;
+            type Partial = usize;
+            type Output = usize;
+            fn peval(
+                &self,
+                _q: &(),
+                fragment: &Fragment<(), f64>,
+                ctx: &mut PieContext<u64>,
+            ) -> usize {
+                for &b in fragment.border_vertices() {
+                    ctx.update(b, 7);
+                }
+                0
+            }
+            fn inceval(
+                &self,
+                _q: &(),
+                _f: &Fragment<(), f64>,
+                partial: &mut usize,
+                messages: &[(VertexId, u64)],
+                _ctx: &mut PieContext<u64>,
+            ) {
+                *partial += messages.len();
+            }
+            fn assemble(&self, partials: Vec<usize>) -> usize {
+                partials.into_iter().sum()
+            }
+            fn aggregate(&self, a: &u64, b: &u64) -> u64 {
+                *a.min(b)
+            }
+        }
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..7u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let result = GrapeEngine::new(ConstantProbe)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        assert_eq!(result.output, 0, "no IncEval message should be delivered");
+        assert_eq!(result.stats.supersteps, 1);
     }
 
     #[test]

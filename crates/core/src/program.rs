@@ -98,7 +98,7 @@ mod tests {
                 .copied()
                 .min()
                 .unwrap_or(u64::MAX);
-            for &b in &fragment.border_vertices() {
+            for &b in fragment.border_vertices() {
                 ctx.update(b, local_min);
             }
             local_min
@@ -115,7 +115,7 @@ mod tests {
             let incoming = messages.iter().map(|(_, v)| *v).min().unwrap_or(u64::MAX);
             if incoming < *partial {
                 *partial = incoming;
-                for &b in &fragment.border_vertices() {
+                for &b in fragment.border_vertices() {
                     ctx.update(b, *partial);
                 }
             }

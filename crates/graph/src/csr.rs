@@ -182,6 +182,67 @@ where
         self.vertex_ids[dense as usize]
     }
 
+    /// The global id at a dense index (the inverse of
+    /// [`CsrGraph::dense_index`]; alias of [`CsrGraph::vertex_id`] used by
+    /// dense-path code for symmetry with `dense_index`).
+    #[inline]
+    pub fn vertex_of(&self, dense: u32) -> VertexId {
+        self.vertex_id(dense)
+    }
+
+    /// Out-degree of the vertex at dense index `u`.
+    #[inline]
+    pub fn out_degree_dense(&self, u: u32) -> usize {
+        self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]
+    }
+
+    /// The dense indices of the out-neighbours of the vertex at dense index
+    /// `u`, as a flat slice into the CSR target array.
+    #[inline]
+    pub fn out_neighbors_dense(&self, u: u32) -> &[u32] {
+        &self.out_targets[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+    }
+
+    /// The edge payloads of the out-edges of `u`, aligned element-for-element
+    /// with [`CsrGraph::out_neighbors_dense`].
+    #[inline]
+    pub fn out_edge_data_dense(&self, u: u32) -> &[E] {
+        &self.out_data[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+    }
+
+    /// Iterates over the out-edges of dense vertex `u` as
+    /// `(dense_target, &edge_data)` — the dense counterpart of
+    /// [`CsrGraph::out_edges`].
+    #[inline]
+    pub fn out_edges_dense(&self, u: u32) -> impl Iterator<Item = (u32, &E)> + '_ {
+        self.out_neighbors_dense(u)
+            .iter()
+            .copied()
+            .zip(self.out_edge_data_dense(u))
+    }
+
+    /// The dense indices of the in-neighbours of the vertex at dense index
+    /// `u`. Empty when the reverse adjacency was not built.
+    #[inline]
+    pub fn in_neighbors_dense(&self, u: u32) -> &[u32] {
+        if self.in_offsets.is_empty() {
+            return &[];
+        }
+        &self.in_sources[self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]]
+    }
+
+    /// Iterates over the in-edges of dense vertex `u` as
+    /// `(dense_source, &edge_data)`, sharing payloads with the out-edge
+    /// arrays. Empty when the reverse adjacency was not built.
+    pub fn in_edges_dense(&self, u: u32) -> impl Iterator<Item = (u32, &E)> + '_ {
+        let range = if self.in_offsets.is_empty() {
+            0..0
+        } else {
+            self.in_offsets[u as usize]..self.in_offsets[u as usize + 1]
+        };
+        range.map(move |pos| (self.in_sources[pos], &self.out_data[self.in_edge_pos[pos]]))
+    }
+
     /// Iterator over all global vertex ids in ascending order.
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         self.vertex_ids.iter().copied()

@@ -1,0 +1,303 @@
+//! Flat per-vertex state keyed by dense CSR indices.
+//!
+//! [`CsrGraph`](crate::CsrGraph) maps arbitrary global [`VertexId`]s to dense
+//! indices `0..n`. Algorithms that keep per-vertex state in a
+//! `HashMap<VertexId, T>` pay a hash + probe on every edge relaxation; the
+//! types in this module replace that with a single indexed load:
+//!
+//! * [`VertexDenseMap<T>`] — a `Vec<T>` keyed by dense index, with a
+//!   [`VertexId`] view for the points where global ids are needed (assembling
+//!   results, shipping border values).
+//! * [`DenseBitset`] — a packed membership bitset over dense indices, used
+//!   for inner/outer tests in fragments and visited sets in traversals.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// A dense per-vertex value table: `map[dense_index] = value`.
+///
+/// Construct it sized to a graph with [`VertexDenseMap::for_graph`] (or
+/// [`VertexDenseMap::new`] when only the count is at hand), index it with the
+/// `u32` dense indices produced by
+/// [`CsrGraph::dense_index`](crate::CsrGraph::dense_index) /
+/// [`CsrGraph::out_neighbors_dense`](crate::CsrGraph::out_neighbors_dense),
+/// and convert back to global ids at the edges of the hot path with
+/// [`VertexDenseMap::iter_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexDenseMap<T> {
+    values: Vec<T>,
+}
+
+impl<T> VertexDenseMap<T> {
+    /// A map of `n` slots, all set to `init`.
+    pub fn new(n: usize, init: T) -> Self
+    where
+        T: Clone,
+    {
+        Self {
+            values: vec![init; n],
+        }
+    }
+
+    /// A map with one slot per vertex of `graph`, all set to `init`.
+    pub fn for_graph<V, E>(graph: &CsrGraph<V, E>, init: T) -> Self
+    where
+        T: Clone,
+        V: Clone,
+        E: Clone,
+    {
+        Self::new(graph.num_vertices(), init)
+    }
+
+    /// A map of `n` slots where slot `i` holds `f(i)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(u32) -> T) -> Self {
+        Self {
+            values: (0..n).map(|i| f(i as u32)).collect(),
+        }
+    }
+
+    /// Wraps an existing dense vector (must be aligned with the graph's
+    /// dense indices).
+    pub fn from_vec(values: Vec<T>) -> Self {
+        Self { values }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the map has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value at dense index `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> &T {
+        &self.values[i as usize]
+    }
+
+    /// Mutable access to the value at dense index `i`.
+    #[inline]
+    pub fn get_mut(&mut self, i: u32) -> &mut T {
+        &mut self.values[i as usize]
+    }
+
+    /// Sets the value at dense index `i`.
+    #[inline]
+    pub fn set(&mut self, i: u32, value: T) {
+        self.values[i as usize] = value;
+    }
+
+    /// The backing slice, aligned with dense indices.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The backing slice, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Consumes the map, returning the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.values
+    }
+
+    /// Resets every slot to `value`.
+    pub fn fill(&mut self, value: T)
+    where
+        T: Clone,
+    {
+        self.values.fill(value);
+    }
+
+    /// Iterates as `(dense_index, &value)`.
+    pub fn iter_dense(&self) -> impl Iterator<Item = (u32, &T)> + '_ {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// The global-id view: iterates as `(VertexId, &value)` using `graph` to
+    /// translate dense indices back to global ids. The graph must be the one
+    /// the map was sized for.
+    pub fn iter_with<'a, V, E>(
+        &'a self,
+        graph: &'a CsrGraph<V, E>,
+    ) -> impl Iterator<Item = (VertexId, &'a T)> + 'a
+    where
+        V: Clone,
+        E: Clone,
+    {
+        debug_assert_eq!(self.values.len(), graph.num_vertices());
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| (graph.vertex_of(i as u32), v))
+    }
+}
+
+impl<T> Default for VertexDenseMap<T> {
+    /// An empty map (no slots); resize by constructing a fresh map for the
+    /// graph at hand.
+    fn default() -> Self {
+        Self { values: Vec::new() }
+    }
+}
+
+impl<T> std::ops::Index<u32> for VertexDenseMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: u32) -> &T {
+        &self.values[i as usize]
+    }
+}
+
+impl<T> std::ops::IndexMut<u32> for VertexDenseMap<T> {
+    #[inline]
+    fn index_mut(&mut self, i: u32) -> &mut T {
+        &mut self.values[i as usize]
+    }
+}
+
+/// A packed bitset over dense vertex indices.
+///
+/// One bit per vertex; used for constant-time inner/outer membership tests
+/// in fragments and for visited sets in traversals, replacing
+/// `HashSet<VertexId>` probes on hot paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitset {
+    /// An all-zero bitset over `n` indices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            words: vec![0u64; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Number of indices covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Must be in range (`i < len`); out-of-range indices
+    /// would otherwise land silently in the last word's slack bits.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        debug_assert!((i as usize) < self.len, "DenseBitset::set out of range");
+        self.words[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`. Must be in range (`i < len`).
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        debug_assert!((i as usize) < self.len, "DenseBitset::clear out of range");
+        self.words[i as usize / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set. Out-of-range indices read as unset.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        (i as usize) < self.len && self.words[i as usize / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the set indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(wi as u32 * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EdgeRecord;
+
+    fn graph() -> CsrGraph<(), f64> {
+        // Non-contiguous ids to exercise the dense mapping.
+        let vs = vec![(10, ()), (20, ()), (30, ())];
+        let es = vec![EdgeRecord::new(10, 20, 1.0), EdgeRecord::new(20, 30, 2.0)];
+        CsrGraph::from_records(vs, es, true).unwrap()
+    }
+
+    #[test]
+    fn dense_map_round_trips_through_graph() {
+        let g = graph();
+        let mut m = VertexDenseMap::for_graph(&g, 0.0f64);
+        assert_eq!(m.len(), 3);
+        let i20 = g.dense_index(20).unwrap();
+        m[i20] = 7.5;
+        assert_eq!(m[i20], 7.5);
+        let by_id: Vec<(VertexId, f64)> = m.iter_with(&g).map(|(v, x)| (v, *x)).collect();
+        assert_eq!(by_id, vec![(10, 0.0), (20, 7.5), (30, 0.0)]);
+    }
+
+    #[test]
+    fn dense_map_constructors_and_accessors() {
+        let mut m = VertexDenseMap::from_fn(4, |i| i * 2);
+        assert_eq!(m.as_slice(), &[0, 2, 4, 6]);
+        m.set(1, 9);
+        assert_eq!(*m.get(1), 9);
+        *m.get_mut(0) = 1;
+        m.fill(5);
+        assert!(m.as_slice().iter().all(|&x| x == 5));
+        assert_eq!(m.iter_dense().count(), 4);
+        assert!(!m.is_empty());
+        let v = m.into_vec();
+        assert_eq!(VertexDenseMap::from_vec(v).len(), 4);
+        assert!(VertexDenseMap::<u8>::new(0, 0).is_empty());
+    }
+
+    #[test]
+    fn bitset_set_clear_contains() {
+        let mut b = DenseBitset::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1));
+        assert!(!b.contains(1000), "out of range reads as unset");
+        assert!(
+            !b.contains(135),
+            "slack bits of the last word read as unset"
+        );
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+        assert!(DenseBitset::new(0).is_empty());
+    }
+}

@@ -11,6 +11,9 @@
 //!   data.
 //! * [`GraphBuilder`] — an edge-at-a-time builder that produces a
 //!   [`CsrGraph`].
+//! * [`dense`] — flat per-vertex state keyed by the dense `0..n` CSR indices
+//!   ([`VertexDenseMap`], [`DenseBitset`]), the fast path used by the hot
+//!   algorithm loops instead of `HashMap<VertexId, T>`.
 //! * [`io`] — a plain-text edge-list loader / writer compatible with the
 //!   formats used by SNAP-style datasets.
 //! * [`generators`] — deterministic, seeded generators for the workload
@@ -28,6 +31,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod dense;
 pub mod generators;
 pub mod io;
 pub mod labels;
@@ -36,6 +40,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use dense::{DenseBitset, VertexDenseMap};
 pub use labels::{LabeledGraph, VertexLabel};
 pub use types::{Direction, EdgeId, GraphError, VertexId, INVALID_VERTEX};
 

@@ -17,7 +17,7 @@
 
 use crate::assignment::{FragmentId, PartitionAssignment};
 use grape_graph::types::EdgeRecord;
-use grape_graph::{CsrGraph, VertexId};
+use grape_graph::{CsrGraph, DenseBitset, VertexId};
 use std::collections::{HashMap, HashSet};
 
 /// A graph fragment owned by one worker.
@@ -32,7 +32,6 @@ pub struct Fragment<V, E> {
     pub graph: CsrGraph<V, E>,
     /// Vertices owned by this fragment (sorted).
     inner: Vec<VertexId>,
-    inner_set: HashSet<VertexId>,
     /// Mirrors of remote vertices that appear in local edges (sorted).
     outer: Vec<VertexId>,
     /// Owner fragment of each outer vertex.
@@ -40,6 +39,23 @@ pub struct Fragment<V, E> {
     /// For each inner vertex that is mirrored elsewhere, the fragments that
     /// hold a mirror of it.
     mirrored_at: HashMap<VertexId, Vec<FragmentId>>,
+    /// Membership bitset over the local graph's dense indices: bit set =
+    /// inner vertex, bit clear = outer (mirror). Replaces per-call
+    /// `HashSet<VertexId>` probes on the hot paths.
+    inner_mask: DenseBitset,
+    /// Dense indices of the inner vertices, aligned with `inner`.
+    inner_dense: Vec<u32>,
+    /// Dense indices of the outer vertices, aligned with `outer`.
+    outer_dense: Vec<u32>,
+    /// Border vertices (outer ∪ mirrored inner), sorted; precomputed once at
+    /// construction instead of re-sorted on every `border_vertices()` call.
+    border: Vec<VertexId>,
+    /// Dense index of each border vertex, aligned with `border`.
+    border_dense: Vec<u32>,
+    /// Inner vertices that are mirrored at other fragments, sorted.
+    mirrored_inner: Vec<VertexId>,
+    /// Dense indices aligned with `mirrored_inner`.
+    mirrored_inner_dense: Vec<u32>,
 }
 
 impl<V: Clone, E: Clone> Fragment<V, E> {
@@ -53,14 +69,42 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
         &self.outer
     }
 
+    /// Dense indices (into [`Fragment::graph`]) of the inner vertices,
+    /// aligned with [`Fragment::inner_vertices`].
+    pub fn inner_dense_indices(&self) -> &[u32] {
+        &self.inner_dense
+    }
+
+    /// Dense indices (into [`Fragment::graph`]) of the outer vertices,
+    /// aligned with [`Fragment::outer_vertices`].
+    pub fn outer_dense_indices(&self) -> &[u32] {
+        &self.outer_dense
+    }
+
     /// Whether `v` is owned by this fragment.
     pub fn is_inner(&self, v: VertexId) -> bool {
-        self.inner_set.contains(&v)
+        self.graph
+            .dense_index(v)
+            .is_some_and(|i| self.inner_mask.contains(i))
     }
 
     /// Whether `v` is a mirror of a remote vertex.
     pub fn is_outer(&self, v: VertexId) -> bool {
-        self.outer_owner.contains_key(&v)
+        self.graph
+            .dense_index(v)
+            .is_some_and(|i| !self.inner_mask.contains(i))
+    }
+
+    /// Whether the local vertex at dense index `i` is inner (owned here).
+    #[inline]
+    pub fn is_inner_dense(&self, i: u32) -> bool {
+        self.inner_mask.contains(i)
+    }
+
+    /// Whether the local vertex at dense index `i` is an outer mirror.
+    #[inline]
+    pub fn is_outer_dense(&self, i: u32) -> bool {
+        (i as usize) < self.graph.num_vertices() && !self.inner_mask.contains(i)
     }
 
     /// The fragment that owns an outer vertex.
@@ -83,17 +127,28 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
 
     /// Border nodes in the paper's sense: vertices of this fragment that
     /// carry update parameters. These are the outer vertices plus the inner
-    /// vertices mirrored at other fragments, in ascending order.
-    pub fn border_vertices(&self) -> Vec<VertexId> {
-        let mut border: Vec<VertexId> = self
-            .outer
-            .iter()
-            .copied()
-            .chain(self.mirrored_at.keys().copied())
-            .collect();
-        border.sort_unstable();
-        border.dedup();
-        border
+    /// vertices mirrored at other fragments, in ascending order. The list is
+    /// precomputed at construction — algorithms call this in PEval and every
+    /// IncEval round, so it must be allocation-free.
+    pub fn border_vertices(&self) -> &[VertexId] {
+        &self.border
+    }
+
+    /// Dense indices (into [`Fragment::graph`]) of the border vertices,
+    /// aligned with [`Fragment::border_vertices`].
+    pub fn border_dense_indices(&self) -> &[u32] {
+        &self.border_dense
+    }
+
+    /// Inner vertices mirrored at other fragments (the inner half of the
+    /// border), in ascending order.
+    pub fn mirrored_inner_vertices(&self) -> &[VertexId] {
+        &self.mirrored_inner
+    }
+
+    /// Dense indices aligned with [`Fragment::mirrored_inner_vertices`].
+    pub fn mirrored_inner_dense_indices(&self) -> &[u32] {
+        &self.mirrored_inner_dense
     }
 
     /// All fragments that must be informed when the value of `v` changes at
@@ -178,7 +233,6 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
     for f in 0..k {
         let mut inner_list = std::mem::take(&mut inner[f]);
         inner_list.sort_unstable();
-        let inner_set: HashSet<VertexId> = inner_list.iter().copied().collect();
         let mut outer_list: Vec<VertexId> = outer[f].iter().copied().collect();
         outer_list.sort_unstable();
         let outer_owner: HashMap<VertexId, FragmentId> =
@@ -204,15 +258,46 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
         let local_graph = CsrGraph::from_records(vertices, std::mem::take(&mut edges[f]), true)
             .expect("fragment edges reference only local vertices");
 
+        // Precompute the dense lookup structures once, so the per-superstep
+        // hot paths never rebuild or hash anything.
+        let dense_of = |v: VertexId| {
+            local_graph
+                .dense_index(v)
+                .expect("inner and outer vertices are in the local graph")
+        };
+        let mut inner_mask = DenseBitset::new(local_graph.num_vertices());
+        let inner_dense: Vec<u32> = inner_list.iter().map(|&v| dense_of(v)).collect();
+        for &i in &inner_dense {
+            inner_mask.set(i);
+        }
+        let outer_dense: Vec<u32> = outer_list.iter().map(|&v| dense_of(v)).collect();
+        let mut mirrored_inner: Vec<VertexId> = mirrored.keys().copied().collect();
+        mirrored_inner.sort_unstable();
+        let mirrored_inner_dense: Vec<u32> = mirrored_inner.iter().map(|&v| dense_of(v)).collect();
+        let mut border: Vec<VertexId> = outer_list
+            .iter()
+            .chain(mirrored_inner.iter())
+            .copied()
+            .collect();
+        border.sort_unstable();
+        border.dedup();
+        let border_dense: Vec<u32> = border.iter().map(|&v| dense_of(v)).collect();
+
         fragments.push(Fragment {
             id: f,
             num_fragments: k,
             graph: local_graph,
             inner: inner_list,
-            inner_set,
             outer: outer_list,
             outer_owner,
             mirrored_at: mirrored,
+            inner_mask,
+            inner_dense,
+            outer_dense,
+            border,
+            border_dense,
+            mirrored_inner,
+            mirrored_inner_dense,
         });
     }
     fragments
@@ -293,6 +378,52 @@ mod tests {
         // Cross edges are duplicated in exactly two fragments.
         let q = crate::quality::evaluate_partition(&g, &a);
         assert_eq!(local_total, g.num_edges() + q.cut_edges);
+    }
+
+    #[test]
+    fn dense_tables_agree_with_global_id_views() {
+        let g = erdos_renyi(200, 0.03, 9).unwrap();
+        let a = HashPartitioner.partition(&g, 4);
+        for f in build_fragments(&g, &a) {
+            // Aligned id/dense pairs round-trip through the local graph.
+            assert_eq!(f.inner_vertices().len(), f.inner_dense_indices().len());
+            for (&v, &i) in f.inner_vertices().iter().zip(f.inner_dense_indices()) {
+                assert_eq!(f.graph.vertex_of(i), v);
+                assert!(f.is_inner(v) && f.is_inner_dense(i));
+                assert!(!f.is_outer(v) && !f.is_outer_dense(i));
+            }
+            for (&v, &i) in f.outer_vertices().iter().zip(f.outer_dense_indices()) {
+                assert_eq!(f.graph.vertex_of(i), v);
+                assert!(f.is_outer(v) && f.is_outer_dense(i));
+                assert!(!f.is_inner(v) && !f.is_inner_dense(i));
+            }
+            for (&v, &i) in f.border_vertices().iter().zip(f.border_dense_indices()) {
+                assert_eq!(f.graph.vertex_of(i), v);
+            }
+            // The cached border equals the on-the-fly definition.
+            let mut expected: Vec<VertexId> = f
+                .outer_vertices()
+                .iter()
+                .chain(f.mirrored_inner_vertices().iter())
+                .copied()
+                .collect();
+            expected.sort_unstable();
+            expected.dedup();
+            assert_eq!(f.border_vertices(), expected);
+            // Mirrored-inner vertices are exactly the inner ones with mirrors.
+            for (&v, &i) in f
+                .mirrored_inner_vertices()
+                .iter()
+                .zip(f.mirrored_inner_dense_indices())
+            {
+                assert_eq!(f.graph.vertex_of(i), v);
+                assert!(f.is_inner(v));
+                assert!(!f.mirrors_of(v).is_empty());
+            }
+            // Vertices absent from the local graph are neither inner nor outer.
+            assert!(!f.is_inner(999_999));
+            assert!(!f.is_outer(999_999));
+        }
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub mod prelude {
         build_fragments, EngineConfig, Fragment, GrapeEngine, GrapeResult, PieContext, PieProgram,
         RunStats, VertexId,
     };
-    pub use grape_graph::{CsrGraph, GraphBuilder, LabeledGraph, WeightedGraph};
+    pub use grape_graph::{
+        CsrGraph, DenseBitset, GraphBuilder, LabeledGraph, VertexDenseMap, WeightedGraph,
+    };
     pub use grape_partition::{
         BuiltinStrategy, HashPartitioner, MetisLikePartitioner, PartitionAssignment, Partitioner,
     };

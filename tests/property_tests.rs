@@ -8,8 +8,11 @@
 //! * the bounded incremental SSSP always agrees with recomputation from
 //!   scratch.
 
+use grape::algo::pagerank::sequential_pagerank;
 use grape::algo::sssp::{incremental_sssp, sequential_sssp};
-use grape::algo::{cc::sequential_cc, CcProgram, CcQuery, SsspProgram, SsspQuery};
+use grape::algo::{
+    cc::sequential_cc, CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery,
+};
 use grape::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -134,6 +137,74 @@ proptest! {
         }
         for (v, d) in &expected {
             prop_assert!((dist[v] - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dense_sssp_and_cc_are_identical_to_sequential_references(
+        graph in arb_graph(70, 250),
+        k in 1usize..7,
+    ) {
+        // The generated weights are multiples of 0.5, so every path length is
+        // an exact dyadic rational in f64 and the dense engine paths must be
+        // *bit-identical* to the sequential references, for every partition
+        // strategy and worker count.
+        let sssp_ref = sequential_sssp(&graph, 0);
+        let cc_ref = sequential_cc(&graph);
+        for strategy in BuiltinStrategy::all() {
+            let assignment = strategy.partition(&graph, k);
+            let sssp = GrapeEngine::new(SsspProgram)
+                .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+                .unwrap();
+            for v in graph.vertices() {
+                let got = sssp.output.get(&v).copied().unwrap_or(f64::INFINITY);
+                let want = sssp_ref.get(&v).copied().unwrap_or(f64::INFINITY);
+                prop_assert!(
+                    got == want || (got.is_infinite() && want.is_infinite()),
+                    "sssp/{} k={} vertex {}: {} vs {}",
+                    strategy.name(), k, v, got, want
+                );
+            }
+            let cc = GrapeEngine::new(CcProgram)
+                .run_on_graph(&CcQuery, &graph, &assignment)
+                .unwrap();
+            for v in graph.vertices() {
+                prop_assert_eq!(
+                    cc.output[&v], cc_ref[&v],
+                    "cc/{} k={} vertex {}", strategy.name(), k, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_pagerank_tracks_sequential_reference(
+        graph in arb_graph(60, 200),
+        k in 1usize..5,
+    ) {
+        // PageRank is iterative over floats, so the distributed fixpoint is
+        // only tolerance-close to the sequential reference (and to itself
+        // across partitionings) rather than bit-identical.
+        let query = PageRankQuery {
+            max_local_iterations: 80,
+            tolerance: 1e-9,
+            ..Default::default()
+        };
+        let reference = sequential_pagerank(&graph, &query, 80);
+        let program = PageRankProgram::new(graph.num_vertices());
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+            let assignment = strategy.partition(&graph, k);
+            let result = GrapeEngine::new(program)
+                .run_on_graph(&query, &graph, &assignment)
+                .unwrap();
+            for v in graph.vertices() {
+                let got = result.output.get(&v).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (got - reference[&v]).abs() < 5e-3,
+                    "pagerank/{} k={} vertex {}: {} vs {}",
+                    strategy.name(), k, v, got, reference[&v]
+                );
+            }
         }
     }
 
