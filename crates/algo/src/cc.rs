@@ -185,12 +185,9 @@ impl CcProgram {
         labels: &VertexDenseMap<VertexId>,
         ctx: &mut PieContext<VertexId>,
     ) {
-        for (&b, &i) in fragment
-            .border_vertices()
-            .iter()
-            .zip(fragment.border_dense_indices())
-        {
-            ctx.update(b, labels[i]);
+        // Position-addressed: an indexed compare per border vertex.
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
+            ctx.update_at(pos as u32, labels[i]);
         }
     }
 }

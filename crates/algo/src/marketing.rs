@@ -25,7 +25,7 @@
 use crate::subiso::sequential_subiso;
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::labels::{LabeledVertex, PatternGraph};
-use grape_graph::LabeledGraph;
+use grape_graph::{LabeledGraph, VertexDenseMap};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
@@ -221,11 +221,14 @@ fn sort_prospects(prospects: &mut [Prospect]) {
     });
 }
 
-/// Per-fragment partial state.
+/// Per-fragment partial state. The product flags live in a flat per-vertex
+/// array keyed by the local graph's dense indices — the rescoring loops over
+/// followees never touch a `HashMap`.
 #[derive(Debug, Clone, Default)]
 pub struct MarketingPartial {
-    /// Product flags of every local vertex (mirrors get them via messages).
-    flags: HashMap<VertexId, u8>,
+    /// Product flags of every local vertex, keyed by dense index (mirrors
+    /// get theirs via messages).
+    flags: VertexDenseMap<u8>,
     /// Prospects found among this fragment's inner persons.
     prospects: Vec<Prospect>,
 }
@@ -235,39 +238,78 @@ pub struct MarketingPartial {
 pub struct MarketingProgram;
 
 impl MarketingProgram {
+    /// Product flags of the local vertex at dense index `i`, scanned over the
+    /// flat CSR neighbour/relation slices.
+    fn dense_product_flags(
+        graph: &grape_graph::CsrGraph<LabeledVertex, String>,
+        i: u32,
+        product: Option<u32>,
+    ) -> u8 {
+        let Some(product) = product else {
+            // The product is not in this fragment, so no local edge can
+            // reach it.
+            return 0;
+        };
+        let mut flags = 0u8;
+        for (&d, rel) in graph
+            .out_neighbors_dense(i)
+            .iter()
+            .zip(graph.out_edge_data_dense(i))
+        {
+            if d != product {
+                continue;
+            }
+            match rel.as_str() {
+                "recommends" => flags |= FLAG_RECOMMENDS,
+                "rates_bad" => flags |= FLAG_RATES_BAD,
+                "buys" => flags |= FLAG_BUYS,
+                _ => {}
+            }
+        }
+        flags
+    }
+
     fn rescore(
         query: &MarketingQuery,
         fragment: &Fragment<LabeledVertex, String>,
         partial: &mut MarketingPartial,
     ) {
+        let g = &fragment.graph;
         let mut prospects = Vec::new();
-        for &x in fragment.inner_vertices() {
-            let Some(data) = fragment.graph.vertex_data(x) else {
+        let mut followees: Vec<u32> = Vec::new();
+        for (&x, &xi) in fragment
+            .inner_vertices()
+            .iter()
+            .zip(fragment.inner_dense_indices())
+        {
+            let Some(data) = g.vertex_data(x) else {
                 continue;
             };
             if data.label.0 != "person" {
                 continue;
             }
-            let own = partial.flags.get(&x).copied().unwrap_or(0);
+            let own = partial.flags[xi];
             if own & (FLAG_BUYS | FLAG_RATES_BAD) != 0 {
                 continue;
             }
-            let followees: Vec<VertexId> = fragment
-                .graph
-                .out_edges(x)
-                .filter(|(_, rel)| rel.as_str() == "follows")
-                .map(|(d, _)| d)
-                .collect();
+            followees.clear();
+            followees.extend(
+                g.out_neighbors_dense(xi)
+                    .iter()
+                    .zip(g.out_edge_data_dense(xi))
+                    .filter(|(_, rel)| rel.as_str() == "follows")
+                    .map(|(&d, _)| d),
+            );
             if followees.len() < query.min_followees {
                 continue;
             }
             let recommends = followees
                 .iter()
-                .filter(|f| partial.flags.get(f).copied().unwrap_or(0) & FLAG_RECOMMENDS != 0)
+                .filter(|&&f| partial.flags[f] & FLAG_RECOMMENDS != 0)
                 .count();
             let any_bad = followees
                 .iter()
-                .any(|f| partial.flags.get(f).copied().unwrap_or(0) & FLAG_RATES_BAD != 0);
+                .any(|&f| partial.flags[f] & FLAG_RATES_BAD != 0);
             let ratio = recommends as f64 / followees.len() as f64;
             if !any_bad && ratio >= query.min_recommend_ratio {
                 prospects.push(Prospect {
@@ -296,20 +338,25 @@ impl PieProgram for MarketingProgram {
         fragment: &Fragment<LabeledVertex, String>,
         ctx: &mut PieContext<u8>,
     ) -> MarketingPartial {
+        let g = &fragment.graph;
         // Product flags of inner vertices are authoritative (every out-edge
         // of an inner vertex is local).
-        let mut partial = MarketingPartial::default();
-        for &v in fragment.inner_vertices() {
-            partial
-                .flags
-                .insert(v, product_flags(&fragment.graph, v, query.product));
+        let mut partial = MarketingPartial {
+            flags: VertexDenseMap::for_graph(g, 0),
+            prospects: Vec::new(),
+        };
+        let product = g.dense_index(query.product);
+        for &i in fragment.inner_dense_indices() {
+            partial.flags[i] = Self::dense_product_flags(g, i, product);
         }
         // Publish the flags of inner border persons so fragments that follow
         // them from afar can score their candidates.
-        for &v in fragment.inner_vertices() {
-            if !fragment.mirrors_of(v).is_empty() {
-                ctx.update(v, partial.flags[&v]);
-            }
+        for (&pos, &i) in fragment
+            .mirrored_inner_border_positions()
+            .iter()
+            .zip(fragment.mirrored_inner_dense_indices())
+        {
+            ctx.update_at(pos, partial.flags[i]);
         }
         Self::rescore(query, fragment, &mut partial);
         partial
@@ -324,14 +371,21 @@ impl PieProgram for MarketingProgram {
         ctx: &mut PieContext<u8>,
     ) {
         let mut changed = false;
-        for (v, flags) in messages {
-            if fragment.is_outer(*v) {
-                let entry = partial.flags.entry(*v).or_insert(0);
-                let merged = *entry | *flags;
-                if merged != *entry {
-                    *entry = merged;
-                    changed = true;
-                }
+        for &(v, flags) in messages {
+            // Translate once at the boundary through the border tables (no
+            // hashing); only mirror flags can change.
+            let Some(pos) = fragment.border_position(v) else {
+                continue;
+            };
+            let i = fragment.border_dense_indices()[pos as usize];
+            if !fragment.is_outer_dense(i) {
+                continue;
+            }
+            let entry = &mut partial.flags[i];
+            let merged = *entry | flags;
+            if merged != *entry {
+                *entry = merged;
+                changed = true;
             }
         }
         if !changed {

@@ -175,8 +175,10 @@ impl PageRankProgram {
         partial: &PageRankPartial,
         ctx: &mut PieContext<f64>,
     ) {
-        for (&v, &i) in fragment
-            .mirrored_inner_vertices()
+        // Position-addressed via the precomputed border positions of the
+        // mirrored-inner vertices: an indexed compare per vertex, no lookup.
+        for (&pos, &i) in fragment
+            .mirrored_inner_border_positions()
             .iter()
             .zip(fragment.mirrored_inner_dense_indices())
         {
@@ -185,7 +187,7 @@ impl PageRankProgram {
                 continue;
             }
             let share = partial.rank[i] / out as f64;
-            ctx.update(v, quantize(share, query.tolerance));
+            ctx.update_at(pos, quantize(share, query.tolerance));
         }
     }
 }

@@ -233,15 +233,13 @@ impl PieProgram for SsspProgram {
         // the source lives elsewhere).
         let dist = dense_sssp(g, g.dense_index(query.source));
         // Declare update parameters: the current distance of every border
-        // vertex that is already reachable locally.
-        for (&b, &i) in fragment
-            .border_vertices()
-            .iter()
-            .zip(fragment.border_dense_indices())
-        {
+        // vertex that is already reachable locally. `update_at` addresses
+        // the context by border position — an indexed compare per vertex,
+        // no lookup.
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
             let d = dist[i];
             if d.is_finite() {
-                ctx.update(b, d);
+                ctx.update_at(pos as u32, d);
             }
         }
         SsspPartial {
@@ -261,24 +259,27 @@ impl PieProgram for SsspProgram {
     ) {
         let g = &fragment.graph;
         // Treat improved border distances as seeds for the incremental
-        // algorithm, translated to dense indices once at the boundary.
+        // algorithm. Routed messages only ever name this fragment's border
+        // vertices, so the dense translation goes through the precomputed
+        // border tables (binary search over the sorted border list — no
+        // hashing) instead of the graph's id map.
         let seeds: Vec<(u32, Distance)> = messages
             .iter()
-            .filter_map(|&(v, d)| g.dense_index(v).map(|i| (i, d)))
+            .filter_map(|&(v, d)| {
+                fragment
+                    .border_position(v)
+                    .map(|pos| (fragment.border_dense_indices()[pos as usize], d))
+            })
             .collect();
         let changed = dense_relax(g, &mut partial.dist, &seeds);
         partial.inceval_changes += changed;
         if changed == 0 {
             return;
         }
-        for (&b, &i) in fragment
-            .border_vertices()
-            .iter()
-            .zip(fragment.border_dense_indices())
-        {
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
             let d = partial.dist[i];
             if d.is_finite() {
-                ctx.update(b, d);
+                ctx.update_at(pos as u32, d);
             }
         }
     }

@@ -1,13 +1,17 @@
 //! Hot-path microbenchmark: SSSP + CC + PageRank on a road network and a
 //! Barabási–Albert graph, through the full PIE engine.
 //!
-//! Writes `BENCH_pr2.json` (in the current directory) with one
+//! Writes `BENCH_pr3.json` (in the current directory) with one
 //! machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
 //! {"algo": "sssp", "graph": "road", "n": 16384, "m": 64000, "k": 4,
-//!  "wall_ms": 12.3, "peval_ms": 8.1, "inceval_ms": 2.2}
+//!  "wall_ms": 12.3, "peval_ms": 8.1, "inceval_ms": 2.2, "coord_ms": 2.0}
 //! ```
+//!
+//! `coord_ms` is the non-compute gap (`wall - peval - inceval`): coordinator
+//! fold, border publication, and per-superstep scheduling — the superstep
+//! constant the slot-addressed delta messaging of PR 3 attacks.
 //!
 //! Pass `--smoke` for a tiny configuration suitable for CI, which checks the
 //! plumbing and keeps the artifact format identical without burning minutes.
@@ -53,10 +57,17 @@ impl Row {
         }
     }
 
+    /// The non-compute gap: coordinator fold + border publication +
+    /// per-superstep scheduling.
+    fn coord_ms(&self) -> f64 {
+        (self.wall_ms - self.peval_ms - self.inceval_ms).max(0.0)
+    }
+
     fn to_json(&self) -> String {
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
-             \"wall_ms\": {:.3}, \"peval_ms\": {:.3}, \"inceval_ms\": {:.3}}}",
+             \"wall_ms\": {:.3}, \"peval_ms\": {:.3}, \"inceval_ms\": {:.3}, \
+             \"coord_ms\": {:.3}}}",
             self.algo,
             self.graph,
             self.n,
@@ -64,7 +75,8 @@ impl Row {
             self.k,
             self.wall_ms,
             self.peval_ms,
-            self.inceval_ms
+            self.inceval_ms,
+            self.coord_ms()
         )
     }
 }
@@ -101,7 +113,8 @@ where
     let stats = best_stats.expect("at least one rep");
     let row = Row::from_stats(algo, graph_name, graph, k, best_wall, &stats);
     eprintln!(
-        "{:>8} on {:<5}: n={} m={} k={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms ({} supersteps)",
+        "{:>8} on {:<5}: n={} m={} k={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
+         coord={:.2}ms ({} supersteps)",
         algo,
         graph_name,
         row.n,
@@ -110,6 +123,7 @@ where
         row.wall_ms,
         row.peval_ms,
         row.inceval_ms,
+        row.coord_ms(),
         stats.supersteps
     );
     row
@@ -173,6 +187,6 @@ fn main() {
         writeln!(json, "  {}{}", row.to_json(), sep).expect("write row");
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    std::fs::write("BENCH_pr3.json", &json).expect("write BENCH_pr3.json");
     println!("{json}");
 }

@@ -23,6 +23,6 @@ pub mod network;
 pub mod size;
 pub mod stats;
 
-pub use network::{CommNetwork, WorkerLink, COORDINATOR};
+pub use network::{CommNetwork, Envelope, WorkerLink, COORDINATOR};
 pub use size::MessageSize;
 pub use stats::{CommStats, SuperstepStats};

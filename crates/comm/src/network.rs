@@ -56,27 +56,32 @@ impl<T: MessageSize> WorkerLink<T> {
 
     /// Sends `payload` to worker `to` (or to [`COORDINATOR`]).
     ///
-    /// Returns `false` if the destination endpoint has been dropped, which
-    /// only happens during shutdown.
+    /// Returns `false` if the destination does not exist or its endpoint has
+    /// been dropped; the latter only happens during shutdown.
     pub fn send(&self, to: usize, payload: T) -> bool {
         let size = payload.size_bytes() as u64;
         let envelope = Envelope {
             from: self.id,
             payload,
         };
-        let ok = if to == COORDINATOR {
-            self.to_coordinator.send(envelope).is_ok()
+        let tx = if to == COORDINATOR {
+            &self.to_coordinator
         } else {
             match self.to_workers.get(to) {
-                Some(tx) => tx.send(envelope).is_ok(),
-                None => false,
+                Some(tx) => tx,
+                None => return false,
             }
         };
-        if ok && to != self.id {
+        if to != self.id {
             // Self-sends stay local; everything else is "network" traffic.
+            // Recorded *before* the channel hand-off: the receiver may drain
+            // the message and close its superstep accounting window right
+            // away, and a record issued after the hand-off could land in the
+            // next window. (A send to an endpoint dropped during shutdown is
+            // still counted; by then nobody reads the counters.)
             self.stats.record(1, size);
         }
-        ok
+        tx.send(envelope).is_ok()
     }
 
     /// Drains every message that has arrived so far.

@@ -59,6 +59,60 @@ fn bus_counts_match_message_size_estimates() {
 }
 
 #[test]
+fn bus_counts_match_slot_addressed_engine_messages() {
+    use grape_core::message::{CoordCommand, WorkerReport};
+
+    // Push the engine's actual slot-addressed wire types through the bus and
+    // check the recorded bytes equal their MessageSize estimates: slot ids
+    // cost 4 bytes where the PR 2 vertex-id format cost 8.
+    let stats = Arc::new(CommStats::new());
+    let net = CommNetwork::<CoordCommand<f64>>::with_stats(2, Arc::clone(&stats));
+    let (coord, workers) = net.split();
+
+    let init: CoordCommand<f64> = CoordCommand::Init {
+        border_slots: vec![0, 1, 2],
+    };
+    let inceval: CoordCommand<f64> = CoordCommand::IncEval {
+        superstep: 1,
+        updates: vec![(0, 1.5), (2, 2.5)],
+    };
+    let finish: CoordCommand<f64> = CoordCommand::Finish;
+    let expected = (init.size_bytes() + inceval.size_bytes() + finish.size_bytes()) as u64;
+    assert_eq!(init.size_bytes(), 4 + 3 * 4, "length prefix + 3 u32 slots");
+    assert_eq!(
+        inceval.size_bytes(),
+        8 + 4 + 2 * (4 + 8),
+        "superstep + length prefix + (u32 slot, f64 value) pairs"
+    );
+    assert!(coord.send(0, init));
+    assert!(coord.send(1, inceval));
+    assert!(coord.send(0, finish));
+    assert_eq!(stats.messages(), 3);
+    assert_eq!(stats.bytes(), expected);
+    assert_eq!(workers[0].drain().len(), 2);
+    assert_eq!(workers[1].drain().len(), 1);
+
+    let stats = Arc::new(CommStats::new());
+    let net = CommNetwork::<WorkerReport<f64>>::with_stats(1, Arc::clone(&stats));
+    let (coord, workers) = net.split();
+    let report: WorkerReport<f64> = WorkerReport::Done {
+        superstep: 2,
+        changes: vec![(7, 0.5)],
+        strays: vec![(99, 1.0)],
+        eval_seconds: 0.1,
+    };
+    let expected = report.size_bytes() as u64;
+    assert_eq!(
+        expected,
+        8 + 4 + 12 + 4 + 16,
+        "superstep + slot changes + vertex-addressed strays"
+    );
+    assert!(workers[0].send(COORDINATOR, report));
+    assert_eq!(stats.bytes(), expected);
+    assert_eq!(coord.drain().len(), 1);
+}
+
+#[test]
 fn sssp_run_stats_agree_with_bus_history() {
     use grape_algo::{SsspProgram, SsspQuery};
     use grape_core::GrapeEngine;

@@ -1,6 +1,6 @@
 //! The per-worker context PIE programs write update parameters into.
 
-use grape_graph::VertexId;
+use grape_graph::{DenseBitset, VertexId};
 use std::collections::{HashMap, HashSet};
 
 /// The update-parameter table of one fragment.
@@ -8,12 +8,40 @@ use std::collections::{HashMap, HashSet};
 /// PEval *declares* update parameters by calling [`PieContext::update`] for
 /// border vertices; IncEval calls the same method whenever a border value
 /// improves. The engine harvests the vertices whose value actually changed
-/// ([`PieContext::take_dirty`]) after each call and turns them into messages;
-/// values persist across supersteps so programs can consult the current value
-/// with [`PieContext::get`].
+/// after each call and turns them into messages; values persist across
+/// supersteps so programs can consult the current value with
+/// [`PieContext::get`].
+///
+/// Inside the engine the context is configured with the fragment's border
+/// list and the coordinator-assigned slot ids
+/// ([`PieContext::configure_borders`]). Border updates then live in flat
+/// arrays indexed by the border position (resolved by binary search over the
+/// sorted border list — no hashing), dirtiness is a [`DenseBitset`] plus an
+/// insertion-ordered index list, and [`PieContext::drain_dirty_into`] drains
+/// in O(changed) instead of O(border). Updates to vertices outside the
+/// border (possible only in buggy or diagnostic programs) fall back to a
+/// `HashMap` side table and are reported as *strays*. An unconfigured
+/// context — the state of a standalone driver or test — treats every vertex
+/// through that side table, preserving the original behavior.
 #[derive(Debug, Clone)]
 pub struct PieContext<V> {
+    /// Sorted global ids of the fragment's border vertices (empty until
+    /// [`PieContext::configure_borders`]).
+    border_ids: Vec<VertexId>,
+    /// Coordinator-assigned slot of each border vertex, aligned with
+    /// `border_ids`.
+    border_slots: Vec<u32>,
+    /// Current value of each border vertex (`None` = not declared yet),
+    /// aligned with `border_ids`.
+    border_values: Vec<Option<V>>,
+    /// Which border positions changed since the last drain.
+    border_dirty: DenseBitset,
+    /// The dirty border positions in first-touch order, so draining is
+    /// O(changed); the bitset deduplicates and survives `absorb`.
+    dirty_list: Vec<u32>,
+    /// Values of non-border vertices (strays) — the legacy path.
     values: HashMap<VertexId, V>,
+    /// Dirty non-border vertices.
     dirty: HashSet<VertexId>,
     /// Cumulative number of `update` calls that changed a value (used by the
     /// boundedness experiment to measure |ΔO| on the border).
@@ -30,16 +58,62 @@ impl<V: Clone + PartialEq> PieContext<V> {
     /// Creates an empty context.
     pub fn new() -> Self {
         Self {
+            border_ids: Vec::new(),
+            border_slots: Vec::new(),
+            border_values: Vec::new(),
+            border_dirty: DenseBitset::default(),
+            dirty_list: Vec::new(),
             values: HashMap::new(),
             dirty: HashSet::new(),
             changed_updates: 0,
         }
     }
 
+    /// Installs the fragment's border list and its coordinator-assigned slot
+    /// ids (the run-start handshake). `ids` must be sorted ascending —
+    /// exactly what `Fragment::border_vertices()` provides — and `slots`
+    /// aligned with it. Called once per run by the engine before PEval.
+    pub fn configure_borders(&mut self, ids: &[VertexId], slots: &[u32]) {
+        debug_assert_eq!(ids.len(), slots.len());
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "border ids sorted");
+        self.border_ids = ids.to_vec();
+        self.border_slots = slots.to_vec();
+        self.border_values = vec![None; ids.len()];
+        self.border_dirty = DenseBitset::new(ids.len());
+        self.dirty_list.clear();
+    }
+
+    /// The border position of `vertex`, if it is a configured border vertex.
+    #[inline]
+    fn border_position(&self, vertex: VertexId) -> Option<u32> {
+        self.border_ids
+            .binary_search(&vertex)
+            .ok()
+            .map(|i| i as u32)
+    }
+
     /// Sets the update parameter of `vertex` to `value`. The vertex is marked
     /// dirty (and the value shipped at the end of the superstep) only if the
     /// value differs from the stored one.
+    ///
+    /// `vertex` should be one of this fragment's border vertices — those are
+    /// the update parameters of the PIE model, and the only values the
+    /// coordinator can route. Updates to any other vertex are kept locally,
+    /// reported as *strays* for the monotonicity diagnostic, and never
+    /// delivered to another fragment.
     pub fn update(&mut self, vertex: VertexId, value: V) {
+        if let Some(pos) = self.border_position(vertex) {
+            let stored = &mut self.border_values[pos as usize];
+            if stored.as_ref() != Some(&value) {
+                *stored = Some(value);
+                if !self.border_dirty.contains(pos) {
+                    self.border_dirty.set(pos);
+                    self.dirty_list.push(pos);
+                }
+                self.changed_updates += 1;
+            }
+            return;
+        }
         match self.values.get(&vertex) {
             Some(existing) if *existing == value => {}
             _ => {
@@ -50,19 +124,55 @@ impl<V: Clone + PartialEq> PieContext<V> {
         }
     }
 
+    /// Sets the update parameter of the border vertex at position `pos` in
+    /// the configured border list (the index into
+    /// `Fragment::border_vertices()` / `border_dense_indices()`). A direct
+    /// indexed compare-and-set — no search of any kind — so per-superstep
+    /// border publication loops cost O(1) per vertex. Like
+    /// [`PieContext::update`], the vertex is marked dirty only if the value
+    /// differs from the stored one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range of the configured border list (the
+    /// engine always configures the context before PEval; standalone drivers
+    /// must call [`PieContext::configure_borders`] first).
+    #[inline]
+    pub fn update_at(&mut self, pos: u32, value: V) {
+        assert!(
+            (pos as usize) < self.border_values.len(),
+            "PieContext::update_at({pos}) outside the configured border list \
+             ({} entries); standalone drivers must call configure_borders \
+             with the fragment's border vertices before PEval",
+            self.border_values.len()
+        );
+        let stored = &mut self.border_values[pos as usize];
+        if stored.as_ref() != Some(&value) {
+            *stored = Some(value);
+            if !self.border_dirty.contains(pos) {
+                self.border_dirty.set(pos);
+                self.dirty_list.push(pos);
+            }
+            self.changed_updates += 1;
+        }
+    }
+
     /// Current value of the update parameter of `vertex`, if declared.
     pub fn get(&self, vertex: VertexId) -> Option<&V> {
+        if let Some(pos) = self.border_position(vertex) {
+            return self.border_values[pos as usize].as_ref();
+        }
         self.values.get(&vertex)
     }
 
     /// Number of declared update parameters.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.len() + self.border_values.iter().filter(|v| v.is_some()).count()
     }
 
     /// Whether no update parameter has been declared yet.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
     }
 
     /// Number of `update` calls that actually changed a value so far.
@@ -71,8 +181,9 @@ impl<V: Clone + PartialEq> PieContext<V> {
     }
 
     /// Drains the set of vertices whose value changed since the last call and
-    /// returns them with their current values. Called by the engine after
-    /// each PEval / IncEval invocation.
+    /// returns them with their current values, sorted by vertex id. The
+    /// global-id view used by standalone drivers and tests; the engine uses
+    /// [`PieContext::drain_dirty_into`] instead.
     pub fn take_dirty(&mut self) -> Vec<(VertexId, V)> {
         let mut out: Vec<(VertexId, V)> = self
             .dirty
@@ -84,20 +195,69 @@ impl<V: Clone + PartialEq> PieContext<V> {
                 )
             })
             .collect();
+        for pos in self.dirty_list.drain(..) {
+            if self.border_dirty.contains(pos) {
+                self.border_dirty.clear(pos);
+                let value = self.border_values[pos as usize]
+                    .clone()
+                    .expect("dirty implies present");
+                out.push((self.border_ids[pos as usize], value));
+            }
+        }
         out.sort_unstable_by_key(|(v, _)| *v);
         out
+    }
+
+    /// Drains the changed border values as `(slot, value)` pairs into
+    /// `changes` and the changed non-border (stray) values into `strays`,
+    /// reusing the callers' buffers. Border draining walks only the dirty
+    /// positions — O(changed), not O(border). Called by the engine after
+    /// each PEval / IncEval invocation.
+    pub fn drain_dirty_into(
+        &mut self,
+        changes: &mut Vec<(u32, V)>,
+        strays: &mut Vec<(VertexId, V)>,
+    ) {
+        for pos in self.dirty_list.drain(..) {
+            if self.border_dirty.contains(pos) {
+                self.border_dirty.clear(pos);
+                let value = self.border_values[pos as usize]
+                    .clone()
+                    .expect("dirty implies present");
+                changes.push((self.border_slots[pos as usize], value));
+            }
+        }
+        if !self.dirty.is_empty() {
+            for v in self.dirty.drain() {
+                let value = self.values.get(&v).cloned().expect("dirty implies present");
+                strays.push((v, value));
+            }
+            strays.sort_unstable_by_key(|(v, _)| *v);
+        }
     }
 
     /// Records an externally received value (from the coordinator) without
     /// marking it dirty, so the worker will not echo it back unchanged.
     pub fn absorb(&mut self, vertex: VertexId, value: V) {
+        if let Some(pos) = self.border_position(vertex) {
+            self.border_values[pos as usize] = Some(value);
+            // A stale `dirty_list` entry may remain; the cleared bit makes
+            // the drain skip it.
+            self.border_dirty.clear(pos);
+            return;
+        }
         self.values.insert(vertex, value);
         self.dirty.remove(&vertex);
     }
 
     /// Iterates over all `(vertex, value)` pairs currently stored.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, &V)> + '_ {
-        self.values.iter().map(|(v, val)| (*v, val))
+        let borders = self
+            .border_ids
+            .iter()
+            .zip(self.border_values.iter())
+            .filter_map(|(&v, val)| val.as_ref().map(|val| (v, val)));
+        self.values.iter().map(|(v, val)| (*v, val)).chain(borders)
     }
 }
 
@@ -153,5 +313,70 @@ mod tests {
         let mut all: Vec<(VertexId, u64)> = ctx.iter().map(|(v, x)| (v, *x)).collect();
         all.sort_unstable();
         assert_eq!(all, vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn configured_borders_use_the_slot_path() {
+        let mut ctx = PieContext::<u64>::new();
+        // Border vertices 10, 20, 30 carry slots 5, 2, 9.
+        ctx.configure_borders(&[10, 20, 30], &[5, 2, 9]);
+        ctx.update(20, 7);
+        ctx.update(10, 1);
+        ctx.update(20, 7); // unchanged: not re-dirtied
+        assert_eq!(ctx.changed_updates(), 2);
+        assert_eq!(ctx.get(20), Some(&7));
+        assert_eq!(ctx.len(), 2);
+
+        let mut changes = Vec::new();
+        let mut strays = Vec::new();
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        // Slot-addressed, in first-touch order; no strays.
+        assert_eq!(changes, vec![(2, 7), (5, 1)]);
+        assert!(strays.is_empty());
+
+        // Drained: nothing left.
+        changes.clear();
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        assert!(changes.is_empty() && strays.is_empty());
+    }
+
+    #[test]
+    fn non_border_updates_become_strays() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.configure_borders(&[10], &[0]);
+        ctx.update(10, 1);
+        ctx.update(99, 2); // not a border vertex
+        ctx.update(42, 3); // not a border vertex
+        let mut changes = Vec::new();
+        let mut strays = Vec::new();
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        assert_eq!(changes, vec![(0, 1)]);
+        assert_eq!(strays, vec![(42, 3), (99, 2)], "strays sorted by vertex");
+    }
+
+    #[test]
+    fn absorb_on_border_clears_dirtiness_but_keeps_value() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.configure_borders(&[10, 20], &[0, 1]);
+        ctx.update(10, 5);
+        ctx.absorb(10, 3);
+        let mut changes = Vec::new();
+        let mut strays = Vec::new();
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        assert!(changes.is_empty(), "absorbed value must not be echoed");
+        assert_eq!(ctx.get(10), Some(&3));
+        // Re-dirtying after an absorb reports again.
+        ctx.update(10, 1);
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        assert_eq!(changes, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn take_dirty_merges_border_and_stray_updates_sorted() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.configure_borders(&[20], &[0]);
+        ctx.update(20, 2);
+        ctx.update(5, 1); // stray
+        assert_eq!(ctx.take_dirty(), vec![(5, 1), (20, 2)]);
     }
 }

@@ -2,20 +2,31 @@
 //!
 //! [`GrapeEngine::run`] implements the workflow of Fig. 1 / Section 2.2:
 //!
-//! 1. **PEval superstep** — every worker runs PEval on its fragment in
-//!    parallel and reports its changed update parameters to the coordinator.
-//! 2. **IncEval supersteps** — the coordinator aggregates the changed values
-//!    per border vertex (using the program's aggregate function), routes the
-//!    results to every fragment that has the vertex on its border, and those
-//!    workers run IncEval; they again report changed values.
-//! 3. **Termination** — when a superstep produces no changed update
+//! 1. **Handshake** — the coordinator assigns every distinct border vertex a
+//!    stable `u32` slot id and ships each fragment its local border→slot
+//!    mapping ([`CoordCommand::Init`]). All later traffic is slot-addressed.
+//! 2. **PEval superstep** — every worker runs PEval on its fragment in
+//!    parallel and reports its changed update parameters (as `(slot, value)`
+//!    pairs) to the coordinator.
+//! 3. **IncEval supersteps** — the coordinator folds the changed values into
+//!    its flat slot table (using the program's aggregate function; no
+//!    hashing per superstep), routes the results to every fragment that has
+//!    the vertex on its border, and those workers run IncEval; they again
+//!    report changed values.
+//! 4. **Termination** — when a superstep produces no changed update
 //!    parameters (every worker is inactive), the coordinator collects the
 //!    partial results and Assemble combines them into `Q(G)`.
 //!
-//! Workers are OS threads; "network" traffic flows through
+//! Workers are OS threads — or, when the host has a single hardware thread
+//! (or [`ExecutionMode::Inline`] is requested), the same workers driven
+//! sequentially on the calling thread, which removes the per-superstep
+//! futex-wake and preemption chains that dominate oversubscribed runs.
+//! Either way the "network" traffic flows through
 //! [`grape_comm::CommNetwork`] so every message and byte is accounted in the
 //! run statistics, mirroring the communication columns of the paper's
-//! tables.
+//! tables. Report and command buffers circulate between the endpoints
+//! (received report buffers become the next superstep's command buffers and
+//! vice versa), so the steady-state superstep path allocates nothing.
 
 use crate::context::PieContext;
 use crate::message::{CoordCommand, WorkerReport};
@@ -30,21 +41,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// One worker's superstep report as gathered by the coordinator:
-/// `(worker id, changed border values, eval seconds)`.
-type GatheredReport<V> = (usize, Vec<(VertexId, V)>, f64);
+/// `(worker id, changed border slots, stray updates, eval seconds)`.
+type GatheredReport<V> = (usize, Vec<(u32, V)>, Vec<(VertexId, V)>, f64);
 
 /// The coordinator's aggregation table: one stable slot per border vertex,
 /// built once per run from the fragments' border lists.
 ///
-/// Every superstep the coordinator folds the workers' proposals into the
-/// slots (instead of rebuilding a `HashMap<VertexId, (V, Vec<usize>)>`), and
-/// echo suppression is a single bit test per `(slot, worker)` instead of a
-/// linear `Vec::contains` scan.
+/// Every superstep the coordinator folds the workers' slot-addressed
+/// proposals straight into flat arrays — the global-id→slot `HashMap` exists
+/// only while the table is built, so the per-superstep fold path performs
+/// zero hashing — and echo suppression is a single bit test per
+/// `(slot, worker)` instead of a linear `Vec::contains` scan.
 struct SlotTable<V> {
-    /// Global id -> slot. The only hashing left, hit once per changed value.
-    slot_of: HashMap<VertexId, u32>,
-    /// Slot -> global id.
-    vertex: Vec<VertexId>,
     /// Slot -> fragments that have the vertex on their border.
     homes: Vec<Vec<usize>>,
     /// Folded value of each slot in the current superstep (`None` =
@@ -63,37 +71,46 @@ struct SlotTable<V> {
 }
 
 impl<V: Clone> SlotTable<V> {
-    /// Builds the table from the borders of `fragments`.
-    fn build<VD, ED>(fragments: &[grape_partition::Fragment<VD, ED>], n_workers: usize) -> Self
+    /// Builds the table from the borders of `fragments`, assigning each
+    /// distinct border vertex a slot. Also returns, per fragment, the slot
+    /// of each of its border vertices (aligned with
+    /// `Fragment::border_vertices()`) — the mapping the handshake ships to
+    /// the workers. This is the only place global ids are hashed.
+    fn build<VD, ED>(
+        fragments: &[grape_partition::Fragment<VD, ED>],
+        n_workers: usize,
+    ) -> (Self, Vec<Vec<u32>>)
     where
         VD: Clone,
         ED: Clone,
     {
         let mut slot_of: HashMap<VertexId, u32> = HashMap::new();
-        let mut vertex: Vec<VertexId> = Vec::new();
         let mut homes: Vec<Vec<usize>> = Vec::new();
+        let mut fragment_slots: Vec<Vec<u32>> = Vec::with_capacity(fragments.len());
         for fragment in fragments {
-            for &v in fragment.border_vertices() {
+            let borders = fragment.border_vertices();
+            let mut local = Vec::with_capacity(borders.len());
+            for &v in borders {
                 let slot = *slot_of.entry(v).or_insert_with(|| {
-                    vertex.push(v);
                     homes.push(Vec::new());
-                    (vertex.len() - 1) as u32
+                    (homes.len() - 1) as u32
                 });
                 homes[slot as usize].push(fragment.id);
+                local.push(slot);
             }
+            fragment_slots.push(local);
         }
-        let num_slots = vertex.len();
+        let num_slots = homes.len();
         let words_per_slot = n_workers.div_ceil(64).max(1);
-        Self {
-            slot_of,
-            vertex,
+        let table = Self {
             homes,
             value: vec![None; num_slots],
             last_value: vec![None; num_slots],
             holders: vec![0u64; num_slots * words_per_slot],
             words_per_slot,
             touched: Vec::new(),
-        }
+        };
+        (table, fragment_slots)
     }
 
     #[inline]
@@ -124,23 +141,14 @@ impl<V: Clone> SlotTable<V> {
         }
     }
 
-    /// Folds `proposal` from `worker` into the slot of `v` using
-    /// `aggregate`. Returns `false` when `v` is on no fragment's border:
-    /// such values have nowhere to route and are dropped (the caller may
-    /// still track them for the monotonicity diagnostic).
-    fn fold(
-        &mut self,
-        v: VertexId,
-        worker: usize,
-        proposal: &V,
-        aggregate: impl Fn(&V, &V) -> V,
-    ) -> bool
+    /// Folds `proposal` from `worker` into `slot` using `aggregate`. Slot
+    /// ids were assigned by this table at build time, so this is a pair of
+    /// indexed loads — no hashing.
+    fn fold(&mut self, slot: u32, worker: usize, proposal: &V, aggregate: impl Fn(&V, &V) -> V)
     where
         V: PartialEq,
     {
-        let Some(&slot) = self.slot_of.get(&v) else {
-            return false;
-        };
+        debug_assert!((slot as usize) < self.value.len(), "slot out of range");
         match &self.value[slot as usize] {
             None => {
                 self.value[slot as usize] = Some(proposal.clone());
@@ -164,8 +172,192 @@ impl<V: Clone> SlotTable<V> {
                 self.value[slot as usize] = Some(folded);
             }
         }
-        true
     }
+}
+
+/// Worker-side slot→vertex translation, sized to the fragment rather than
+/// the job: a dense table when the fragment's slots span a modest range, a
+/// sorted list otherwise. Slot ids are assigned job-wide in fragment order,
+/// so a late fragment in a large job may hold slots scattered across a huge
+/// id space — a dense table indexed by global slot id would then be O(total
+/// borders) per worker. The dense fast path (one indexed load) covers the
+/// common small-k case; the sparse fallback is a binary search over O(local
+/// border) memory.
+enum SlotTranslation {
+    /// `table[slot] = vertex`; unfilled entries are `VertexId::MAX` and are
+    /// never routed here by the coordinator.
+    Dense(Vec<VertexId>),
+    /// `(slot, vertex)` sorted by slot.
+    Sparse(Vec<(u32, VertexId)>),
+}
+
+impl SlotTranslation {
+    /// How many dense entries we are willing to allocate per border vertex
+    /// before switching to the sparse form.
+    const MAX_DENSE_WASTE: usize = 8;
+
+    fn build(border_vertices: &[VertexId], border_slots: &[u32]) -> Self {
+        let slot_space = border_slots
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if slot_space <= border_slots.len().saturating_mul(Self::MAX_DENSE_WASTE) {
+            let mut table = vec![VertexId::MAX; slot_space];
+            for (&v, &s) in border_vertices.iter().zip(border_slots) {
+                table[s as usize] = v;
+            }
+            SlotTranslation::Dense(table)
+        } else {
+            let mut pairs: Vec<(u32, VertexId)> = border_slots
+                .iter()
+                .copied()
+                .zip(border_vertices.iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(s, _)| s);
+            SlotTranslation::Sparse(pairs)
+        }
+    }
+
+    /// The vertex carried by `slot`. The coordinator only routes this
+    /// fragment's border slots here, so the lookup always hits.
+    #[inline]
+    fn vertex(&self, slot: u32) -> VertexId {
+        match self {
+            SlotTranslation::Dense(table) => table[slot as usize],
+            SlotTranslation::Sparse(pairs) => {
+                let i = pairs
+                    .binary_search_by_key(&slot, |&(s, _)| s)
+                    .expect("routed slot belongs to this fragment's border");
+                pairs[i].1
+            }
+        }
+    }
+}
+
+/// One worker's execution state, shared by the threaded and inline drivers:
+/// the program context, the slot-translation table installed by the Init
+/// handshake, and the buffers that circulate across supersteps.
+struct WorkerRuntime<'a, P: PieProgram> {
+    program: &'a P,
+    query: &'a P::Query,
+    fragment: &'a Fragment<P::VertexData, P::EdgeData>,
+    up: grape_comm::WorkerLink<WorkerReport<P::Value>>,
+    ctx: PieContext<P::Value>,
+    /// Slot -> local vertex id for this fragment's border slots, which is
+    /// exactly the set the coordinator may route here.
+    slot_translation: SlotTranslation,
+    /// Translated incoming messages, reused across supersteps.
+    messages: Vec<(VertexId, P::Value)>,
+    /// The fragment's partial result; `Some` once PEval has run.
+    partial: Option<P::Partial>,
+}
+
+impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
+    fn new(
+        program: &'a P,
+        query: &'a P::Query,
+        fragment: &'a Fragment<P::VertexData, P::EdgeData>,
+        up: grape_comm::WorkerLink<WorkerReport<P::Value>>,
+    ) -> Self {
+        Self {
+            program,
+            query,
+            fragment,
+            up,
+            ctx: PieContext::new(),
+            slot_translation: SlotTranslation::Dense(Vec::new()),
+            messages: Vec::new(),
+            partial: None,
+        }
+    }
+
+    /// Handles one coordinator command. Returns `true` when told to finish.
+    fn handle(&mut self, command: CoordCommand<P::Value>) -> bool {
+        match command {
+            CoordCommand::Init { border_slots } => {
+                // Handshake: install the border→slot mapping, then run PEval.
+                self.ctx
+                    .configure_borders(self.fragment.border_vertices(), &border_slots);
+                self.slot_translation =
+                    SlotTranslation::build(self.fragment.border_vertices(), &border_slots);
+                let t0 = Instant::now();
+                let partial = self.program.peval(self.query, self.fragment, &mut self.ctx);
+                let eval_seconds = t0.elapsed().as_secs_f64();
+                self.partial = Some(partial);
+                self.report(0, Vec::new(), eval_seconds);
+                false
+            }
+            CoordCommand::IncEval {
+                superstep,
+                mut updates,
+            } => {
+                // Translate the routed slots back to the program's global-id
+                // view (one indexed load each on the dense path).
+                self.messages.clear();
+                for (slot, value) in updates.drain(..) {
+                    self.messages
+                        .push((self.slot_translation.vertex(slot), value));
+                }
+                let t0 = Instant::now();
+                let partial = self.partial.as_mut().expect("IncEval before PEval");
+                self.program.inceval(
+                    self.query,
+                    self.fragment,
+                    partial,
+                    &self.messages,
+                    &mut self.ctx,
+                );
+                let eval_seconds = t0.elapsed().as_secs_f64();
+                // The drained command buffer becomes this report's payload:
+                // buffers circulate instead of reallocating.
+                self.report(superstep, updates, eval_seconds);
+                false
+            }
+            CoordCommand::Finish => true,
+        }
+    }
+
+    /// Drains the context's dirty border slots into `changes` (a recycled
+    /// buffer) and reports them upstream.
+    fn report(&mut self, superstep: usize, mut changes: Vec<(u32, P::Value)>, eval_seconds: f64) {
+        let mut strays = Vec::new();
+        self.ctx.drain_dirty_into(&mut changes, &mut strays);
+        self.up.send(
+            COORDINATOR,
+            WorkerReport::Done {
+                superstep,
+                changes,
+                strays,
+                eval_seconds,
+            },
+        );
+    }
+
+    /// Takes the partial result after the run.
+    fn into_partial(self) -> P::Partial {
+        self.partial.expect("every worker ran PEval")
+    }
+}
+
+/// How the engine executes its workers.
+///
+/// The BSP exchange is identical in every mode — same handshake, same
+/// slot-addressed messages, same accounting, bit-identical results — only
+/// the scheduling differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One OS thread per fragment when the host has more than one hardware
+    /// thread and there is more than one fragment; inline otherwise. On a
+    /// single hardware thread, thread-per-fragment is pure scheduling
+    /// overhead (every superstep pays a chain of futex wake-ups and
+    /// preemptions), so the engine drives the workers sequentially instead.
+    #[default]
+    Auto,
+    /// Always spawn one OS thread per fragment.
+    Threads,
+    /// Always drive the workers sequentially on the calling thread.
+    Inline,
 }
 
 /// Engine configuration.
@@ -178,6 +370,8 @@ pub struct EngineConfig {
     /// against [`PieProgram::monotonic`] and violations are counted in
     /// [`RunStats::monotonicity_violations`].
     pub check_monotonicity: bool,
+    /// Worker scheduling (see [`ExecutionMode`]).
+    pub execution: ExecutionMode,
 }
 
 impl Default for EngineConfig {
@@ -185,6 +379,7 @@ impl Default for EngineConfig {
         Self {
             max_supersteps: 100_000,
             check_monotonicity: false,
+            execution: ExecutionMode::Auto,
         }
     }
 }
@@ -279,8 +474,10 @@ impl<P: PieProgram> GrapeEngine<P> {
         let started = Instant::now();
 
         // Stable aggregation slots: one per border vertex, with its routing
-        // targets. Built once; reused every superstep.
-        let mut slots: SlotTable<P::Value> = SlotTable::build(fragments, n);
+        // targets. Built once; reused every superstep. `fragment_slots[f]`
+        // is the border→slot mapping the handshake ships to worker `f`.
+        let (mut slots, fragment_slots): (SlotTable<P::Value>, Vec<Vec<u32>>) =
+            SlotTable::build(fragments, n);
 
         // Two typed networks (worker -> coordinator reports, coordinator ->
         // worker commands) sharing one set of communication counters.
@@ -290,65 +487,88 @@ impl<P: PieProgram> GrapeEngine<P> {
         let (up_coord, up_workers) = up.split();
         let (down_coord, down_workers) = down.split();
 
+        // One-time handshake: each worker learns the slot of every border
+        // vertex before PEval, so all superstep traffic is slot-addressed.
+        // Sent before the workers spawn — the command channel is ordered, so
+        // Init is always the first command a worker sees.
+        for (f, border_slots) in fragment_slots.into_iter().enumerate() {
+            down_coord.send(f, CoordCommand::Init { border_slots });
+        }
+
         let program = Arc::clone(&self.program);
         let config = self.config;
+        let inline = match config.execution {
+            ExecutionMode::Inline => true,
+            ExecutionMode::Threads => false,
+            ExecutionMode::Auto => {
+                n == 1
+                    || std::thread::available_parallelism()
+                        .map(|p| p.get() <= 1)
+                        .unwrap_or(false)
+            }
+        };
 
-        let run_result: Result<(Vec<P::Partial>, RunStats), RunError> =
+        let run_result: Result<(Vec<P::Partial>, RunStats), RunError> = if inline {
+            // ---------------- inline driver ----------------
+            // Every worker runs on this thread; the exchange still flows
+            // through the same links so the accounting and the message
+            // protocol are identical to the threaded mode.
+            let mut workers: Vec<WorkerRuntime<'_, P>> = fragments
+                .iter()
+                .zip(up_workers)
+                .map(|(fragment, up)| WorkerRuntime::new(&*program, query, fragment, up))
+                .collect();
+            let coordination = Self::coordinate(
+                &program,
+                &config,
+                n,
+                &mut slots,
+                &down_coord,
+                &stats,
+                true,
+                || {
+                    // Run every worker with queued commands, then hand their
+                    // reports to the coordinator.
+                    for (worker, link) in workers.iter_mut().zip(&down_workers) {
+                        for env in link.drain() {
+                            worker.handle(env.payload);
+                        }
+                    }
+                    let envelopes = up_coord.drain();
+                    if envelopes.is_empty() {
+                        return Err(RunError::WorkerPanic("no worker produced a report".into()));
+                    }
+                    Ok(envelopes)
+                },
+            );
+            coordination.map(|mut stats_out| {
+                stats_out.num_workers = n;
+                stats_out.program = program.name().to_string();
+                let partials = workers
+                    .into_iter()
+                    .map(WorkerRuntime::into_partial)
+                    .collect();
+                (partials, stats_out)
+            })
+        } else {
             std::thread::scope(|scope| {
-                // ---------------- workers ----------------
+                // ---------------- threaded driver ----------------
                 let mut handles = Vec::with_capacity(n);
                 for ((fragment, up_link), down_link) in
                     fragments.iter().zip(up_workers).zip(down_workers)
                 {
                     let program = Arc::clone(&program);
                     handles.push(scope.spawn(move || {
-                        let mut ctx = PieContext::<P::Value>::new();
-                        let t0 = Instant::now();
-                        let mut partial = program.peval(query, fragment, &mut ctx);
-                        let eval_seconds = t0.elapsed().as_secs_f64();
-                        let changes = ctx.take_dirty();
-                        up_link.send(
-                            COORDINATOR,
-                            WorkerReport::Done {
-                                superstep: 0,
-                                changes,
-                                eval_seconds,
-                            },
-                        );
+                        let mut worker = WorkerRuntime::new(&*program, query, fragment, up_link);
                         loop {
-                            let commands = down_link.recv_blocking();
-                            if commands.is_empty() {
+                            let batch = down_link.recv_blocking();
+                            if batch.is_empty() {
                                 // Coordinator vanished; stop gracefully.
-                                return partial;
+                                return worker.into_partial();
                             }
-                            for envelope in commands {
-                                match envelope.payload {
-                                    CoordCommand::IncEval {
-                                        superstep,
-                                        messages,
-                                    } => {
-                                        let t0 = Instant::now();
-                                        program.inceval(
-                                            query,
-                                            fragment,
-                                            &mut partial,
-                                            &messages,
-                                            &mut ctx,
-                                        );
-                                        let eval_seconds = t0.elapsed().as_secs_f64();
-                                        let changes = ctx.take_dirty();
-                                        up_link.send(
-                                            COORDINATOR,
-                                            WorkerReport::Done {
-                                                superstep,
-                                                changes,
-                                                eval_seconds,
-                                            },
-                                        );
-                                    }
-                                    CoordCommand::Finish => {
-                                        return partial;
-                                    }
+                            for env in batch {
+                                if worker.handle(env.payload) {
+                                    return worker.into_partial();
                                 }
                             }
                         }
@@ -361,9 +581,18 @@ impl<P: PieProgram> GrapeEngine<P> {
                     &config,
                     n,
                     &mut slots,
-                    &up_coord,
                     &down_coord,
                     &stats,
+                    false,
+                    || {
+                        let envelopes = up_coord.recv_blocking();
+                        if envelopes.is_empty() {
+                            return Err(RunError::WorkerPanic(
+                                "a worker disconnected before reporting".into(),
+                            ));
+                        }
+                        Ok(envelopes)
+                    },
                 );
 
                 // Always release the workers, even on error, so the scope can
@@ -393,7 +622,8 @@ impl<P: PieProgram> GrapeEngine<P> {
                 stats_out.num_workers = n;
                 stats_out.program = program.name().to_string();
                 Ok((partials, stats_out))
-            });
+            })
+        };
 
         let (partials, mut stats_out) = run_result?;
         let output = self.program.assemble(partials);
@@ -406,15 +636,22 @@ impl<P: PieProgram> GrapeEngine<P> {
 
     /// The coordinator's superstep loop. Returns the (partially filled) run
     /// statistics once the fixpoint is reached.
+    ///
+    /// `pump` produces the next batch of worker reports: the threaded driver
+    /// blocks on the upstream network, the inline driver runs the workers.
+    /// `serialized` declares that the workers execute sequentially on the
+    /// caller's thread, in which case the critical path through a superstep
+    /// is the *sum* of the workers' evaluation times rather than their max.
     #[allow(clippy::too_many_arguments)]
     fn coordinate(
         program: &Arc<P>,
         config: &EngineConfig,
         n: usize,
         slots: &mut SlotTable<P::Value>,
-        up_coord: &grape_comm::WorkerLink<WorkerReport<P::Value>>,
         down_coord: &grape_comm::WorkerLink<CoordCommand<P::Value>>,
         stats: &Arc<CommStats>,
+        serialized: bool,
+        mut pump: impl FnMut() -> Result<Vec<grape_comm::Envelope<WorkerReport<P::Value>>>, RunError>,
     ) -> Result<RunStats, RunError> {
         let mut run_stats = RunStats::default();
         // Last folded value of each non-border vertex a program proposed,
@@ -423,50 +660,58 @@ impl<P: PieProgram> GrapeEngine<P> {
         let mut stray_last: HashMap<VertexId, P::Value> = HashMap::new();
         let mut pending = n;
         let mut superstep = 0usize;
+        // Superstep-scoped buffers, reused across the whole run. Report
+        // buffers received from the workers are recycled through `pool` into
+        // the next superstep's command buffers, so the steady-state loop
+        // allocates nothing.
+        let mut reports: Vec<GatheredReport<P::Value>> = Vec::with_capacity(n);
+        let mut pool: Vec<Vec<(u32, P::Value)>> = Vec::with_capacity(n);
+        let mut outbox: Vec<Vec<(u32, P::Value)>> = (0..n).map(|_| Vec::new()).collect();
 
         loop {
             // Gather the reports of every worker that evaluated this superstep.
-            let mut reports: Vec<GatheredReport<P::Value>> = Vec::new();
             while reports.len() < pending {
-                let envelopes = up_coord.recv_blocking();
-                if envelopes.is_empty() {
-                    return Err(RunError::WorkerPanic(
-                        "a worker disconnected before reporting".into(),
-                    ));
-                }
-                for env in envelopes {
+                for env in pump()? {
                     let WorkerReport::Done {
                         changes,
+                        strays,
                         eval_seconds,
                         ..
                     } = env.payload;
-                    reports.push((env.from, changes, eval_seconds));
+                    reports.push((env.from, changes, strays, eval_seconds));
                 }
             }
 
-            // Fold the proposals into the per-border-vertex slots. Each slot
-            // keeps the aggregated value plus a worker bitmask of who already
-            // holds it (those workers do not need an echo).
+            // Fold the slot-addressed proposals into the per-border-vertex
+            // slots — two indexed loads per changed value, no hashing. Each
+            // slot keeps the aggregated value plus a worker bitmask of who
+            // already holds it (those workers do not need an echo).
             slots.begin_superstep();
             let mut changed_parameters = 0usize;
             let mut max_eval = 0.0f64;
             let mut total_eval = 0.0f64;
+            let active_workers = reports.len();
             // Proposals for vertices on no fragment's border cannot be
             // routed, but the monotonicity diagnostic still folds them here
             // so it keeps catching programs that update the wrong vertices.
             let mut stray: HashMap<VertexId, P::Value> = HashMap::new();
-            for (from, changes, eval_seconds) in &reports {
-                max_eval = max_eval.max(*eval_seconds);
-                total_eval += *eval_seconds;
-                changed_parameters += changes.len();
-                for (v, value) in changes {
-                    let routed = slots.fold(*v, *from, value, |a, b| program.aggregate(a, b));
-                    if !routed && config.check_monotonicity {
-                        match stray.get_mut(v) {
+            for (from, mut changes, strays, eval_seconds) in reports.drain(..) {
+                max_eval = max_eval.max(eval_seconds);
+                total_eval += eval_seconds;
+                changed_parameters += changes.len() + strays.len();
+                for &(slot, ref value) in &changes {
+                    slots.fold(slot, from, value, |a, b| program.aggregate(a, b));
+                }
+                // Recycle the report buffer into the command-buffer pool.
+                changes.clear();
+                pool.push(changes);
+                if config.check_monotonicity {
+                    for (v, value) in strays {
+                        match stray.get_mut(&v) {
                             None => {
-                                stray.insert(*v, value.clone());
+                                stray.insert(v, value);
                             }
-                            Some(current) => *current = program.aggregate(current, value),
+                            Some(current) => *current = program.aggregate(current, &value),
                         }
                     }
                 }
@@ -495,21 +740,27 @@ impl<P: PieProgram> GrapeEngine<P> {
                 }
             }
 
-            // Close the books on this superstep.
+            // Close the books on this superstep. In serialized (inline)
+            // execution the workers ran back to back on this thread, so the
+            // superstep's critical path through evaluation is their summed
+            // time.
+            let critical_eval = if serialized { total_eval } else { max_eval };
             let comm = stats.end_superstep(superstep);
             let trace = SuperstepTrace {
                 superstep,
-                active_workers: reports.len(),
+                active_workers,
                 max_eval_seconds: max_eval,
                 total_eval_seconds: total_eval,
                 changed_parameters,
+                changed_slots: slots.touched.len(),
+                published_updates: 0,
                 messages: comm.messages,
                 bytes: comm.bytes,
             };
             if superstep == 0 {
-                run_stats.peval_seconds = max_eval;
+                run_stats.peval_seconds = critical_eval;
             } else {
-                run_stats.inceval_seconds += max_eval;
+                run_stats.inceval_seconds += critical_eval;
             }
             run_stats.history.push(trace);
             run_stats.supersteps = superstep + 1;
@@ -524,30 +775,31 @@ impl<P: PieProgram> GrapeEngine<P> {
 
             // Route the aggregated values to every fragment that has the
             // vertex on its border, except fragments already holding the
-            // aggregated value (one bit test per recipient).
-            let mut outbox: Vec<Vec<(VertexId, P::Value)>> = vec![Vec::new(); n];
+            // aggregated value (one bit test per recipient). Walks only the
+            // touched slots: O(changed), never a full-border republication.
+            let mut published = 0usize;
             for &slot in &slots.touched {
-                let v = slots.vertex[slot as usize];
                 let value = slots.value[slot as usize]
                     .as_ref()
                     .expect("touched slots carry values");
                 for &f in &slots.homes[slot as usize] {
                     if !slots.holds(slot, f) {
-                        outbox[f].push((v, value.clone()));
+                        outbox[f].push((slot, value.clone()));
+                        published += 1;
                     }
                 }
             }
+            run_stats
+                .history
+                .last_mut()
+                .expect("trace just pushed")
+                .published_updates = published;
             superstep += 1;
             pending = 0;
-            for (f, messages) in outbox.into_iter().enumerate() {
-                if !messages.is_empty() {
-                    down_coord.send(
-                        f,
-                        CoordCommand::IncEval {
-                            superstep,
-                            messages,
-                        },
-                    );
+            for (f, buffer) in outbox.iter_mut().enumerate() {
+                if !buffer.is_empty() {
+                    let updates = std::mem::replace(buffer, pool.pop().unwrap_or_default());
+                    down_coord.send(f, CoordCommand::IncEval { superstep, updates });
                     pending += 1;
                 }
             }
@@ -824,6 +1076,7 @@ mod tests {
         let engine = GrapeEngine::new(Oscillator).with_config(EngineConfig {
             max_supersteps: 10,
             check_monotonicity: true,
+            ..Default::default()
         });
         let err = engine.run_on_graph(&(), &g, &assignment).unwrap_err();
         assert_eq!(err, RunError::SuperstepLimit(10));
@@ -1098,6 +1351,124 @@ mod tests {
             .unwrap();
         assert_eq!(result.output, 0, "no IncEval message should be delivered");
         assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    fn slot_translation_dense_and_sparse_agree() {
+        // A compact slot range stays dense; a scattered one (a late fragment
+        // of a big job) switches to the sorted form. Both translate the same.
+        let vertices = [10, 20, 30];
+        let compact = [2, 0, 1];
+        let scattered = [900_000, 5, 400_000];
+        let dense = SlotTranslation::build(&vertices, &compact);
+        assert!(matches!(dense, SlotTranslation::Dense(_)));
+        let sparse = SlotTranslation::build(&vertices, &scattered);
+        assert!(matches!(sparse, SlotTranslation::Sparse(_)));
+        for (i, &v) in vertices.iter().enumerate() {
+            assert_eq!(dense.vertex(compact[i]), v);
+            assert_eq!(sparse.vertex(scattered[i]), v);
+        }
+        // Sparse memory stays O(border), not O(slot space).
+        if let SlotTranslation::Sparse(pairs) = &sparse {
+            assert_eq!(pairs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn threaded_and_inline_execution_agree() {
+        // Both drivers run the identical BSP exchange; answers, superstep
+        // counts and message totals must match bit for bit.
+        let g = barabasi_albert(400, 3, 5).unwrap();
+        let assignment = HashPartitioner.partition(&g, 4);
+        let mut results = Vec::new();
+        for execution in [ExecutionMode::Threads, ExecutionMode::Inline] {
+            let engine = GrapeEngine::new(MinLabelCc).with_config(EngineConfig {
+                execution,
+                ..Default::default()
+            });
+            results.push(engine.run_on_graph(&(), &g, &assignment).unwrap());
+        }
+        let (threaded, inline) = (&results[0], &results[1]);
+        for v in g.vertices() {
+            assert_eq!(threaded.output[&v], inline.output[&v], "vertex {v}");
+        }
+        assert_eq!(threaded.stats.supersteps, inline.stats.supersteps);
+        assert_eq!(threaded.stats.messages, inline.stats.messages);
+        assert_eq!(threaded.stats.bytes, inline.stats.bytes);
+        assert_eq!(threaded.stats.num_workers, inline.stats.num_workers);
+    }
+
+    #[test]
+    fn inline_execution_reports_serialized_critical_path() {
+        // In inline mode the per-superstep critical path through evaluation
+        // is the summed worker time, never less than any single worker's.
+        let g = barabasi_albert(300, 3, 9).unwrap();
+        let assignment = HashPartitioner.partition(&g, 4);
+        let engine = GrapeEngine::new(MinLabelCc).with_config(EngineConfig {
+            execution: ExecutionMode::Inline,
+            ..Default::default()
+        });
+        let result = engine.run_on_graph(&(), &g, &assignment).unwrap();
+        for trace in &result.stats.history {
+            assert!(trace.total_eval_seconds >= trace.max_eval_seconds);
+        }
+        let summed: f64 = result
+            .stats
+            .history
+            .iter()
+            .map(|t| t.total_eval_seconds)
+            .sum();
+        assert!(result.stats.compute_seconds() <= summed + 1e-9);
+    }
+
+    #[test]
+    fn handshake_ships_one_init_per_worker() {
+        // Chain 0-1-2-3 split in two: superstep 0 carries exactly the two
+        // Init handshakes plus the two PEval reports.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..3u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 2);
+        let result = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        assert_eq!(
+            result.stats.history[0].messages, 4,
+            "2 Init + 2 PEval reports"
+        );
+    }
+
+    #[test]
+    fn published_updates_are_bounded_by_changed_slots() {
+        // On a chain every border vertex lives on exactly two fragments, so
+        // a changed slot is shipped to at most one non-proposer: publication
+        // is O(changed), never a full-border rebroadcast.
+        let mut b = GraphBuilder::<(), f64>::new();
+        for v in 0..64u64 {
+            b.add_edge(v, v + 1, 1.0);
+        }
+        let g = b.build().unwrap();
+        let assignment = grape_partition::RangePartitioner.partition(&g, 8);
+        let result = GrapeEngine::new(MinLabelCc)
+            .run_on_graph(&(), &g, &assignment)
+            .unwrap();
+        let history = &result.stats.history;
+        assert!(history.len() > 2, "chains need several supersteps");
+        for trace in history {
+            assert!(
+                trace.published_updates <= trace.changed_slots,
+                "superstep {}: shipped {} for {} changed slots",
+                trace.superstep,
+                trace.published_updates,
+                trace.changed_slots
+            );
+        }
+        // The final superstep reaches the fixpoint and ships nothing.
+        assert_eq!(history.last().unwrap().published_updates, 0);
+        // Earlier supersteps actually route updates.
+        assert!(history[0].published_updates > 0);
     }
 
     #[test]

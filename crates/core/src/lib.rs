@@ -40,7 +40,7 @@ pub mod program;
 pub mod stats;
 
 pub use context::PieContext;
-pub use engine::{EngineConfig, GrapeEngine, GrapeResult, RunError};
+pub use engine::{EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
 pub use message::VertexValue;
 pub use program::PieProgram;
 pub use stats::{RunStats, SuperstepTrace};

@@ -1,10 +1,24 @@
 //! Messages exchanged between the coordinator and the workers.
+//!
+//! Since PR 3 the superstep traffic is **slot-addressed**: at run start the
+//! coordinator assigns every distinct border vertex a stable `u32` slot id
+//! and ships each fragment its local border→slot mapping in a one-time
+//! [`CoordCommand::Init`] handshake. All subsequent reports and routed
+//! updates identify border vertices by slot (`(u32, V)` pairs), which both
+//! halves the id bytes on the wire (`u32` vs `u64`) and lets both endpoints
+//! fold updates into flat arrays with no hashing per superstep.
 
 use grape_comm::MessageSize;
 use grape_graph::VertexId;
 
-/// A `(vertex, value)` pair: one changed update parameter.
+/// A `(vertex, value)` pair: one changed update parameter, addressed by
+/// global vertex id. Used at the program-facing API boundary and for stray
+/// (unroutable) updates.
 pub type VertexValue<V> = (VertexId, V);
+
+/// A `(slot, value)` pair: one changed update parameter, addressed by the
+/// coordinator-assigned border slot. The wire format of superstep traffic.
+pub type SlotValue<V> = (u32, V);
 
 /// Message from a worker to the coordinator at the end of a superstep.
 #[derive(Debug, Clone)]
@@ -13,8 +27,12 @@ pub enum WorkerReport<V> {
     Done {
         /// Superstep the report belongs to.
         superstep: usize,
-        /// Update parameters whose value changed during the call.
-        changes: Vec<VertexValue<V>>,
+        /// Border slots whose value changed during the call.
+        changes: Vec<SlotValue<V>>,
+        /// Updates to vertices outside this fragment's border (no slot, so
+        /// unroutable). Empty for correct programs; carried so the
+        /// coordinator's monotonicity diagnostic still sees them.
+        strays: Vec<VertexValue<V>>,
         /// Wall-clock seconds the evaluation took on this worker.
         eval_seconds: f64,
     },
@@ -23,14 +41,12 @@ pub enum WorkerReport<V> {
 impl<V: MessageSize> MessageSize for WorkerReport<V> {
     fn size_bytes(&self) -> usize {
         match self {
-            // superstep (8) + vector of (id, value) + timing is bookkeeping
-            // that a real deployment would not ship, so it is not charged.
-            WorkerReport::Done { changes, .. } => {
-                8 + changes
-                    .iter()
-                    .map(|(v, val)| v.size_bytes() + val.size_bytes())
-                    .sum::<usize>()
-            }
+            // superstep (8) + length-prefixed slot/value and stray vectors;
+            // the timing is bookkeeping a real deployment would not ship, so
+            // it is not charged.
+            WorkerReport::Done {
+                changes, strays, ..
+            } => 8 + changes.size_bytes() + strays.size_bytes(),
         }
     }
 }
@@ -38,12 +54,22 @@ impl<V: MessageSize> MessageSize for WorkerReport<V> {
 /// Message from the coordinator to a worker.
 #[derive(Debug, Clone)]
 pub enum CoordCommand<V> {
+    /// One-time handshake sent before PEval: the slot id of each of the
+    /// fragment's border vertices, aligned with
+    /// `Fragment::border_vertices()`. Every later report and routed update
+    /// is expressed in these slots.
+    Init {
+        /// `border_slots[i]` is the slot of the fragment's `i`-th border
+        /// vertex (ascending vertex-id order, the fragment's own border
+        /// order).
+        border_slots: Vec<u32>,
+    },
     /// Run IncEval with these aggregated border values.
     IncEval {
         /// Superstep being started.
         superstep: usize,
-        /// Aggregated `(vertex, value)` updates relevant to this fragment.
-        messages: Vec<VertexValue<V>>,
+        /// Aggregated `(slot, value)` updates relevant to this fragment.
+        updates: Vec<SlotValue<V>>,
     },
     /// Fixpoint reached: stop and hand back the partial result.
     Finish,
@@ -52,12 +78,8 @@ pub enum CoordCommand<V> {
 impl<V: MessageSize> MessageSize for CoordCommand<V> {
     fn size_bytes(&self) -> usize {
         match self {
-            CoordCommand::IncEval { messages, .. } => {
-                8 + messages
-                    .iter()
-                    .map(|(v, val)| v.size_bytes() + val.size_bytes())
-                    .sum::<usize>()
-            }
+            CoordCommand::Init { border_slots } => border_slots.size_bytes(),
+            CoordCommand::IncEval { updates, .. } => 8 + updates.size_bytes(),
             CoordCommand::Finish => 1,
         }
     }
@@ -68,23 +90,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn report_size_counts_changes() {
+    fn report_size_counts_changes_and_strays() {
+        // 8 (superstep) + 4 (changes length) + 2 × (4 + 8) + 4 (strays
+        // length): slot ids cost 4 bytes where vertex ids cost 8.
         let r: WorkerReport<f64> = WorkerReport::Done {
             superstep: 3,
             changes: vec![(1, 1.0), (2, 2.0)],
+            strays: vec![],
             eval_seconds: 0.5,
         };
-        assert_eq!(r.size_bytes(), 8 + 2 * 16);
+        assert_eq!(r.size_bytes(), 8 + 4 + 2 * 12 + 4);
+        // Strays are vertex-addressed: 8 + 8 per entry.
+        let s: WorkerReport<f64> = WorkerReport::Done {
+            superstep: 3,
+            changes: vec![],
+            strays: vec![(9, 1.0)],
+            eval_seconds: 0.5,
+        };
+        assert_eq!(s.size_bytes(), 8 + 4 + 4 + 16);
     }
 
     #[test]
     fn command_sizes() {
         let c: CoordCommand<u64> = CoordCommand::IncEval {
             superstep: 1,
-            messages: vec![(1, 9)],
+            updates: vec![(1, 9)],
         };
-        assert_eq!(c.size_bytes(), 8 + 16);
+        assert_eq!(c.size_bytes(), 8 + 4 + (4 + 8));
+        let i: CoordCommand<u64> = CoordCommand::Init {
+            border_slots: vec![0, 1, 2],
+        };
+        assert_eq!(i.size_bytes(), 4 + 3 * 4);
         let f: CoordCommand<u64> = CoordCommand::Finish;
         assert_eq!(f.size_bytes(), 1);
+    }
+
+    #[test]
+    fn slot_addressing_is_smaller_than_vertex_addressing() {
+        // The PR 2 wire shape was (u64 id, value); the slot shape is
+        // (u32 slot, value). For f64 values that is 12 vs 16 bytes per
+        // changed parameter.
+        let slot: Vec<SlotValue<f64>> = vec![(7, 1.5)];
+        let vertex: Vec<VertexValue<f64>> = vec![(7, 1.5)];
+        assert_eq!(slot.size_bytes() + 4, vertex.size_bytes());
     }
 }

@@ -21,6 +21,13 @@ pub struct SuperstepTrace {
     pub total_eval_seconds: f64,
     /// Changed update parameters reported by all workers.
     pub changed_parameters: usize,
+    /// Distinct border slots whose folded value was touched this superstep.
+    pub changed_slots: usize,
+    /// `(slot, value)` updates actually shipped to workers at the end of
+    /// this superstep. With dirty-border tracking this is bounded by the
+    /// changed slots times their interested fragments — never a full-border
+    /// republication.
+    pub published_updates: usize,
     /// Messages shipped (worker → coordinator and coordinator → worker).
     pub messages: u64,
     /// Bytes shipped.
@@ -38,9 +45,12 @@ pub struct RunStats {
     pub supersteps: usize,
     /// Wall-clock duration of the whole run, including assemble.
     pub wall_time: Duration,
-    /// Wall-clock seconds spent in PEval (critical path).
+    /// Wall-clock seconds spent in PEval (critical path: the slowest worker
+    /// per superstep under threaded execution, the summed worker time when
+    /// the engine drives the workers inline on one hardware thread).
     pub peval_seconds: f64,
-    /// Wall-clock seconds spent in IncEval supersteps (critical path).
+    /// Wall-clock seconds spent in IncEval supersteps (critical path, see
+    /// [`RunStats::peval_seconds`]).
     pub inceval_seconds: f64,
     /// Total messages shipped through the coordinator.
     pub messages: u64,

@@ -144,7 +144,11 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<WeightedGraph, G
         }
     }
     for u in (m as VertexId + 1)..(n as VertexId) {
-        let mut chosen = std::collections::HashSet::new();
+        // A small insertion-ordered list instead of a `HashSet`: iterating a
+        // std hash set would replay in per-process-random order (SipHash
+        // keys) and leak into the attachment sequence, making the "seeded"
+        // graph differ between processes.
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
         let mut guard = 0;
         while chosen.len() < m && guard < 50 * m {
             guard += 1;
@@ -153,8 +157,8 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<WeightedGraph, G
             } else {
                 endpoints[rng.random_range(0..endpoints.len())]
             };
-            if target != u {
-                chosen.insert(target);
+            if target != u && !chosen.contains(&target) {
+                chosen.push(target);
             }
         }
         for &v in &chosen {
@@ -432,7 +436,9 @@ pub fn labeled_social(config: SocialGraphConfig, seed: u64) -> Result<LabeledGra
     edges.push(EdgeRecord::new(1, 0, "follows".to_string()));
     for p in 2..np {
         let k = config.follows_per_person.min(p as usize);
-        let mut chosen = std::collections::HashSet::new();
+        // Insertion-ordered for cross-process determinism (see
+        // `barabasi_albert`).
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(k);
         let mut guard = 0;
         while chosen.len() < k && guard < 20 * k {
             guard += 1;
@@ -441,8 +447,8 @@ pub fn labeled_social(config: SocialGraphConfig, seed: u64) -> Result<LabeledGra
             } else {
                 rng.random_range(0..p)
             };
-            if t != p {
-                chosen.insert(t);
+            if t != p && !chosen.contains(&t) {
+                chosen.push(t);
             }
         }
         for &t in &chosen {

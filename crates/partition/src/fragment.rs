@@ -56,6 +56,9 @@ pub struct Fragment<V, E> {
     mirrored_inner: Vec<VertexId>,
     /// Dense indices aligned with `mirrored_inner`.
     mirrored_inner_dense: Vec<u32>,
+    /// Position of each mirrored-inner vertex in `border`, aligned with
+    /// `mirrored_inner`.
+    mirrored_inner_border_pos: Vec<u32>,
 }
 
 impl<V: Clone, E: Clone> Fragment<V, E> {
@@ -140,6 +143,15 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
         &self.border_dense
     }
 
+    /// Position of `v` in [`Fragment::border_vertices`], if it is a border
+    /// vertex. A binary search over the sorted border list — no hashing —
+    /// so per-run side tables aligned with the border (such as the engine's
+    /// border→slot mapping) can be addressed without a `HashMap`.
+    #[inline]
+    pub fn border_position(&self, v: VertexId) -> Option<u32> {
+        self.border.binary_search(&v).ok().map(|i| i as u32)
+    }
+
     /// Inner vertices mirrored at other fragments (the inner half of the
     /// border), in ascending order.
     pub fn mirrored_inner_vertices(&self) -> &[VertexId] {
@@ -149,6 +161,15 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
     /// Dense indices aligned with [`Fragment::mirrored_inner_vertices`].
     pub fn mirrored_inner_dense_indices(&self) -> &[u32] {
         &self.mirrored_inner_dense
+    }
+
+    /// Positions of the mirrored-inner vertices in
+    /// [`Fragment::border_vertices`], aligned with
+    /// [`Fragment::mirrored_inner_vertices`]. Precomputed so publication
+    /// loops over the inner half of the border can address per-border side
+    /// tables (e.g. `PieContext::update_at`) without any search.
+    pub fn mirrored_inner_border_positions(&self) -> &[u32] {
+        &self.mirrored_inner_border_pos
     }
 
     /// All fragments that must be informed when the value of `v` changes at
@@ -282,6 +303,16 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
         border.sort_unstable();
         border.dedup();
         let border_dense: Vec<u32> = border.iter().map(|&v| dense_of(v)).collect();
+        // `mirrored_inner` is a sorted subset of the sorted `border`, so its
+        // border positions fall out of one linear merge scan.
+        let mut mirrored_inner_border_pos = Vec::with_capacity(mirrored_inner.len());
+        let mut cursor = 0usize;
+        for &v in &mirrored_inner {
+            while border[cursor] != v {
+                cursor += 1;
+            }
+            mirrored_inner_border_pos.push(cursor as u32);
+        }
 
         fragments.push(Fragment {
             id: f,
@@ -298,6 +329,7 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
             border_dense,
             mirrored_inner,
             mirrored_inner_dense,
+            mirrored_inner_border_pos,
         });
     }
     fragments
@@ -397,9 +429,22 @@ mod tests {
                 assert!(f.is_outer(v) && f.is_outer_dense(i));
                 assert!(!f.is_inner(v) && !f.is_inner_dense(i));
             }
-            for (&v, &i) in f.border_vertices().iter().zip(f.border_dense_indices()) {
+            for (pos, (&v, &i)) in f
+                .border_vertices()
+                .iter()
+                .zip(f.border_dense_indices())
+                .enumerate()
+            {
                 assert_eq!(f.graph.vertex_of(i), v);
+                assert_eq!(f.border_position(v), Some(pos as u32));
             }
+            // Non-border vertices have no border position.
+            for &v in f.inner_vertices() {
+                if f.mirrors_of(v).is_empty() {
+                    assert_eq!(f.border_position(v), None);
+                }
+            }
+            assert_eq!(f.border_position(999_999), None);
             // The cached border equals the on-the-fly definition.
             let mut expected: Vec<VertexId> = f
                 .outer_vertices()
@@ -419,6 +464,19 @@ mod tests {
                 assert_eq!(f.graph.vertex_of(i), v);
                 assert!(f.is_inner(v));
                 assert!(!f.mirrors_of(v).is_empty());
+            }
+            // Their precomputed border positions point back at themselves.
+            assert_eq!(
+                f.mirrored_inner_border_positions().len(),
+                f.mirrored_inner_vertices().len()
+            );
+            for (&v, &pos) in f
+                .mirrored_inner_vertices()
+                .iter()
+                .zip(f.mirrored_inner_border_positions())
+            {
+                assert_eq!(f.border_vertices()[pos as usize], v);
+                assert_eq!(f.border_position(v), Some(pos));
             }
             // Vertices absent from the local graph are neither inner nor outer.
             assert!(!f.is_inner(999_999));

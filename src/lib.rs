@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use grape_baseline::{BlogelEngine, GasEngine, PregelEngine};
     pub use grape_core::{
-        build_fragments, EngineConfig, Fragment, GrapeEngine, GrapeResult, PieContext, PieProgram,
-        RunStats, VertexId,
+        build_fragments, EngineConfig, ExecutionMode, Fragment, GrapeEngine, GrapeResult,
+        PieContext, PieProgram, RunStats, VertexId,
     };
     pub use grape_graph::{
         CsrGraph, DenseBitset, GraphBuilder, LabeledGraph, VertexDenseMap, WeightedGraph,

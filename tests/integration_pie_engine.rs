@@ -143,6 +143,52 @@ fn engine_statistics_are_internally_consistent() {
 }
 
 #[test]
+fn sssp_publishes_only_changed_border_slots_per_superstep() {
+    // A long directed chain split into 8 ranges: the SSSP frontier crosses
+    // one fragment boundary per superstep, so only the handful of border
+    // vertices around that cut change — while the run as a whole has
+    // 2 × 7 = 14 distinct border vertices. The engine must ship exactly the
+    // changed slots (each chain border vertex lives on two fragments and the
+    // proposer already holds its value, so one copy per changed slot), never
+    // republish the full border.
+    let mut b = GraphBuilder::<(), f64>::new();
+    for v in 0..400u64 {
+        b.add_edge(v, v + 1, 1.0);
+    }
+    let graph = b.build().unwrap();
+    let k = 8;
+    let assignment = BuiltinStrategy::Range.partition(&graph, k);
+    let result = GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+        .unwrap();
+    let total_border_slots = 2 * (k - 1);
+    let history = &result.stats.history;
+    assert!(history.len() >= k, "the frontier crosses every cut in turn");
+    for trace in history {
+        assert_eq!(
+            trace.published_updates, trace.changed_slots,
+            "superstep {}: each changed slot ships exactly one copy",
+            trace.superstep
+        );
+        assert!(
+            trace.changed_slots <= 4,
+            "superstep {}: only the borders at the frontier's cut may change, got {}",
+            trace.superstep,
+            trace.changed_slots
+        );
+        assert!(trace.changed_slots < total_border_slots);
+    }
+    // The run still visits every border slot overall.
+    let touched: usize = history.iter().map(|t| t.changed_slots).sum();
+    assert!(touched >= total_border_slots);
+    // And the answer is right.
+    let expected = sequential_sssp(&graph, 0);
+    for (v, d) in &expected {
+        assert!((result.output[v] - d).abs() < 1e-9);
+    }
+}
+
+#[test]
 fn grape_and_all_baselines_agree_on_sssp() {
     use grape::baseline::{BlockSssp, BlogelEngine, GasEngine, GasSssp, PregelEngine, PregelSssp};
     let graph = barabasi_albert(600, 3, 31).unwrap();
