@@ -102,6 +102,23 @@ impl MessageSize for NeighborhoodDelta {
     }
 }
 
+impl grape_core::Wire for NeighborhoodDelta {
+    // Two length-prefixed vectors: 4 + Σ(8 + 4 + |label|) for the vertices
+    // and 4 + Σ(16 + 4 + |relation|) for the edges — exactly the
+    // MessageSize estimate (its leading 8 is the two vector headers).
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.vertices.encode(out);
+        self.edges.encode(out);
+    }
+
+    fn decode(reader: &mut grape_core::WireReader<'_>) -> Result<Self, grape_core::WireError> {
+        Ok(NeighborhoodDelta {
+            vertices: Vec::decode(reader)?,
+            edges: Vec::decode(reader)?,
+        })
+    }
+}
+
 /// The embeddings found by one run: each entry maps pattern vertex `i` to the
 /// data vertex at position `i`.
 pub type Embeddings = Vec<Vec<VertexId>>;

@@ -1,0 +1,219 @@
+//! The CI bench-regression gate.
+//!
+//! Compares a freshly produced `hotpath_micro` artifact against the
+//! committed baseline and fails (exit 1) when any gated metric regressed by
+//! more than the threshold:
+//!
+//! ```text
+//! bench_gate --baseline BENCH_pr4_smoke.json --current fresh.json \
+//!            [--threshold 0.25] [--min-ms 2.0] [--summary $GITHUB_STEP_SUMMARY]
+//! ```
+//!
+//! Rows are matched on `(algo, graph, n, m, k)` — a smoke artifact is never
+//! compared against a full-size one. The gated metrics are `wall_ms`,
+//! `coord_ms` and `framed_wall_ms`; a metric is only *gated* when its
+//! baseline is at least `--min-ms` (sub-millisecond smoke numbers are pure
+//! noise at any threshold — they are still shown, as informational rows).
+//! The full diff table is written as GitHub-flavoured markdown to
+//! `--summary` (appended, so it lands in the job summary) and to stdout.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Gated / reported metrics, in table order.
+const METRICS: [&str; 3] = ["wall_ms", "coord_ms", "framed_wall_ms"];
+
+struct BenchRow {
+    key: String,
+    algo: String,
+    graph: String,
+    metrics: Vec<(String, f64)>,
+}
+
+fn parse_rows(path: &str) -> Result<Vec<BenchRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let rows = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: top level is not an array"))?;
+    let mut out = Vec::new();
+    for row in rows {
+        let field = |name: &str| -> Result<&Value, String> {
+            row.get_field(name)
+                .ok_or_else(|| format!("{path}: row missing field {name:?}"))
+        };
+        let text_of = |v: &Value| -> String {
+            match v {
+                Value::Str(s) => s.clone(),
+                Value::Int(i) => i.to_string(),
+                Value::Float(f) => f.to_string(),
+                other => format!("{other:?}"),
+            }
+        };
+        let num_of = |v: &Value| -> Option<f64> {
+            match v {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        };
+        let algo = text_of(field("algo")?);
+        let graph = text_of(field("graph")?);
+        let key = format!(
+            "{algo}|{graph}|{}|{}|{}",
+            text_of(field("n")?),
+            text_of(field("m")?),
+            text_of(field("k")?)
+        );
+        let metrics = METRICS
+            .iter()
+            .filter_map(|&name| {
+                row.get_field(name)
+                    .and_then(num_of)
+                    .map(|v| (name.to_string(), v))
+            })
+            .collect();
+        out.push(BenchRow {
+            key,
+            algo,
+            graph,
+            metrics,
+        });
+    }
+    Ok(out)
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, current_path) = match (
+        arg_value(&args, "--baseline"),
+        arg_value(&args, "--current"),
+    ) {
+        (Some(b), Some(c)) => (b, c),
+        _ => {
+            eprintln!(
+                "usage: bench_gate --baseline FILE --current FILE [--threshold 0.25] \
+                 [--min-ms 2.0] [--summary FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let threshold: f64 = arg_value(&args, "--threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let min_ms: f64 = arg_value(&args, "--min-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    let (baseline, current) = match (parse_rows(&baseline_path), parse_rows(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut table = String::new();
+    writeln!(
+        table,
+        "### Bench gate: `{current_path}` vs `{baseline_path}` (threshold +{:.0}%, floor {min_ms}ms)\n",
+        threshold * 100.0
+    )
+    .unwrap();
+    writeln!(
+        table,
+        "| algo | graph | metric | baseline (ms) | current (ms) | Δ | status |"
+    )
+    .unwrap();
+    writeln!(table, "|---|---|---|---:|---:|---:|---|").unwrap();
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for row in &current {
+        let base_row = baseline.iter().find(|b| b.key == row.key);
+        match base_row {
+            None => {
+                writeln!(
+                    table,
+                    "| {} | {} | — | — | — | — | new configuration (not gated) |",
+                    row.algo, row.graph
+                )
+                .unwrap();
+            }
+            Some(base_row) => {
+                for (name, cur) in &row.metrics {
+                    let Some((_, base)) = base_row.metrics.iter().find(|(n, _)| n == name) else {
+                        writeln!(
+                            table,
+                            "| {} | {} | {name} | — | {cur:.2} | — | new metric (not gated) |",
+                            row.algo, row.graph
+                        )
+                        .unwrap();
+                        continue;
+                    };
+                    let delta_pct = if *base > 0.0 {
+                        (cur - base) / base * 100.0
+                    } else {
+                        0.0
+                    };
+                    let (status, gated) = if *base < min_ms {
+                        ("below floor (not gated)", false)
+                    } else if *cur > base * (1.0 + threshold) {
+                        ("❌ REGRESSION", true)
+                    } else {
+                        ("✅ ok", false)
+                    };
+                    if *base >= min_ms {
+                        compared += 1;
+                    }
+                    if gated {
+                        regressions += 1;
+                    }
+                    writeln!(
+                        table,
+                        "| {} | {} | {name} | {base:.2} | {cur:.2} | {delta_pct:+.1}% | {status} |",
+                        row.algo, row.graph
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    writeln!(
+        table,
+        "\n{compared} gated comparisons, {regressions} regression(s)."
+    )
+    .unwrap();
+
+    println!("{table}");
+    if let Some(summary) = arg_value(&args, "--summary") {
+        use std::io::Write as _;
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary)
+        {
+            let _ = writeln!(file, "{table}");
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} metric(s) regressed more than {:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

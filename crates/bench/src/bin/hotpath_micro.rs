@@ -1,23 +1,31 @@
 //! Hot-path microbenchmark: SSSP + CC + PageRank on a road network and a
-//! Barabási–Albert graph, through the full PIE engine.
+//! Barabási–Albert graph, through the full PIE engine — on both transport
+//! backends.
 //!
-//! Writes `BENCH_pr3.json` (in the current directory) with one
-//! machine-readable row per `(algo, graph)` pair:
+//! Writes `BENCH_pr4.json` (or `BENCH_pr4_smoke.json` with `--smoke`) in the
+//! current directory, one machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
 //! {"algo": "sssp", "graph": "road", "n": 16384, "m": 64000, "k": 4,
-//!  "wall_ms": 12.3, "peval_ms": 8.1, "inceval_ms": 2.2, "coord_ms": 2.0}
+//!  "wall_ms": 12.3, "peval_ms": 8.1, "inceval_ms": 2.2, "coord_ms": 2.0,
+//!  "framed_wall_ms": 13.0, "wire_bytes": 181234, "wire_mbps": 13.3}
 //! ```
 //!
-//! `coord_ms` is the non-compute gap (`wall - peval - inceval`): coordinator
-//! fold, border publication, and per-superstep scheduling — the superstep
-//! constant the slot-addressed delta messaging of PR 3 attacks.
+//! `coord_ms` is the non-compute gap (`wall - peval - inceval`) on the
+//! in-process path: coordinator fold, border publication, and per-superstep
+//! scheduling. The wire columns come from a second run over the **framed**
+//! transport, which round-trips every message through the length-prefixed
+//! codec: `wire_bytes` is actual framed bytes (headers included, not
+//! estimates) and `wire_mbps` the resulting codec throughput
+//! (`wire_bytes / framed_wall`).
 //!
-//! Pass `--smoke` for a tiny configuration suitable for CI, which checks the
-//! plumbing and keeps the artifact format identical without burning minutes.
+//! Pass `--smoke` for a small configuration suitable for CI: same format,
+//! seconds instead of minutes. CI regression-gates `wall_ms` / `coord_ms` of
+//! the smoke artifact against the committed baseline via the `bench_gate`
+//! binary.
 
 use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
-use grape_core::{GrapeEngine, PieProgram, RunStats};
+use grape_core::{EngineConfig, GrapeEngine, PieProgram, RunStats, TransportKind};
 use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
 use grape_graph::WeightedGraph;
 use grape_partition::{HashPartitioner, Partitioner};
@@ -34,40 +42,33 @@ struct Row {
     wall_ms: f64,
     peval_ms: f64,
     inceval_ms: f64,
+    /// Wall time of the same job over the framed transport.
+    framed_wall_ms: f64,
+    /// Actual framed bytes shipped by the framed run (headers included).
+    wire_bytes: u64,
 }
 
 impl Row {
-    fn from_stats(
-        algo: &'static str,
-        graph: &'static str,
-        g: &WeightedGraph,
-        k: usize,
-        wall_ms: f64,
-        stats: &RunStats,
-    ) -> Self {
-        Self {
-            algo,
-            graph,
-            n: g.num_vertices(),
-            m: g.num_edges(),
-            k,
-            wall_ms,
-            peval_ms: stats.peval_seconds * 1e3,
-            inceval_ms: stats.inceval_seconds * 1e3,
-        }
-    }
-
     /// The non-compute gap: coordinator fold + border publication +
     /// per-superstep scheduling.
     fn coord_ms(&self) -> f64 {
         (self.wall_ms - self.peval_ms - self.inceval_ms).max(0.0)
     }
 
+    /// Codec throughput of the framed run, in MB/s of actual wire bytes.
+    fn wire_mbps(&self) -> f64 {
+        if self.framed_wall_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.wire_bytes as f64 / 1e6) / (self.framed_wall_ms / 1e3)
+    }
+
     fn to_json(&self) -> String {
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
              \"wall_ms\": {:.3}, \"peval_ms\": {:.3}, \"inceval_ms\": {:.3}, \
-             \"coord_ms\": {:.3}}}",
+             \"coord_ms\": {:.3}, \"framed_wall_ms\": {:.3}, \"wire_bytes\": {}, \
+             \"wire_mbps\": {:.3}}}",
             self.algo,
             self.graph,
             self.n,
@@ -76,14 +77,41 @@ impl Row {
             self.wall_ms,
             self.peval_ms,
             self.inceval_ms,
-            self.coord_ms()
+            self.coord_ms(),
+            self.framed_wall_ms,
+            self.wire_bytes,
+            self.wire_mbps()
         )
     }
 }
 
-/// Runs `program` on `graph` with a hash partition into `k` fragments,
-/// repeating `reps` times and keeping the fastest wall time (the usual
-/// microbenchmark convention: the minimum is the least noisy estimator).
+/// Best-of-`reps` wall time (the minimum is the least noisy estimator) plus
+/// the stats of the fastest run, for one transport backend.
+fn best_run<P>(
+    engine: &GrapeEngine<P>,
+    query: &P::Query,
+    fragments: &[grape_core::Fragment<(), f64>],
+    reps: usize,
+) -> (f64, RunStats)
+where
+    P: PieProgram<VertexData = (), EdgeData = f64>,
+{
+    let mut best_wall = f64::INFINITY;
+    let mut best_stats = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let result = engine.run(query, fragments).expect("engine run");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        if wall < best_wall {
+            best_wall = wall;
+            best_stats = Some(result.stats);
+        }
+    }
+    (best_wall, best_stats.expect("at least one rep"))
+}
+
+/// Runs `program` on `graph` with a hash partition into `k` fragments over
+/// both transports.
 fn run_case<P>(
     algo: &'static str,
     graph_name: &'static str,
@@ -94,27 +122,35 @@ fn run_case<P>(
     reps: usize,
 ) -> Row
 where
-    P: PieProgram<VertexData = (), EdgeData = f64>,
+    P: PieProgram<VertexData = (), EdgeData = f64> + Clone,
 {
     let assignment = HashPartitioner.partition(graph, k);
     let fragments = grape_partition::build_fragments(graph, &assignment);
-    let engine = GrapeEngine::new(program);
-    let mut best_wall = f64::INFINITY;
-    let mut best_stats = None;
-    for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        let result = engine.run(query, &fragments).expect("engine run");
-        let wall = t0.elapsed().as_secs_f64() * 1e3;
-        if wall < best_wall {
-            best_wall = wall;
-            best_stats = Some(result.stats);
-        }
-    }
-    let stats = best_stats.expect("at least one rep");
-    let row = Row::from_stats(algo, graph_name, graph, k, best_wall, &stats);
+
+    let engine = GrapeEngine::new(program.clone());
+    let (wall_ms, stats) = best_run(&engine, query, &fragments, reps);
+
+    let framed_engine = GrapeEngine::new(program).with_config(EngineConfig {
+        transport: TransportKind::Framed,
+        ..Default::default()
+    });
+    let (framed_wall_ms, framed_stats) = best_run(&framed_engine, query, &fragments, reps);
+
+    let row = Row {
+        algo,
+        graph: graph_name,
+        n: graph.num_vertices(),
+        m: graph.num_edges(),
+        k,
+        wall_ms,
+        peval_ms: stats.peval_seconds * 1e3,
+        inceval_ms: stats.inceval_seconds * 1e3,
+        framed_wall_ms,
+        wire_bytes: framed_stats.bytes,
+    };
     eprintln!(
         "{:>8} on {:<5}: n={} m={} k={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
-         coord={:.2}ms ({} supersteps)",
+         coord={:.2}ms ({} supersteps) | framed wall={:.2}ms wire={}B ({:.1} MB/s)",
         algo,
         graph_name,
         row.n,
@@ -124,7 +160,10 @@ where
         row.peval_ms,
         row.inceval_ms,
         row.coord_ms(),
-        stats.supersteps
+        stats.supersteps,
+        row.framed_wall_ms,
+        row.wire_bytes,
+        row.wire_mbps()
     );
     row
 }
@@ -132,13 +171,18 @@ where
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let k = 4;
-    let reps = if smoke { 1 } else { 3 };
+    let reps = if smoke { 2 } else { 3 };
+    let out_file = if smoke {
+        "BENCH_pr4_smoke.json"
+    } else {
+        "BENCH_pr4.json"
+    };
 
     let road = road_network(
         if smoke {
             RoadNetworkConfig {
-                width: 12,
-                height: 12,
+                width: 48,
+                height: 48,
                 ..Default::default()
             }
         } else {
@@ -152,7 +196,7 @@ fn main() {
     )
     .expect("road network");
     let ba = if smoke {
-        barabasi_albert(300, 3, 11)
+        barabasi_albert(3_000, 3, 11)
     } else {
         barabasi_albert(30_000, 5, 11)
     }
@@ -187,6 +231,8 @@ fn main() {
         writeln!(json, "  {}{}", row.to_json(), sep).expect("write row");
     }
     json.push_str("]\n");
-    std::fs::write("BENCH_pr3.json", &json).expect("write BENCH_pr3.json");
+    std::fs::write(out_file, &json).expect("write bench json");
+    // CI derives the artifact name from this line; keep the format stable.
+    eprintln!("wrote {out_file}");
     println!("{json}");
 }

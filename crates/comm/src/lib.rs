@@ -16,13 +16,20 @@
 //!   per-superstep history.
 //! * [`CommNetwork`] / [`WorkerLink`] — an all-to-all network of `n` worker
 //!   endpoints plus one coordinator endpoint, with counted sends.
+//! * [`wire`] — the framed wire protocol: a little-endian, length-prefixed
+//!   codec ([`Wire`], [`wire::encode_frame`]) that turns every
+//!   coordinator↔worker message into self-delimiting byte frames, so workers
+//!   can run in other OS processes and the byte accounting can report
+//!   *actual* rather than estimated wire bytes.
 
 #![warn(missing_docs)]
 
 pub mod network;
 pub mod size;
 pub mod stats;
+pub mod wire;
 
 pub use network::{CommNetwork, Envelope, WorkerLink, COORDINATOR};
 pub use size::MessageSize;
 pub use stats::{CommStats, SuperstepStats};
+pub use wire::{Frame, Wire, WireError, WireReader};

@@ -113,6 +113,94 @@ fn bus_counts_match_slot_addressed_engine_messages() {
 }
 
 #[test]
+fn framed_encoding_matches_the_estimates_for_slot_messages() {
+    use grape_comm::wire::{Wire, HEADER_LEN};
+    use grape_core::message::{CoordCommand, WorkerReport};
+
+    // The satellite invariant: for `(u32 slot, f64 value)` traffic — the
+    // bulk of every superstep — the MessageSize *estimate* equals the
+    // *actual* encoded payload length, byte for byte.
+    for len in [0usize, 1, 2, 17, 256] {
+        let slots: Vec<(u32, f64)> = (0..len).map(|i| (i as u32, i as f64 * 0.5)).collect();
+        assert_eq!(
+            slots.encode_to_vec().len(),
+            slots.size_bytes(),
+            "estimate != encoded bytes for {len} slots"
+        );
+    }
+
+    // Whole messages carry a fixed, documented overhead on top: the 8-byte
+    // frame header, plus (for reports) the eval_seconds bookkeeping field
+    // the estimate deliberately does not charge.
+    let command: CoordCommand<f64> = CoordCommand::IncEval {
+        superstep: 3,
+        updates: vec![(0, 1.5), (7, 2.5), (9, f64::INFINITY)],
+    };
+    let mut frame = Vec::new();
+    command.encode_frame(&mut frame);
+    assert_eq!(frame.len(), command.size_bytes() + HEADER_LEN);
+    assert_eq!(CoordCommand::<f64>::WIRE_OVERHEAD, HEADER_LEN);
+
+    let report: WorkerReport<f64> = WorkerReport::Done {
+        superstep: 3,
+        changes: vec![(0, 1.5), (7, 2.5)],
+        strays: vec![(42, 0.25)],
+        eval_seconds: 0.125,
+    };
+    let mut frame = Vec::new();
+    report.encode_frame(&mut frame);
+    assert_eq!(frame.len(), report.size_bytes() + HEADER_LEN + 8);
+    assert_eq!(WorkerReport::<f64>::WIRE_OVERHEAD, HEADER_LEN + 8);
+}
+
+#[test]
+fn framed_engine_bytes_reconcile_exactly_with_the_estimated_path() {
+    use grape_algo::{SsspProgram, SsspQuery};
+    use grape_comm::wire::HEADER_LEN;
+    use grape_core::{EngineConfig, ExecutionMode, GrapeEngine, TransportKind};
+    use grape_graph::generators::{road_network, RoadNetworkConfig};
+    use grape_partition::BuiltinStrategy;
+
+    // Counted messages pair up exactly — every Init / IncEval command
+    // triggers exactly one report, and Finish is sent after the books close —
+    // so the framed path's *actual* bytes must equal the estimated path's
+    // bytes plus one frame header per message plus the 8-byte eval_seconds
+    // field per report (= half the messages). No slack on either side.
+    let graph = road_network(
+        RoadNetworkConfig {
+            width: 14,
+            height: 14,
+            ..Default::default()
+        },
+        21,
+    )
+    .unwrap();
+    let assignment = BuiltinStrategy::Hash.partition(&graph, 4);
+    let run = |transport| {
+        GrapeEngine::new(SsspProgram)
+            .with_config(EngineConfig {
+                execution: ExecutionMode::Inline,
+                transport,
+                ..Default::default()
+            })
+            .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+            .unwrap()
+            .stats
+    };
+    let estimated = run(TransportKind::InProcess);
+    let framed = run(TransportKind::Framed);
+    assert_eq!(estimated.messages, framed.messages);
+    assert_eq!(estimated.supersteps, framed.supersteps);
+    assert!(estimated.messages > 0 && estimated.messages % 2 == 0);
+    let reports = estimated.messages / 2;
+    assert_eq!(
+        framed.bytes,
+        estimated.bytes + estimated.messages * HEADER_LEN as u64 + reports * 8,
+        "framed bytes must be estimates + header per message + eval field per report"
+    );
+}
+
+#[test]
 fn sssp_run_stats_agree_with_bus_history() {
     use grape_algo::{SsspProgram, SsspQuery};
     use grape_core::GrapeEngine;

@@ -32,7 +32,10 @@ use crate::context::PieContext;
 use crate::message::{CoordCommand, WorkerReport};
 use crate::program::PieProgram;
 use crate::stats::{RunStats, SuperstepTrace};
-use grape_comm::{CommNetwork, CommStats, COORDINATOR};
+use crate::transport::{
+    self, CoordTransport, DrainableWorkerTransport, TransportKind, WorkerTransport,
+};
+use grape_comm::CommStats;
 use grape_graph::{CsrGraph, VertexId};
 use grape_partition::{build_fragments, Fragment, PartitionAssignment};
 use std::collections::HashMap;
@@ -235,14 +238,16 @@ impl SlotTranslation {
     }
 }
 
-/// One worker's execution state, shared by the threaded and inline drivers:
-/// the program context, the slot-translation table installed by the Init
-/// handshake, and the buffers that circulate across supersteps.
+/// One worker's execution state, shared by the threaded and inline drivers
+/// and the remote worker loop ([`run_worker`]): the program context, the
+/// slot-translation table installed by the Init handshake, and the buffers
+/// that circulate across supersteps. Transport-agnostic — commands go in,
+/// reports come out, and the caller moves both across whatever fabric it
+/// runs on.
 struct WorkerRuntime<'a, P: PieProgram> {
     program: &'a P,
     query: &'a P::Query,
     fragment: &'a Fragment<P::VertexData, P::EdgeData>,
-    up: grape_comm::WorkerLink<WorkerReport<P::Value>>,
     ctx: PieContext<P::Value>,
     /// Slot -> local vertex id for this fragment's border slots, which is
     /// exactly the set the coordinator may route here.
@@ -258,13 +263,11 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
         program: &'a P,
         query: &'a P::Query,
         fragment: &'a Fragment<P::VertexData, P::EdgeData>,
-        up: grape_comm::WorkerLink<WorkerReport<P::Value>>,
     ) -> Self {
         Self {
             program,
             query,
             fragment,
-            up,
             ctx: PieContext::new(),
             slot_translation: SlotTranslation::Dense(Vec::new()),
             messages: Vec::new(),
@@ -272,8 +275,9 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
         }
     }
 
-    /// Handles one coordinator command. Returns `true` when told to finish.
-    fn handle(&mut self, command: CoordCommand<P::Value>) -> bool {
+    /// Handles one coordinator command. Returns the report to send upstream,
+    /// or `None` when told to finish.
+    fn handle(&mut self, command: CoordCommand<P::Value>) -> Option<WorkerReport<P::Value>> {
         match command {
             CoordCommand::Init { border_slots } => {
                 // Handshake: install the border→slot mapping, then run PEval.
@@ -285,8 +289,7 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
                 let partial = self.program.peval(self.query, self.fragment, &mut self.ctx);
                 let eval_seconds = t0.elapsed().as_secs_f64();
                 self.partial = Some(partial);
-                self.report(0, Vec::new(), eval_seconds);
-                false
+                Some(self.report(0, Vec::new(), eval_seconds))
             }
             CoordCommand::IncEval {
                 superstep,
@@ -311,32 +314,63 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
                 let eval_seconds = t0.elapsed().as_secs_f64();
                 // The drained command buffer becomes this report's payload:
                 // buffers circulate instead of reallocating.
-                self.report(superstep, updates, eval_seconds);
-                false
+                Some(self.report(superstep, updates, eval_seconds))
             }
-            CoordCommand::Finish => true,
+            CoordCommand::Finish => None,
         }
     }
 
     /// Drains the context's dirty border slots into `changes` (a recycled
-    /// buffer) and reports them upstream.
-    fn report(&mut self, superstep: usize, mut changes: Vec<(u32, P::Value)>, eval_seconds: f64) {
+    /// buffer) and builds the superstep report.
+    fn report(
+        &mut self,
+        superstep: usize,
+        mut changes: Vec<(u32, P::Value)>,
+        eval_seconds: f64,
+    ) -> WorkerReport<P::Value> {
         let mut strays = Vec::new();
         self.ctx.drain_dirty_into(&mut changes, &mut strays);
-        self.up.send(
-            COORDINATOR,
-            WorkerReport::Done {
-                superstep,
-                changes,
-                strays,
-                eval_seconds,
-            },
-        );
+        WorkerReport::Done {
+            superstep,
+            changes,
+            strays,
+            eval_seconds,
+        }
     }
 
     /// Takes the partial result after the run.
     fn into_partial(self) -> P::Partial {
         self.partial.expect("every worker ran PEval")
+    }
+}
+
+/// Drives one worker over `transport` until the coordinator sends
+/// [`CoordCommand::Finish`] (or disconnects), returning the fragment's
+/// partial result.
+///
+/// This is the complete worker side of the BSP protocol: the engine's
+/// threaded driver runs it over in-process channels, and the `grape-worker`
+/// binary runs the *same function* over a framed TCP / Unix-domain socket —
+/// the PIE program cannot tell the difference.
+pub fn run_worker<P: PieProgram>(
+    program: &P,
+    query: &P::Query,
+    fragment: &Fragment<P::VertexData, P::EdgeData>,
+    transport: &impl WorkerTransport<P::Value>,
+) -> P::Partial {
+    let mut worker = WorkerRuntime::new(program, query, fragment);
+    loop {
+        let batch = transport.recv_blocking();
+        if batch.is_empty() {
+            // Coordinator vanished; stop gracefully.
+            return worker.into_partial();
+        }
+        for command in batch {
+            match worker.handle(command) {
+                Some(report) => transport.send(report),
+                None => return worker.into_partial(),
+            }
+        }
     }
 }
 
@@ -372,6 +406,11 @@ pub struct EngineConfig {
     pub check_monotonicity: bool,
     /// Worker scheduling (see [`ExecutionMode`]).
     pub execution: ExecutionMode,
+    /// Message fabric between coordinator and workers (see
+    /// [`TransportKind`]): typed in-process channels (estimated bytes) or
+    /// framed byte channels round-tripping every message through the wire
+    /// codec (actual bytes).
+    pub transport: TransportKind,
 }
 
 impl Default for EngineConfig {
@@ -380,6 +419,7 @@ impl Default for EngineConfig {
             max_supersteps: 100_000,
             check_monotonicity: false,
             execution: ExecutionMode::Auto,
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -473,26 +513,108 @@ impl<P: PieProgram> GrapeEngine<P> {
         }
         let started = Instant::now();
 
+        // One set of communication counters shared by both directions of
+        // whichever transport backend the config selects.
+        let stats = Arc::new(CommStats::new());
+        let run_result = match self.config.transport {
+            TransportKind::InProcess => {
+                let (coord, workers) = transport::typed_channel_pair(n, stats);
+                self.drive(query, fragments, coord, workers)
+            }
+            TransportKind::Framed => {
+                let (coord, workers) = transport::framed_channel_pair(n, stats);
+                self.drive(query, fragments, coord, workers)
+            }
+        };
+
+        let (partials, mut stats_out) = run_result?;
+        let output = self.program.assemble(partials);
+        stats_out.wall_time = started.elapsed();
+        Ok(GrapeResult {
+            output,
+            stats: stats_out,
+        })
+    }
+
+    /// Runs only the coordinator half of the fixpoint over an external
+    /// transport whose workers live elsewhere (other processes or hosts, via
+    /// [`transport::FramedStreamCoord`]). The fragments are used for the
+    /// slot handshake and routing tables; evaluation happens wherever the
+    /// workers run [`run_worker`] on their own fragment replicas.
+    ///
+    /// Returns the run statistics; partial results stay with the workers
+    /// (shipping them home is a driver-level concern — see the
+    /// `grape-worker` binary's digest protocol).
+    pub fn run_coordinator(
+        &self,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+        transport: &impl CoordTransport<P::Value>,
+    ) -> Result<RunStats, RunError> {
+        let n = fragments.len();
+        if n == 0 {
+            return Err(RunError::NoFragments);
+        }
+        let started = Instant::now();
+        let (mut slots, fragment_slots): (SlotTable<P::Value>, Vec<Vec<u32>>) =
+            SlotTable::build(fragments, n);
+        for (f, border_slots) in fragment_slots.into_iter().enumerate() {
+            transport.send(f, CoordCommand::Init { border_slots });
+        }
+        let program = Arc::clone(&self.program);
+        let coordination = Self::coordinate(
+            &program,
+            &self.config,
+            n,
+            &mut slots,
+            transport,
+            false,
+            || {
+                let reports = transport.recv_blocking();
+                if reports.is_empty() {
+                    return Err(RunError::WorkerPanic(
+                        "a worker disconnected before reporting".into(),
+                    ));
+                }
+                Ok(reports)
+            },
+        );
+        // Always release the workers, even on error.
+        for f in 0..n {
+            transport.send(f, CoordCommand::Finish);
+        }
+        let mut stats_out = coordination?;
+        stats_out.num_workers = n;
+        stats_out.program = program.name().to_string();
+        stats_out.wall_time = started.elapsed();
+        Ok(stats_out)
+    }
+
+    /// Runs the full fixpoint (coordinator + local workers) over an
+    /// in-process transport pair built by the caller.
+    fn drive<CT, WT>(
+        &self,
+        query: &P::Query,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+        coord: CT,
+        worker_transports: Vec<WT>,
+    ) -> Result<(Vec<P::Partial>, RunStats), RunError>
+    where
+        CT: CoordTransport<P::Value>,
+        WT: DrainableWorkerTransport<P::Value>,
+    {
+        let n = fragments.len();
         // Stable aggregation slots: one per border vertex, with its routing
         // targets. Built once; reused every superstep. `fragment_slots[f]`
         // is the border→slot mapping the handshake ships to worker `f`.
         let (mut slots, fragment_slots): (SlotTable<P::Value>, Vec<Vec<u32>>) =
             SlotTable::build(fragments, n);
 
-        // Two typed networks (worker -> coordinator reports, coordinator ->
-        // worker commands) sharing one set of communication counters.
-        let stats = Arc::new(CommStats::new());
-        let up = CommNetwork::<WorkerReport<P::Value>>::with_stats(n, Arc::clone(&stats));
-        let down = CommNetwork::<CoordCommand<P::Value>>::with_stats(n, Arc::clone(&stats));
-        let (up_coord, up_workers) = up.split();
-        let (down_coord, down_workers) = down.split();
-
         // One-time handshake: each worker learns the slot of every border
         // vertex before PEval, so all superstep traffic is slot-addressed.
         // Sent before the workers spawn — the command channel is ordered, so
         // Init is always the first command a worker sees.
         for (f, border_slots) in fragment_slots.into_iter().enumerate() {
-            down_coord.send(f, CoordCommand::Init { border_slots });
+            coord.send(f, CoordCommand::Init { border_slots });
         }
 
         let program = Arc::clone(&self.program);
@@ -508,39 +630,32 @@ impl<P: PieProgram> GrapeEngine<P> {
             }
         };
 
-        let run_result: Result<(Vec<P::Partial>, RunStats), RunError> = if inline {
+        if inline {
             // ---------------- inline driver ----------------
             // Every worker runs on this thread; the exchange still flows
-            // through the same links so the accounting and the message
+            // through the same transport so the accounting and the message
             // protocol are identical to the threaded mode.
             let mut workers: Vec<WorkerRuntime<'_, P>> = fragments
                 .iter()
-                .zip(up_workers)
-                .map(|(fragment, up)| WorkerRuntime::new(&*program, query, fragment, up))
+                .map(|fragment| WorkerRuntime::new(&*program, query, fragment))
                 .collect();
-            let coordination = Self::coordinate(
-                &program,
-                &config,
-                n,
-                &mut slots,
-                &down_coord,
-                &stats,
-                true,
-                || {
+            let coordination =
+                Self::coordinate(&program, &config, n, &mut slots, &coord, true, || {
                     // Run every worker with queued commands, then hand their
                     // reports to the coordinator.
-                    for (worker, link) in workers.iter_mut().zip(&down_workers) {
-                        for env in link.drain() {
-                            worker.handle(env.payload);
+                    for (worker, wt) in workers.iter_mut().zip(&worker_transports) {
+                        for command in wt.drain() {
+                            if let Some(report) = worker.handle(command) {
+                                wt.send(report);
+                            }
                         }
                     }
-                    let envelopes = up_coord.drain();
-                    if envelopes.is_empty() {
+                    let reports = coord.drain();
+                    if reports.is_empty() {
                         return Err(RunError::WorkerPanic("no worker produced a report".into()));
                     }
-                    Ok(envelopes)
-                },
-            );
+                    Ok(reports)
+                });
             coordination.map(|mut stats_out| {
                 stats_out.num_workers = n;
                 stats_out.program = program.name().to_string();
@@ -554,51 +669,27 @@ impl<P: PieProgram> GrapeEngine<P> {
             std::thread::scope(|scope| {
                 // ---------------- threaded driver ----------------
                 let mut handles = Vec::with_capacity(n);
-                for ((fragment, up_link), down_link) in
-                    fragments.iter().zip(up_workers).zip(down_workers)
-                {
+                for (fragment, wt) in fragments.iter().zip(worker_transports) {
                     let program = Arc::clone(&program);
-                    handles.push(scope.spawn(move || {
-                        let mut worker = WorkerRuntime::new(&*program, query, fragment, up_link);
-                        loop {
-                            let batch = down_link.recv_blocking();
-                            if batch.is_empty() {
-                                // Coordinator vanished; stop gracefully.
-                                return worker.into_partial();
-                            }
-                            for env in batch {
-                                if worker.handle(env.payload) {
-                                    return worker.into_partial();
-                                }
-                            }
-                        }
-                    }));
+                    handles.push(scope.spawn(move || run_worker(&*program, query, fragment, &wt)));
                 }
 
                 // ---------------- coordinator ----------------
-                let coordination = Self::coordinate(
-                    &program,
-                    &config,
-                    n,
-                    &mut slots,
-                    &down_coord,
-                    &stats,
-                    false,
-                    || {
-                        let envelopes = up_coord.recv_blocking();
-                        if envelopes.is_empty() {
+                let coordination =
+                    Self::coordinate(&program, &config, n, &mut slots, &coord, false, || {
+                        let reports = coord.recv_blocking();
+                        if reports.is_empty() {
                             return Err(RunError::WorkerPanic(
                                 "a worker disconnected before reporting".into(),
                             ));
                         }
-                        Ok(envelopes)
-                    },
-                );
+                        Ok(reports)
+                    });
 
                 // Always release the workers, even on error, so the scope can
                 // join them.
                 for f in 0..n {
-                    down_coord.send(f, CoordCommand::Finish);
+                    coord.send(f, CoordCommand::Finish);
                 }
                 let mut partials = Vec::with_capacity(n);
                 let mut panic_message = None;
@@ -623,36 +714,28 @@ impl<P: PieProgram> GrapeEngine<P> {
                 stats_out.program = program.name().to_string();
                 Ok((partials, stats_out))
             })
-        };
-
-        let (partials, mut stats_out) = run_result?;
-        let output = self.program.assemble(partials);
-        stats_out.wall_time = started.elapsed();
-        Ok(GrapeResult {
-            output,
-            stats: stats_out,
-        })
+        }
     }
 
     /// The coordinator's superstep loop. Returns the (partially filled) run
     /// statistics once the fixpoint is reached.
     ///
-    /// `pump` produces the next batch of worker reports: the threaded driver
-    /// blocks on the upstream network, the inline driver runs the workers.
-    /// `serialized` declares that the workers execute sequentially on the
-    /// caller's thread, in which case the critical path through a superstep
-    /// is the *sum* of the workers' evaluation times rather than their max.
-    #[allow(clippy::too_many_arguments)]
+    /// `pump` produces the next batch of worker reports: the threaded and
+    /// remote drivers block on the transport, the inline driver runs the
+    /// workers. `serialized` declares that the workers execute sequentially
+    /// on the caller's thread, in which case the critical path through a
+    /// superstep is the *sum* of the workers' evaluation times rather than
+    /// their max.
     fn coordinate(
         program: &Arc<P>,
         config: &EngineConfig,
         n: usize,
         slots: &mut SlotTable<P::Value>,
-        down_coord: &grape_comm::WorkerLink<CoordCommand<P::Value>>,
-        stats: &Arc<CommStats>,
+        transport: &impl CoordTransport<P::Value>,
         serialized: bool,
-        mut pump: impl FnMut() -> Result<Vec<grape_comm::Envelope<WorkerReport<P::Value>>>, RunError>,
+        mut pump: impl FnMut() -> Result<Vec<(usize, WorkerReport<P::Value>)>, RunError>,
     ) -> Result<RunStats, RunError> {
+        let stats: Arc<CommStats> = transport.comm_stats();
         let mut run_stats = RunStats::default();
         // Last folded value of each non-border vertex a program proposed,
         // kept only for the monotonicity diagnostic (border vertices use the
@@ -671,14 +754,14 @@ impl<P: PieProgram> GrapeEngine<P> {
         loop {
             // Gather the reports of every worker that evaluated this superstep.
             while reports.len() < pending {
-                for env in pump()? {
+                for (from, report) in pump()? {
                     let WorkerReport::Done {
                         changes,
                         strays,
                         eval_seconds,
                         ..
-                    } = env.payload;
-                    reports.push((env.from, changes, strays, eval_seconds));
+                    } = report;
+                    reports.push((from, changes, strays, eval_seconds));
                 }
             }
 
@@ -799,7 +882,7 @@ impl<P: PieProgram> GrapeEngine<P> {
             for (f, buffer) in outbox.iter_mut().enumerate() {
                 if !buffer.is_empty() {
                     let updates = std::mem::replace(buffer, pool.pop().unwrap_or_default());
-                    down_coord.send(f, CoordCommand::IncEval { superstep, updates });
+                    transport.send(f, CoordCommand::IncEval { superstep, updates });
                     pending += 1;
                 }
             }

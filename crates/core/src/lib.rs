@@ -38,14 +38,16 @@ pub mod engine;
 pub mod message;
 pub mod program;
 pub mod stats;
+pub mod transport;
 
 pub use context::PieContext;
-pub use engine::{EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
+pub use engine::{run_worker, EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
 pub use message::VertexValue;
 pub use program::PieProgram;
 pub use stats::{RunStats, SuperstepTrace};
+pub use transport::{CoordTransport, TransportKind, WorkerTransport};
 
 // Re-exports used by almost every PIE program.
-pub use grape_comm::MessageSize;
+pub use grape_comm::{MessageSize, Wire, WireError, WireReader};
 pub use grape_graph::VertexId;
 pub use grape_partition::{build_fragments, Fragment, FragmentId, PartitionAssignment};

@@ -8,8 +8,18 @@
 //! halves the id bytes on the wire (`u32` vs `u64`) and lets both endpoints
 //! fold updates into flat arrays with no hashing per superstep.
 
+use grape_comm::wire::{self, Wire, WireError, WireReader, HEADER_LEN};
 use grape_comm::MessageSize;
 use grape_graph::VertexId;
+
+/// Frame tag of [`CoordCommand::Init`].
+pub const TAG_INIT: u8 = 0x01;
+/// Frame tag of [`CoordCommand::IncEval`].
+pub const TAG_INCEVAL: u8 = 0x02;
+/// Frame tag of [`CoordCommand::Finish`].
+pub const TAG_FINISH: u8 = 0x03;
+/// Frame tag of [`WorkerReport::Done`].
+pub const TAG_REPORT: u8 = 0x10;
 
 /// A `(vertex, value)` pair: one changed update parameter, addressed by
 /// global vertex id. Used at the program-facing API boundary and for stray
@@ -21,7 +31,7 @@ pub type VertexValue<V> = (VertexId, V);
 pub type SlotValue<V> = (u32, V);
 
 /// Message from a worker to the coordinator at the end of a superstep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkerReport<V> {
     /// The worker finished its PEval / IncEval call.
     Done {
@@ -51,8 +61,60 @@ impl<V: MessageSize> MessageSize for WorkerReport<V> {
     }
 }
 
+impl<V: Wire> WorkerReport<V> {
+    /// Bytes a framed report occupies beyond its [`MessageSize`] estimate:
+    /// the frame header plus the `eval_seconds` bookkeeping field (shipped on
+    /// the wire, but deliberately not charged by the estimate).
+    pub const WIRE_OVERHEAD: usize = HEADER_LEN + 8;
+
+    /// Appends this report as one complete frame to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkerReport::Done {
+                superstep,
+                changes,
+                strays,
+                eval_seconds,
+            } => wire::encode_frame_with(TAG_REPORT, out, |out| {
+                superstep.encode(out);
+                changes.encode(out);
+                strays.encode(out);
+                eval_seconds.encode(out);
+            }),
+        }
+    }
+
+    /// Splits one framed report off the front of `buf`, returning it with
+    /// the number of bytes consumed. The payload must decode exactly —
+    /// trailing garbage inside the frame is a [`WireError::TrailingBytes`].
+    pub fn decode_frame(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let (tag, body, consumed) = wire::decode_frame(buf)?;
+        Ok((Self::decode_body(tag, body)?, consumed))
+    }
+
+    /// Decodes a report from an already-unframed `(tag, body)` pair, as
+    /// produced by [`wire::decode_frame`] / [`wire::read_frame_io`].
+    pub fn decode_body(tag: u8, body: &[u8]) -> Result<Self, WireError> {
+        if tag != TAG_REPORT {
+            return Err(WireError::BadTag { found: tag });
+        }
+        let mut reader = WireReader::new(body);
+        let superstep = usize::decode(&mut reader)?;
+        let changes = Vec::<SlotValue<V>>::decode(&mut reader)?;
+        let strays = Vec::<VertexValue<V>>::decode(&mut reader)?;
+        let eval_seconds = f64::decode(&mut reader)?;
+        reader.finish()?;
+        Ok(WorkerReport::Done {
+            superstep,
+            changes,
+            strays,
+            eval_seconds,
+        })
+    }
+}
+
 /// Message from the coordinator to a worker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CoordCommand<V> {
     /// One-time handshake sent before PEval: the slot id of each of the
     /// fragment's border vertices, aligned with
@@ -82,6 +144,60 @@ impl<V: MessageSize> MessageSize for CoordCommand<V> {
             CoordCommand::IncEval { updates, .. } => 8 + updates.size_bytes(),
             CoordCommand::Finish => 1,
         }
+    }
+}
+
+impl<V: Wire> CoordCommand<V> {
+    /// Bytes a framed command occupies beyond its [`MessageSize`] estimate:
+    /// exactly the frame header (command payloads encode to their estimated
+    /// size, byte for byte).
+    pub const WIRE_OVERHEAD: usize = HEADER_LEN;
+
+    /// Appends this command as one complete frame to `out`.
+    pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        match self {
+            CoordCommand::Init { border_slots } => wire::encode_frame(TAG_INIT, border_slots, out),
+            CoordCommand::IncEval { superstep, updates } => {
+                wire::encode_frame_with(TAG_INCEVAL, out, |out| {
+                    superstep.encode(out);
+                    updates.encode(out);
+                })
+            }
+            // A one-byte body, so the framed payload length equals the
+            // MessageSize estimate of 1.
+            CoordCommand::Finish => wire::encode_frame(TAG_FINISH, &0u8, out),
+        }
+    }
+
+    /// Splits one framed command off the front of `buf`, returning it with
+    /// the number of bytes consumed. Unknown tags are a
+    /// [`WireError::BadTag`]; partial input is a [`WireError::Truncated`];
+    /// leftover payload bytes are a [`WireError::TrailingBytes`].
+    pub fn decode_frame(buf: &[u8]) -> Result<(Self, usize), WireError> {
+        let (tag, body, consumed) = wire::decode_frame(buf)?;
+        Ok((Self::decode_body(tag, body)?, consumed))
+    }
+
+    /// Decodes a command from an already-unframed `(tag, body)` pair, as
+    /// produced by [`wire::decode_frame`] / [`wire::read_frame_io`].
+    pub fn decode_body(tag: u8, body: &[u8]) -> Result<Self, WireError> {
+        let mut reader = WireReader::new(body);
+        let command = match tag {
+            TAG_INIT => CoordCommand::Init {
+                border_slots: Vec::<u32>::decode(&mut reader)?,
+            },
+            TAG_INCEVAL => CoordCommand::IncEval {
+                superstep: usize::decode(&mut reader)?,
+                updates: Vec::<SlotValue<V>>::decode(&mut reader)?,
+            },
+            TAG_FINISH => {
+                reader.u8()?;
+                CoordCommand::Finish
+            }
+            other => return Err(WireError::BadTag { found: other }),
+        };
+        reader.finish()?;
+        Ok(command)
     }
 }
 
@@ -123,6 +239,94 @@ mod tests {
         assert_eq!(i.size_bytes(), 4 + 3 * 4);
         let f: CoordCommand<u64> = CoordCommand::Finish;
         assert_eq!(f.size_bytes(), 1);
+    }
+
+    #[test]
+    fn command_frames_roundtrip_bit_identically() {
+        let commands: Vec<CoordCommand<f64>> = vec![
+            CoordCommand::Init {
+                border_slots: vec![3, 1, 4, 1, 5],
+            },
+            CoordCommand::IncEval {
+                superstep: 42,
+                updates: vec![(7, 2.5), (9, f64::INFINITY)],
+            },
+            CoordCommand::Finish,
+        ];
+        for command in &commands {
+            let mut frame = Vec::new();
+            command.encode_frame(&mut frame);
+            // Framed size = estimate + header, exactly.
+            assert_eq!(
+                frame.len(),
+                command.size_bytes() + CoordCommand::<f64>::WIRE_OVERHEAD
+            );
+            let (back, consumed) = CoordCommand::<f64>::decode_frame(&frame).unwrap();
+            assert_eq!(&back, command);
+            assert_eq!(consumed, frame.len());
+        }
+        // Frames are self-delimiting: a concatenated stream splits cleanly.
+        let mut stream = Vec::new();
+        for command in &commands {
+            command.encode_frame(&mut stream);
+        }
+        let mut offset = 0;
+        for command in &commands {
+            let (back, consumed) = CoordCommand::<f64>::decode_frame(&stream[offset..]).unwrap();
+            assert_eq!(&back, command);
+            offset += consumed;
+        }
+        assert_eq!(offset, stream.len());
+    }
+
+    #[test]
+    fn report_frames_roundtrip_and_charge_exact_overhead() {
+        let report: WorkerReport<f64> = WorkerReport::Done {
+            superstep: 3,
+            changes: vec![(1, 1.0), (2, f64::NEG_INFINITY)],
+            strays: vec![(77, 0.25)],
+            eval_seconds: 0.125,
+        };
+        let mut frame = Vec::new();
+        report.encode_frame(&mut frame);
+        // Framed size = estimate + header + the uncharged eval_seconds field.
+        assert_eq!(
+            frame.len(),
+            report.size_bytes() + WorkerReport::<f64>::WIRE_OVERHEAD
+        );
+        let (back, consumed) = WorkerReport::<f64>::decode_frame(&frame).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn decoding_rejects_wrong_tags_and_garbage() {
+        let mut report_frame = Vec::new();
+        WorkerReport::<f64>::Done {
+            superstep: 0,
+            changes: vec![],
+            strays: vec![],
+            eval_seconds: 0.0,
+        }
+        .encode_frame(&mut report_frame);
+        // A report frame is not a command.
+        assert!(matches!(
+            CoordCommand::<f64>::decode_frame(&report_frame),
+            Err(WireError::BadTag { found: TAG_REPORT })
+        ));
+        // Truncation anywhere in the frame is detected.
+        let err = WorkerReport::<f64>::decode_frame(&report_frame[..report_frame.len() - 1]);
+        assert!(matches!(err, Err(WireError::Truncated { .. })));
+        // Garbage appended *inside* the declared payload is trailing bytes.
+        let mut inflated = Vec::new();
+        CoordCommand::<f64>::Finish.encode_frame(&mut inflated);
+        let len = u32::from_le_bytes(inflated[4..8].try_into().unwrap());
+        inflated.push(0xab);
+        inflated[4..8].copy_from_slice(&(len + 1).to_le_bytes());
+        assert!(matches!(
+            CoordCommand::<f64>::decode_frame(&inflated),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The PIE program trait.
 
 use crate::context::PieContext;
-use grape_comm::MessageSize;
+use grape_comm::{MessageSize, Wire};
 use grape_graph::VertexId;
 use grape_partition::Fragment;
 use std::fmt::Debug;
@@ -22,8 +22,10 @@ pub trait PieProgram: Send + Sync {
     type VertexData: Clone + Default + Send + Sync;
     /// Edge payload of the graphs this program runs on.
     type EdgeData: Clone + Send + Sync;
-    /// Domain of the update parameters attached to border vertices.
-    type Value: Clone + PartialEq + Debug + Send + MessageSize;
+    /// Domain of the update parameters attached to border vertices. The
+    /// [`Wire`] bound gives every value a canonical frame encoding, so any
+    /// program can run over the framed / multi-process transports unchanged.
+    type Value: Clone + PartialEq + Debug + Send + MessageSize + Wire + 'static;
     /// Per-fragment partial result maintained across supersteps.
     type Partial: Send;
     /// Final query answer produced by [`PieProgram::assemble`].

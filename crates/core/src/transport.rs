@@ -1,0 +1,715 @@
+//! Pluggable transports between the coordinator and its workers.
+//!
+//! The BSP exchange of [`crate::GrapeEngine`] is expressed against two small
+//! traits — [`CoordTransport`] (the coordinator's view: send commands, gather
+//! reports) and [`WorkerTransport`] (a worker's view: receive commands, send
+//! reports) — so the *same* engine drives three very different fabrics:
+//!
+//! * **Typed channels** ([`typed_channel_pair`]): the original in-process
+//!   backend. Messages move as typed values through
+//!   [`grape_comm::CommNetwork`]; byte accounting uses the
+//!   [`MessageSize`] *estimates*.
+//! * **Framed channels** ([`framed_channel_pair`]): every message is encoded
+//!   into a length-prefixed wire frame ([`grape_comm::wire`]), moved as raw
+//!   bytes, and decoded on the far side. Semantically identical to the typed
+//!   backend — property tests pin the results bit-identical — but the byte
+//!   accounting now reports **actual framed bytes** (payload + header), and
+//!   every message round-trips through the exact codec a multi-process
+//!   deployment uses.
+//! * **Framed streams** ([`FramedStreamCoord`] / [`FramedStreamWorker`]):
+//!   the same frames over `std::net` TCP or Unix-domain sockets, for workers
+//!   that live in other OS processes (see the `grape-worker` binary).
+//!
+//! The engine picks between the first two via
+//! [`crate::EngineConfig::transport`]; the stream transports are used with
+//! [`crate::GrapeEngine::run_coordinator`] and [`crate::engine::run_worker`].
+
+use crate::message::{CoordCommand, WorkerReport};
+use grape_comm::wire::{self, Frame, Wire};
+use grape_comm::{CommNetwork, CommStats, MessageSize, WorkerLink, COORDINATOR};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// Which in-process transport backend the engine uses.
+///
+/// Both backends run the identical BSP exchange — same handshake, same
+/// messages, same results — only the representation in flight differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Typed values through in-process channels; byte accounting uses
+    /// [`MessageSize`] estimates. The fastest backend.
+    #[default]
+    InProcess,
+    /// Every message is encoded to a wire frame and decoded on arrival; byte
+    /// accounting reports actual framed bytes. This is the codec-exercising
+    /// backend — what a multi-process deployment ships, minus the kernel.
+    Framed,
+}
+
+/// The coordinator's endpoint of a transport.
+pub trait CoordTransport<V>: Send {
+    /// Sends `command` to worker `worker`.
+    fn send(&self, worker: usize, command: CoordCommand<V>);
+
+    /// Blocks until at least one report arrives, then drains the rest.
+    /// An empty vector means every worker has disconnected.
+    fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)>;
+
+    /// Drains the reports that have already arrived, without blocking.
+    fn drain(&self) -> Vec<(usize, WorkerReport<V>)>;
+
+    /// The counters this transport records its traffic into.
+    fn comm_stats(&self) -> Arc<CommStats>;
+}
+
+/// One worker's endpoint of a transport.
+pub trait WorkerTransport<V>: Send {
+    /// Sends `report` to the coordinator.
+    fn send(&self, report: WorkerReport<V>);
+
+    /// Blocks until at least one command arrives, then drains the rest.
+    /// An empty vector means the coordinator has disconnected.
+    fn recv_blocking(&self) -> Vec<CoordCommand<V>>;
+}
+
+/// A worker endpoint that can also be polled without blocking — required by
+/// the engine's inline driver, which multiplexes every worker onto one
+/// thread. Channel-backed transports implement it; socket streams do not.
+pub trait DrainableWorkerTransport<V>: WorkerTransport<V> {
+    /// Drains the commands that have already arrived, without blocking.
+    fn drain(&self) -> Vec<CoordCommand<V>>;
+}
+
+// ---------------------------------------------------------------------------
+// Typed in-process channels (the original backend).
+// ---------------------------------------------------------------------------
+
+/// Coordinator endpoint of the typed in-process backend.
+#[derive(Debug)]
+pub struct TypedChannelCoord<V> {
+    down: WorkerLink<CoordCommand<V>>,
+    up: WorkerLink<WorkerReport<V>>,
+}
+
+/// Worker endpoint of the typed in-process backend.
+#[derive(Debug)]
+pub struct TypedChannelWorker<V> {
+    down: WorkerLink<CoordCommand<V>>,
+    up: WorkerLink<WorkerReport<V>>,
+}
+
+/// Builds the typed in-process transport for `n` workers, recording into
+/// `stats`.
+pub fn typed_channel_pair<V: MessageSize + Send>(
+    n: usize,
+    stats: Arc<CommStats>,
+) -> (TypedChannelCoord<V>, Vec<TypedChannelWorker<V>>) {
+    let up = CommNetwork::<WorkerReport<V>>::with_stats(n, Arc::clone(&stats));
+    let down = CommNetwork::<CoordCommand<V>>::with_stats(n, stats);
+    let (up_coord, up_workers) = up.split();
+    let (down_coord, down_workers) = down.split();
+    let workers = down_workers
+        .into_iter()
+        .zip(up_workers)
+        .map(|(down, up)| TypedChannelWorker { down, up })
+        .collect();
+    (
+        TypedChannelCoord {
+            down: down_coord,
+            up: up_coord,
+        },
+        workers,
+    )
+}
+
+impl<V: MessageSize + Send> CoordTransport<V> for TypedChannelCoord<V> {
+    fn send(&self, worker: usize, command: CoordCommand<V>) {
+        self.down.send(worker, command);
+    }
+
+    fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.up
+            .recv_blocking()
+            .into_iter()
+            .map(|env| (env.from, env.payload))
+            .collect()
+    }
+
+    fn drain(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.up
+            .drain()
+            .into_iter()
+            .map(|env| (env.from, env.payload))
+            .collect()
+    }
+
+    fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(self.up.stats())
+    }
+}
+
+impl<V: MessageSize + Send> WorkerTransport<V> for TypedChannelWorker<V> {
+    fn send(&self, report: WorkerReport<V>) {
+        self.up.send(COORDINATOR, report);
+    }
+
+    fn recv_blocking(&self) -> Vec<CoordCommand<V>> {
+        self.down
+            .recv_blocking()
+            .into_iter()
+            .map(|env| env.payload)
+            .collect()
+    }
+}
+
+impl<V: MessageSize + Send> DrainableWorkerTransport<V> for TypedChannelWorker<V> {
+    fn drain(&self) -> Vec<CoordCommand<V>> {
+        self.down
+            .drain()
+            .into_iter()
+            .map(|env| env.payload)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framed in-process channels: encode → byte channel → decode.
+// ---------------------------------------------------------------------------
+
+/// Coordinator endpoint of the framed backend. Every command is encoded to a
+/// [`Frame`] before the channel and every report decoded after it, so the
+/// full wire codec is on the hot path and the recorded bytes are the actual
+/// frame lengths.
+#[derive(Debug)]
+pub struct FramedChannelCoord<V> {
+    down: WorkerLink<Frame>,
+    up: WorkerLink<Frame>,
+    _values: PhantomData<fn() -> V>,
+}
+
+/// Worker endpoint of the framed backend.
+#[derive(Debug)]
+pub struct FramedChannelWorker<V> {
+    down: WorkerLink<Frame>,
+    up: WorkerLink<Frame>,
+    _values: PhantomData<fn() -> V>,
+}
+
+/// Builds the framed in-process transport for `n` workers, recording into
+/// `stats` (actual framed bytes, not estimates).
+pub fn framed_channel_pair<V: Wire + Send>(
+    n: usize,
+    stats: Arc<CommStats>,
+) -> (FramedChannelCoord<V>, Vec<FramedChannelWorker<V>>) {
+    let up = CommNetwork::<Frame>::with_stats(n, Arc::clone(&stats));
+    let down = CommNetwork::<Frame>::with_stats(n, stats);
+    let (up_coord, up_workers) = up.split();
+    let (down_coord, down_workers) = down.split();
+    let workers = down_workers
+        .into_iter()
+        .zip(up_workers)
+        .map(|(down, up)| FramedChannelWorker {
+            down,
+            up,
+            _values: PhantomData,
+        })
+        .collect();
+    (
+        FramedChannelCoord {
+            down: down_coord,
+            up: up_coord,
+            _values: PhantomData,
+        },
+        workers,
+    )
+}
+
+/// Framed channels are an in-process fabric: a frame that fails to decode is
+/// an engine bug, not an I/O condition, so the decode path panics with the
+/// wire error rather than threading `Result`s through the BSP loop.
+fn expect_report<V: Wire>(frame: &Frame) -> WorkerReport<V> {
+    WorkerReport::decode_frame(&frame.0)
+        .expect("framed channel carried an undecodable report frame")
+        .0
+}
+
+fn expect_command<V: Wire>(frame: &Frame) -> CoordCommand<V> {
+    CoordCommand::decode_frame(&frame.0)
+        .expect("framed channel carried an undecodable command frame")
+        .0
+}
+
+impl<V: Wire + Send> CoordTransport<V> for FramedChannelCoord<V> {
+    fn send(&self, worker: usize, command: CoordCommand<V>) {
+        let mut bytes = Vec::new();
+        command.encode_frame(&mut bytes);
+        self.down.send(worker, Frame(bytes));
+    }
+
+    fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.up
+            .recv_blocking()
+            .into_iter()
+            .map(|env| (env.from, expect_report(&env.payload)))
+            .collect()
+    }
+
+    fn drain(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.up
+            .drain()
+            .into_iter()
+            .map(|env| (env.from, expect_report(&env.payload)))
+            .collect()
+    }
+
+    fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(self.up.stats())
+    }
+}
+
+impl<V: Wire + Send> WorkerTransport<V> for FramedChannelWorker<V> {
+    fn send(&self, report: WorkerReport<V>) {
+        let mut bytes = Vec::new();
+        report.encode_frame(&mut bytes);
+        self.up.send(COORDINATOR, Frame(bytes));
+    }
+
+    fn recv_blocking(&self) -> Vec<CoordCommand<V>> {
+        self.down
+            .recv_blocking()
+            .into_iter()
+            .map(|env| expect_command(&env.payload))
+            .collect()
+    }
+}
+
+impl<V: Wire + Send> DrainableWorkerTransport<V> for FramedChannelWorker<V> {
+    fn drain(&self) -> Vec<CoordCommand<V>> {
+        self.down
+            .drain()
+            .into_iter()
+            .map(|env| expect_command(&env.payload))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framed byte streams: the same frames over TCP / Unix-domain sockets.
+// ---------------------------------------------------------------------------
+
+/// A duplex byte stream that can be split into independently owned read and
+/// write halves (both referring to the same connection), as `std::net`
+/// sockets can via `try_clone`.
+pub trait SplitStream: Read + Write + Send + Sized + 'static {
+    /// Splits into `(read half, write half)`.
+    fn split(self) -> io::Result<(Self, Self)>;
+}
+
+impl SplitStream for std::net::TcpStream {
+    fn split(self) -> io::Result<(Self, Self)> {
+        let read = self.try_clone()?;
+        Ok((read, self))
+    }
+}
+
+#[cfg(unix)]
+impl SplitStream for std::os::unix::net::UnixStream {
+    fn split(self) -> io::Result<(Self, Self)> {
+        let read = self.try_clone()?;
+        Ok((read, self))
+    }
+}
+
+/// An out-of-band frame received by [`FramedStreamCoord`]: a frame whose tag
+/// the BSP protocol does not know, surfaced raw so higher-level drivers can
+/// run side protocols (e.g. the `grape-worker` result digests) over the same
+/// connection.
+pub type OobFrame = (usize, u8, Vec<u8>);
+
+enum StreamEvent<V> {
+    Report(usize, WorkerReport<V>),
+    Oob(OobFrame),
+    /// The worker's reader thread exited (EOF, I/O error, or a corrupt
+    /// frame). Explicit, so the coordinator notices a single lost worker —
+    /// the channel itself only disconnects when *every* reader is gone.
+    Disconnected(usize),
+}
+
+/// Coordinator endpoint over framed byte streams (one stream per worker).
+///
+/// One reader thread per connection decodes incoming frames; report frames
+/// feed the BSP loop, any other tag is parked on an out-of-band queue
+/// ([`FramedStreamCoord::recv_oob_blocking`]). Sends go straight to the
+/// connection's buffered writer. Bytes recorded in the [`CommStats`] are the
+/// actual frame lengths, both directions.
+pub struct FramedStreamCoord<V> {
+    writers: Vec<Mutex<BufWriter<Box<dyn Write + Send>>>>,
+    inbox: std::sync::mpsc::Receiver<StreamEvent<V>>,
+    oob: Mutex<Vec<OobFrame>>,
+    /// Sticky: a worker connection died while the BSP loop still ran. Once
+    /// set, `recv_blocking` returns empty immediately so the coordinator
+    /// surfaces a worker failure instead of waiting forever for a report
+    /// that cannot come.
+    lost: std::sync::atomic::AtomicBool,
+    stats: Arc<CommStats>,
+}
+
+impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
+    /// Wraps `streams` (one accepted connection per worker, in worker
+    /// order), spawning a reader thread per connection.
+    pub fn new<S: SplitStream>(streams: Vec<S>, stats: Arc<CommStats>) -> io::Result<Self> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut writers = Vec::with_capacity(streams.len());
+        for (worker, stream) in streams.into_iter().enumerate() {
+            let (read_half, write_half) = stream.split()?;
+            writers.push(Mutex::new(BufWriter::new(
+                Box::new(write_half) as Box<dyn Write + Send>
+            )));
+            let tx = tx.clone();
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(read_half);
+                while let Ok(Some((tag, body))) = wire::read_frame_io(&mut reader) {
+                    stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
+                    let event = if tag == crate::message::TAG_REPORT {
+                        match WorkerReport::<V>::decode_body(tag, &body) {
+                            Ok(report) => StreamEvent::Report(worker, report),
+                            Err(err) => {
+                                eprintln!(
+                                    "coordinator: corrupt report frame from worker {worker}: {err}"
+                                );
+                                break;
+                            }
+                        }
+                    } else {
+                        // Frames outside the BSP protocol go to the driver.
+                        StreamEvent::Oob((worker, tag, body))
+                    };
+                    if tx.send(event).is_err() {
+                        return; // Coordinator gone; stop reading.
+                    }
+                }
+                // EOF, I/O error or corrupt frame: tell the coordinator this
+                // worker is gone so it never blocks on a report from it.
+                let _ = tx.send(StreamEvent::Disconnected(worker));
+            });
+        }
+        Ok(Self {
+            writers,
+            inbox: rx,
+            oob: Mutex::new(Vec::new()),
+            lost: std::sync::atomic::AtomicBool::new(false),
+            stats,
+        })
+    }
+
+    fn sort_event(&self, event: StreamEvent<V>, out: &mut Vec<(usize, WorkerReport<V>)>) {
+        match event {
+            StreamEvent::Report(from, report) => out.push((from, report)),
+            StreamEvent::Oob(frame) => self.oob.lock().unwrap().push(frame),
+            // During the BSP loop a vanished worker is fatal: remember it so
+            // every later receive fails fast instead of blocking. (This arm
+            // only runs mid-loop — post-run hang-ups go through
+            // `recv_oob_blocking`, which treats them as normal.)
+            StreamEvent::Disconnected(worker) => {
+                eprintln!("coordinator: worker {worker} disconnected mid-run");
+                self.lost.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Blocks until an out-of-band frame (any non-report tag) arrives from
+    /// any worker. Returns `None` when every connection has closed first.
+    /// (Connection closes are expected here — this runs after the BSP loop,
+    /// when workers finish and hang up.)
+    pub fn recv_oob_blocking(&self) -> Option<OobFrame> {
+        loop {
+            if let Some(frame) = {
+                let mut oob = self.oob.lock().unwrap();
+                if oob.is_empty() {
+                    None
+                } else {
+                    Some(oob.remove(0))
+                }
+            } {
+                return Some(frame);
+            }
+            match self.inbox.recv() {
+                Ok(StreamEvent::Oob(frame)) => return Some(frame),
+                Ok(StreamEvent::Report(from, _)) => {
+                    // A late report while waiting for OOB traffic would be a
+                    // protocol error by the worker; drop it loudly.
+                    eprintln!("discarding post-run report from worker {from}");
+                }
+                // Normal post-run hang-up; when the last reader exits the
+                // channel disconnects and recv() errors below.
+                Ok(StreamEvent::Disconnected(_)) => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
+    fn send(&self, worker: usize, command: CoordCommand<V>) {
+        let mut frame = Vec::new();
+        command.encode_frame(&mut frame);
+        let mut writer = self.writers[worker].lock().unwrap();
+        // A vanished worker surfaces as an empty recv later; sends must not
+        // panic mid-superstep.
+        if writer
+            .write_all(&frame)
+            .and_then(|_| writer.flush())
+            .is_ok()
+        {
+            self.stats.record(1, frame.len() as u64);
+        }
+    }
+
+    fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)> {
+        use std::sync::atomic::Ordering;
+        let mut out = Vec::new();
+        // A worker already died mid-run: fail fast (the coordinator turns an
+        // empty receive into a WorkerPanic) instead of waiting for a report
+        // that can never arrive.
+        if self.lost.load(Ordering::SeqCst) {
+            return out;
+        }
+        while out.is_empty() && !self.lost.load(Ordering::SeqCst) {
+            match self.inbox.recv() {
+                Ok(event) => self.sort_event(event, &mut out),
+                Err(_) => return out, // every reader thread has exited
+            }
+        }
+        while let Ok(event) = self.inbox.try_recv() {
+            self.sort_event(event, &mut out);
+        }
+        out
+    }
+
+    fn drain(&self) -> Vec<(usize, WorkerReport<V>)> {
+        let mut out = Vec::new();
+        while let Ok(event) = self.inbox.try_recv() {
+            self.sort_event(event, &mut out);
+        }
+        out
+    }
+
+    fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// Worker endpoint over one framed byte stream to the coordinator.
+pub struct FramedStreamWorker<V> {
+    reader: Mutex<BufReader<Box<dyn Read + Send>>>,
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    /// Why the command stream ended, when it ended without a Finish: the
+    /// error text, or the bare close. `recv_blocking` must return an empty
+    /// batch in both cases (the worker loop's stop signal), but drivers need
+    /// to distinguish "run complete" from "run torn down" before reporting
+    /// success — see [`FramedStreamWorker::disconnect_reason`].
+    disconnect: Mutex<Option<String>>,
+    stats: Arc<CommStats>,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V: Wire + Send> FramedStreamWorker<V> {
+    /// Wraps the worker's connection to the coordinator.
+    pub fn new<S: SplitStream>(stream: S, stats: Arc<CommStats>) -> io::Result<Self> {
+        let (read_half, write_half) = stream.split()?;
+        Ok(Self {
+            reader: Mutex::new(BufReader::new(Box::new(read_half) as Box<dyn Read + Send>)),
+            writer: Mutex::new(BufWriter::new(Box::new(write_half) as Box<dyn Write + Send>)),
+            disconnect: Mutex::new(None),
+            stats: stats.clone(),
+            _values: PhantomData,
+        })
+    }
+
+    /// This endpoint's communication counters (frames and actual bytes, both
+    /// directions).
+    pub fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Why the command stream ended, if it ended *without* a Finish command:
+    /// a connection error, an undecodable frame, or a bare close. `None`
+    /// while the stream is healthy — i.e. after a clean Finish-terminated
+    /// run. Drivers must check this before treating a finished worker loop
+    /// as a successful run.
+    pub fn disconnect_reason(&self) -> Option<String> {
+        self.disconnect.lock().unwrap().clone()
+    }
+
+    /// Sends a raw out-of-band frame (any tag outside the BSP protocol) to
+    /// the coordinator, for driver-level side protocols.
+    pub fn send_oob<T: Wire>(&self, tag: u8, value: &T) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap();
+        let written = wire::write_frame_io(&mut *writer, tag, value)?;
+        writer.flush()?;
+        self.stats.record(1, written as u64);
+        Ok(())
+    }
+}
+
+impl<V: Wire + Send> WorkerTransport<V> for FramedStreamWorker<V> {
+    fn send(&self, report: WorkerReport<V>) {
+        let mut frame = Vec::new();
+        report.encode_frame(&mut frame);
+        let mut writer = self.writer.lock().unwrap();
+        if writer
+            .write_all(&frame)
+            .and_then(|_| writer.flush())
+            .is_ok()
+        {
+            self.stats.record(1, frame.len() as u64);
+        }
+    }
+
+    fn recv_blocking(&self) -> Vec<CoordCommand<V>> {
+        let mut reader = self.reader.lock().unwrap();
+        // The empty batch is the worker loop's stop signal; record *why* the
+        // stream ended so the driver can tell a torn-down run from success.
+        let reason = match wire::read_frame_io(&mut *reader) {
+            Ok(Some((tag, body))) => {
+                self.stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
+                match CoordCommand::decode_body(tag, &body) {
+                    Ok(command) => return vec![command],
+                    Err(err) => format!("undecodable command frame: {err}"),
+                }
+            }
+            Ok(None) => "connection closed before Finish".to_string(),
+            Err(err) => format!("connection error: {err}"),
+        };
+        eprintln!("worker: {reason}");
+        *self.disconnect.lock().unwrap() = Some(reason);
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(superstep: usize, changes: Vec<(u32, f64)>) -> WorkerReport<f64> {
+        WorkerReport::Done {
+            superstep,
+            changes,
+            strays: vec![],
+            eval_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn typed_and_framed_channel_pairs_deliver_identically() {
+        for kind in [TransportKind::InProcess, TransportKind::Framed] {
+            let stats = Arc::new(CommStats::new());
+            let command = CoordCommand::IncEval {
+                superstep: 1,
+                updates: vec![(0u32, 1.5f64), (3, 2.5)],
+            };
+            let sent_report = report(1, vec![(7, 0.5)]);
+            let (got_commands, got_reports, bytes) = match kind {
+                TransportKind::InProcess => {
+                    let (coord, workers) = typed_channel_pair::<f64>(2, Arc::clone(&stats));
+                    coord.send(1, command.clone());
+                    let got = workers[1].drain();
+                    workers[1].send(sent_report.clone());
+                    (got, coord.recv_blocking(), stats.bytes())
+                }
+                TransportKind::Framed => {
+                    let (coord, workers) = framed_channel_pair::<f64>(2, Arc::clone(&stats));
+                    coord.send(1, command.clone());
+                    let got = workers[1].drain();
+                    workers[1].send(sent_report.clone());
+                    (got, coord.recv_blocking(), stats.bytes())
+                }
+            };
+            assert_eq!(got_commands, vec![command.clone()]);
+            assert_eq!(got_reports, vec![(1usize, sent_report.clone())]);
+            match kind {
+                // Estimated: payload sizes only.
+                TransportKind::InProcess => assert_eq!(
+                    bytes,
+                    (command.size_bytes() + sent_report.size_bytes()) as u64
+                ),
+                // Actual: payload + per-message wire overhead.
+                TransportKind::Framed => assert_eq!(
+                    bytes,
+                    (command.size_bytes()
+                        + CoordCommand::<f64>::WIRE_OVERHEAD
+                        + sent_report.size_bytes()
+                        + WorkerReport::<f64>::WIRE_OVERHEAD) as u64
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn a_lost_worker_fails_the_receive_instead_of_hanging() {
+        // Two workers; one dies mid-run while the other stays connected.
+        // recv_blocking must fail fast (empty batch → the engine's
+        // WorkerPanic) rather than block forever on the survivor's channel.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dead = std::thread::spawn(move || {
+            // Connects and hangs up without ever reporting.
+            drop(std::net::TcpStream::connect(addr).unwrap());
+        });
+        let survivor_conn = std::net::TcpStream::connect(addr).unwrap();
+        let survivor =
+            FramedStreamWorker::<f64>::new(survivor_conn, Arc::new(CommStats::new())).unwrap();
+        let mut streams = Vec::new();
+        for _ in 0..2 {
+            streams.push(listener.accept().unwrap().0);
+        }
+        let coord = FramedStreamCoord::<f64>::new(streams, Arc::new(CommStats::new())).unwrap();
+        dead.join().unwrap();
+        // Wait until the disconnect has been noticed (first call may still
+        // deliver nothing but must not block forever).
+        let got = coord.recv_blocking();
+        assert!(got.is_empty(), "no worker reported anything: {got:?}");
+        // Sticky: every later receive fails immediately too.
+        assert!(coord.recv_blocking().is_empty());
+        drop(survivor);
+    }
+
+    #[test]
+    fn framed_streams_round_trip_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let worker =
+                FramedStreamWorker::<f64>::new(stream, Arc::new(CommStats::new())).unwrap();
+            let commands = worker.recv_blocking();
+            assert_eq!(commands.len(), 1);
+            worker.send(report(0, vec![(1, 9.0)]));
+            worker.send_oob(0x77, &String::from("digest")).unwrap();
+            // The coordinator releases the worker with Finish; the worker
+            // exits and its socket close unblocks the reader thread.
+            assert_eq!(worker.recv_blocking(), vec![CoordCommand::Finish]);
+        });
+        let (accepted, _) = listener.accept().unwrap();
+        let stats = Arc::new(CommStats::new());
+        let coord = FramedStreamCoord::<f64>::new(vec![accepted], Arc::clone(&stats)).unwrap();
+        coord.send(
+            0,
+            CoordCommand::Init {
+                border_slots: vec![0, 1],
+            },
+        );
+        let reports = coord.recv_blocking();
+        assert_eq!(reports, vec![(0usize, report(0, vec![(1, 9.0)]))]);
+        let (from, tag, body) = coord.recv_oob_blocking().unwrap();
+        assert_eq!((from, tag), (0, 0x77));
+        let mut reader = wire::WireReader::new(&body);
+        assert_eq!(String::decode(&mut reader).unwrap(), "digest");
+        // Both directions were recorded with their actual frame lengths.
+        assert_eq!(stats.messages(), 3);
+        coord.send(0, CoordCommand::Finish);
+        client.join().unwrap();
+    }
+}

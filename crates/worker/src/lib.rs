@@ -1,0 +1,562 @@
+//! # grape-worker
+//!
+//! Runs GRAPE workers as **separate OS processes**, speaking the framed wire
+//! protocol of [`grape_comm::wire`] over TCP or Unix-domain sockets.
+//!
+//! The division of labour mirrors the paper's deployment: a coordinator
+//! process owns the graph, partitions it, and drives the BSP fixpoint
+//! ([`grape_core::GrapeEngine::run_coordinator`]); each worker process owns
+//! one fragment and runs the *unchanged* PIE program through
+//! [`grape_core::run_worker`] — the same function the in-process threaded
+//! driver uses, pointed at a socket instead of a channel.
+//!
+//! ## Session protocol
+//!
+//! 1. the worker connects and the coordinator sends one [`TAG_JOB`] frame:
+//!    a [`JobSpec`] naming the algorithm, the (deterministic) graph, the
+//!    partition strategy, the worker count and this worker's fragment index;
+//! 2. the worker rebuilds graph + fragment locally (generation is seeded and
+//!    cross-process deterministic since PR 3) and enters the BSP loop:
+//!    `Init` → PEval report → (`IncEval` → report)* → `Finish`;
+//! 3. after `Finish` the worker assembles its own partial result, sends a
+//!    [`TAG_DIGEST`] frame (an order-independent FNV digest of the
+//!    `(vertex, value-bits)` pairs), and exits. The coordinator collects one
+//!    digest per worker, which the tests compare bit-for-bit against an
+//!    in-process run of the same job.
+
+#![warn(missing_docs)]
+
+use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
+use grape_comm::wire::{self, Wire, WireError, WireReader};
+use grape_comm::CommStats;
+use grape_core::transport::{
+    framed_channel_pair, FramedStreamCoord, FramedStreamWorker, SplitStream,
+};
+use grape_core::{run_worker, GrapeEngine, PieProgram, RunStats};
+use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+use grape_graph::{VertexId, WeightedGraph};
+use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// Frame tag of the coordinator→worker [`JobSpec`] handshake.
+pub const TAG_JOB: u8 = 0x20;
+/// Frame tag of the worker→coordinator result digest.
+pub const TAG_DIGEST: u8 = 0x21;
+
+/// A deterministic graph recipe both endpoints can rebuild independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// `road_network(width × height, seed)` with default lake/shortcut
+    /// probabilities.
+    Road {
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `barabasi_albert(n, m, seed)`.
+    Ba {
+        /// Number of vertices.
+        n: u32,
+        /// Edges per new vertex.
+        m: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl Wire for GraphSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GraphSpec::Road {
+                width,
+                height,
+                seed,
+            } => {
+                0u8.encode(out);
+                width.encode(out);
+                height.encode(out);
+                seed.encode(out);
+            }
+            GraphSpec::Ba { n, m, seed } => {
+                1u8.encode(out);
+                n.encode(out);
+                m.encode(out);
+                seed.encode(out);
+            }
+        }
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match reader.u8()? {
+            0 => Ok(GraphSpec::Road {
+                width: reader.u32()?,
+                height: reader.u32()?,
+                seed: reader.u64()?,
+            }),
+            1 => Ok(GraphSpec::Ba {
+                n: reader.u32()?,
+                m: reader.u32()?,
+                seed: reader.u64()?,
+            }),
+            other => Err(WireError::BadTag { found: other }),
+        }
+    }
+}
+
+impl GraphSpec {
+    /// Parses `road:WxH:SEED` or `ba:N:M:SEED`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = text.split(':').collect();
+        let num = |s: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+        };
+        match parts.as_slice() {
+            ["road", dims, seed] => {
+                let (w, h) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad dimensions {dims:?}, expected WxH"))?;
+                Ok(GraphSpec::Road {
+                    width: num(w)? as u32,
+                    height: num(h)? as u32,
+                    seed: num(seed)?,
+                })
+            }
+            ["ba", n, m, seed] => Ok(GraphSpec::Ba {
+                n: num(n)? as u32,
+                m: num(m)? as u32,
+                seed: num(seed)?,
+            }),
+            _ => Err(format!(
+                "bad graph spec {text:?}; expected road:WxH:SEED or ba:N:M:SEED"
+            )),
+        }
+    }
+
+    /// Builds the graph this spec describes.
+    pub fn build(&self) -> WeightedGraph {
+        match self {
+            GraphSpec::Road {
+                width,
+                height,
+                seed,
+            } => road_network(
+                RoadNetworkConfig {
+                    width: *width as usize,
+                    height: *height as usize,
+                    ..Default::default()
+                },
+                *seed,
+            )
+            .expect("valid road-network spec"),
+            GraphSpec::Ba { n, m, seed } => {
+                barabasi_albert(*n as usize, *m as usize, *seed).expect("valid BA spec")
+            }
+        }
+    }
+}
+
+/// Everything a worker process needs to participate in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Algorithm name: `sssp`, `cc` or `pagerank`.
+    pub algo: String,
+    /// The graph both endpoints rebuild.
+    pub graph: GraphSpec,
+    /// Partition strategy name (a [`BuiltinStrategy::name`]).
+    pub strategy: String,
+    /// Total number of workers / fragments.
+    pub workers: u32,
+    /// This worker's fragment index (set per connection by the coordinator).
+    pub index: u32,
+    /// SSSP source vertex (ignored by other algorithms).
+    pub source: u64,
+}
+
+impl Wire for JobSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.algo.encode(out);
+        self.graph.encode(out);
+        self.strategy.encode(out);
+        self.workers.encode(out);
+        self.index.encode(out);
+        self.source.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(JobSpec {
+            algo: String::decode(reader)?,
+            graph: GraphSpec::decode(reader)?,
+            strategy: String::decode(reader)?,
+            workers: reader.u32()?,
+            index: reader.u32()?,
+            source: reader.u64()?,
+        })
+    }
+}
+
+/// Looks up a partition strategy by its [`BuiltinStrategy::name`].
+pub fn strategy_by_name(name: &str) -> Option<BuiltinStrategy> {
+    BuiltinStrategy::all()
+        .iter()
+        .copied()
+        .find(|s| s.name() == name)
+}
+
+fn bad_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Order-independent FNV-1a digest of `(vertex, value-bits)` pairs: XOR of
+/// per-pair hashes, so iteration order (HashMap, process) cannot leak in.
+fn digest_pairs(pairs: impl Iterator<Item = (u64, u64)>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in pairs {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in k.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        acc ^= h;
+    }
+    acc
+}
+
+/// Digest of a vertex→`f64` result map (bit-exact on the values).
+pub fn digest_f64_map(map: &HashMap<VertexId, f64>) -> u64 {
+    digest_pairs(map.iter().map(|(&k, &v)| (k, v.to_bits())))
+}
+
+/// Digest of a vertex→vertex result map.
+pub fn digest_u64_map(map: &HashMap<VertexId, VertexId>) -> u64 {
+    digest_pairs(map.iter().map(|(&k, &v)| (k, v)))
+}
+
+/// The outcome of one coordinated run: the coordinator's statistics plus one
+/// result digest per worker (in worker order).
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Run statistics as reported by the coordinator (supersteps, messages,
+    /// actual wire bytes, timings).
+    pub stats: RunStats,
+    /// Per-worker digests of the fragments' assembled partial results.
+    pub digests: Vec<u64>,
+}
+
+/// Builds `job`'s graph and its fragments exactly as both endpoints must.
+/// The graph is returned alongside so callers never generate it twice
+/// (PageRank needs the global vertex count).
+fn job_fragments(job: &JobSpec) -> io::Result<(WeightedGraph, Vec<Fragment<(), f64>>)> {
+    let graph = job.graph.build();
+    let strategy = strategy_by_name(&job.strategy)
+        .ok_or_else(|| bad_data(format!("unknown strategy {:?}", job.strategy)))?;
+    let assignment = strategy.partition(&graph, job.workers as usize);
+    let fragments = build_fragments(&graph, &assignment);
+    Ok((graph, fragments))
+}
+
+/// Runs one worker over an already-established connection: reads the
+/// [`JobSpec`] frame, rebuilds its fragment, serves the BSP loop, sends the
+/// digest, and returns it.
+pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
+    let (tag, body) = wire::read_frame_io(&mut stream)?
+        .ok_or_else(|| bad_data("connection closed before the job spec"))?;
+    if tag != TAG_JOB {
+        return Err(bad_data(format!("expected job frame, got tag {tag:#04x}")));
+    }
+    let mut reader = WireReader::new(&body);
+    let job = JobSpec::decode(&mut reader)
+        .and_then(|job| reader.finish().map(|()| job))
+        .map_err(|e| bad_data(format!("bad job spec: {e}")))?;
+    if job.index >= job.workers {
+        return Err(bad_data(format!(
+            "fragment index {} out of range for {} workers",
+            job.index, job.workers
+        )));
+    }
+    let (graph, fragments) = job_fragments(&job)?;
+    let fragment = &fragments[job.index as usize];
+    let stats = Arc::new(CommStats::new());
+
+    fn serve<P, S>(
+        program: P,
+        query: &P::Query,
+        fragment: &Fragment<(), f64>,
+        stream: S,
+        stats: Arc<CommStats>,
+        to_digest: impl Fn(P::Output) -> u64,
+    ) -> io::Result<u64>
+    where
+        P: PieProgram<VertexData = (), EdgeData = f64>,
+        S: SplitStream,
+    {
+        let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?;
+        let partial = run_worker(&program, query, fragment, &transport);
+        // The worker loop also stops on connection failure; only a clean
+        // Finish-terminated run may report a digest as success.
+        if let Some(reason) = transport.disconnect_reason() {
+            return Err(io::Error::other(format!("run torn down: {reason}")));
+        }
+        // Assembling a single partial yields this fragment's view of the
+        // answer — the unit the coordinator's verification digests compare.
+        let digest = to_digest(program.assemble(vec![partial]));
+        transport.send_oob(TAG_DIGEST, &digest)?;
+        Ok(digest)
+    }
+
+    match job.algo.as_str() {
+        "sssp" => serve(
+            SsspProgram,
+            &SsspQuery::new(job.source),
+            fragment,
+            stream,
+            stats,
+            |out| digest_f64_map(&out),
+        ),
+        "cc" => serve(CcProgram, &CcQuery, fragment, stream, stats, |out| {
+            digest_u64_map(&out)
+        }),
+        "pagerank" => {
+            let program = PageRankProgram::new(graph.num_vertices());
+            serve(
+                program,
+                &PageRankQuery::default(),
+                fragment,
+                stream,
+                stats,
+                |out| digest_f64_map(&out),
+            )
+        }
+        other => Err(bad_data(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+/// Runs the coordinator over `streams` (one accepted connection per worker,
+/// in fragment order): ships each worker its [`JobSpec`], drives the BSP
+/// fixpoint, and collects the result digests.
+pub fn run_coordinator_connections<S: SplitStream>(
+    job: &JobSpec,
+    mut streams: Vec<S>,
+) -> io::Result<JobOutcome> {
+    if streams.len() != job.workers as usize {
+        return Err(bad_data(format!(
+            "{} connections for {} workers",
+            streams.len(),
+            job.workers
+        )));
+    }
+    let (graph, fragments) = job_fragments(job)?;
+    for (index, stream) in streams.iter_mut().enumerate() {
+        let mut spec = job.clone();
+        spec.index = index as u32;
+        wire::write_frame_io(stream, TAG_JOB, &spec)?;
+        stream.flush()?;
+    }
+    let stats = Arc::new(CommStats::new());
+
+    fn coordinate<P, S>(
+        program: P,
+        fragments: &[Fragment<(), f64>],
+        streams: Vec<S>,
+        stats: Arc<CommStats>,
+    ) -> io::Result<JobOutcome>
+    where
+        P: PieProgram<VertexData = (), EdgeData = f64>,
+        S: SplitStream,
+    {
+        let n = streams.len();
+        let transport = FramedStreamCoord::<P::Value>::new(streams, stats)?;
+        let stats_out = GrapeEngine::new(program)
+            .run_coordinator(fragments, &transport)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let mut digests = vec![0u64; n];
+        for _ in 0..n {
+            let (from, tag, body) = transport
+                .recv_oob_blocking()
+                .ok_or_else(|| bad_data("a worker closed before sending its digest"))?;
+            if tag != TAG_DIGEST {
+                return Err(bad_data(format!("expected digest frame, got {tag:#04x}")));
+            }
+            let mut reader = WireReader::new(&body);
+            digests[from] = u64::decode(&mut reader)
+                .and_then(|d| reader.finish().map(|()| d))
+                .map_err(|e| bad_data(format!("bad digest frame: {e}")))?;
+        }
+        Ok(JobOutcome {
+            stats: stats_out,
+            digests,
+        })
+    }
+
+    match job.algo.as_str() {
+        "sssp" => coordinate(SsspProgram, &fragments, streams, stats),
+        "cc" => coordinate(CcProgram, &fragments, streams, stats),
+        "pagerank" => {
+            let program = PageRankProgram::new(graph.num_vertices());
+            coordinate(program, &fragments, streams, stats)
+        }
+        other => Err(bad_data(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+/// Runs the identical job fully in-process over the framed *channel*
+/// transport: the reference the multi-process path must match bit for bit
+/// (digests, supersteps, message counts). Also doubles as an executable
+/// example of the public transport API.
+pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
+    let (graph, fragments) = job_fragments(job)?;
+    let stats = Arc::new(CommStats::new());
+
+    fn local<P>(
+        program: P,
+        query: &P::Query,
+        fragments: &[Fragment<(), f64>],
+        stats: Arc<CommStats>,
+        to_digest: impl Fn(P::Output) -> u64 + Sync,
+    ) -> io::Result<JobOutcome>
+    where
+        P: PieProgram<VertexData = (), EdgeData = f64> + Clone,
+    {
+        let n = fragments.len();
+        let (coord, worker_transports) = framed_channel_pair::<P::Value>(n, stats);
+        let program_ref = &program;
+        let to_digest = &to_digest;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = fragments
+                .iter()
+                .zip(worker_transports)
+                .map(|(fragment, wt)| {
+                    scope.spawn(move || {
+                        let partial = run_worker(program_ref, query, fragment, &wt);
+                        to_digest(program_ref.assemble(vec![partial]))
+                    })
+                })
+                .collect();
+            let stats_out = GrapeEngine::new(program.clone())
+                .run_coordinator(fragments, &coord)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            let digests = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect();
+            Ok(JobOutcome {
+                stats: stats_out,
+                digests,
+            })
+        })
+    }
+
+    match job.algo.as_str() {
+        "sssp" => local(
+            SsspProgram,
+            &SsspQuery::new(job.source),
+            &fragments,
+            stats,
+            |out| digest_f64_map(&out),
+        ),
+        "cc" => local(CcProgram, &CcQuery, &fragments, stats, |out| {
+            digest_u64_map(&out)
+        }),
+        "pagerank" => {
+            let program = PageRankProgram::new(graph.num_vertices());
+            local(
+                program,
+                &PageRankQuery::default(),
+                &fragments,
+                stats,
+                |out| digest_f64_map(&out),
+            )
+        }
+        other => Err(bad_data(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_wire_roundtrip() {
+        let job = JobSpec {
+            algo: "sssp".into(),
+            graph: GraphSpec::Road {
+                width: 12,
+                height: 9,
+                seed: 7,
+            },
+            strategy: "hash".into(),
+            workers: 4,
+            index: 2,
+            source: 0,
+        };
+        let bytes = job.encode_to_vec();
+        let mut reader = WireReader::new(&bytes);
+        assert_eq!(JobSpec::decode(&mut reader).unwrap(), job);
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn graph_spec_parsing() {
+        assert_eq!(
+            GraphSpec::parse("road:12x9:7").unwrap(),
+            GraphSpec::Road {
+                width: 12,
+                height: 9,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            GraphSpec::parse("ba:300:3:11").unwrap(),
+            GraphSpec::Ba {
+                n: 300,
+                m: 3,
+                seed: 11
+            }
+        );
+        assert!(GraphSpec::parse("road:12:7").is_err());
+        assert!(GraphSpec::parse("lattice:3").is_err());
+    }
+
+    #[test]
+    fn digests_are_order_independent_and_value_sensitive() {
+        let mut a = HashMap::new();
+        a.insert(1u64, 1.5f64);
+        a.insert(2, 2.5);
+        let mut b = HashMap::new();
+        b.insert(2u64, 2.5f64);
+        b.insert(1, 1.5);
+        assert_eq!(digest_f64_map(&a), digest_f64_map(&b));
+        b.insert(1, 1.5000001);
+        assert_ne!(digest_f64_map(&a), digest_f64_map(&b));
+    }
+
+    #[test]
+    fn local_framed_runs_agree_across_algorithms() {
+        // The in-process framed reference itself must be deterministic and
+        // match the plain engine's superstep counts.
+        for algo in ["sssp", "cc", "pagerank"] {
+            let job = JobSpec {
+                algo: algo.into(),
+                graph: GraphSpec::Ba {
+                    n: 200,
+                    m: 3,
+                    seed: 5,
+                },
+                strategy: "hash".into(),
+                workers: 3,
+                index: 0,
+                source: 0,
+            };
+            let first = run_local_framed(&job).unwrap();
+            let second = run_local_framed(&job).unwrap();
+            assert_eq!(first.digests, second.digests, "{algo}");
+            assert_eq!(first.stats.supersteps, second.stats.supersteps, "{algo}");
+            assert_eq!(first.stats.messages, second.stats.messages, "{algo}");
+            assert!(first.stats.bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The `grape-worker` binary: multi-process GRAPE over the framed wire
+//! protocol.
+//!
+//! Coordinator (binds, ships job specs, drives the fixpoint):
+//!
+//! ```text
+//! grape-worker serve --listen 127.0.0.1:4817 --workers 4 \
+//!     --algo sssp --graph road:64x64:7 --strategy hash --source 0 [--spawn] [--verify]
+//! ```
+//!
+//! Worker (connects, rebuilds its fragment, evaluates):
+//!
+//! ```text
+//! grape-worker connect 127.0.0.1:4817
+//! grape-worker connect-uds /tmp/grape.sock        # Unix-domain variant
+//! ```
+//!
+//! `--spawn` makes the coordinator fork the workers itself (k child
+//! processes of this same binary) — the one-command demo. `--verify` reruns
+//! the job in-process over the framed channel transport and asserts the
+//! digests, superstep count and message count match bit for bit.
+
+use grape_worker::{
+    run_coordinator_connections, run_local_framed, run_worker_connection, GraphSpec, JobSpec,
+};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  grape-worker serve --listen ADDR [--uds PATH] --workers K --algo \
+         sssp|cc|pagerank\n      --graph road:WxH:SEED|ba:N:M:SEED [--strategy NAME] \
+         [--source V] [--spawn] [--verify]\n  grape-worker connect ADDR\n  grape-worker \
+         connect-uds PATH"
+    );
+    std::process::exit(2);
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let result = match mode {
+        Some("connect") => {
+            let addr = args.get(1).cloned().unwrap_or_else(|| usage());
+            TcpStream::connect(&addr)
+                .and_then(run_worker_connection)
+                .map(|digest| println!("worker done, digest {digest:#018x}"))
+        }
+        #[cfg(unix)]
+        Some("connect-uds") => {
+            let path = args.get(1).cloned().unwrap_or_else(|| usage());
+            std::os::unix::net::UnixStream::connect(&path)
+                .and_then(run_worker_connection)
+                .map(|digest| println!("worker done, digest {digest:#018x}"))
+        }
+        Some("serve") => serve(&args[1..]),
+        _ => usage(),
+    };
+    if let Err(err) = result {
+        eprintln!("grape-worker: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn serve(args: &[String]) -> std::io::Result<()> {
+    let workers: u32 = arg_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage());
+    let algo = arg_value(args, "--algo").unwrap_or_else(|| usage());
+    let graph = GraphSpec::parse(&arg_value(args, "--graph").unwrap_or_else(|| usage()))
+        .unwrap_or_else(|e| {
+            eprintln!("grape-worker: {e}");
+            std::process::exit(2);
+        });
+    let job = JobSpec {
+        algo,
+        graph,
+        strategy: arg_value(args, "--strategy").unwrap_or_else(|| "hash".into()),
+        workers,
+        index: 0,
+        source: arg_value(args, "--source")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    let spawn = args.iter().any(|a| a == "--spawn");
+    let verify = args.iter().any(|a| a == "--verify");
+
+    let outcome = if let Some(path) = arg_value(args, "--uds") {
+        #[cfg(unix)]
+        {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)?;
+            eprintln!("coordinator listening on {path}");
+            let children = maybe_spawn(spawn, workers, &["connect-uds", &path])?;
+            let streams = (0..workers)
+                .map(|_| listener.accept().map(|(s, _)| s))
+                .collect::<std::io::Result<Vec<_>>>()?;
+            let outcome = run_coordinator_connections(&job, streams)?;
+            reap(children)?;
+            let _ = std::fs::remove_file(&path);
+            outcome
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(std::io::Error::other("--uds requires a unix platform"));
+        }
+    } else {
+        let listen = arg_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+        let listener = TcpListener::bind(&listen)?;
+        let addr = listener.local_addr()?.to_string();
+        eprintln!("coordinator listening on {addr}");
+        let children = maybe_spawn(spawn, workers, &["connect", &addr])?;
+        let streams = (0..workers)
+            .map(|_| listener.accept().map(|(s, _)| s))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let outcome = run_coordinator_connections(&job, streams)?;
+        reap(children)?;
+        outcome
+    };
+
+    println!(
+        "{}: {} supersteps, {} messages, {} wire bytes, wall {:.2}ms",
+        job.algo,
+        outcome.stats.supersteps,
+        outcome.stats.messages,
+        outcome.stats.bytes,
+        outcome.stats.wall_time.as_secs_f64() * 1e3
+    );
+    for (worker, digest) in outcome.digests.iter().enumerate() {
+        println!("  worker {worker}: digest {digest:#018x}");
+    }
+
+    if verify {
+        let reference = run_local_framed(&job)?;
+        if reference.digests != outcome.digests
+            || reference.stats.supersteps != outcome.stats.supersteps
+            || reference.stats.messages != outcome.stats.messages
+        {
+            return Err(std::io::Error::other(format!(
+                "multi-process run diverged from the in-process reference: \
+                 digests {:?} vs {:?}, supersteps {} vs {}, messages {} vs {}",
+                outcome.digests,
+                reference.digests,
+                outcome.stats.supersteps,
+                reference.stats.supersteps,
+                outcome.stats.messages,
+                reference.stats.messages
+            )));
+        }
+        println!("verified: bit-identical to the in-process framed reference");
+    }
+    Ok(())
+}
+
+/// Spawns `workers` copies of this binary in worker mode when `spawn` is
+/// set.
+fn maybe_spawn(
+    spawn: bool,
+    workers: u32,
+    connect_args: &[&str],
+) -> std::io::Result<Vec<std::process::Child>> {
+    if !spawn {
+        return Ok(Vec::new());
+    }
+    let exe = std::env::current_exe()?;
+    (0..workers)
+        .map(|_| {
+            Command::new(&exe)
+                .args(connect_args)
+                .stdout(Stdio::null())
+                .spawn()
+        })
+        .collect()
+}
+
+fn reap(children: Vec<std::process::Child>) -> std::io::Result<()> {
+    for mut child in children {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(std::io::Error::other(format!(
+                "worker process exited with {status}"
+            )));
+        }
+    }
+    Ok(())
+}

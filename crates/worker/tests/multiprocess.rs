@@ -1,0 +1,135 @@
+//! End-to-end multi-process tests: real `grape-worker` OS processes speaking
+//! the framed wire protocol over TCP and Unix-domain sockets, pinned
+//! bit-identical to the in-process framed reference.
+
+use grape_worker::{run_coordinator_connections, run_local_framed, GraphSpec, JobSpec};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_grape-worker")
+}
+
+fn job(algo: &str, workers: u32) -> JobSpec {
+    JobSpec {
+        algo: algo.into(),
+        graph: GraphSpec::Road {
+            width: 14,
+            height: 14,
+            seed: 7,
+        },
+        strategy: "hash".into(),
+        workers,
+        index: 0,
+        source: 0,
+    }
+}
+
+fn spawn_workers(connect_args: &[&str], n: u32) -> Vec<Child> {
+    (0..n)
+        .map(|_| {
+            Command::new(worker_bin())
+                .args(connect_args)
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn grape-worker")
+        })
+        .collect()
+}
+
+fn reap(children: Vec<Child>) {
+    for mut child in children {
+        let status = child.wait().expect("wait for worker");
+        assert!(status.success(), "worker exited with {status}");
+    }
+}
+
+#[test]
+fn tcp_workers_match_the_in_process_reference() {
+    for algo in ["sssp", "cc", "pagerank"] {
+        let job = job(algo, 3);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let children = spawn_workers(&["connect", &addr], job.workers);
+        let streams = (0..job.workers)
+            .map(|_| listener.accept().expect("accept").0)
+            .collect();
+        let remote = run_coordinator_connections(&job, streams).expect("remote run");
+        reap(children);
+
+        let reference = run_local_framed(&job).expect("local run");
+        assert_eq!(remote.digests, reference.digests, "{algo}: results differ");
+        assert_eq!(
+            remote.stats.supersteps, reference.stats.supersteps,
+            "{algo}: superstep counts differ"
+        );
+        assert_eq!(
+            remote.stats.messages, reference.stats.messages,
+            "{algo}: message counts differ"
+        );
+        // Same frames either way: the socket path and the framed channel
+        // path must account the identical number of wire bytes.
+        assert_eq!(
+            remote.stats.bytes, reference.stats.bytes,
+            "{algo}: wire bytes differ"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_domain_workers_match_the_in_process_reference() {
+    let job = job("sssp", 2);
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("grape-worker-test-{}.sock", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 socket path");
+    let _ = std::fs::remove_file(&path);
+    let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind uds");
+    let children = spawn_workers(&["connect-uds", path_str], job.workers);
+    let streams = (0..job.workers)
+        .map(|_| listener.accept().expect("accept").0)
+        .collect();
+    let remote = run_coordinator_connections(&job, streams).expect("remote run");
+    reap(children);
+    let _ = std::fs::remove_file(&path);
+
+    let reference = run_local_framed(&job).expect("local run");
+    assert_eq!(remote.digests, reference.digests);
+    assert_eq!(remote.stats.supersteps, reference.stats.supersteps);
+    assert_eq!(remote.stats.messages, reference.stats.messages);
+    assert_eq!(remote.stats.bytes, reference.stats.bytes);
+}
+
+#[test]
+fn self_spawning_coordinator_verifies_itself() {
+    // The one-command demo: `serve --spawn --verify` forks its own workers
+    // and asserts the multi-process digests equal the in-process reference.
+    let output = Command::new(worker_bin())
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--algo",
+            "cc",
+            "--graph",
+            "ba:240:3:11",
+            "--strategy",
+            "range-1d",
+            "--spawn",
+            "--verify",
+        ])
+        .output()
+        .expect("run serve --spawn --verify");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "serve failed: {stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        stdout.contains("verified: bit-identical"),
+        "missing verification line in {stdout}"
+    );
+}

@@ -60,7 +60,7 @@ pub mod prelude {
     pub use grape_baseline::{BlogelEngine, GasEngine, PregelEngine};
     pub use grape_core::{
         build_fragments, EngineConfig, ExecutionMode, Fragment, GrapeEngine, GrapeResult,
-        PieContext, PieProgram, RunStats, VertexId,
+        PieContext, PieProgram, RunStats, TransportKind, VertexId,
     };
     pub use grape_graph::{
         CsrGraph, DenseBitset, GraphBuilder, LabeledGraph, VertexDenseMap, WeightedGraph,

@@ -122,6 +122,134 @@ fn pattern_queries_agree_with_sequential_references() {
 }
 
 #[test]
+fn framed_transport_is_bit_identical_for_every_query_class() {
+    // Run every registered PIE program on both transport backends and pin
+    // the answers (bit-for-bit) and the superstep/message counts identical.
+    // The framed path round-trips each message through the wire codec —
+    // including the String-carrying SubIso deltas and the Vec<f64> values of
+    // Keyword/CF — so this is the codec exercised by every value type in the
+    // repertoire. Inline execution keeps the schedule deterministic.
+    fn run_pair<P: PieProgram>(
+        make: impl Fn() -> P,
+        query: &P::Query,
+        graph: &CsrGraph<P::VertexData, P::EdgeData>,
+        assignment: &PartitionAssignment,
+    ) -> (GrapeResult<P::Output>, GrapeResult<P::Output>) {
+        let run = |transport| {
+            GrapeEngine::new(make())
+                .with_config(EngineConfig {
+                    execution: ExecutionMode::Inline,
+                    transport,
+                    ..Default::default()
+                })
+                .run_on_graph(query, graph, assignment)
+                .unwrap()
+        };
+        let typed = run(TransportKind::InProcess);
+        let framed = run(TransportKind::Framed);
+        assert_eq!(typed.stats.supersteps, framed.stats.supersteps);
+        assert_eq!(typed.stats.messages, framed.stats.messages);
+        (typed, framed)
+    }
+
+    // --- numeric programs on a weighted graph --------------------------
+    let graph = road();
+    let assignment = BuiltinStrategy::MetisLike.partition(&graph, 4);
+
+    let (typed, framed) = run_pair(|| SsspProgram, &SsspQuery::new(0), &graph, &assignment);
+    assert_eq!(typed.output.len(), framed.output.len());
+    for (v, d) in &typed.output {
+        assert_eq!(d.to_bits(), framed.output[v].to_bits(), "sssp vertex {v}");
+    }
+
+    let (typed, framed) = run_pair(|| CcProgram, &CcQuery, &graph, &assignment);
+    assert_eq!(typed.output, framed.output);
+
+    let pr_query = PageRankQuery {
+        max_local_iterations: 40,
+        ..Default::default()
+    };
+    let n = graph.num_vertices();
+    let (typed, framed) = run_pair(|| PageRankProgram::new(n), &pr_query, &graph, &assignment);
+    assert_eq!(typed.output.len(), framed.output.len());
+    for (v, r) in &typed.output {
+        assert_eq!(
+            r.to_bits(),
+            framed.output[v].to_bits(),
+            "pagerank vertex {v}"
+        );
+    }
+
+    // CF trains over the same weighted graph's (user, item, rating) edges;
+    // its update values are whole Vec<f64> factor vectors.
+    let cf_query = CfQuery {
+        rank: 4,
+        epochs: 4,
+        ..Default::default()
+    };
+    let (typed, framed) = run_pair(|| CfProgram::new(64), &cf_query, &graph, &assignment);
+    assert_eq!(
+        typed.output.factors, framed.output.factors,
+        "cf factor vectors must match bit for bit"
+    );
+
+    // --- pattern programs on a labeled graph ---------------------------
+    // SubIso deltas carry Strings; Keyword values are distance vectors.
+    let social = labeled_social(
+        SocialGraphConfig {
+            num_persons: 150,
+            num_products: 5,
+            ..Default::default()
+        },
+        9,
+    )
+    .unwrap();
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+    let social_assignment = BuiltinStrategy::Hash.partition(&social, 3);
+
+    let (typed, framed) = run_pair(
+        || SimProgram,
+        &SimQuery::new(pattern.clone()),
+        &social,
+        &social_assignment,
+    );
+    assert_eq!(typed.output, framed.output);
+
+    let (typed, framed) = run_pair(
+        || SubIsoProgram,
+        &SubIsoQuery::new(pattern.clone()),
+        &social,
+        &social_assignment,
+    );
+    let (mut a, mut b) = (typed.output, framed.output);
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+
+    let (typed, framed) = run_pair(
+        || KeywordProgram,
+        &KeywordQuery::new(["phone", "laptop"], f64::INFINITY),
+        &social,
+        &social_assignment,
+    );
+    assert_eq!(typed.output.len(), framed.output.len());
+    for (x, y) in typed.output.iter().zip(framed.output.iter()) {
+        assert_eq!(x.root, y.root);
+        assert_eq!(x.distances, y.distances);
+    }
+
+    let (typed, framed) = run_pair(
+        || MarketingProgram,
+        &MarketingQuery::new(150),
+        &social,
+        &social_assignment,
+    );
+    assert_eq!(typed.output, framed.output);
+}
+
+#[test]
 fn engine_statistics_are_internally_consistent() {
     let graph = road();
     let assignment = BuiltinStrategy::MetisLike.partition(&graph, 6);

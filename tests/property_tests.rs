@@ -209,6 +209,83 @@ proptest! {
     }
 
     #[test]
+    fn framed_transport_is_bit_identical_across_strategies_and_worker_counts(
+        graph in arb_graph(70, 220),
+        k in 1usize..6,
+    ) {
+        // The framed backend round-trips every message through the wire
+        // codec; the Assurance Theorem's observable consequence must be
+        // byte-for-byte unaffected: same answers (bit-identical floats),
+        // same superstep count, same message count. Inline execution makes
+        // the schedule deterministic so the comparison is exact for every
+        // program, including the float-iterating PageRank.
+        let pr_query = PageRankQuery { max_local_iterations: 40, ..Default::default() };
+        let pr_n = graph.num_vertices();
+        for strategy in BuiltinStrategy::all() {
+            let assignment = strategy.partition(&graph, k);
+            let run = |transport: TransportKind| {
+                let config = EngineConfig {
+                    execution: ExecutionMode::Inline,
+                    transport,
+                    ..Default::default()
+                };
+                let sssp = GrapeEngine::new(SsspProgram)
+                    .with_config(config)
+                    .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+                    .unwrap();
+                let cc = GrapeEngine::new(CcProgram)
+                    .with_config(config)
+                    .run_on_graph(&CcQuery, &graph, &assignment)
+                    .unwrap();
+                let pr = GrapeEngine::new(PageRankProgram::new(pr_n))
+                    .with_config(config)
+                    .run_on_graph(&pr_query, &graph, &assignment)
+                    .unwrap();
+                (sssp, cc, pr)
+            };
+            let (sssp_t, cc_t, pr_t) = run(TransportKind::InProcess);
+            let (sssp_f, cc_f, pr_f) = run(TransportKind::Framed);
+            for v in graph.vertices() {
+                let (a, b) = (sssp_t.output.get(&v), sssp_f.output.get(&v));
+                prop_assert!(
+                    a.map(|d| d.to_bits()) == b.map(|d| d.to_bits()),
+                    "sssp/{} k={} vertex {}: {:?} vs {:?}", strategy.name(), k, v, a, b
+                );
+                prop_assert_eq!(cc_t.output.get(&v), cc_f.output.get(&v));
+                let (a, b) = (pr_t.output.get(&v), pr_f.output.get(&v));
+                prop_assert!(
+                    a.map(|d| d.to_bits()) == b.map(|d| d.to_bits()),
+                    "pagerank/{} k={} vertex {}: {:?} vs {:?}", strategy.name(), k, v, a, b
+                );
+            }
+            for (typed, framed, algo) in [
+                (&sssp_t.stats, &sssp_f.stats, "sssp"),
+                (&cc_t.stats, &cc_f.stats, "cc"),
+                (&pr_t.stats, &pr_f.stats, "pagerank"),
+            ] {
+                prop_assert_eq!(
+                    typed.supersteps, framed.supersteps,
+                    "{}/{} k={}: superstep counts differ", algo, strategy.name(), k
+                );
+                prop_assert_eq!(
+                    typed.messages, framed.messages,
+                    "{}/{} k={}: message counts differ", algo, strategy.name(), k
+                );
+                // Framed accounting counts actual bytes: estimates plus one
+                // header per message (and the eval field per report), so it
+                // can only exceed the estimated path when anything moved.
+                if typed.messages > 0 {
+                    prop_assert!(
+                        framed.bytes > typed.bytes,
+                        "{}/{} k={}: framed {} bytes vs estimated {}",
+                        algo, strategy.name(), k, framed.bytes, typed.bytes
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn message_totals_match_superstep_history(
         graph in arb_graph(70, 250),
         k in 2usize..6,

@@ -1,0 +1,274 @@
+//! Property tests of the framed wire codec: arbitrary coordinator↔worker
+//! messages encode → decode to equal values, framed sizes are exactly
+//! accounted, and corrupted frames (truncation, trailing garbage, bad
+//! headers) surface as typed errors instead of bogus messages or panics.
+
+use grape::comm::wire::{self, Wire, WireError, WireReader, HEADER_LEN};
+use grape::comm::MessageSize;
+use grape::core::message::{CoordCommand, WorkerReport};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary f64 from raw bits — covers infinities, NaNs and
+/// subnormals, where a lossy codec would betray itself first.
+fn arb_f64_bits() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX).prop_map(f64::from_bits)
+}
+
+fn arb_slot_values(max_len: usize) -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::vec((0u32..1_000_000, arb_f64_bits()), 0..max_len)
+}
+
+fn arb_command() -> impl Strategy<Value = CoordCommand<f64>> {
+    (0usize..3, 0usize..200_000, arb_slot_values(24)).prop_map(|(kind, superstep, updates)| {
+        match kind {
+            0 => CoordCommand::Init {
+                border_slots: updates.iter().map(|&(s, _)| s).collect(),
+            },
+            1 => CoordCommand::IncEval { superstep, updates },
+            _ => CoordCommand::Finish,
+        }
+    })
+}
+
+fn arb_report() -> impl Strategy<Value = WorkerReport<f64>> {
+    (
+        0usize..200_000,
+        arb_slot_values(24),
+        proptest::collection::vec((0u64..5_000, arb_f64_bits()), 0..8),
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |(superstep, changes, strays, eval_bits)| WorkerReport::Done {
+                superstep,
+                changes,
+                strays,
+                // Timings are f64s too; use finite ones so PartialEq is reflexive.
+                eval_seconds: (eval_bits % 1_000_000) as f64 * 1e-6,
+            },
+        )
+}
+
+/// NaN-tolerant equality: values equal, or both NaN with the same bits.
+fn values_equal(a: f64, b: f64) -> bool {
+    a == b || a.to_bits() == b.to_bits()
+}
+
+fn commands_equal(a: &CoordCommand<f64>, b: &CoordCommand<f64>) -> bool {
+    match (a, b) {
+        (
+            CoordCommand::Init { border_slots: left },
+            CoordCommand::Init {
+                border_slots: right,
+            },
+        ) => left == right,
+        (
+            CoordCommand::IncEval {
+                superstep: s1,
+                updates: u1,
+            },
+            CoordCommand::IncEval {
+                superstep: s2,
+                updates: u2,
+            },
+        ) => {
+            s1 == s2
+                && u1.len() == u2.len()
+                && u1
+                    .iter()
+                    .zip(u2)
+                    .all(|(&(sa, va), &(sb, vb))| sa == sb && values_equal(va, vb))
+        }
+        (CoordCommand::Finish, CoordCommand::Finish) => true,
+        _ => false,
+    }
+}
+
+fn reports_equal(a: &WorkerReport<f64>, b: &WorkerReport<f64>) -> bool {
+    let WorkerReport::Done {
+        superstep: s1,
+        changes: c1,
+        strays: y1,
+        eval_seconds: e1,
+    } = a;
+    let WorkerReport::Done {
+        superstep: s2,
+        changes: c2,
+        strays: y2,
+        eval_seconds: e2,
+    } = b;
+    s1 == s2
+        && values_equal(*e1, *e2)
+        && c1.len() == c2.len()
+        && c1
+            .iter()
+            .zip(c2)
+            .all(|(&(sa, va), &(sb, vb))| sa == sb && values_equal(va, vb))
+        && y1.len() == y2.len()
+        && y1
+            .iter()
+            .zip(y2)
+            .all(|(&(sa, va), &(sb, vb))| sa == sb && values_equal(va, vb))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn commands_roundtrip_through_the_codec(command in arb_command()) {
+        let mut frame = Vec::new();
+        command.encode_frame(&mut frame);
+        prop_assert_eq!(
+            frame.len(),
+            command.size_bytes() + CoordCommand::<f64>::WIRE_OVERHEAD,
+            "framed size must be estimate + header, exactly"
+        );
+        let (back, consumed) = CoordCommand::<f64>::decode_frame(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert!(commands_equal(&back, &command), "{:?} != {:?}", back, command);
+    }
+
+    #[test]
+    fn reports_roundtrip_through_the_codec(report in arb_report()) {
+        let mut frame = Vec::new();
+        report.encode_frame(&mut frame);
+        prop_assert_eq!(
+            frame.len(),
+            report.size_bytes() + WorkerReport::<f64>::WIRE_OVERHEAD,
+            "framed size must be estimate + header + eval_seconds, exactly"
+        );
+        let (back, consumed) = WorkerReport::<f64>::decode_frame(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(consumed, frame.len());
+        prop_assert!(reports_equal(&back, &report), "{:?} != {:?}", back, report);
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(command in arb_command(), cut_fraction in 0usize..100) {
+        let mut frame = Vec::new();
+        command.encode_frame(&mut frame);
+        // Cut anywhere strictly inside the frame.
+        let cut = cut_fraction * frame.len() / 100;
+        prop_assert!(cut < frame.len());
+        match CoordCommand::<f64>::decode_frame(&frame[..cut]) {
+            Err(WireError::Truncated { needed, have }) => {
+                prop_assert!(have < needed, "Truncated{{needed {needed}, have {have}}}");
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "cut at {cut}/{} must be Truncated, got {other:?}",
+                    frame.len()
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_inside_the_payload_is_rejected(
+        report in arb_report(),
+        garbage in proptest::collection::vec(0u8..255, 1..16),
+    ) {
+        // Inflate the declared payload length and append garbage: the frame
+        // is self-consistent at the framing layer, so the *message* decoder
+        // must notice the leftover bytes.
+        let mut frame = Vec::new();
+        report.encode_frame(&mut frame);
+        let declared = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        frame.extend_from_slice(&garbage);
+        frame[4..8].copy_from_slice(&(declared + garbage.len() as u32).to_le_bytes());
+        match WorkerReport::<f64>::decode_frame(&frame) {
+            Err(WireError::TrailingBytes { count }) => {
+                prop_assert_eq!(count, garbage.len());
+            }
+            // Garbage may also make a field decode fail early (e.g. an
+            // inflated vector length hitting the end) — also a hard error.
+            Err(_) => {}
+            Ok(_) => {
+                return Err(TestCaseError::fail(
+                    "garbage-extended frame decoded cleanly".to_string(),
+                ))
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_after_a_frame_stays_out_of_the_message(
+        command in arb_command(),
+        garbage in proptest::collection::vec(0u8..255, 0..32),
+    ) {
+        // Bytes *after* a well-formed frame belong to the next frame; the
+        // decoder must consume exactly its own frame and not look at them.
+        let mut stream = Vec::new();
+        command.encode_frame(&mut stream);
+        let frame_len = stream.len();
+        stream.extend_from_slice(&garbage);
+        let (back, consumed) = CoordCommand::<f64>::decode_frame(&stream)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(consumed, frame_len);
+        prop_assert!(commands_equal(&back, &command));
+    }
+
+    #[test]
+    fn corrupting_any_header_byte_is_detected_or_changes_framing(
+        command in arb_command(),
+        byte in 0usize..4,
+        flip in 1u8..255,
+    ) {
+        // Flipping magic or version must produce a typed header error.
+        // (Bytes 3+ are the tag and length, whose corruption surfaces as
+        // BadTag / Truncated / TrailingBytes through the message decoder.)
+        let mut frame = Vec::new();
+        command.encode_frame(&mut frame);
+        frame[byte] ^= flip;
+        match (byte, CoordCommand::<f64>::decode_frame(&frame)) {
+            (0 | 1, Err(WireError::BadMagic { .. })) => {}
+            (2, Err(WireError::BadVersion { .. })) => {}
+            (3, Err(WireError::BadTag { .. })) => {}
+            // A tag flip can land on another *valid* tag; the payload then
+            // fails to parse (or, for Finish-sized bodies, parses as a
+            // different message — framing cannot defend against that, which
+            // is exactly why the tag space is kept sparse).
+            (3, _) => {}
+            (b, other) => {
+                return Err(TestCaseError::fail(format!(
+                    "header byte {b} corrupt, expected typed error, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn value_payloads_roundtrip_bit_exactly(values in arb_slot_values(64)) {
+        // The payload layer on its own: (u32, f64) slot vectors are the bulk
+        // of every superstep.
+        let bytes = values.encode_to_vec();
+        prop_assert_eq!(bytes.len(), values.size_bytes());
+        let mut reader = WireReader::new(&bytes);
+        let back = Vec::<(u32, f64)>::decode(&mut reader)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        reader.finish().map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(back.len(), values.len());
+        for (&(sa, va), &(sb, vb)) in back.iter().zip(&values) {
+            prop_assert_eq!(sa, sb);
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "f64 bits must survive");
+        }
+    }
+}
+
+#[test]
+fn frame_header_layout_is_pinned() {
+    // The on-wire header is a public contract (README "Wire format"); changing
+    // it must be a conscious, versioned decision.
+    let mut frame = Vec::new();
+    CoordCommand::<f64>::Finish.encode_frame(&mut frame);
+    assert_eq!(HEADER_LEN, 8);
+    assert_eq!(&frame[0..2], b"GW", "magic");
+    assert_eq!(frame[2], wire::VERSION, "version");
+    assert_eq!(frame[3], grape::core::message::TAG_FINISH, "tag");
+    assert_eq!(
+        u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+        1,
+        "little-endian payload length"
+    );
+    assert_eq!(frame.len(), HEADER_LEN + 1);
+}
