@@ -13,7 +13,9 @@
 //!   endpoints).
 //! * **PEval** initializes factors deterministically and runs one local SGD
 //!   epoch over the ratings whose *user* endpoint is inner (so each rating is
-//!   trained by exactly one fragment).
+//!   trained by exactly one fragment — cross edges are replicated into both
+//!   fragments' local graphs, and the inner-user filter is what keeps the
+//!   replica from being trained twice; a regression test pins this).
 //! * The **update parameters** are the factor vectors of border vertices; the
 //!   aggregate is the element-wise average (different fragments see different
 //!   ratings of a shared item and their estimates are blended, as in
@@ -25,8 +27,15 @@
 //! CF is not monotonic — it is the example in the paper's library of a
 //! program that relies on a bounded number of rounds rather than the
 //! Assurance Theorem for termination.
+//!
+//! The per-fragment state is a flat [`VertexDenseMap`] of factor vectors
+//! keyed by the local graph's dense CSR indices (an empty vector marks an
+//! untouched vertex; `rank > 0`), and the ratings are stored as dense
+//! `(user, item, score)` index triples, so the per-epoch SGD loop performs
+//! no hashing at all.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
+use grape_graph::VertexDenseMap;
 use std::collections::HashMap;
 
 /// A collaborative-filtering query/training job description.
@@ -118,22 +127,52 @@ fn sgd_epoch(
             .entry(i)
             .or_insert_with(|| initial_factor(i, query.rank))
             .clone();
-        let pred: f64 = pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum();
-        let err = r - pred;
-        let lr = query.learning_rate;
-        let reg = query.regularization;
-        let new_pu: Vec<f64> = pu
-            .iter()
-            .zip(qi.iter())
-            .map(|(p, q)| p + lr * (err * q - reg * p))
-            .collect();
-        let new_qi: Vec<f64> = qi
-            .iter()
-            .zip(pu.iter())
-            .map(|(q, p)| q + lr * (err * p - reg * q))
-            .collect();
+        let (new_pu, new_qi) = sgd_step(query, &pu, &qi, r);
         factors.insert(u, new_pu);
         factors.insert(i, new_qi);
+    }
+}
+
+/// One SGD update of a `(user, item, rating)` triple: returns the new user
+/// and item factor vectors. Shared between the sequential reference and the
+/// dense distributed path so their arithmetic stays bit-identical.
+fn sgd_step(query: &CfQuery, pu: &[f64], qi: &[f64], r: f64) -> (Vec<f64>, Vec<f64>) {
+    let pred: f64 = pu.iter().zip(qi.iter()).map(|(a, b)| a * b).sum();
+    let err = r - pred;
+    let lr = query.learning_rate;
+    let reg = query.regularization;
+    let new_pu: Vec<f64> = pu
+        .iter()
+        .zip(qi.iter())
+        .map(|(p, q)| p + lr * (err * q - reg * p))
+        .collect();
+    let new_qi: Vec<f64> = qi
+        .iter()
+        .zip(pu.iter())
+        .map(|(q, p)| q + lr * (err * p - reg * q))
+        .collect();
+    (new_pu, new_qi)
+}
+
+/// One SGD epoch over dense rating triples, updating the flat factor table in
+/// place. `ids` translates dense indices to global ids for the deterministic
+/// initialization; an empty vector marks an uninitialized slot.
+fn sgd_epoch_dense(
+    query: &CfQuery,
+    factors: &mut VertexDenseMap<Vec<f64>>,
+    ids: &[VertexId],
+    ratings: &[(u32, u32, f64)],
+) {
+    for &(u, i, r) in ratings {
+        if factors[u].is_empty() {
+            factors.set(u, initial_factor(ids[u as usize], query.rank));
+        }
+        if factors[i].is_empty() {
+            factors.set(i, initial_factor(ids[i as usize], query.rank));
+        }
+        let (new_pu, new_qi) = sgd_step(query, &factors[u], &factors[i], r);
+        factors.set(u, new_pu);
+        factors.set(i, new_qi);
     }
 }
 
@@ -146,12 +185,18 @@ pub fn sequential_cf(query: &CfQuery, ratings: &[(VertexId, VertexId, f64)]) -> 
     CfModel { factors }
 }
 
-/// Per-fragment partial state.
+/// Per-fragment partial state, flat over the local graph's dense indices.
 #[derive(Debug, Clone, Default)]
 pub struct CfPartial {
-    factors: HashMap<VertexId, Vec<f64>>,
-    /// Ratings trained by this fragment: edges whose source (user) is inner.
-    ratings: Vec<(VertexId, VertexId, f64)>,
+    /// Factor vector of each local vertex by dense index; an empty vector
+    /// means the vertex has not been touched by training or messages yet.
+    factors: VertexDenseMap<Vec<f64>>,
+    /// Ratings trained by this fragment — edges whose source (user) is inner
+    /// — as dense `(user, item, score)` triples.
+    ratings: Vec<(u32, u32, f64)>,
+    /// Global ids aligned with the dense indices (the local graph's id
+    /// table), for deterministic initialization and Assemble.
+    vertex_ids: Vec<VertexId>,
     epochs_done: usize,
 }
 
@@ -177,13 +222,15 @@ impl CfProgram {
         partial: &CfPartial,
         ctx: &mut PieContext<Vec<f64>>,
     ) {
-        for &b in fragment.border_vertices() {
-            if let Some(f) = partial.factors.get(&b) {
-                // Quantize slightly so tiny float jitter does not keep the
-                // fixpoint from being reached once the epoch budget is spent.
-                let rounded: Vec<f64> = f.iter().map(|x| (x * 1e9).round() / 1e9).collect();
-                ctx.update(b, rounded);
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
+            let f = &partial.factors[i];
+            if f.is_empty() {
+                continue;
             }
+            // Quantize slightly so tiny float jitter does not keep the
+            // fixpoint from being reached once the epoch budget is spent.
+            let rounded: Vec<f64> = f.iter().map(|x| (x * 1e9).round() / 1e9).collect();
+            ctx.update_at(pos as u32, rounded);
         }
     }
 }
@@ -202,24 +249,34 @@ impl PieProgram for CfProgram {
         fragment: &Fragment<(), f64>,
         ctx: &mut PieContext<Vec<f64>>,
     ) -> CfPartial {
+        let g = &fragment.graph;
         // Collect the ratings this fragment is responsible for: edges whose
-        // user endpoint is inner (item -> user duplicates are skipped).
-        let ratings: Vec<(VertexId, VertexId, f64)> = fragment
-            .graph
-            .edges()
-            .filter(|(s, d, _)| {
-                (*s as usize) < self.num_users
-                    && (*d as usize) >= self.num_users
-                    && fragment.is_inner(*s)
-            })
-            .map(|(s, d, w)| (s, d, *w))
-            .collect();
+        // user endpoint is inner (item -> user duplicates are skipped, and a
+        // cross edge's replica on the item-owning fragment fails the
+        // inner-user test — each rating is trained by exactly one fragment).
+        let mut ratings: Vec<(u32, u32, f64)> = Vec::new();
+        for &iu in fragment.inner_dense_indices() {
+            if g.vertex_of(iu) as usize >= self.num_users {
+                continue;
+            }
+            for (id, &w) in g.out_edges_dense(iu) {
+                if (g.vertex_of(id) as usize) >= self.num_users {
+                    ratings.push((iu, id, w));
+                }
+            }
+        }
         let mut partial = CfPartial {
-            factors: HashMap::new(),
+            factors: VertexDenseMap::new(g.num_vertices(), Vec::new()),
             ratings,
+            vertex_ids: g.vertex_ids().to_vec(),
             epochs_done: 0,
         };
-        sgd_epoch(query, &mut partial.factors, &partial.ratings.clone());
+        sgd_epoch_dense(
+            query,
+            &mut partial.factors,
+            &partial.vertex_ids,
+            &partial.ratings,
+        );
         Self::publish_borders(fragment, &partial, ctx);
         partial
     }
@@ -233,16 +290,19 @@ impl PieProgram for CfProgram {
         ctx: &mut PieContext<Vec<f64>>,
     ) {
         // Blend the received (already averaged) factors of mirror vertices
-        // into the local model.
+        // into the local model; translate once at the boundary through the
+        // precomputed border tables (no hashing).
         for (v, remote) in messages {
-            match partial.factors.get_mut(v) {
-                Some(local) => {
-                    for (l, r) in local.iter_mut().zip(remote.iter()) {
-                        *l = (*l + *r) / 2.0;
-                    }
-                }
-                None => {
-                    partial.factors.insert(*v, remote.clone());
+            let Some(pos) = fragment.border_position(*v) else {
+                continue;
+            };
+            let i = fragment.border_dense_indices()[pos as usize];
+            let local = &mut partial.factors[i];
+            if local.is_empty() {
+                *local = remote.clone();
+            } else {
+                for (l, r) in local.iter_mut().zip(remote.iter()) {
+                    *l = (*l + *r) / 2.0;
                 }
             }
         }
@@ -251,19 +311,29 @@ impl PieProgram for CfProgram {
             return;
         }
         partial.epochs_done += 1;
-        sgd_epoch(query, &mut partial.factors, &partial.ratings.clone());
+        sgd_epoch_dense(
+            query,
+            &mut partial.factors,
+            &partial.vertex_ids,
+            &partial.ratings,
+        );
         Self::publish_borders(fragment, partial, ctx);
     }
 
     fn assemble(&self, partials: Vec<CfPartial>) -> CfModel {
         // Average the factor estimates of vertices shared by several
-        // fragments.
+        // fragments. Each vertex's accumulation runs in fragment order, so
+        // the float sums are deterministic.
         let mut sums: HashMap<VertexId, (Vec<f64>, usize)> = HashMap::new();
         for partial in partials {
-            for (v, f) in partial.factors {
+            for (idx, &v) in partial.vertex_ids.iter().enumerate() {
+                let f = &partial.factors[idx as u32];
+                if f.is_empty() {
+                    continue;
+                }
                 match sums.get_mut(&v) {
                     None => {
-                        sums.insert(v, (f, 1));
+                        sums.insert(v, (f.clone(), 1));
                     }
                     Some((acc, count)) => {
                         for (a, x) in acc.iter_mut().zip(f.iter()) {
@@ -296,7 +366,7 @@ mod tests {
     use super::*;
     use grape_core::GrapeEngine;
     use grape_graph::generators::bipartite_ratings;
-    use grape_partition::{HashPartitioner, Partitioner};
+    use grape_partition::{build_fragments, BuiltinStrategy, HashPartitioner, Partitioner};
 
     fn as_triples(data: &grape_graph::generators::RatingData) -> Vec<(VertexId, VertexId, f64)> {
         data.train
@@ -367,6 +437,60 @@ mod tests {
         // The engine terminates because each fragment's epoch budget bounds
         // the total number of rounds by (fragments × epochs) + 2.
         assert!(result.stats.supersteps <= 4 * query.epochs + 2);
+    }
+
+    #[test]
+    fn each_rating_is_trained_by_exactly_one_fragment() {
+        // Cross-fragment audit regression: every rating edge of the bipartite
+        // graph is replicated into both endpoint fragments' local graphs (and
+        // the generator also records the reverse item→user edge), so a
+        // careless PEval would train cut ratings twice — double-counting
+        // their gradient. Pin the invariant: the union of the fragments'
+        // training sets equals the global user→item edge multiset exactly.
+        let data = bipartite_ratings(60, 25, 10, 4, 41).unwrap();
+        let mut expected: Vec<(VertexId, VertexId)> = data
+            .graph
+            .edges()
+            .filter(|(s, d, _)| (*s as usize) < data.num_users && (*d as usize) >= data.num_users)
+            .map(|(s, d, _)| (s, d))
+            .collect();
+        expected.sort_unstable();
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::Range] {
+            for k in [2usize, 5] {
+                let assignment = strategy.partition(&data.graph, k);
+                let fragments = build_fragments(&data.graph, &assignment);
+                let program = CfProgram::new(data.num_users);
+                let mut trained: Vec<(VertexId, VertexId)> = Vec::new();
+                let mut cut_ratings = 0usize;
+                for fragment in &fragments {
+                    let mut ctx = PieContext::new();
+                    let slots: Vec<u32> = (0..fragment.border_vertices().len() as u32).collect();
+                    ctx.configure_borders(fragment.border_vertices(), &slots);
+                    let partial = program.peval(&CfQuery::default(), fragment, &mut ctx);
+                    for &(u, i, _) in &partial.ratings {
+                        let user = fragment.graph.vertex_of(u);
+                        let item = fragment.graph.vertex_of(i);
+                        if fragment.is_outer(item) {
+                            cut_ratings += 1;
+                        }
+                        trained.push((user, item));
+                    }
+                }
+                trained.sort_unstable();
+                assert_eq!(
+                    trained, expected,
+                    "{strategy:?}/{k} fragments: each rating must be trained \
+                     exactly once, no duplicates across cut edges"
+                );
+                if k > 1 {
+                    assert!(
+                        cut_ratings > 0,
+                        "{strategy:?}/{k}: the test must actually cover cut \
+                         rating edges"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

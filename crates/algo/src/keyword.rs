@@ -17,10 +17,18 @@
 //!   Assurance Theorem applies.
 //! * **IncEval** relaxes backwards from border vertices whose vector
 //!   improved.
-//! * **Assemble** merges the vectors and extracts the ranked answers.
+//! * **Assemble** merges the vectors and extracts the ranked answers,
+//!   re-applying the query's distance bound (each fragment carries the bound
+//!   in its partial, so a finite `max_total_distance` filters the merged
+//!   answers exactly like the sequential reference).
+//!
+//! The per-fragment state is one flat [`VertexDenseMap<f64>`] per keyword,
+//! keyed by the local graph's dense CSR indices; the relaxation loops run
+//! over the flat CSR in-neighbour slices and never touch a `HashMap`.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::labels::LabeledVertex;
+use grape_graph::{CsrGraph, VertexDenseMap};
 use std::collections::{BinaryHeap, HashMap};
 
 /// A keyword-search query.
@@ -57,10 +65,13 @@ pub struct KeywordAnswer {
     pub total: f64,
 }
 
+/// Min-heap entry, reversed so `BinaryHeap` pops the smallest distance
+/// first; generic over the vertex-id type so the global-id reference path
+/// (`VertexId`) and the dense hot path (`u32`) share one ordering.
 #[derive(PartialEq)]
-struct HeapEntry(f64, VertexId);
-impl Eq for HeapEntry {}
-impl Ord for HeapEntry {
+struct HeapEntry<I>(f64, I);
+impl<I: Ord + PartialEq> Eq for HeapEntry<I> {}
+impl<I: Ord> Ord for HeapEntry<I> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         other
             .0
@@ -69,7 +80,7 @@ impl Ord for HeapEntry {
             .then_with(|| other.1.cmp(&self.1))
     }
 }
-impl PartialOrd for HeapEntry {
+impl<I: Ord> PartialOrd for HeapEntry<I> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -166,10 +177,29 @@ pub fn rank_answers(
     answers
 }
 
-/// Per-fragment partial state: the distance vector of every local vertex.
-#[derive(Debug, Clone, Default)]
+/// Per-fragment partial state: one flat distance array per keyword, keyed by
+/// the local graph's dense indices.
+#[derive(Debug, Clone)]
 pub struct KeywordPartial {
-    dist: HashMap<VertexId, DistanceVector>,
+    /// `dist[k][i]` = distance from local dense vertex `i` to the nearest
+    /// holder of keyword `k`.
+    dist: Vec<VertexDenseMap<f64>>,
+    /// Global ids aligned with the dense indices (the local graph's id
+    /// table), kept so Assemble can translate without the fragments at hand.
+    vertex_ids: Vec<VertexId>,
+    /// The query's distance bound, carried into Assemble so the merged
+    /// answers are filtered exactly like the sequential reference.
+    max_total_distance: f64,
+}
+
+impl Default for KeywordPartial {
+    fn default() -> Self {
+        Self {
+            dist: Vec::new(),
+            vertex_ids: Vec::new(),
+            max_total_distance: f64::INFINITY,
+        }
+    }
 }
 
 /// The keyword-search PIE program.
@@ -177,56 +207,51 @@ pub struct KeywordPartial {
 pub struct KeywordProgram;
 
 impl KeywordProgram {
+    /// Backward Dijkstra restricted to keyword slot `k`, seeded with the
+    /// given `(dense vertex, distance)` pairs, relaxing over the flat CSR
+    /// in-neighbour slices.
     fn relax_keyword(
-        fragment: &Fragment<LabeledVertex, String>,
-        partial: &mut KeywordPartial,
-        k: usize,
-        seeds: &[(VertexId, f64)],
+        graph: &CsrGraph<LabeledVertex, String>,
+        dist: &mut VertexDenseMap<f64>,
+        seeds: &[(u32, f64)],
     ) -> usize {
-        // Backward Dijkstra restricted to keyword slot `k`, seeded with the
-        // given (vertex, distance) pairs.
-        let mut dist: HashMap<VertexId, f64> =
-            partial.dist.iter().map(|(v, vec)| (*v, vec[k])).collect();
         let mut heap = BinaryHeap::new();
         let mut changed = 0usize;
         for &(v, d) in seeds {
-            if d < dist.get(&v).copied().unwrap_or(f64::INFINITY) {
-                dist.insert(v, d);
+            if d < dist[v] {
+                dist[v] = d;
                 changed += 1;
                 heap.push(HeapEntry(d, v));
             }
         }
         while let Some(HeapEntry(d, v)) = heap.pop() {
-            if d > dist.get(&v).copied().unwrap_or(f64::INFINITY) {
+            if d > dist[v] {
                 continue;
             }
-            for (u, _) in fragment.graph.in_edges(v) {
+            for &u in graph.in_neighbors_dense(v) {
                 let nd = d + 1.0;
-                if nd < dist.get(&u).copied().unwrap_or(f64::INFINITY) {
-                    dist.insert(u, nd);
+                if nd < dist[u] {
+                    dist[u] = nd;
                     changed += 1;
                     heap.push(HeapEntry(nd, u));
                 }
             }
         }
-        for (v, d) in dist {
-            if let Some(vec) = partial.dist.get_mut(&v) {
-                vec[k] = d;
-            }
-        }
         changed
     }
 
+    /// Publishes the distance vector of every border vertex that is already
+    /// reachable for at least one keyword. Position-addressed via the border
+    /// tables — an indexed gather per vertex, no lookup.
     fn publish_borders(
         fragment: &Fragment<LabeledVertex, String>,
         partial: &KeywordPartial,
         ctx: &mut PieContext<DistanceVector>,
     ) {
-        for &b in fragment.border_vertices() {
-            if let Some(vec) = partial.dist.get(&b) {
-                if vec.iter().any(|d| d.is_finite()) {
-                    ctx.update(b, vec.clone());
-                }
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
+            let vec: DistanceVector = partial.dist.iter().map(|d| d[i]).collect();
+            if vec.iter().any(|d| d.is_finite()) {
+                ctx.update_at(pos as u32, vec);
             }
         }
     }
@@ -246,26 +271,19 @@ impl PieProgram for KeywordProgram {
         fragment: &Fragment<LabeledVertex, String>,
         ctx: &mut PieContext<DistanceVector>,
     ) -> KeywordPartial {
+        let g = &fragment.graph;
+        let n = g.num_vertices();
         let mut partial = KeywordPartial {
-            dist: fragment
-                .graph
-                .vertices()
-                .map(|v| (v, vec![f64::INFINITY; query.keywords.len()]))
-                .collect(),
+            dist: vec![VertexDenseMap::new(n, f64::INFINITY); query.keywords.len()],
+            vertex_ids: g.vertex_ids().to_vec(),
+            max_total_distance: query.max_total_distance,
         };
         for (k, keyword) in query.keywords.iter().enumerate() {
-            let sources: Vec<(VertexId, f64)> = fragment
-                .graph
-                .vertices()
-                .filter(|v| {
-                    fragment
-                        .graph
-                        .vertex_data(*v)
-                        .is_some_and(|d| d.has_keyword(keyword))
-                })
-                .map(|v| (v, 0.0))
+            let sources: Vec<(u32, f64)> = (0..n as u32)
+                .filter(|&i| g.vertex_data_at(i).has_keyword(keyword))
+                .map(|i| (i, 0.0))
                 .collect();
-            Self::relax_keyword(fragment, &mut partial, k, &sources);
+            Self::relax_keyword(g, &mut partial.dist[k], &sources);
         }
         Self::publish_borders(fragment, &partial, ctx);
         partial
@@ -279,17 +297,28 @@ impl PieProgram for KeywordProgram {
         messages: &[(VertexId, DistanceVector)],
         ctx: &mut PieContext<DistanceVector>,
     ) {
+        let g = &fragment.graph;
+        // Translate the message vertices once at the boundary through the
+        // precomputed border tables (binary search, no hashing).
+        let dense_messages: Vec<(u32, &DistanceVector)> = messages
+            .iter()
+            .filter_map(|(v, vec)| {
+                fragment
+                    .border_position(*v)
+                    .map(|pos| (fragment.border_dense_indices()[pos as usize], vec))
+            })
+            .collect();
         let mut total_changed = 0usize;
         for k in 0..query.keywords.len() {
-            let seeds: Vec<(VertexId, f64)> = messages
+            let seeds: Vec<(u32, f64)> = dense_messages
                 .iter()
                 .filter(|(_, vec)| vec.len() > k && vec[k].is_finite())
-                .map(|(v, vec)| (*v, vec[k]))
+                .map(|(i, vec)| (*i, vec[k]))
                 .collect();
             if seeds.is_empty() {
                 continue;
             }
-            total_changed += Self::relax_keyword(fragment, partial, k, &seeds);
+            total_changed += Self::relax_keyword(g, &mut partial.dist[k], &seeds);
         }
         if total_changed == 0 {
             return;
@@ -299,30 +328,34 @@ impl PieProgram for KeywordProgram {
 
     fn assemble(&self, partials: Vec<KeywordPartial>) -> Vec<KeywordAnswer> {
         let mut merged: HashMap<VertexId, DistanceVector> = HashMap::new();
+        // All fragments carry the same query bound; fold with `min` so an
+        // empty run stays unbounded.
+        let bound = partials
+            .iter()
+            .map(|p| p.max_total_distance)
+            .fold(f64::INFINITY, f64::min);
         let mut width = 0usize;
         for partial in &partials {
-            for (v, vec) in &partial.dist {
-                width = width.max(vec.len());
-                match merged.get_mut(v) {
+            width = width.max(partial.dist.len());
+            for (idx, &v) in partial.vertex_ids.iter().enumerate() {
+                let i = idx as u32;
+                match merged.get_mut(&v) {
                     None => {
-                        merged.insert(*v, vec.clone());
+                        merged.insert(v, partial.dist.iter().map(|d| d[i]).collect());
                     }
                     Some(existing) => {
-                        for (e, d) in existing.iter_mut().zip(vec.iter()) {
-                            if d < e {
-                                *e = *d;
+                        for (e, d) in existing.iter_mut().zip(partial.dist.iter().map(|d| d[i])) {
+                            if d < *e {
+                                *e = d;
                             }
                         }
                     }
                 }
             }
         }
-        // The assemble step needs the original query bound; it is encoded in
-        // the answers by the caller via rank_answers, so here we use an
-        // unbounded query and let callers re-rank if they need the bound.
         let query = KeywordQuery {
             keywords: vec![String::new(); width],
-            max_total_distance: f64::INFINITY,
+            max_total_distance: bound,
         };
         rank_answers(&merged, &query)
     }
@@ -432,6 +465,51 @@ mod tests {
                 assert_eq!(got.distances, want.distances);
             }
             assert_eq!(result.stats.monotonicity_violations, 0);
+        }
+    }
+
+    #[test]
+    fn finite_distance_bound_is_applied_across_fragments() {
+        // Regression: Assemble used to rank the merged vectors against an
+        // *unbounded* query, so a finite `max_total_distance` was silently
+        // ignored on the distributed path (the parity test above dodged it
+        // with an infinite bound). The bound now rides in the partials.
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 220,
+                num_products: 8,
+                ..Default::default()
+            },
+            51,
+        )
+        .unwrap();
+        for bound in [0.0, 1.0, 3.0, 5.0] {
+            let query = KeywordQuery::new(["phone", "laptop"], bound);
+            let reference = sequential_keyword(&g, &query);
+            let unbounded =
+                sequential_keyword(&g, &KeywordQuery::new(["phone", "laptop"], f64::INFINITY));
+            for k in [2usize, 5] {
+                let assignment = BuiltinStrategy::Hash.partition(&g, k);
+                let result = GrapeEngine::new(KeywordProgram)
+                    .run_on_graph(&query, &g, &assignment)
+                    .unwrap();
+                assert_eq!(
+                    result.output.len(),
+                    reference.len(),
+                    "bound {bound}, {k} fragments: distributed answers must be \
+                     filtered by the query bound"
+                );
+                for (got, want) in result.output.iter().zip(reference.iter()) {
+                    assert_eq!(got.root, want.root);
+                    assert_eq!(got.distances, want.distances);
+                    assert!(got.total <= bound);
+                }
+            }
+            // The bound actually bites on this graph (otherwise the
+            // regression test would be vacuous).
+            if bound < 5.0 {
+                assert!(reference.len() < unbounded.len());
+            }
         }
     }
 

@@ -37,6 +37,6 @@ pub use cf::{CfProgram, CfQuery};
 pub use keyword::{KeywordProgram, KeywordQuery};
 pub use marketing::{Gpar, MarketingProgram, MarketingQuery};
 pub use pagerank::{PageRankProgram, PageRankQuery};
-pub use sim::{SimProgram, SimQuery};
+pub use sim::{SimProgram, SimQuery, SimQueryError};
 pub use sssp::{SsspProgram, SsspQuery};
 pub use subiso::{SubIsoProgram, SubIsoQuery};

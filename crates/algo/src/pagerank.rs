@@ -19,6 +19,17 @@
 //! PageRank is not monotonic, so (unlike SSSP/CC) it does not fall under the
 //! Assurance Theorem; termination is ensured by the tolerance rounding, as in
 //! every practical PageRank implementation.
+//!
+//! **Dangling vertices.** Vertices without out-edges would leak their rank
+//! mass every iteration (the ranks would no longer sum to 1). The sequential
+//! reference redistributes the dangling mass uniformly each sweep — the
+//! standard "dangling node" correction. The distributed program reaches the
+//! same answer without a per-iteration global reduction by exploiting a
+//! classical identity: with uniform teleport, the redistributed fixpoint is
+//! the *leaky* fixpoint rescaled to total mass 1 (fold the dangling term
+//! `c·(dᵀx)/n · e` into the teleport and both systems differ only by that
+//! scalar). Each fragment iterates the leaky system as before and Assemble
+//! normalizes the merged ranks once.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::{CsrGraph, VertexDenseMap};
@@ -46,6 +57,11 @@ impl Default for PageRankQuery {
 }
 
 /// Sequential PageRank over a whole graph — the reference implementation.
+///
+/// The rank mass of dangling vertices (no out-edges) is redistributed
+/// uniformly every sweep, so the ranks always sum to 1 — previously that
+/// mass was silently dropped (`out == 0 => continue`) and the totals on
+/// graphs with sinks drifted below 1.
 pub fn sequential_pagerank(
     graph: &CsrGraph<(), f64>,
     query: &PageRankQuery,
@@ -61,15 +77,23 @@ pub fn sequential_pagerank(
             .vertices()
             .map(|v| (v, (1.0 - query.damping) / n as f64))
             .collect();
+        let mut dangling = 0.0f64;
         for v in graph.vertices() {
             let out = graph.out_degree(v);
             let r = rank[&v];
             if out == 0 {
+                dangling += r;
                 continue;
             }
             let share = query.damping * r / out as f64;
             for (u, _) in graph.out_edges(v) {
                 *next.get_mut(&u).expect("vertex exists") += share;
+            }
+        }
+        if dangling > 0.0 {
+            let correction = query.damping * dangling / n as f64;
+            for r in next.values_mut() {
+                *r += correction;
             }
         }
         rank = next;
@@ -248,9 +272,21 @@ impl PieProgram for PageRankProgram {
 
     fn assemble(&self, partials: Vec<PageRankPartial>) -> HashMap<VertexId, f64> {
         let mut out = HashMap::new();
+        // Accumulate the total leaked-system mass in deterministic fragment /
+        // inner-vertex order, then rescale once: at the fixpoint this equals
+        // redistributing the dangling mass uniformly every iteration (see the
+        // module docs), and it keeps the distributed path free of global
+        // per-iteration reductions.
+        let mut total = 0.0f64;
+        for partial in &partials {
+            for &i in &partial.inner_dense {
+                total += partial.rank[i];
+            }
+        }
         for partial in partials {
             for (&v, &i) in partial.inner_ids.iter().zip(&partial.inner_dense) {
-                out.insert(v, partial.rank[i]);
+                let r = partial.rank[i];
+                out.insert(v, if total > 0.0 { r / total } else { r });
             }
         }
         out
@@ -276,13 +312,29 @@ mod tests {
     use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner};
 
     #[test]
-    fn sequential_pagerank_sums_to_roughly_one_and_ranks_hubs_higher() {
-        let g = barabasi_albert(300, 3, 17).unwrap();
+    fn sequential_pagerank_sums_to_one_even_with_dangling_vertices() {
+        // A hub-and-spoke graph where every sink is dangling: vertices
+        // 301..=330 receive edges but have no out-edges. Dropping their rank
+        // mass used to make the totals drift below 1; the uniform
+        // redistribution keeps the distribution normalized.
+        let mut b = GraphBuilder::<(), f64>::new();
+        let base = barabasi_albert(300, 3, 17).unwrap();
+        for (s, d, w) in base.edges() {
+            b.add_edge(s, d, *w);
+        }
+        for sink in 301..=330u64 {
+            b.add_edge(sink % 300, sink, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert!(
+            g.vertices().filter(|v| g.out_degree(*v) == 0).count() >= 30,
+            "the test graph must actually contain dangling vertices"
+        );
         let pr = sequential_pagerank(&g, &PageRankQuery::default(), 40);
         let total: f64 = pr.values().sum();
         assert!(
-            (total - 1.0).abs() < 0.01,
-            "ranks sum to ~1 on a graph without dangling vertices, got {total}"
+            (total - 1.0).abs() < 1e-9,
+            "ranks must sum to 1 even with dangling vertices, got {total}"
         );
         let hub = g
             .vertices()
@@ -290,6 +342,47 @@ mod tests {
             .unwrap();
         let avg = 1.0 / g.num_vertices() as f64;
         assert!(pr[&hub] > 2.0 * avg);
+    }
+
+    #[test]
+    fn distributed_pagerank_matches_sequential_on_dangling_graph() {
+        // The distributed program folds the dangling correction into a single
+        // Assemble-time rescale; at the fixpoint that equals the sequential
+        // per-iteration redistribution.
+        let mut b = GraphBuilder::<(), f64>::new();
+        let base = erdos_renyi(120, 0.05, 3).unwrap();
+        for (s, d, w) in base.edges() {
+            b.add_edge(s, d, *w);
+        }
+        for sink in 200..215u64 {
+            b.add_edge(sink % 120, sink, 1.0);
+        }
+        let g = b.build().unwrap();
+        assert!(g.vertices().any(|v| g.out_degree(v) == 0));
+        let query = PageRankQuery {
+            max_local_iterations: 120,
+            tolerance: 1e-10,
+            ..Default::default()
+        };
+        let reference = sequential_pagerank(&g, &query, 120);
+        let program = PageRankProgram::new(g.num_vertices());
+        for k in [1usize, 4] {
+            let result = GrapeEngine::new(program)
+                .run_on_graph(&query, &g, &HashPartitioner.partition(&g, k))
+                .unwrap();
+            let total: f64 = result.output.values().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "k={k}: distributed ranks must sum to 1, got {total}"
+            );
+            for (v, r) in &reference {
+                let got = result.output.get(v).copied().unwrap_or(0.0);
+                assert!(
+                    (got - r).abs() < 5e-3,
+                    "k={k} vertex {v}: {got} vs sequential {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //! PIE formulation:
 //!
 //! * The candidate set of every data vertex is encoded as a **bitmask over
-//!   pattern vertices** (`u64`, patterns are small).
+//!   pattern vertices** (`u64`; [`SimQuery::try_new`] rejects wider patterns
+//!   with a typed error).
 //! * **PEval** runs the sequential Henzinger–Henzinger–Kopke-style fixpoint
 //!   on the fragment, treating mirror vertices optimistically (any
 //!   label-compatible pattern vertex).
@@ -22,32 +23,88 @@
 //!   Theorem applies.
 //! * **IncEval** shrinks mirror masks with the received values and re-runs
 //!   the local fixpoint.
+//!
+//! The per-fragment state is a flat [`VertexDenseMap<u64>`] keyed by the
+//! local graph's dense CSR indices, and the refinement loop is a
+//! bitset-driven worklist: when a vertex's mask shrinks, only its (eligible)
+//! in-neighbours are re-examined, instead of re-scanning every vertex per
+//! pass. The greatest simulation is a unique fixpoint, so the worklist order
+//! cannot change the answer.
 
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::labels::{LabeledVertex, PatternGraph};
-use grape_graph::CsrGraph;
-use std::collections::{HashMap, HashSet};
+use grape_graph::{CsrGraph, DenseBitset, VertexDenseMap};
+use std::collections::HashSet;
+
+/// The number of pattern vertices a simulation query can hold: masks are
+/// `u64`, one bit per pattern vertex.
+pub const MAX_PATTERN_WIDTH: usize = 64;
+
+/// Why a [`SimQuery`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimQueryError {
+    /// The pattern has more vertices than a `u64` mask has bits; shifting by
+    /// the vertex index would overflow (panic in debug, silent wrap in
+    /// release), so wide patterns are rejected up front.
+    PatternTooWide {
+        /// Number of vertices in the offending pattern.
+        width: usize,
+    },
+    /// A pattern edge references a vertex outside `0..width`.
+    InvalidPattern(String),
+}
+
+impl std::fmt::Display for SimQueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimQueryError::PatternTooWide { width } => write!(
+                f,
+                "simulation patterns are limited to {MAX_PATTERN_WIDTH} vertices \
+                 (64 vertices per u64 mask), got {width}"
+            ),
+            SimQueryError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimQueryError {}
 
 /// A graph-simulation query: a small pattern graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimQuery {
-    /// The pattern; at most 64 vertices (masks are `u64`).
+    /// The pattern; at most [`MAX_PATTERN_WIDTH`] vertices (masks are `u64`).
     pub pattern: PatternGraph,
 }
 
 impl SimQuery {
+    /// Creates a query, validating the pattern width and edge endpoints.
+    ///
+    /// A pattern with more than [`MAX_PATTERN_WIDTH`] vertices is rejected
+    /// with [`SimQueryError::PatternTooWide`]: the candidate masks are `u64`
+    /// and `1 << u` for pattern vertex `u ≥ 64` would overflow the shift.
+    pub fn try_new(pattern: PatternGraph) -> Result<Self, SimQueryError> {
+        if pattern.num_vertices() > MAX_PATTERN_WIDTH {
+            return Err(SimQueryError::PatternTooWide {
+                width: pattern.num_vertices(),
+            });
+        }
+        pattern
+            .validate()
+            .map_err(|e| SimQueryError::InvalidPattern(e.to_string()))?;
+        Ok(Self { pattern })
+    }
+
     /// Creates a query, validating the pattern.
     ///
     /// # Panics
     /// Panics if the pattern has more than 64 vertices or dangling edge
     /// endpoints — both indicate programmer error in query construction.
+    /// Fallible callers should use [`SimQuery::try_new`].
     pub fn new(pattern: PatternGraph) -> Self {
-        assert!(
-            pattern.num_vertices() <= 64,
-            "simulation patterns are limited to 64 vertices"
-        );
-        pattern.validate().expect("pattern edges must be valid");
-        Self { pattern }
+        match Self::try_new(pattern) {
+            Ok(query) => query,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -65,86 +122,123 @@ fn label_mask(pattern: &PatternGraph, data: &LabeledVertex) -> u64 {
     mask
 }
 
-/// One pass of the simulation-refinement loop over the given vertices.
-/// `check_out_edges(v)` tells whether `v`'s out-edges are fully known (inner
-/// vertices of a fragment, or all vertices in the sequential case).
+/// The initial (label-only) candidate mask of every local vertex.
+fn initial_masks(
+    pattern: &PatternGraph,
+    graph: &CsrGraph<LabeledVertex, String>,
+) -> VertexDenseMap<u64> {
+    VertexDenseMap::from_fn(graph.num_vertices(), |i| {
+        label_mask(pattern, graph.vertex_data_at(i))
+    })
+}
+
+/// Bitset-driven worklist refinement of the simulation masks.
+///
+/// `eligible` marks the vertices whose out-edges are fully known (inner
+/// vertices of a fragment, or all vertices in the sequential case); only
+/// those are refined — the masks of the rest (mirrors) act as fixed
+/// optimistic input. `seeds` is the initial worklist; callers pass every
+/// eligible vertex for a from-scratch fixpoint or just the vertices whose
+/// mask was tightened externally for an incremental one. When a mask
+/// shrinks, the vertex's eligible in-neighbours are re-queued (their witness
+/// may have vanished), so a quiet superstep costs O(changed), not O(n).
+///
+/// The greatest simulation relation is a unique fixpoint of this monotone
+/// operator, so the processing order cannot affect the result.
 fn refine(
     pattern: &PatternGraph,
     graph: &CsrGraph<LabeledVertex, String>,
-    masks: &mut HashMap<VertexId, u64>,
-    check: &dyn Fn(VertexId) -> bool,
+    masks: &mut VertexDenseMap<u64>,
+    eligible: &DenseBitset,
+    seeds: impl IntoIterator<Item = u32>,
 ) -> bool {
+    debug_assert!(
+        graph.has_reverse(),
+        "sim::refine needs the reverse adjacency to drive its worklist"
+    );
+    let mut queued = DenseBitset::new(graph.num_vertices());
+    let mut queue: Vec<u32> = Vec::new();
+    for v in seeds {
+        if eligible.contains(v) && !queued.contains(v) {
+            queued.set(v);
+            queue.push(v);
+        }
+    }
     let mut changed_any = false;
-    let mut changed = true;
-    while changed {
-        changed = false;
-        let vertices: Vec<VertexId> = masks.keys().copied().collect();
-        for v in vertices {
-            if !check(v) {
+    while let Some(v) = queue.pop() {
+        queued.clear(v);
+        let current = masks[v];
+        if current == 0 {
+            continue;
+        }
+        let mut next = current;
+        for u in 0..pattern.num_vertices() {
+            if next & (1 << u) == 0 {
                 continue;
             }
-            let current = masks[&v];
-            if current == 0 {
-                continue;
-            }
-            let mut next = current;
-            for u in 0..pattern.num_vertices() {
-                if next & (1 << u) == 0 {
-                    continue;
-                }
-                // Every pattern out-edge of u must be witnessed.
-                for (u_child, relation) in pattern.out_edges(u) {
-                    let witnessed = graph.out_edges(v).any(|(v_child, rel)| {
-                        relation.is_none_or(|r| r == rel)
-                            && masks.get(&v_child).copied().unwrap_or(0) & (1 << u_child) != 0
-                    });
-                    if !witnessed {
-                        next &= !(1 << u);
-                        break;
-                    }
+            // Every pattern out-edge of u must be witnessed.
+            for (u_child, relation) in pattern.out_edges(u) {
+                let witnessed = graph.out_edges_dense(v).any(|(v_child, rel)| {
+                    relation.is_none_or(|r| r == rel) && masks[v_child] & (1 << u_child) != 0
+                });
+                if !witnessed {
+                    next &= !(1 << u);
+                    break;
                 }
             }
-            if next != current {
-                masks.insert(v, next);
-                changed = true;
-                changed_any = true;
+        }
+        if next != current {
+            masks.set(v, next);
+            changed_any = true;
+            // Re-examine the vertices that may have used v as a witness.
+            for &p in graph.in_neighbors_dense(v) {
+                if eligible.contains(p) && !queued.contains(p) {
+                    queued.set(p);
+                    queue.push(p);
+                }
             }
         }
     }
     changed_any
 }
 
+/// A bitset with every vertex of `graph` marked eligible.
+fn all_eligible(graph: &CsrGraph<LabeledVertex, String>) -> DenseBitset {
+    let mut all = DenseBitset::new(graph.num_vertices());
+    for i in 0..graph.num_vertices() as u32 {
+        all.set(i);
+    }
+    all
+}
+
 /// Sequential graph simulation over a whole labeled graph — the reference
 /// algorithm (and what a user would plug into PEval).
+///
+/// # Panics
+/// Panics if the pattern is wider than [`MAX_PATTERN_WIDTH`] vertices; use
+/// [`SimQuery::try_new`] to validate untrusted patterns first.
 pub fn sequential_sim(
     graph: &CsrGraph<LabeledVertex, String>,
     pattern: &PatternGraph,
 ) -> SimMatches {
-    let mut masks: HashMap<VertexId, u64> = graph
-        .vertices()
-        .map(|v| {
-            (
-                v,
-                label_mask(pattern, graph.vertex_data(v).expect("present")),
-            )
-        })
-        .collect();
-    refine(pattern, graph, &mut masks, &|_| true);
-    collect_matches(pattern, &masks, None)
-}
-
-fn collect_matches(
-    pattern: &PatternGraph,
-    masks: &HashMap<VertexId, u64>,
-    only: Option<&HashSet<VertexId>>,
-) -> SimMatches {
-    let mut out = vec![HashSet::new(); pattern.num_vertices()];
-    for (&v, &mask) in masks {
-        if let Some(filter) = only {
-            if !filter.contains(&v) {
-                continue;
-            }
+    assert!(
+        pattern.num_vertices() <= MAX_PATTERN_WIDTH,
+        "{}",
+        SimQueryError::PatternTooWide {
+            width: pattern.num_vertices()
         }
+    );
+    let mut masks = initial_masks(pattern, graph);
+    let eligible = all_eligible(graph);
+    refine(
+        pattern,
+        graph,
+        &mut masks,
+        &eligible,
+        0..graph.num_vertices() as u32,
+    );
+    let mut out = vec![HashSet::new(); pattern.num_vertices()];
+    for (v, &mask) in masks.iter_with(graph) {
         for (u, bucket) in out.iter_mut().enumerate() {
             if mask & (1 << u) != 0 {
                 bucket.insert(v);
@@ -154,11 +248,16 @@ fn collect_matches(
     out
 }
 
-/// Per-fragment partial state: the bitmask of every local vertex.
+/// Per-fragment partial state: the bitmask of every local vertex, flat over
+/// the local graph's dense indices.
 #[derive(Debug, Clone, Default)]
 pub struct SimPartial {
-    masks: HashMap<VertexId, u64>,
-    inner: HashSet<VertexId>,
+    masks: VertexDenseMap<u64>,
+    /// Global ids of the inner vertices, aligned with `inner_dense`, so
+    /// Assemble can translate without the fragments at hand.
+    inner_ids: Vec<VertexId>,
+    /// Dense indices of the inner vertices.
+    inner_dense: Vec<u32>,
     /// Number of pattern vertices (needed by Assemble to size the result).
     pattern_width: usize,
 }
@@ -166,6 +265,24 @@ pub struct SimPartial {
 /// The graph-simulation PIE program.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimProgram;
+
+impl SimProgram {
+    /// Publishes the authoritative mask of every inner border vertex so
+    /// fragments holding it as a mirror can tighten their view.
+    fn publish_borders(
+        fragment: &Fragment<LabeledVertex, String>,
+        partial: &SimPartial,
+        ctx: &mut PieContext<u64>,
+    ) {
+        for (&pos, &i) in fragment
+            .mirrored_inner_border_positions()
+            .iter()
+            .zip(fragment.mirrored_inner_dense_indices())
+        {
+            ctx.update_at(pos, partial.masks[i]);
+        }
+    }
+}
 
 impl PieProgram for SimProgram {
     type Query = SimQuery;
@@ -181,38 +298,22 @@ impl PieProgram for SimProgram {
         fragment: &Fragment<LabeledVertex, String>,
         ctx: &mut PieContext<u64>,
     ) -> SimPartial {
-        let mut masks: HashMap<VertexId, u64> = fragment
-            .graph
-            .vertices()
-            .map(|v| {
-                (
-                    v,
-                    label_mask(
-                        &query.pattern,
-                        fragment.graph.vertex_data(v).expect("present"),
-                    ),
-                )
-            })
-            .collect();
-        let inner: HashSet<VertexId> = fragment.inner_vertices().iter().copied().collect();
-        {
-            let inner_ref = &inner;
-            refine(&query.pattern, &fragment.graph, &mut masks, &|v| {
-                inner_ref.contains(&v)
-            });
-        }
-        // The owner of each inner border vertex publishes its (authoritative)
-        // mask so fragments holding it as a mirror can tighten their view.
-        for &v in fragment.inner_vertices() {
-            if !fragment.mirrors_of(v).is_empty() {
-                ctx.update(v, masks[&v]);
-            }
-        }
-        SimPartial {
-            masks,
-            inner,
+        let g = &fragment.graph;
+        let mut partial = SimPartial {
+            masks: initial_masks(&query.pattern, g),
+            inner_ids: fragment.inner_vertices().to_vec(),
+            inner_dense: fragment.inner_dense_indices().to_vec(),
             pattern_width: query.pattern.num_vertices(),
-        }
+        };
+        refine(
+            &query.pattern,
+            g,
+            &mut partial.masks,
+            fragment.inner_bitset(),
+            fragment.inner_dense_indices().iter().copied(),
+        );
+        Self::publish_borders(fragment, &partial, ctx);
+        partial
     }
 
     fn inceval(
@@ -223,46 +324,59 @@ impl PieProgram for SimProgram {
         messages: &[(VertexId, u64)],
         ctx: &mut PieContext<u64>,
     ) {
-        let mut changed = false;
-        for (v, mask) in messages {
-            if fragment.is_outer(*v) {
-                let entry = partial.masks.entry(*v).or_insert(u64::MAX);
-                let tightened = *entry & *mask;
-                if tightened != *entry {
-                    *entry = tightened;
-                    changed = true;
-                }
+        let g = &fragment.graph;
+        // Tighten mirror masks with the received values; translate once at
+        // the boundary through the precomputed border tables (no hashing).
+        let mut tightened: Vec<u32> = Vec::new();
+        for &(v, mask) in messages {
+            let Some(pos) = fragment.border_position(v) else {
+                continue;
+            };
+            let i = fragment.border_dense_indices()[pos as usize];
+            if !fragment.is_outer_dense(i) {
+                continue;
+            }
+            let entry = &mut partial.masks[i];
+            let next = *entry & mask;
+            if next != *entry {
+                *entry = next;
+                tightened.push(i);
             }
         }
-        if !changed {
+        if tightened.is_empty() {
             return;
         }
-        let inner_ref = &partial.inner;
-        refine(&query.pattern, &fragment.graph, &mut partial.masks, &|v| {
-            inner_ref.contains(&v)
-        });
-        for &v in fragment.inner_vertices() {
-            if !fragment.mirrors_of(v).is_empty() {
-                let value = partial.masks[&v];
-                ctx.update(v, value);
-            }
-        }
+        // Only the in-neighbours of the tightened mirrors can lose a witness;
+        // the worklist propagates from there.
+        let seeds = tightened
+            .iter()
+            .flat_map(|&i| g.in_neighbors_dense(i).iter().copied());
+        refine(
+            &query.pattern,
+            g,
+            &mut partial.masks,
+            fragment.inner_bitset(),
+            seeds,
+        );
+        Self::publish_borders(fragment, partial, ctx);
     }
 
     fn assemble(&self, partials: Vec<SimPartial>) -> SimMatches {
         // Merge the masks of inner vertices only (mirror masks may be stale
-        // supersets).
+        // supersets); each vertex is inner to exactly one fragment.
         let width = partials.iter().map(|p| p.pattern_width).max().unwrap_or(0);
-        let mut merged: HashMap<VertexId, u64> = HashMap::new();
+        let mut out = vec![HashSet::new(); width];
         for partial in &partials {
-            for (&v, &mask) in &partial.masks {
-                if partial.inner.contains(&v) {
-                    merged.insert(v, mask);
+            for (&v, &i) in partial.inner_ids.iter().zip(&partial.inner_dense) {
+                let mask = partial.masks[i];
+                for (u, bucket) in out.iter_mut().enumerate() {
+                    if mask & (1 << u) != 0 {
+                        bucket.insert(v);
+                    }
                 }
             }
         }
-        let pattern_stub = PatternGraph::new(vec![Default::default(); width]);
-        collect_matches(&pattern_stub, &merged, None)
+        out
     }
 
     fn aggregate(&self, a: &u64, b: &u64) -> u64 {
@@ -402,6 +516,41 @@ mod tests {
     fn oversized_pattern_is_rejected() {
         let labels = vec![grape_graph::VertexLabel::from("x"); 65];
         SimQuery::new(PatternGraph::new(labels));
+    }
+
+    #[test]
+    fn oversized_pattern_yields_typed_error() {
+        // Regression: a 65-vertex pattern used to reach `1 << 64` in
+        // label_mask/refine — a shift overflow (panic in debug, silent wrap
+        // in release). Width is now validated at query construction.
+        let labels = vec![grape_graph::VertexLabel::from("x"); 65];
+        let err = SimQuery::try_new(PatternGraph::new(labels)).unwrap_err();
+        assert_eq!(err, SimQueryError::PatternTooWide { width: 65 });
+        assert!(err.to_string().contains("64 vertices"));
+        assert!(err.to_string().contains("65"));
+
+        // A 64-vertex pattern is exactly at the limit and must be accepted
+        // (bit 63 is a valid shift) — and must survive a refinement pass.
+        let labels = vec![grape_graph::VertexLabel::from("person"); 64];
+        let query = SimQuery::try_new(PatternGraph::new(labels).edge(62, 63)).unwrap();
+        let g = tiny_graph();
+        let matches = sequential_sim(&g, &query.pattern);
+        assert_eq!(matches.len(), 64);
+        // Persons in tiny_graph: 0, 1, 3. Pattern vertex 63 (the top mask
+        // bit) is any person; 62 needs an out-edge to a person (0 → 1,
+        // 3 → 0); edge-free pattern vertices match every person.
+        assert_eq!(matches[63], HashSet::from([0, 1, 3]));
+        assert_eq!(matches[62], HashSet::from([0, 3]));
+        assert_eq!(matches[0], HashSet::from([0, 1, 3]));
+    }
+
+    #[test]
+    fn invalid_pattern_edges_yield_typed_error() {
+        let bad = PatternGraph::new(vec!["x".into()]).edge(0, 5);
+        match SimQuery::try_new(bad) {
+            Err(SimQueryError::InvalidPattern(_)) => {}
+            other => panic!("expected InvalidPattern, got {other:?}"),
+        }
     }
 
     #[test]

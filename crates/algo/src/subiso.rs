@@ -22,10 +22,20 @@
 //!   Assurance Theorem applies.
 //! * **Assemble** concatenates the per-fragment embeddings; pivots are inner
 //!   to exactly one fragment, so no embedding is reported twice.
+//!
+//! The extension knowledge received from other fragments is kept in an
+//! [`ExtIndex`]: flat sorted-id tables with CSR-style out/in adjacency
+//! slices, rebuilt only when a superstep actually grows the knowledge. The
+//! matcher's adjacency queries are a local CSR slice chained with an indexed
+//! extension slice — the per-call linear scans over an edge `HashSet` (and
+//! the `String` clone + sort + dedup of every neighbourhood query) of the
+//! original formulation are gone, and the ball BFS marks visited vertices in
+//! dense bitsets instead of a `HashMap`.
 
 use grape_core::{Fragment, MessageSize, PieContext, PieProgram, VertexId};
 use grape_graph::labels::{LabeledVertex, PatternGraph};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use grape_graph::DenseBitset;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A subgraph-isomorphism query.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,11 +96,17 @@ impl NeighborhoodDelta {
         }
     }
 
-    /// Whether `other` is a subset of this delta.
+    /// Whether `other` is a subset of this delta. Both sides keep their
+    /// vectors sorted, so this is a pair of binary-search probes per entry.
     pub fn contains(&self, other: &NeighborhoodDelta) -> bool {
-        let vs: HashSet<&(VertexId, String)> = self.vertices.iter().collect();
-        let es: HashSet<&(VertexId, VertexId, String)> = self.edges.iter().collect();
-        other.vertices.iter().all(|v| vs.contains(v)) && other.edges.iter().all(|e| es.contains(e))
+        other
+            .vertices
+            .iter()
+            .all(|v| self.vertices.binary_search(v).is_ok())
+            && other
+                .edges
+                .iter()
+                .all(|e| self.edges.binary_search(e).is_ok())
     }
 }
 
@@ -123,60 +139,144 @@ impl grape_core::Wire for NeighborhoodDelta {
 /// data vertex at position `i`.
 pub type Embeddings = Vec<Vec<VertexId>>;
 
-/// A combined view over the fragment's local graph and the extension
+/// Indexed extension knowledge: everything a fragment has learned about
+/// vertices and edges beyond its local graph, addressable without hashing.
+///
+/// Ids are kept in one sorted table (`ids`); labels and CSR-style out/in
+/// adjacency slices are aligned with it. Rebuilt from the master stores only
+/// when a superstep grows the knowledge (at most `radius(Q)` times), so the
+/// matcher's million-fold adjacency queries amortize the build.
+#[derive(Debug, Clone, Default)]
+struct ExtIndex {
+    /// Sorted ids of every vertex the extension knowledge mentions (labeled
+    /// or appearing as an edge endpoint).
+    ids: Vec<VertexId>,
+    /// Label of each id, aligned with `ids` (`None` when only edges mention
+    /// the vertex so far).
+    labels: Vec<Option<String>>,
+    /// CSR offsets into `out_entries`, aligned with `ids` (`len = ids + 1`).
+    out_offsets: Vec<usize>,
+    /// `(dst, relation)` pairs grouped by source.
+    out_entries: Vec<(VertexId, String)>,
+    /// CSR offsets into `in_entries`, aligned with `ids`.
+    in_offsets: Vec<usize>,
+    /// `(src, relation)` pairs grouped by destination.
+    in_entries: Vec<(VertexId, String)>,
+}
+
+impl ExtIndex {
+    fn build(
+        labels: &BTreeMap<VertexId, String>,
+        edges: &BTreeSet<(VertexId, VertexId, String)>,
+    ) -> Self {
+        let mut ids: Vec<VertexId> = labels.keys().copied().collect();
+        for (s, d, _) in edges {
+            ids.push(*s);
+            ids.push(*d);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let pos = |v: VertexId| ids.binary_search(&v).expect("endpoint indexed");
+        let id_labels: Vec<Option<String>> = ids.iter().map(|v| labels.get(v).cloned()).collect();
+
+        let mut out_degree = vec![0usize; ids.len()];
+        let mut in_degree = vec![0usize; ids.len()];
+        for (s, d, _) in edges {
+            out_degree[pos(*s)] += 1;
+            in_degree[pos(*d)] += 1;
+        }
+        let mut out_offsets = vec![0usize; ids.len() + 1];
+        let mut in_offsets = vec![0usize; ids.len() + 1];
+        for i in 0..ids.len() {
+            out_offsets[i + 1] = out_offsets[i] + out_degree[i];
+            in_offsets[i + 1] = in_offsets[i] + in_degree[i];
+        }
+        let mut out_entries = vec![(0, String::new()); edges.len()];
+        let mut in_entries = vec![(0, String::new()); edges.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for (s, d, rel) in edges {
+            let sp = pos(*s);
+            let dp = pos(*d);
+            out_entries[out_cursor[sp]] = (*d, rel.clone());
+            out_cursor[sp] += 1;
+            in_entries[in_cursor[dp]] = (*s, rel.clone());
+            in_cursor[dp] += 1;
+        }
+        Self {
+            ids,
+            labels: id_labels,
+            out_offsets,
+            out_entries,
+            in_offsets,
+            in_entries,
+        }
+    }
+
+    #[inline]
+    fn pos(&self, v: VertexId) -> Option<usize> {
+        self.ids.binary_search(&v).ok()
+    }
+
+    fn label_of(&self, v: VertexId) -> Option<&str> {
+        self.pos(v).and_then(|p| self.labels[p].as_deref())
+    }
+
+    fn out_edges(&self, v: VertexId) -> &[(VertexId, String)] {
+        match self.pos(v) {
+            Some(p) => &self.out_entries[self.out_offsets[p]..self.out_offsets[p + 1]],
+            None => &[],
+        }
+    }
+
+    fn in_edges(&self, v: VertexId) -> &[(VertexId, String)] {
+        match self.pos(v) {
+            Some(p) => &self.in_entries[self.in_offsets[p]..self.in_offsets[p + 1]],
+            None => &[],
+        }
+    }
+}
+
+/// A combined view over the fragment's local graph and the indexed extension
 /// knowledge received from other fragments.
 struct KnowledgeGraph<'a> {
     fragment: Option<&'a Fragment<LabeledVertex, String>>,
-    ext_labels: &'a HashMap<VertexId, String>,
-    ext_edges: &'a HashSet<(VertexId, VertexId, String)>,
+    ext: &'a ExtIndex,
 }
 
 impl<'a> KnowledgeGraph<'a> {
-    fn label_of(&self, v: VertexId) -> Option<String> {
+    fn label_of(&self, v: VertexId) -> Option<&'a str> {
         if let Some(f) = self.fragment {
             if let Some(data) = f.graph.vertex_data(v) {
-                return Some(data.label.0.clone());
+                return Some(&data.label.0);
             }
         }
-        self.ext_labels.get(&v).cloned()
+        self.ext.label_of(v)
     }
 
-    fn out_edges(&self, v: VertexId) -> Vec<(VertexId, String)> {
-        let mut out: Vec<(VertexId, String)> = Vec::new();
-        if let Some(f) = self.fragment {
-            out.extend(f.graph.out_edges(v).map(|(d, r)| (d, r.clone())));
-        }
-        out.extend(
-            self.ext_edges
-                .iter()
-                .filter(|(s, _, _)| *s == v)
-                .map(|(_, d, r)| (*d, r.clone())),
-        );
-        out.sort();
-        out.dedup();
-        out
+    /// Out-edges of `v` as `(dst, relation)`: the local CSR slice chained
+    /// with the indexed extension slice. The two are disjoint — IncEval
+    /// never records an edge the local graph already stores.
+    fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &'a str)> + '_ {
+        let local = self
+            .fragment
+            .into_iter()
+            .flat_map(move |f| f.graph.out_edges(v).map(|(d, r)| (d, r.as_str())));
+        local.chain(self.ext.out_edges(v).iter().map(|(d, r)| (*d, r.as_str())))
     }
 
-    fn in_edges(&self, v: VertexId) -> Vec<(VertexId, String)> {
-        let mut out: Vec<(VertexId, String)> = Vec::new();
-        if let Some(f) = self.fragment {
-            out.extend(f.graph.in_edges(v).map(|(s, r)| (s, r.clone())));
-        }
-        out.extend(
-            self.ext_edges
-                .iter()
-                .filter(|(_, d, _)| *d == v)
-                .map(|(s, _, r)| (*s, r.clone())),
-        );
-        out.sort();
-        out.dedup();
-        out
+    /// In-edges of `v` as `(src, relation)`.
+    fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, &'a str)> + '_ {
+        let local = self
+            .fragment
+            .into_iter()
+            .flat_map(move |f| f.graph.in_edges(v).map(|(s, r)| (s, r.as_str())));
+        local.chain(self.ext.in_edges(v).iter().map(|(s, r)| (*s, r.as_str())))
     }
 
     fn has_edge(&self, s: VertexId, d: VertexId, relation: Option<&str>) -> bool {
         self.out_edges(s)
-            .iter()
-            .any(|(t, r)| *t == d && relation.is_none_or(|rel| rel == r))
+            .any(|(t, r)| t == d && relation.is_none_or(|rel| rel == r))
     }
 }
 
@@ -290,15 +390,13 @@ fn enumerate(
             for (f, t, _) in &pattern.edges {
                 if *f == u {
                     if let Some(Some(w)) = assignment.get(*t) {
-                        from_neighbours =
-                            Some(graph.in_edges(*w).into_iter().map(|(s, _)| s).collect());
+                        from_neighbours = Some(graph.in_edges(*w).map(|(s, _)| s).collect());
                         break;
                     }
                 }
                 if *t == u {
                     if let Some(Some(w)) = assignment.get(*f) {
-                        from_neighbours =
-                            Some(graph.out_edges(*w).into_iter().map(|(d, _)| d).collect());
+                        from_neighbours = Some(graph.out_edges(*w).map(|(d, _)| d).collect());
                         break;
                     }
                 }
@@ -312,8 +410,9 @@ fn enumerate(
                 None => {
                     // Disconnected pattern vertex: consider every known vertex.
                     let mut all: Vec<VertexId> = graph
-                        .ext_labels
-                        .keys()
+                        .ext
+                        .ids
+                        .iter()
                         .copied()
                         .chain(
                             graph
@@ -367,16 +466,16 @@ fn enumerate(
 pub fn sequential_subiso(graph: &grape_graph::LabeledGraph, pattern: &PatternGraph) -> Embeddings {
     // Reuse the fragment-based matcher by viewing the whole graph as one
     // fragment-less knowledge graph.
-    let ext_labels: HashMap<VertexId, String> = graph
+    let labels: BTreeMap<VertexId, String> = graph
         .vertices()
         .map(|v| (v, graph.vertex_data(v).expect("present").label.0.clone()))
         .collect();
-    let ext_edges: HashSet<(VertexId, VertexId, String)> =
+    let edges: BTreeSet<(VertexId, VertexId, String)> =
         graph.edges().map(|(s, d, r)| (s, d, r.clone())).collect();
+    let ext = ExtIndex::build(&labels, &edges);
     let kg = KnowledgeGraph {
         fragment: None,
-        ext_labels: &ext_labels,
-        ext_edges: &ext_edges,
+        ext: &ext,
     };
     let pivots: Vec<VertexId> = graph.vertices().collect();
     enumerate(pattern, &kg, &pivots, usize::MAX)
@@ -385,10 +484,13 @@ pub fn sequential_subiso(graph: &grape_graph::LabeledGraph, pattern: &PatternGra
 /// Per-fragment partial state.
 #[derive(Debug, Clone, Default)]
 pub struct SubIsoPartial {
-    /// Labels learned from other fragments.
-    ext_labels: HashMap<VertexId, String>,
-    /// Edges learned from other fragments.
-    ext_edges: HashSet<(VertexId, VertexId, String)>,
+    /// Labels learned from other fragments (master store, ordered — no
+    /// hashing).
+    ext_labels: BTreeMap<VertexId, String>,
+    /// Edges learned from other fragments (master store, ordered).
+    ext_edges: BTreeSet<(VertexId, VertexId, String)>,
+    /// Flat adjacency index over the stores, rebuilt when they grow.
+    ext_index: ExtIndex,
     /// Embeddings found so far (pivot is always an inner vertex).
     pub matches: Embeddings,
 }
@@ -399,7 +501,9 @@ pub struct SubIsoProgram;
 
 impl SubIsoProgram {
     /// BFS ball of radius `radius` around `center` over the fragment's local
-    /// graph plus the extension knowledge, packaged as a delta.
+    /// graph plus the extension knowledge, packaged as a delta. Visited marks
+    /// live in two dense bitsets (one over the local graph's CSR indices, one
+    /// over the extension-id table) — no per-vertex hashing.
     fn ball(
         fragment: &Fragment<LabeledVertex, String>,
         partial: &SubIsoPartial,
@@ -408,40 +512,57 @@ impl SubIsoProgram {
     ) -> NeighborhoodDelta {
         let kg = KnowledgeGraph {
             fragment: Some(fragment),
-            ext_labels: &partial.ext_labels,
-            ext_edges: &partial.ext_edges,
+            ext: &partial.ext_index,
         };
-        let mut dist: HashMap<VertexId, usize> = HashMap::new();
-        dist.insert(center, 0);
-        let mut queue = VecDeque::from([center]);
+        let mut seen_local = DenseBitset::new(fragment.graph.num_vertices());
+        let mut seen_ext = DenseBitset::new(partial.ext_index.ids.len());
+        // Marks `v` as visited; returns false if it already was. Every id the
+        // knowledge graph can surface is local or in the extension-id table.
+        let mut visit = |v: VertexId| -> bool {
+            if let Some(i) = fragment.graph.dense_index(v) {
+                if seen_local.contains(i) {
+                    return false;
+                }
+                seen_local.set(i);
+                return true;
+            }
+            let Some(p) = partial.ext_index.pos(v) else {
+                debug_assert!(false, "knowledge-graph id {v} is neither local nor indexed");
+                return false;
+            };
+            if seen_ext.contains(p as u32) {
+                return false;
+            }
+            seen_ext.set(p as u32);
+            true
+        };
+        let mut queue = VecDeque::from([(center, 0usize)]);
+        visit(center);
         let mut vertices: BTreeMap<VertexId, String> = BTreeMap::new();
         let mut edges: BTreeSet<(VertexId, VertexId, String)> = BTreeSet::new();
         if let Some(l) = kg.label_of(center) {
-            vertices.insert(center, l);
+            vertices.insert(center, l.to_string());
         }
-        while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
+        while let Some((u, du)) = queue.pop_front() {
             if du >= radius {
                 continue;
             }
             for (v, rel) in kg.out_edges(u) {
-                edges.insert((u, v, rel));
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                    e.insert(du + 1);
+                edges.insert((u, v, rel.to_string()));
+                if visit(v) {
                     if let Some(l) = kg.label_of(v) {
-                        vertices.insert(v, l);
+                        vertices.insert(v, l.to_string());
                     }
-                    queue.push_back(v);
+                    queue.push_back((v, du + 1));
                 }
             }
             for (v, rel) in kg.in_edges(u) {
-                edges.insert((v, u, rel));
-                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                    e.insert(du + 1);
+                edges.insert((v, u, rel.to_string()));
+                if visit(v) {
                     if let Some(l) = kg.label_of(v) {
-                        vertices.insert(v, l);
+                        vertices.insert(v, l.to_string());
                     }
-                    queue.push_back(v);
+                    queue.push_back((v, du + 1));
                 }
             }
         }
@@ -458,15 +579,16 @@ impl SubIsoProgram {
         ctx: &mut PieContext<NeighborhoodDelta>,
     ) {
         let radius = query.pattern.radius().max(1);
-        for &b in fragment.border_vertices() {
+        // Position-addressed read-modify-write over the border list: the
+        // published value only ever grows, and the context suppresses no-op
+        // republication automatically via PartialEq.
+        for (pos, &b) in fragment.border_vertices().iter().enumerate() {
             let ball = Self::ball(fragment, partial, b, radius);
-            // Only publish if it extends what is already recorded, otherwise
-            // the context suppresses the no-op automatically via PartialEq.
-            let merged = match ctx.get(b) {
+            let merged = match ctx.get_at(pos as u32) {
                 Some(existing) => existing.merge(&ball),
                 None => ball,
             };
-            ctx.update(b, merged);
+            ctx.update_at(pos as u32, merged);
         }
     }
 
@@ -477,8 +599,7 @@ impl SubIsoProgram {
     ) -> Embeddings {
         let kg = KnowledgeGraph {
             fragment: Some(fragment),
-            ext_labels: &partial.ext_labels,
-            ext_edges: &partial.ext_edges,
+            ext: &partial.ext_index,
         };
         let pivots: Vec<VertexId> = fragment.inner_vertices().to_vec();
         enumerate(&query.pattern, &kg, &pivots, query.max_matches)
@@ -537,6 +658,7 @@ impl PieProgram for SubIsoProgram {
         if !grew {
             return;
         }
+        partial.ext_index = ExtIndex::build(&partial.ext_labels, &partial.ext_edges);
         partial.matches = Self::enumerate_local(query, fragment, partial);
         Self::publish_borders(query, fragment, partial, ctx);
     }
@@ -664,6 +786,31 @@ mod tests {
         assert!(m.contains(&b));
         assert!(!a.contains(&b));
         assert!(m.size_bytes() > 0);
+    }
+
+    #[test]
+    fn ext_index_adjacency_matches_the_stores() {
+        let labels: BTreeMap<VertexId, String> =
+            [(1, "a".to_string()), (2, "b".to_string())].into();
+        let edges: BTreeSet<(VertexId, VertexId, String)> = [
+            (1, 2, "x".to_string()),
+            (1, 3, "y".to_string()),
+            (3, 2, "z".to_string()),
+        ]
+        .into();
+        let idx = ExtIndex::build(&labels, &edges);
+        // Vertex 3 appears only as an endpoint: indexed, but unlabeled.
+        assert_eq!(idx.ids, vec![1, 2, 3]);
+        assert_eq!(idx.label_of(1), Some("a"));
+        assert_eq!(idx.label_of(3), None);
+        assert_eq!(idx.label_of(9), None);
+        assert_eq!(
+            idx.out_edges(1),
+            &[(2, "x".to_string()), (3, "y".to_string())]
+        );
+        assert_eq!(idx.in_edges(2).len(), 2);
+        assert!(idx.out_edges(2).is_empty());
+        assert!(idx.out_edges(42).is_empty());
     }
 
     fn canonical(mut m: Embeddings) -> Embeddings {

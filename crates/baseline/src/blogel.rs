@@ -8,10 +8,15 @@
 //! block computation from the incoming messages each superstep instead of
 //! performing *bounded incremental* evaluation, and it cannot reuse existing
 //! sequential algorithms unchanged.
+//!
+//! Block state is a flat [`VertexDenseMap`] keyed by the block's local dense
+//! CSR indices (the [`BlockProgram`] trait works in that shape directly),
+//! and inter-block routing resolves a destination's owner with a binary
+//! search over one sorted owner table — no per-superstep `HashMap`s.
 
 use crate::stats::BaselineStats;
 use grape_comm::MessageSize;
-use grape_graph::{CsrGraph, VertexId};
+use grape_graph::{CsrGraph, VertexDenseMap, VertexId};
 use grape_partition::{build_fragments, Fragment, PartitionAssignment};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -25,12 +30,13 @@ pub trait BlockProgram: Send + Sync {
     /// Message exchanged between blocks, addressed to a vertex.
     type Message: Clone + Send + Sync + MessageSize;
 
-    /// Initializes the state of every vertex of a block.
+    /// Initializes the state of every vertex of a block, keyed by the block
+    /// graph's dense indices.
     fn init_block(
         &self,
         query: &Self::Query,
         block: &Fragment<(), f64>,
-    ) -> HashMap<VertexId, Self::State>;
+    ) -> VertexDenseMap<Self::State>;
 
     /// Block compute: processes the whole block given the messages addressed
     /// to its vertices, mutating the states and pushing outgoing messages for
@@ -40,7 +46,7 @@ pub trait BlockProgram: Send + Sync {
         &self,
         query: &Self::Query,
         block: &Fragment<(), f64>,
-        states: &mut HashMap<VertexId, Self::State>,
+        states: &mut VertexDenseMap<Self::State>,
         inbox: &[(VertexId, Self::Message)],
         superstep: usize,
         outbox: &mut Vec<(VertexId, Self::Message)>,
@@ -84,12 +90,15 @@ impl BlogelEngine {
     ) -> (HashMap<VertexId, P::State>, BaselineStats) {
         let started = Instant::now();
         let blocks = build_fragments(graph, assignment);
-        let owner: HashMap<VertexId, usize> = blocks
+        // Sorted (vertex, owner block) table: message routing is one binary
+        // search per message.
+        let mut owner: Vec<(VertexId, usize)> = blocks
             .iter()
             .flat_map(|b| b.inner_vertices().iter().map(move |&v| (v, b.id)))
             .collect();
+        owner.sort_unstable();
 
-        let mut states: Vec<HashMap<VertexId, P::State>> = blocks
+        let mut states: Vec<VertexDenseMap<P::State>> = blocks
             .iter()
             .map(|b| program.init_block(query, b))
             .collect();
@@ -143,9 +152,10 @@ impl BlogelEngine {
             // Route messages block-to-block and account the traffic.
             for (src_block, outbox) in outboxes.into_iter().enumerate() {
                 for (dst, msg) in outbox {
-                    let Some(&dst_block) = owner.get(&dst) else {
+                    let Ok(pos) = owner.binary_search_by_key(&dst, |(v, _)| *v) else {
                         continue;
                     };
+                    let dst_block = owner[pos].1;
                     if dst_block != src_block {
                         stats.messages += 1;
                         stats.bytes += msg.size_bytes() as u64 + 8;
@@ -160,10 +170,12 @@ impl BlogelEngine {
         stats.wall_time = started.elapsed();
         let mut merged = HashMap::new();
         for (block, block_states) in blocks.iter().zip(states) {
-            for (v, s) in block_states {
-                if block.is_inner(v) {
-                    merged.insert(v, s);
-                }
+            for (&v, &i) in block
+                .inner_vertices()
+                .iter()
+                .zip(block.inner_dense_indices())
+            {
+                merged.insert(v, block_states[i].clone());
             }
         }
         (merged, stats)

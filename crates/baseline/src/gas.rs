@@ -8,11 +8,16 @@
 //! that ghost synchronization is what dominates its communication bill, and
 //! it is what this engine accounts: one message per remote worker holding a
 //! ghost of a changed vertex, per superstep.
+//!
+//! The vertex states live in one flat array keyed by the graph's dense CSR
+//! indices, the active set is a [`DenseBitset`], and the ghost-worker set of
+//! a changed vertex is collected in a packed word-mask — the per-superstep
+//! `HashMap`/`HashSet` state of the original formulation is gone.
 
 use crate::stats::BaselineStats;
 use grape_comm::MessageSize;
-use grape_graph::{CsrGraph, VertexId};
-use std::collections::{HashMap, HashSet};
+use grape_graph::{CsrGraph, DenseBitset, VertexId};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A GAS program.
@@ -83,50 +88,64 @@ impl GasEngine {
         graph: &CsrGraph<(), f64>,
     ) -> (HashMap<VertexId, P::State>, BaselineStats) {
         let started = Instant::now();
-        let mut states: HashMap<VertexId, P::State> = graph
-            .vertices()
-            .map(|v| (v, program.init(query, v)))
+        let n = graph.num_vertices();
+        let worker_of_dense: Vec<u32> = (0..n as u32)
+            .map(|i| self.worker_of(graph.vertex_of(i)) as u32)
             .collect();
-        let mut active: HashSet<VertexId> = graph
-            .vertices()
-            .filter(|v| program.initially_active(query, *v))
+
+        let mut states: Vec<P::State> = (0..n as u32)
+            .map(|i| program.init(query, graph.vertex_of(i)))
             .collect();
+        let mut active = DenseBitset::new(n);
+        for i in 0..n as u32 {
+            if program.initially_active(query, graph.vertex_of(i)) {
+                active.set(i);
+            }
+        }
         let mut stats = BaselineStats {
             engine: format!("gas/{}", program.name()),
             num_workers: self.num_workers,
             ..Default::default()
         };
+        // Ghost-worker scratch: one bit per worker, cleared per changed
+        // vertex.
+        let mut ghost_words = vec![0u64; self.num_workers.div_ceil(64)];
 
         for superstep in 0..self.max_supersteps {
-            if active.is_empty() {
+            if active.count_ones() == 0 {
                 break;
             }
             stats.supersteps = superstep + 1;
 
             // Gather + apply for every active vertex, in parallel over worker
             // shards; the previous superstep's states are read-only.
-            let mut shards: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_workers];
-            for &v in &active {
-                shards[self.worker_of(v)].push(v);
+            let mut shards: Vec<Vec<u32>> = vec![Vec::new(); self.num_workers];
+            for i in active.iter_ones() {
+                shards[worker_of_dense[i as usize] as usize].push(i);
             }
             let states_ref = &states;
-            let updates: Vec<Vec<(VertexId, P::State)>> = std::thread::scope(|scope| {
+            let updates: Vec<Vec<(u32, P::State)>> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for shard in &shards {
                     handles.push(scope.spawn(move || {
                         let mut out = Vec::new();
-                        for &v in shard {
+                        for &i in shard {
                             let mut gathered: Option<P::Gather> = None;
-                            for (src, w) in graph.in_edges(v) {
-                                let g = program.gather(query, &states_ref[&src], *w);
+                            for (src, w) in graph.in_edges_dense(i) {
+                                let g = program.gather(query, &states_ref[src as usize], *w);
                                 gathered = Some(match gathered {
                                     None => g,
                                     Some(acc) => program.merge(acc, g),
                                 });
                             }
-                            let new_state = program.apply(query, v, &states_ref[&v], gathered);
-                            if new_state != states_ref[&v] {
-                                out.push((v, new_state));
+                            let new_state = program.apply(
+                                query,
+                                graph.vertex_of(i),
+                                &states_ref[i as usize],
+                                gathered,
+                            );
+                            if new_state != states_ref[i as usize] {
+                                out.push((i, new_state));
                             }
                         }
                         out
@@ -139,31 +158,41 @@ impl GasEngine {
             });
 
             // Commit the changes, account ghost synchronization and scatter.
-            let mut next_active: HashSet<VertexId> = HashSet::new();
-            for (v, new_state) in updates.into_iter().flatten() {
-                let home = self.worker_of(v);
+            let mut next_active = DenseBitset::new(n);
+            for (i, new_state) in updates.into_iter().flatten() {
+                let home = worker_of_dense[i as usize];
                 // Ghost sync: one message per remote worker that holds a copy
-                // of v (i.e. hosts one of v's neighbours).
-                let mut remote_workers: HashSet<usize> = HashSet::new();
-                for (u, _) in graph.out_edges(v).chain(graph.in_edges(v)) {
-                    let w = self.worker_of(u);
+                // of the vertex (i.e. hosts one of its neighbours).
+                ghost_words.fill(0);
+                for &u in graph
+                    .out_neighbors_dense(i)
+                    .iter()
+                    .chain(graph.in_neighbors_dense(i))
+                {
+                    let w = worker_of_dense[u as usize];
                     if w != home {
-                        remote_workers.insert(w);
+                        ghost_words[w as usize / 64] |= 1u64 << (w % 64);
                     }
                 }
-                stats.messages += remote_workers.len() as u64;
-                stats.bytes += remote_workers.len() as u64 * (new_state.size_bytes() as u64 + 8);
+                let remote: u64 = ghost_words.iter().map(|w| w.count_ones() as u64).sum();
+                stats.messages += remote;
+                stats.bytes += remote * (new_state.size_bytes() as u64 + 8);
                 // Scatter: activate the out-neighbours (they must re-gather).
-                for (u, _) in graph.out_edges(v) {
-                    next_active.insert(u);
+                for &u in graph.out_neighbors_dense(i) {
+                    next_active.set(u);
                 }
-                states.insert(v, new_state);
+                states[i as usize] = new_state;
             }
             active = next_active;
         }
 
         stats.wall_time = started.elapsed();
-        (states, stats)
+        let merged = states
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (graph.vertex_of(i as u32), s))
+            .collect();
+        (merged, stats)
     }
 }
 

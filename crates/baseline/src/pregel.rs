@@ -6,20 +6,19 @@
 //! halting by vote. The engine partitions vertices over worker threads,
 //! executes supersteps with a barrier between them, optionally applies a
 //! combiner, and accounts every message that crosses a worker boundary.
+//!
+//! Internally every per-vertex table (state, active flag, inbox) is a flat
+//! array keyed by the graph's dense CSR indices, sharded contiguously per
+//! worker — the per-superstep shard/merge dance over `HashMap`s of the
+//! original formulation is gone, and the only id translation left is one
+//! `dense_index` lookup per *sent* message at the routing boundary (the
+//! public [`VertexContext`] API stays in global ids).
 
 use crate::stats::BaselineStats;
 use grape_comm::MessageSize;
 use grape_graph::{CsrGraph, VertexId};
 use std::collections::HashMap;
 use std::time::Instant;
-
-/// Per-worker outcome of one superstep: updated vertex states, updated
-/// active flags, and the outbox of `(target, message)` pairs.
-type WorkerOutcome<S, M> = (
-    HashMap<VertexId, S>,
-    HashMap<VertexId, bool>,
-    Vec<(VertexId, M)>,
-);
 
 /// A vertex-centric program in the Pregel style.
 pub trait VertexProgram: Send + Sync {
@@ -125,26 +124,55 @@ impl PregelEngine {
         graph: &CsrGraph<(), f64>,
     ) -> (HashMap<VertexId, P::State>, BaselineStats) {
         let started = Instant::now();
-        // Per-worker vertex lists and adjacency snapshots.
-        let mut vertices_of: Vec<Vec<VertexId>> = vec![Vec::new(); self.num_workers];
-        for v in graph.vertices() {
-            vertices_of[self.worker_of(v)].push(v);
-        }
-        let adjacency: HashMap<VertexId, Vec<(VertexId, f64)>> = graph
-            .vertices()
-            .map(|v| (v, graph.out_edges(v).map(|(d, w)| (d, *w)).collect()))
-            .collect();
+        let n = graph.num_vertices();
 
-        // Global state / activity tables (indexed by vertex).
-        let mut states: HashMap<VertexId, P::State> = graph
-            .vertices()
-            .map(|v| (v, program.init(query, v)))
+        // Shard the dense index space contiguously per worker: vertex at
+        // dense index i lives at slot `local_of[i]` of worker `worker_of[i]`.
+        let mut worker_of_dense = vec![0u32; n];
+        let mut local_of_dense = vec![0u32; n];
+        let mut vertices_of: Vec<Vec<u32>> = vec![Vec::new(); self.num_workers];
+        for i in 0..n as u32 {
+            let w = self.worker_of(graph.vertex_of(i));
+            worker_of_dense[i as usize] = w as u32;
+            local_of_dense[i as usize] = vertices_of[w].len() as u32;
+            vertices_of[w].push(i);
+        }
+        // One flat adjacency snapshot in the public (global-id) shape, so the
+        // context can expose `&[(VertexId, f64)]` without per-call allocation.
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj_entries: Vec<(VertexId, f64)> = Vec::with_capacity(graph.num_edges());
+        adj_offsets.push(0usize);
+        for i in 0..n as u32 {
+            adj_entries.extend(
+                graph
+                    .out_edges_dense(i)
+                    .map(|(d, w)| (graph.vertex_of(d), *w)),
+            );
+            adj_offsets.push(adj_entries.len());
+        }
+
+        // Per-worker flat tables, aligned with `vertices_of[w]`.
+        let mut states: Vec<Vec<P::State>> = vertices_of
+            .iter()
+            .map(|vs| {
+                vs.iter()
+                    .map(|&i| program.init(query, graph.vertex_of(i)))
+                    .collect()
+            })
             .collect();
-        let mut active: HashMap<VertexId, bool> = graph
-            .vertices()
-            .map(|v| (v, program.initially_active(query, v)))
+        let mut active: Vec<Vec<bool>> = vertices_of
+            .iter()
+            .map(|vs| {
+                vs.iter()
+                    .map(|&i| program.initially_active(query, graph.vertex_of(i)))
+                    .collect()
+            })
             .collect();
-        let mut inboxes: HashMap<VertexId, Vec<P::Message>> = HashMap::new();
+        let mut inbox: Vec<Vec<Vec<P::Message>>> = vertices_of
+            .iter()
+            .map(|vs| vec![Vec::new(); vs.len()])
+            .collect();
+        let mut pending_messages = 0usize;
 
         let mut stats = BaselineStats {
             engine: format!("pregel/{}", program.name()),
@@ -152,62 +180,56 @@ impl PregelEngine {
             ..Default::default()
         };
 
+        // Combiner scratch: one pending message slot per dense vertex,
+        // reused across workers and supersteps (cleared via the touched
+        // list).
+        let mut combine_slot: Vec<Option<P::Message>> = vec![None; n];
+
         for superstep in 0..self.max_supersteps {
-            let any_active = active.values().any(|a| *a) || !inboxes.is_empty();
+            let any_active = pending_messages > 0 || active.iter().any(|w| w.iter().any(|a| *a));
             if !any_active {
                 break;
             }
             stats.supersteps = superstep + 1;
 
-            // Move state/inbox entries into per-worker shards so worker
-            // threads can mutate them independently.
-            let mut shard_states: Vec<HashMap<VertexId, P::State>> =
-                vec![HashMap::new(); self.num_workers];
-            let mut shard_inbox: Vec<HashMap<VertexId, Vec<P::Message>>> =
-                vec![HashMap::new(); self.num_workers];
-            let mut shard_active: Vec<HashMap<VertexId, bool>> =
-                vec![HashMap::new(); self.num_workers];
-            for (v, s) in states.drain() {
-                shard_states[self.worker_of(v)].insert(v, s);
-            }
-            for (v, m) in inboxes.drain() {
-                shard_inbox[self.worker_of(v)].insert(v, m);
-            }
-            for (v, a) in active.drain() {
-                shard_active[self.worker_of(v)].insert(v, a);
-            }
-
-            // Each worker computes its vertices and returns its outbox.
-            let results: Vec<WorkerOutcome<P::State, P::Message>> = std::thread::scope(|scope| {
+            // Each worker computes its vertices over its own shard slices and
+            // returns its outbox.
+            let adj_offsets = &adj_offsets;
+            let adj_entries = &adj_entries;
+            let outboxes: Vec<Vec<(VertexId, P::Message)>> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for ((mut w_states, w_inbox), (mut w_active, w_vertices)) in shard_states
-                    .into_iter()
-                    .zip(shard_inbox)
-                    .zip(shard_active.into_iter().zip(vertices_of.iter()))
+                for (((w_states, w_active), w_inbox), w_vertices) in states
+                    .iter_mut()
+                    .zip(active.iter_mut())
+                    .zip(inbox.iter_mut())
+                    .zip(vertices_of.iter())
                 {
-                    let adjacency = &adjacency;
                     handles.push(scope.spawn(move || {
                         let mut outbox: Vec<(VertexId, P::Message)> = Vec::new();
-                        for &v in w_vertices {
-                            let messages = w_inbox.get(&v).map(|m| m.as_slice()).unwrap_or(&[]);
-                            let is_active =
-                                w_active.get(&v).copied().unwrap_or(false) || !messages.is_empty();
+                        for (li, &i) in w_vertices.iter().enumerate() {
+                            let messages = std::mem::take(&mut w_inbox[li]);
+                            let is_active = w_active[li] || !messages.is_empty();
                             if !is_active {
                                 continue;
                             }
-                            let state = w_states.get_mut(&v).expect("state exists");
-                            let empty: Vec<(VertexId, f64)> = Vec::new();
-                            let out_edges = adjacency.get(&v).unwrap_or(&empty);
+                            let i = i as usize;
+                            let out_edges = &adj_entries[adj_offsets[i]..adj_offsets[i + 1]];
                             let mut ctx = VertexContext {
                                 superstep,
                                 out_edges,
                                 outbox: &mut outbox,
                                 halt: false,
                             };
-                            program.compute(query, v, state, messages, &mut ctx);
-                            w_active.insert(v, !ctx.halt);
+                            program.compute(
+                                query,
+                                graph.vertex_of(i as u32),
+                                &mut w_states[li],
+                                &messages,
+                                &mut ctx,
+                            );
+                            w_active[li] = !ctx.halt;
                         }
-                        (w_states, w_active, outbox)
+                        outbox
                     }));
                 }
                 handles
@@ -216,58 +238,70 @@ impl PregelEngine {
                     .collect()
             });
 
-            // Merge shards back and route messages.
-            let mut combined: HashMap<(usize, VertexId), P::Message> = HashMap::new();
-            let mut routed: HashMap<VertexId, Vec<P::Message>> = HashMap::new();
-            for (worker, (w_states, w_active, outbox)) in results.into_iter().enumerate() {
-                states.extend(w_states);
-                active.extend(w_active);
+            // Route messages into the per-vertex inboxes. The single
+            // `dense_index` probe per message is the id-translation boundary;
+            // everything after it is indexed.
+            pending_messages = 0;
+            let mut touched: Vec<u32> = Vec::new();
+            for (worker, outbox) in outboxes.into_iter().enumerate() {
+                let mut deliver = |dst_dense: u32,
+                                   msg: P::Message,
+                                   inbox: &mut Vec<Vec<Vec<P::Message>>>,
+                                   pending: &mut usize| {
+                    let dw = worker_of_dense[dst_dense as usize] as usize;
+                    if dw != worker {
+                        stats.messages += 1;
+                        stats.bytes += msg.size_bytes() as u64 + 8;
+                    }
+                    inbox[dw][local_of_dense[dst_dense as usize] as usize].push(msg);
+                    *pending += 1;
+                };
                 for (dst, msg) in outbox {
-                    let dst_worker = self.worker_of(dst);
-                    if self.use_combiner {
-                        // Combine per (source worker, destination vertex), as
-                        // Giraph combiners do, before the message leaves the
-                        // worker.
-                        match combined.remove(&(worker, dst)) {
-                            None => {
-                                combined.insert((worker, dst), msg);
+                    let Some(dense) = graph.dense_index(dst) else {
+                        // Message to a vertex outside the graph: dropped.
+                        continue;
+                    };
+                    if !self.use_combiner {
+                        deliver(dense, msg, &mut inbox, &mut pending_messages);
+                        continue;
+                    }
+                    // Combine per (source worker, destination vertex), as
+                    // Giraph combiners do, before the message leaves the
+                    // worker.
+                    match combine_slot[dense as usize].take() {
+                        None => {
+                            combine_slot[dense as usize] = Some(msg);
+                            touched.push(dense);
+                        }
+                        Some(existing) => match program.combine(&existing, &msg) {
+                            Some(folded) => {
+                                combine_slot[dense as usize] = Some(folded);
                             }
-                            Some(existing) => match program.combine(&existing, &msg) {
-                                Some(folded) => {
-                                    combined.insert((worker, dst), folded);
-                                }
-                                None => {
-                                    // No combiner: ship the existing one now.
-                                    if dst_worker != worker {
-                                        stats.messages += 1;
-                                        stats.bytes += existing.size_bytes() as u64 + 8;
-                                    }
-                                    routed.entry(dst).or_default().push(existing);
-                                    combined.insert((worker, dst), msg);
-                                }
-                            },
-                        }
-                    } else {
-                        if dst_worker != worker {
-                            stats.messages += 1;
-                            stats.bytes += msg.size_bytes() as u64 + 8;
-                        }
-                        routed.entry(dst).or_default().push(msg);
+                            None => {
+                                // No combiner: ship the existing one now.
+                                deliver(dense, existing, &mut inbox, &mut pending_messages);
+                                combine_slot[dense as usize] = Some(msg);
+                            }
+                        },
+                    }
+                }
+                // Ship this worker's combined messages.
+                for dense in touched.drain(..) {
+                    if let Some(msg) = combine_slot[dense as usize].take() {
+                        deliver(dense, msg, &mut inbox, &mut pending_messages);
                     }
                 }
             }
-            for ((worker, dst), msg) in combined {
-                if self.worker_of(dst) != worker {
-                    stats.messages += 1;
-                    stats.bytes += msg.size_bytes() as u64 + 8;
-                }
-                routed.entry(dst).or_default().push(msg);
-            }
-            inboxes = routed;
         }
 
         stats.wall_time = started.elapsed();
-        (states, stats)
+        let mut merged = HashMap::with_capacity(n);
+        for (w_states, w_vertices) in states.into_iter().zip(vertices_of.iter()) {
+            for (s, &i) in w_states.into_iter().zip(w_vertices.iter()) {
+                merged.insert(graph.vertex_of(i), s);
+            }
+        }
+        (merged, stats)
     }
 }
 

@@ -4,9 +4,8 @@
 use crate::blogel::BlockProgram;
 use crate::gas::GasProgram;
 use crate::pregel::{VertexContext, VertexProgram};
-use grape_graph::VertexId;
+use grape_graph::{VertexDenseMap, VertexId};
 use grape_partition::Fragment;
-use std::collections::HashMap;
 
 // ---------------------------------------------------------------------------
 // Pregel programs
@@ -285,7 +284,9 @@ impl GasProgram for GasPageRank {
 /// seeded by the incoming border distances, then ships improved border
 /// distances to neighbouring blocks. Unlike GRAPE's IncEval this recomputes
 /// within the block from scratch every superstep — the cost difference the
-/// paper attributes to bounded incremental evaluation.
+/// paper attributes to bounded incremental evaluation. The block state is a
+/// flat distance array over the block graph's dense indices; the relaxation
+/// loop runs over the flat CSR slices.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BlockSssp;
 
@@ -294,67 +295,77 @@ impl BlockProgram for BlockSssp {
     type State = f64;
     type Message = f64;
 
-    fn init_block(&self, query: &VertexId, block: &Fragment<(), f64>) -> HashMap<VertexId, f64> {
-        block
-            .graph
-            .vertices()
-            .map(|v| (v, if v == *query { 0.0 } else { f64::INFINITY }))
-            .collect()
+    fn init_block(&self, query: &VertexId, block: &Fragment<(), f64>) -> VertexDenseMap<f64> {
+        let g = &block.graph;
+        VertexDenseMap::from_fn(g.num_vertices(), |i| {
+            if g.vertex_of(i) == *query {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        })
     }
 
     fn block_compute(
         &self,
         _query: &VertexId,
         block: &Fragment<(), f64>,
-        states: &mut HashMap<VertexId, f64>,
+        states: &mut VertexDenseMap<f64>,
         inbox: &[(VertexId, f64)],
         _superstep: usize,
         outbox: &mut Vec<(VertexId, f64)>,
     ) -> bool {
-        // Fold in the messages.
+        let g = &block.graph;
+        // Fold in the messages; they only ever name this block's border
+        // vertices, so the dense translation goes through the precomputed
+        // border tables (binary search over the sorted border list).
         let mut improved_any = false;
-        for (v, d) in inbox {
-            if let Some(current) = states.get_mut(v) {
-                if d < current {
-                    *current = *d;
-                    improved_any = true;
-                }
+        for &(v, d) in inbox {
+            let Some(pos) = block.border_position(v) else {
+                continue;
+            };
+            let i = block.border_dense_indices()[pos as usize];
+            if d < states[i] {
+                states[i] = d;
+                improved_any = true;
             }
         }
-        let before: HashMap<VertexId, f64> = states.clone();
+        let before = states.clone();
         // Full Bellman–Ford over the block (not incremental, by design).
         let mut changed = true;
         while changed {
             changed = false;
-            for (s, d, w) in block.graph.edges() {
-                let ds = states.get(&s).copied().unwrap_or(f64::INFINITY);
+            for s in 0..g.num_vertices() as u32 {
+                let ds = states[s];
                 if !ds.is_finite() {
                     continue;
                 }
-                let candidate = ds + w;
-                let dd = states.get_mut(&d).expect("vertex exists");
-                if candidate < *dd {
-                    *dd = candidate;
-                    changed = true;
-                    improved_any = true;
+                for (&d, &w) in g
+                    .out_neighbors_dense(s)
+                    .iter()
+                    .zip(g.out_edge_data_dense(s))
+                {
+                    let candidate = ds + w;
+                    if candidate < states[d] {
+                        states[d] = candidate;
+                        changed = true;
+                        improved_any = true;
+                    }
                 }
             }
         }
-        // Ship improved distances of vertices owned by other blocks.
-        for (&v, &d) in states.iter() {
-            if !block.is_inner(v) && d < before.get(&v).copied().unwrap_or(f64::INFINITY) {
-                outbox.push((v, d));
-            }
-        }
-        // Also ship improvements of our own border vertices to blocks that
-        // mirror them.
-        for &v in block.inner_vertices() {
-            if block.mirrors_of(v).is_empty() {
-                continue;
-            }
-            let d = states[&v];
-            if d < before.get(&v).copied().unwrap_or(f64::INFINITY) {
-                outbox.push((v, d));
+        // Ship improved distances of vertices owned by other blocks. This
+        // carries all cross-block propagation: a block relaxes every edge
+        // incident to its inner vertices itself, so improvements of *own*
+        // border vertices reach the neighbouring blocks through their outer
+        // mirrors of the shared cut, never by messaging.
+        for (&v, &i) in block
+            .outer_vertices()
+            .iter()
+            .zip(block.outer_dense_indices())
+        {
+            if states[i] < before[i] {
+                outbox.push((v, states[i]));
             }
         }
         improved_any

@@ -1,8 +1,9 @@
 //! Hot-path microbenchmark: SSSP + CC + PageRank on a road network and a
-//! Barabási–Albert graph, through the full PIE engine — on both transport
-//! backends.
+//! Barabási–Albert graph, plus the pattern/ML query classes (Sim, SubIso,
+//! Keyword, CF) on a labeled social graph and a bipartite rating graph —
+//! all through the full PIE engine, on both transport backends.
 //!
-//! Writes `BENCH_pr4.json` (or `BENCH_pr4_smoke.json` with `--smoke`) in the
+//! Writes `BENCH_pr5.json` (or `BENCH_pr5_smoke.json` with `--smoke`) in the
 //! current directory, one machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
@@ -24,10 +25,17 @@
 //! the smoke artifact against the committed baseline via the `bench_gate`
 //! binary.
 
-use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
+use grape_algo::{
+    CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
+    PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
+};
 use grape_core::{EngineConfig, GrapeEngine, PieProgram, RunStats, TransportKind};
-use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
-use grape_graph::WeightedGraph;
+use grape_graph::generators::{
+    barabasi_albert, bipartite_ratings, labeled_social, road_network, RoadNetworkConfig,
+    SocialGraphConfig,
+};
+use grape_graph::labels::PatternGraph;
+use grape_graph::CsrGraph;
 use grape_partition::{HashPartitioner, Partitioner};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -90,11 +98,11 @@ impl Row {
 fn best_run<P>(
     engine: &GrapeEngine<P>,
     query: &P::Query,
-    fragments: &[grape_core::Fragment<(), f64>],
+    fragments: &[grape_core::Fragment<P::VertexData, P::EdgeData>],
     reps: usize,
 ) -> (f64, RunStats)
 where
-    P: PieProgram<VertexData = (), EdgeData = f64>,
+    P: PieProgram,
 {
     let mut best_wall = f64::INFINITY;
     let mut best_stats = None;
@@ -117,12 +125,12 @@ fn run_case<P>(
     graph_name: &'static str,
     program: P,
     query: &P::Query,
-    graph: &WeightedGraph,
+    graph: &CsrGraph<P::VertexData, P::EdgeData>,
     k: usize,
     reps: usize,
 ) -> Row
 where
-    P: PieProgram<VertexData = (), EdgeData = f64> + Clone,
+    P: PieProgram + Clone,
 {
     let assignment = HashPartitioner.partition(graph, k);
     let fragments = grape_partition::build_fragments(graph, &assignment);
@@ -173,9 +181,9 @@ fn main() {
     let k = 4;
     let reps = if smoke { 2 } else { 3 };
     let out_file = if smoke {
-        "BENCH_pr4_smoke.json"
+        "BENCH_pr5_smoke.json"
     } else {
-        "BENCH_pr4.json"
+        "BENCH_pr5.json"
     };
 
     let road = road_network(
@@ -224,6 +232,99 @@ fn main() {
             reps,
         ));
     }
+
+    // Pattern-matching and keyword-search classes on a labeled social graph.
+    let social = labeled_social(
+        if smoke {
+            SocialGraphConfig {
+                num_persons: 600,
+                num_products: 12,
+                ..Default::default()
+            }
+        } else {
+            SocialGraphConfig {
+                num_persons: 6_000,
+                num_products: 40,
+                ..Default::default()
+            }
+        },
+        21,
+    )
+    .expect("labeled social graph");
+    let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends");
+    rows.push(run_case(
+        "sim",
+        "social",
+        SimProgram,
+        &SimQuery::new(pattern),
+        &social,
+        k,
+        reps,
+    ));
+    // SubIso gets its own (smaller) graph and a radius-1 star pattern: with
+    // radius ≥ 2 the protocol replicates whole 2-hop neighbourhoods of a
+    // hubby social graph per border vertex, which measures the replication
+    // volume rather than the matcher.
+    let subiso_social = labeled_social(
+        if smoke {
+            SocialGraphConfig {
+                num_persons: 250,
+                num_products: 8,
+                ..Default::default()
+            }
+        } else {
+            SocialGraphConfig {
+                num_persons: 1_500,
+                num_products: 20,
+                ..Default::default()
+            }
+        },
+        23,
+    )
+    .expect("labeled social graph");
+    let star = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(0, 2, "recommends");
+    rows.push(run_case(
+        "subiso",
+        "social",
+        SubIsoProgram,
+        &SubIsoQuery::new(star).with_max_matches(2_000),
+        &subiso_social,
+        k,
+        reps,
+    ));
+    rows.push(run_case(
+        "keyword",
+        "social",
+        KeywordProgram,
+        &KeywordQuery::new(["phone", "laptop"], f64::INFINITY),
+        &social,
+        k,
+        reps,
+    ));
+
+    // Collaborative filtering on a bipartite rating graph.
+    let ratings = if smoke {
+        bipartite_ratings(300, 80, 15, 4, 29)
+    } else {
+        bipartite_ratings(2_000, 400, 25, 8, 29)
+    }
+    .expect("bipartite ratings");
+    rows.push(run_case(
+        "cf",
+        "ratings",
+        CfProgram::new(ratings.num_users),
+        &CfQuery {
+            epochs: if smoke { 5 } else { 10 },
+            ..Default::default()
+        },
+        &ratings.graph,
+        k,
+        reps,
+    ));
 
     let mut json = String::from("[\n");
     for (i, row) in rows.iter().enumerate() {

@@ -165,6 +165,20 @@ impl<V: Clone + PartialEq> PieContext<V> {
         self.values.get(&vertex)
     }
 
+    /// Current value of the border vertex at position `pos` in the configured
+    /// border list, if declared — the search-free sibling of
+    /// [`PieContext::get`] for read-modify-write publication loops that
+    /// already walk the border by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range of the configured border list, like
+    /// [`PieContext::update_at`].
+    #[inline]
+    pub fn get_at(&self, pos: u32) -> Option<&V> {
+        self.border_values[pos as usize].as_ref()
+    }
+
     /// Number of declared update parameters.
     pub fn len(&self) -> usize {
         self.values.len() + self.border_values.iter().filter(|v| v.is_some()).count()

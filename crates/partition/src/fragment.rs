@@ -104,6 +104,14 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
         self.inner_mask.contains(i)
     }
 
+    /// The inner-membership bitset over the local graph's dense indices
+    /// (bit set = inner vertex). Lets per-superstep loops that need the whole
+    /// membership view borrow the precomputed bitset instead of rebuilding
+    /// one from [`Fragment::inner_dense_indices`].
+    pub fn inner_bitset(&self) -> &DenseBitset {
+        &self.inner_mask
+    }
+
     /// Whether the local vertex at dense index `i` is an outer mirror.
     #[inline]
     pub fn is_outer_dense(&self, i: u32) -> bool {

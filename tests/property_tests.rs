@@ -11,8 +11,13 @@
 use grape::algo::pagerank::sequential_pagerank;
 use grape::algo::sssp::{incremental_sssp, sequential_sssp};
 use grape::algo::{
-    cc::sequential_cc, CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery,
+    cc::sequential_cc, keyword::sequential_keyword, sim::sequential_sim, subiso::sequential_subiso,
+    CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
+    PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
 };
+use grape::graph::labels::{LabeledVertex, PatternGraph};
+use grape::graph::types::EdgeRecord;
+use grape::graph::LabeledGraph;
 use grape::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -33,6 +38,45 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = WeightedGraph>
             b.build().expect("valid edges")
         })
     })
+}
+
+/// Strategy: a random labeled graph over `n` vertices. Labels and keywords
+/// are deterministic functions of the id (person/product mix, `phone` /
+/// `laptop` keyword holders); proptest varies the edge structure and
+/// relation types.
+fn arb_labeled_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = LabeledGraph> {
+    (4..max_n, 1..max_m).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec((0..n as u64, 0..n as u64, 0..3usize), 1..m.max(2));
+        edges.prop_map(move |edges| {
+            let relations = ["follows", "recommends", "rates_bad"];
+            let vertices: Vec<(VertexId, LabeledVertex)> = (0..n as u64)
+                .map(|i| {
+                    let label = if i % 4 == 0 { "product" } else { "person" };
+                    let mut keywords: Vec<String> = Vec::new();
+                    if i % 3 == 0 {
+                        keywords.push("phone".into());
+                    }
+                    if i % 5 == 0 {
+                        keywords.push("laptop".into());
+                    }
+                    (i, LabeledVertex::with_keywords(label, keywords))
+                })
+                .collect();
+            let records: Vec<EdgeRecord<String>> = edges
+                .into_iter()
+                .map(|(s, d, r)| EdgeRecord::new(s, d, relations[r].to_string()))
+                .collect();
+            LabeledGraph::from_records(vertices, records, true).expect("valid records")
+        })
+    })
+}
+
+/// The chain pattern shared by the sim/subiso parity suites:
+/// person --follows--> person --recommends--> product.
+fn chain_pattern() -> PatternGraph {
+    PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+        .edge_labeled(0, 1, "follows")
+        .edge_labeled(1, 2, "recommends")
 }
 
 proptest! {
@@ -221,6 +265,7 @@ proptest! {
         // program, including the float-iterating PageRank.
         let pr_query = PageRankQuery { max_local_iterations: 40, ..Default::default() };
         let pr_n = graph.num_vertices();
+        let cf_query = CfQuery { rank: 3, epochs: 3, ..Default::default() };
         for strategy in BuiltinStrategy::all() {
             let assignment = strategy.partition(&graph, k);
             let run = |transport: TransportKind| {
@@ -241,10 +286,23 @@ proptest! {
                     .with_config(config)
                     .run_on_graph(&pr_query, &graph, &assignment)
                     .unwrap();
-                (sssp, cc, pr)
+                let cf = GrapeEngine::new(CfProgram::new(pr_n / 2))
+                    .with_config(config)
+                    .run_on_graph(&cf_query, &graph, &assignment)
+                    .unwrap();
+                (sssp, cc, pr, cf)
             };
-            let (sssp_t, cc_t, pr_t) = run(TransportKind::InProcess);
-            let (sssp_f, cc_f, pr_f) = run(TransportKind::Framed);
+            let (sssp_t, cc_t, pr_t, cf_t) = run(TransportKind::InProcess);
+            let (sssp_f, cc_f, pr_f, cf_f) = run(TransportKind::Framed);
+            // CF's factor vectors must survive the codec round-trip bit for
+            // bit (Vec<f64> values over the wire).
+            prop_assert_eq!(cf_t.output.factors.len(), cf_f.output.factors.len());
+            for (v, fac) in &cf_t.output.factors {
+                prop_assert_eq!(
+                    fac, &cf_f.output.factors[v],
+                    "cf/{} k={} vertex {}", strategy.name(), k, v
+                );
+            }
             for v in graph.vertices() {
                 let (a, b) = (sssp_t.output.get(&v), sssp_f.output.get(&v));
                 prop_assert!(
@@ -262,6 +320,7 @@ proptest! {
                 (&sssp_t.stats, &sssp_f.stats, "sssp"),
                 (&cc_t.stats, &cc_f.stats, "cc"),
                 (&pr_t.stats, &pr_f.stats, "pagerank"),
+                (&cf_t.stats, &cf_f.stats, "cf"),
             ] {
                 prop_assert_eq!(
                     typed.supersteps, framed.supersteps,
@@ -297,5 +356,124 @@ proptest! {
         let by_history: u64 = result.stats.history.iter().map(|t| t.messages).sum();
         prop_assert_eq!(by_history, result.stats.messages);
         prop_assert_eq!(result.stats.history.len(), result.stats.supersteps);
+    }
+}
+
+// The pattern/keyword parity suites enumerate embeddings and run three
+// programs per strategy, so they get a smaller case budget than the numeric
+// suites above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sim_subiso_keyword_are_identical_to_sequential_across_strategies(
+        graph in arb_labeled_graph(36, 150),
+        k in 1usize..6,
+    ) {
+        // The three pattern/keyword programs are exact algorithms: for every
+        // partition strategy and worker count the distributed answers must be
+        // *identical* to the sequential references — including a finite
+        // keyword distance bound, which Assemble must re-apply.
+        let pattern = chain_pattern();
+        let sim_ref = sequential_sim(&graph, &pattern);
+        let subiso_ref = {
+            let mut m = sequential_subiso(&graph, &pattern);
+            m.sort();
+            m
+        };
+        let kq = KeywordQuery::new(["phone", "laptop"], 6.0);
+        let kw_ref = sequential_keyword(&graph, &kq);
+        for strategy in BuiltinStrategy::all() {
+            let assignment = strategy.partition(&graph, k);
+            let sim = GrapeEngine::new(SimProgram)
+                .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
+                .unwrap();
+            prop_assert_eq!(
+                &sim.output, &sim_ref,
+                "sim/{} k={}", strategy.name(), k
+            );
+            let mut sub = GrapeEngine::new(SubIsoProgram)
+                .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
+                .unwrap()
+                .output;
+            sub.sort();
+            prop_assert_eq!(
+                &sub, &subiso_ref,
+                "subiso/{} k={}", strategy.name(), k
+            );
+            let kw = GrapeEngine::new(KeywordProgram)
+                .run_on_graph(&kq, &graph, &assignment)
+                .unwrap();
+            prop_assert_eq!(
+                kw.output.len(), kw_ref.len(),
+                "keyword/{} k={}", strategy.name(), k
+            );
+            for (got, want) in kw.output.iter().zip(kw_ref.iter()) {
+                prop_assert_eq!(got.root, want.root, "keyword/{} k={}", strategy.name(), k);
+                prop_assert_eq!(
+                    &got.distances, &want.distances,
+                    "keyword/{} k={} root {}", strategy.name(), k, got.root
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn framed_transport_is_bit_identical_for_pattern_programs(
+        graph in arb_labeled_graph(32, 120),
+        k in 1usize..5,
+    ) {
+        // Same invariant as the numeric framed parity suite, for the value
+        // types the pattern programs put on the wire: u64 masks (sim),
+        // String-carrying neighbourhood deltas (subiso) and Vec<f64>
+        // distance vectors (keyword).
+        let pattern = chain_pattern();
+        let kq = KeywordQuery::new(["phone", "laptop"], f64::INFINITY);
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+            let assignment = strategy.partition(&graph, k);
+            let run = |transport: TransportKind| {
+                let config = EngineConfig {
+                    execution: ExecutionMode::Inline,
+                    transport,
+                    ..Default::default()
+                };
+                let sim = GrapeEngine::new(SimProgram)
+                    .with_config(config)
+                    .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
+                    .unwrap();
+                let sub = GrapeEngine::new(SubIsoProgram)
+                    .with_config(config)
+                    .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
+                    .unwrap();
+                let kw = GrapeEngine::new(KeywordProgram)
+                    .with_config(config)
+                    .run_on_graph(&kq, &graph, &assignment)
+                    .unwrap();
+                (sim, sub, kw)
+            };
+            let (sim_t, sub_t, kw_t) = run(TransportKind::InProcess);
+            let (sim_f, sub_f, kw_f) = run(TransportKind::Framed);
+            prop_assert_eq!(&sim_t.output, &sim_f.output);
+            prop_assert_eq!(&sub_t.output, &sub_f.output);
+            prop_assert_eq!(kw_t.output.len(), kw_f.output.len());
+            for (a, b) in kw_t.output.iter().zip(kw_f.output.iter()) {
+                prop_assert_eq!(a.root, b.root);
+                prop_assert_eq!(&a.distances, &b.distances);
+            }
+            for (typed, framed, algo) in [
+                (&sim_t.stats, &sim_f.stats, "sim"),
+                (&sub_t.stats, &sub_f.stats, "subiso"),
+                (&kw_t.stats, &kw_f.stats, "keyword"),
+            ] {
+                prop_assert_eq!(
+                    typed.supersteps, framed.supersteps,
+                    "{}/{} k={}: superstep counts differ", algo, strategy.name(), k
+                );
+                prop_assert_eq!(
+                    typed.messages, framed.messages,
+                    "{}/{} k={}: message counts differ", algo, strategy.name(), k
+                );
+            }
+        }
     }
 }
