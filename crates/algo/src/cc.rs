@@ -17,9 +17,11 @@
 //! "smallest dense index in the class" and "smallest global id in the class"
 //! coincide, which [`DenseUnionFind`] exploits.
 
+use grape_core::par::{for_each_slice_chunk, num_chunks, ThreadPool, CHUNK};
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::{CsrGraph, VertexDenseMap};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// CC query: no parameters (the whole graph is labeled).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -136,6 +138,85 @@ pub fn sequential_cc<V: Clone, E: Clone>(graph: &CsrGraph<V, E>) -> HashMap<Vert
     graph.vertices().map(|v| (v, uf.find(v))).collect()
 }
 
+/// Lock-free find with path halving over an atomic parent array. The halving
+/// CAS is a benign race: it only ever replaces a parent pointer with an
+/// ancestor, so concurrent interleavings cannot change which root is reached.
+#[inline]
+fn atomic_find(parent: &[AtomicU32], mut i: u32) -> u32 {
+    loop {
+        let p = parent[i as usize].load(Ordering::Acquire);
+        if p == i {
+            return i;
+        }
+        let gp = parent[p as usize].load(Ordering::Acquire);
+        if gp != p {
+            let _ = parent[i as usize].compare_exchange(p, gp, Ordering::AcqRel, Ordering::Acquire);
+        }
+        i = gp;
+    }
+}
+
+/// Min-hooking concurrent unite: roots only ever acquire *smaller* parents,
+/// so the forest stays acyclic and the final root of every class is its
+/// minimum element — the same representative the sequential
+/// [`DenseUnionFind`] picks, regardless of thread schedule.
+#[inline]
+fn atomic_unite(parent: &[AtomicU32], a: u32, b: u32) {
+    let mut ra = atomic_find(parent, a);
+    let mut rb = atomic_find(parent, b);
+    while ra != rb {
+        let (small, large) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        match parent[large as usize].compare_exchange(
+            large,
+            small,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return,
+            Err(_) => {
+                ra = atomic_find(parent, large);
+                rb = atomic_find(parent, small);
+            }
+        }
+    }
+}
+
+/// Component roots (smallest dense index per weakly connected class) of the
+/// fragment's local graph, computed with the concurrent union-find when the
+/// pool has more than one thread. Bit-identical to the sequential pass for
+/// any thread count: both label a vertex with the minimum of its class.
+fn local_components(pool: &ThreadPool, g: &CsrGraph<(), f64>) -> Vec<u32> {
+    let n = g.num_vertices();
+    if pool.threads() <= 1 || n <= CHUNK {
+        let mut uf = DenseUnionFind::new(n);
+        for u in 0..n as u32 {
+            for &w in g.out_neighbors_dense(u) {
+                uf.union(u, w);
+            }
+        }
+        return (0..n as u32).map(|i| uf.find(i)).collect();
+    }
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let parent_ref: &[AtomicU32] = &parent;
+    let sweep = move |ci: usize| {
+        let start = ci * CHUNK;
+        let end = (start + CHUNK).min(n);
+        for u in start..end {
+            for &w in g.out_neighbors_dense(u as u32) {
+                atomic_unite(parent_ref, u as u32, w);
+            }
+        }
+    };
+    pool.run(num_chunks(n), &sweep);
+    let mut comp = vec![0u32; n];
+    for_each_slice_chunk(pool, &mut comp, |start, window| {
+        for (off, slot) in window.iter_mut().enumerate() {
+            *slot = atomic_find(parent_ref, (start + off) as u32);
+        }
+    });
+    comp
+}
+
 /// Per-fragment partial state: the component label (smallest known global id)
 /// of every local vertex, keyed by the fragment's dense indices.
 #[derive(Debug, Clone, Default)]
@@ -143,6 +224,11 @@ pub struct CcPartial {
     labels: VertexDenseMap<VertexId>,
     /// Global ids aligned with `labels`, for Assemble.
     vertex_ids: Vec<VertexId>,
+    /// Root dense index of each vertex's *local* component, fixed at PEval
+    /// (the fragment graph never changes during a run).
+    comp: Vec<u32>,
+    /// Current label per root slot (only entries named by `comp` are live).
+    comp_label: Vec<VertexId>,
 }
 
 /// The CC PIE program.
@@ -150,36 +236,6 @@ pub struct CcPartial {
 pub struct CcProgram;
 
 impl CcProgram {
-    /// Propagates min labels along the dense local edges until stable.
-    /// Returns whether any label changed.
-    fn relabel(fragment: &Fragment<(), f64>, labels: &mut VertexDenseMap<VertexId>) -> bool {
-        let g = &fragment.graph;
-        let n = g.num_vertices() as u32;
-        let mut changed_any = false;
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for u in 0..n {
-                for &w in g.out_neighbors_dense(u) {
-                    let lu = labels[u];
-                    let lw = labels[w];
-                    let m = lu.min(lw);
-                    if lu != m {
-                        labels[u] = m;
-                        changed = true;
-                        changed_any = true;
-                    }
-                    if lw != m {
-                        labels[w] = m;
-                        changed = true;
-                        changed_any = true;
-                    }
-                }
-            }
-        }
-        changed_any
-    }
-
     fn publish_borders(
         fragment: &Fragment<(), f64>,
         labels: &VertexDenseMap<VertexId>,
@@ -206,23 +262,22 @@ impl PieProgram for CcProgram {
         fragment: &Fragment<(), f64>,
         ctx: &mut PieContext<VertexId>,
     ) -> CcPartial {
-        // Union-find over the local edges (textbook sequential CC), entirely
-        // on dense indices.
+        // Union-find over the local edges, entirely on dense indices —
+        // concurrent min-hooking when the context pool has threads to spare.
+        let pool = std::sync::Arc::clone(ctx.pool());
         let g = &fragment.graph;
         let n = g.num_vertices();
-        let mut uf = DenseUnionFind::new(n);
-        for u in 0..n as u32 {
-            for &w in g.out_neighbors_dense(u) {
-                uf.union(u, w);
-            }
-        }
+        let comp = local_components(&pool, g);
         // Dense indices ascend with global ids, so the root's id is the
         // smallest global id of the class.
-        let labels = VertexDenseMap::from_fn(n, |i| g.vertex_of(uf.find(i)));
+        let comp_label: Vec<VertexId> = (0..n as u32).map(|i| g.vertex_of(i)).collect();
+        let labels = VertexDenseMap::from_fn(n, |i| comp_label[comp[i as usize] as usize]);
         Self::publish_borders(fragment, &labels, ctx);
         CcPartial {
             labels,
             vertex_ids: g.vertex_ids().to_vec(),
+            comp,
+            comp_label,
         }
     }
 
@@ -234,12 +289,17 @@ impl PieProgram for CcProgram {
         messages: &[(VertexId, VertexId)],
         ctx: &mut PieContext<VertexId>,
     ) {
+        // Labels are component-uniform after PEval, so a message for any
+        // vertex of a class lowers the whole class: fold it into the root's
+        // slot and, if anything moved, rebuild the flat label array in O(n)
+        // instead of re-propagating along edges.
         let g = &fragment.graph;
         let mut touched = false;
         for &(v, label) in messages {
             if let Some(i) = g.dense_index(v) {
-                if label < partial.labels[i] {
-                    partial.labels[i] = label;
+                let r = partial.comp[i as usize] as usize;
+                if label < partial.comp_label[r] {
+                    partial.comp_label[r] = label;
                     touched = true;
                 }
             }
@@ -247,7 +307,14 @@ impl PieProgram for CcProgram {
         if !touched {
             return;
         }
-        Self::relabel(fragment, &mut partial.labels);
+        let pool = std::sync::Arc::clone(ctx.pool());
+        let comp = &partial.comp;
+        let comp_label = &partial.comp_label;
+        for_each_slice_chunk(&pool, partial.labels.as_mut_slice(), |start, window| {
+            for (off, slot) in window.iter_mut().enumerate() {
+                *slot = comp_label[comp[start + off] as usize];
+            }
+        });
         Self::publish_borders(fragment, &partial.labels, ctx);
     }
 
@@ -420,6 +487,46 @@ mod tests {
         // Label 0 must hop across 9 fragment boundaries one superstep at a
         // time, plus the PEval round and a final quiescent round.
         assert!(result.stats.supersteps >= 10);
+    }
+
+    #[test]
+    fn parallel_union_find_matches_sequential_roots() {
+        let g = barabasi_albert(1500, 2, 17).unwrap();
+        let n = g.num_vertices();
+        let mut uf = DenseUnionFind::new(n);
+        for u in 0..n as u32 {
+            for &w in g.out_neighbors_dense(u) {
+                uf.union(u, w);
+            }
+        }
+        let expected: Vec<u32> = (0..n as u32).map(|i| uf.find(i)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(local_components(&pool, &g), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cc_is_bit_identical_across_thread_counts() {
+        use grape_core::par::ThreadCount;
+        let g = erdos_renyi(600, 0.008, 23).unwrap();
+        let assignment = HashPartitioner.partition(&g, 4);
+        let run = |threads: u32| {
+            GrapeEngine::new(CcProgram)
+                .with_config(EngineConfig {
+                    threads_per_worker: ThreadCount::Fixed(threads),
+                    ..Default::default()
+                })
+                .run_on_graph(&CcQuery, &g, &assignment)
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2u32, 4, 8] {
+            let result = run(threads);
+            assert_eq!(result.output, reference.output, "threads={threads}");
+            assert_eq!(result.stats.supersteps, reference.stats.supersteps);
+            assert_eq!(result.stats.messages, reference.stats.messages);
+        }
     }
 
     #[test]

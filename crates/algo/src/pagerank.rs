@@ -31,8 +31,9 @@
 //! scalar). Each fragment iterates the leaky system as before and Assemble
 //! normalizes the merged ranks once.
 
+use grape_core::par::{map_chunks, ThreadPool};
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
-use grape_graph::{CsrGraph, VertexDenseMap};
+use grape_graph::{CsrGraph, DenseBitset, VertexDenseMap};
 use std::collections::HashMap;
 
 /// PageRank query parameters.
@@ -122,6 +123,15 @@ pub struct PageRankPartial {
     inner_ids: Vec<VertexId>,
     /// Dense indices of the inner vertices.
     inner_dense: Vec<u32>,
+    /// Damping-scaled per-edge contribution of every local vertex: for inner
+    /// vertices `damping * rank / outdeg` (0 for sinks), for mirrors
+    /// `damping * mirror_share`. Kept in lockstep with `rank`/`mirror_share`
+    /// so a sweep can pull contributions without re-deriving them.
+    contrib: VertexDenseMap<f64>,
+    /// Inner vertices whose in-contributions changed since they were last
+    /// recomputed. Invariant between sweeps: a vertex *not* in this set would
+    /// recompute to its current rank bit-for-bit, so it can be skipped.
+    pending: DenseBitset,
 }
 
 /// The PageRank PIE program.
@@ -140,51 +150,94 @@ impl PageRankProgram {
         Self { global_vertices }
     }
 
+    /// The contribution a local vertex feeds each of its out-edges: rank
+    /// share for inner vertices, owner-published share for mirrors.
+    #[inline]
+    fn contribution_of(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        partial: &PageRankPartial,
+        i: u32,
+    ) -> f64 {
+        if fragment.is_inner_dense(i) {
+            let out = fragment.graph.out_degree_dense(i);
+            if out == 0 {
+                0.0
+            } else {
+                query.damping * partial.rank[i] / out as f64
+            }
+        } else {
+            query.damping * partial.mirror_share[i]
+        }
+    }
+
     /// Local power iteration over the fragment's inner vertices, treating the
-    /// mirror shares as fixed external input. Runs entirely over the flat
-    /// dense arrays; contributions that land on mirror slots are dead writes
-    /// (mirror ranks are never read or emitted).
+    /// mirror shares as fixed external input.
+    ///
+    /// Each sweep is a *pull* over the `pending` delta frontier: only
+    /// vertices whose in-contributions changed bit-for-bit since their last
+    /// recompute are re-evaluated, in ascending dense order, reading a frozen
+    /// snapshot of `contrib` (Jacobi style). A vertex outside the frontier
+    /// would pull exactly the same inputs in the same order and reproduce its
+    /// current rank bitwise, so skipping it cannot change the fixpoint — and
+    /// the same argument makes the result independent of the pool's thread
+    /// count. The frontier persists across PEval/IncEval calls, so a
+    /// superstep that only moves a few mirror shares touches only the cone
+    /// those shares reach instead of re-sweeping the whole fragment.
     fn local_iterate(
         &self,
         query: &PageRankQuery,
         fragment: &Fragment<(), f64>,
         partial: &mut PageRankPartial,
+        pool: &ThreadPool,
     ) {
         let g = &fragment.graph;
-        let n = self.global_vertices.max(1) as f64;
-        let n_local = g.num_vertices();
+        debug_assert!(g.has_reverse(), "PageRank pulls over reverse adjacency");
+        let base = (1.0 - query.damping) / self.global_vertices.max(1) as f64;
         for _ in 0..query.max_local_iterations {
-            let mut next = vec![0.0f64; n_local];
-            for &i in fragment.inner_dense_indices() {
-                next[i as usize] = (1.0 - query.damping) / n;
+            let frontier: Vec<u32> = partial.pending.iter_ones().collect();
+            if frontier.is_empty() {
+                break;
             }
-            // Rank flowing along edges whose source is an inner vertex.
-            for &i in fragment.inner_dense_indices() {
-                let out = g.out_degree_dense(i);
-                if out == 0 {
-                    continue;
+            partial.pending.clear_all();
+            let rank = &partial.rank;
+            let contrib = &partial.contrib;
+            let frontier_ref: &[u32] = &frontier;
+            let updates = map_chunks(pool, frontier.len(), |range, out: &mut Vec<(u32, f64)>| {
+                for &v in &frontier_ref[range] {
+                    let mut new = base;
+                    for &u in g.in_neighbors_dense(v) {
+                        new += contrib[u];
+                    }
+                    if new.to_bits() != rank[v].to_bits() {
+                        out.push((v, new));
+                    }
                 }
-                let share = query.damping * partial.rank[i] / out as f64;
-                for &w in g.out_neighbors_dense(i) {
-                    next[w as usize] += share;
-                }
-            }
-            // Rank flowing in over cut edges, using the owners' shares.
-            for &o in fragment.outer_dense_indices() {
-                let share = partial.mirror_share[o];
-                if share == 0.0 {
-                    continue;
-                }
-                for &w in g.out_neighbors_dense(o) {
-                    next[w as usize] += query.damping * share;
-                }
-            }
+            });
+            // Apply in chunk order (ascending frontier order) so the delta
+            // accumulation and the next frontier are schedule-independent.
             let mut delta = 0.0f64;
-            for &i in fragment.inner_dense_indices() {
-                delta += (next[i as usize] - partial.rank[i]).abs();
+            let mut any = false;
+            for chunk in &updates {
+                for &(v, new) in chunk {
+                    any = true;
+                    delta += (new - partial.rank[v]).abs();
+                    partial.rank[v] = new;
+                    let out = g.out_degree_dense(v);
+                    partial.contrib[v] = if out == 0 {
+                        0.0
+                    } else {
+                        query.damping * new / out as f64
+                    };
+                    for &w in g.out_neighbors_dense(v) {
+                        if fragment.is_inner_dense(w) {
+                            partial.pending.set(w);
+                        }
+                    }
+                }
             }
-            partial.rank = VertexDenseMap::from_vec(next);
-            if delta < query.tolerance {
+            if !any || delta < query.tolerance {
                 break;
             }
         }
@@ -230,15 +283,25 @@ impl PieProgram for PageRankProgram {
         fragment: &Fragment<(), f64>,
         ctx: &mut PieContext<f64>,
     ) -> PageRankPartial {
+        let pool = std::sync::Arc::clone(ctx.pool());
         let n = self.global_vertices.max(1) as f64;
         let g = &fragment.graph;
+        let n_local = g.num_vertices();
         let mut partial = PageRankPartial {
             rank: VertexDenseMap::for_graph(g, 1.0 / n),
             mirror_share: VertexDenseMap::for_graph(g, 0.0),
             inner_ids: fragment.inner_vertices().to_vec(),
             inner_dense: fragment.inner_dense_indices().to_vec(),
+            contrib: VertexDenseMap::new(n_local, 0.0),
+            pending: DenseBitset::new(n_local),
         };
-        self.local_iterate(query, fragment, &mut partial);
+        for i in 0..n_local as u32 {
+            partial.contrib[i] = self.contribution_of(query, fragment, &partial, i);
+        }
+        for &i in fragment.inner_dense_indices() {
+            partial.pending.set(i);
+        }
+        self.local_iterate(query, fragment, &mut partial, &pool);
         self.emit_shares(query, fragment, &partial, ctx);
         partial
     }
@@ -259,6 +322,14 @@ impl PieProgram for PageRankProgram {
                     && (partial.mirror_share[o] - share).abs() >= query.tolerance / 2.0
                 {
                     partial.mirror_share[o] = share;
+                    partial.contrib[o] = query.damping * share;
+                    // Only the cone downstream of the moved mirror needs
+                    // re-sweeping; everything else is bitwise at fixpoint.
+                    for &w in g.out_neighbors_dense(o) {
+                        if fragment.is_inner_dense(w) {
+                            partial.pending.set(w);
+                        }
+                    }
                     changed = true;
                 }
             }
@@ -266,7 +337,8 @@ impl PieProgram for PageRankProgram {
         if !changed {
             return;
         }
-        self.local_iterate(query, fragment, partial);
+        let pool = std::sync::Arc::clone(ctx.pool());
+        self.local_iterate(query, fragment, partial, &pool);
         self.emit_shares(query, fragment, partial, ctx);
     }
 
@@ -470,6 +542,98 @@ mod tests {
             assert!((result.output[&v] - reference[&v]).abs() < 1e-6);
         }
         assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    fn frontier_sweep_is_bitwise_equal_to_a_full_jacobi_pull() {
+        // On a single fragment, the delta-frontier sweep must reproduce a
+        // naive full Jacobi pull bit-for-bit: skipped vertices would have
+        // pulled identical inputs in the identical order.
+        let g = barabasi_albert(300, 3, 7).unwrap();
+        let n = g.num_vertices();
+        let query = PageRankQuery {
+            max_local_iterations: 50,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let assignment = HashPartitioner.partition(&g, 1);
+        let fragments = grape_core::build_fragments(&g, &assignment);
+        let fragment = &fragments[0];
+        let fg = &fragment.graph;
+        let program = PageRankProgram::new(n);
+        let mut ctx = grape_core::PieContext::<f64>::new();
+        let partial = program.peval(&query, fragment, &mut ctx);
+
+        let base = (1.0 - query.damping) / n as f64;
+        let mut rank = vec![1.0 / n as f64; n];
+        for _ in 0..query.max_local_iterations {
+            let contrib: Vec<f64> = (0..n as u32)
+                .map(|i| {
+                    let out = fg.out_degree_dense(i);
+                    if out == 0 {
+                        0.0
+                    } else {
+                        query.damping * rank[i as usize] / out as f64
+                    }
+                })
+                .collect();
+            let mut next = vec![0.0f64; n];
+            let mut delta = 0.0f64;
+            for v in 0..n as u32 {
+                let mut new = base;
+                for &u in fg.in_neighbors_dense(v) {
+                    new += contrib[u as usize];
+                }
+                delta += (new - rank[v as usize]).abs();
+                next[v as usize] = new;
+            }
+            rank = next;
+            if delta < query.tolerance {
+                break;
+            }
+        }
+        for i in 0..n as u32 {
+            assert_eq!(
+                partial.rank[i].to_bits(),
+                rank[i as usize].to_bits(),
+                "dense index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_is_bit_identical_across_thread_counts() {
+        use grape_core::par::ThreadCount;
+        use grape_core::EngineConfig;
+        let g = barabasi_albert(400, 3, 29).unwrap();
+        let query = PageRankQuery {
+            tolerance: 1e-9,
+            max_local_iterations: 80,
+            ..Default::default()
+        };
+        let program = PageRankProgram::new(g.num_vertices());
+        let assignment = HashPartitioner.partition(&g, 4);
+        let run = |threads: u32| {
+            GrapeEngine::new(program)
+                .with_config(EngineConfig {
+                    threads_per_worker: ThreadCount::Fixed(threads),
+                    ..Default::default()
+                })
+                .run_on_graph(&query, &g, &assignment)
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2u32, 4, 8] {
+            let result = run(threads);
+            assert_eq!(result.stats.supersteps, reference.stats.supersteps);
+            for (v, r) in &reference.output {
+                assert_eq!(
+                    result.output[v].to_bits(),
+                    r.to_bits(),
+                    "vertex {v} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

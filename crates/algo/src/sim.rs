@@ -31,6 +31,7 @@
 //! pass. The greatest simulation is a unique fixpoint, so the worklist order
 //! cannot change the answer.
 
+use grape_core::par::{map_chunks, ThreadPool};
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::labels::{LabeledVertex, PatternGraph};
 use grape_graph::{CsrGraph, DenseBitset, VertexDenseMap};
@@ -171,22 +172,7 @@ fn refine(
         if current == 0 {
             continue;
         }
-        let mut next = current;
-        for u in 0..pattern.num_vertices() {
-            if next & (1 << u) == 0 {
-                continue;
-            }
-            // Every pattern out-edge of u must be witnessed.
-            for (u_child, relation) in pattern.out_edges(u) {
-                let witnessed = graph.out_edges_dense(v).any(|(v_child, rel)| {
-                    relation.is_none_or(|r| r == rel) && masks[v_child] & (1 << u_child) != 0
-                });
-                if !witnessed {
-                    next &= !(1 << u);
-                    break;
-                }
-            }
-        }
+        let next = recompute_mask(pattern, graph, masks, v);
         if next != current {
             masks.set(v, next);
             changed_any = true;
@@ -198,6 +184,99 @@ fn refine(
                 }
             }
         }
+    }
+    changed_any
+}
+
+/// Recomputes the candidate mask of `v` from a frozen snapshot of all masks.
+#[inline]
+fn recompute_mask(
+    pattern: &PatternGraph,
+    graph: &CsrGraph<LabeledVertex, String>,
+    snapshot: &VertexDenseMap<u64>,
+    v: u32,
+) -> u64 {
+    let current = snapshot[v];
+    if current == 0 {
+        return 0;
+    }
+    let mut next = current;
+    for u in 0..pattern.num_vertices() {
+        if next & (1 << u) == 0 {
+            continue;
+        }
+        for (u_child, relation) in pattern.out_edges(u) {
+            let witnessed = graph.out_edges_dense(v).any(|(v_child, rel)| {
+                relation.is_none_or(|r| r == rel) && snapshot[v_child] & (1 << u_child) != 0
+            });
+            if !witnessed {
+                next &= !(1 << u);
+                break;
+            }
+        }
+    }
+    next
+}
+
+/// Parallel sibling of [`refine`]: round-based worklist propagation through
+/// the `grape_core::par` primitives. Each round recomputes every queued
+/// vertex from a frozen snapshot of the masks (Jacobi style), applies the
+/// shrunk masks in ascending order, and queues the eligible in-neighbours of
+/// the changed vertices for the next round. The greatest simulation is the
+/// unique fixpoint of this monotone operator, so the answer is bit-identical
+/// to the sequential worklist for any thread count; on one thread this
+/// delegates to [`refine`] outright.
+fn refine_par(
+    pool: &ThreadPool,
+    pattern: &PatternGraph,
+    graph: &CsrGraph<LabeledVertex, String>,
+    masks: &mut VertexDenseMap<u64>,
+    eligible: &DenseBitset,
+    seeds: impl IntoIterator<Item = u32>,
+) -> bool {
+    if pool.threads() <= 1 {
+        return refine(pattern, graph, masks, eligible, seeds);
+    }
+    debug_assert!(
+        graph.has_reverse(),
+        "sim::refine_par needs the reverse adjacency to drive its worklist"
+    );
+    let n = graph.num_vertices();
+    let mut queued = DenseBitset::new(n);
+    for v in seeds {
+        if eligible.contains(v) {
+            queued.set(v);
+        }
+    }
+    let mut worklist: Vec<u32> = queued.iter_ones().collect();
+    let mut changed_any = false;
+    while !worklist.is_empty() {
+        queued.clear_all();
+        let snapshot: &VertexDenseMap<u64> = masks;
+        let work_ref: &[u32] = &worklist;
+        let updates = map_chunks(pool, worklist.len(), |range, out: &mut Vec<(u32, u64)>| {
+            for &v in &work_ref[range] {
+                let next = recompute_mask(pattern, graph, snapshot, v);
+                if next != snapshot[v] {
+                    out.push((v, next));
+                }
+            }
+        });
+        let mut next_work: Vec<u32> = Vec::new();
+        for chunk in &updates {
+            for &(v, next) in chunk {
+                masks.set(v, next);
+                changed_any = true;
+                for &p in graph.in_neighbors_dense(v) {
+                    if eligible.contains(p) && !queued.contains(p) {
+                        queued.set(p);
+                        next_work.push(p);
+                    }
+                }
+            }
+        }
+        next_work.sort_unstable();
+        worklist = next_work;
     }
     changed_any
 }
@@ -305,7 +384,9 @@ impl PieProgram for SimProgram {
             inner_dense: fragment.inner_dense_indices().to_vec(),
             pattern_width: query.pattern.num_vertices(),
         };
-        refine(
+        let pool = std::sync::Arc::clone(ctx.pool());
+        refine_par(
+            &pool,
             &query.pattern,
             g,
             &mut partial.masks,
@@ -351,7 +432,9 @@ impl PieProgram for SimProgram {
         let seeds = tightened
             .iter()
             .flat_map(|&i| g.in_neighbors_dense(i).iter().copied());
-        refine(
+        let pool = std::sync::Arc::clone(ctx.pool());
+        refine_par(
+            &pool,
             &query.pattern,
             g,
             &mut partial.masks,
@@ -509,6 +592,41 @@ mod tests {
             .unwrap();
         assert!(equal_matches(&result.output, &reference));
         assert_eq!(result.stats.supersteps, 1);
+    }
+
+    #[test]
+    fn sim_is_identical_across_thread_counts() {
+        use grape_core::par::ThreadCount;
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 250,
+                num_products: 6,
+                ..Default::default()
+            },
+            19,
+        )
+        .unwrap();
+        let query = SimQuery::new(chain_pattern());
+        let assignment = BuiltinStrategy::Hash.partition(&g, 3);
+        let run = |threads: u32| {
+            GrapeEngine::new(SimProgram)
+                .with_config(EngineConfig {
+                    threads_per_worker: ThreadCount::Fixed(threads),
+                    ..Default::default()
+                })
+                .run_on_graph(&query, &g, &assignment)
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2u32, 4, 8] {
+            let result = run(threads);
+            assert!(
+                equal_matches(&result.output, &reference.output),
+                "threads={threads} diverges"
+            );
+            assert_eq!(result.stats.supersteps, reference.stats.supersteps);
+            assert_eq!(result.stats.messages, reference.stats.messages);
+        }
     }
 
     #[test]

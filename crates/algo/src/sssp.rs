@@ -18,8 +18,9 @@
 //! [`incremental_sssp`]) remain as the sequential references the tests and
 //! benches compare against.
 
+use grape_core::par::{map_chunks, ThreadPool};
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
-use grape_graph::{CsrGraph, VertexDenseMap};
+use grape_graph::{CsrGraph, DenseBitset, VertexDenseMap};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Distance value used throughout: `f64` seconds/metres/weights.
@@ -195,6 +196,89 @@ pub fn dense_relax(
     changed
 }
 
+/// [`dense_relax`] with an intra-fragment thread pool: a single-threaded
+/// pool takes the sequential Dijkstra path unchanged; a larger pool runs
+/// chunked Bellman-Ford frontier rounds (`edge_map` over the frontier's
+/// index list, candidates applied in fixed chunk order). Both converge to
+/// the least fixpoint of `dist[v] = min(dist[u] + w(u, v))` over exactly the
+/// same f64 additions, and equal nonnegative f64s share one bit pattern, so
+/// the resulting distances are **bit-identical** for every thread count.
+///
+/// The returned change count says whether any distance improved (`> 0`) but
+/// its exact value is schedule-dependent between the two algorithms; the
+/// engine's observable protocol only branches on `changed == 0`.
+pub fn dense_relax_par(
+    pool: &ThreadPool,
+    graph: &CsrGraph<(), Distance>,
+    dist: &mut VertexDenseMap<Distance>,
+    seeds: &[(u32, Distance)],
+) -> usize {
+    if pool.threads() <= 1 {
+        return dense_relax(graph, dist, seeds);
+    }
+    let n = graph.num_vertices();
+    let mut changed = 0usize;
+    let mut in_frontier = DenseBitset::new(n);
+    let mut frontier: Vec<u32> = Vec::new();
+    for &(u, d) in seeds {
+        if d < dist[u] {
+            dist[u] = d;
+            changed += 1;
+            if !in_frontier.contains(u) {
+                in_frontier.set(u);
+                frontier.push(u);
+            }
+        }
+    }
+    frontier.sort_unstable();
+    let mut next: Vec<u32> = Vec::new();
+    while !frontier.is_empty() {
+        // Map phase: every chunk scans its slice of the frontier against a
+        // frozen distance snapshot and emits candidate improvements.
+        let snapshot: &VertexDenseMap<Distance> = dist;
+        let frontier_ref: &[u32] = &frontier;
+        let candidates = map_chunks(
+            pool,
+            frontier.len(),
+            |range, out: &mut Vec<(u32, Distance)>| {
+                for &u in &frontier_ref[range] {
+                    let d = snapshot[u];
+                    for (&v, &w) in graph
+                        .out_neighbors_dense(u)
+                        .iter()
+                        .zip(graph.out_edge_data_dense(u))
+                    {
+                        let nd = d + w;
+                        if nd < snapshot[v] {
+                            out.push((v, nd));
+                        }
+                    }
+                }
+            },
+        );
+        // Apply phase, sequential in chunk order: deterministic regardless
+        // of which thread produced which chunk.
+        for &u in &frontier {
+            in_frontier.clear(u);
+        }
+        next.clear();
+        for chunk in &candidates {
+            for &(v, nd) in chunk {
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    changed += 1;
+                    if !in_frontier.contains(v) {
+                        in_frontier.set(v);
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    changed
+}
+
 /// Per-fragment partial result: the current distance estimates for every
 /// local vertex (inner and mirror), keyed by the fragment's dense indices.
 #[derive(Debug, Clone, Default)]
@@ -229,9 +313,14 @@ impl PieProgram for SsspProgram {
         ctx: &mut PieContext<Distance>,
     ) -> SsspPartial {
         let g = &fragment.graph;
-        // Dense Dijkstra on the local fragment (distances stay infinite when
-        // the source lives elsewhere).
-        let dist = dense_sssp(g, g.dense_index(query.source));
+        // Dense SSSP on the local fragment (distances stay infinite when the
+        // source lives elsewhere): sequential Dijkstra on a 1-thread pool,
+        // chunked frontier rounds otherwise — bit-identical either way.
+        let pool = std::sync::Arc::clone(ctx.pool());
+        let mut dist = VertexDenseMap::for_graph(g, Distance::INFINITY);
+        if let Some(src) = g.dense_index(query.source) {
+            dense_relax_par(&pool, g, &mut dist, &[(src, 0.0)]);
+        }
         // Declare update parameters: the current distance of every border
         // vertex that is already reachable locally. `update_at` addresses
         // the context by border position — an indexed compare per vertex,
@@ -271,7 +360,8 @@ impl PieProgram for SsspProgram {
                     .map(|pos| (fragment.border_dense_indices()[pos as usize], d))
             })
             .collect();
-        let changed = dense_relax(g, &mut partial.dist, &seeds);
+        let pool = std::sync::Arc::clone(ctx.pool());
+        let changed = dense_relax_par(&pool, g, &mut partial.dist, &seeds);
         partial.inceval_changes += changed;
         if changed == 0 {
             return;
@@ -373,6 +463,27 @@ mod tests {
         // A missing source yields an all-infinite map.
         let empty = dense_sssp(&g, None);
         assert!(empty.as_slice().iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn dense_relax_par_is_bit_identical_across_thread_counts() {
+        let g = barabasi_albert(600, 3, 23).unwrap();
+        let src = g.dense_index(0).unwrap();
+        let reference = dense_sssp(&g, Some(src));
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut dist = VertexDenseMap::for_graph(&g, Distance::INFINITY);
+            let changed = dense_relax_par(&pool, &g, &mut dist, &[(src, 0.0)]);
+            assert!(changed > 0);
+            for (i, (d, r)) in dist.as_slice().iter().zip(reference.as_slice()).enumerate() {
+                assert!(
+                    d.to_bits() == r.to_bits(),
+                    "threads={threads} dense index {i}: {d} vs {r}"
+                );
+            }
+            // Idempotent under re-seeding, like the sequential path.
+            assert_eq!(dense_relax_par(&pool, &g, &mut dist, &[(src, 0.0)]), 0);
+        }
     }
 
     #[test]

@@ -61,8 +61,13 @@ fn parse_rows(path: &str) -> Result<Vec<BenchRow>, String> {
         };
         let algo = text_of(field("algo")?);
         let graph = text_of(field("graph")?);
+        // Artifacts predating the threads column key as single-threaded.
+        let threads = row
+            .get_field("threads")
+            .map(&text_of)
+            .unwrap_or_else(|| "1".into());
         let key = format!(
-            "{algo}|{graph}|{}|{}|{}",
+            "{algo}|{graph}|{}|{}|{}|t{threads}",
             text_of(field("n")?),
             text_of(field("m")?),
             text_of(field("k")?)
@@ -91,6 +96,20 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parses an optional numeric flag strictly: absent → `default`, present but
+/// missing or unparseable → an error (the gate must not silently fall back
+/// to a default threshold the caller never asked for).
+fn parse_flag(args: &[String], name: &str, default: f64) -> Result<f64, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(default);
+    };
+    let raw = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{name} expects a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{name} expects a number, got {raw:?}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (baseline_path, current_path) = match (
@@ -106,12 +125,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let threshold: f64 = arg_value(&args, "--threshold")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.25);
-    let min_ms: f64 = arg_value(&args, "--min-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2.0);
+    let (threshold, min_ms) = match (
+        parse_flag(&args, "--threshold", 0.25),
+        parse_flag(&args, "--min-ms", 2.0),
+    ) {
+        (Ok(threshold), Ok(min_ms)) => (threshold, min_ms),
+        (threshold, min_ms) => {
+            for err in [threshold.err(), min_ms.err()].into_iter().flatten() {
+                eprintln!("bench_gate: {err}");
+            }
+            eprintln!(
+                "usage: bench_gate --baseline FILE --current FILE [--threshold 0.25] \
+                 [--min-ms 2.0] [--summary FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
 
     let (baseline, current) = match (parse_rows(&baseline_path), parse_rows(&current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -215,5 +244,49 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flag;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flag_falls_back_to_the_default() {
+        assert_eq!(parse_flag(&args(&[]), "--threshold", 0.25), Ok(0.25));
+        assert_eq!(
+            parse_flag(&args(&["--min-ms", "5"]), "--threshold", 0.25),
+            Ok(0.25)
+        );
+    }
+
+    #[test]
+    fn present_flag_is_parsed() {
+        assert_eq!(
+            parse_flag(&args(&["--threshold", "0.5"]), "--threshold", 0.25),
+            Ok(0.5)
+        );
+        assert_eq!(
+            parse_flag(&args(&["--min-ms", "3"]), "--min-ms", 2.0),
+            Ok(3.0)
+        );
+    }
+
+    #[test]
+    fn garbage_value_is_an_error_not_a_silent_default() {
+        // Regression: `--threshold banana` used to fall back to 0.25 and the
+        // gate ran with a threshold the caller never asked for.
+        let err = parse_flag(&args(&["--threshold", "banana"]), "--threshold", 0.25).unwrap_err();
+        assert!(err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse_flag(&args(&["--min-ms"]), "--min-ms", 2.0).unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
     }
 }

@@ -29,6 +29,7 @@ use grape_algo::{
     CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
     PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
 };
+use grape_core::par::ThreadCount;
 use grape_core::{EngineConfig, GrapeEngine, PieProgram, RunStats, TransportKind};
 use grape_graph::generators::{
     barabasi_albert, bipartite_ratings, labeled_social, road_network, RoadNetworkConfig,
@@ -47,6 +48,8 @@ struct Row {
     n: usize,
     m: usize,
     k: usize,
+    /// Intra-worker threads (`threads_per_worker`) the engine was pinned to.
+    threads: usize,
     wall_ms: f64,
     peval_ms: f64,
     inceval_ms: f64,
@@ -74,6 +77,7 @@ impl Row {
     fn to_json(&self) -> String {
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
+             \"threads\": {}, \
              \"wall_ms\": {:.3}, \"peval_ms\": {:.3}, \"inceval_ms\": {:.3}, \
              \"coord_ms\": {:.3}, \"framed_wall_ms\": {:.3}, \"wire_bytes\": {}, \
              \"wire_mbps\": {:.3}}}",
@@ -82,6 +86,7 @@ impl Row {
             self.n,
             self.m,
             self.k,
+            self.threads,
             self.wall_ms,
             self.peval_ms,
             self.inceval_ms,
@@ -120,6 +125,7 @@ where
 
 /// Runs `program` on `graph` with a hash partition into `k` fragments over
 /// both transports.
+#[allow(clippy::too_many_arguments)]
 fn run_case<P>(
     algo: &'static str,
     graph_name: &'static str,
@@ -127,6 +133,7 @@ fn run_case<P>(
     query: &P::Query,
     graph: &CsrGraph<P::VertexData, P::EdgeData>,
     k: usize,
+    threads: usize,
     reps: usize,
 ) -> Row
 where
@@ -134,12 +141,17 @@ where
 {
     let assignment = HashPartitioner.partition(graph, k);
     let fragments = grape_partition::build_fragments(graph, &assignment);
+    let pinned = ThreadCount::Fixed(threads as u32);
 
-    let engine = GrapeEngine::new(program.clone());
+    let engine = GrapeEngine::new(program.clone()).with_config(EngineConfig {
+        threads_per_worker: pinned,
+        ..Default::default()
+    });
     let (wall_ms, stats) = best_run(&engine, query, &fragments, reps);
 
     let framed_engine = GrapeEngine::new(program).with_config(EngineConfig {
         transport: TransportKind::Framed,
+        threads_per_worker: pinned,
         ..Default::default()
     });
     let (framed_wall_ms, framed_stats) = best_run(&framed_engine, query, &fragments, reps);
@@ -150,6 +162,7 @@ where
         n: graph.num_vertices(),
         m: graph.num_edges(),
         k,
+        threads,
         wall_ms,
         peval_ms: stats.peval_seconds * 1e3,
         inceval_ms: stats.inceval_seconds * 1e3,
@@ -157,13 +170,14 @@ where
         wire_bytes: framed_stats.bytes,
     };
     eprintln!(
-        "{:>8} on {:<5}: n={} m={} k={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
+        "{:>8} on {:<5}: n={} m={} k={} t={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
          coord={:.2}ms ({} supersteps) | framed wall={:.2}ms wire={}B ({:.1} MB/s)",
         algo,
         graph_name,
         row.n,
         row.m,
         row.k,
+        row.threads,
         row.wall_ms,
         row.peval_ms,
         row.inceval_ms,
@@ -181,10 +195,14 @@ fn main() {
     let k = 4;
     let reps = if smoke { 2 } else { 3 };
     let out_file = if smoke {
-        "BENCH_pr5_smoke.json"
+        "BENCH_pr6_smoke.json"
     } else {
-        "BENCH_pr5.json"
+        "BENCH_pr6.json"
     };
+    // The thread axis: the four ported hot loops run once single-threaded
+    // and once on a 4-thread pool (results are bit-identical; only the wall
+    // clock may differ). The remaining classes stay single-threaded rows.
+    let thread_axis = [1usize, 4];
 
     let road = road_network(
         if smoke {
@@ -212,25 +230,31 @@ fn main() {
 
     let mut rows = Vec::new();
     for (graph_name, g) in [("road", &road), ("ba", &ba)] {
-        rows.push(run_case(
-            "sssp",
-            graph_name,
-            SsspProgram,
-            &SsspQuery::new(0),
-            g,
-            k,
-            reps,
-        ));
-        rows.push(run_case("cc", graph_name, CcProgram, &CcQuery, g, k, reps));
-        rows.push(run_case(
-            "pagerank",
-            graph_name,
-            PageRankProgram::new(g.num_vertices()),
-            &PageRankQuery::default(),
-            g,
-            k,
-            reps,
-        ));
+        for threads in thread_axis {
+            rows.push(run_case(
+                "sssp",
+                graph_name,
+                SsspProgram,
+                &SsspQuery::new(0),
+                g,
+                k,
+                threads,
+                reps,
+            ));
+            rows.push(run_case(
+                "cc", graph_name, CcProgram, &CcQuery, g, k, threads, reps,
+            ));
+            rows.push(run_case(
+                "pagerank",
+                graph_name,
+                PageRankProgram::new(g.num_vertices()),
+                &PageRankQuery::default(),
+                g,
+                k,
+                threads,
+                reps,
+            ));
+        }
     }
 
     // Pattern-matching and keyword-search classes on a labeled social graph.
@@ -254,15 +278,18 @@ fn main() {
     let pattern = PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
         .edge_labeled(0, 1, "follows")
         .edge_labeled(1, 2, "recommends");
-    rows.push(run_case(
-        "sim",
-        "social",
-        SimProgram,
-        &SimQuery::new(pattern),
-        &social,
-        k,
-        reps,
-    ));
+    for threads in thread_axis {
+        rows.push(run_case(
+            "sim",
+            "social",
+            SimProgram,
+            &SimQuery::new(pattern.clone()),
+            &social,
+            k,
+            threads,
+            reps,
+        ));
+    }
     // SubIso gets its own (smaller) graph and a radius-1 star pattern: with
     // radius ≥ 2 the protocol replicates whole 2-hop neighbourhoods of a
     // hubby social graph per border vertex, which measures the replication
@@ -294,6 +321,7 @@ fn main() {
         &SubIsoQuery::new(star).with_max_matches(2_000),
         &subiso_social,
         k,
+        1,
         reps,
     ));
     rows.push(run_case(
@@ -303,6 +331,7 @@ fn main() {
         &KeywordQuery::new(["phone", "laptop"], f64::INFINITY),
         &social,
         k,
+        1,
         reps,
     ));
 
@@ -323,6 +352,7 @@ fn main() {
         },
         &ratings.graph,
         k,
+        1,
         reps,
     ));
 

@@ -106,6 +106,24 @@ impl<T: MessageSize> WorkerLink<T> {
             Err(_) => Vec::new(),
         }
     }
+
+    /// Like [`WorkerLink::recv_blocking`], but gives up after `timeout`.
+    ///
+    /// Returns `None` on timeout — the caller decides whether that means a
+    /// lost peer or just a slow superstep — and `Some(vec![])` if every
+    /// sender has disconnected.
+    pub fn recv_blocking_timeout(&self, timeout: std::time::Duration) -> Option<Vec<Envelope<T>>> {
+        use crossbeam::channel::RecvTimeoutError;
+        match self.inbox.recv_timeout(timeout) {
+            Ok(first) => {
+                let mut out = vec![first];
+                out.extend(self.drain());
+                Some(out)
+            }
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Vec::new()),
+        }
+    }
 }
 
 /// Builder of the all-to-all network.
@@ -234,6 +252,28 @@ mod tests {
         let net = CommNetwork::<u64>::new(1);
         let (_coord, workers) = net.split();
         assert!(workers[0].drain().is_empty());
+    }
+
+    #[test]
+    fn recv_blocking_timeout_distinguishes_slow_from_gone() {
+        use std::time::{Duration, Instant};
+        let net = CommNetwork::<u64>::new(1);
+        let (coord, workers) = net.split();
+        // Nothing sent yet: a short timeout elapses and reports None.
+        let start = Instant::now();
+        assert!(workers[0]
+            .recv_blocking_timeout(Duration::from_millis(50))
+            .is_none());
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        // A delivered message is returned well before the deadline.
+        assert!(coord.send(0, 9));
+        assert_eq!(
+            workers[0]
+                .recv_blocking_timeout(Duration::from_secs(5))
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

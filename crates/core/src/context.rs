@@ -1,7 +1,9 @@
 //! The per-worker context PIE programs write update parameters into.
 
+use crate::par::ThreadPool;
 use grape_graph::{DenseBitset, VertexId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The update-parameter table of one fragment.
 ///
@@ -46,6 +48,9 @@ pub struct PieContext<V> {
     /// Cumulative number of `update` calls that changed a value (used by the
     /// boundedness experiment to measure |ΔO| on the border).
     changed_updates: u64,
+    /// The worker's intra-fragment thread pool (inline/single-threaded by
+    /// default); PIE programs hand it to the `grape_core::par` primitives.
+    pool: Arc<ThreadPool>,
 }
 
 impl<V: Clone + PartialEq> Default for PieContext<V> {
@@ -66,7 +71,21 @@ impl<V: Clone + PartialEq> PieContext<V> {
             values: HashMap::new(),
             dirty: HashSet::new(),
             changed_updates: 0,
+            pool: Arc::new(ThreadPool::inline()),
         }
+    }
+
+    /// Installs the worker's intra-fragment thread pool. Called by the engine
+    /// before PEval; standalone drivers keep the default inline pool.
+    pub fn set_pool(&mut self, pool: Arc<ThreadPool>) {
+        self.pool = pool;
+    }
+
+    /// The worker's intra-fragment thread pool, for the `grape_core::par`
+    /// primitives. Single-threaded (inline) unless the engine installed a
+    /// larger one via `threads_per_worker`.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
     /// Installs the fragment's border list and its coordinator-assigned slot

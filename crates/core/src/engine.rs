@@ -30,10 +30,11 @@
 
 use crate::context::PieContext;
 use crate::message::{CoordCommand, WorkerReport};
+use crate::par::{ThreadCount, ThreadPool};
 use crate::program::PieProgram;
 use crate::stats::{RunStats, SuperstepTrace};
 use crate::transport::{
-    self, CoordTransport, DrainableWorkerTransport, TransportKind, WorkerTransport,
+    self, CoordTransport, DrainableWorkerTransport, TransportError, TransportKind, WorkerTransport,
 };
 use grape_comm::CommStats;
 use grape_graph::{CsrGraph, VertexId};
@@ -263,12 +264,15 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
         program: &'a P,
         query: &'a P::Query,
         fragment: &'a Fragment<P::VertexData, P::EdgeData>,
+        pool: Arc<ThreadPool>,
     ) -> Self {
+        let mut ctx = PieContext::new();
+        ctx.set_pool(pool);
         Self {
             program,
             query,
             fragment,
-            ctx: PieContext::new(),
+            ctx,
             slot_translation: SlotTranslation::Dense(Vec::new()),
             messages: Vec::new(),
             partial: None,
@@ -352,13 +356,18 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
 /// threaded driver runs it over in-process channels, and the `grape-worker`
 /// binary runs the *same function* over a framed TCP / Unix-domain socket —
 /// the PIE program cannot tell the difference.
+///
+/// `threads` is the size of the worker's intra-fragment thread pool
+/// (1 = fully sequential evaluation, the historical behavior).
 pub fn run_worker<P: PieProgram>(
     program: &P,
     query: &P::Query,
     fragment: &Fragment<P::VertexData, P::EdgeData>,
     transport: &impl WorkerTransport<P::Value>,
+    threads: usize,
 ) -> P::Partial {
-    let mut worker = WorkerRuntime::new(program, query, fragment);
+    let pool = Arc::new(ThreadPool::new(threads));
+    let mut worker = WorkerRuntime::new(program, query, fragment, pool);
     loop {
         let batch = transport.recv_blocking();
         if batch.is_empty() {
@@ -411,6 +420,10 @@ pub struct EngineConfig {
     /// framed byte channels round-tripping every message through the wire
     /// codec (actual bytes).
     pub transport: TransportKind,
+    /// Size of each worker's intra-fragment thread pool (see
+    /// [`ThreadCount`]). Results are bit-identical for every setting; only
+    /// the wall time changes.
+    pub threads_per_worker: ThreadCount,
 }
 
 impl Default for EngineConfig {
@@ -420,6 +433,7 @@ impl Default for EngineConfig {
             check_monotonicity: false,
             execution: ExecutionMode::Auto,
             transport: TransportKind::InProcess,
+            threads_per_worker: ThreadCount::Auto,
         }
     }
 }
@@ -433,6 +447,9 @@ pub enum RunError {
     SuperstepLimit(usize),
     /// A worker thread panicked (the payload carries the panic message).
     WorkerPanic(String),
+    /// The transport lost contact with a worker (disconnect or read
+    /// timeout); see [`TransportError`].
+    Transport(TransportError),
 }
 
 impl fmt::Display for RunError {
@@ -446,6 +463,7 @@ impl fmt::Display for RunError {
                 )
             }
             RunError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            RunError::Transport(err) => write!(f, "transport failure: {err}"),
         }
     }
 }
@@ -571,9 +589,12 @@ impl<P: PieProgram> GrapeEngine<P> {
             || {
                 let reports = transport.recv_blocking();
                 if reports.is_empty() {
-                    return Err(RunError::WorkerPanic(
-                        "a worker disconnected before reporting".into(),
-                    ));
+                    return Err(match transport.failure() {
+                        Some(err) => RunError::Transport(err),
+                        None => {
+                            RunError::WorkerPanic("a worker disconnected before reporting".into())
+                        }
+                    });
                 }
                 Ok(reports)
             },
@@ -629,15 +650,18 @@ impl<P: PieProgram> GrapeEngine<P> {
                         .unwrap_or(false)
             }
         };
+        let threads = config.threads_per_worker.resolve(n, inline);
 
         if inline {
             // ---------------- inline driver ----------------
             // Every worker runs on this thread; the exchange still flows
             // through the same transport so the accounting and the message
-            // protocol are identical to the threaded mode.
+            // protocol are identical to the threaded mode. The workers run
+            // serialized, so they share one intra-fragment pool.
+            let pool = Arc::new(ThreadPool::new(threads));
             let mut workers: Vec<WorkerRuntime<'_, P>> = fragments
                 .iter()
-                .map(|fragment| WorkerRuntime::new(&*program, query, fragment))
+                .map(|fragment| WorkerRuntime::new(&*program, query, fragment, Arc::clone(&pool)))
                 .collect();
             let coordination =
                 Self::coordinate(&program, &config, n, &mut slots, &coord, true, || {
@@ -671,7 +695,9 @@ impl<P: PieProgram> GrapeEngine<P> {
                 let mut handles = Vec::with_capacity(n);
                 for (fragment, wt) in fragments.iter().zip(worker_transports) {
                     let program = Arc::clone(&program);
-                    handles.push(scope.spawn(move || run_worker(&*program, query, fragment, &wt)));
+                    handles.push(
+                        scope.spawn(move || run_worker(&*program, query, fragment, &wt, threads)),
+                    );
                 }
 
                 // ---------------- coordinator ----------------
@@ -679,9 +705,12 @@ impl<P: PieProgram> GrapeEngine<P> {
                     Self::coordinate(&program, &config, n, &mut slots, &coord, false, || {
                         let reports = coord.recv_blocking();
                         if reports.is_empty() {
-                            return Err(RunError::WorkerPanic(
-                                "a worker disconnected before reporting".into(),
-                            ));
+                            return Err(match coord.failure() {
+                                Some(err) => RunError::Transport(err),
+                                None => RunError::WorkerPanic(
+                                    "a worker disconnected before reporting".into(),
+                                ),
+                            });
                         }
                         Ok(reports)
                     });

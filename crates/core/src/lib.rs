@@ -36,6 +36,7 @@
 pub mod context;
 pub mod engine;
 pub mod message;
+pub mod par;
 pub mod program;
 pub mod stats;
 pub mod transport;
@@ -43,9 +44,10 @@ pub mod transport;
 pub use context::PieContext;
 pub use engine::{run_worker, EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
 pub use message::VertexValue;
+pub use par::{ThreadCount, ThreadPool};
 pub use program::PieProgram;
 pub use stats::{RunStats, SuperstepTrace};
-pub use transport::{CoordTransport, TransportKind, WorkerTransport};
+pub use transport::{CoordTransport, TransportError, TransportKind, WorkerTransport};
 
 // Re-exports used by almost every PIE program.
 pub use grape_comm::{MessageSize, Wire, WireError, WireReader};

@@ -30,6 +30,32 @@ use grape_comm::{CommNetwork, CommStats, MessageSize, WorkerLink, COORDINATOR};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::marker::PhantomData;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A typed transport-level failure, surfaced by [`CoordTransport::failure`]
+/// after a receive comes back empty: the coordinator lost contact with a
+/// worker instead of reaching a normal end of stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A worker disconnected mid-run or stayed silent past the configured
+    /// read timeout; the payload describes which and why.
+    WorkerLost(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::WorkerLost(reason) => write!(f, "worker lost: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Default coordinator-side read timeout of the framed stream transport: how
+/// long [`FramedStreamCoord::recv_blocking`] waits for the next report
+/// before declaring the silent workers lost.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Which in-process transport backend the engine uses.
 ///
@@ -61,6 +87,13 @@ pub trait CoordTransport<V>: Send {
 
     /// The counters this transport records its traffic into.
     fn comm_stats(&self) -> Arc<CommStats>;
+
+    /// The typed reason the last [`CoordTransport::recv_blocking`] came back
+    /// empty, if the transport lost a worker (disconnect, read timeout).
+    /// In-process channel backends never lose workers and keep the default.
+    fn failure(&self) -> Option<TransportError> {
+        None
+    }
 }
 
 /// One worker's endpoint of a transport.
@@ -347,11 +380,15 @@ pub struct FramedStreamCoord<V> {
     writers: Vec<Mutex<BufWriter<Box<dyn Write + Send>>>>,
     inbox: std::sync::mpsc::Receiver<StreamEvent<V>>,
     oob: Mutex<Vec<OobFrame>>,
-    /// Sticky: a worker connection died while the BSP loop still ran. Once
-    /// set, `recv_blocking` returns empty immediately so the coordinator
-    /// surfaces a worker failure instead of waiting forever for a report
+    /// Sticky: why a worker was lost while the BSP loop still ran (a mid-run
+    /// disconnect, or silence past `read_timeout`). Once set,
+    /// `recv_blocking` returns empty immediately so the coordinator surfaces
+    /// a typed [`TransportError`] instead of waiting forever for a report
     /// that cannot come.
-    lost: std::sync::atomic::AtomicBool,
+    failure: Mutex<Option<TransportError>>,
+    /// How long `recv_blocking` waits for the next report before declaring
+    /// the silent workers lost; `None` waits indefinitely.
+    read_timeout: Option<Duration>,
     stats: Arc<CommStats>,
 }
 
@@ -399,9 +436,26 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
             writers,
             inbox: rx,
             oob: Mutex::new(Vec::new()),
-            lost: std::sync::atomic::AtomicBool::new(false),
+            failure: Mutex::new(None),
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
             stats,
         })
+    }
+
+    /// Overrides the coordinator-side read timeout (default
+    /// [`DEFAULT_READ_TIMEOUT`]); `None` restores the historical
+    /// wait-forever behavior.
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Records a lost-worker failure; the first reason sticks.
+    fn record_failure(&self, reason: String) {
+        let mut failure = self.failure.lock().unwrap();
+        if failure.is_none() {
+            *failure = Some(TransportError::WorkerLost(reason));
+        }
     }
 
     fn sort_event(&self, event: StreamEvent<V>, out: &mut Vec<(usize, WorkerReport<V>)>) {
@@ -414,7 +468,7 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
             // `recv_oob_blocking`, which treats them as normal.)
             StreamEvent::Disconnected(worker) => {
                 eprintln!("coordinator: worker {worker} disconnected mid-run");
-                self.lost.store(true, std::sync::atomic::Ordering::SeqCst);
+                self.record_failure(format!("worker {worker} disconnected mid-run"));
             }
         }
     }
@@ -468,19 +522,36 @@ impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
     }
 
     fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)> {
-        use std::sync::atomic::Ordering;
         let mut out = Vec::new();
-        // A worker already died mid-run: fail fast (the coordinator turns an
-        // empty receive into a WorkerPanic) instead of waiting for a report
-        // that can never arrive.
-        if self.lost.load(Ordering::SeqCst) {
+        // A worker already died mid-run: fail fast (the coordinator turns
+        // the empty receive into a typed Transport error) instead of waiting
+        // for a report that can never arrive.
+        if self.failure.lock().unwrap().is_some() {
             return out;
         }
-        while out.is_empty() && !self.lost.load(Ordering::SeqCst) {
-            match self.inbox.recv() {
-                Ok(event) => self.sort_event(event, &mut out),
-                Err(_) => return out, // every reader thread has exited
-            }
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        while out.is_empty() && self.failure.lock().unwrap().is_none() {
+            let event = if let Some(deadline) = deadline {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match self.inbox.recv_timeout(remaining) {
+                    Ok(event) => event,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        self.record_failure(format!(
+                            "no report within the {:?} read timeout",
+                            self.read_timeout.expect("deadline implies timeout")
+                        ));
+                        return out;
+                    }
+                    // Every reader thread has exited.
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return out,
+                }
+            } else {
+                match self.inbox.recv() {
+                    Ok(event) => event,
+                    Err(_) => return out, // every reader thread has exited
+                }
+            };
+            self.sort_event(event, &mut out);
         }
         while let Ok(event) = self.inbox.try_recv() {
             self.sort_event(event, &mut out);
@@ -498,6 +569,10 @@ impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
 
     fn comm_stats(&self) -> Arc<CommStats> {
         Arc::clone(&self.stats)
+    }
+
+    fn failure(&self) -> Option<TransportError> {
+        self.failure.lock().unwrap().clone()
     }
 }
 
@@ -671,9 +746,47 @@ mod tests {
         // deliver nothing but must not block forever).
         let got = coord.recv_blocking();
         assert!(got.is_empty(), "no worker reported anything: {got:?}");
-        // Sticky: every later receive fails immediately too.
+        // Sticky: every later receive fails immediately too, and the reason
+        // is typed.
         assert!(coord.recv_blocking().is_empty());
+        assert!(matches!(
+            coord.failure(),
+            Some(TransportError::WorkerLost(reason)) if reason.contains("disconnected")
+        ));
         drop(survivor);
+    }
+
+    #[test]
+    fn a_silent_worker_times_out_with_a_typed_error() {
+        // The "worker" connects but never speaks the protocol: without a
+        // read timeout the coordinator would block forever. With one, the
+        // receive must come back empty within the deadline and failure()
+        // must carry the typed reason.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let silent = std::net::TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let timeout = Duration::from_millis(200);
+        let coord = FramedStreamCoord::<f64>::new(vec![accepted], Arc::new(CommStats::new()))
+            .unwrap()
+            .with_read_timeout(Some(timeout));
+        let started = Instant::now();
+        let got = coord.recv_blocking();
+        let elapsed = started.elapsed();
+        assert!(got.is_empty());
+        assert!(
+            elapsed >= timeout && elapsed < timeout + Duration::from_secs(5),
+            "timed out after {elapsed:?} with a {timeout:?} deadline"
+        );
+        assert!(matches!(
+            coord.failure(),
+            Some(TransportError::WorkerLost(reason)) if reason.contains("read timeout")
+        ));
+        // Sticky: later receives fail fast, well under the deadline.
+        let started = Instant::now();
+        assert!(coord.recv_blocking().is_empty());
+        assert!(started.elapsed() < timeout);
+        drop(silent);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
 use grape_comm::wire::{self, Wire, WireError, WireReader};
 use grape_comm::CommStats;
+use grape_core::par::ThreadCount;
 use grape_core::transport::{
     framed_channel_pair, FramedStreamCoord, FramedStreamWorker, SplitStream,
 };
@@ -39,6 +40,7 @@ use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Frame tag of the coordinator→worker [`JobSpec`] handshake.
 pub const TAG_JOB: u8 = 0x20;
@@ -175,6 +177,21 @@ pub struct JobSpec {
     pub index: u32,
     /// SSSP source vertex (ignored by other algorithms).
     pub source: u64,
+    /// Intra-worker threads for the PIE hot loops (0 = auto: physical cores
+    /// divided by the worker count).
+    pub threads: u32,
+}
+
+impl JobSpec {
+    /// The resolved intra-worker thread count this spec asks for.
+    pub fn resolved_threads(&self) -> usize {
+        let count = if self.threads == 0 {
+            ThreadCount::Auto
+        } else {
+            ThreadCount::Fixed(self.threads)
+        };
+        count.resolve(self.workers as usize, false)
+    }
 }
 
 impl Wire for JobSpec {
@@ -185,6 +202,7 @@ impl Wire for JobSpec {
         self.workers.encode(out);
         self.index.encode(out);
         self.source.encode(out);
+        self.threads.encode(out);
     }
 
     fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -195,6 +213,7 @@ impl Wire for JobSpec {
             workers: reader.u32()?,
             index: reader.u32()?,
             source: reader.u64()?,
+            threads: reader.u32()?,
         })
     }
 }
@@ -288,6 +307,7 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
         fragment: &Fragment<(), f64>,
         stream: S,
         stats: Arc<CommStats>,
+        threads: usize,
         to_digest: impl Fn(P::Output) -> u64,
     ) -> io::Result<u64>
     where
@@ -295,7 +315,7 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
         S: SplitStream,
     {
         let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?;
-        let partial = run_worker(&program, query, fragment, &transport);
+        let partial = run_worker(&program, query, fragment, &transport, threads);
         // The worker loop also stops on connection failure; only a clean
         // Finish-terminated run may report a digest as success.
         if let Some(reason) = transport.disconnect_reason() {
@@ -308,6 +328,7 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
         Ok(digest)
     }
 
+    let threads = job.resolved_threads();
     match job.algo.as_str() {
         "sssp" => serve(
             SsspProgram,
@@ -315,11 +336,18 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
             fragment,
             stream,
             stats,
+            threads,
             |out| digest_f64_map(&out),
         ),
-        "cc" => serve(CcProgram, &CcQuery, fragment, stream, stats, |out| {
-            digest_u64_map(&out)
-        }),
+        "cc" => serve(
+            CcProgram,
+            &CcQuery,
+            fragment,
+            stream,
+            stats,
+            threads,
+            |out| digest_u64_map(&out),
+        ),
         "pagerank" => {
             let program = PageRankProgram::new(graph.num_vertices());
             serve(
@@ -328,6 +356,7 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
                 fragment,
                 stream,
                 stats,
+                threads,
                 |out| digest_f64_map(&out),
             )
         }
@@ -340,7 +369,20 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
 /// fixpoint, and collects the result digests.
 pub fn run_coordinator_connections<S: SplitStream>(
     job: &JobSpec,
+    streams: Vec<S>,
+) -> io::Result<JobOutcome> {
+    run_coordinator_connections_with(job, streams, grape_core::transport::DEFAULT_READ_TIMEOUT)
+}
+
+/// Like [`run_coordinator_connections`], with an explicit per-receive read
+/// timeout: if no worker report arrives within `read_timeout`, the run fails
+/// with a typed [`grape_core::TransportError::WorkerLost`] instead of
+/// hanging. [`run_coordinator_connections`] uses
+/// [`grape_core::transport::DEFAULT_READ_TIMEOUT`].
+pub fn run_coordinator_connections_with<S: SplitStream>(
+    job: &JobSpec,
     mut streams: Vec<S>,
+    read_timeout: Duration,
 ) -> io::Result<JobOutcome> {
     if streams.len() != job.workers as usize {
         return Err(bad_data(format!(
@@ -363,13 +405,15 @@ pub fn run_coordinator_connections<S: SplitStream>(
         fragments: &[Fragment<(), f64>],
         streams: Vec<S>,
         stats: Arc<CommStats>,
+        read_timeout: Duration,
     ) -> io::Result<JobOutcome>
     where
         P: PieProgram<VertexData = (), EdgeData = f64>,
         S: SplitStream,
     {
         let n = streams.len();
-        let transport = FramedStreamCoord::<P::Value>::new(streams, stats)?;
+        let transport = FramedStreamCoord::<P::Value>::new(streams, stats)?
+            .with_read_timeout(Some(read_timeout));
         let stats_out = GrapeEngine::new(program)
             .run_coordinator(fragments, &transport)
             .map_err(|e| io::Error::other(e.to_string()))?;
@@ -393,11 +437,11 @@ pub fn run_coordinator_connections<S: SplitStream>(
     }
 
     match job.algo.as_str() {
-        "sssp" => coordinate(SsspProgram, &fragments, streams, stats),
-        "cc" => coordinate(CcProgram, &fragments, streams, stats),
+        "sssp" => coordinate(SsspProgram, &fragments, streams, stats, read_timeout),
+        "cc" => coordinate(CcProgram, &fragments, streams, stats, read_timeout),
         "pagerank" => {
             let program = PageRankProgram::new(graph.num_vertices());
-            coordinate(program, &fragments, streams, stats)
+            coordinate(program, &fragments, streams, stats, read_timeout)
         }
         other => Err(bad_data(format!("unknown algorithm {other:?}"))),
     }
@@ -410,12 +454,14 @@ pub fn run_coordinator_connections<S: SplitStream>(
 pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
     let (graph, fragments) = job_fragments(job)?;
     let stats = Arc::new(CommStats::new());
+    let threads = job.resolved_threads();
 
     fn local<P>(
         program: P,
         query: &P::Query,
         fragments: &[Fragment<(), f64>],
         stats: Arc<CommStats>,
+        threads: usize,
         to_digest: impl Fn(P::Output) -> u64 + Sync,
     ) -> io::Result<JobOutcome>
     where
@@ -431,7 +477,7 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
                 .zip(worker_transports)
                 .map(|(fragment, wt)| {
                     scope.spawn(move || {
-                        let partial = run_worker(program_ref, query, fragment, &wt);
+                        let partial = run_worker(program_ref, query, fragment, &wt, threads);
                         to_digest(program_ref.assemble(vec![partial]))
                     })
                 })
@@ -456,9 +502,10 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
             &SsspQuery::new(job.source),
             &fragments,
             stats,
+            threads,
             |out| digest_f64_map(&out),
         ),
-        "cc" => local(CcProgram, &CcQuery, &fragments, stats, |out| {
+        "cc" => local(CcProgram, &CcQuery, &fragments, stats, threads, |out| {
             digest_u64_map(&out)
         }),
         "pagerank" => {
@@ -468,6 +515,7 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
                 &PageRankQuery::default(),
                 &fragments,
                 stats,
+                threads,
                 |out| digest_f64_map(&out),
             )
         }
@@ -492,6 +540,7 @@ mod tests {
             workers: 4,
             index: 2,
             source: 0,
+            threads: 2,
         };
         let bytes = job.encode_to_vec();
         let mut reader = WireReader::new(&bytes);
@@ -550,6 +599,7 @@ mod tests {
                 workers: 3,
                 index: 0,
                 source: 0,
+                threads: 1,
             };
             let first = run_local_framed(&job).unwrap();
             let second = run_local_framed(&job).unwrap();

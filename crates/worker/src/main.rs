@@ -21,17 +21,18 @@
 //! digests, superstep count and message count match bit for bit.
 
 use grape_worker::{
-    run_coordinator_connections, run_local_framed, run_worker_connection, GraphSpec, JobSpec,
+    run_coordinator_connections_with, run_local_framed, run_worker_connection, GraphSpec, JobSpec,
 };
 use std::net::{TcpListener, TcpStream};
 use std::process::{Command, Stdio};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  grape-worker serve --listen ADDR [--uds PATH] --workers K --algo \
          sssp|cc|pagerank\n      --graph road:WxH:SEED|ba:N:M:SEED [--strategy NAME] \
-         [--source V] [--spawn] [--verify]\n  grape-worker connect ADDR\n  grape-worker \
-         connect-uds PATH"
+         [--source V] [--threads T] [--timeout SECS] [--spawn] [--verify]\n  grape-worker \
+         connect ADDR\n  grape-worker connect-uds PATH"
     );
     std::process::exit(2);
 }
@@ -87,7 +88,14 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         source: arg_value(args, "--source")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
+        threads: arg_value(args, "--threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
     };
+    let read_timeout = arg_value(args, "--timeout")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs)
+        .unwrap_or(grape_core::transport::DEFAULT_READ_TIMEOUT);
     let spawn = args.iter().any(|a| a == "--spawn");
     let verify = args.iter().any(|a| a == "--verify");
 
@@ -101,7 +109,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             let streams = (0..workers)
                 .map(|_| listener.accept().map(|(s, _)| s))
                 .collect::<std::io::Result<Vec<_>>>()?;
-            let outcome = run_coordinator_connections(&job, streams)?;
+            let outcome = run_coordinator_connections_with(&job, streams, read_timeout)?;
             reap(children)?;
             let _ = std::fs::remove_file(&path);
             outcome
@@ -120,7 +128,7 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         let streams = (0..workers)
             .map(|_| listener.accept().map(|(s, _)| s))
             .collect::<std::io::Result<Vec<_>>>()?;
-        let outcome = run_coordinator_connections(&job, streams)?;
+        let outcome = run_coordinator_connections_with(&job, streams, read_timeout)?;
         reap(children)?;
         outcome
     };

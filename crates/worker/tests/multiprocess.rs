@@ -2,9 +2,13 @@
 //! the framed wire protocol over TCP and Unix-domain sockets, pinned
 //! bit-identical to the in-process framed reference.
 
-use grape_worker::{run_coordinator_connections, run_local_framed, GraphSpec, JobSpec};
+use grape_worker::{
+    run_coordinator_connections, run_coordinator_connections_with, run_local_framed, GraphSpec,
+    JobSpec,
+};
 use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn worker_bin() -> &'static str {
     env!("CARGO_BIN_EXE_grape-worker")
@@ -22,6 +26,7 @@ fn job(algo: &str, workers: u32) -> JobSpec {
         workers,
         index: 0,
         source: 0,
+        threads: 1,
     }
 }
 
@@ -98,6 +103,75 @@ fn unix_domain_workers_match_the_in_process_reference() {
     assert_eq!(remote.stats.supersteps, reference.stats.supersteps);
     assert_eq!(remote.stats.messages, reference.stats.messages);
     assert_eq!(remote.stats.bytes, reference.stats.bytes);
+}
+
+#[test]
+fn silent_workers_fail_the_run_with_a_typed_timeout_error() {
+    // Three "workers" connect but never speak the protocol: the coordinator
+    // must not hang on the missing PEval reports — it must surface a typed
+    // WorkerLost error once the configured read timeout elapses.
+    let job = job("sssp", 3);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let mut held_clients = Vec::new();
+    let mut streams = Vec::new();
+    for _ in 0..job.workers {
+        held_clients.push(std::net::TcpStream::connect(addr).expect("connect"));
+        streams.push(listener.accept().expect("accept").0);
+    }
+    let timeout = Duration::from_millis(500);
+    let start = Instant::now();
+    let err = run_coordinator_connections_with(&job, streams, timeout)
+        .expect_err("a run with mute workers must fail");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= timeout,
+        "failed before the timeout could have elapsed: {elapsed:?}"
+    );
+    assert!(
+        elapsed < timeout + Duration::from_secs(10),
+        "took far longer than the deadline: {elapsed:?}"
+    );
+    let message = err.to_string();
+    assert!(
+        message.contains("worker lost") && message.contains("read timeout"),
+        "expected a typed worker-lost timeout error, got: {message}"
+    );
+    drop(held_clients);
+}
+
+#[cfg(unix)]
+#[test]
+fn a_killed_worker_surfaces_a_typed_error_quickly() {
+    // SIGKILL one real worker right after it connects: the coordinator's
+    // reader sees the closed socket and the run fails with a typed
+    // disconnect error immediately — not after the read timeout.
+    let job = job("cc", 3);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let mut children = spawn_workers(&["connect", &addr], job.workers);
+    let streams = (0..job.workers)
+        .map(|_| listener.accept().expect("accept").0)
+        .collect();
+    children[0].kill().expect("kill worker");
+    children[0].wait().expect("reap killed worker");
+    let start = Instant::now();
+    let err = run_coordinator_connections_with(&job, streams, Duration::from_secs(30))
+        .expect_err("a run missing a worker must fail");
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "disconnect took as long as a timeout: {:?}",
+        start.elapsed()
+    );
+    let message = err.to_string();
+    assert!(
+        message.contains("worker lost"),
+        "expected a typed worker-lost error, got: {message}"
+    );
+    for mut child in children.drain(1..) {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
 }
 
 #[test]

@@ -15,6 +15,7 @@ use grape::algo::{
     CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
     PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
 };
+use grape::core::ThreadCount;
 use grape::graph::labels::{LabeledVertex, PatternGraph};
 use grape::graph::types::EdgeRecord;
 use grape::graph::LabeledGraph;
@@ -345,6 +346,105 @@ proptest! {
     }
 
     #[test]
+    fn numeric_answers_are_bit_identical_across_thread_counts(
+        graph in arb_graph(70, 220),
+        k in 1usize..5,
+    ) {
+        // The determinism contract of the parallel-primitive layer: the
+        // intra-worker thread count changes only which OS thread executes a
+        // chunk, never the chunk decomposition or the reduction order, so
+        // every answer — including the float-iterating PageRank and CF —
+        // must be *bit-identical* across thread counts, along with the
+        // superstep and message counts. Checked per partition strategy, and
+        // once through the framed wire codec.
+        let pr_query = PageRankQuery {
+            max_local_iterations: 40,
+            tolerance: 1e-9,
+            ..Default::default()
+        };
+        let n = graph.num_vertices();
+        let cf_query = CfQuery { rank: 3, epochs: 3, ..Default::default() };
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+            let assignment = strategy.partition(&graph, k);
+            let run = |threads: u32, transport: TransportKind| {
+                let config = EngineConfig {
+                    execution: ExecutionMode::Inline,
+                    transport,
+                    threads_per_worker: ThreadCount::Fixed(threads),
+                    ..Default::default()
+                };
+                let sssp = GrapeEngine::new(SsspProgram)
+                    .with_config(config)
+                    .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
+                    .unwrap();
+                let cc = GrapeEngine::new(CcProgram)
+                    .with_config(config)
+                    .run_on_graph(&CcQuery, &graph, &assignment)
+                    .unwrap();
+                let pr = GrapeEngine::new(PageRankProgram::new(n))
+                    .with_config(config)
+                    .run_on_graph(&pr_query, &graph, &assignment)
+                    .unwrap();
+                let cf = GrapeEngine::new(CfProgram::new(n / 2))
+                    .with_config(config)
+                    .run_on_graph(&cf_query, &graph, &assignment)
+                    .unwrap();
+                (sssp, cc, pr, cf)
+            };
+            let base = run(1, TransportKind::InProcess);
+            let variants = [
+                (2u32, TransportKind::InProcess),
+                (4, TransportKind::InProcess),
+                (8, TransportKind::InProcess),
+                (4, TransportKind::Framed),
+            ];
+            for (threads, transport) in variants {
+                let got = run(threads, transport);
+                for v in graph.vertices() {
+                    prop_assert!(
+                        base.0.output.get(&v).map(|d| d.to_bits())
+                            == got.0.output.get(&v).map(|d| d.to_bits()),
+                        "sssp/{} k={} t={} vertex {}", strategy.name(), k, threads, v
+                    );
+                    prop_assert_eq!(
+                        base.1.output.get(&v), got.1.output.get(&v),
+                        "cc/{} k={} t={} vertex {}", strategy.name(), k, threads, v
+                    );
+                    prop_assert!(
+                        base.2.output.get(&v).map(|d| d.to_bits())
+                            == got.2.output.get(&v).map(|d| d.to_bits()),
+                        "pagerank/{} k={} t={} vertex {}", strategy.name(), k, threads, v
+                    );
+                }
+                prop_assert_eq!(base.3.output.factors.len(), got.3.output.factors.len());
+                for (v, fac) in &base.3.output.factors {
+                    prop_assert_eq!(
+                        fac, &got.3.output.factors[v],
+                        "cf/{} k={} t={} vertex {}", strategy.name(), k, threads, v
+                    );
+                }
+                for (a, b, algo) in [
+                    (&base.0.stats, &got.0.stats, "sssp"),
+                    (&base.1.stats, &got.1.stats, "cc"),
+                    (&base.2.stats, &got.2.stats, "pagerank"),
+                    (&base.3.stats, &got.3.stats, "cf"),
+                ] {
+                    prop_assert_eq!(
+                        a.supersteps, b.supersteps,
+                        "{}/{} k={} t={}: superstep counts differ",
+                        algo, strategy.name(), k, threads
+                    );
+                    prop_assert_eq!(
+                        a.messages, b.messages,
+                        "{}/{} k={} t={}: message counts differ",
+                        algo, strategy.name(), k, threads
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn message_totals_match_superstep_history(
         graph in arb_graph(70, 250),
         k in 2usize..6,
@@ -414,6 +514,92 @@ proptest! {
                     &got.distances, &want.distances,
                     "keyword/{} k={} root {}", strategy.name(), k, got.root
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_answers_are_identical_across_thread_counts(
+        graph in arb_labeled_graph(32, 120),
+        k in 1usize..5,
+    ) {
+        // Thread-count half of the determinism contract for the four
+        // label-driven classes. `sim` exercises the parallel refinement
+        // worklist; subiso, keyword and marketing pin that programs which do
+        // not (yet) use the pool are untouched by the knob. One variant runs
+        // through the framed wire codec.
+        let pattern = chain_pattern();
+        let kq = KeywordQuery::new(["phone", "laptop"], 6.0);
+        let mq = MarketingQuery::new(0);
+        for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+            let assignment = strategy.partition(&graph, k);
+            let run = |threads: u32, transport: TransportKind| {
+                let config = EngineConfig {
+                    execution: ExecutionMode::Inline,
+                    transport,
+                    threads_per_worker: ThreadCount::Fixed(threads),
+                    ..Default::default()
+                };
+                let sim = GrapeEngine::new(SimProgram)
+                    .with_config(config)
+                    .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
+                    .unwrap();
+                let sub = GrapeEngine::new(SubIsoProgram)
+                    .with_config(config)
+                    .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
+                    .unwrap();
+                let kw = GrapeEngine::new(KeywordProgram)
+                    .with_config(config)
+                    .run_on_graph(&kq, &graph, &assignment)
+                    .unwrap();
+                let mk = GrapeEngine::new(MarketingProgram)
+                    .with_config(config)
+                    .run_on_graph(&mq, &graph, &assignment)
+                    .unwrap();
+                (sim, sub, kw, mk)
+            };
+            let base = run(1, TransportKind::InProcess);
+            let variants = [
+                (2u32, TransportKind::InProcess),
+                (8, TransportKind::InProcess),
+                (4, TransportKind::Framed),
+            ];
+            for (threads, transport) in variants {
+                let got = run(threads, transport);
+                prop_assert_eq!(
+                    &base.0.output, &got.0.output,
+                    "sim/{} k={} t={}", strategy.name(), k, threads
+                );
+                prop_assert_eq!(
+                    &base.1.output, &got.1.output,
+                    "subiso/{} k={} t={}", strategy.name(), k, threads
+                );
+                prop_assert_eq!(base.2.output.len(), got.2.output.len());
+                for (a, b) in base.2.output.iter().zip(got.2.output.iter()) {
+                    prop_assert_eq!(a.root, b.root);
+                    prop_assert_eq!(&a.distances, &b.distances);
+                }
+                prop_assert_eq!(
+                    &base.3.output, &got.3.output,
+                    "marketing/{} k={} t={}", strategy.name(), k, threads
+                );
+                for (a, b, algo) in [
+                    (&base.0.stats, &got.0.stats, "sim"),
+                    (&base.1.stats, &got.1.stats, "subiso"),
+                    (&base.2.stats, &got.2.stats, "keyword"),
+                    (&base.3.stats, &got.3.stats, "marketing"),
+                ] {
+                    prop_assert_eq!(
+                        a.supersteps, b.supersteps,
+                        "{}/{} k={} t={}: superstep counts differ",
+                        algo, strategy.name(), k, threads
+                    );
+                    prop_assert_eq!(
+                        a.messages, b.messages,
+                        "{}/{} k={} t={}: message counts differ",
+                        algo, strategy.name(), k, threads
+                    );
+                }
             }
         }
     }
