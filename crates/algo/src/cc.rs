@@ -338,6 +338,36 @@ impl PieProgram for CcProgram {
         Some(new <= old)
     }
 
+    fn snapshot_partial(&self, partial: &CcPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Same layout as Vec<VertexId>: u32 length prefix, then elements.
+        out.extend_from_slice(&(partial.labels.len() as u32).to_le_bytes());
+        for label in partial.labels.as_slice() {
+            label.encode(&mut out);
+        }
+        partial.vertex_ids.encode(&mut out);
+        partial.comp.encode(&mut out);
+        partial.comp_label.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<CcPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let labels = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let vertex_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let comp = Vec::<u32>::decode(&mut reader).ok()?;
+        let comp_label = Vec::<VertexId>::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        Some(CcPartial {
+            labels: VertexDenseMap::from_vec(labels),
+            vertex_ids,
+            comp,
+            comp_label,
+        })
+    }
+
     fn name(&self) -> &str {
         "cc"
     }
@@ -350,6 +380,25 @@ mod tests {
     use grape_graph::generators::{barabasi_albert, erdos_renyi, road_network, RoadNetworkConfig};
     use grape_graph::GraphBuilder;
     use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner, RangePartitioner};
+
+    #[test]
+    fn partial_snapshot_roundtrips_bit_identically() {
+        let g = barabasi_albert(150, 2, 17).unwrap();
+        let assignment = HashPartitioner.partition(&g, 2);
+        let frags = grape_partition::build_fragments(&g, &assignment);
+        let program = CcProgram;
+        let mut ctx = PieContext::new();
+        let slots: Vec<u32> = (0..frags[1].border_vertices().len() as u32).collect();
+        ctx.configure_borders(frags[1].border_vertices(), &slots);
+        let partial = program.peval(&CcQuery, &frags[1], &mut ctx);
+        let bytes = program.snapshot_partial(&partial).expect("cc snapshots");
+        let back = program.restore_partial(&bytes).expect("restore");
+        assert_eq!(partial.labels.as_slice(), back.labels.as_slice());
+        assert_eq!(partial.vertex_ids, back.vertex_ids);
+        assert_eq!(partial.comp, back.comp);
+        assert_eq!(partial.comp_label, back.comp_label);
+        assert!(program.restore_partial(&bytes[..bytes.len() - 1]).is_none());
+    }
 
     #[test]
     fn union_find_basics() {

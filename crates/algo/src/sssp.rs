@@ -401,6 +401,34 @@ impl PieProgram for SsspProgram {
         Some(new <= old)
     }
 
+    fn snapshot_partial(&self, partial: &SsspPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Same layout as Vec<f64>: u32 length prefix, then raw f64 bits —
+        // infinities (unreached vertices) survive exactly.
+        out.extend_from_slice(&(partial.dist.len() as u32).to_le_bytes());
+        for d in partial.dist.as_slice() {
+            d.encode(&mut out);
+        }
+        partial.vertex_ids.encode(&mut out);
+        partial.inceval_changes.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<SsspPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let dist = Vec::<Distance>::decode(&mut reader).ok()?;
+        let vertex_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let inceval_changes = usize::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        Some(SsspPartial {
+            dist: VertexDenseMap::from_vec(dist),
+            vertex_ids,
+            inceval_changes,
+        })
+    }
+
     fn name(&self) -> &str {
         "sssp"
     }
@@ -431,6 +459,38 @@ mod tests {
                 assert!(expected.contains_key(v), "vertex {v} should be unreachable");
             }
         }
+    }
+
+    #[test]
+    fn partial_snapshot_roundtrips_bit_identically() {
+        let g = barabasi_albert(200, 3, 13).unwrap();
+        let assignment = HashPartitioner.partition(&g, 2);
+        let frags = grape_partition::build_fragments(&g, &assignment);
+        let program = SsspProgram;
+        let mut ctx = PieContext::new();
+        let slots: Vec<u32> = (0..frags[0].border_vertices().len() as u32).collect();
+        ctx.configure_borders(frags[0].border_vertices(), &slots);
+        let partial = program.peval(&SsspQuery::new(0), &frags[0], &mut ctx);
+        let bytes = program.snapshot_partial(&partial).expect("sssp snapshots");
+        let back = program.restore_partial(&bytes).expect("restore");
+        assert_eq!(
+            partial
+                .dist
+                .as_slice()
+                .iter()
+                .map(|d| d.to_bits())
+                .collect::<Vec<_>>(),
+            back.dist
+                .as_slice()
+                .iter()
+                .map(|d| d.to_bits())
+                .collect::<Vec<_>>(),
+            "distances must survive bit for bit (including infinities)"
+        );
+        assert_eq!(partial.vertex_ids, back.vertex_ids);
+        assert_eq!(partial.inceval_changes, back.inceval_changes);
+        // Corrupt bytes fail typed, not by panic.
+        assert!(program.restore_partial(&bytes[..bytes.len() - 1]).is_none());
     }
 
     #[test]

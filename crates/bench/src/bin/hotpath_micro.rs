@@ -3,13 +3,14 @@
 //! Keyword, CF) on a labeled social graph and a bipartite rating graph —
 //! all through the full PIE engine, on both transport backends.
 //!
-//! Writes `BENCH_pr5.json` (or `BENCH_pr5_smoke.json` with `--smoke`) in the
+//! Writes `BENCH_pr7.json` (or `BENCH_pr7_smoke.json` with `--smoke`) in the
 //! current directory, one machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
 //! {"algo": "sssp", "graph": "road", "n": 16384, "m": 64000, "k": 4,
 //!  "wall_ms": 12.3, "peval_ms": 8.1, "inceval_ms": 2.2, "coord_ms": 2.0,
-//!  "framed_wall_ms": 13.0, "wire_bytes": 181234, "wire_mbps": 13.3}
+//!  "framed_wall_ms": 13.0, "wire_bytes": 181234, "wire_mbps": 13.3,
+//!  "recovery_ms": 21.7}
 //! ```
 //!
 //! `coord_ms` is the non-compute gap (`wall - peval - inceval`) on the
@@ -20,10 +21,17 @@
 //! estimates) and `wire_mbps` the resulting codec throughput
 //! (`wire_bytes / framed_wall`).
 //!
+//! `recovery_ms` (single-threaded SSSP/CC rows only — the snapshot-capable
+//! algorithms) is the wall time of the same job over real TCP sockets with
+//! one worker killed at its first evaluation command: the fragment and last
+//! checkpoint are re-shipped to a replacement at a bumped epoch and the
+//! in-flight superstep replayed. The recovered digests are asserted
+//! bit-identical to the undisturbed run before the timing is accepted.
+//!
 //! Pass `--smoke` for a small configuration suitable for CI: same format,
-//! seconds instead of minutes. CI regression-gates `wall_ms` / `coord_ms` of
-//! the smoke artifact against the committed baseline via the `bench_gate`
-//! binary.
+//! seconds instead of minutes. CI regression-gates `wall_ms` / `coord_ms` /
+//! `framed_wall_ms` / `recovery_ms` of the smoke artifact against the
+//! committed baseline via the `bench_gate` binary.
 
 use grape_algo::{
     CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
@@ -38,6 +46,7 @@ use grape_graph::generators::{
 use grape_graph::labels::PatternGraph;
 use grape_graph::CsrGraph;
 use grape_partition::{HashPartitioner, Partitioner};
+use grape_worker::{run_local_framed, run_local_recoverable_tcp, GraphSpec, JobSpec};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -57,6 +66,9 @@ struct Row {
     framed_wall_ms: f64,
     /// Actual framed bytes shipped by the framed run (headers included).
     wire_bytes: u64,
+    /// Wall time of a TCP run with one injected worker kill at mid-run,
+    /// recovered from checkpoint (snapshot-capable algorithms only).
+    recovery_ms: Option<f64>,
 }
 
 impl Row {
@@ -75,12 +87,16 @@ impl Row {
     }
 
     fn to_json(&self) -> String {
+        let recovery = self
+            .recovery_ms
+            .map(|ms| format!(", \"recovery_ms\": {ms:.3}"))
+            .unwrap_or_default();
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
              \"threads\": {}, \
              \"wall_ms\": {:.3}, \"peval_ms\": {:.3}, \"inceval_ms\": {:.3}, \
              \"coord_ms\": {:.3}, \"framed_wall_ms\": {:.3}, \"wire_bytes\": {}, \
-             \"wire_mbps\": {:.3}}}",
+             \"wire_mbps\": {:.3}{recovery}}}",
             self.algo,
             self.graph,
             self.n,
@@ -168,6 +184,7 @@ where
         inceval_ms: stats.inceval_seconds * 1e3,
         framed_wall_ms,
         wire_bytes: framed_stats.bytes,
+        recovery_ms: None,
     };
     eprintln!(
         "{:>8} on {:<5}: n={} m={} k={} t={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
@@ -190,48 +207,89 @@ where
     row
 }
 
+/// Best-of-`reps` wall time of a TCP run with one worker killed and
+/// recovered from checkpoint, pinned bit-identical to the undisturbed run.
+fn recovery_best_ms(algo: &'static str, spec: &GraphSpec, k: u32, reps: usize) -> f64 {
+    let job = JobSpec {
+        algo: algo.into(),
+        graph: spec.clone(),
+        strategy: "hash".into(),
+        workers: k,
+        index: 0,
+        source: 0,
+        threads: 1,
+        vertices: 0,
+        checkpoints: true,
+    };
+    let reference = run_local_framed(&job).expect("recovery reference run");
+    // Kill at the victim's first evaluation command (its Init). The kill
+    // index counts commands the *victim* receives, and a worker that hits
+    // its local fixpoint early receives fewer IncEvals than the global
+    // superstep count — index 0 is the only schedule guaranteed to fire on
+    // every graph.
+    let kill_at = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let outcome = run_local_recoverable_tcp(&job, 1, kill_at).expect("recovery run");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            outcome.digests, reference.digests,
+            "{algo}: recovered digests diverge from the undisturbed run"
+        );
+        assert!(
+            outcome.stats.recoveries >= 1,
+            "{algo}: the scheduled kill never fired"
+        );
+        best = best.min(wall);
+    }
+    best
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let k = 4;
     let reps = if smoke { 2 } else { 3 };
     let out_file = if smoke {
-        "BENCH_pr6_smoke.json"
+        "BENCH_pr7_smoke.json"
     } else {
-        "BENCH_pr6.json"
+        "BENCH_pr7.json"
     };
     // The thread axis: the four ported hot loops run once single-threaded
     // and once on a 4-thread pool (results are bit-identical; only the wall
     // clock may differ). The remaining classes stay single-threaded rows.
     let thread_axis = [1usize, 4];
 
+    let (road_w, road_h) = if smoke { (48, 48) } else { (128, 128) };
     let road = road_network(
-        if smoke {
-            RoadNetworkConfig {
-                width: 48,
-                height: 48,
-                ..Default::default()
-            }
-        } else {
-            RoadNetworkConfig {
-                width: 128,
-                height: 128,
-                ..Default::default()
-            }
+        RoadNetworkConfig {
+            width: road_w,
+            height: road_h,
+            ..Default::default()
         },
         7,
     )
     .expect("road network");
-    let ba = if smoke {
-        barabasi_albert(3_000, 3, 11)
-    } else {
-        barabasi_albert(30_000, 5, 11)
-    }
-    .expect("barabasi-albert");
+    let road_spec = GraphSpec::Road {
+        width: road_w as u32,
+        height: road_h as u32,
+        seed: 7,
+    };
+    let (ba_n, ba_m) = if smoke { (3_000, 3) } else { (30_000, 5) };
+    let ba = barabasi_albert(ba_n, ba_m, 11).expect("barabasi-albert");
+    let ba_spec = GraphSpec::Ba {
+        n: ba_n as u32,
+        m: ba_m as u32,
+        seed: 11,
+    };
 
     let mut rows = Vec::new();
-    for (graph_name, g) in [("road", &road), ("ba", &ba)] {
+    for (graph_name, g, spec) in [("road", &road, &road_spec), ("ba", &ba, &ba_spec)] {
         for threads in thread_axis {
-            rows.push(run_case(
+            // The recovery drill is a single-threaded multi-worker TCP run;
+            // attach it to the single-threaded row of each snapshot-capable
+            // algorithm.
+            let mut sssp = run_case(
                 "sssp",
                 graph_name,
                 SsspProgram,
@@ -240,10 +298,16 @@ fn main() {
                 k,
                 threads,
                 reps,
-            ));
-            rows.push(run_case(
-                "cc", graph_name, CcProgram, &CcQuery, g, k, threads, reps,
-            ));
+            );
+            if threads == 1 {
+                sssp.recovery_ms = Some(recovery_best_ms("sssp", spec, k as u32, reps));
+            }
+            rows.push(sssp);
+            let mut cc = run_case("cc", graph_name, CcProgram, &CcQuery, g, k, threads, reps);
+            if threads == 1 {
+                cc.recovery_ms = Some(recovery_best_ms("cc", spec, k as u32, reps));
+            }
+            rows.push(cc);
             rows.push(run_case(
                 "pagerank",
                 graph_name,

@@ -13,13 +13,20 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"GW"
-//! 2       1     protocol version (currently 1)
+//! 2       1     protocol version (currently 2)
 //! 3       1     message tag (assigned by the message layer)
-//! 4       4     payload length, u32 little-endian
-//! 8       len   payload
+//! 4       4     run epoch, u32 little-endian (0 outside recovery)
+//! 8       4     payload length, u32 little-endian
+//! 12      len   payload
 //! ```
 //!
-//! The 8-byte header is [`HEADER_LEN`]. Payload encodings are defined by the
+//! The **epoch** field is what makes worker-loss recovery safe: the
+//! coordinator bumps its run epoch every time it replaces a lost worker, and
+//! frames written by a stale connection (an earlier epoch) are fenced —
+//! dropped and counted instead of folded into the run. Senders that never
+//! participate in recovery simply write epoch 0.
+//!
+//! The 12-byte header is [`HEADER_LEN`]. Payload encodings are defined by the
 //! [`Wire`] trait and deliberately mirror the [`crate::MessageSize`]
 //! estimates byte for byte: fixed-width little-endian integers and floats,
 //! and `u32` length prefixes for vectors and strings. Decoding is zero-copy
@@ -37,11 +44,13 @@ use std::io::{self, Read, Write};
 /// First two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"GW";
 
-/// Protocol version byte shipped in every frame header.
-pub const VERSION: u8 = 1;
+/// Protocol version byte shipped in every frame header. Version 2 added the
+/// 4-byte run-epoch field used to fence stale frames during recovery.
+pub const VERSION: u8 = 2;
 
-/// Size of the frame header: magic (2) + version (1) + tag (1) + length (4).
-pub const HEADER_LEN: usize = 8;
+/// Size of the frame header: magic (2) + version (1) + tag (1) + epoch (4) +
+/// length (4).
+pub const HEADER_LEN: usize = 12;
 
 /// Errors produced while decoding wire bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +82,14 @@ pub enum WireError {
         /// Number of leftover bytes.
         count: usize,
     },
+    /// The frame carried a run epoch other than the one the receiver is
+    /// fencing on — a stale frame from a connection that was replaced.
+    StaleEpoch {
+        /// The epoch the receiver expected.
+        expected: u32,
+        /// The epoch found in the frame header.
+        found: u32,
+    },
     /// The bytes violated a value-level invariant (bad bool, invalid UTF-8,
     /// …).
     Malformed(&'static str),
@@ -93,6 +110,9 @@ impl fmt::Display for WireError {
             WireError::BadTag { found } => write!(f, "unknown message tag {found:#04x}"),
             WireError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after a complete payload")
+            }
+            WireError::StaleEpoch { expected, found } => {
+                write!(f, "stale frame epoch {found} (fencing on epoch {expected})")
             }
             WireError::Malformed(what) => write!(f, "malformed wire value: {what}"),
         }
@@ -370,33 +390,61 @@ impl MessageSize for Frame {
     }
 }
 
-/// Appends a complete frame carrying `value` under `tag` to `out`.
+/// Appends a complete epoch-0 frame carrying `value` under `tag` to `out`.
 pub fn encode_frame<T: Wire>(tag: u8, value: &T, out: &mut Vec<u8>) {
     encode_frame_with(tag, out, |out| value.encode(out));
 }
 
-/// Appends a complete frame under `tag` to `out`, with the payload written
-/// by `payload` — for multi-field messages that encode without building an
-/// intermediate value.
+/// Appends a complete frame carrying `value` under `tag`, stamped with
+/// `epoch`, to `out`.
+pub fn encode_frame_epoch<T: Wire>(tag: u8, epoch: u32, value: &T, out: &mut Vec<u8>) {
+    encode_frame_with_epoch(tag, epoch, out, |out| value.encode(out));
+}
+
+/// Appends a complete epoch-0 frame under `tag` to `out`, with the payload
+/// written by `payload` — for multi-field messages that encode without
+/// building an intermediate value.
 pub fn encode_frame_with(tag: u8, out: &mut Vec<u8>, payload: impl FnOnce(&mut Vec<u8>)) {
+    encode_frame_with_epoch(tag, 0, out, payload);
+}
+
+/// Appends a complete frame under `tag`, stamped with `epoch`, to `out`,
+/// with the payload written by `payload`.
+pub fn encode_frame_with_epoch(
+    tag: u8,
+    epoch: u32,
+    out: &mut Vec<u8>,
+    payload: impl FnOnce(&mut Vec<u8>),
+) {
     let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
     out.push(tag);
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&[0u8; 4]); // length, patched below
     let payload_start = out.len();
     payload(out);
     let payload_len = (out.len() - payload_start) as u32;
-    out[start + 4..start + 8].copy_from_slice(&payload_len.to_le_bytes());
+    out[start + 8..start + 12].copy_from_slice(&payload_len.to_le_bytes());
 }
 
-/// Splits one frame off the front of `buf`.
+/// Splits one frame off the front of `buf`, discarding its epoch.
 ///
 /// Returns `(tag, payload, total_frame_len)`; the payload is a zero-copy
 /// slice into `buf`. Fails with [`WireError::Truncated`] when fewer bytes
 /// than a whole frame are available, and with
 /// [`WireError::BadMagic`] / [`WireError::BadVersion`] on corrupt headers.
 pub fn decode_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
+    let (tag, _epoch, payload, total) = decode_frame_epoch(buf)?;
+    Ok((tag, payload, total))
+}
+
+/// Splits one frame off the front of `buf`, surfacing its epoch.
+///
+/// Returns `(tag, epoch, payload, total_frame_len)`. Epoch validation is the
+/// caller's job (see [`check_epoch`]): the framing layer cannot know which
+/// epoch a connection is fencing on.
+pub fn decode_frame_epoch(buf: &[u8]) -> Result<(u8, u32, &[u8], usize), WireError> {
     if buf.len() < HEADER_LEN {
         return Err(WireError::Truncated {
             needed: HEADER_LEN,
@@ -412,7 +460,8 @@ pub fn decode_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
         return Err(WireError::BadVersion { found: buf[2] });
     }
     let tag = buf[3];
-    let payload_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let epoch = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
     let total = HEADER_LEN + payload_len;
     if buf.len() < total {
         return Err(WireError::Truncated {
@@ -420,24 +469,50 @@ pub fn decode_frame(buf: &[u8]) -> Result<(u8, &[u8], usize), WireError> {
             have: buf.len(),
         });
     }
-    Ok((tag, &buf[HEADER_LEN..total], total))
+    Ok((tag, epoch, &buf[HEADER_LEN..total], total))
 }
 
-/// Writes one frame carrying `value` under `tag` to `w`. Returns the number
-/// of bytes written (header + payload), for byte accounting.
+/// Rejects a frame whose epoch is not the one being fenced on.
+pub fn check_epoch(expected: u32, found: u32) -> Result<(), WireError> {
+    if expected == found {
+        Ok(())
+    } else {
+        Err(WireError::StaleEpoch { expected, found })
+    }
+}
+
+/// Writes one epoch-0 frame carrying `value` under `tag` to `w`. Returns the
+/// number of bytes written (header + payload), for byte accounting.
 pub fn write_frame_io<T: Wire>(w: &mut impl Write, tag: u8, value: &T) -> io::Result<usize> {
+    write_frame_io_epoch(w, tag, 0, value)
+}
+
+/// Writes one frame carrying `value` under `tag`, stamped with `epoch`, to
+/// `w`. Returns the number of bytes written.
+pub fn write_frame_io_epoch<T: Wire>(
+    w: &mut impl Write,
+    tag: u8,
+    epoch: u32,
+    value: &T,
+) -> io::Result<usize> {
     let mut frame = Vec::new();
-    encode_frame(tag, value, &mut frame);
+    encode_frame_epoch(tag, epoch, value, &mut frame);
     w.write_all(&frame)?;
     Ok(frame.len())
 }
 
-/// Reads one frame from `r` (blocking).
+/// Reads one frame from `r` (blocking), discarding its epoch.
 ///
 /// Returns `Ok(None)` on a clean EOF at a frame boundary — the peer closed
 /// the connection between messages. A corrupt header or an EOF mid-frame is
 /// an `io::Error` of kind `InvalidData` / `UnexpectedEof`.
 pub fn read_frame_io(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    Ok(read_frame_io_epoch(r)?.map(|(tag, _epoch, payload)| (tag, payload)))
+}
+
+/// Reads one frame from `r` (blocking), surfacing its epoch so the caller
+/// can fence stale frames.
+pub fn read_frame_io_epoch(r: &mut impl Read) -> io::Result<Option<(u8, u32, Vec<u8>)>> {
     let mut header = [0u8; HEADER_LEN];
     // Distinguish "no more frames" from "died mid-frame": a clean EOF before
     // the first header byte is a graceful shutdown.
@@ -470,7 +545,8 @@ pub fn read_frame_io(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
         ));
     }
     let tag = header[3];
-    let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    let epoch = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
     // The declared length is peer-controlled: grow the buffer as bytes
     // actually arrive (take + read_to_end grows geometrically) instead of
     // allocating up to 4 GiB up front on a corrupt or hostile header.
@@ -482,7 +558,7 @@ pub fn read_frame_io(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
             "connection closed mid-payload",
         ));
     }
-    Ok(Some((tag, payload)))
+    Ok(Some((tag, epoch, payload)))
 }
 
 #[cfg(test)]
@@ -563,12 +639,52 @@ mod tests {
         assert_eq!(&frame[0..2], &MAGIC);
         assert_eq!(frame[2], VERSION);
         assert_eq!(frame[3], 0x42);
+        assert_eq!(&frame[4..8], &[0u8; 4], "epoch 0 outside recovery");
         let (tag, body, consumed) = decode_frame(&frame).unwrap();
         assert_eq!(tag, 0x42);
         assert_eq!(consumed, frame.len());
         let mut reader = WireReader::new(body);
         assert_eq!(Vec::<(u32, f64)>::decode(&mut reader).unwrap(), payload);
         reader.finish().unwrap();
+    }
+
+    #[test]
+    fn epochs_ride_the_header_and_fence_stale_frames() {
+        let mut frame = Vec::new();
+        encode_frame_epoch(0x07, 3, &9u64, &mut frame);
+        assert_eq!(
+            u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+            3,
+            "little-endian epoch at bytes 4..8"
+        );
+        let (tag, epoch, body, consumed) = decode_frame_epoch(&frame).unwrap();
+        assert_eq!((tag, epoch, consumed), (0x07, 3, frame.len()));
+        let mut reader = WireReader::new(body);
+        assert_eq!(u64::decode(&mut reader).unwrap(), 9);
+        // The epoch-agnostic decoder sees the same frame.
+        let (tag, _, consumed) = decode_frame(&frame).unwrap();
+        assert_eq!((tag, consumed), (0x07, frame.len()));
+        // The fence: matching epochs pass, anything else is typed.
+        assert_eq!(check_epoch(3, 3), Ok(()));
+        assert_eq!(
+            check_epoch(3, 2),
+            Err(WireError::StaleEpoch {
+                expected: 3,
+                found: 2
+            })
+        );
+    }
+
+    #[test]
+    fn io_frames_carry_epochs() {
+        let mut stream = Vec::new();
+        write_frame_io_epoch(&mut stream, 1, 7, &5u32).unwrap();
+        let mut cursor = io::Cursor::new(stream);
+        let (tag, epoch, body) = read_frame_io_epoch(&mut cursor).unwrap().unwrap();
+        assert_eq!((tag, epoch), (1, 7));
+        let mut reader = WireReader::new(&body);
+        assert_eq!(u32::decode(&mut reader).unwrap(), 5);
+        assert!(read_frame_io_epoch(&mut cursor).unwrap().is_none());
     }
 
     #[test]
@@ -682,7 +798,7 @@ mod tests {
         let err = read_frame_io(&mut cursor).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
 
-        let mut garbage = io::Cursor::new(b"NOTAFRAME".to_vec());
+        let mut garbage = io::Cursor::new(b"NOTAFRAMEATALL".to_vec());
         let err = read_frame_io(&mut garbage).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

@@ -99,13 +99,14 @@ fn bus_counts_match_slot_addressed_engine_messages() {
         superstep: 2,
         changes: vec![(7, 0.5)],
         strays: vec![(99, 1.0)],
+        checkpoint: None,
         eval_seconds: 0.1,
     };
     let expected = report.size_bytes() as u64;
     assert_eq!(
         expected,
-        8 + 4 + 12 + 4 + 16,
-        "superstep + slot changes + vertex-addressed strays"
+        8 + 4 + 12 + 4 + 16 + 1,
+        "superstep + slot changes + vertex-addressed strays + absent checkpoint"
     );
     assert!(workers[0].send(COORDINATOR, report));
     assert_eq!(stats.bytes(), expected);
@@ -145,6 +146,7 @@ fn framed_encoding_matches_the_estimates_for_slot_messages() {
         superstep: 3,
         changes: vec![(0, 1.5), (7, 2.5)],
         strays: vec![(42, 0.25)],
+        checkpoint: None,
         eval_seconds: 0.125,
     };
     let mut frame = Vec::new();

@@ -1,0 +1,395 @@
+//! Deterministic fault injection for the transport layer.
+//!
+//! Recovery code that is only exercised by real outages is recovery code
+//! that does not work. This module wraps the transport traits with
+//! *seed-driven* chaos — kills, mutes, delays, and duplicated frames — so
+//! the fault schedule of a test run is a pure function of its
+//! [`ChaosConfig`], never of wall-clock randomness. The same seed replays
+//! the same outage, which is what lets the chaos tests pin recovered
+//! results bit-identical to undisturbed ones.
+//!
+//! Two wrappers:
+//!
+//! * [`ChaosWorkerTransport`] — the worker side. Counts incoming commands
+//!   and triggers a kill callback at a configured command index (the
+//!   `grape-worker` binary SIGKILLs itself; in-process harnesses drop the
+//!   connection, which is the same event at the transport level). It can
+//!   also mute or duplicate outgoing reports.
+//! * [`ChaosCoordTransport`] — the coordinator side. Duplicates, delays, or
+//!   mutes outgoing commands by seeded coin flips, for drills where the
+//!   *network* misbehaves rather than a worker dying.
+//!
+//! Delays are a fixed small sleep (latency never changes BSP results);
+//! mutes and duplicates change *which frames exist*, which is exactly what
+//! epoch fencing and the recovery dedup rules must survive.
+
+use crate::message::{CoordCommand, WorkerReport};
+use crate::transport::{CoordTransport, TransportError, WorkerTransport};
+use grape_comm::CommStats;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// `xorshift64*`: tiny, fast, and plenty for fault scheduling. Never
+/// touches wall-clock or OS entropy — the whole point.
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    state: u64,
+}
+
+impl DeterministicRng {
+    /// Seeds the generator (a zero seed is mapped to a fixed non-zero
+    /// constant; xorshift has no zero state).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A seeded coin flip that comes up true about `per_mille` times in
+    /// 1000.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        (self.next_u64() % 1000) < per_mille as u64
+    }
+}
+
+/// The fault schedule of one chaos run. All zeros / `None` = no chaos.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// RNG seed; the entire fault schedule is a function of it.
+    pub seed: u64,
+    /// Kill the worker endpoint upon *receiving* the command with this
+    /// index (0 = the Init handshake, so index `k` exercises death at
+    /// superstep `k`'s evaluation).
+    pub kill_at: Option<usize>,
+    /// ‰ probability an outgoing frame is sent twice.
+    pub duplicate_per_mille: u32,
+    /// ‰ probability an outgoing frame is held for a fixed short latency
+    /// before sending.
+    pub delay_per_mille: u32,
+    /// ‰ probability an outgoing frame is silently dropped. Muted reports
+    /// surface on the far side as a read timeout → worker-loss recovery.
+    pub mute_per_mille: u32,
+}
+
+/// The fixed latency injected by a "delay" fault. Latency never changes
+/// what the BSP computes, only when — so one constant is as good as a
+/// distribution and keeps runs reproducible.
+const DELAY: Duration = Duration::from_millis(2);
+
+/// Worker-side fault injector wrapping any [`WorkerTransport`].
+pub struct ChaosWorkerTransport<V, T> {
+    inner: T,
+    config: ChaosConfig,
+    rng: Mutex<DeterministicRng>,
+    commands_seen: Mutex<usize>,
+    on_kill: Mutex<Box<dyn FnMut() + Send>>,
+    _values: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, T: WorkerTransport<V>> ChaosWorkerTransport<V, T> {
+    /// Wraps `inner`; `on_kill` runs when the configured command index
+    /// arrives (SIGKILL the process, drop the connection, …). The killed
+    /// command is *not* delivered — death precedes evaluation.
+    pub fn new(inner: T, config: ChaosConfig, on_kill: Box<dyn FnMut() + Send>) -> Self {
+        Self {
+            inner,
+            config,
+            rng: Mutex::new(DeterministicRng::new(config.seed)),
+            commands_seen: Mutex::new(0),
+            on_kill: Mutex::new(on_kill),
+            _values: std::marker::PhantomData,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps the chaos layer, returning the underlying transport (for the
+    /// post-run digest handshake, which runs outside the fault schedule).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<V: Clone + Send, T: WorkerTransport<V>> WorkerTransport<V> for ChaosWorkerTransport<V, T> {
+    fn send(&self, report: WorkerReport<V>) {
+        let mut rng = self.rng.lock().unwrap();
+        if rng.chance(self.config.mute_per_mille) {
+            return; // Swallowed; the coordinator's timeout finds out.
+        }
+        if rng.chance(self.config.delay_per_mille) {
+            std::thread::sleep(DELAY);
+        }
+        let duplicate = rng.chance(self.config.duplicate_per_mille);
+        drop(rng);
+        if duplicate {
+            self.inner.send(report.clone());
+        }
+        self.inner.send(report);
+    }
+
+    fn recv_blocking(&self) -> Vec<CoordCommand<V>> {
+        let batch = self.inner.recv_blocking();
+        if let Some(kill_at) = self.config.kill_at {
+            let mut seen = self.commands_seen.lock().unwrap();
+            for (i, command) in batch.iter().enumerate() {
+                // `Finish` is not a superstep: dying there cannot change
+                // the result, so the kill index counts evaluation commands
+                // (Init / IncEval / Resume) only.
+                if matches!(command, CoordCommand::Finish) {
+                    continue;
+                }
+                if *seen == kill_at {
+                    // Deliver the commands before the fatal one, then die:
+                    // the worker evaluated supersteps 0..k and vanishes at
+                    // k, exactly the schedule the test asked for.
+                    let survivors: Vec<_> = batch.into_iter().take(i).collect();
+                    (self.on_kill.lock().unwrap())();
+                    return survivors;
+                }
+                *seen += 1;
+            }
+        }
+        batch
+    }
+}
+
+/// Coordinator-side fault injector wrapping any [`CoordTransport`].
+pub struct ChaosCoordTransport<V, T> {
+    inner: T,
+    config: ChaosConfig,
+    rng: Mutex<DeterministicRng>,
+    _values: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, T: CoordTransport<V>> ChaosCoordTransport<V, T> {
+    /// Wraps `inner` with the seeded fault schedule in `config`.
+    pub fn new(inner: T, config: ChaosConfig) -> Self {
+        Self {
+            inner,
+            config,
+            rng: Mutex::new(DeterministicRng::new(config.seed)),
+            _values: std::marker::PhantomData,
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<V: Clone + Send, T: CoordTransport<V>> CoordTransport<V> for ChaosCoordTransport<V, T> {
+    fn send(&self, worker: usize, command: CoordCommand<V>) {
+        let mut rng = self.rng.lock().unwrap();
+        if rng.chance(self.config.mute_per_mille) {
+            return;
+        }
+        if rng.chance(self.config.delay_per_mille) {
+            std::thread::sleep(DELAY);
+        }
+        let duplicate = rng.chance(self.config.duplicate_per_mille);
+        drop(rng);
+        if duplicate {
+            self.inner.send(worker, command.clone());
+        }
+        self.inner.send(worker, command);
+    }
+
+    fn recv_blocking(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.inner.recv_blocking()
+    }
+
+    fn drain(&self) -> Vec<(usize, WorkerReport<V>)> {
+        self.inner.drain()
+    }
+
+    fn comm_stats(&self) -> Arc<CommStats> {
+        self.inner.comm_stats()
+    }
+
+    fn failure(&self) -> Option<TransportError> {
+        self.inner.failure()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn the_rng_is_a_pure_function_of_its_seed() {
+        let a: Vec<u64> = {
+            let mut r = DeterministicRng::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = DeterministicRng::new(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b, "same seed, same schedule");
+        let c: Vec<u64> = {
+            let mut r = DeterministicRng::new(43);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c, "different seed, different schedule");
+        // Zero seeds must not collapse to the all-zero fixed point.
+        let mut z = DeterministicRng::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    /// A worker transport stub fed from / into channels.
+    struct StubWorker {
+        rx: Mutex<mpsc::Receiver<CoordCommand<f64>>>,
+        sent: Mutex<Vec<WorkerReport<f64>>>,
+    }
+
+    impl WorkerTransport<f64> for StubWorker {
+        fn send(&self, report: WorkerReport<f64>) {
+            self.sent.lock().unwrap().push(report);
+        }
+        fn recv_blocking(&self) -> Vec<CoordCommand<f64>> {
+            self.rx.lock().unwrap().try_iter().collect()
+        }
+    }
+
+    #[test]
+    fn kills_fire_at_the_exact_command_index_and_eat_the_fatal_command() {
+        let (tx, rx) = mpsc::channel();
+        for s in 1..=4usize {
+            tx.send(CoordCommand::IncEval {
+                superstep: s,
+                updates: vec![(0u32, s as f64)],
+            })
+            .unwrap();
+        }
+        let killed = Arc::new(Mutex::new(false));
+        let flag = Arc::clone(&killed);
+        let chaos = ChaosWorkerTransport::new(
+            StubWorker {
+                rx: Mutex::new(rx),
+                sent: Mutex::new(Vec::new()),
+            },
+            ChaosConfig {
+                kill_at: Some(2),
+                ..Default::default()
+            },
+            Box::new(move || *flag.lock().unwrap() = true),
+        );
+        // Four queued commands, kill at index 2: exactly the first two are
+        // delivered and the kill callback has fired.
+        let delivered = chaos.recv_blocking();
+        assert_eq!(delivered.len(), 2);
+        assert!(matches!(
+            &delivered[1],
+            CoordCommand::IncEval { superstep: 2, .. }
+        ));
+        assert!(*killed.lock().unwrap());
+    }
+
+    #[test]
+    fn finish_commands_never_satisfy_the_kill_index() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(CoordCommand::<f64>::Finish).unwrap();
+        tx.send(CoordCommand::IncEval {
+            superstep: 1,
+            updates: vec![(0u32, 1.0)],
+        })
+        .unwrap();
+        let killed = Arc::new(Mutex::new(false));
+        let flag = Arc::clone(&killed);
+        let chaos = ChaosWorkerTransport::new(
+            StubWorker {
+                rx: Mutex::new(rx),
+                sent: Mutex::new(Vec::new()),
+            },
+            ChaosConfig {
+                kill_at: Some(0),
+                ..Default::default()
+            },
+            Box::new(move || *flag.lock().unwrap() = true),
+        );
+        // Kill index 0 must not fire on the Finish command — it fires on the
+        // first *evaluation* command, and Finish (delivered before it) rides
+        // through as a survivor.
+        let delivered = chaos.recv_blocking();
+        assert_eq!(delivered.len(), 1);
+        assert!(matches!(&delivered[0], CoordCommand::Finish));
+        assert!(*killed.lock().unwrap());
+    }
+
+    #[test]
+    fn mutes_and_duplicates_follow_the_seed() {
+        let report = || WorkerReport::Done {
+            superstep: 1,
+            changes: vec![(3u32, 1.5f64)],
+            strays: vec![],
+            checkpoint: None,
+            eval_seconds: 0.0,
+        };
+        let count_sends = |config: ChaosConfig, sends: usize| {
+            let (_tx, rx) = mpsc::channel::<CoordCommand<f64>>();
+            let chaos = ChaosWorkerTransport::new(
+                StubWorker {
+                    rx: Mutex::new(rx),
+                    sent: Mutex::new(Vec::new()),
+                },
+                config,
+                Box::new(|| {}),
+            );
+            for _ in 0..sends {
+                chaos.send(report());
+            }
+            let n = chaos.inner().sent.lock().unwrap().len();
+            n
+        };
+        // Always-mute swallows everything; always-duplicate doubles
+        // everything; and the same seed reproduces the same partial counts.
+        assert_eq!(
+            count_sends(
+                ChaosConfig {
+                    mute_per_mille: 1000,
+                    ..Default::default()
+                },
+                50
+            ),
+            0
+        );
+        assert_eq!(
+            count_sends(
+                ChaosConfig {
+                    duplicate_per_mille: 1000,
+                    ..Default::default()
+                },
+                50
+            ),
+            100
+        );
+        let partial = ChaosConfig {
+            seed: 7,
+            mute_per_mille: 300,
+            duplicate_per_mille: 300,
+            ..Default::default()
+        };
+        let once = count_sends(partial, 200);
+        assert_eq!(once, count_sends(partial, 200), "seeded ⇒ reproducible");
+        assert!(once > 100 && once < 300, "faults actually fired: {once}");
+    }
+}

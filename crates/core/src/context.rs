@@ -269,6 +269,24 @@ impl<V: Clone + PartialEq> PieContext<V> {
         }
     }
 
+    /// Snapshot of the configured border values, for checkpointing. The
+    /// engine takes it right after a drain, so no dirtiness needs capturing:
+    /// the values are exactly what the coordinator has already seen.
+    pub fn snapshot_border_values(&self) -> Vec<Option<V>> {
+        self.border_values.clone()
+    }
+
+    /// Restores border values from a [`PieContext::snapshot_border_values`]
+    /// checkpoint, clearing all dirtiness. Must be called after
+    /// [`PieContext::configure_borders`] with the same border list the
+    /// snapshot was taken under.
+    pub fn restore_border_values(&mut self, values: Vec<Option<V>>) {
+        debug_assert_eq!(values.len(), self.border_ids.len());
+        self.border_values = values;
+        self.border_dirty = DenseBitset::new(self.border_ids.len());
+        self.dirty_list.clear();
+    }
+
     /// Records an externally received value (from the coordinator) without
     /// marking it dirty, so the worker will not echo it back unchanged.
     pub fn absorb(&mut self, vertex: VertexId, value: V) {
@@ -402,6 +420,39 @@ mod tests {
         ctx.update(10, 1);
         ctx.drain_dirty_into(&mut changes, &mut strays);
         assert_eq!(changes, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn border_snapshot_roundtrips_without_dirtiness() {
+        let mut ctx = PieContext::<u64>::new();
+        ctx.configure_borders(&[10, 20, 30], &[0, 1, 2]);
+        ctx.update(10, 5);
+        ctx.update(30, 7);
+        let mut changes = Vec::new();
+        let mut strays = Vec::new();
+        ctx.drain_dirty_into(&mut changes, &mut strays);
+        let snapshot = ctx.snapshot_border_values();
+        assert_eq!(snapshot, vec![Some(5), None, Some(7)]);
+
+        // A fresh context restored from the snapshot sees the same values
+        // but reports nothing (the coordinator already has them)...
+        let mut restored = PieContext::<u64>::new();
+        restored.configure_borders(&[10, 20, 30], &[0, 1, 2]);
+        restored.restore_border_values(snapshot);
+        assert_eq!(restored.get(10), Some(&5));
+        assert_eq!(restored.get(30), Some(&7));
+        changes.clear();
+        restored.drain_dirty_into(&mut changes, &mut strays);
+        assert!(changes.is_empty() && strays.is_empty());
+
+        // ...and re-publishing an unchanged value stays suppressed, exactly
+        // like on the original worker.
+        restored.update(10, 5);
+        restored.drain_dirty_into(&mut changes, &mut strays);
+        assert!(changes.is_empty(), "unchanged republication suppressed");
+        restored.update(10, 3);
+        restored.drain_dirty_into(&mut changes, &mut strays);
+        assert_eq!(changes, vec![(0, 3)]);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! vice versa), so the steady-state superstep path allocates nothing.
 
 use crate::context::PieContext;
-use crate::message::{CoordCommand, WorkerReport};
+use crate::message::{CheckpointState, CoordCommand, WorkerReport};
 use crate::par::{ThreadCount, ThreadPool};
 use crate::program::PieProgram;
 use crate::stats::{RunStats, SuperstepTrace};
@@ -42,7 +42,7 @@ use grape_partition::{build_fragments, Fragment, PartitionAssignment};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One worker's superstep report as gathered by the coordinator:
 /// `(worker id, changed border slots, stray updates, eval seconds)`.
@@ -257,6 +257,20 @@ struct WorkerRuntime<'a, P: PieProgram> {
     messages: Vec<(VertexId, P::Value)>,
     /// The fragment's partial result; `Some` once PEval has run.
     partial: Option<P::Partial>,
+    /// Attach a [`CheckpointState`] to every report, so the coordinator can
+    /// re-place this fragment after a worker loss.
+    checkpoints: bool,
+}
+
+/// What [`WorkerRuntime::handle`] asks the surrounding loop to do.
+enum HandleOutcome<V> {
+    /// Send this report to the coordinator.
+    Reply(WorkerReport<V>),
+    /// State was installed (a [`CoordCommand::Resume`] restore); nothing to
+    /// send — the coordinator drives the next step.
+    Silent,
+    /// [`CoordCommand::Finish`]: stop and hand back the partial result.
+    Stop,
 }
 
 impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
@@ -276,24 +290,58 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
             slot_translation: SlotTranslation::Dense(Vec::new()),
             messages: Vec::new(),
             partial: None,
+            checkpoints: false,
         }
     }
 
-    /// Handles one coordinator command. Returns the report to send upstream,
-    /// or `None` when told to finish.
-    fn handle(&mut self, command: CoordCommand<P::Value>) -> Option<WorkerReport<P::Value>> {
+    /// Installs the border→slot mapping (the Init/Resume handshake state).
+    fn install_borders(&mut self, border_slots: &[u32]) {
+        self.ctx
+            .configure_borders(self.fragment.border_vertices(), border_slots);
+        self.slot_translation =
+            SlotTranslation::build(self.fragment.border_vertices(), border_slots);
+    }
+
+    /// Runs PEval and builds its superstep-0 report.
+    fn run_peval(&mut self) -> WorkerReport<P::Value> {
+        let t0 = Instant::now();
+        let partial = self.program.peval(self.query, self.fragment, &mut self.ctx);
+        let eval_seconds = t0.elapsed().as_secs_f64();
+        self.partial = Some(partial);
+        self.report(0, Vec::new(), eval_seconds)
+    }
+
+    /// Handles one coordinator command.
+    fn handle(&mut self, command: CoordCommand<P::Value>) -> HandleOutcome<P::Value> {
         match command {
             CoordCommand::Init { border_slots } => {
                 // Handshake: install the border→slot mapping, then run PEval.
-                self.ctx
-                    .configure_borders(self.fragment.border_vertices(), &border_slots);
-                self.slot_translation =
-                    SlotTranslation::build(self.fragment.border_vertices(), &border_slots);
-                let t0 = Instant::now();
-                let partial = self.program.peval(self.query, self.fragment, &mut self.ctx);
-                let eval_seconds = t0.elapsed().as_secs_f64();
-                self.partial = Some(partial);
-                Some(self.report(0, Vec::new(), eval_seconds))
+                self.install_borders(&border_slots);
+                HandleOutcome::Reply(self.run_peval())
+            }
+            CoordCommand::Resume {
+                superstep: _,
+                border_slots,
+                checkpoint,
+            } => {
+                // Recovery handshake for a replacement worker: install the
+                // lost worker's checkpointed state instead of recomputing it.
+                self.install_borders(&border_slots);
+                match checkpoint {
+                    Some(cp) => {
+                        let partial = self
+                            .program
+                            .restore_partial(&cp.partial)
+                            .expect("coordinator only resumes programs that snapshot");
+                        self.partial = Some(partial);
+                        self.ctx.restore_border_values(cp.border);
+                        HandleOutcome::Silent
+                    }
+                    // The lost worker died before its PEval report landed:
+                    // nothing to restore, run PEval from scratch and report
+                    // it like a fresh Init.
+                    None => HandleOutcome::Reply(self.run_peval()),
+                }
             }
             CoordCommand::IncEval {
                 superstep,
@@ -318,14 +366,17 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
                 let eval_seconds = t0.elapsed().as_secs_f64();
                 // The drained command buffer becomes this report's payload:
                 // buffers circulate instead of reallocating.
-                Some(self.report(superstep, updates, eval_seconds))
+                HandleOutcome::Reply(self.report(superstep, updates, eval_seconds))
             }
-            CoordCommand::Finish => None,
+            CoordCommand::Finish => HandleOutcome::Stop,
         }
     }
 
     /// Drains the context's dirty border slots into `changes` (a recycled
-    /// buffer) and builds the superstep report.
+    /// buffer) and builds the superstep report, attaching a checkpoint when
+    /// the run wants them. The checkpoint is taken *after* the drain, so it
+    /// captures exactly the state the coordinator will believe this worker
+    /// to be in once the report lands.
     fn report(
         &mut self,
         superstep: usize,
@@ -334,17 +385,31 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
     ) -> WorkerReport<P::Value> {
         let mut strays = Vec::new();
         self.ctx.drain_dirty_into(&mut changes, &mut strays);
+        let checkpoint = if self.checkpoints {
+            let partial = self.partial.as_ref().expect("report implies PEval ran");
+            self.program
+                .snapshot_partial(partial)
+                .map(|bytes| CheckpointState {
+                    partial: bytes,
+                    border: self.ctx.snapshot_border_values(),
+                })
+        } else {
+            None
+        };
         WorkerReport::Done {
             superstep,
             changes,
             strays,
+            checkpoint,
             eval_seconds,
         }
     }
 
-    /// Takes the partial result after the run.
-    fn into_partial(self) -> P::Partial {
-        self.partial.expect("every worker ran PEval")
+    /// Takes the partial result after the run — `None` when the run was
+    /// torn down before PEval ever produced one (e.g. a worker whose
+    /// connection died at its Init command).
+    fn into_partial(self) -> Option<P::Partial> {
+        self.partial
     }
 }
 
@@ -366,8 +431,29 @@ pub fn run_worker<P: PieProgram>(
     transport: &impl WorkerTransport<P::Value>,
     threads: usize,
 ) -> P::Partial {
+    run_worker_with(program, query, fragment, transport, threads, false)
+        .expect("every worker ran PEval")
+}
+
+/// [`run_worker`] with control over checkpointing: when `checkpoints` is
+/// true every report carries a [`CheckpointState`] (if the program supports
+/// snapshots), which is what makes the coordinator's worker-loss recovery
+/// possible.
+///
+/// Returns `None` only when the connection was torn down before PEval ever
+/// produced a partial — a worker killed at its Init command has no result,
+/// and its replacement reports in its stead.
+pub fn run_worker_with<P: PieProgram>(
+    program: &P,
+    query: &P::Query,
+    fragment: &Fragment<P::VertexData, P::EdgeData>,
+    transport: &impl WorkerTransport<P::Value>,
+    threads: usize,
+    checkpoints: bool,
+) -> Option<P::Partial> {
     let pool = Arc::new(ThreadPool::new(threads));
     let mut worker = WorkerRuntime::new(program, query, fragment, pool);
+    worker.checkpoints = checkpoints;
     loop {
         let batch = transport.recv_blocking();
         if batch.is_empty() {
@@ -376,8 +462,9 @@ pub fn run_worker<P: PieProgram>(
         }
         for command in batch {
             match worker.handle(command) {
-                Some(report) => transport.send(report),
-                None => return worker.into_partial(),
+                HandleOutcome::Reply(report) => transport.send(report),
+                HandleOutcome::Silent => {}
+                HandleOutcome::Stop => return worker.into_partial(),
             }
         }
     }
@@ -424,6 +511,12 @@ pub struct EngineConfig {
     /// [`ThreadCount`]). Results are bit-identical for every setting; only
     /// the wall time changes.
     pub threads_per_worker: ThreadCount,
+    /// How long a stream-transport coordinator waits for the next report
+    /// before declaring the silent workers lost
+    /// ([`transport::DEFAULT_READ_TIMEOUT`] by default; `None` waits
+    /// forever). Only stream transports enforce it — the in-process channel
+    /// backends cannot lose workers.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -434,6 +527,7 @@ impl Default for EngineConfig {
             execution: ExecutionMode::Auto,
             transport: TransportKind::InProcess,
             threads_per_worker: ThreadCount::Auto,
+            read_timeout: Some(transport::DEFAULT_READ_TIMEOUT),
         }
     }
 }
@@ -450,6 +544,10 @@ pub enum RunError {
     /// The transport lost contact with a worker (disconnect or read
     /// timeout); see [`TransportError`].
     Transport(TransportError),
+    /// A worker was lost and recovery could not resume the run: respawning
+    /// the replacement failed, the program does not snapshot its state, or
+    /// replacements kept dying.
+    RecoveryFailed(String),
 }
 
 impl fmt::Display for RunError {
@@ -464,11 +562,47 @@ impl fmt::Display for RunError {
             }
             RunError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
             RunError::Transport(err) => write!(f, "transport failure: {err}"),
+            RunError::RecoveryFailed(msg) => write!(f, "recovery failed: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Bookkeeping the coordinator keeps while a run is recoverable: everything
+/// needed to rebuild a lost worker's world — its border→slot mapping, its
+/// last accepted checkpoint, and the command in flight to it — plus the run
+/// epoch that fences stale traffic. Built by
+/// [`GrapeEngine::run_coordinator_recoverable`].
+struct RecoveryCtx<'a, V> {
+    /// Per-fragment border→slot mapping (what Init shipped), re-shipped via
+    /// [`CoordCommand::Resume`] to a replacement worker.
+    fragment_slots: Vec<Vec<u32>>,
+    /// Each worker's checkpoint from its last accepted report.
+    checkpoints: Vec<Option<CheckpointState<V>>>,
+    /// Whether a worker ever had a report accepted. A lost worker without a
+    /// checkpoint can only be recovered by a fresh PEval, which is only
+    /// deterministic if nothing of its work was consumed yet (superstep 0).
+    ever_reported: Vec<bool>,
+    /// The last evaluation command sent to each worker, replayed to a
+    /// replacement that died mid-superstep.
+    last_sent: Vec<Option<CoordCommand<V>>>,
+    /// Current run epoch; bumped on every recovery so frames from the dead
+    /// connection are fenced at the transport.
+    epoch: u32,
+    /// How many recoveries this run performed (reported in
+    /// [`RunStats::recoveries`]).
+    recoveries: usize,
+    /// Produces a replacement connection for `(worker, epoch)`: respawn or
+    /// reconnect, re-ship the fragment, and swap the transport's endpoint
+    /// (e.g. [`transport::FramedStreamCoord::replace_worker`]).
+    recover: &'a mut dyn FnMut(usize, u32) -> Result<(), String>,
+}
+
+/// Hard cap on recoveries per run, so a crash-looping replacement (e.g. a
+/// bad host that kills every worker placed on it) surfaces as a typed error
+/// instead of an endless respawn loop.
+const MAX_RECOVERIES: usize = 64;
 
 /// The answer of a run plus its statistics.
 #[derive(Debug)]
@@ -586,6 +720,7 @@ impl<P: PieProgram> GrapeEngine<P> {
             &mut slots,
             transport,
             false,
+            None,
             || {
                 let reports = transport.recv_blocking();
                 if reports.is_empty() {
@@ -608,6 +743,160 @@ impl<P: PieProgram> GrapeEngine<P> {
         stats_out.program = program.name().to_string();
         stats_out.wall_time = started.elapsed();
         Ok(stats_out)
+    }
+
+    /// [`GrapeEngine::run_coordinator`] with worker-loss recovery: the run
+    /// requests a checkpoint with every report, and when the transport loses
+    /// a worker the coordinator bumps the run epoch, asks `recover` for a
+    /// replacement connection (respawn + fragment re-ship +
+    /// [`transport::FramedStreamCoord::replace_worker`]), restores the lost
+    /// worker's last checkpoint via [`CoordCommand::Resume`], replays the
+    /// superstep in flight, and continues. Recovered runs are bit-identical
+    /// to undisturbed ones: same supersteps, same folded values, same final
+    /// answer.
+    ///
+    /// `recover` is called with `(worker, new_epoch)` and must leave the
+    /// transport ready to ship commands to the replacement at that epoch.
+    pub fn run_coordinator_recoverable(
+        &self,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+        transport: &impl CoordTransport<P::Value>,
+        recover: &mut dyn FnMut(usize, u32) -> Result<(), String>,
+    ) -> Result<RunStats, RunError> {
+        let n = fragments.len();
+        if n == 0 {
+            return Err(RunError::NoFragments);
+        }
+        let started = Instant::now();
+        let (mut slots, fragment_slots): (SlotTable<P::Value>, Vec<Vec<u32>>) =
+            SlotTable::build(fragments, n);
+        for (f, border_slots) in fragment_slots.iter().enumerate() {
+            transport.send(
+                f,
+                CoordCommand::Init {
+                    border_slots: border_slots.clone(),
+                },
+            );
+        }
+        let mut rec = RecoveryCtx {
+            fragment_slots,
+            checkpoints: (0..n).map(|_| None).collect(),
+            ever_reported: vec![false; n],
+            last_sent: (0..n).map(|_| None).collect(),
+            epoch: 0,
+            recoveries: 0,
+            recover,
+        };
+        let program = Arc::clone(&self.program);
+        let coordination = Self::coordinate(
+            &program,
+            &self.config,
+            n,
+            &mut slots,
+            transport,
+            false,
+            Some(&mut rec),
+            || {
+                let reports = transport.recv_blocking();
+                if reports.is_empty() {
+                    return Err(match transport.failure() {
+                        Some(err) => RunError::Transport(err),
+                        None => {
+                            RunError::WorkerPanic("a worker disconnected before reporting".into())
+                        }
+                    });
+                }
+                Ok(reports)
+            },
+        );
+        // Always release the workers, even on error.
+        for f in 0..n {
+            transport.send(f, CoordCommand::Finish);
+        }
+        let mut stats_out = coordination?;
+        stats_out.recoveries = rec.recoveries;
+        stats_out.num_workers = n;
+        stats_out.program = program.name().to_string();
+        stats_out.wall_time = started.elapsed();
+        Ok(stats_out)
+    }
+
+    /// Handles a lost-worker transport error inside the gather loop:
+    /// identifies the lost set, spins up replacements at a bumped epoch, and
+    /// re-seeds them with their checkpoint plus the in-flight command.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_lost_workers(
+        rec: &mut RecoveryCtx<'_, P::Value>,
+        err: &RunError,
+        transport: &impl CoordTransport<P::Value>,
+        superstep: usize,
+        awaiting: &[bool],
+        got: &[bool],
+        n: usize,
+    ) -> Result<(), RunError> {
+        // Only worker loss is recoverable; everything else propagates.
+        let RunError::Transport(TransportError::WorkerLost { worker, reason }) = err else {
+            return Err(err.clone());
+        };
+        let lost: Vec<usize> = match worker {
+            Some(w) => vec![*w],
+            // A read timeout fires without naming anyone: whoever still owes
+            // this superstep a report is considered lost.
+            None => (0..n).filter(|&w| awaiting[w] && !got[w]).collect(),
+        };
+        if lost.is_empty() {
+            return Err(err.clone());
+        }
+        for &w in &lost {
+            if rec.recoveries >= MAX_RECOVERIES {
+                return Err(RunError::RecoveryFailed(format!(
+                    "gave up after {MAX_RECOVERIES} recoveries (worker {w} lost again: {reason})"
+                )));
+            }
+            // A worker that reported at least once but never produced a
+            // checkpoint runs a program without snapshot support; its state
+            // is unrecoverable (a fresh PEval would replay work the fold
+            // already consumed).
+            if rec.checkpoints[w].is_none() && rec.ever_reported[w] {
+                return Err(RunError::RecoveryFailed(format!(
+                    "worker {w} was lost at superstep {superstep} but its program does not \
+                     snapshot state (no checkpoint to restore)"
+                )));
+            }
+            rec.epoch += 1;
+            rec.recoveries += 1;
+            eprintln!(
+                "coordinator: recovering worker {w} at superstep {superstep} \
+                 (epoch {}): {reason}",
+                rec.epoch
+            );
+            (rec.recover)(w, rec.epoch).map_err(|e| {
+                RunError::RecoveryFailed(format!("could not replace worker {w}: {e}"))
+            })?;
+            let checkpoint = rec.checkpoints[w].clone();
+            // Replay only what was actually in flight: a worker that died
+            // while idle (not awaited) just needs its state back; one that
+            // died mid-evaluation also re-runs the superstep's command. The
+            // no-checkpoint case is a superstep-0 death, where Resume itself
+            // triggers the PEval (and its report) — replaying Init too would
+            // double-report.
+            let replay = checkpoint.is_some() && awaiting[w] && !got[w];
+            transport.send(
+                w,
+                CoordCommand::Resume {
+                    superstep,
+                    border_slots: rec.fragment_slots[w].clone(),
+                    checkpoint,
+                },
+            );
+            if replay {
+                let command = rec.last_sent[w]
+                    .clone()
+                    .expect("awaited workers past superstep 0 were sent a command");
+                transport.send(w, command);
+            }
+        }
+        Ok(())
     }
 
     /// Runs the full fixpoint (coordinator + local workers) over an
@@ -664,12 +953,12 @@ impl<P: PieProgram> GrapeEngine<P> {
                 .map(|fragment| WorkerRuntime::new(&*program, query, fragment, Arc::clone(&pool)))
                 .collect();
             let coordination =
-                Self::coordinate(&program, &config, n, &mut slots, &coord, true, || {
+                Self::coordinate(&program, &config, n, &mut slots, &coord, true, None, || {
                     // Run every worker with queued commands, then hand their
                     // reports to the coordinator.
                     for (worker, wt) in workers.iter_mut().zip(&worker_transports) {
                         for command in wt.drain() {
-                            if let Some(report) = worker.handle(command) {
+                            if let HandleOutcome::Reply(report) = worker.handle(command) {
                                 wt.send(report);
                             }
                         }
@@ -685,7 +974,7 @@ impl<P: PieProgram> GrapeEngine<P> {
                 stats_out.program = program.name().to_string();
                 let partials = workers
                     .into_iter()
-                    .map(WorkerRuntime::into_partial)
+                    .map(|w| w.into_partial().expect("every worker ran PEval"))
                     .collect();
                 (partials, stats_out)
             })
@@ -701,8 +990,15 @@ impl<P: PieProgram> GrapeEngine<P> {
                 }
 
                 // ---------------- coordinator ----------------
-                let coordination =
-                    Self::coordinate(&program, &config, n, &mut slots, &coord, false, || {
+                let coordination = Self::coordinate(
+                    &program,
+                    &config,
+                    n,
+                    &mut slots,
+                    &coord,
+                    false,
+                    None,
+                    || {
                         let reports = coord.recv_blocking();
                         if reports.is_empty() {
                             return Err(match coord.failure() {
@@ -713,7 +1009,8 @@ impl<P: PieProgram> GrapeEngine<P> {
                             });
                         }
                         Ok(reports)
-                    });
+                    },
+                );
 
                 // Always release the workers, even on error, so the scope can
                 // join them.
@@ -755,6 +1052,7 @@ impl<P: PieProgram> GrapeEngine<P> {
     /// on the caller's thread, in which case the critical path through a
     /// superstep is the *sum* of the workers' evaluation times rather than
     /// their max.
+    #[allow(clippy::too_many_arguments)]
     fn coordinate(
         program: &Arc<P>,
         config: &EngineConfig,
@@ -762,6 +1060,7 @@ impl<P: PieProgram> GrapeEngine<P> {
         slots: &mut SlotTable<P::Value>,
         transport: &impl CoordTransport<P::Value>,
         serialized: bool,
+        mut recovery: Option<&mut RecoveryCtx<'_, P::Value>>,
         mut pump: impl FnMut() -> Result<Vec<(usize, WorkerReport<P::Value>)>, RunError>,
     ) -> Result<RunStats, RunError> {
         let stats: Arc<CommStats> = transport.comm_stats();
@@ -772,6 +1071,11 @@ impl<P: PieProgram> GrapeEngine<P> {
         let mut stray_last: HashMap<VertexId, P::Value> = HashMap::new();
         let mut pending = n;
         let mut superstep = 0usize;
+        // Which workers the current superstep's gather is waiting on, and who
+        // has already been counted — the dedup state recovery needs to drop
+        // replayed duplicates and out-of-phase reports.
+        let mut awaiting = vec![true; n];
+        let mut got = vec![false; n];
         // Superstep-scoped buffers, reused across the whole run. Report
         // buffers received from the workers are recycled through `pool` into
         // the next superstep's command buffers, so the steady-state loop
@@ -783,13 +1087,46 @@ impl<P: PieProgram> GrapeEngine<P> {
         loop {
             // Gather the reports of every worker that evaluated this superstep.
             while reports.len() < pending {
-                for (from, report) in pump()? {
+                let batch = match pump() {
+                    Ok(batch) => batch,
+                    Err(err) => {
+                        let Some(rec) = recovery.as_deref_mut() else {
+                            return Err(err);
+                        };
+                        Self::recover_lost_workers(
+                            rec, &err, transport, superstep, &awaiting, &got, n,
+                        )?;
+                        continue;
+                    }
+                };
+                for (from, report) in batch {
                     let WorkerReport::Done {
+                        superstep: reported,
                         changes,
                         strays,
+                        checkpoint,
                         eval_seconds,
-                        ..
                     } = report;
+                    if let Some(rec) = recovery.as_deref_mut() {
+                        // Recovery replays supersteps, so a report is only
+                        // accepted when it answers the gather in progress:
+                        // right superstep, from a worker we are waiting on,
+                        // not yet counted. Anything else is an echo of work
+                        // already folded (e.g. a replacement worker's replay
+                        // racing a report the dead worker managed to flush).
+                        if reported != superstep || !awaiting[from] || got[from] {
+                            eprintln!(
+                                "coordinator: dropping out-of-phase report from worker {from} \
+                                 (superstep {reported}, gathering {superstep})"
+                            );
+                            continue;
+                        }
+                        rec.ever_reported[from] = true;
+                        if let Some(cp) = checkpoint {
+                            rec.checkpoints[from] = Some(cp);
+                        }
+                    }
+                    got[from] = true;
                     reports.push((from, changes, strays, eval_seconds));
                 }
             }
@@ -908,10 +1245,19 @@ impl<P: PieProgram> GrapeEngine<P> {
                 .published_updates = published;
             superstep += 1;
             pending = 0;
+            got.iter_mut().for_each(|g| *g = false);
             for (f, buffer) in outbox.iter_mut().enumerate() {
+                awaiting[f] = !buffer.is_empty();
                 if !buffer.is_empty() {
                     let updates = std::mem::replace(buffer, pool.pop().unwrap_or_default());
-                    transport.send(f, CoordCommand::IncEval { superstep, updates });
+                    let command = CoordCommand::IncEval { superstep, updates };
+                    if let Some(rec) = recovery.as_deref_mut() {
+                        // Remember what is in flight: if this worker dies
+                        // before reporting, its replacement restores the
+                        // checkpoint and replays exactly this command.
+                        rec.last_sent[f] = Some(command.clone());
+                    }
+                    transport.send(f, command);
                     pending += 1;
                 }
             }

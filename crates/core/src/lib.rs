@@ -33,23 +33,32 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod context;
 pub mod engine;
 pub mod message;
 pub mod par;
 pub mod program;
+pub mod ship;
 pub mod stats;
 pub mod transport;
 
+pub use chaos::{ChaosConfig, ChaosCoordTransport, ChaosWorkerTransport, DeterministicRng};
 pub use context::PieContext;
 pub use engine::{run_worker, EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
 pub use message::VertexValue;
 pub use par::{ThreadCount, ThreadPool};
 pub use program::PieProgram;
+pub use ship::{
+    decode_fragment, decode_fragment_parts, encode_fragment, encode_fragment_epoch,
+    encode_fragment_parts, TAG_FRAGMENT,
+};
 pub use stats::{RunStats, SuperstepTrace};
 pub use transport::{CoordTransport, TransportError, TransportKind, WorkerTransport};
 
 // Re-exports used by almost every PIE program.
 pub use grape_comm::{MessageSize, Wire, WireError, WireReader};
 pub use grape_graph::VertexId;
-pub use grape_partition::{build_fragments, Fragment, FragmentId, PartitionAssignment};
+pub use grape_partition::{
+    build_fragments, Fragment, FragmentId, FragmentParts, PartitionAssignment,
+};

@@ -18,8 +18,46 @@ pub const TAG_INIT: u8 = 0x01;
 pub const TAG_INCEVAL: u8 = 0x02;
 /// Frame tag of [`CoordCommand::Finish`].
 pub const TAG_FINISH: u8 = 0x03;
+/// Frame tag of [`CoordCommand::Resume`].
+pub const TAG_RESUME: u8 = 0x04;
 /// Frame tag of [`WorkerReport::Done`].
 pub const TAG_REPORT: u8 = 0x10;
+
+/// A worker-side checkpoint: everything a replacement worker needs to take
+/// over a fragment at a superstep boundary.
+///
+/// Captured right after a report is drained, so it is exactly the state the
+/// coordinator believes the worker to be in: re-running the next `IncEval`
+/// against a restored checkpoint reproduces the lost worker's report byte
+/// for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState<V> {
+    /// The program's serialized partial result
+    /// ([`crate::PieProgram::snapshot_partial`]).
+    pub partial: Vec<u8>,
+    /// The context's border values (last published value per border
+    /// position), used for dirty-suppression on the next publication pass.
+    pub border: Vec<Option<V>>,
+}
+
+impl<V: MessageSize> MessageSize for CheckpointState<V> {
+    fn size_bytes(&self) -> usize {
+        self.partial.size_bytes() + self.border.size_bytes()
+    }
+}
+
+impl<V: Wire> Wire for CheckpointState<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.partial.encode(out);
+        self.border.encode(out);
+    }
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(CheckpointState {
+            partial: Vec::<u8>::decode(reader)?,
+            border: Vec::<Option<V>>::decode(reader)?,
+        })
+    }
+}
 
 /// A `(vertex, value)` pair: one changed update parameter, addressed by
 /// global vertex id. Used at the program-facing API boundary and for stray
@@ -43,6 +81,9 @@ pub enum WorkerReport<V> {
         /// unroutable). Empty for correct programs; carried so the
         /// coordinator's monotonicity diagnostic still sees them.
         strays: Vec<VertexValue<V>>,
+        /// Post-superstep checkpoint of the worker's local state, attached
+        /// when the job runs with checkpointing enabled. `None` otherwise.
+        checkpoint: Option<CheckpointState<V>>,
         /// Wall-clock seconds the evaluation took on this worker.
         eval_seconds: f64,
     },
@@ -51,12 +92,15 @@ pub enum WorkerReport<V> {
 impl<V: MessageSize> MessageSize for WorkerReport<V> {
     fn size_bytes(&self) -> usize {
         match self {
-            // superstep (8) + length-prefixed slot/value and stray vectors;
-            // the timing is bookkeeping a real deployment would not ship, so
-            // it is not charged.
+            // superstep (8) + length-prefixed slot/value and stray vectors +
+            // the optional checkpoint; the timing is bookkeeping a real
+            // deployment would not ship, so it is not charged.
             WorkerReport::Done {
-                changes, strays, ..
-            } => 8 + changes.size_bytes() + strays.size_bytes(),
+                changes,
+                strays,
+                checkpoint,
+                ..
+            } => 8 + changes.size_bytes() + strays.size_bytes() + checkpoint.size_bytes(),
         }
     }
 }
@@ -67,18 +111,26 @@ impl<V: Wire> WorkerReport<V> {
     /// the wire, but deliberately not charged by the estimate).
     pub const WIRE_OVERHEAD: usize = HEADER_LEN + 8;
 
-    /// Appends this report as one complete frame to `out`.
+    /// Appends this report as one complete epoch-0 frame to `out`.
     pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        self.encode_frame_epoch(0, out);
+    }
+
+    /// Appends this report as one complete frame stamped with `epoch`, so a
+    /// coordinator that bumped the run epoch during recovery can fence it.
+    pub fn encode_frame_epoch(&self, epoch: u32, out: &mut Vec<u8>) {
         match self {
             WorkerReport::Done {
                 superstep,
                 changes,
                 strays,
+                checkpoint,
                 eval_seconds,
-            } => wire::encode_frame_with(TAG_REPORT, out, |out| {
+            } => wire::encode_frame_with_epoch(TAG_REPORT, epoch, out, |out| {
                 superstep.encode(out);
                 changes.encode(out);
                 strays.encode(out);
+                checkpoint.encode(out);
                 eval_seconds.encode(out);
             }),
         }
@@ -102,12 +154,14 @@ impl<V: Wire> WorkerReport<V> {
         let superstep = usize::decode(&mut reader)?;
         let changes = Vec::<SlotValue<V>>::decode(&mut reader)?;
         let strays = Vec::<VertexValue<V>>::decode(&mut reader)?;
+        let checkpoint = Option::<CheckpointState<V>>::decode(&mut reader)?;
         let eval_seconds = f64::decode(&mut reader)?;
         reader.finish()?;
         Ok(WorkerReport::Done {
             superstep,
             changes,
             strays,
+            checkpoint,
             eval_seconds,
         })
     }
@@ -133,6 +187,24 @@ pub enum CoordCommand<V> {
         /// Aggregated `(slot, value)` updates relevant to this fragment.
         updates: Vec<SlotValue<V>>,
     },
+    /// Recovery handshake for a replacement worker: like [`Init`] it ships
+    /// the border→slot mapping, but instead of running PEval the worker
+    /// restores the checkpointed state and waits for the next command (the
+    /// coordinator replays the in-flight superstep's `IncEval`, or sends
+    /// `Finish`). No report is produced.
+    ///
+    /// [`Init`]: CoordCommand::Init
+    Resume {
+        /// Superstep the checkpoint was taken after; the next `IncEval`
+        /// carries `superstep + 1`.
+        superstep: usize,
+        /// Border→slot mapping, exactly as in [`CoordCommand::Init`].
+        border_slots: Vec<u32>,
+        /// The lost worker's last checkpoint. `None` only when the worker
+        /// died before its PEval report landed — the replacement then runs
+        /// PEval from scratch instead of restoring.
+        checkpoint: Option<CheckpointState<V>>,
+    },
     /// Fixpoint reached: stop and hand back the partial result.
     Finish,
 }
@@ -142,6 +214,11 @@ impl<V: MessageSize> MessageSize for CoordCommand<V> {
         match self {
             CoordCommand::Init { border_slots } => border_slots.size_bytes(),
             CoordCommand::IncEval { updates, .. } => 8 + updates.size_bytes(),
+            CoordCommand::Resume {
+                border_slots,
+                checkpoint,
+                ..
+            } => 8 + border_slots.size_bytes() + checkpoint.size_bytes(),
             CoordCommand::Finish => 1,
         }
     }
@@ -153,19 +230,36 @@ impl<V: Wire> CoordCommand<V> {
     /// size, byte for byte).
     pub const WIRE_OVERHEAD: usize = HEADER_LEN;
 
-    /// Appends this command as one complete frame to `out`.
+    /// Appends this command as one complete epoch-0 frame to `out`.
     pub fn encode_frame(&self, out: &mut Vec<u8>) {
+        self.encode_frame_epoch(0, out);
+    }
+
+    /// Appends this command as one complete frame stamped with `epoch`;
+    /// workers fence commands whose epoch differs from their connection's.
+    pub fn encode_frame_epoch(&self, epoch: u32, out: &mut Vec<u8>) {
         match self {
-            CoordCommand::Init { border_slots } => wire::encode_frame(TAG_INIT, border_slots, out),
+            CoordCommand::Init { border_slots } => {
+                wire::encode_frame_epoch(TAG_INIT, epoch, border_slots, out)
+            }
             CoordCommand::IncEval { superstep, updates } => {
-                wire::encode_frame_with(TAG_INCEVAL, out, |out| {
+                wire::encode_frame_with_epoch(TAG_INCEVAL, epoch, out, |out| {
                     superstep.encode(out);
                     updates.encode(out);
                 })
             }
+            CoordCommand::Resume {
+                superstep,
+                border_slots,
+                checkpoint,
+            } => wire::encode_frame_with_epoch(TAG_RESUME, epoch, out, |out| {
+                superstep.encode(out);
+                border_slots.encode(out);
+                checkpoint.encode(out);
+            }),
             // A one-byte body, so the framed payload length equals the
             // MessageSize estimate of 1.
-            CoordCommand::Finish => wire::encode_frame(TAG_FINISH, &0u8, out),
+            CoordCommand::Finish => wire::encode_frame_epoch(TAG_FINISH, epoch, &0u8, out),
         }
     }
 
@@ -190,6 +284,11 @@ impl<V: Wire> CoordCommand<V> {
                 superstep: usize::decode(&mut reader)?,
                 updates: Vec::<SlotValue<V>>::decode(&mut reader)?,
             },
+            TAG_RESUME => CoordCommand::Resume {
+                superstep: usize::decode(&mut reader)?,
+                border_slots: Vec::<u32>::decode(&mut reader)?,
+                checkpoint: Option::<CheckpointState<V>>::decode(&mut reader)?,
+            },
             TAG_FINISH => {
                 reader.u8()?;
                 CoordCommand::Finish
@@ -208,22 +307,38 @@ mod tests {
     #[test]
     fn report_size_counts_changes_and_strays() {
         // 8 (superstep) + 4 (changes length) + 2 × (4 + 8) + 4 (strays
-        // length): slot ids cost 4 bytes where vertex ids cost 8.
+        // length) + 1 (absent checkpoint): slot ids cost 4 bytes where
+        // vertex ids cost 8.
         let r: WorkerReport<f64> = WorkerReport::Done {
             superstep: 3,
             changes: vec![(1, 1.0), (2, 2.0)],
             strays: vec![],
+            checkpoint: None,
             eval_seconds: 0.5,
         };
-        assert_eq!(r.size_bytes(), 8 + 4 + 2 * 12 + 4);
+        assert_eq!(r.size_bytes(), 8 + 4 + 2 * 12 + 4 + 1);
         // Strays are vertex-addressed: 8 + 8 per entry.
         let s: WorkerReport<f64> = WorkerReport::Done {
             superstep: 3,
             changes: vec![],
             strays: vec![(9, 1.0)],
+            checkpoint: None,
             eval_seconds: 0.5,
         };
-        assert_eq!(s.size_bytes(), 8 + 4 + 4 + 16);
+        assert_eq!(s.size_bytes(), 8 + 4 + 4 + 16 + 1);
+        // A present checkpoint charges its flag byte plus both vectors:
+        // 1 (Some) + 4 + 2 (partial bytes) + 4 + (1 + 8) + 1 (border).
+        let c: WorkerReport<f64> = WorkerReport::Done {
+            superstep: 3,
+            changes: vec![],
+            strays: vec![],
+            checkpoint: Some(CheckpointState {
+                partial: vec![0xaa, 0xbb],
+                border: vec![Some(1.5), None],
+            }),
+            eval_seconds: 0.5,
+        };
+        assert_eq!(c.size_bytes(), 8 + 4 + 4 + (1 + 4 + 2 + 4 + 9 + 1));
     }
 
     #[test]
@@ -239,6 +354,17 @@ mod tests {
         assert_eq!(i.size_bytes(), 4 + 3 * 4);
         let f: CoordCommand<u64> = CoordCommand::Finish;
         assert_eq!(f.size_bytes(), 1);
+        // Resume = superstep (8) + border_slots (4 + 2×4) + checkpoint
+        // (1 Some + 4 + 1 partial + 4 + 9 border).
+        let r: CoordCommand<u64> = CoordCommand::Resume {
+            superstep: 2,
+            border_slots: vec![0, 1],
+            checkpoint: Some(CheckpointState {
+                partial: vec![7],
+                border: vec![Some(9)],
+            }),
+        };
+        assert_eq!(r.size_bytes(), 8 + (4 + 8) + (1 + 4 + 1 + 4 + 9));
     }
 
     #[test]
@@ -250,6 +376,19 @@ mod tests {
             CoordCommand::IncEval {
                 superstep: 42,
                 updates: vec![(7, 2.5), (9, f64::INFINITY)],
+            },
+            CoordCommand::Resume {
+                superstep: 5,
+                border_slots: vec![2, 7, 1],
+                checkpoint: Some(CheckpointState {
+                    partial: vec![1, 2, 3, 4],
+                    border: vec![None, Some(0.5), Some(f64::NEG_INFINITY)],
+                }),
+            },
+            CoordCommand::Resume {
+                superstep: 0,
+                border_slots: vec![],
+                checkpoint: None,
             },
             CoordCommand::Finish,
         ];
@@ -285,6 +424,10 @@ mod tests {
             superstep: 3,
             changes: vec![(1, 1.0), (2, f64::NEG_INFINITY)],
             strays: vec![(77, 0.25)],
+            checkpoint: Some(CheckpointState {
+                partial: vec![9, 8, 7],
+                border: vec![Some(2.25), None, Some(0.0)],
+            }),
             eval_seconds: 0.125,
         };
         let mut frame = Vec::new();
@@ -306,6 +449,7 @@ mod tests {
             superstep: 0,
             changes: vec![],
             strays: vec![],
+            checkpoint: None,
             eval_seconds: 0.0,
         }
         .encode_frame(&mut report_frame);
@@ -320,9 +464,9 @@ mod tests {
         // Garbage appended *inside* the declared payload is trailing bytes.
         let mut inflated = Vec::new();
         CoordCommand::<f64>::Finish.encode_frame(&mut inflated);
-        let len = u32::from_le_bytes(inflated[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(inflated[8..12].try_into().unwrap());
         inflated.push(0xab);
-        inflated[4..8].copy_from_slice(&(len + 1).to_le_bytes());
+        inflated[8..12].copy_from_slice(&(len + 1).to_le_bytes());
         assert!(matches!(
             CoordCommand::<f64>::decode_frame(&inflated),
             Err(WireError::TrailingBytes { count: 1 })

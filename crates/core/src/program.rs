@@ -69,6 +69,24 @@ pub trait PieProgram: Send + Sync {
         None
     }
 
+    /// Serializes a partial result for checkpointing. Programs that support
+    /// worker-loss recovery return `Some(bytes)` such that
+    /// [`PieProgram::restore_partial`] rebuilds a bit-identical partial on a
+    /// replacement worker; the default `None` marks the program as
+    /// non-recoverable (the engine then reports a typed error instead of
+    /// recovering).
+    fn snapshot_partial(&self, _partial: &Self::Partial) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuilds a partial result from [`PieProgram::snapshot_partial`] bytes.
+    /// Must be the exact inverse: `restore(snapshot(p))` behaves identically
+    /// to `p` for all subsequent IncEval calls. The default `None` matches
+    /// the default non-recoverable `snapshot_partial`.
+    fn restore_partial(&self, _bytes: &[u8]) -> Option<Self::Partial> {
+        None
+    }
+
     /// Human-readable name used in statistics and benchmark tables.
     fn name(&self) -> &str {
         "pie-program"

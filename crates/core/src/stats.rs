@@ -60,6 +60,9 @@ pub struct RunStats {
     /// declared partial order (only counted when monotonicity checking is
     /// enabled; should be zero for correct programs).
     pub monotonicity_violations: u64,
+    /// Worker losses the coordinator recovered from (checkpoint restore +
+    /// epoch bump + superstep replay). Zero for undisturbed runs.
+    pub recoveries: usize,
     /// Per-superstep traces.
     pub history: Vec<SuperstepTrace>,
 }
@@ -107,6 +110,7 @@ mod tests {
             messages: 1000,
             bytes: 2_000_000,
             monotonicity_violations: 0,
+            recoveries: 0,
             history: vec![],
         };
         assert!((stats.megabytes() - 2.0).abs() < 1e-9);

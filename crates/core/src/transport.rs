@@ -29,6 +29,7 @@ use grape_comm::wire::{self, Frame, Wire};
 use grape_comm::{CommNetwork, CommStats, MessageSize, WorkerLink, COORDINATOR};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -38,14 +39,28 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// A worker disconnected mid-run or stayed silent past the configured
-    /// read timeout; the payload describes which and why.
-    WorkerLost(String),
+    /// read timeout.
+    WorkerLost {
+        /// Which worker was lost. `None` when the transport cannot tell (a
+        /// read timeout fires without naming the silent worker); recovery
+        /// then derives the lost set from who has not reported.
+        worker: Option<usize>,
+        /// Human-readable cause (disconnect, timeout, corrupt frame).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TransportError::WorkerLost(reason) => write!(f, "worker lost: {reason}"),
+            TransportError::WorkerLost {
+                worker: Some(w),
+                reason,
+            } => write!(f, "worker {w} lost: {reason}"),
+            TransportError::WorkerLost {
+                worker: None,
+                reason,
+            } => write!(f, "worker lost: {reason}"),
         }
     }
 }
@@ -337,12 +352,21 @@ impl<V: Wire + Send> DrainableWorkerTransport<V> for FramedChannelWorker<V> {
 pub trait SplitStream: Read + Write + Send + Sized + 'static {
     /// Splits into `(read half, write half)`.
     fn split(self) -> io::Result<(Self, Self)>;
+
+    /// Applies an OS-level read timeout to the underlying connection
+    /// (`None` = block forever). Lets a worker notice a vanished
+    /// coordinator instead of waiting on a dead socket indefinitely.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
 impl SplitStream for std::net::TcpStream {
     fn split(self) -> io::Result<(Self, Self)> {
         let read = self.try_clone()?;
         Ok((read, self))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -351,6 +375,10 @@ impl SplitStream for std::os::unix::net::UnixStream {
     fn split(self) -> io::Result<(Self, Self)> {
         let read = self.try_clone()?;
         Ok((read, self))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, timeout)
     }
 }
 
@@ -364,9 +392,10 @@ enum StreamEvent<V> {
     Report(usize, WorkerReport<V>),
     Oob(OobFrame),
     /// The worker's reader thread exited (EOF, I/O error, or a corrupt
-    /// frame). Explicit, so the coordinator notices a single lost worker —
-    /// the channel itself only disconnects when *every* reader is gone.
-    Disconnected(usize),
+    /// frame). Carries the epoch the reader was serving: a replaced
+    /// connection's reader exits *after* the replacement took over, and its
+    /// stale epoch tells the coordinator to ignore the hang-up.
+    Disconnected(usize, u32),
 }
 
 /// Coordinator endpoint over framed byte streams (one stream per worker).
@@ -379,13 +408,28 @@ enum StreamEvent<V> {
 pub struct FramedStreamCoord<V> {
     writers: Vec<Mutex<BufWriter<Box<dyn Write + Send>>>>,
     inbox: std::sync::mpsc::Receiver<StreamEvent<V>>,
+    /// Kept so [`FramedStreamCoord::replace_worker`] can hand new reader
+    /// threads their event channel. Because the struct holds a sender, the
+    /// inbox never "disconnects"; end-of-traffic is tracked by `live`.
+    tx: std::sync::mpsc::Sender<StreamEvent<V>>,
     oob: Mutex<Vec<OobFrame>>,
-    /// Sticky: why a worker was lost while the BSP loop still ran (a mid-run
-    /// disconnect, or silence past `read_timeout`). Once set,
-    /// `recv_blocking` returns empty immediately so the coordinator surfaces
-    /// a typed [`TransportError`] instead of waiting forever for a report
-    /// that cannot come.
-    failure: Mutex<Option<TransportError>>,
+    /// Sticky until recovered: which workers were lost while the BSP loop
+    /// still ran (mid-run disconnects, or silence past `read_timeout`).
+    /// While non-empty, `recv_blocking` returns empty immediately so the
+    /// coordinator surfaces a typed [`TransportError`] instead of waiting
+    /// forever for a report that cannot come;
+    /// [`FramedStreamCoord::replace_worker`] clears the replaced worker's
+    /// entries.
+    failures: Mutex<Vec<TransportError>>,
+    /// Per-worker connection epoch. Frames stamped with any other epoch are
+    /// fenced (dropped + counted) by the reader threads; sends stamp the
+    /// current value.
+    epochs: Vec<Arc<AtomicU32>>,
+    /// Frames dropped because their epoch did not match the connection's.
+    fenced: Arc<AtomicU64>,
+    /// Reader threads still running; when it reaches zero every connection
+    /// has closed and `recv_oob_blocking` can report end-of-traffic.
+    live: Arc<AtomicUsize>,
     /// How long `recv_blocking` waits for the next report before declaring
     /// the silent workers lost; `None` waits indefinitely.
     read_timeout: Option<Duration>,
@@ -394,52 +438,119 @@ pub struct FramedStreamCoord<V> {
 
 impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
     /// Wraps `streams` (one accepted connection per worker, in worker
-    /// order), spawning a reader thread per connection.
+    /// order), spawning a reader thread per connection. All connections
+    /// start at epoch 0.
     pub fn new<S: SplitStream>(streams: Vec<S>, stats: Arc<CommStats>) -> io::Result<Self> {
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut writers = Vec::with_capacity(streams.len());
-        for (worker, stream) in streams.into_iter().enumerate() {
-            let (read_half, write_half) = stream.split()?;
-            writers.push(Mutex::new(BufWriter::new(
-                Box::new(write_half) as Box<dyn Write + Send>
-            )));
-            let tx = tx.clone();
-            let stats = Arc::clone(&stats);
-            std::thread::spawn(move || {
-                let mut reader = BufReader::new(read_half);
-                while let Ok(Some((tag, body))) = wire::read_frame_io(&mut reader) {
-                    stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
-                    let event = if tag == crate::message::TAG_REPORT {
-                        match WorkerReport::<V>::decode_body(tag, &body) {
-                            Ok(report) => StreamEvent::Report(worker, report),
-                            Err(err) => {
-                                eprintln!(
-                                    "coordinator: corrupt report frame from worker {worker}: {err}"
-                                );
-                                break;
-                            }
-                        }
-                    } else {
-                        // Frames outside the BSP protocol go to the driver.
-                        StreamEvent::Oob((worker, tag, body))
-                    };
-                    if tx.send(event).is_err() {
-                        return; // Coordinator gone; stop reading.
-                    }
-                }
-                // EOF, I/O error or corrupt frame: tell the coordinator this
-                // worker is gone so it never blocks on a report from it.
-                let _ = tx.send(StreamEvent::Disconnected(worker));
-            });
-        }
-        Ok(Self {
-            writers,
+        let n = streams.len();
+        let coord = Self {
+            writers: Vec::new(),
             inbox: rx,
+            tx,
             oob: Mutex::new(Vec::new()),
-            failure: Mutex::new(None),
+            failures: Mutex::new(Vec::new()),
+            epochs: (0..n).map(|_| Arc::new(AtomicU32::new(0))).collect(),
+            fenced: Arc::new(AtomicU64::new(0)),
+            live: Arc::new(AtomicUsize::new(0)),
             read_timeout: Some(DEFAULT_READ_TIMEOUT),
             stats,
-        })
+        };
+        let mut coord = coord;
+        for (worker, stream) in streams.into_iter().enumerate() {
+            let (read_half, write_half) = stream.split()?;
+            coord.writers.push(Mutex::new(BufWriter::new(
+                Box::new(write_half) as Box<dyn Write + Send>
+            )));
+            coord.spawn_reader(worker, read_half, 0);
+        }
+        Ok(coord)
+    }
+
+    /// Spawns the reader thread serving `worker`'s connection at `epoch`.
+    /// Frames stamped with a different epoch are fenced: dropped, counted,
+    /// never delivered.
+    fn spawn_reader<R: Read + Send + 'static>(&self, worker: usize, read_half: R, epoch: u32) {
+        let tx = self.tx.clone();
+        let stats = Arc::clone(&self.stats);
+        let expected = Arc::clone(&self.epochs[worker]);
+        let fenced = Arc::clone(&self.fenced);
+        let live = Arc::clone(&self.live);
+        live.fetch_add(1, Ordering::SeqCst);
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(read_half);
+            while let Ok(Some((tag, frame_epoch, body))) = wire::read_frame_io_epoch(&mut reader) {
+                stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
+                // Epoch fence: a frame from a connection that has since been
+                // replaced (or any mis-stamped frame) must not reach the BSP
+                // loop — a stale report would corrupt the replayed superstep.
+                if frame_epoch != expected.load(Ordering::SeqCst) {
+                    fenced.fetch_add(1, Ordering::SeqCst);
+                    eprintln!(
+                        "coordinator: fenced stale frame (tag {tag:#04x}, epoch {frame_epoch}) \
+                         from worker {worker}"
+                    );
+                    continue;
+                }
+                let event = if tag == crate::message::TAG_REPORT {
+                    match WorkerReport::<V>::decode_body(tag, &body) {
+                        Ok(report) => StreamEvent::Report(worker, report),
+                        Err(err) => {
+                            eprintln!(
+                                "coordinator: corrupt report frame from worker {worker}: {err}"
+                            );
+                            break;
+                        }
+                    }
+                } else {
+                    // Frames outside the BSP protocol go to the driver.
+                    StreamEvent::Oob((worker, tag, body))
+                };
+                if tx.send(event).is_err() {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    return; // Coordinator gone; stop reading.
+                }
+            }
+            // EOF, I/O error or corrupt frame: tell the coordinator this
+            // worker is gone so it never blocks on a report from it. The
+            // decrement happens first so a receiver woken by the event
+            // observes the updated count.
+            live.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send(StreamEvent::Disconnected(worker, epoch));
+        });
+    }
+
+    /// Replaces `worker`'s connection with a fresh stream at `epoch`
+    /// (recovery): future sends are stamped with the new epoch, frames still
+    /// in flight from the old connection are fenced, and the worker's
+    /// recorded failures are forgotten so the BSP loop can resume.
+    pub fn replace_worker<S: SplitStream>(
+        &self,
+        worker: usize,
+        stream: S,
+        epoch: u32,
+    ) -> io::Result<()> {
+        let (read_half, write_half) = stream.split()?;
+        self.epochs[worker].store(epoch, Ordering::SeqCst);
+        *self.writers[worker].lock().unwrap() =
+            BufWriter::new(Box::new(write_half) as Box<dyn Write + Send>);
+        self.spawn_reader(worker, read_half, epoch);
+        // Forget this worker's failures, and any anonymous timeout failures
+        // (the recovery layer re-derives who is still silent, if anyone).
+        self.failures.lock().unwrap().retain(|f| match f {
+            TransportError::WorkerLost { worker: w, .. } => *w != Some(worker) && w.is_some(),
+        });
+        Ok(())
+    }
+
+    /// How many frames the reader threads dropped because their epoch did
+    /// not match the connection's — stale traffic from before a recovery.
+    pub fn fenced_frames(&self) -> u64 {
+        self.fenced.load(Ordering::SeqCst)
+    }
+
+    /// The epoch `worker`'s connection currently runs at.
+    pub fn worker_epoch(&self, worker: usize) -> u32 {
+        self.epochs[worker].load(Ordering::SeqCst)
     }
 
     /// Overrides the coordinator-side read timeout (default
@@ -450,11 +561,14 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
         self
     }
 
-    /// Records a lost-worker failure; the first reason sticks.
-    fn record_failure(&self, reason: String) {
-        let mut failure = self.failure.lock().unwrap();
-        if failure.is_none() {
-            *failure = Some(TransportError::WorkerLost(reason));
+    /// Records a lost-worker failure (deduplicated per worker).
+    fn record_failure(&self, worker: Option<usize>, reason: String) {
+        let mut failures = self.failures.lock().unwrap();
+        let duplicate = failures
+            .iter()
+            .any(|TransportError::WorkerLost { worker: w, .. }| *w == worker);
+        if !duplicate {
+            failures.push(TransportError::WorkerLost { worker, reason });
         }
     }
 
@@ -462,13 +576,20 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
         match event {
             StreamEvent::Report(from, report) => out.push((from, report)),
             StreamEvent::Oob(frame) => self.oob.lock().unwrap().push(frame),
-            // During the BSP loop a vanished worker is fatal: remember it so
-            // every later receive fails fast instead of blocking. (This arm
-            // only runs mid-loop — post-run hang-ups go through
-            // `recv_oob_blocking`, which treats them as normal.)
-            StreamEvent::Disconnected(worker) => {
-                eprintln!("coordinator: worker {worker} disconnected mid-run");
-                self.record_failure(format!("worker {worker} disconnected mid-run"));
+            // During the BSP loop a vanished worker is fatal (until
+            // recovered): remember it so every later receive fails fast
+            // instead of blocking. (This arm only runs mid-loop — post-run
+            // hang-ups go through `recv_oob_blocking`, which treats them as
+            // normal.) A hang-up from a *replaced* connection's reader is
+            // expected and carries a stale epoch: ignore it.
+            StreamEvent::Disconnected(worker, epoch) => {
+                if epoch == self.epochs[worker].load(Ordering::SeqCst) {
+                    eprintln!("coordinator: worker {worker} disconnected mid-run");
+                    self.record_failure(
+                        Some(worker),
+                        format!("worker {worker} disconnected mid-run"),
+                    );
+                }
             }
         }
     }
@@ -489,6 +610,16 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
             } {
                 return Some(frame);
             }
+            // The struct itself holds a sender, so the channel never
+            // disconnects on its own: once the last reader has exited, drain
+            // what is queued and then report end-of-traffic.
+            if self.live.load(Ordering::SeqCst) == 0 {
+                match self.inbox.try_recv() {
+                    Ok(StreamEvent::Oob(frame)) => return Some(frame),
+                    Ok(_) => continue,
+                    Err(_) => return None,
+                }
+            }
             match self.inbox.recv() {
                 Ok(StreamEvent::Oob(frame)) => return Some(frame),
                 Ok(StreamEvent::Report(from, _)) => {
@@ -496,9 +627,9 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
                     // protocol error by the worker; drop it loudly.
                     eprintln!("discarding post-run report from worker {from}");
                 }
-                // Normal post-run hang-up; when the last reader exits the
-                // channel disconnects and recv() errors below.
-                Ok(StreamEvent::Disconnected(_)) => {}
+                // Normal post-run hang-up; the `live` check above notices
+                // when the last reader is gone.
+                Ok(StreamEvent::Disconnected(..)) => {}
                 Err(_) => return None,
             }
         }
@@ -508,7 +639,7 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
 impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
     fn send(&self, worker: usize, command: CoordCommand<V>) {
         let mut frame = Vec::new();
-        command.encode_frame(&mut frame);
+        command.encode_frame_epoch(self.epochs[worker].load(Ordering::SeqCst), &mut frame);
         let mut writer = self.writers[worker].lock().unwrap();
         // A vanished worker surfaces as an empty recv later; sends must not
         // panic mid-superstep.
@@ -525,21 +656,28 @@ impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
         let mut out = Vec::new();
         // A worker already died mid-run: fail fast (the coordinator turns
         // the empty receive into a typed Transport error) instead of waiting
-        // for a report that can never arrive.
-        if self.failure.lock().unwrap().is_some() {
+        // for a report that can never arrive. If recovery replaced the
+        // worker, `replace_worker` cleared its entry and we proceed.
+        if !self.failures.lock().unwrap().is_empty() {
             return out;
         }
         let deadline = self.read_timeout.map(|t| Instant::now() + t);
-        while out.is_empty() && self.failure.lock().unwrap().is_none() {
+        while out.is_empty() && self.failures.lock().unwrap().is_empty() {
             let event = if let Some(deadline) = deadline {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 match self.inbox.recv_timeout(remaining) {
                     Ok(event) => event,
                     Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                        self.record_failure(format!(
-                            "no report within the {:?} read timeout",
-                            self.read_timeout.expect("deadline implies timeout")
-                        ));
+                        // The transport cannot tell which worker went silent;
+                        // `worker: None` lets recovery derive the set from
+                        // who has not reported this superstep.
+                        self.record_failure(
+                            None,
+                            format!(
+                                "no report within the {:?} read timeout",
+                                self.read_timeout.expect("deadline implies timeout")
+                            ),
+                        );
                         return out;
                     }
                     // Every reader thread has exited.
@@ -572,7 +710,7 @@ impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
     }
 
     fn failure(&self) -> Option<TransportError> {
-        self.failure.lock().unwrap().clone()
+        self.failures.lock().unwrap().first().cloned()
     }
 }
 
@@ -586,21 +724,42 @@ pub struct FramedStreamWorker<V> {
     /// to distinguish "run complete" from "run torn down" before reporting
     /// success — see [`FramedStreamWorker::disconnect_reason`].
     disconnect: Mutex<Option<String>>,
+    /// The connection epoch: stamps every outgoing frame, and incoming
+    /// command frames with any other epoch are fenced (dropped + counted).
+    /// A worker spawned during recovery runs at the bumped run epoch.
+    epoch: u32,
+    /// Command frames dropped because their epoch did not match.
+    fenced: AtomicU64,
     stats: Arc<CommStats>,
     _values: PhantomData<fn() -> V>,
 }
 
 impl<V: Wire + Send> FramedStreamWorker<V> {
-    /// Wraps the worker's connection to the coordinator.
+    /// Wraps the worker's connection to the coordinator, at epoch 0.
     pub fn new<S: SplitStream>(stream: S, stats: Arc<CommStats>) -> io::Result<Self> {
         let (read_half, write_half) = stream.split()?;
         Ok(Self {
             reader: Mutex::new(BufReader::new(Box::new(read_half) as Box<dyn Read + Send>)),
             writer: Mutex::new(BufWriter::new(Box::new(write_half) as Box<dyn Write + Send>)),
             disconnect: Mutex::new(None),
+            epoch: 0,
+            fenced: AtomicU64::new(0),
             stats: stats.clone(),
             _values: PhantomData,
         })
+    }
+
+    /// Sets the connection epoch this endpoint speaks (outgoing frames are
+    /// stamped with it; incoming frames at other epochs are fenced).
+    pub fn with_epoch(mut self, epoch: u32) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// How many incoming command frames were fenced for carrying a stale
+    /// epoch.
+    pub fn fenced_frames(&self) -> u64 {
+        self.fenced.load(Ordering::SeqCst)
     }
 
     /// This endpoint's communication counters (frames and actual bytes, both
@@ -619,10 +778,11 @@ impl<V: Wire + Send> FramedStreamWorker<V> {
     }
 
     /// Sends a raw out-of-band frame (any tag outside the BSP protocol) to
-    /// the coordinator, for driver-level side protocols.
+    /// the coordinator, stamped with this endpoint's epoch, for driver-level
+    /// side protocols.
     pub fn send_oob<T: Wire>(&self, tag: u8, value: &T) -> io::Result<()> {
         let mut writer = self.writer.lock().unwrap();
-        let written = wire::write_frame_io(&mut *writer, tag, value)?;
+        let written = wire::write_frame_io_epoch(&mut *writer, tag, self.epoch, value)?;
         writer.flush()?;
         self.stats.record(1, written as u64);
         Ok(())
@@ -632,7 +792,7 @@ impl<V: Wire + Send> FramedStreamWorker<V> {
 impl<V: Wire + Send> WorkerTransport<V> for FramedStreamWorker<V> {
     fn send(&self, report: WorkerReport<V>) {
         let mut frame = Vec::new();
-        report.encode_frame(&mut frame);
+        report.encode_frame_epoch(self.epoch, &mut frame);
         let mut writer = self.writer.lock().unwrap();
         if writer
             .write_all(&frame)
@@ -647,16 +807,30 @@ impl<V: Wire + Send> WorkerTransport<V> for FramedStreamWorker<V> {
         let mut reader = self.reader.lock().unwrap();
         // The empty batch is the worker loop's stop signal; record *why* the
         // stream ended so the driver can tell a torn-down run from success.
-        let reason = match wire::read_frame_io(&mut *reader) {
-            Ok(Some((tag, body))) => {
-                self.stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
-                match CoordCommand::decode_body(tag, &body) {
-                    Ok(command) => return vec![command],
-                    Err(err) => format!("undecodable command frame: {err}"),
+        let reason = loop {
+            match wire::read_frame_io_epoch(&mut *reader) {
+                Ok(Some((tag, frame_epoch, body))) => {
+                    self.stats.record(1, (wire::HEADER_LEN + body.len()) as u64);
+                    // Epoch fence: a command stamped for another run epoch
+                    // (e.g. written just before this worker's connection was
+                    // replaced) must not be executed.
+                    if frame_epoch != self.epoch {
+                        self.fenced.fetch_add(1, Ordering::SeqCst);
+                        eprintln!(
+                            "worker: fenced stale command frame (tag {tag:#04x}, epoch \
+                             {frame_epoch}, expected {})",
+                            self.epoch
+                        );
+                        continue;
+                    }
+                    match CoordCommand::decode_body(tag, &body) {
+                        Ok(command) => return vec![command],
+                        Err(err) => break format!("undecodable command frame: {err}"),
+                    }
                 }
+                Ok(None) => break "connection closed before Finish".to_string(),
+                Err(err) => break format!("connection error: {err}"),
             }
-            Ok(None) => "connection closed before Finish".to_string(),
-            Err(err) => format!("connection error: {err}"),
         };
         eprintln!("worker: {reason}");
         *self.disconnect.lock().unwrap() = Some(reason);
@@ -673,6 +847,7 @@ mod tests {
             superstep,
             changes,
             strays: vec![],
+            checkpoint: None,
             eval_seconds: 0.0,
         }
     }
@@ -751,7 +926,7 @@ mod tests {
         assert!(coord.recv_blocking().is_empty());
         assert!(matches!(
             coord.failure(),
-            Some(TransportError::WorkerLost(reason)) if reason.contains("disconnected")
+            Some(TransportError::WorkerLost { worker: Some(_), reason }) if reason.contains("disconnected")
         ));
         drop(survivor);
     }
@@ -780,13 +955,86 @@ mod tests {
         );
         assert!(matches!(
             coord.failure(),
-            Some(TransportError::WorkerLost(reason)) if reason.contains("read timeout")
+            Some(TransportError::WorkerLost { worker: None, reason }) if reason.contains("read timeout")
         ));
         // Sticky: later receives fail fast, well under the deadline.
         let started = Instant::now();
         assert!(coord.recv_blocking().is_empty());
         assert!(started.elapsed() < timeout);
         drop(silent);
+    }
+
+    #[test]
+    fn stale_epoch_frames_are_fenced_not_delivered() {
+        // A worker still speaking the pre-recovery epoch sends a report
+        // *after* the coordinator bumped the connection epoch via
+        // replace_worker. The report must be dropped (fenced + counted),
+        // never delivered to the BSP loop — this is the proof obligation
+        // behind "stale frames from the pre-recovery epoch are provably
+        // dropped".
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stale_conn = std::net::TcpStream::connect(addr).unwrap();
+        let (stale_accepted, _) = listener.accept().unwrap();
+        let coord = FramedStreamCoord::<f64>::new(vec![stale_accepted], Arc::new(CommStats::new()))
+            .unwrap()
+            .with_read_timeout(Some(Duration::from_millis(300)));
+
+        // Recovery: replace worker 0 with a fresh connection at epoch 1.
+        let fresh_conn = std::net::TcpStream::connect(addr).unwrap();
+        let (fresh_accepted, _) = listener.accept().unwrap();
+        coord.replace_worker(0, fresh_accepted, 1).unwrap();
+        assert_eq!(coord.worker_epoch(0), 1);
+
+        // The stale endpoint (still epoch 0) reports — into the fence.
+        let stale = FramedStreamWorker::<f64>::new(stale_conn, Arc::new(CommStats::new())).unwrap();
+        stale.send(report(3, vec![(2, 4.5)]));
+        // The fresh endpoint (epoch 1) reports — delivered.
+        let fresh = FramedStreamWorker::<f64>::new(fresh_conn, Arc::new(CommStats::new()))
+            .unwrap()
+            .with_epoch(1);
+        fresh.send(report(3, vec![(9, 1.25)]));
+
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.is_empty() && Instant::now() < deadline {
+            got.extend(coord.recv_blocking());
+        }
+        assert_eq!(got, vec![(0usize, report(3, vec![(9, 1.25)]))]);
+        // Wait for the stale frame to have hit the fence (reader threads run
+        // concurrently; the frame may arrive after the fresh one).
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while coord.fenced_frames() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(coord.fenced_frames(), 1, "stale report fenced exactly once");
+        assert!(coord.drain().is_empty(), "fenced frame never delivered");
+    }
+
+    #[test]
+    fn workers_fence_commands_from_other_epochs() {
+        // The mirror direction: a worker running at epoch 1 must drop a
+        // command stamped with epoch 0 and keep listening.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = std::net::TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        let worker = FramedStreamWorker::<f64>::new(conn, Arc::new(CommStats::new()))
+            .unwrap()
+            .with_epoch(1);
+        let mut writer = BufWriter::new(accepted);
+        let stale = CoordCommand::<f64>::Finish;
+        let current = CoordCommand::<f64>::Init {
+            border_slots: vec![4],
+        };
+        let mut bytes = Vec::new();
+        stale.encode_frame_epoch(0, &mut bytes); // pre-recovery epoch
+        current.encode_frame_epoch(1, &mut bytes);
+        writer.write_all(&bytes).unwrap();
+        writer.flush().unwrap();
+        // One receive call: the stale Finish is skipped, the Init delivered.
+        assert_eq!(worker.recv_blocking(), vec![current]);
+        assert_eq!(worker.fenced_frames(), 1);
     }
 
     #[test]

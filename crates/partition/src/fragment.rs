@@ -213,6 +213,116 @@ impl<V: Clone, E: Clone> Fragment<V, E> {
     pub fn num_local_edges(&self) -> usize {
         self.graph.num_edges()
     }
+
+    /// Flattens this fragment into its transport-friendly parts: everything
+    /// a remote worker needs to rebuild it with [`Fragment::from_parts`],
+    /// with no `HashMap`s and a canonical (sorted) order throughout, so the
+    /// round trip is deterministic.
+    pub fn to_parts(&self) -> FragmentParts<V, E> {
+        let vertices: Vec<(VertexId, V)> = self
+            .graph
+            .vertex_ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, self.graph.vertex_data_at(i as u32).clone()))
+            .collect();
+        let edges: Vec<(VertexId, VertexId, E)> = self
+            .graph
+            .edge_records()
+            .into_iter()
+            .map(|r| (r.src, r.dst, r.data))
+            .collect();
+        let mut outer_owner: Vec<(VertexId, u32)> = self
+            .outer_owner
+            .iter()
+            .map(|(&v, &f)| (v, f as u32))
+            .collect();
+        outer_owner.sort_unstable_by_key(|&(v, _)| v);
+        let mut mirrored_at: Vec<(VertexId, Vec<u32>)> = self
+            .mirrored_at
+            .iter()
+            .map(|(&v, fs)| (v, fs.iter().map(|&f| f as u32).collect()))
+            .collect();
+        mirrored_at.sort_unstable_by_key(|&(v, _)| v);
+        FragmentParts {
+            id: self.id,
+            num_fragments: self.num_fragments,
+            vertices,
+            edges,
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+            outer_owner,
+            mirrored_at,
+        }
+    }
+}
+
+impl<V: Clone + Default, E: Clone> Fragment<V, E> {
+    /// Rebuilds a fragment from its shipped parts. The local graph and every
+    /// derived table are reconstructed through the exact same code path as
+    /// [`build_fragments`], so a round trip through
+    /// [`Fragment::to_parts`] yields a bit-identical fragment.
+    pub fn from_parts(parts: FragmentParts<V, E>) -> Result<Self, grape_graph::GraphError> {
+        let FragmentParts {
+            id,
+            num_fragments,
+            vertices,
+            edges,
+            inner,
+            outer,
+            outer_owner,
+            mirrored_at,
+        } = parts;
+        let edge_records: Vec<EdgeRecord<E>> = edges
+            .into_iter()
+            .map(|(s, d, w)| EdgeRecord::new(s, d, w))
+            .collect();
+        let local_graph = CsrGraph::from_records(vertices, edge_records, true)?;
+        let outer_owner: HashMap<VertexId, FragmentId> = outer_owner
+            .into_iter()
+            .map(|(v, f)| (v, f as FragmentId))
+            .collect();
+        let mirrored: HashMap<VertexId, Vec<FragmentId>> = mirrored_at
+            .into_iter()
+            .map(|(v, fs)| (v, fs.into_iter().map(|f| f as FragmentId).collect()))
+            .collect();
+        Ok(assemble_fragment(
+            id,
+            num_fragments,
+            local_graph,
+            inner,
+            outer,
+            outer_owner,
+            mirrored,
+        ))
+    }
+}
+
+/// The flat, transport-friendly view of a [`Fragment`]: plain sorted vectors
+/// only (no `HashMap`s), so it has a canonical byte encoding. Produced by
+/// [`Fragment::to_parts`], consumed by [`Fragment::from_parts`]; the wire
+/// codec lives in `grape-core` (`ship` module) next to the other frame
+/// codecs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentParts<V, E> {
+    /// The fragment's id.
+    pub id: FragmentId,
+    /// Total number of fragments in the job.
+    pub num_fragments: usize,
+    /// `(vertex, payload)` pairs of the local graph, in ascending vertex-id
+    /// order (the local graph's canonical dense order).
+    pub vertices: Vec<(VertexId, V)>,
+    /// Local edges in the local graph's CSR order.
+    pub edges: Vec<(VertexId, VertexId, E)>,
+    /// Inner (owned) vertices, sorted.
+    pub inner: Vec<VertexId>,
+    /// Outer (mirror) vertices, sorted.
+    pub outer: Vec<VertexId>,
+    /// `(outer vertex, owner fragment)`, sorted by vertex.
+    pub outer_owner: Vec<(VertexId, u32)>,
+    /// `(inner vertex, fragments mirroring it)`, sorted by vertex; the
+    /// per-vertex fragment lists are sorted too.
+    pub mirrored_at: Vec<(VertexId, Vec<u32>)>,
 }
 
 /// Cuts `graph` into fragments according to `assignment`.
@@ -287,60 +397,85 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
         let local_graph = CsrGraph::from_records(vertices, std::mem::take(&mut edges[f]), true)
             .expect("fragment edges reference only local vertices");
 
-        // Precompute the dense lookup structures once, so the per-superstep
-        // hot paths never rebuild or hash anything.
-        let dense_of = |v: VertexId| {
-            local_graph
-                .dense_index(v)
-                .expect("inner and outer vertices are in the local graph")
-        };
-        let mut inner_mask = DenseBitset::new(local_graph.num_vertices());
-        let inner_dense: Vec<u32> = inner_list.iter().map(|&v| dense_of(v)).collect();
-        for &i in &inner_dense {
-            inner_mask.set(i);
-        }
-        let outer_dense: Vec<u32> = outer_list.iter().map(|&v| dense_of(v)).collect();
-        let mut mirrored_inner: Vec<VertexId> = mirrored.keys().copied().collect();
-        mirrored_inner.sort_unstable();
-        let mirrored_inner_dense: Vec<u32> = mirrored_inner.iter().map(|&v| dense_of(v)).collect();
-        let mut border: Vec<VertexId> = outer_list
-            .iter()
-            .chain(mirrored_inner.iter())
-            .copied()
-            .collect();
-        border.sort_unstable();
-        border.dedup();
-        let border_dense: Vec<u32> = border.iter().map(|&v| dense_of(v)).collect();
-        // `mirrored_inner` is a sorted subset of the sorted `border`, so its
-        // border positions fall out of one linear merge scan.
-        let mut mirrored_inner_border_pos = Vec::with_capacity(mirrored_inner.len());
-        let mut cursor = 0usize;
-        for &v in &mirrored_inner {
-            while border[cursor] != v {
-                cursor += 1;
-            }
-            mirrored_inner_border_pos.push(cursor as u32);
-        }
-
-        fragments.push(Fragment {
-            id: f,
-            num_fragments: k,
-            graph: local_graph,
-            inner: inner_list,
-            outer: outer_list,
+        fragments.push(assemble_fragment(
+            f,
+            k,
+            local_graph,
+            inner_list,
+            outer_list,
             outer_owner,
-            mirrored_at: mirrored,
-            inner_mask,
-            inner_dense,
-            outer_dense,
-            border,
-            border_dense,
-            mirrored_inner,
-            mirrored_inner_dense,
-            mirrored_inner_border_pos,
-        });
+            mirrored,
+        ));
     }
     fragments
+}
+
+/// Derives every precomputed lookup table from a fragment's primary data and
+/// assembles the [`Fragment`]. Shared by [`build_fragments`] (the
+/// coordinator-side cut) and [`Fragment::from_parts`] (a shipped fragment
+/// rebuilt on a remote worker), so both construction paths are one code path
+/// and the results are bit-identical.
+fn assemble_fragment<V: Clone, E: Clone>(
+    id: FragmentId,
+    num_fragments: usize,
+    local_graph: CsrGraph<V, E>,
+    inner_list: Vec<VertexId>,
+    outer_list: Vec<VertexId>,
+    outer_owner: HashMap<VertexId, FragmentId>,
+    mirrored: HashMap<VertexId, Vec<FragmentId>>,
+) -> Fragment<V, E> {
+    // Precompute the dense lookup structures once, so the per-superstep
+    // hot paths never rebuild or hash anything.
+    let dense_of = |v: VertexId| {
+        local_graph
+            .dense_index(v)
+            .expect("inner and outer vertices are in the local graph")
+    };
+    let mut inner_mask = DenseBitset::new(local_graph.num_vertices());
+    let inner_dense: Vec<u32> = inner_list.iter().map(|&v| dense_of(v)).collect();
+    for &i in &inner_dense {
+        inner_mask.set(i);
+    }
+    let outer_dense: Vec<u32> = outer_list.iter().map(|&v| dense_of(v)).collect();
+    let mut mirrored_inner: Vec<VertexId> = mirrored.keys().copied().collect();
+    mirrored_inner.sort_unstable();
+    let mirrored_inner_dense: Vec<u32> = mirrored_inner.iter().map(|&v| dense_of(v)).collect();
+    let mut border: Vec<VertexId> = outer_list
+        .iter()
+        .chain(mirrored_inner.iter())
+        .copied()
+        .collect();
+    border.sort_unstable();
+    border.dedup();
+    let border_dense: Vec<u32> = border.iter().map(|&v| dense_of(v)).collect();
+    // `mirrored_inner` is a sorted subset of the sorted `border`, so its
+    // border positions fall out of one linear merge scan.
+    let mut mirrored_inner_border_pos = Vec::with_capacity(mirrored_inner.len());
+    let mut cursor = 0usize;
+    for &v in &mirrored_inner {
+        while border[cursor] != v {
+            cursor += 1;
+        }
+        mirrored_inner_border_pos.push(cursor as u32);
+    }
+
+    Fragment {
+        id,
+        num_fragments,
+        graph: local_graph,
+        inner: inner_list,
+        outer: outer_list,
+        outer_owner,
+        mirrored_at: mirrored,
+        inner_mask,
+        inner_dense,
+        outer_dense,
+        border,
+        border_dense,
+        mirrored_inner,
+        mirrored_inner_dense,
+        mirrored_inner_border_pos,
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +651,45 @@ mod tests {
         let frags = build_fragments(&g, &a);
         // Fragment 0 sees vertex 1 as a mirror but keeps its payload.
         assert_eq!(*frags[0].graph.vertex_data(1).unwrap(), 20);
+    }
+
+    #[test]
+    fn parts_roundtrip_rebuilds_fragments_bit_identically() {
+        let g = erdos_renyi(180, 0.04, 5).unwrap();
+        let a = HashPartitioner.partition(&g, 4);
+        for f in build_fragments(&g, &a) {
+            let parts = f.to_parts();
+            let back = Fragment::from_parts(parts.clone()).expect("rebuild");
+            // Every table — primary and derived — must match exactly.
+            assert_eq!(back.id, f.id);
+            assert_eq!(back.num_fragments, f.num_fragments);
+            assert_eq!(back.graph.vertex_ids(), f.graph.vertex_ids());
+            assert_eq!(back.graph.num_edges(), f.graph.num_edges());
+            assert_eq!(
+                back.graph.edges().collect::<Vec<_>>(),
+                f.graph.edges().collect::<Vec<_>>(),
+                "CSR edge order must survive the round trip"
+            );
+            assert_eq!(back.inner_vertices(), f.inner_vertices());
+            assert_eq!(back.outer_vertices(), f.outer_vertices());
+            assert_eq!(back.inner_dense_indices(), f.inner_dense_indices());
+            assert_eq!(back.outer_dense_indices(), f.outer_dense_indices());
+            assert_eq!(back.border_vertices(), f.border_vertices());
+            assert_eq!(back.border_dense_indices(), f.border_dense_indices());
+            assert_eq!(back.mirrored_inner_vertices(), f.mirrored_inner_vertices());
+            assert_eq!(
+                back.mirrored_inner_border_positions(),
+                f.mirrored_inner_border_positions()
+            );
+            for &v in f.outer_vertices() {
+                assert_eq!(back.owner_of(v), f.owner_of(v));
+            }
+            for &v in f.mirrored_inner_vertices() {
+                assert_eq!(back.mirrors_of(v), f.mirrors_of(v));
+            }
+            // And re-flattening yields the same canonical parts.
+            assert_eq!(back.to_parts(), f.to_parts());
+        }
     }
 
     #[test]

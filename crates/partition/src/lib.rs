@@ -22,7 +22,7 @@ pub mod strategy;
 pub mod streaming;
 
 pub use assignment::{FragmentId, PartitionAssignment};
-pub use fragment::{build_fragments, Fragment};
+pub use fragment::{build_fragments, Fragment, FragmentParts};
 pub use multilevel::MetisLikePartitioner;
 pub use quality::{evaluate_partition, PartitionQuality};
 pub use strategy::{Grid2DPartitioner, HashPartitioner, Partitioner, RangePartitioner};

@@ -12,28 +12,47 @@
 //!
 //! ## Session protocol
 //!
-//! 1. the worker connects and the coordinator sends one [`TAG_JOB`] frame:
-//!    a [`JobSpec`] naming the algorithm, the (deterministic) graph, the
-//!    partition strategy, the worker count and this worker's fragment index;
-//! 2. the worker rebuilds graph + fragment locally (generation is seeded and
-//!    cross-process deterministic since PR 3) and enters the BSP loop:
+//! 1. the worker connects and the coordinator sends one epoch-stamped
+//!    [`TAG_JOB`] frame — a [`JobSpec`] naming the algorithm, the partition
+//!    strategy, the worker count and this worker's fragment index — followed
+//!    by one [`TAG_FRAGMENT`] frame *shipping the fragment itself* (CSR
+//!    edges, border tables, weights). The worker adopts the job frame's
+//!    epoch as its run epoch; it never regenerates the graph locally;
+//! 2. the worker rebuilds the fragment from the shipped bytes
+//!    (bit-identical to a locally cut one) and enters the BSP loop:
 //!    `Init` → PEval report → (`IncEval` → report)* → `Finish`;
 //! 3. after `Finish` the worker assembles its own partial result, sends a
 //!    [`TAG_DIGEST`] frame (an order-independent FNV digest of the
 //!    `(vertex, value-bits)` pairs), and exits. The coordinator collects one
 //!    digest per worker, which the tests compare bit-for-bit against an
 //!    in-process run of the same job.
+//!
+//! ## Fault tolerance
+//!
+//! With [`JobSpec::checkpoints`] set, every worker report carries a snapshot
+//! of its dense local state, and
+//! [`run_coordinator_connections_recoverable`] survives worker loss: the
+//! run epoch is bumped, a replacement process is spawned and handed the lost
+//! fragment plus the last checkpoint at the new epoch, the in-flight
+//! superstep is replayed, and frames still in flight from the dead
+//! connection are fenced by their stale epoch tag. Recovered runs are
+//! bit-identical to undisturbed ones.
 
 #![warn(missing_docs)]
 
 use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
 use grape_comm::wire::{self, Wire, WireError, WireReader};
 use grape_comm::CommStats;
+use grape_core::chaos::{ChaosConfig, ChaosWorkerTransport};
+use grape_core::engine::run_worker_with;
 use grape_core::par::ThreadCount;
 use grape_core::transport::{
     framed_channel_pair, FramedStreamCoord, FramedStreamWorker, SplitStream,
 };
-use grape_core::{run_worker, GrapeEngine, PieProgram, RunStats};
+use grape_core::{
+    decode_fragment, encode_fragment_epoch, EngineConfig, GrapeEngine, PieProgram, RunStats,
+    TAG_FRAGMENT,
+};
 use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
 use grape_graph::{VertexId, WeightedGraph};
 use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
@@ -180,6 +199,12 @@ pub struct JobSpec {
     /// Intra-worker threads for the PIE hot loops (0 = auto: physical cores
     /// divided by the worker count).
     pub threads: u32,
+    /// Global vertex count, filled in by the coordinator when it ships the
+    /// job (workers no longer build the graph, and PageRank needs |V|).
+    pub vertices: u64,
+    /// Ask every worker report to carry a checkpoint of its dense local
+    /// state — the prerequisite for worker-loss recovery.
+    pub checkpoints: bool,
 }
 
 impl JobSpec {
@@ -203,6 +228,8 @@ impl Wire for JobSpec {
         self.index.encode(out);
         self.source.encode(out);
         self.threads.encode(out);
+        self.vertices.encode(out);
+        self.checkpoints.encode(out);
     }
 
     fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -214,6 +241,8 @@ impl Wire for JobSpec {
             index: reader.u32()?,
             source: reader.u64()?,
             threads: reader.u32()?,
+            vertices: reader.u64()?,
+            checkpoints: bool::decode(reader)?,
         })
     }
 }
@@ -278,11 +307,45 @@ fn job_fragments(job: &JobSpec) -> io::Result<(WeightedGraph, Vec<Fragment<(), f
     Ok((graph, fragments))
 }
 
+/// A worker's kill schedule: SIGKILL-equivalent death upon *receiving* the
+/// command with this index (0 = the Init handshake), plus the action that
+/// performs the death — the `grape-worker` binary SIGKILLs its own process;
+/// in-process harnesses shut the socket down, which is the same event at
+/// the transport level.
+pub type KillPlan = (usize, Box<dyn FnMut() + Send>);
+
+/// SIGKILLs the calling process: the real thing for multi-process chaos
+/// drills — no unwinding, no flushes, no goodbye frame.
+pub fn kill_self() {
+    let pid = std::process::id().to_string();
+    // `kill` is a real binary on every target we run on; abort() is the
+    // fallback and is equally un-catchable.
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    std::process::abort();
+}
+
 /// Runs one worker over an already-established connection: reads the
-/// [`JobSpec`] frame, rebuilds its fragment, serves the BSP loop, sends the
-/// digest, and returns it.
-pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
-    let (tag, body) = wire::read_frame_io(&mut stream)?
+/// epoch-stamped [`JobSpec`] frame and the shipped [`TAG_FRAGMENT`] frame,
+/// serves the BSP loop at that epoch, sends the digest, and returns it.
+pub fn run_worker_connection<S: SplitStream>(stream: S) -> io::Result<u64> {
+    run_worker_connection_with(stream, None, None)
+}
+
+/// [`run_worker_connection`] with the full knob set: an OS-level read
+/// timeout on the connection (a vanished coordinator then surfaces as an
+/// error instead of a worker that waits forever), and an optional
+/// [`KillPlan`] for fault-injection drills.
+pub fn run_worker_connection_with<S: SplitStream>(
+    mut stream: S,
+    read_timeout: Option<Duration>,
+    kill: Option<KillPlan>,
+) -> io::Result<u64> {
+    if let Some(timeout) = read_timeout {
+        stream.set_read_timeout(Some(timeout))?;
+    }
+    let (tag, epoch, body) = wire::read_frame_io_epoch(&mut stream)?
         .ok_or_else(|| bad_data("connection closed before the job spec"))?;
     if tag != TAG_JOB {
         return Err(bad_data(format!("expected job frame, got tag {tag:#04x}")));
@@ -297,10 +360,30 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
             job.index, job.workers
         )));
     }
-    let (graph, fragments) = job_fragments(&job)?;
-    let fragment = &fragments[job.index as usize];
+    // The fragment arrives on the wire — workers never regenerate the graph.
+    let (ftag, fepoch, fbody) = wire::read_frame_io_epoch(&mut stream)?
+        .ok_or_else(|| bad_data("connection closed before the fragment"))?;
+    if ftag != TAG_FRAGMENT {
+        return Err(bad_data(format!(
+            "expected fragment frame, got tag {ftag:#04x}"
+        )));
+    }
+    if fepoch != epoch {
+        return Err(bad_data(format!(
+            "fragment frame at epoch {fepoch}, job at epoch {epoch}"
+        )));
+    }
+    let fragment: Fragment<(), f64> =
+        decode_fragment(ftag, &fbody).map_err(|e| bad_data(format!("bad fragment frame: {e}")))?;
+    if fragment.id != job.index as usize {
+        return Err(bad_data(format!(
+            "shipped fragment {} but this worker is index {}",
+            fragment.id, job.index
+        )));
+    }
     let stats = Arc::new(CommStats::new());
 
+    #[allow(clippy::too_many_arguments)]
     fn serve<P, S>(
         program: P,
         query: &P::Query,
@@ -308,19 +391,43 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
         stream: S,
         stats: Arc<CommStats>,
         threads: usize,
+        epoch: u32,
+        checkpoints: bool,
+        kill: Option<KillPlan>,
         to_digest: impl Fn(P::Output) -> u64,
     ) -> io::Result<u64>
     where
         P: PieProgram<VertexData = (), EdgeData = f64>,
         S: SplitStream,
     {
-        let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?;
-        let partial = run_worker(&program, query, fragment, &transport, threads);
+        let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?.with_epoch(epoch);
+        let (partial, transport) = match kill {
+            None => (
+                run_worker_with(&program, query, fragment, &transport, threads, checkpoints),
+                transport,
+            ),
+            Some((kill_at, on_kill)) => {
+                let chaos = ChaosWorkerTransport::new(
+                    transport,
+                    ChaosConfig {
+                        kill_at: Some(kill_at),
+                        ..Default::default()
+                    },
+                    on_kill,
+                );
+                let partial =
+                    run_worker_with(&program, query, fragment, &chaos, threads, checkpoints);
+                (partial, chaos.into_inner())
+            }
+        };
         // The worker loop also stops on connection failure; only a clean
         // Finish-terminated run may report a digest as success.
         if let Some(reason) = transport.disconnect_reason() {
             return Err(io::Error::other(format!("run torn down: {reason}")));
         }
+        let Some(partial) = partial else {
+            return Err(io::Error::other("run torn down before PEval"));
+        };
         // Assembling a single partial yields this fragment's view of the
         // answer — the unit the coordinator's verification digests compare.
         let digest = to_digest(program.assemble(vec![partial]));
@@ -329,34 +436,44 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
     }
 
     let threads = job.resolved_threads();
+    let checkpoints = job.checkpoints;
     match job.algo.as_str() {
         "sssp" => serve(
             SsspProgram,
             &SsspQuery::new(job.source),
-            fragment,
+            &fragment,
             stream,
             stats,
             threads,
+            epoch,
+            checkpoints,
+            kill,
             |out| digest_f64_map(&out),
         ),
         "cc" => serve(
             CcProgram,
             &CcQuery,
-            fragment,
+            &fragment,
             stream,
             stats,
             threads,
+            epoch,
+            checkpoints,
+            kill,
             |out| digest_u64_map(&out),
         ),
         "pagerank" => {
-            let program = PageRankProgram::new(graph.num_vertices());
+            let program = PageRankProgram::new(job.vertices as usize);
             serve(
                 program,
                 &PageRankQuery::default(),
-                fragment,
+                &fragment,
                 stream,
                 stats,
                 threads,
+                epoch,
+                checkpoints,
+                kill,
                 |out| digest_f64_map(&out),
             )
         }
@@ -364,25 +481,71 @@ pub fn run_worker_connection<S: SplitStream>(mut stream: S) -> io::Result<u64> {
     }
 }
 
+/// Ships the epoch-stamped handshake down one connection: the [`JobSpec`]
+/// (with the per-connection `index` and global `vertices` filled in) followed
+/// by the fragment itself as a [`TAG_FRAGMENT`] frame.
+fn ship_job<S: SplitStream>(
+    stream: &mut S,
+    job: &JobSpec,
+    index: usize,
+    epoch: u32,
+    vertices: u64,
+    fragment: &Fragment<(), f64>,
+) -> io::Result<()> {
+    let mut spec = job.clone();
+    spec.index = index as u32;
+    spec.vertices = vertices;
+    wire::write_frame_io_epoch(stream, TAG_JOB, epoch, &spec)?;
+    let mut frame = Vec::new();
+    encode_fragment_epoch(fragment, epoch, &mut frame);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
 /// Runs the coordinator over `streams` (one accepted connection per worker,
-/// in fragment order): ships each worker its [`JobSpec`], drives the BSP
-/// fixpoint, and collects the result digests.
+/// in fragment order): ships each worker its [`JobSpec`] and fragment, drives
+/// the BSP fixpoint, and collects the result digests.
 pub fn run_coordinator_connections<S: SplitStream>(
     job: &JobSpec,
     streams: Vec<S>,
 ) -> io::Result<JobOutcome> {
-    run_coordinator_connections_with(job, streams, grape_core::transport::DEFAULT_READ_TIMEOUT)
+    run_coordinator_connections_with(job, streams, &EngineConfig::default())
 }
 
-/// Like [`run_coordinator_connections`], with an explicit per-receive read
-/// timeout: if no worker report arrives within `read_timeout`, the run fails
-/// with a typed [`grape_core::TransportError::WorkerLost`] instead of
-/// hanging. [`run_coordinator_connections`] uses
-/// [`grape_core::transport::DEFAULT_READ_TIMEOUT`].
+/// Like [`run_coordinator_connections`], with an explicit [`EngineConfig`]:
+/// in particular [`EngineConfig::read_timeout`] bounds every receive, so a
+/// silent worker surfaces as a typed
+/// [`grape_core::TransportError::WorkerLost`] instead of a hang.
 pub fn run_coordinator_connections_with<S: SplitStream>(
     job: &JobSpec,
+    streams: Vec<S>,
+    config: &EngineConfig,
+) -> io::Result<JobOutcome> {
+    run_coordinator_connections_inner(job, streams, config, None)
+}
+
+/// Like [`run_coordinator_connections_with`], but the run survives worker
+/// loss: `respawn(worker)` must produce a fresh accepted connection to a
+/// replacement worker process, which is handed the lost fragment and the last
+/// checkpoint at a bumped epoch, after which the in-flight superstep is
+/// replayed. Checkpointing is forced on ([`JobSpec::checkpoints`]) — there is
+/// no recovery without state to recover.
+pub fn run_coordinator_connections_recoverable<S: SplitStream>(
+    job: &JobSpec,
+    streams: Vec<S>,
+    config: &EngineConfig,
+    respawn: &mut dyn FnMut(usize) -> io::Result<S>,
+) -> io::Result<JobOutcome> {
+    let mut job = job.clone();
+    job.checkpoints = true;
+    run_coordinator_connections_inner(&job, streams, config, Some(respawn))
+}
+
+fn run_coordinator_connections_inner<S: SplitStream>(
+    job: &JobSpec,
     mut streams: Vec<S>,
-    read_timeout: Duration,
+    config: &EngineConfig,
+    respawn: Option<&mut dyn FnMut(usize) -> io::Result<S>>,
 ) -> io::Result<JobOutcome> {
     if streams.len() != job.workers as usize {
         return Err(bad_data(format!(
@@ -392,20 +555,25 @@ pub fn run_coordinator_connections_with<S: SplitStream>(
         )));
     }
     let (graph, fragments) = job_fragments(job)?;
+    let vertices = graph.num_vertices() as u64;
     for (index, stream) in streams.iter_mut().enumerate() {
-        let mut spec = job.clone();
-        spec.index = index as u32;
-        wire::write_frame_io(stream, TAG_JOB, &spec)?;
-        stream.flush()?;
+        // A connection dead before the handshake is a startup failure, not a
+        // recoverable mid-run loss — but phrase it as the loss it is.
+        ship_job(stream, job, index, 0, vertices, &fragments[index])
+            .map_err(|e| io::Error::other(format!("worker {index} lost during handshake: {e}")))?;
     }
     let stats = Arc::new(CommStats::new());
 
+    #[allow(clippy::too_many_arguments)]
     fn coordinate<P, S>(
         program: P,
+        job: &JobSpec,
         fragments: &[Fragment<(), f64>],
         streams: Vec<S>,
         stats: Arc<CommStats>,
-        read_timeout: Duration,
+        config: &EngineConfig,
+        respawn: Option<&mut dyn FnMut(usize) -> io::Result<S>>,
+        vertices: u64,
     ) -> io::Result<JobOutcome>
     where
         P: PieProgram<VertexData = (), EdgeData = f64>,
@@ -413,10 +581,33 @@ pub fn run_coordinator_connections_with<S: SplitStream>(
     {
         let n = streams.len();
         let transport = FramedStreamCoord::<P::Value>::new(streams, stats)?
-            .with_read_timeout(Some(read_timeout));
-        let stats_out = GrapeEngine::new(program)
-            .run_coordinator(fragments, &transport)
-            .map_err(|e| io::Error::other(e.to_string()))?;
+            .with_read_timeout(config.read_timeout);
+        let engine = GrapeEngine::new(program).with_config(*config);
+        let stats_out = match respawn {
+            None => engine.run_coordinator(fragments, &transport),
+            Some(respawn) => {
+                // Recovery glue: a fresh connection, the same fragment at the
+                // new epoch, and the transport's writer/reader swapped under it.
+                let mut recover = |worker: usize, epoch: u32| -> Result<(), String> {
+                    let mut stream =
+                        respawn(worker).map_err(|e| format!("respawn worker {worker}: {e}"))?;
+                    ship_job(
+                        &mut stream,
+                        job,
+                        worker,
+                        epoch,
+                        vertices,
+                        &fragments[worker],
+                    )
+                    .map_err(|e| format!("re-ship fragment {worker}: {e}"))?;
+                    transport
+                        .replace_worker(worker, stream, epoch)
+                        .map_err(|e| format!("replace worker {worker}: {e}"))
+                };
+                engine.run_coordinator_recoverable(fragments, &transport, &mut recover)
+            }
+        }
+        .map_err(|e| io::Error::other(e.to_string()))?;
         let mut digests = vec![0u64; n];
         for _ in 0..n {
             let (from, tag, body) = transport
@@ -437,11 +628,24 @@ pub fn run_coordinator_connections_with<S: SplitStream>(
     }
 
     match job.algo.as_str() {
-        "sssp" => coordinate(SsspProgram, &fragments, streams, stats, read_timeout),
-        "cc" => coordinate(CcProgram, &fragments, streams, stats, read_timeout),
+        "sssp" => coordinate(
+            SsspProgram,
+            job,
+            &fragments,
+            streams,
+            stats,
+            config,
+            respawn,
+            vertices,
+        ),
+        "cc" => coordinate(
+            CcProgram, job, &fragments, streams, stats, config, respawn, vertices,
+        ),
         "pagerank" => {
             let program = PageRankProgram::new(graph.num_vertices());
-            coordinate(program, &fragments, streams, stats, read_timeout)
+            coordinate(
+                program, job, &fragments, streams, stats, config, respawn, vertices,
+            )
         }
         other => Err(bad_data(format!("unknown algorithm {other:?}"))),
     }
@@ -455,6 +659,7 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
     let (graph, fragments) = job_fragments(job)?;
     let stats = Arc::new(CommStats::new());
     let threads = job.resolved_threads();
+    let checkpoints = job.checkpoints;
 
     fn local<P>(
         program: P,
@@ -462,6 +667,7 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
         fragments: &[Fragment<(), f64>],
         stats: Arc<CommStats>,
         threads: usize,
+        checkpoints: bool,
         to_digest: impl Fn(P::Output) -> u64 + Sync,
     ) -> io::Result<JobOutcome>
     where
@@ -477,7 +683,15 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
                 .zip(worker_transports)
                 .map(|(fragment, wt)| {
                     scope.spawn(move || {
-                        let partial = run_worker(program_ref, query, fragment, &wt, threads);
+                        let partial = run_worker_with(
+                            program_ref,
+                            query,
+                            fragment,
+                            &wt,
+                            threads,
+                            checkpoints,
+                        )
+                        .expect("in-process worker ran PEval");
                         to_digest(program_ref.assemble(vec![partial]))
                     })
                 })
@@ -503,11 +717,18 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
             &fragments,
             stats,
             threads,
+            checkpoints,
             |out| digest_f64_map(&out),
         ),
-        "cc" => local(CcProgram, &CcQuery, &fragments, stats, threads, |out| {
-            digest_u64_map(&out)
-        }),
+        "cc" => local(
+            CcProgram,
+            &CcQuery,
+            &fragments,
+            stats,
+            threads,
+            checkpoints,
+            |out| digest_u64_map(&out),
+        ),
         "pagerank" => {
             let program = PageRankProgram::new(graph.num_vertices());
             local(
@@ -516,10 +737,126 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
                 &fragments,
                 stats,
                 threads,
+                checkpoints,
                 |out| digest_f64_map(&out),
             )
         }
         other => Err(bad_data(format!("unknown algorithm {other:?}"))),
+    }
+}
+
+/// Runs `job` over real TCP sockets with worker threads in this process, one
+/// of which is killed — its socket torn down, the SIGKILL event at the
+/// transport level — upon receiving command `kill_at`. The coordinator
+/// recovers via [`run_coordinator_connections_recoverable`]: fresh
+/// connection, re-shipped fragment at a bumped epoch, replayed superstep.
+/// This is the deterministic in-process recovery drill the chaos tests and
+/// the `recovery_ms` benchmark column share.
+pub fn run_local_recoverable_tcp(
+    job: &JobSpec,
+    kill_worker: usize,
+    kill_at: usize,
+) -> io::Result<JobOutcome> {
+    use std::net::{Shutdown, TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let mut job = job.clone();
+    job.checkpoints = true;
+    let n = job.workers as usize;
+    if kill_worker >= n {
+        return Err(bad_data(format!(
+            "kill_worker {kill_worker} out of range for {n} workers"
+        )));
+    }
+    std::thread::scope(|scope| {
+        // Connect + accept strictly in sequence so accepted-stream order is
+        // fragment order — the index mapping must be deterministic.
+        let mut streams = Vec::with_capacity(n);
+        for index in 0..n {
+            let connect = TcpStream::connect(addr)?;
+            let (accepted, _) = listener.accept()?;
+            let kill: Option<KillPlan> = if index == kill_worker {
+                let victim = connect.try_clone()?;
+                Some((
+                    kill_at,
+                    Box::new(move || {
+                        let _ = victim.shutdown(Shutdown::Both);
+                    }),
+                ))
+            } else {
+                None
+            };
+            scope.spawn(move || {
+                // The killed worker exits with a torn-down connection; the
+                // replacement (respawned below) reports in its stead.
+                let _ = run_worker_connection_with(connect, None, kill);
+            });
+            streams.push(accepted);
+        }
+        let listener = &listener;
+        let mut respawn = |_worker: usize| -> io::Result<TcpStream> {
+            let connect = TcpStream::connect(addr)?;
+            let (accepted, _) = listener.accept()?;
+            scope.spawn(move || {
+                let _ = run_worker_connection_with(connect, None, None);
+            });
+            Ok(accepted)
+        };
+        run_coordinator_connections_recoverable(
+            &job,
+            streams,
+            &EngineConfig::default(),
+            &mut respawn,
+        )
+    })
+}
+
+/// Owns a Unix-domain socket path for a listener's lifetime: unlinks a stale
+/// socket left behind by a dead process before binding, and removes the
+/// socket again on drop — including drops driven by a panic unwinding.
+pub struct UdsPathGuard {
+    path: std::path::PathBuf,
+}
+
+impl UdsPathGuard {
+    /// Claims `path`, unlinking a pre-existing *socket* there. Anything else
+    /// (a regular file, a directory) is an error — a stale socket is the only
+    /// thing this guard may destroy.
+    pub fn claim(path: impl Into<std::path::PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        match std::fs::symlink_metadata(&path) {
+            Ok(meta) => {
+                #[cfg(unix)]
+                let is_socket = {
+                    use std::os::unix::fs::FileTypeExt;
+                    meta.file_type().is_socket()
+                };
+                #[cfg(not(unix))]
+                let is_socket = false;
+                if is_socket {
+                    std::fs::remove_file(&path)?;
+                } else {
+                    return Err(bad_data(format!(
+                        "{} exists and is not a socket; refusing to unlink",
+                        path.display()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(Self { path })
+    }
+
+    /// The guarded path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for UdsPathGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -541,6 +878,8 @@ mod tests {
             index: 2,
             source: 0,
             threads: 2,
+            vertices: 108,
+            checkpoints: true,
         };
         let bytes = job.encode_to_vec();
         let mut reader = WireReader::new(&bytes);
@@ -600,6 +939,8 @@ mod tests {
                 index: 0,
                 source: 0,
                 threads: 1,
+                vertices: 0,
+                checkpoints: false,
             };
             let first = run_local_framed(&job).unwrap();
             let second = run_local_framed(&job).unwrap();
@@ -608,5 +949,54 @@ mod tests {
             assert_eq!(first.stats.messages, second.stats.messages, "{algo}");
             assert!(first.stats.bytes > 0);
         }
+    }
+
+    #[test]
+    fn recovered_tcp_runs_match_the_undisturbed_reference() {
+        // One in-process drill per algorithm with snapshot support: kill
+        // worker 1 at its second command, recover, and pin the digests and
+        // superstep count against an undisturbed framed run of the same job.
+        for algo in ["sssp", "cc"] {
+            let job = JobSpec {
+                algo: algo.into(),
+                graph: GraphSpec::Road {
+                    width: 10,
+                    height: 10,
+                    seed: 3,
+                },
+                strategy: "hash".into(),
+                workers: 3,
+                index: 0,
+                source: 0,
+                threads: 1,
+                vertices: 0,
+                checkpoints: true,
+            };
+            let reference = run_local_framed(&job).unwrap();
+            let recovered = run_local_recoverable_tcp(&job, 1, 2).unwrap();
+            assert_eq!(recovered.digests, reference.digests, "{algo}");
+            assert_eq!(
+                recovered.stats.supersteps, reference.stats.supersteps,
+                "{algo}"
+            );
+            assert!(recovered.stats.recoveries >= 1, "{algo}: a kill happened");
+        }
+    }
+
+    #[test]
+    fn uds_path_guard_unlinks_stale_sockets_but_never_files() {
+        let dir = std::env::temp_dir();
+        let sock = dir.join(format!("grape-guard-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        // A real stale socket is reclaimed...
+        drop(std::os::unix::net::UnixListener::bind(&sock).unwrap());
+        assert!(sock.exists());
+        let guard = UdsPathGuard::claim(&sock).unwrap();
+        assert!(!guard.path().exists(), "stale socket unlinked");
+        drop(guard);
+        // ...but a regular file at the path is refused.
+        std::fs::write(&sock, b"precious").unwrap();
+        assert!(UdsPathGuard::claim(&sock).is_err());
+        std::fs::remove_file(&sock).unwrap();
     }
 }

@@ -1,27 +1,33 @@
 //! The `grape-worker` binary: multi-process GRAPE over the framed wire
 //! protocol.
 //!
-//! Coordinator (binds, ships job specs, drives the fixpoint):
+//! Coordinator (binds, ships job specs + fragments, drives the fixpoint):
 //!
 //! ```text
 //! grape-worker serve --listen 127.0.0.1:4817 --workers 4 \
-//!     --algo sssp --graph road:64x64:7 --strategy hash --source 0 [--spawn] [--verify]
+//!     --algo sssp --graph road:64x64:7 --strategy hash --source 0 \
+//!     [--spawn] [--verify] [--chaos KILL_AT]
 //! ```
 //!
-//! Worker (connects, rebuilds its fragment, evaluates):
+//! Worker (connects, receives its fragment on the wire, evaluates):
 //!
 //! ```text
-//! grape-worker connect 127.0.0.1:4817
+//! grape-worker connect 127.0.0.1:4817 [--timeout SECS] [--kill-at N]
 //! grape-worker connect-uds /tmp/grape.sock        # Unix-domain variant
 //! ```
 //!
 //! `--spawn` makes the coordinator fork the workers itself (k child
 //! processes of this same binary) — the one-command demo. `--verify` reruns
 //! the job in-process over the framed channel transport and asserts the
-//! digests, superstep count and message count match bit for bit.
+//! digests and superstep count match bit for bit. `--chaos KILL_AT` (requires
+//! `--spawn`) is the fault drill: worker 0 SIGKILLs itself upon receiving its
+//! KILL_AT-th command, and the coordinator recovers — respawn, re-ship,
+//! replay — with `--verify` still holding.
 
+use grape_core::EngineConfig;
 use grape_worker::{
-    run_coordinator_connections_with, run_local_framed, run_worker_connection, GraphSpec, JobSpec,
+    kill_self, run_coordinator_connections_recoverable, run_coordinator_connections_with,
+    run_local_framed, run_worker_connection_with, GraphSpec, JobSpec, KillPlan, UdsPathGuard,
 };
 use std::net::{TcpListener, TcpStream};
 use std::process::{Command, Stdio};
@@ -31,8 +37,10 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  grape-worker serve --listen ADDR [--uds PATH] --workers K --algo \
          sssp|cc|pagerank\n      --graph road:WxH:SEED|ba:N:M:SEED [--strategy NAME] \
-         [--source V] [--threads T] [--timeout SECS] [--spawn] [--verify]\n  grape-worker \
-         connect ADDR\n  grape-worker connect-uds PATH"
+         [--source V] [--threads T] [--timeout SECS] [--checkpoints] [--spawn] [--verify]\n      \
+         [--chaos KILL_AT]   (requires --spawn: worker 0 SIGKILLs itself, run recovers)\n  \
+         grape-worker connect ADDR [--timeout SECS] [--kill-at N]\n  grape-worker connect-uds \
+         PATH [--timeout SECS] [--kill-at N]"
     );
     std::process::exit(2);
 }
@@ -43,21 +51,34 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The worker-side knobs shared by `connect` and `connect-uds`.
+fn worker_knobs(args: &[String]) -> (Option<Duration>, Option<KillPlan>) {
+    let timeout = arg_value(args, "--timeout")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let kill: Option<KillPlan> = arg_value(args, "--kill-at")
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|at| (at, Box::new(kill_self) as Box<dyn FnMut() + Send>));
+    (timeout, kill)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
     let result = match mode {
         Some("connect") => {
             let addr = args.get(1).cloned().unwrap_or_else(|| usage());
+            let (timeout, kill) = worker_knobs(&args[1..]);
             TcpStream::connect(&addr)
-                .and_then(run_worker_connection)
+                .and_then(|s| run_worker_connection_with(s, timeout, kill))
                 .map(|digest| println!("worker done, digest {digest:#018x}"))
         }
         #[cfg(unix)]
         Some("connect-uds") => {
             let path = args.get(1).cloned().unwrap_or_else(|| usage());
+            let (timeout, kill) = worker_knobs(&args[1..]);
             std::os::unix::net::UnixStream::connect(&path)
-                .and_then(run_worker_connection)
+                .and_then(|s| run_worker_connection_with(s, timeout, kill))
                 .map(|digest| println!("worker done, digest {digest:#018x}"))
         }
         Some("serve") => serve(&args[1..]),
@@ -79,6 +100,13 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             eprintln!("grape-worker: {e}");
             std::process::exit(2);
         });
+    let spawn = args.iter().any(|a| a == "--spawn");
+    let verify = args.iter().any(|a| a == "--verify");
+    let chaos = arg_value(args, "--chaos").and_then(|v| v.parse::<usize>().ok());
+    if chaos.is_some() && !spawn {
+        eprintln!("grape-worker: --chaos requires --spawn (the coordinator respawns the victim)");
+        std::process::exit(2);
+    }
     let job = JobSpec {
         algo,
         graph,
@@ -91,27 +119,51 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         threads: arg_value(args, "--threads")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
+        vertices: 0, // filled per connection by the coordinator
+        checkpoints: chaos.is_some() || args.iter().any(|a| a == "--checkpoints"),
     };
-    let read_timeout = arg_value(args, "--timeout")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs)
-        .unwrap_or(grape_core::transport::DEFAULT_READ_TIMEOUT);
-    let spawn = args.iter().any(|a| a == "--spawn");
-    let verify = args.iter().any(|a| a == "--verify");
+    let timeout_secs = arg_value(args, "--timeout").and_then(|v| v.parse::<u64>().ok());
+    let config = EngineConfig {
+        read_timeout: Some(
+            timeout_secs
+                .map(Duration::from_secs)
+                .unwrap_or(grape_core::transport::DEFAULT_READ_TIMEOUT),
+        ),
+        ..Default::default()
+    };
+    // Both endpoints run the same timeout: the flag is forwarded to spawned
+    // workers so a vanished coordinator is detected symmetrically.
+    let timeout_args: Vec<String> = timeout_secs
+        .map(|s| vec!["--timeout".into(), s.to_string()])
+        .unwrap_or_default();
 
     let outcome = if let Some(path) = arg_value(args, "--uds") {
         #[cfg(unix)]
         {
-            let _ = std::fs::remove_file(&path);
-            let listener = std::os::unix::net::UnixListener::bind(&path)?;
+            // The guard unlinks a stale socket from a dead coordinator and
+            // removes ours again on every exit path, including panics.
+            let guard = UdsPathGuard::claim(&path)?;
+            let listener = std::os::unix::net::UnixListener::bind(guard.path())?;
             eprintln!("coordinator listening on {path}");
-            let children = maybe_spawn(spawn, workers, &["connect-uds", &path])?;
+            let mut connect_args = vec!["connect-uds".to_string(), path.clone()];
+            connect_args.extend(timeout_args.iter().cloned());
+            let children = maybe_spawn(spawn, workers, chaos, &connect_args)?;
             let streams = (0..workers)
                 .map(|_| listener.accept().map(|(s, _)| s))
                 .collect::<std::io::Result<Vec<_>>>()?;
-            let outcome = run_coordinator_connections_with(&job, streams, read_timeout)?;
-            reap(children)?;
-            let _ = std::fs::remove_file(&path);
+            let replacements = std::cell::RefCell::new(Vec::new());
+            let outcome = match chaos {
+                None => run_coordinator_connections_with(&job, streams, &config)?,
+                Some(_) => {
+                    let mut respawn = |_worker: usize| {
+                        replacements.borrow_mut().push(spawn_worker(&connect_args)?);
+                        listener.accept().map(|(s, _)| s)
+                    };
+                    run_coordinator_connections_recoverable(&job, streams, &config, &mut respawn)?
+                }
+            };
+            reap(children, chaos.is_some())?;
+            reap(replacements.into_inner(), false)?;
             outcome
         }
         #[cfg(not(unix))]
@@ -124,21 +176,35 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         let listener = TcpListener::bind(&listen)?;
         let addr = listener.local_addr()?.to_string();
         eprintln!("coordinator listening on {addr}");
-        let children = maybe_spawn(spawn, workers, &["connect", &addr])?;
+        let mut connect_args = vec!["connect".to_string(), addr.clone()];
+        connect_args.extend(timeout_args.iter().cloned());
+        let children = maybe_spawn(spawn, workers, chaos, &connect_args)?;
         let streams = (0..workers)
             .map(|_| listener.accept().map(|(s, _)| s))
             .collect::<std::io::Result<Vec<_>>>()?;
-        let outcome = run_coordinator_connections_with(&job, streams, read_timeout)?;
-        reap(children)?;
+        let replacements = std::cell::RefCell::new(Vec::new());
+        let outcome = match chaos {
+            None => run_coordinator_connections_with(&job, streams, &config)?,
+            Some(_) => {
+                let mut respawn = |_worker: usize| {
+                    replacements.borrow_mut().push(spawn_worker(&connect_args)?);
+                    listener.accept().map(|(s, _)| s)
+                };
+                run_coordinator_connections_recoverable(&job, streams, &config, &mut respawn)?
+            }
+        };
+        reap(children, chaos.is_some())?;
+        reap(replacements.into_inner(), false)?;
         outcome
     };
 
     println!(
-        "{}: {} supersteps, {} messages, {} wire bytes, wall {:.2}ms",
+        "{}: {} supersteps, {} messages, {} wire bytes, {} recoveries, wall {:.2}ms",
         job.algo,
         outcome.stats.supersteps,
         outcome.stats.messages,
         outcome.stats.bytes,
+        outcome.stats.recoveries,
         outcome.stats.wall_time.as_secs_f64() * 1e3
     );
     for (worker, digest) in outcome.digests.iter().enumerate() {
@@ -146,10 +212,17 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     }
 
     if verify {
-        let reference = run_local_framed(&job)?;
+        // Recovery replays a superstep, so message counts legitimately
+        // exceed the reference after a kill; digests and superstep count
+        // must still match bit for bit.
+        let mut reference_job = job.clone();
+        reference_job.checkpoints = job.checkpoints || chaos.is_some();
+        let reference = run_local_framed(&reference_job)?;
+        let messages_diverge =
+            chaos.is_none() && reference.stats.messages != outcome.stats.messages;
         if reference.digests != outcome.digests
             || reference.stats.supersteps != outcome.stats.supersteps
-            || reference.stats.messages != outcome.stats.messages
+            || messages_diverge
         {
             return Err(std::io::Error::other(format!(
                 "multi-process run diverged from the in-process reference: \
@@ -167,34 +240,52 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Spawns one worker child of this binary with `connect_args`.
+fn spawn_worker(connect_args: &[String]) -> std::io::Result<std::process::Child> {
+    let exe = std::env::current_exe()?;
+    Command::new(&exe)
+        .args(connect_args)
+        .stdout(Stdio::null())
+        .spawn()
+}
+
 /// Spawns `workers` copies of this binary in worker mode when `spawn` is
-/// set.
+/// set. Under `--chaos KILL_AT`, worker 0 gets the kill schedule.
 fn maybe_spawn(
     spawn: bool,
     workers: u32,
-    connect_args: &[&str],
+    chaos: Option<usize>,
+    connect_args: &[String],
 ) -> std::io::Result<Vec<std::process::Child>> {
     if !spawn {
         return Ok(Vec::new());
     }
-    let exe = std::env::current_exe()?;
     (0..workers)
-        .map(|_| {
-            Command::new(&exe)
-                .args(connect_args)
-                .stdout(Stdio::null())
-                .spawn()
+        .map(|index| {
+            let mut args = connect_args.to_vec();
+            if index == 0 {
+                if let Some(kill_at) = chaos {
+                    args.extend(["--kill-at".to_string(), kill_at.to_string()]);
+                }
+            }
+            spawn_worker(&args)
         })
         .collect()
 }
 
-fn reap(children: Vec<std::process::Child>) -> std::io::Result<()> {
+/// Waits for the spawned workers. Under chaos one child was SIGKILLed on
+/// purpose; exactly that many non-success exits are tolerated.
+fn reap(children: Vec<std::process::Child>, chaos: bool) -> std::io::Result<()> {
+    let mut failures = 0usize;
     for mut child in children {
         let status = child.wait()?;
         if !status.success() {
-            return Err(std::io::Error::other(format!(
-                "worker process exited with {status}"
-            )));
+            failures += 1;
+            if !chaos || failures > 1 {
+                return Err(std::io::Error::other(format!(
+                    "worker process exited with {status}"
+                )));
+            }
         }
     }
     Ok(())

@@ -1,0 +1,186 @@
+//! Multi-process fault drills: real `grape-worker` OS processes, one of
+//! which SIGKILLs itself at a scheduled superstep, with the coordinator
+//! recovering — respawn, re-ship the fragment and last checkpoint at a
+//! bumped epoch, replay the in-flight superstep — and the recovered result
+//! pinned bit-identical to an undisturbed run of the same job.
+//!
+//! The kill schedule sweeps *every* superstep index of the run, over both
+//! TCP and Unix-domain sockets, for both algorithms with snapshot support
+//! (SSSP and CC). Everything is deterministic: the victim dies upon
+//! receiving its `kill_at`-th evaluation command, never by wall-clock.
+
+use grape_core::EngineConfig;
+use grape_worker::{
+    run_coordinator_connections_recoverable, run_local_framed, GraphSpec, JobOutcome, JobSpec,
+    UdsPathGuard,
+};
+use std::cell::RefCell;
+use std::process::{Child, Command, Stdio};
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_grape-worker")
+}
+
+fn job(algo: &str) -> JobSpec {
+    JobSpec {
+        algo: algo.into(),
+        // 10x10, seed 3: both SSSP and CC take several supersteps here, so
+        // the kill sweep has real indices to cover (many road seeds let CC
+        // converge in a single superstep).
+        graph: GraphSpec::Road {
+            width: 10,
+            height: 10,
+            seed: 3,
+        },
+        strategy: "hash".into(),
+        workers: 2,
+        index: 0,
+        source: 0,
+        threads: 1,
+        vertices: 0,
+        checkpoints: true,
+    }
+}
+
+fn spawn_worker(args: &[String]) -> Child {
+    Command::new(worker_bin())
+        .args(args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn grape-worker")
+}
+
+/// Waits for every child; the victim died by SIGKILL on purpose, so exit
+/// statuses are not asserted — only that nothing is left running.
+fn reap_lenient(children: Vec<Child>) {
+    for mut child in children {
+        let _ = child.wait();
+    }
+}
+
+/// One TCP drill: worker 0 is the victim, dying at evaluation command
+/// `kill_at`; the respawn closure hands the coordinator fresh replacement
+/// processes. Spawn/accept run strictly in sequence so accepted-stream
+/// order is fragment order.
+fn tcp_drill(job: &JobSpec, kill_at: usize) -> JobOutcome {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let mut streams = Vec::new();
+    let mut children = Vec::new();
+    for index in 0..job.workers as usize {
+        let mut args = vec!["connect".to_string(), addr.clone()];
+        if index == 0 {
+            args.extend(["--kill-at".to_string(), kill_at.to_string()]);
+        }
+        children.push(spawn_worker(&args));
+        streams.push(listener.accept().expect("accept").0);
+    }
+    let children = RefCell::new(children);
+    let mut respawn = |_worker: usize| {
+        children
+            .borrow_mut()
+            .push(spawn_worker(&["connect".to_string(), addr.clone()]));
+        listener.accept().map(|(s, _)| s)
+    };
+    let outcome = run_coordinator_connections_recoverable(
+        job,
+        streams,
+        &EngineConfig::default(),
+        &mut respawn,
+    )
+    .expect("recoverable run");
+    reap_lenient(children.into_inner());
+    outcome
+}
+
+/// The Unix-domain-socket twin of [`tcp_drill`].
+#[cfg(unix)]
+fn uds_drill(job: &JobSpec, kill_at: usize, tag: &str) -> JobOutcome {
+    let path = std::env::temp_dir().join(format!(
+        "grape-chaos-{}-{tag}-{kill_at}.sock",
+        std::process::id()
+    ));
+    let path_str = path.to_str().expect("utf-8 socket path").to_string();
+    let guard = UdsPathGuard::claim(&path).expect("claim socket path");
+    let listener = std::os::unix::net::UnixListener::bind(guard.path()).expect("bind uds");
+    let mut streams = Vec::new();
+    let mut children = Vec::new();
+    for index in 0..job.workers as usize {
+        let mut args = vec!["connect-uds".to_string(), path_str.clone()];
+        if index == 0 {
+            args.extend(["--kill-at".to_string(), kill_at.to_string()]);
+        }
+        children.push(spawn_worker(&args));
+        streams.push(listener.accept().expect("accept").0);
+    }
+    let children = RefCell::new(children);
+    let mut respawn = |_worker: usize| {
+        children
+            .borrow_mut()
+            .push(spawn_worker(&["connect-uds".to_string(), path_str.clone()]));
+        listener.accept().map(|(s, _)| s)
+    };
+    let outcome = run_coordinator_connections_recoverable(
+        job,
+        streams,
+        &EngineConfig::default(),
+        &mut respawn,
+    )
+    .expect("recoverable run");
+    reap_lenient(children.into_inner());
+    outcome
+}
+
+/// Sweeps the kill schedule over every superstep of the reference run and
+/// pins each recovered outcome against the undisturbed one.
+fn sweep(algo: &str, drill: impl Fn(&JobSpec, usize) -> JobOutcome) {
+    let job = job(algo);
+    let reference = run_local_framed(&job).expect("reference run");
+    let supersteps = reference.stats.supersteps;
+    assert!(supersteps >= 2, "{algo}: job too small to drill");
+    let mut kills = 0usize;
+    for kill_at in 0..supersteps {
+        let recovered = drill(&job, kill_at);
+        assert_eq!(
+            recovered.digests, reference.digests,
+            "{algo} kill_at={kill_at}: recovered digests diverge"
+        );
+        assert_eq!(
+            recovered.stats.supersteps, reference.stats.supersteps,
+            "{algo} kill_at={kill_at}: superstep count diverges"
+        );
+        // The victim counts evaluation commands; if it reached the fixpoint
+        // before `kill_at` evaluations (it received fewer IncEvals than the
+        // global superstep count) the kill never fires and the run is
+        // legitimately undisturbed. Every index where it does fire must
+        // recover, and the sweep as a whole must have killed repeatedly.
+        kills += recovered.stats.recoveries;
+    }
+    assert!(
+        kills + 1 >= supersteps,
+        "{algo}: only {kills} kills fired across {supersteps} scheduled indices"
+    );
+}
+
+#[test]
+fn tcp_kill_at_every_superstep_recovers_bit_identical_sssp() {
+    sweep("sssp", tcp_drill);
+}
+
+#[test]
+fn tcp_kill_at_every_superstep_recovers_bit_identical_cc() {
+    sweep("cc", tcp_drill);
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_kill_at_every_superstep_recovers_bit_identical_sssp() {
+    sweep("sssp", |job, kill_at| uds_drill(job, kill_at, "sssp"));
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_kill_at_every_superstep_recovers_bit_identical_cc() {
+    sweep("cc", |job, kill_at| uds_drill(job, kill_at, "cc"));
+}

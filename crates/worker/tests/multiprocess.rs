@@ -2,6 +2,7 @@
 //! the framed wire protocol over TCP and Unix-domain sockets, pinned
 //! bit-identical to the in-process framed reference.
 
+use grape_core::EngineConfig;
 use grape_worker::{
     run_coordinator_connections, run_coordinator_connections_with, run_local_framed, GraphSpec,
     JobSpec,
@@ -27,6 +28,15 @@ fn job(algo: &str, workers: u32) -> JobSpec {
         index: 0,
         source: 0,
         threads: 1,
+        vertices: 0,
+        checkpoints: false,
+    }
+}
+
+fn config_with_timeout(timeout: Duration) -> EngineConfig {
+    EngineConfig {
+        read_timeout: Some(timeout),
+        ..Default::default()
     }
 }
 
@@ -121,7 +131,7 @@ fn silent_workers_fail_the_run_with_a_typed_timeout_error() {
     }
     let timeout = Duration::from_millis(500);
     let start = Instant::now();
-    let err = run_coordinator_connections_with(&job, streams, timeout)
+    let err = run_coordinator_connections_with(&job, streams, &config_with_timeout(timeout))
         .expect_err("a run with mute workers must fail");
     let elapsed = start.elapsed();
     assert!(
@@ -156,8 +166,12 @@ fn a_killed_worker_surfaces_a_typed_error_quickly() {
     children[0].kill().expect("kill worker");
     children[0].wait().expect("reap killed worker");
     let start = Instant::now();
-    let err = run_coordinator_connections_with(&job, streams, Duration::from_secs(30))
-        .expect_err("a run missing a worker must fail");
+    let err = run_coordinator_connections_with(
+        &job,
+        streams,
+        &config_with_timeout(Duration::from_secs(30)),
+    )
+    .expect_err("a run missing a worker must fail");
     assert!(
         start.elapsed() < Duration::from_secs(20),
         "disconnect took as long as a timeout: {:?}",
@@ -165,7 +179,7 @@ fn a_killed_worker_surfaces_a_typed_error_quickly() {
     );
     let message = err.to_string();
     assert!(
-        message.contains("worker lost"),
+        message.contains("lost"),
         "expected a typed worker-lost error, got: {message}"
     );
     for mut child in children.drain(1..) {

@@ -190,7 +190,39 @@ tuple_strategy!(
     (A: 0, B: 1),
     (A: 0, B: 1, C: 2),
     (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
 );
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRunner};
+    use rand::RngExt;
+
+    /// Strategy for `Option`s whose `Some` payload comes from `S`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` about a quarter of the time and `Some` otherwise,
+    /// mirroring `proptest::option::of`'s default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            if runner.rng().random_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(runner))
+            }
+        }
+    }
+}
 
 /// Collection strategies.
 pub mod collection {

@@ -5,7 +5,9 @@
 
 use grape::comm::wire::{self, Wire, WireError, WireReader, HEADER_LEN};
 use grape::comm::MessageSize;
-use grape::core::message::{CoordCommand, WorkerReport};
+use grape::core::message::{CheckpointState, CoordCommand, WorkerReport};
+use grape::core::ship::{decode_fragment_parts, encode_fragment_parts, TAG_FRAGMENT};
+use grape::partition::FragmentParts;
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary f64 from raw bits — covers infinities, NaNs and
@@ -18,16 +20,71 @@ fn arb_slot_values(max_len: usize) -> impl Strategy<Value = Vec<(u32, f64)>> {
     proptest::collection::vec((0u32..1_000_000, arb_f64_bits()), 0..max_len)
 }
 
+/// Strategy: an optional recovery checkpoint — opaque partial bytes plus
+/// sparse border values.
+fn arb_checkpoint() -> impl Strategy<Value = Option<CheckpointState<f64>>> {
+    proptest::option::of(
+        (
+            proptest::collection::vec(0u8..255, 0..48),
+            proptest::collection::vec(proptest::option::of(arb_f64_bits()), 0..12),
+        )
+            .prop_map(|(partial, border)| CheckpointState { partial, border }),
+    )
+}
+
+/// Strategy: arbitrary flattened fragment parts — the codec must roundtrip
+/// any well-typed payload, whether or not it is a structurally valid graph
+/// (structural validation is [`Fragment::from_parts`]' job, not the wire's).
+fn arb_fragment_parts() -> impl Strategy<Value = FragmentParts<(), f64>> {
+    let vid = 0u64..200;
+    (
+        (
+            (0usize..8, 1usize..8),
+            proptest::collection::vec(vid.clone().prop_map(|v| (v, ())), 0..16),
+            proptest::collection::vec((vid.clone(), vid.clone(), arb_f64_bits()), 0..24),
+        ),
+        (
+            proptest::collection::vec(vid.clone(), 0..16),
+            proptest::collection::vec(vid.clone(), 0..16),
+            proptest::collection::vec((vid.clone(), 0u32..8), 0..16),
+            proptest::collection::vec((vid, proptest::collection::vec(0u32..8, 0..4)), 0..8),
+        ),
+    )
+        .prop_map(
+            |(((id, num_fragments), vertices, edges), (inner, outer, outer_owner, mirrored_at))| {
+                FragmentParts {
+                    id,
+                    num_fragments,
+                    vertices,
+                    edges,
+                    inner,
+                    outer,
+                    outer_owner,
+                    mirrored_at,
+                }
+            },
+        )
+}
+
 fn arb_command() -> impl Strategy<Value = CoordCommand<f64>> {
-    (0usize..3, 0usize..200_000, arb_slot_values(24)).prop_map(|(kind, superstep, updates)| {
-        match kind {
+    (
+        0usize..4,
+        0usize..200_000,
+        arb_slot_values(24),
+        arb_checkpoint(),
+    )
+        .prop_map(|(kind, superstep, updates, checkpoint)| match kind {
             0 => CoordCommand::Init {
                 border_slots: updates.iter().map(|&(s, _)| s).collect(),
             },
             1 => CoordCommand::IncEval { superstep, updates },
+            2 => CoordCommand::Resume {
+                superstep,
+                border_slots: updates.iter().map(|&(s, _)| s).collect(),
+                checkpoint,
+            },
             _ => CoordCommand::Finish,
-        }
-    })
+        })
 }
 
 fn arb_report() -> impl Strategy<Value = WorkerReport<f64>> {
@@ -35,13 +92,15 @@ fn arb_report() -> impl Strategy<Value = WorkerReport<f64>> {
         0usize..200_000,
         arb_slot_values(24),
         proptest::collection::vec((0u64..5_000, arb_f64_bits()), 0..8),
+        arb_checkpoint(),
         0u64..u64::MAX,
     )
         .prop_map(
-            |(superstep, changes, strays, eval_bits)| WorkerReport::Done {
+            |(superstep, changes, strays, checkpoint, eval_bits)| WorkerReport::Done {
                 superstep,
                 changes,
                 strays,
+                checkpoint,
                 // Timings are f64s too; use finite ones so PartialEq is reflexive.
                 eval_seconds: (eval_bits % 1_000_000) as f64 * 1e-6,
             },
@@ -51,6 +110,22 @@ fn arb_report() -> impl Strategy<Value = WorkerReport<f64>> {
 /// NaN-tolerant equality: values equal, or both NaN with the same bits.
 fn values_equal(a: f64, b: f64) -> bool {
     a == b || a.to_bits() == b.to_bits()
+}
+
+fn checkpoints_equal(a: &Option<CheckpointState<f64>>, b: &Option<CheckpointState<f64>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.partial == y.partial
+                && x.border.len() == y.border.len()
+                && x.border.iter().zip(&y.border).all(|(l, r)| match (l, r) {
+                    (None, None) => true,
+                    (Some(l), Some(r)) => values_equal(*l, *r),
+                    _ => false,
+                })
+        }
+        _ => false,
+    }
 }
 
 fn commands_equal(a: &CoordCommand<f64>, b: &CoordCommand<f64>) -> bool {
@@ -78,6 +153,18 @@ fn commands_equal(a: &CoordCommand<f64>, b: &CoordCommand<f64>) -> bool {
                     .zip(u2)
                     .all(|(&(sa, va), &(sb, vb))| sa == sb && values_equal(va, vb))
         }
+        (
+            CoordCommand::Resume {
+                superstep: s1,
+                border_slots: b1,
+                checkpoint: c1,
+            },
+            CoordCommand::Resume {
+                superstep: s2,
+                border_slots: b2,
+                checkpoint: c2,
+            },
+        ) => s1 == s2 && b1 == b2 && checkpoints_equal(c1, c2),
         (CoordCommand::Finish, CoordCommand::Finish) => true,
         _ => false,
     }
@@ -88,16 +175,19 @@ fn reports_equal(a: &WorkerReport<f64>, b: &WorkerReport<f64>) -> bool {
         superstep: s1,
         changes: c1,
         strays: y1,
+        checkpoint: k1,
         eval_seconds: e1,
     } = a;
     let WorkerReport::Done {
         superstep: s2,
         changes: c2,
         strays: y2,
+        checkpoint: k2,
         eval_seconds: e2,
     } = b;
     s1 == s2
         && values_equal(*e1, *e2)
+        && checkpoints_equal(k1, k2)
         && c1.len() == c2.len()
         && c1
             .iter()
@@ -173,9 +263,9 @@ proptest! {
         // must notice the leftover bytes.
         let mut frame = Vec::new();
         report.encode_frame(&mut frame);
-        let declared = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let declared = u32::from_le_bytes(frame[8..12].try_into().unwrap());
         frame.extend_from_slice(&garbage);
-        frame[4..8].copy_from_slice(&(declared + garbage.len() as u32).to_le_bytes());
+        frame[8..12].copy_from_slice(&(declared + garbage.len() as u32).to_le_bytes());
         match WorkerReport::<f64>::decode_frame(&frame) {
             Err(WireError::TrailingBytes { count }) => {
                 prop_assert_eq!(count, garbage.len());
@@ -211,12 +301,12 @@ proptest! {
     #[test]
     fn corrupting_any_header_byte_is_detected_or_changes_framing(
         command in arb_command(),
-        byte in 0usize..4,
+        byte in 0usize..8,
         flip in 1u8..255,
     ) {
         // Flipping magic or version must produce a typed header error.
-        // (Bytes 3+ are the tag and length, whose corruption surfaces as
-        // BadTag / Truncated / TrailingBytes through the message decoder.)
+        // (Bytes 8+ are the length, whose corruption surfaces as
+        // Truncated / TrailingBytes through the message decoder.)
         let mut frame = Vec::new();
         command.encode_frame(&mut frame);
         frame[byte] ^= flip;
@@ -229,9 +319,133 @@ proptest! {
             // different message — framing cannot defend against that, which
             // is exactly why the tag space is kept sparse).
             (3, _) => {}
+            // Bytes 4..8 are the run epoch: invisible to the epoch-agnostic
+            // decoder, but an epoch-fencing receiver must reject the frame.
+            (4..=7, decoded) => {
+                prop_assert!(decoded.is_ok(), "epoch is not part of framing");
+                let (_, epoch, _, _) = wire::decode_frame_epoch(&frame)
+                    .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+                // The flip must have changed the epoch away from 0.
+                prop_assert_ne!(epoch, 0);
+                prop_assert!(matches!(
+                    wire::check_epoch(0, epoch),
+                    Err(WireError::StaleEpoch { expected: 0, .. })
+                ));
+            }
             (b, other) => {
                 return Err(TestCaseError::fail(format!(
                     "header byte {b} corrupt, expected typed error, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_roundtrip_and_mismatches_are_fenced(
+        command in arb_command(),
+        epoch in 0u32..u32::MAX,
+        other in 0u32..u32::MAX,
+    ) {
+        // Re-frame the command's payload under an arbitrary epoch: the epoch
+        // rides the header untouched, and a receiver fencing on a different
+        // epoch rejects the frame with a typed error.
+        let mut plain = Vec::new();
+        command.encode_frame(&mut plain);
+        let (tag, body, _) = wire::decode_frame(&plain)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        let mut frame = Vec::new();
+        wire::encode_frame_with_epoch(tag, epoch, &mut frame, |out| {
+            out.extend_from_slice(body);
+        });
+        let (tag_back, epoch_back, body_back, consumed) = wire::decode_frame_epoch(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(tag_back, tag);
+        prop_assert_eq!(epoch_back, epoch);
+        prop_assert_eq!(consumed, frame.len());
+        let back = CoordCommand::<f64>::decode_body(tag_back, body_back)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert!(commands_equal(&back, &command));
+        match wire::check_epoch(other, epoch) {
+            Ok(()) => prop_assert_eq!(other, epoch),
+            Err(WireError::StaleEpoch { expected, found }) => {
+                prop_assert_ne!(other, epoch);
+                prop_assert_eq!(expected, other);
+                prop_assert_eq!(found, epoch);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn shipped_fragments_roundtrip_under_any_epoch(
+        parts in arb_fragment_parts(),
+        epoch in 0u32..u32::MAX,
+        other in 0u32..u32::MAX,
+    ) {
+        // The fragment-shipping frame of the recovery handshake: encode under
+        // an arbitrary run epoch, decode bit-exactly, and verify a receiver
+        // fencing on a different epoch rejects the frame.
+        let mut frame = Vec::new();
+        encode_fragment_parts(&parts, epoch, &mut frame);
+        let (tag, epoch_back, body, consumed) = wire::decode_frame_epoch(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(tag, TAG_FRAGMENT);
+        prop_assert_eq!(epoch_back, epoch);
+        prop_assert_eq!(consumed, frame.len());
+        let back: FragmentParts<(), f64> = decode_fragment_parts(tag, body)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back, parts);
+        match wire::check_epoch(other, epoch) {
+            Ok(()) => prop_assert_eq!(other, epoch),
+            Err(WireError::StaleEpoch { expected, found }) => {
+                prop_assert_ne!(other, epoch);
+                prop_assert_eq!(expected, other);
+                prop_assert_eq!(found, epoch);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn truncated_fragment_frames_never_decode(
+        parts in arb_fragment_parts(),
+        cut_fraction in 0usize..100,
+    ) {
+        let mut frame = Vec::new();
+        encode_fragment_parts(&parts, 3, &mut frame);
+        let cut = cut_fraction * frame.len() / 100;
+        prop_assert!(cut < frame.len());
+        match wire::decode_frame_epoch(&frame[..cut]) {
+            Err(WireError::Truncated { needed, have }) => {
+                prop_assert!(have < needed, "Truncated{{needed {needed}, have {have}}}");
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "cut at {cut}/{} must be Truncated, got {other:?}",
+                    frame.len()
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_decoder_rejects_foreign_tags(
+        parts in arb_fragment_parts(),
+        raw_tag in 0u8..255,
+    ) {
+        // Remap the one honest value: every tag under test must be foreign.
+        let tag = if raw_tag == TAG_FRAGMENT { 0x00 } else { raw_tag };
+        // The body is valid; only the tag lies. The decoder must refuse
+        // rather than reinterpret another frame type as a fragment.
+        let mut frame = Vec::new();
+        encode_fragment_parts(&parts, 0, &mut frame);
+        let (_, body, _) = wire::decode_frame(&frame)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        match decode_fragment_parts::<(), f64>(tag, body) {
+            Err(WireError::BadTag { found }) => prop_assert_eq!(found, tag),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "tag {tag:#04x} must be BadTag, got {other:?}"
                 )))
             }
         }
@@ -261,12 +475,17 @@ fn frame_header_layout_is_pinned() {
     // it must be a conscious, versioned decision.
     let mut frame = Vec::new();
     CoordCommand::<f64>::Finish.encode_frame(&mut frame);
-    assert_eq!(HEADER_LEN, 8);
+    assert_eq!(HEADER_LEN, 12);
     assert_eq!(&frame[0..2], b"GW", "magic");
     assert_eq!(frame[2], wire::VERSION, "version");
     assert_eq!(frame[3], grape::core::message::TAG_FINISH, "tag");
     assert_eq!(
         u32::from_le_bytes(frame[4..8].try_into().unwrap()),
+        0,
+        "little-endian run epoch (0 outside recovery)"
+    );
+    assert_eq!(
+        u32::from_le_bytes(frame[8..12].try_into().unwrap()),
         1,
         "little-endian payload length"
     );
