@@ -356,6 +356,36 @@ impl PieProgram for CfProgram {
         a.iter().zip(b.iter()).map(|(x, y)| (x + y) / 2.0).collect()
     }
 
+    fn snapshot_partial(&self, partial: &CfPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Same layout as Vec<Vec<f64>>: u32 length prefix, then elements.
+        out.extend_from_slice(&(partial.factors.len() as u32).to_le_bytes());
+        for factor in partial.factors.as_slice() {
+            factor.encode(&mut out);
+        }
+        partial.ratings.encode(&mut out);
+        partial.vertex_ids.encode(&mut out);
+        partial.epochs_done.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<CfPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let factors = Vec::<Vec<f64>>::decode(&mut reader).ok()?;
+        let ratings = Vec::<(u32, u32, f64)>::decode(&mut reader).ok()?;
+        let vertex_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let epochs_done = usize::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        Some(CfPartial {
+            factors: VertexDenseMap::from_vec(factors),
+            ratings,
+            vertex_ids,
+            epochs_done,
+        })
+    }
+
     fn name(&self) -> &str {
         "cf"
     }

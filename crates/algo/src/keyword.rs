@@ -368,6 +368,44 @@ impl PieProgram for KeywordProgram {
         Some(new.iter().zip(old.iter()).all(|(n, o)| n <= o))
     }
 
+    fn snapshot_partial(&self, partial: &KeywordPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        (partial.dist.len() as u32).encode(&mut out);
+        for layer in &partial.dist {
+            // Same layout as Vec<f64>: u32 length prefix, then elements.
+            // Infinity (unreached) round-trips bit-exactly through the f64
+            // codec.
+            out.extend_from_slice(&(layer.len() as u32).to_le_bytes());
+            for d in layer.as_slice() {
+                d.encode(&mut out);
+            }
+        }
+        partial.vertex_ids.encode(&mut out);
+        partial.max_total_distance.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<KeywordPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let layers = u32::decode(&mut reader).ok()? as usize;
+        let mut dist = Vec::with_capacity(layers);
+        for _ in 0..layers {
+            dist.push(VertexDenseMap::from_vec(
+                Vec::<f64>::decode(&mut reader).ok()?,
+            ));
+        }
+        let vertex_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let max_total_distance = f64::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        Some(KeywordPartial {
+            dist,
+            vertex_ids,
+            max_total_distance,
+        })
+    }
+
     fn name(&self) -> &str {
         "keyword"
     }

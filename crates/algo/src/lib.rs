@@ -33,10 +33,10 @@ pub mod sssp;
 pub mod subiso;
 
 pub use cc::{CcProgram, CcQuery};
-pub use cf::{CfProgram, CfQuery};
-pub use keyword::{KeywordProgram, KeywordQuery};
-pub use marketing::{Gpar, MarketingProgram, MarketingQuery};
+pub use cf::{CfModel, CfProgram, CfQuery};
+pub use keyword::{KeywordAnswer, KeywordProgram, KeywordQuery};
+pub use marketing::{Gpar, MarketingProgram, MarketingQuery, Prospect};
 pub use pagerank::{PageRankProgram, PageRankQuery};
-pub use sim::{SimProgram, SimQuery, SimQueryError};
+pub use sim::{SimMatches, SimProgram, SimQuery, SimQueryError};
 pub use sssp::{SsspProgram, SsspQuery};
-pub use subiso::{SubIsoProgram, SubIsoQuery};
+pub use subiso::{Embeddings, SubIsoProgram, SubIsoQuery};

@@ -411,6 +411,41 @@ impl PieProgram for MarketingProgram {
         Some(new & old == *old)
     }
 
+    fn snapshot_partial(&self, partial: &MarketingPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Same layout as Vec<u8>: u32 length prefix, then elements.
+        out.extend_from_slice(&(partial.flags.len() as u32).to_le_bytes());
+        for flag in partial.flags.as_slice() {
+            flag.encode(&mut out);
+        }
+        (partial.prospects.len() as u32).encode(&mut out);
+        for p in &partial.prospects {
+            (p.person, p.recommend_ratio, p.followees).encode(&mut out);
+        }
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<MarketingPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let flags = Vec::<u8>::decode(&mut reader).ok()?;
+        let prospects = Vec::<(VertexId, f64, usize)>::decode(&mut reader)
+            .ok()?
+            .into_iter()
+            .map(|(person, recommend_ratio, followees)| Prospect {
+                person,
+                recommend_ratio,
+                followees,
+            })
+            .collect();
+        reader.finish().ok()?;
+        Some(MarketingPartial {
+            flags: VertexDenseMap::from_vec(flags),
+            prospects,
+        })
+    }
+
     fn name(&self) -> &str {
         "gpar-marketing"
     }

@@ -370,6 +370,58 @@ impl PieProgram for PageRankProgram {
         a.max(*b)
     }
 
+    fn snapshot_partial(&self, partial: &PageRankPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Dense maps use the Vec layout: u32 length prefix, then elements.
+        for dense in [&partial.rank, &partial.mirror_share, &partial.contrib] {
+            out.extend_from_slice(&(dense.len() as u32).to_le_bytes());
+            for value in dense.as_slice() {
+                value.encode(&mut out);
+            }
+        }
+        partial.inner_ids.encode(&mut out);
+        partial.inner_dense.encode(&mut out);
+        // The pending frontier: domain size, then the set indices. Restoring
+        // it exactly matters — a replacement with a stale frontier would
+        // re-sweep (or skip) different vertices than the lost worker.
+        (partial.pending.len() as u32).encode(&mut out);
+        partial
+            .pending
+            .iter_ones()
+            .collect::<Vec<u32>>()
+            .encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<PageRankPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let rank = Vec::<f64>::decode(&mut reader).ok()?;
+        let mirror_share = Vec::<f64>::decode(&mut reader).ok()?;
+        let contrib = Vec::<f64>::decode(&mut reader).ok()?;
+        let inner_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let inner_dense = Vec::<u32>::decode(&mut reader).ok()?;
+        let pending_len = u32::decode(&mut reader).ok()? as usize;
+        let pending_ones = Vec::<u32>::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        let mut pending = DenseBitset::new(pending_len);
+        for i in pending_ones {
+            if i as usize >= pending_len {
+                return None;
+            }
+            pending.set(i);
+        }
+        Some(PageRankPartial {
+            rank: VertexDenseMap::from_vec(rank),
+            mirror_share: VertexDenseMap::from_vec(mirror_share),
+            inner_ids,
+            inner_dense,
+            contrib: VertexDenseMap::from_vec(contrib),
+            pending,
+        })
+    }
+
     fn name(&self) -> &str {
         "pagerank"
     }
@@ -382,6 +434,42 @@ mod tests {
     use grape_graph::generators::{barabasi_albert, erdos_renyi};
     use grape_graph::GraphBuilder;
     use grape_partition::{BuiltinStrategy, HashPartitioner, Partitioner};
+
+    #[test]
+    fn partial_snapshot_roundtrips_bit_identically() {
+        let g = barabasi_albert(150, 2, 17).unwrap();
+        let assignment = HashPartitioner.partition(&g, 2);
+        let frags = grape_partition::build_fragments(&g, &assignment);
+        let program = PageRankProgram {
+            global_vertices: g.num_vertices(),
+        };
+        let mut ctx = PieContext::new();
+        let slots: Vec<u32> = (0..frags[1].border_vertices().len() as u32).collect();
+        ctx.configure_borders(frags[1].border_vertices(), &slots);
+        let mut partial = program.peval(&PageRankQuery::default(), &frags[1], &mut ctx);
+        // Leave a non-trivial pending frontier in the snapshot.
+        for &i in frags[1].inner_dense_indices().iter().take(3) {
+            partial.pending.set(i);
+        }
+        let bytes = program
+            .snapshot_partial(&partial)
+            .expect("pagerank snapshots");
+        let back = program.restore_partial(&bytes).expect("restore");
+        assert_eq!(partial.rank.as_slice(), back.rank.as_slice());
+        assert_eq!(
+            partial.mirror_share.as_slice(),
+            back.mirror_share.as_slice()
+        );
+        assert_eq!(partial.inner_ids, back.inner_ids);
+        assert_eq!(partial.inner_dense, back.inner_dense);
+        assert_eq!(partial.contrib.as_slice(), back.contrib.as_slice());
+        assert_eq!(
+            partial.pending.iter_ones().collect::<Vec<_>>(),
+            back.pending.iter_ones().collect::<Vec<_>>()
+        );
+        assert_eq!(partial.pending.len(), back.pending.len());
+        assert!(program.restore_partial(&bytes[..bytes.len() - 1]).is_none());
+    }
 
     #[test]
     fn sequential_pagerank_sums_to_one_even_with_dangling_vertices() {

@@ -470,6 +470,36 @@ impl PieProgram for SimProgram {
         Some(new & old == *new)
     }
 
+    fn snapshot_partial(&self, partial: &SimPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // Same layout as Vec<u64>: u32 length prefix, then elements.
+        out.extend_from_slice(&(partial.masks.len() as u32).to_le_bytes());
+        for mask in partial.masks.as_slice() {
+            mask.encode(&mut out);
+        }
+        partial.inner_ids.encode(&mut out);
+        partial.inner_dense.encode(&mut out);
+        partial.pattern_width.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<SimPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let masks = Vec::<u64>::decode(&mut reader).ok()?;
+        let inner_ids = Vec::<VertexId>::decode(&mut reader).ok()?;
+        let inner_dense = Vec::<u32>::decode(&mut reader).ok()?;
+        let pattern_width = usize::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        Some(SimPartial {
+            masks: VertexDenseMap::from_vec(masks),
+            inner_ids,
+            inner_dense,
+            pattern_width,
+        })
+    }
+
     fn name(&self) -> &str {
         "sim"
     }

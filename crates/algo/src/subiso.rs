@@ -681,6 +681,42 @@ impl PieProgram for SubIsoProgram {
         Some(new.contains(old))
     }
 
+    fn snapshot_partial(&self, partial: &SubIsoPartial) -> Option<Vec<u8>> {
+        use grape_core::Wire;
+        let mut out = Vec::new();
+        // The ordered stores serialize in their iteration order (ascending),
+        // so the encoding is canonical; the flat index is derived state and
+        // rebuilt on restore.
+        let labels: Vec<(VertexId, String)> = partial
+            .ext_labels
+            .iter()
+            .map(|(&v, l)| (v, l.clone()))
+            .collect();
+        labels.encode(&mut out);
+        let edges: Vec<(VertexId, VertexId, String)> = partial.ext_edges.iter().cloned().collect();
+        edges.encode(&mut out);
+        partial.matches.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore_partial(&self, bytes: &[u8]) -> Option<SubIsoPartial> {
+        use grape_core::{Wire, WireReader};
+        let mut reader = WireReader::new(bytes);
+        let labels = Vec::<(VertexId, String)>::decode(&mut reader).ok()?;
+        let edges = Vec::<(VertexId, VertexId, String)>::decode(&mut reader).ok()?;
+        let matches = Embeddings::decode(&mut reader).ok()?;
+        reader.finish().ok()?;
+        let ext_labels: BTreeMap<VertexId, String> = labels.into_iter().collect();
+        let ext_edges: BTreeSet<(VertexId, VertexId, String)> = edges.into_iter().collect();
+        let ext_index = ExtIndex::build(&ext_labels, &ext_edges);
+        Some(SubIsoPartial {
+            ext_labels,
+            ext_edges,
+            ext_index,
+            matches,
+        })
+    }
+
     fn name(&self) -> &str {
         "subiso"
     }

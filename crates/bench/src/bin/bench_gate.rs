@@ -21,10 +21,17 @@ use serde_json::Value;
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-/// Gated / reported metrics, in table order. `recovery_ms` only exists on
-/// the snapshot-capable single-threaded rows; rows without it simply have
-/// no entry (and a baseline without it reports "new metric (not gated)").
-const METRICS: [&str; 4] = ["wall_ms", "coord_ms", "framed_wall_ms", "recovery_ms"];
+/// Gated / reported metrics, in table order. `recovery_ms` (checkpoint
+/// cadence 1) and `recovery_k4_ms` (cadence 4) only exist on the
+/// single-threaded recovery-drill rows; rows without them simply have no
+/// entry (and a baseline without them reports "new metric (not gated)").
+const METRICS: [&str; 5] = [
+    "wall_ms",
+    "coord_ms",
+    "framed_wall_ms",
+    "recovery_ms",
+    "recovery_k4_ms",
+];
 
 struct BenchRow {
     key: String,

@@ -3,7 +3,7 @@
 //! Keyword, CF) on a labeled social graph and a bipartite rating graph —
 //! all through the full PIE engine, on both transport backends.
 //!
-//! Writes `BENCH_pr7.json` (or `BENCH_pr7_smoke.json` with `--smoke`) in the
+//! Writes `BENCH_pr8.json` (or `BENCH_pr8_smoke.json` with `--smoke`) in the
 //! current directory, one machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
@@ -21,12 +21,15 @@
 //! estimates) and `wire_mbps` the resulting codec throughput
 //! (`wire_bytes / framed_wall`).
 //!
-//! `recovery_ms` (single-threaded SSSP/CC rows only — the snapshot-capable
-//! algorithms) is the wall time of the same job over real TCP sockets with
-//! one worker killed at its first evaluation command: the fragment and last
-//! checkpoint are re-shipped to a replacement at a bumped epoch and the
-//! in-flight superstep replayed. The recovered digests are asserted
-//! bit-identical to the undisturbed run before the timing is accepted.
+//! `recovery_ms` (single-threaded SSSP/CC/PageRank rows) is the wall time
+//! of the same job over real TCP sockets with one worker killed at its
+//! first evaluation command: the fragment and last checkpoint are
+//! re-shipped to a replacement at a bumped epoch and the commands since
+//! that checkpoint replayed. `recovery_ms` runs checkpoint cadence 1
+//! (snapshot on every superstep — cheapest replay), `recovery_k4_ms` the
+//! same drill at cadence 4 (snapshot every 4th superstep — up to 4 replayed
+//! commands). The recovered digests are asserted bit-identical to the
+//! undisturbed run before the timing is accepted.
 //!
 //! Pass `--smoke` for a small configuration suitable for CI: same format,
 //! seconds instead of minutes. CI regression-gates `wall_ms` / `coord_ms` /
@@ -66,9 +69,12 @@ struct Row {
     framed_wall_ms: f64,
     /// Actual framed bytes shipped by the framed run (headers included).
     wire_bytes: u64,
-    /// Wall time of a TCP run with one injected worker kill at mid-run,
-    /// recovered from checkpoint (snapshot-capable algorithms only).
+    /// Wall time of a TCP run with one injected worker kill, recovered from
+    /// checkpoint at cadence 1 (snapshot every superstep).
     recovery_ms: Option<f64>,
+    /// The same recovery drill at checkpoint cadence 4: bounded replay of up
+    /// to 4 commands since the last snapshot.
+    recovery_k4_ms: Option<f64>,
 }
 
 impl Row {
@@ -87,10 +93,13 @@ impl Row {
     }
 
     fn to_json(&self) -> String {
-        let recovery = self
+        let mut recovery = self
             .recovery_ms
             .map(|ms| format!(", \"recovery_ms\": {ms:.3}"))
             .unwrap_or_default();
+        if let Some(ms) = self.recovery_k4_ms {
+            let _ = write!(recovery, ", \"recovery_k4_ms\": {ms:.3}");
+        }
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
              \"threads\": {}, \
@@ -185,6 +194,7 @@ where
         framed_wall_ms,
         wire_bytes: framed_stats.bytes,
         recovery_ms: None,
+        recovery_k4_ms: None,
     };
     eprintln!(
         "{:>8} on {:<5}: n={} m={} k={} t={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
@@ -208,8 +218,15 @@ where
 }
 
 /// Best-of-`reps` wall time of a TCP run with one worker killed and
-/// recovered from checkpoint, pinned bit-identical to the undisturbed run.
-fn recovery_best_ms(algo: &'static str, spec: &GraphSpec, k: u32, reps: usize) -> f64 {
+/// recovered from the last checkpoint (taken every `checkpoint_every`
+/// supersteps), pinned bit-identical to the undisturbed run.
+fn recovery_best_ms(
+    algo: &'static str,
+    spec: &GraphSpec,
+    k: u32,
+    checkpoint_every: u32,
+    reps: usize,
+) -> f64 {
     let job = JobSpec {
         algo: algo.into(),
         graph: spec.clone(),
@@ -219,7 +236,8 @@ fn recovery_best_ms(algo: &'static str, spec: &GraphSpec, k: u32, reps: usize) -
         source: 0,
         threads: 1,
         vertices: 0,
-        checkpoints: true,
+        checkpoint_every,
+        token: None,
     };
     let reference = run_local_framed(&job).expect("recovery reference run");
     // Kill at the victim's first evaluation command (its Init). The kill
@@ -251,9 +269,9 @@ fn main() {
     let k = 4;
     let reps = if smoke { 2 } else { 3 };
     let out_file = if smoke {
-        "BENCH_pr7_smoke.json"
+        "BENCH_pr8_smoke.json"
     } else {
-        "BENCH_pr7.json"
+        "BENCH_pr8.json"
     };
     // The thread axis: the four ported hot loops run once single-threaded
     // and once on a 4-thread pool (results are bit-identical; only the wall
@@ -300,15 +318,17 @@ fn main() {
                 reps,
             );
             if threads == 1 {
-                sssp.recovery_ms = Some(recovery_best_ms("sssp", spec, k as u32, reps));
+                sssp.recovery_ms = Some(recovery_best_ms("sssp", spec, k as u32, 1, reps));
+                sssp.recovery_k4_ms = Some(recovery_best_ms("sssp", spec, k as u32, 4, reps));
             }
             rows.push(sssp);
             let mut cc = run_case("cc", graph_name, CcProgram, &CcQuery, g, k, threads, reps);
             if threads == 1 {
-                cc.recovery_ms = Some(recovery_best_ms("cc", spec, k as u32, reps));
+                cc.recovery_ms = Some(recovery_best_ms("cc", spec, k as u32, 1, reps));
+                cc.recovery_k4_ms = Some(recovery_best_ms("cc", spec, k as u32, 4, reps));
             }
             rows.push(cc);
-            rows.push(run_case(
+            let mut pagerank = run_case(
                 "pagerank",
                 graph_name,
                 PageRankProgram::new(g.num_vertices()),
@@ -317,7 +337,13 @@ fn main() {
                 k,
                 threads,
                 reps,
-            ));
+            );
+            if threads == 1 {
+                pagerank.recovery_ms = Some(recovery_best_ms("pagerank", spec, k as u32, 1, reps));
+                pagerank.recovery_k4_ms =
+                    Some(recovery_best_ms("pagerank", spec, k as u32, 4, reps));
+            }
+            rows.push(pagerank);
         }
     }
 

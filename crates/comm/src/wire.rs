@@ -48,6 +48,14 @@ pub const MAGIC: [u8; 2] = *b"GW";
 /// 4-byte run-epoch field used to fence stale frames during recovery.
 pub const VERSION: u8 = 2;
 
+/// Frame tag of the worker→coordinator session greeting. The hello frame is
+/// the very first thing a connecting worker sends; its payload is the
+/// worker's `Option<String>` auth token, which the coordinator validates
+/// against its configured token before shipping the job. Defined here, next
+/// to the protocol constants, because it is session establishment rather
+/// than BSP traffic.
+pub const TAG_HELLO: u8 = 0x05;
+
 /// Size of the frame header: magic (2) + version (1) + tag (1) + epoch (4) +
 /// length (4).
 pub const HEADER_LEN: usize = 12;

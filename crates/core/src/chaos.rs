@@ -227,6 +227,10 @@ impl<V: Clone + Send, T: CoordTransport<V>> CoordTransport<V> for ChaosCoordTran
     fn failure(&self) -> Option<TransportError> {
         self.inner.failure()
     }
+
+    fn failures(&self) -> Vec<TransportError> {
+        self.inner.failures()
+    }
 }
 
 #[cfg(test)]

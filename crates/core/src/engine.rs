@@ -257,9 +257,16 @@ struct WorkerRuntime<'a, P: PieProgram> {
     messages: Vec<(VertexId, P::Value)>,
     /// The fragment's partial result; `Some` once PEval has run.
     partial: Option<P::Partial>,
-    /// Attach a [`CheckpointState`] to every report, so the coordinator can
-    /// re-place this fragment after a worker loss.
-    checkpoints: bool,
+    /// Checkpoint cadence: a [`CheckpointState`] is attached to the *first*
+    /// report of every `checkpoint_every`-superstep window (so superstep 0
+    /// always snapshots, and an idle superstep cannot silently skip a
+    /// window). `0` disables checkpoints entirely.
+    checkpoint_every: usize,
+    /// The window (`superstep / checkpoint_every`) of the last report sent,
+    /// used to detect the first report of a fresh window. A replacement
+    /// worker starts at `None` and therefore re-checkpoints on its first
+    /// accepted report, re-arming the coordinator's bounded command log.
+    reported_window: Option<usize>,
 }
 
 /// What [`WorkerRuntime::handle`] asks the surrounding loop to do.
@@ -290,7 +297,8 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
             slot_translation: SlotTranslation::Dense(Vec::new()),
             messages: Vec::new(),
             partial: None,
-            checkpoints: false,
+            checkpoint_every: 0,
+            reported_window: None,
         }
     }
 
@@ -373,10 +381,10 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
     }
 
     /// Drains the context's dirty border slots into `changes` (a recycled
-    /// buffer) and builds the superstep report, attaching a checkpoint when
-    /// the run wants them. The checkpoint is taken *after* the drain, so it
-    /// captures exactly the state the coordinator will believe this worker
-    /// to be in once the report lands.
+    /// buffer) and builds the superstep report, attaching a checkpoint on
+    /// the cadence the run asked for. The checkpoint is taken *after* the
+    /// drain, so it captures exactly the state the coordinator will believe
+    /// this worker to be in once the report lands.
     fn report(
         &mut self,
         superstep: usize,
@@ -385,7 +393,17 @@ impl<'a, P: PieProgram> WorkerRuntime<'a, P> {
     ) -> WorkerReport<P::Value> {
         let mut strays = Vec::new();
         self.ctx.drain_dirty_into(&mut changes, &mut strays);
-        let checkpoint = if self.checkpoints {
+        // Cadence: snapshot on the first report of each
+        // `checkpoint_every`-superstep window. The window is a pure function
+        // of the superstep number, so recovered runs attach checkpoints at
+        // the same supersteps as undisturbed ones.
+        let snapshot_due = self.checkpoint_every > 0 && {
+            let window = superstep / self.checkpoint_every;
+            let due = self.reported_window != Some(window);
+            self.reported_window = Some(window);
+            due
+        };
+        let checkpoint = if snapshot_due {
             let partial = self.partial.as_ref().expect("report implies PEval ran");
             self.program
                 .snapshot_partial(partial)
@@ -431,14 +449,16 @@ pub fn run_worker<P: PieProgram>(
     transport: &impl WorkerTransport<P::Value>,
     threads: usize,
 ) -> P::Partial {
-    run_worker_with(program, query, fragment, transport, threads, false)
+    run_worker_with(program, query, fragment, transport, threads, 0)
         .expect("every worker ran PEval")
 }
 
-/// [`run_worker`] with control over checkpointing: when `checkpoints` is
-/// true every report carries a [`CheckpointState`] (if the program supports
-/// snapshots), which is what makes the coordinator's worker-loss recovery
-/// possible.
+/// [`run_worker`] with control over the checkpoint cadence: with
+/// `checkpoint_every = k > 0` the first report of every k-superstep window
+/// carries a [`CheckpointState`] (if the program supports snapshots), which
+/// is what makes the coordinator's worker-loss recovery cheap — `k = 1`
+/// snapshots every superstep, larger `k` amortizes the snapshot cost against
+/// a bounded command replay. `0` disables checkpoints.
 ///
 /// Returns `None` only when the connection was torn down before PEval ever
 /// produced a partial — a worker killed at its Init command has no result,
@@ -449,11 +469,11 @@ pub fn run_worker_with<P: PieProgram>(
     fragment: &Fragment<P::VertexData, P::EdgeData>,
     transport: &impl WorkerTransport<P::Value>,
     threads: usize,
-    checkpoints: bool,
+    checkpoint_every: usize,
 ) -> Option<P::Partial> {
     let pool = Arc::new(ThreadPool::new(threads));
     let mut worker = WorkerRuntime::new(program, query, fragment, pool);
-    worker.checkpoints = checkpoints;
+    worker.checkpoint_every = checkpoint_every;
     loop {
         let batch = transport.recv_blocking();
         if batch.is_empty() {
@@ -491,7 +511,7 @@ pub enum ExecutionMode {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Hard limit on supersteps; exceeded only by non-terminating (e.g.
     /// non-monotonic) programs.
@@ -517,6 +537,19 @@ pub struct EngineConfig {
     /// forever). Only stream transports enforce it — the in-process channel
     /// backends cannot lose workers.
     pub read_timeout: Option<Duration>,
+    /// Checkpoint cadence for recoverable runs: workers attach a
+    /// [`CheckpointState`] to the first report of every
+    /// `checkpoint_every`-superstep window, and the coordinator replays the
+    /// (bounded) log of commands sent since the last checkpoint when it
+    /// restores a replacement. `1` snapshots every superstep, larger values
+    /// amortize the snapshot cost against a longer replay, `0` disables
+    /// checkpoints. Recovered runs are bit-identical for every cadence.
+    pub checkpoint_every: usize,
+    /// Shared-secret handshake token. When set, stream-transport workers
+    /// must present the same token in their hello frame before the
+    /// coordinator ships them a job; mismatched or missing tokens are
+    /// rejected with a typed error. `None` accepts every connection.
+    pub auth_token: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -528,6 +561,8 @@ impl Default for EngineConfig {
             transport: TransportKind::InProcess,
             threads_per_worker: ThreadCount::Auto,
             read_timeout: Some(transport::DEFAULT_READ_TIMEOUT),
+            checkpoint_every: 0,
+            auth_token: None,
         }
     }
 }
@@ -545,8 +580,8 @@ pub enum RunError {
     /// timeout); see [`TransportError`].
     Transport(TransportError),
     /// A worker was lost and recovery could not resume the run: respawning
-    /// the replacement failed, the program does not snapshot its state, or
-    /// replacements kept dying.
+    /// the replacement failed, or a single worker exhausted its per-worker
+    /// crash-loop budget (replacements kept dying).
     RecoveryFailed(String),
 }
 
@@ -571,26 +606,31 @@ impl std::error::Error for RunError {}
 
 /// Bookkeeping the coordinator keeps while a run is recoverable: everything
 /// needed to rebuild a lost worker's world — its border→slot mapping, its
-/// last accepted checkpoint, and the command in flight to it — plus the run
-/// epoch that fences stale traffic. Built by
+/// last accepted checkpoint, and the log of commands sent since that
+/// checkpoint — plus the run epoch that fences stale traffic. Built by
 /// [`GrapeEngine::run_coordinator_recoverable`].
 struct RecoveryCtx<'a, V> {
     /// Per-fragment border→slot mapping (what Init shipped), re-shipped via
     /// [`CoordCommand::Resume`] to a replacement worker.
     fragment_slots: Vec<Vec<u32>>,
-    /// Each worker's checkpoint from its last accepted report.
+    /// Each worker's checkpoint from its last accepted checkpoint-bearing
+    /// report.
     checkpoints: Vec<Option<CheckpointState<V>>>,
-    /// Whether a worker ever had a report accepted. A lost worker without a
-    /// checkpoint can only be recovered by a fresh PEval, which is only
-    /// deterministic if nothing of its work was consumed yet (superstep 0).
-    ever_reported: Vec<bool>,
-    /// The last evaluation command sent to each worker, replayed to a
-    /// replacement that died mid-superstep.
-    last_sent: Vec<Option<CoordCommand<V>>>,
+    /// Every evaluation command sent to each worker since its last accepted
+    /// checkpoint, replayed in order to a replacement after its state is
+    /// restored. Bounded by the checkpoint cadence: a fresh checkpoint
+    /// clears the log, so it holds at most ~`checkpoint_every` entries (a
+    /// program without snapshot support never checkpoints, and its log is
+    /// its full lineage — replaying it from PEval is still deterministic).
+    log: Vec<Vec<CoordCommand<V>>>,
+    /// Per-worker recovery attempts, the crash-loop budget: a single worker
+    /// may be recovered at most [`MAX_RECOVERIES`] times, with deterministic
+    /// exponential backoff between repeated respawns of the same worker.
+    attempts: Vec<usize>,
     /// Current run epoch; bumped on every recovery so frames from the dead
     /// connection are fenced at the transport.
     epoch: u32,
-    /// How many recoveries this run performed (reported in
+    /// How many recoveries this run performed in total (reported in
     /// [`RunStats::recoveries`]).
     recoveries: usize,
     /// Produces a replacement connection for `(worker, epoch)`: respawn or
@@ -599,10 +639,20 @@ struct RecoveryCtx<'a, V> {
     recover: &'a mut dyn FnMut(usize, u32) -> Result<(), String>,
 }
 
-/// Hard cap on recoveries per run, so a crash-looping replacement (e.g. a
-/// bad host that kills every worker placed on it) surfaces as a typed error
-/// instead of an endless respawn loop.
-const MAX_RECOVERIES: usize = 64;
+/// Per-worker crash-loop budget: one worker may be recovered at most this
+/// many times per run before the coordinator gives up, so a bad host that
+/// kills every replacement placed on it surfaces as a typed error instead of
+/// an endless respawn loop. The budget is per worker — concurrent failures
+/// across the fleet do not consume each other's.
+const MAX_RECOVERIES: usize = 5;
+
+/// Base delay of the deterministic exponential backoff between repeated
+/// respawns of the *same* worker. The first recovery of a worker is
+/// immediate; its n-th waits `BASE << min(n - 2, DOUBLINGS)` first.
+const RESPAWN_BACKOFF_BASE: Duration = Duration::from_millis(20);
+
+/// Cap on backoff doublings (maximum sleep = base << cap = 320ms).
+const RESPAWN_BACKOFF_DOUBLINGS: u32 = 4;
 
 /// The answer of a run plus its statistics.
 #[derive(Debug)]
@@ -745,15 +795,20 @@ impl<P: PieProgram> GrapeEngine<P> {
         Ok(stats_out)
     }
 
-    /// [`GrapeEngine::run_coordinator`] with worker-loss recovery: the run
-    /// requests a checkpoint with every report, and when the transport loses
-    /// a worker the coordinator bumps the run epoch, asks `recover` for a
-    /// replacement connection (respawn + fragment re-ship +
+    /// [`GrapeEngine::run_coordinator`] with worker-loss recovery: workers
+    /// attach checkpoints on the [`EngineConfig::checkpoint_every`] cadence,
+    /// and when the transport loses workers the coordinator recovers the
+    /// whole batch — for each victim it bumps the run epoch, asks `recover`
+    /// for a replacement connection (respawn + fragment re-ship +
     /// [`transport::FramedStreamCoord::replace_worker`]), restores the lost
     /// worker's last checkpoint via [`CoordCommand::Resume`], replays the
-    /// superstep in flight, and continues. Recovered runs are bit-identical
-    /// to undisturbed ones: same supersteps, same folded values, same final
-    /// answer.
+    /// logged commands sent since that checkpoint in order, and continues.
+    /// Replayed intermediate reports are deduplicated, so recovered runs are
+    /// bit-identical to undisturbed ones for any cadence: same supersteps,
+    /// same folded values, same final answer. A replacement dying mid-replay
+    /// re-enters recovery through the same path; each worker has a
+    /// crash-loop budget of [`MAX_RECOVERIES`] attempts with deterministic
+    /// exponential backoff between repeated respawns.
     ///
     /// `recover` is called with `(worker, new_epoch)` and must leave the
     /// transport ready to ship commands to the replacement at that epoch.
@@ -781,8 +836,8 @@ impl<P: PieProgram> GrapeEngine<P> {
         let mut rec = RecoveryCtx {
             fragment_slots,
             checkpoints: (0..n).map(|_| None).collect(),
-            ever_reported: vec![false; n],
-            last_sent: (0..n).map(|_| None).collect(),
+            log: (0..n).map(|_| Vec::new()).collect(),
+            attempts: vec![0; n],
             epoch: 0,
             recoveries: 0,
             recover,
@@ -822,8 +877,10 @@ impl<P: PieProgram> GrapeEngine<P> {
     }
 
     /// Handles a lost-worker transport error inside the gather loop:
-    /// identifies the lost set, spins up replacements at a bumped epoch, and
-    /// re-seeds them with their checkpoint plus the in-flight command.
+    /// identifies the *whole* lost set (every failure the transport has
+    /// recorded, so same-superstep losses recover as one batch), spins up
+    /// replacements at bumped epochs, and re-seeds each with its checkpoint
+    /// plus the logged commands sent since it.
     #[allow(clippy::too_many_arguments)]
     fn recover_lost_workers(
         rec: &mut RecoveryCtx<'_, P::Value>,
@@ -835,64 +892,76 @@ impl<P: PieProgram> GrapeEngine<P> {
         n: usize,
     ) -> Result<(), RunError> {
         // Only worker loss is recoverable; everything else propagates.
-        let RunError::Transport(TransportError::WorkerLost { worker, reason }) = err else {
+        let RunError::Transport(TransportError::WorkerLost { .. }) = err else {
             return Err(err.clone());
         };
-        let lost: Vec<usize> = match worker {
-            Some(w) => vec![*w],
+        // Drain every recorded failure so concurrent losses are handled in
+        // one wave instead of one round trip through the gather loop each.
+        let mut lost: Vec<(usize, String)> = Vec::new();
+        let mut anonymous = false;
+        for failure in transport.failures() {
+            let TransportError::WorkerLost { worker, reason } = failure;
+            match worker {
+                Some(w) if !lost.iter().any(|(l, _)| *l == w) => lost.push((w, reason)),
+                Some(_) => {}
+                None => anonymous = true,
+            }
+        }
+        if anonymous {
             // A read timeout fires without naming anyone: whoever still owes
             // this superstep a report is considered lost.
-            None => (0..n).filter(|&w| awaiting[w] && !got[w]).collect(),
-        };
+            for w in 0..n {
+                if awaiting[w] && !got[w] && !lost.iter().any(|(l, _)| *l == w) {
+                    lost.push((w, "no report within the read timeout".into()));
+                }
+            }
+        }
         if lost.is_empty() {
             return Err(err.clone());
         }
-        for &w in &lost {
-            if rec.recoveries >= MAX_RECOVERIES {
+        lost.sort_by_key(|&(w, _)| w);
+        for (w, reason) in lost {
+            rec.attempts[w] += 1;
+            if rec.attempts[w] > MAX_RECOVERIES {
                 return Err(RunError::RecoveryFailed(format!(
-                    "gave up after {MAX_RECOVERIES} recoveries (worker {w} lost again: {reason})"
+                    "worker {w} exhausted its crash-loop budget of {MAX_RECOVERIES} \
+                     recoveries (lost again: {reason})"
                 )));
             }
-            // A worker that reported at least once but never produced a
-            // checkpoint runs a program without snapshot support; its state
-            // is unrecoverable (a fresh PEval would replay work the fold
-            // already consumed).
-            if rec.checkpoints[w].is_none() && rec.ever_reported[w] {
-                return Err(RunError::RecoveryFailed(format!(
-                    "worker {w} was lost at superstep {superstep} but its program does not \
-                     snapshot state (no checkpoint to restore)"
-                )));
+            // Deterministic exponential backoff between repeated respawns of
+            // the same worker: its first recovery is immediate, a
+            // crash-looping one waits 20ms, 40ms, ... capped at 320ms.
+            if rec.attempts[w] > 1 {
+                let doublings = (rec.attempts[w] as u32 - 2).min(RESPAWN_BACKOFF_DOUBLINGS);
+                std::thread::sleep(RESPAWN_BACKOFF_BASE * (1u32 << doublings));
             }
             rec.epoch += 1;
             rec.recoveries += 1;
             eprintln!(
                 "coordinator: recovering worker {w} at superstep {superstep} \
-                 (epoch {}): {reason}",
-                rec.epoch
+                 (epoch {}, attempt {}): {reason}",
+                rec.epoch, rec.attempts[w]
             );
             (rec.recover)(w, rec.epoch).map_err(|e| {
                 RunError::RecoveryFailed(format!("could not replace worker {w}: {e}"))
             })?;
-            let checkpoint = rec.checkpoints[w].clone();
-            // Replay only what was actually in flight: a worker that died
-            // while idle (not awaited) just needs its state back; one that
-            // died mid-evaluation also re-runs the superstep's command. The
-            // no-checkpoint case is a superstep-0 death, where Resume itself
-            // triggers the PEval (and its report) — replaying Init too would
-            // double-report.
-            let replay = checkpoint.is_some() && awaiting[w] && !got[w];
+            // Restore the last checkpoint, then replay every command sent
+            // since it, in order. The replacement re-evaluates those
+            // supersteps deterministically and the gather loop drops the
+            // replayed intermediate reports as out-of-phase, so only the
+            // live superstep's report is folded. With no checkpoint at all
+            // (a superstep-0 death, or a program without snapshot support)
+            // Resume itself triggers a fresh PEval and the log holds the
+            // full lineage since superstep 0 — same replay, longer.
             transport.send(
                 w,
                 CoordCommand::Resume {
                     superstep,
                     border_slots: rec.fragment_slots[w].clone(),
-                    checkpoint,
+                    checkpoint: rec.checkpoints[w].clone(),
                 },
             );
-            if replay {
-                let command = rec.last_sent[w]
-                    .clone()
-                    .expect("awaited workers past superstep 0 were sent a command");
+            for command in rec.log[w].clone() {
                 transport.send(w, command);
             }
         }
@@ -928,7 +997,7 @@ impl<P: PieProgram> GrapeEngine<P> {
         }
 
         let program = Arc::clone(&self.program);
-        let config = self.config;
+        let config = self.config.clone();
         let inline = match config.execution {
             ExecutionMode::Inline => true,
             ExecutionMode::Threads => false,
@@ -950,7 +1019,11 @@ impl<P: PieProgram> GrapeEngine<P> {
             let pool = Arc::new(ThreadPool::new(threads));
             let mut workers: Vec<WorkerRuntime<'_, P>> = fragments
                 .iter()
-                .map(|fragment| WorkerRuntime::new(&*program, query, fragment, Arc::clone(&pool)))
+                .map(|fragment| {
+                    let mut w = WorkerRuntime::new(&*program, query, fragment, Arc::clone(&pool));
+                    w.checkpoint_every = config.checkpoint_every;
+                    w
+                })
                 .collect();
             let coordination =
                 Self::coordinate(&program, &config, n, &mut slots, &coord, true, None, || {
@@ -982,11 +1055,13 @@ impl<P: PieProgram> GrapeEngine<P> {
             std::thread::scope(|scope| {
                 // ---------------- threaded driver ----------------
                 let mut handles = Vec::with_capacity(n);
+                let checkpoint_every = config.checkpoint_every;
                 for (fragment, wt) in fragments.iter().zip(worker_transports) {
                     let program = Arc::clone(&program);
-                    handles.push(
-                        scope.spawn(move || run_worker(&*program, query, fragment, &wt, threads)),
-                    );
+                    handles.push(scope.spawn(move || {
+                        run_worker_with(&*program, query, fragment, &wt, threads, checkpoint_every)
+                            .expect("every worker ran PEval")
+                    }));
                 }
 
                 // ---------------- coordinator ----------------
@@ -1121,9 +1196,13 @@ impl<P: PieProgram> GrapeEngine<P> {
                             );
                             continue;
                         }
-                        rec.ever_reported[from] = true;
                         if let Some(cp) = checkpoint {
+                            // A fresh checkpoint supersedes the command log:
+                            // everything sent up to this report is baked into
+                            // the snapshot, so the replayable history resets.
+                            // This is what bounds the log to the cadence.
                             rec.checkpoints[from] = Some(cp);
+                            rec.log[from].clear();
                         }
                     }
                     got[from] = true;
@@ -1135,6 +1214,12 @@ impl<P: PieProgram> GrapeEngine<P> {
             // slots — two indexed loads per changed value, no hashing. Each
             // slot keeps the aggregated value plus a worker bitmask of who
             // already holds it (those workers do not need an echo).
+            //
+            // Fold in worker order, not arrival order: concurrent transports
+            // deliver reports in whatever order the wire produced them, and
+            // order-sensitive aggregates (float sums, CF's averaging) must
+            // still fold identically to the serialized reference.
+            reports.sort_unstable_by_key(|&(from, ..)| from);
             slots.begin_superstep();
             let mut changed_parameters = 0usize;
             let mut max_eval = 0.0f64;
@@ -1252,10 +1337,10 @@ impl<P: PieProgram> GrapeEngine<P> {
                     let updates = std::mem::replace(buffer, pool.pop().unwrap_or_default());
                     let command = CoordCommand::IncEval { superstep, updates };
                     if let Some(rec) = recovery.as_deref_mut() {
-                        // Remember what is in flight: if this worker dies
-                        // before reporting, its replacement restores the
-                        // checkpoint and replays exactly this command.
-                        rec.last_sent[f] = Some(command.clone());
+                        // Log what is in flight: if this worker dies before
+                        // its next checkpoint, its replacement restores the
+                        // last checkpoint and replays this log in order.
+                        rec.log[f].push(command.clone());
                     }
                     transport.send(f, command);
                     pending += 1;

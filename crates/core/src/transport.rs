@@ -109,6 +109,15 @@ pub trait CoordTransport<V>: Send {
     fn failure(&self) -> Option<TransportError> {
         None
     }
+
+    /// Every failure the transport has recorded so far, so a recovering
+    /// coordinator can treat same-superstep losses as one batch (one epoch
+    /// bump and one replay wave per victim) instead of discovering them one
+    /// gather round trip at a time. Defaults to at most the single failure
+    /// reported by [`CoordTransport::failure`].
+    fn failures(&self) -> Vec<TransportError> {
+        self.failure().into_iter().collect()
+    }
 }
 
 /// One worker's endpoint of a transport.
@@ -711,6 +720,10 @@ impl<V: Wire + Send + 'static> CoordTransport<V> for FramedStreamCoord<V> {
 
     fn failure(&self) -> Option<TransportError> {
         self.failures.lock().unwrap().first().cloned()
+    }
+
+    fn failures(&self) -> Vec<TransportError> {
+        self.failures.lock().unwrap().clone()
     }
 }
 

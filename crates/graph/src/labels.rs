@@ -10,6 +10,7 @@
 
 use crate::csr::CsrGraph;
 use crate::types::{GraphError, VertexId};
+use grape_comm::wire::{Wire, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 
 /// A vertex label: an interned small string such as `"person"`.
@@ -60,6 +61,33 @@ impl LabeledVertex {
     /// Whether the vertex carries the given keyword.
     pub fn has_keyword(&self, kw: &str) -> bool {
         self.keywords.iter().any(|k| k == kw)
+    }
+}
+
+impl Wire for VertexLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out)
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(VertexLabel(String::decode(reader)?))
+    }
+}
+
+// Labeled vertices ship over the fragment-placement codec exactly like the
+// numeric payloads of the traversal classes, so the pattern-matching query
+// classes run multi-process too.
+impl Wire for LabeledVertex {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.label.encode(out);
+        self.keywords.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            label: VertexLabel::decode(reader)?,
+            keywords: Vec::<String>::decode(reader)?,
+        })
     }
 }
 
@@ -259,5 +287,17 @@ mod tests {
     fn display_and_from_for_labels() {
         let l: VertexLabel = "city".into();
         assert_eq!(l.to_string(), "city");
+    }
+
+    #[test]
+    fn labeled_vertices_roundtrip_on_the_wire() {
+        let v = LabeledVertex::with_keywords("product", ["phone", "huawei"]);
+        let bytes = v.encode_to_vec();
+        let mut reader = WireReader::new(&bytes);
+        assert_eq!(LabeledVertex::decode(&mut reader).unwrap(), v);
+        reader.finish().unwrap();
+        // Truncated payloads are rejected, not misread.
+        let mut truncated = WireReader::new(&bytes[..bytes.len() - 1]);
+        assert!(LabeledVertex::decode(&mut truncated).is_err());
     }
 }

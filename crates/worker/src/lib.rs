@@ -8,40 +8,54 @@
 //! ([`grape_core::GrapeEngine::run_coordinator`]); each worker process owns
 //! one fragment and runs the *unchanged* PIE program through
 //! [`grape_core::run_worker`] — the same function the in-process threaded
-//! driver uses, pointed at a socket instead of a channel.
+//! driver uses, pointed at a socket instead of a channel. Every query class
+//! of the paper is served: the traversal/ML classes (`sssp`, `cc`,
+//! `pagerank`, `cf`) on weighted graphs and the pattern-matching classes
+//! (`sim`, `subiso`, `keyword`, `marketing`) on labeled social graphs.
 //!
 //! ## Session protocol
 //!
-//! 1. the worker connects and the coordinator sends one epoch-stamped
-//!    [`TAG_JOB`] frame — a [`JobSpec`] naming the algorithm, the partition
-//!    strategy, the worker count and this worker's fragment index — followed
-//!    by one [`TAG_FRAGMENT`] frame *shipping the fragment itself* (CSR
-//!    edges, border tables, weights). The worker adopts the job frame's
-//!    epoch as its run epoch; it never regenerates the graph locally;
-//! 2. the worker rebuilds the fragment from the shipped bytes
+//! 1. the worker connects and sends one [`TAG_HELLO`] frame carrying its
+//!    `Option<String>` auth token. The coordinator validates it against
+//!    [`EngineConfig::auth_token`] and rejects mismatched or missing tokens
+//!    with a typed `PermissionDenied` error before any job state is shipped;
+//! 2. the coordinator sends one epoch-stamped [`TAG_JOB`] frame — a
+//!    [`JobSpec`] naming the algorithm, the partition strategy, the worker
+//!    count and this worker's fragment index — followed by one
+//!    [`TAG_FRAGMENT`] frame *shipping the fragment itself* (CSR edges,
+//!    border tables, payloads). The worker adopts the job frame's epoch as
+//!    its run epoch; it never regenerates the graph locally;
+//! 3. the worker rebuilds the fragment from the shipped bytes
 //!    (bit-identical to a locally cut one) and enters the BSP loop:
 //!    `Init` → PEval report → (`IncEval` → report)* → `Finish`;
-//! 3. after `Finish` the worker assembles its own partial result, sends a
-//!    [`TAG_DIGEST`] frame (an order-independent FNV digest of the
-//!    `(vertex, value-bits)` pairs), and exits. The coordinator collects one
-//!    digest per worker, which the tests compare bit-for-bit against an
-//!    in-process run of the same job.
+//! 4. after `Finish` the worker assembles its own partial result, sends a
+//!    [`TAG_DIGEST`] frame (an order-independent FNV digest of the encoded
+//!    result items), and exits. The coordinator collects one digest per
+//!    worker, which the tests compare bit-for-bit against an in-process run
+//!    of the same job.
 //!
 //! ## Fault tolerance
 //!
-//! With [`JobSpec::checkpoints`] set, every worker report carries a snapshot
-//! of its dense local state, and
-//! [`run_coordinator_connections_recoverable`] survives worker loss: the
-//! run epoch is bumped, a replacement process is spawned and handed the lost
-//! fragment plus the last checkpoint at the new epoch, the in-flight
-//! superstep is replayed, and frames still in flight from the dead
-//! connection are fenced by their stale epoch tag. Recovered runs are
-//! bit-identical to undisturbed ones.
+//! With [`JobSpec::checkpoint_every`] = k ≥ 1, every worker snapshots its
+//! dense local state onto the first accepted report of each k-superstep
+//! window, and [`run_coordinator_connections_recoverable`] survives worker
+//! loss: the run epoch is bumped, a replacement process is spawned, handed
+//! the lost fragment plus the last checkpoint at the new epoch, and the (at
+//! most k) commands sent since that checkpoint are replayed in order. Frames
+//! still in flight from the dead connection are fenced by their stale epoch
+//! tag. Same-superstep losses are recovered as a batch; each worker has a
+//! crash-loop budget with exponential respawn backoff. Recovered runs are
+//! bit-identical to undisturbed ones for every query class and every
+//! cadence.
 
 #![warn(missing_docs)]
 
-use grape_algo::{CcProgram, CcQuery, PageRankProgram, PageRankQuery, SsspProgram, SsspQuery};
-use grape_comm::wire::{self, Wire, WireError, WireReader};
+use grape_algo::{
+    CcProgram, CcQuery, CfModel, CfProgram, CfQuery, Embeddings, KeywordAnswer, KeywordProgram,
+    KeywordQuery, MarketingProgram, MarketingQuery, PageRankProgram, PageRankQuery, Prospect,
+    SimMatches, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
+};
+use grape_comm::wire::{self, Wire, WireError, WireReader, TAG_HELLO};
 use grape_comm::CommStats;
 use grape_core::chaos::{ChaosConfig, ChaosWorkerTransport};
 use grape_core::engine::run_worker_with;
@@ -53,7 +67,10 @@ use grape_core::{
     decode_fragment, encode_fragment_epoch, EngineConfig, GrapeEngine, PieProgram, RunStats,
     TAG_FRAGMENT,
 };
-use grape_graph::generators::{barabasi_albert, road_network, RoadNetworkConfig};
+use grape_graph::generators::{
+    barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
+};
+use grape_graph::labels::{LabeledGraph, LabeledVertex, PatternGraph};
 use grape_graph::{VertexId, WeightedGraph};
 use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
 use std::collections::HashMap;
@@ -77,7 +94,7 @@ pub enum GraphSpec {
         /// Grid height.
         height: u32,
         /// Generator seed.
-        seed: u64,
+        seed: u32,
     },
     /// `barabasi_albert(n, m, seed)`.
     Ba {
@@ -86,7 +103,18 @@ pub enum GraphSpec {
         /// Edges per new vertex.
         m: u32,
         /// Generator seed.
-        seed: u64,
+        seed: u32,
+    },
+    /// `labeled_social(persons, products, seed)` — the labeled property
+    /// graph the pattern-matching classes (`sim`, `subiso`, `keyword`,
+    /// `marketing`) run on.
+    Social {
+        /// Number of `person` vertices.
+        persons: u32,
+        /// Number of `product` vertices.
+        products: u32,
+        /// Generator seed.
+        seed: u32,
     },
 }
 
@@ -109,6 +137,16 @@ impl Wire for GraphSpec {
                 m.encode(out);
                 seed.encode(out);
             }
+            GraphSpec::Social {
+                persons,
+                products,
+                seed,
+            } => {
+                2u8.encode(out);
+                persons.encode(out);
+                products.encode(out);
+                seed.encode(out);
+            }
         }
     }
 
@@ -117,12 +155,17 @@ impl Wire for GraphSpec {
             0 => Ok(GraphSpec::Road {
                 width: reader.u32()?,
                 height: reader.u32()?,
-                seed: reader.u64()?,
+                seed: reader.u32()?,
             }),
             1 => Ok(GraphSpec::Ba {
                 n: reader.u32()?,
                 m: reader.u32()?,
-                seed: reader.u64()?,
+                seed: reader.u32()?,
+            }),
+            2 => Ok(GraphSpec::Social {
+                persons: reader.u32()?,
+                products: reader.u32()?,
+                seed: reader.u32()?,
             }),
             other => Err(WireError::BadTag { found: other }),
         }
@@ -130,11 +173,11 @@ impl Wire for GraphSpec {
 }
 
 impl GraphSpec {
-    /// Parses `road:WxH:SEED` or `ba:N:M:SEED`.
+    /// Parses `road:WxH:SEED`, `ba:N:M:SEED` or `social:P:R:SEED`.
     pub fn parse(text: &str) -> Result<Self, String> {
         let parts: Vec<&str> = text.split(':').collect();
-        let num = |s: &str| -> Result<u64, String> {
-            s.parse::<u64>().map_err(|_| format!("bad number {s:?}"))
+        let num = |s: &str| -> Result<u32, String> {
+            s.parse::<u32>().map_err(|_| format!("bad number {s:?}"))
         };
         match parts.as_slice() {
             ["road", dims, seed] => {
@@ -142,41 +185,24 @@ impl GraphSpec {
                     .split_once('x')
                     .ok_or_else(|| format!("bad dimensions {dims:?}, expected WxH"))?;
                 Ok(GraphSpec::Road {
-                    width: num(w)? as u32,
-                    height: num(h)? as u32,
+                    width: num(w)?,
+                    height: num(h)?,
                     seed: num(seed)?,
                 })
             }
             ["ba", n, m, seed] => Ok(GraphSpec::Ba {
-                n: num(n)? as u32,
-                m: num(m)? as u32,
+                n: num(n)?,
+                m: num(m)?,
+                seed: num(seed)?,
+            }),
+            ["social", persons, products, seed] => Ok(GraphSpec::Social {
+                persons: num(persons)?,
+                products: num(products)?,
                 seed: num(seed)?,
             }),
             _ => Err(format!(
-                "bad graph spec {text:?}; expected road:WxH:SEED or ba:N:M:SEED"
+                "bad graph spec {text:?}; expected road:WxH:SEED, ba:N:M:SEED or social:P:R:SEED"
             )),
-        }
-    }
-
-    /// Builds the graph this spec describes.
-    pub fn build(&self) -> WeightedGraph {
-        match self {
-            GraphSpec::Road {
-                width,
-                height,
-                seed,
-            } => road_network(
-                RoadNetworkConfig {
-                    width: *width as usize,
-                    height: *height as usize,
-                    ..Default::default()
-                },
-                *seed,
-            )
-            .expect("valid road-network spec"),
-            GraphSpec::Ba { n, m, seed } => {
-                barabasi_albert(*n as usize, *m as usize, *seed).expect("valid BA spec")
-            }
         }
     }
 }
@@ -184,7 +210,8 @@ impl GraphSpec {
 /// Everything a worker process needs to participate in one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
-    /// Algorithm name: `sssp`, `cc` or `pagerank`.
+    /// Algorithm name: `sssp`, `cc`, `pagerank`, `cf` (weighted graphs) or
+    /// `sim`, `subiso`, `keyword`, `marketing` (labeled social graphs).
     pub algo: String,
     /// The graph both endpoints rebuild.
     pub graph: GraphSpec,
@@ -194,7 +221,8 @@ pub struct JobSpec {
     pub workers: u32,
     /// This worker's fragment index (set per connection by the coordinator).
     pub index: u32,
-    /// SSSP source vertex (ignored by other algorithms).
+    /// Query anchor vertex: the SSSP source; the promoted product for
+    /// `marketing` (0 = the graph's first product). Ignored elsewhere.
     pub source: u64,
     /// Intra-worker threads for the PIE hot loops (0 = auto: physical cores
     /// divided by the worker count).
@@ -202,9 +230,14 @@ pub struct JobSpec {
     /// Global vertex count, filled in by the coordinator when it ships the
     /// job (workers no longer build the graph, and PageRank needs |V|).
     pub vertices: u64,
-    /// Ask every worker report to carry a checkpoint of its dense local
-    /// state — the prerequisite for worker-loss recovery.
-    pub checkpoints: bool,
+    /// Checkpoint cadence: each worker snapshots its dense local state onto
+    /// the first accepted report of every `k`-superstep window. 0 disables
+    /// checkpoints entirely; the recoverable entry points force at least 1.
+    pub checkpoint_every: u32,
+    /// Auth token the coordinator stamps into the shipped job spec. The
+    /// worker presented its own copy in the [`TAG_HELLO`] frame before this
+    /// spec was sent; mismatches never get this far.
+    pub token: Option<String>,
 }
 
 impl JobSpec {
@@ -229,7 +262,8 @@ impl Wire for JobSpec {
         self.source.encode(out);
         self.threads.encode(out);
         self.vertices.encode(out);
-        self.checkpoints.encode(out);
+        self.checkpoint_every.encode(out);
+        self.token.encode(out);
     }
 
     fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -242,7 +276,8 @@ impl Wire for JobSpec {
             source: reader.u64()?,
             threads: reader.u32()?,
             vertices: reader.u64()?,
-            checkpoints: bool::decode(reader)?,
+            checkpoint_every: reader.u32()?,
+            token: Option::<String>::decode(reader)?,
         })
     }
 }
@@ -259,13 +294,22 @@ fn bad_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
-/// Order-independent FNV-1a digest of `(vertex, value-bits)` pairs: XOR of
-/// per-pair hashes, so iteration order (HashMap, process) cannot leak in.
-fn digest_pairs(pairs: impl Iterator<Item = (u64, u64)>) -> u64 {
+fn denied(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::PermissionDenied, message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Result digests
+// ---------------------------------------------------------------------------
+
+/// Order-independent FNV-1a digest over canonically encoded items: XOR of
+/// per-item hashes, so iteration order (HashMap, HashSet, process) cannot
+/// leak in, while every bit of every item still matters.
+fn digest_items<T: Wire>(items: impl Iterator<Item = T>) -> u64 {
     let mut acc = 0u64;
-    for (k, v) in pairs {
+    for item in items {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in k.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+        for b in item.encode_to_vec() {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
@@ -276,13 +320,124 @@ fn digest_pairs(pairs: impl Iterator<Item = (u64, u64)>) -> u64 {
 
 /// Digest of a vertex→`f64` result map (bit-exact on the values).
 pub fn digest_f64_map(map: &HashMap<VertexId, f64>) -> u64 {
-    digest_pairs(map.iter().map(|(&k, &v)| (k, v.to_bits())))
+    digest_items(map.iter().map(|(&k, &v)| (k, v.to_bits())))
 }
 
 /// Digest of a vertex→vertex result map.
 pub fn digest_u64_map(map: &HashMap<VertexId, VertexId>) -> u64 {
-    digest_pairs(map.iter().map(|(&k, &v)| (k, v)))
+    digest_items(map.iter().map(|(&k, &v)| (k, v)))
 }
+
+/// Digest of a simulation match relation: every `(pattern vertex, data
+/// vertex)` pair, independent of set order.
+pub fn digest_sim(matches: &SimMatches) -> u64 {
+    digest_items(
+        matches
+            .iter()
+            .enumerate()
+            .flat_map(|(u, bucket)| bucket.iter().map(move |&v| (u as u64, v))),
+    )
+}
+
+/// Digest of a set of subgraph-isomorphism embeddings.
+pub fn digest_embeddings(embeddings: &Embeddings) -> u64 {
+    digest_items(embeddings.iter().cloned())
+}
+
+/// Digest of ranked keyword-search answers (roots, per-keyword distances
+/// and totals, all bit-exact).
+pub fn digest_keyword(answers: &[KeywordAnswer]) -> u64 {
+    digest_items(
+        answers
+            .iter()
+            .map(|a| (a.root, a.distances.clone(), a.total)),
+    )
+}
+
+/// Digest of a collaborative-filtering model: every factor vector, bit-exact.
+pub fn digest_cf(model: &CfModel) -> u64 {
+    digest_items(model.factors.iter().map(|(&v, f)| (v, f.clone())))
+}
+
+/// Digest of the marketing prospects list.
+pub fn digest_prospects(prospects: &[Prospect]) -> u64 {
+    digest_items(
+        prospects
+            .iter()
+            .map(|p| (p.person, p.recommend_ratio, p.followees)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Canonical queries
+// ---------------------------------------------------------------------------
+//
+// Workers and the coordinator derive the query from the JobSpec alone, so
+// both endpoints must construct *exactly* the same query object. These
+// helpers are that shared definition.
+
+/// Whether `algo` runs on a labeled social graph (`true`) or a weighted
+/// graph (`false`); `None` for unknown algorithms.
+fn algo_is_labeled(algo: &str) -> Option<bool> {
+    match algo {
+        "sssp" | "cc" | "pagerank" | "cf" => Some(false),
+        "sim" | "subiso" | "keyword" | "marketing" => Some(true),
+        _ => None,
+    }
+}
+
+/// The chain pattern of Fig. 4: person →`follows` person →`recommends`
+/// product. Used by `sim`.
+fn sim_query() -> SimQuery {
+    SimQuery::new(
+        PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+            .edge_labeled(0, 1, "follows")
+            .edge_labeled(1, 2, "recommends"),
+    )
+}
+
+/// A radius-1 star for `subiso`: with radius ≥ 2 the protocol replicates
+/// whole 2-hop neighbourhoods of a hubby social graph per border vertex.
+fn subiso_query() -> SubIsoQuery {
+    SubIsoQuery::new(
+        PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
+            .edge_labeled(0, 1, "follows")
+            .edge_labeled(0, 2, "recommends"),
+    )
+}
+
+fn keyword_query() -> KeywordQuery {
+    KeywordQuery::new(["phone", "laptop"], f64::INFINITY)
+}
+
+/// The promoted product for `marketing`: [`JobSpec::source`] when set, else
+/// the graph's first product vertex (id = number of persons).
+fn marketing_query(job: &JobSpec) -> io::Result<MarketingQuery> {
+    let product = match (job.source, &job.graph) {
+        (0, GraphSpec::Social { persons, .. }) => *persons as u64,
+        (0, _) => return Err(bad_data("marketing needs a social graph or --source")),
+        (source, _) => source,
+    };
+    Ok(MarketingQuery::new(product))
+}
+
+fn cf_query() -> CfQuery {
+    CfQuery {
+        rank: 4,
+        epochs: 4,
+        ..Default::default()
+    }
+}
+
+/// CF's user/item split on a generic weighted graph: the lower half of the
+/// id space plays the users.
+fn cf_num_users(vertices: u64) -> usize {
+    ((vertices / 2) as usize).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Graph building
+// ---------------------------------------------------------------------------
 
 /// The outcome of one coordinated run: the coordinator's statistics plus one
 /// result digest per worker (in worker order).
@@ -295,17 +450,84 @@ pub struct JobOutcome {
     pub digests: Vec<u64>,
 }
 
-/// Builds `job`'s graph and its fragments exactly as both endpoints must.
-/// The graph is returned alongside so callers never generate it twice
-/// (PageRank needs the global vertex count).
-fn job_fragments(job: &JobSpec) -> io::Result<(WeightedGraph, Vec<Fragment<(), f64>>)> {
-    let graph = job.graph.build();
+/// A job's graph and fragments, in whichever of the two payload families
+/// the algorithm runs on.
+enum JobGraph {
+    /// Unit vertices, `f64` edge weights: `sssp`, `cc`, `pagerank`, `cf`.
+    Weighted(WeightedGraph, Vec<Fragment<(), f64>>),
+    /// Labeled vertices, relation-typed edges: `sim`, `subiso`, `keyword`,
+    /// `marketing`.
+    Labeled(LabeledGraph, Vec<Fragment<LabeledVertex, String>>),
+}
+
+/// Builds `job`'s graph and its fragments exactly as both endpoints must,
+/// validating that the algorithm and the graph family agree.
+fn job_fragments(job: &JobSpec) -> io::Result<JobGraph> {
+    let labeled = algo_is_labeled(&job.algo)
+        .ok_or_else(|| bad_data(format!("unknown algorithm {:?}", job.algo)))?;
     let strategy = strategy_by_name(&job.strategy)
         .ok_or_else(|| bad_data(format!("unknown strategy {:?}", job.strategy)))?;
-    let assignment = strategy.partition(&graph, job.workers as usize);
-    let fragments = build_fragments(&graph, &assignment);
-    Ok((graph, fragments))
+    match (&job.graph, labeled) {
+        (
+            GraphSpec::Social {
+                persons,
+                products,
+                seed,
+            },
+            true,
+        ) => {
+            let graph = labeled_social(
+                SocialGraphConfig {
+                    num_persons: *persons as usize,
+                    num_products: *products as usize,
+                    ..Default::default()
+                },
+                *seed as u64,
+            )
+            .map_err(|e| bad_data(format!("bad social spec: {e}")))?;
+            let assignment = strategy.partition(&graph, job.workers as usize);
+            let fragments = build_fragments(&graph, &assignment);
+            Ok(JobGraph::Labeled(graph, fragments))
+        }
+        (GraphSpec::Social { .. }, false) => Err(bad_data(format!(
+            "algorithm {:?} needs a weighted graph (road/ba), not a social graph",
+            job.algo
+        ))),
+        (_, true) => Err(bad_data(format!(
+            "algorithm {:?} needs a labeled social graph (social:P:R:SEED)",
+            job.algo
+        ))),
+        (spec, false) => {
+            let graph = match spec {
+                GraphSpec::Road {
+                    width,
+                    height,
+                    seed,
+                } => road_network(
+                    RoadNetworkConfig {
+                        width: *width as usize,
+                        height: *height as usize,
+                        ..Default::default()
+                    },
+                    *seed as u64,
+                )
+                .map_err(|e| bad_data(format!("bad road spec: {e}")))?,
+                GraphSpec::Ba { n, m, seed } => {
+                    barabasi_albert(*n as usize, *m as usize, *seed as u64)
+                        .map_err(|e| bad_data(format!("bad BA spec: {e}")))?
+                }
+                GraphSpec::Social { .. } => unreachable!("matched above"),
+            };
+            let assignment = strategy.partition(&graph, job.workers as usize);
+            let fragments = build_fragments(&graph, &assignment);
+            Ok(JobGraph::Weighted(graph, fragments))
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
 
 /// A worker's kill schedule: SIGKILL-equivalent death upon *receiving* the
 /// command with this index (0 = the Init handshake), plus the action that
@@ -326,25 +548,65 @@ pub fn kill_self() {
     std::process::abort();
 }
 
-/// Runs one worker over an already-established connection: reads the
-/// epoch-stamped [`JobSpec`] frame and the shipped [`TAG_FRAGMENT`] frame,
-/// serves the BSP loop at that epoch, sends the digest, and returns it.
-pub fn run_worker_connection<S: SplitStream>(stream: S) -> io::Result<u64> {
-    run_worker_connection_with(stream, None, None)
+/// The full worker-side knob set for [`run_worker_connection_opts`].
+#[derive(Default)]
+pub struct WorkerOptions {
+    /// OS-level read timeout on the connection: a vanished coordinator then
+    /// surfaces as an error instead of a worker that waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Auth token presented in the [`TAG_HELLO`] frame.
+    pub token: Option<String>,
+    /// Fault-injection schedule (kills, duplicated / muted / delayed
+    /// frames); [`ChaosConfig::default`] injects nothing.
+    pub chaos: ChaosConfig,
+    /// Action performed when [`ChaosConfig::kill_at`] fires.
+    pub on_kill: Option<Box<dyn FnMut() + Send>>,
 }
 
-/// [`run_worker_connection`] with the full knob set: an OS-level read
-/// timeout on the connection (a vanished coordinator then surfaces as an
-/// error instead of a worker that waits forever), and an optional
-/// [`KillPlan`] for fault-injection drills.
+/// Runs one worker over an already-established connection: sends the
+/// [`TAG_HELLO`] greeting, reads the epoch-stamped [`JobSpec`] frame and the
+/// shipped [`TAG_FRAGMENT`] frame, serves the BSP loop at that epoch, sends
+/// the digest, and returns it.
+pub fn run_worker_connection<S: SplitStream>(stream: S) -> io::Result<u64> {
+    run_worker_connection_opts(stream, WorkerOptions::default())
+}
+
+/// [`run_worker_connection`] with a read timeout and an optional
+/// [`KillPlan`] — the knobs the recovery drills use.
 pub fn run_worker_connection_with<S: SplitStream>(
-    mut stream: S,
+    stream: S,
     read_timeout: Option<Duration>,
     kill: Option<KillPlan>,
 ) -> io::Result<u64> {
+    let mut options = WorkerOptions {
+        read_timeout,
+        ..Default::default()
+    };
+    if let Some((kill_at, on_kill)) = kill {
+        options.chaos.kill_at = Some(kill_at);
+        options.on_kill = Some(on_kill);
+    }
+    run_worker_connection_opts(stream, options)
+}
+
+/// [`run_worker_connection`] with the full [`WorkerOptions`] knob set.
+pub fn run_worker_connection_opts<S: SplitStream>(
+    mut stream: S,
+    options: WorkerOptions,
+) -> io::Result<u64> {
+    let WorkerOptions {
+        read_timeout,
+        token,
+        chaos,
+        on_kill,
+    } = options;
     if let Some(timeout) = read_timeout {
         stream.set_read_timeout(Some(timeout))?;
     }
+    // Present credentials before anything else: the coordinator will not
+    // ship a job (or even a byte) until the greeting passes validation.
+    wire::write_frame_io_epoch(&mut stream, TAG_HELLO, 0, &token)?;
+    stream.flush()?;
     let (tag, epoch, body) = wire::read_frame_io_epoch(&mut stream)?
         .ok_or_else(|| bad_data("connection closed before the job spec"))?;
     if tag != TAG_JOB {
@@ -373,125 +635,295 @@ pub fn run_worker_connection_with<S: SplitStream>(
             "fragment frame at epoch {fepoch}, job at epoch {epoch}"
         )));
     }
-    let fragment: Fragment<(), f64> =
-        decode_fragment(ftag, &fbody).map_err(|e| bad_data(format!("bad fragment frame: {e}")))?;
-    if fragment.id != job.index as usize {
-        return Err(bad_data(format!(
-            "shipped fragment {} but this worker is index {}",
-            fragment.id, job.index
-        )));
-    }
-    let stats = Arc::new(CommStats::new());
 
-    #[allow(clippy::too_many_arguments)]
-    fn serve<P, S>(
-        program: P,
-        query: &P::Query,
-        fragment: &Fragment<(), f64>,
-        stream: S,
-        stats: Arc<CommStats>,
-        threads: usize,
-        epoch: u32,
-        checkpoints: bool,
-        kill: Option<KillPlan>,
-        to_digest: impl Fn(P::Output) -> u64,
-    ) -> io::Result<u64>
+    fn shipped_fragment<V, E>(tag: u8, body: &[u8], index: u32) -> io::Result<Fragment<V, E>>
     where
-        P: PieProgram<VertexData = (), EdgeData = f64>,
-        S: SplitStream,
+        V: Wire + Clone + Default,
+        E: Wire + Clone,
     {
-        let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?.with_epoch(epoch);
-        let (partial, transport) = match kill {
-            None => (
-                run_worker_with(&program, query, fragment, &transport, threads, checkpoints),
-                transport,
-            ),
-            Some((kill_at, on_kill)) => {
-                let chaos = ChaosWorkerTransport::new(
-                    transport,
-                    ChaosConfig {
-                        kill_at: Some(kill_at),
-                        ..Default::default()
-                    },
-                    on_kill,
-                );
-                let partial =
-                    run_worker_with(&program, query, fragment, &chaos, threads, checkpoints);
-                (partial, chaos.into_inner())
-            }
-        };
-        // The worker loop also stops on connection failure; only a clean
-        // Finish-terminated run may report a digest as success.
-        if let Some(reason) = transport.disconnect_reason() {
-            return Err(io::Error::other(format!("run torn down: {reason}")));
+        let fragment: Fragment<V, E> =
+            decode_fragment(tag, body).map_err(|e| bad_data(format!("bad fragment frame: {e}")))?;
+        if fragment.id != index as usize {
+            return Err(bad_data(format!(
+                "shipped fragment {} but this worker is index {}",
+                fragment.id, index
+            )));
         }
-        let Some(partial) = partial else {
-            return Err(io::Error::other("run torn down before PEval"));
-        };
-        // Assembling a single partial yields this fragment's view of the
-        // answer — the unit the coordinator's verification digests compare.
-        let digest = to_digest(program.assemble(vec![partial]));
-        transport.send_oob(TAG_DIGEST, &digest)?;
-        Ok(digest)
+        Ok(fragment)
     }
 
+    let stats = Arc::new(CommStats::new());
     let threads = job.resolved_threads();
-    let checkpoints = job.checkpoints;
+    let ck = job.checkpoint_every as usize;
     match job.algo.as_str() {
-        "sssp" => serve(
-            SsspProgram,
-            &SsspQuery::new(job.source),
-            &fragment,
-            stream,
-            stats,
-            threads,
-            epoch,
-            checkpoints,
-            kill,
-            |out| digest_f64_map(&out),
-        ),
-        "cc" => serve(
-            CcProgram,
-            &CcQuery,
-            &fragment,
-            stream,
-            stats,
-            threads,
-            epoch,
-            checkpoints,
-            kill,
-            |out| digest_u64_map(&out),
-        ),
-        "pagerank" => {
-            let program = PageRankProgram::new(job.vertices as usize);
+        "sssp" => {
+            let fragment = shipped_fragment::<(), f64>(ftag, &fbody, job.index)?;
             serve(
-                program,
+                SsspProgram,
+                &SsspQuery::new(job.source),
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_f64_map(&out),
+            )
+        }
+        "cc" => {
+            let fragment = shipped_fragment::<(), f64>(ftag, &fbody, job.index)?;
+            serve(
+                CcProgram,
+                &CcQuery,
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_u64_map(&out),
+            )
+        }
+        "pagerank" => {
+            let fragment = shipped_fragment::<(), f64>(ftag, &fbody, job.index)?;
+            serve(
+                PageRankProgram::new(job.vertices as usize),
                 &PageRankQuery::default(),
                 &fragment,
                 stream,
                 stats,
                 threads,
                 epoch,
-                checkpoints,
-                kill,
+                ck,
+                chaos,
+                on_kill,
                 |out| digest_f64_map(&out),
+            )
+        }
+        "cf" => {
+            let fragment = shipped_fragment::<(), f64>(ftag, &fbody, job.index)?;
+            serve(
+                CfProgram::new(cf_num_users(job.vertices)),
+                &cf_query(),
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_cf(&out),
+            )
+        }
+        "sim" => {
+            let fragment = shipped_fragment::<LabeledVertex, String>(ftag, &fbody, job.index)?;
+            serve(
+                SimProgram,
+                &sim_query(),
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_sim(&out),
+            )
+        }
+        "subiso" => {
+            let fragment = shipped_fragment::<LabeledVertex, String>(ftag, &fbody, job.index)?;
+            serve(
+                SubIsoProgram,
+                &subiso_query(),
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_embeddings(&out),
+            )
+        }
+        "keyword" => {
+            let fragment = shipped_fragment::<LabeledVertex, String>(ftag, &fbody, job.index)?;
+            serve(
+                KeywordProgram,
+                &keyword_query(),
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_keyword(&out),
+            )
+        }
+        "marketing" => {
+            let fragment = shipped_fragment::<LabeledVertex, String>(ftag, &fbody, job.index)?;
+            serve(
+                MarketingProgram,
+                &marketing_query(&job)?,
+                &fragment,
+                stream,
+                stats,
+                threads,
+                epoch,
+                ck,
+                chaos,
+                on_kill,
+                |out| digest_prospects(&out),
             )
         }
         other => Err(bad_data(format!("unknown algorithm {other:?}"))),
     }
 }
 
+/// One worker's BSP session over an established, authenticated connection —
+/// generic over the program, so all eight query classes share this path.
+#[allow(clippy::too_many_arguments)]
+fn serve<P, S>(
+    program: P,
+    query: &P::Query,
+    fragment: &Fragment<P::VertexData, P::EdgeData>,
+    stream: S,
+    stats: Arc<CommStats>,
+    threads: usize,
+    epoch: u32,
+    checkpoint_every: usize,
+    chaos: ChaosConfig,
+    on_kill: Option<Box<dyn FnMut() + Send>>,
+    to_digest: impl Fn(P::Output) -> u64,
+) -> io::Result<u64>
+where
+    P: PieProgram,
+    S: SplitStream,
+{
+    let transport = FramedStreamWorker::<P::Value>::new(stream, stats)?.with_epoch(epoch);
+    let chaos_active = chaos.kill_at.is_some()
+        || chaos.mute_per_mille > 0
+        || chaos.duplicate_per_mille > 0
+        || chaos.delay_per_mille > 0;
+    let (partial, transport) = if chaos_active {
+        let on_kill = on_kill.unwrap_or_else(|| Box::new(|| {}));
+        let wrapped = ChaosWorkerTransport::new(transport, chaos, on_kill);
+        let partial = run_worker_with(
+            &program,
+            query,
+            fragment,
+            &wrapped,
+            threads,
+            checkpoint_every,
+        );
+        (partial, wrapped.into_inner())
+    } else {
+        (
+            run_worker_with(
+                &program,
+                query,
+                fragment,
+                &transport,
+                threads,
+                checkpoint_every,
+            ),
+            transport,
+        )
+    };
+    // The worker loop also stops on connection failure; only a clean
+    // Finish-terminated run may report a digest as success.
+    if let Some(reason) = transport.disconnect_reason() {
+        return Err(io::Error::other(format!("run torn down: {reason}")));
+    }
+    let Some(partial) = partial else {
+        return Err(io::Error::other("run torn down before PEval"));
+    };
+    // Assembling a single partial yields this fragment's view of the
+    // answer — the unit the coordinator's verification digests compare.
+    let digest = to_digest(program.assemble(vec![partial]));
+    transport.send_oob(TAG_DIGEST, &digest)?;
+    Ok(digest)
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// Reads and validates a worker's [`TAG_HELLO`] greeting. `expected = None`
+/// accepts any greeting; otherwise the presented token must match, and a
+/// mismatched or missing token is a typed `PermissionDenied` error.
+fn expect_hello<S: SplitStream>(
+    stream: &mut S,
+    expected: Option<&str>,
+    index: usize,
+    timeout: Option<Duration>,
+) -> io::Result<()> {
+    stream.set_read_timeout(timeout)?;
+    let frame = wire::read_frame_io_epoch(stream);
+    stream.set_read_timeout(None)?;
+    let (tag, _epoch, body) = frame
+        .map_err(|e| {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                io::Error::other(format!(
+                    "worker {index} lost during handshake: no hello frame within the read timeout"
+                ))
+            } else {
+                io::Error::other(format!("worker {index} lost during handshake: {e}"))
+            }
+        })?
+        .ok_or_else(|| {
+            io::Error::other(format!(
+                "worker {index} lost during handshake: connection closed before the hello frame"
+            ))
+        })?;
+    if tag != TAG_HELLO {
+        return Err(bad_data(format!(
+            "worker {index}: expected hello frame, got tag {tag:#04x}"
+        )));
+    }
+    let mut reader = WireReader::new(&body);
+    let token = Option::<String>::decode(&mut reader)
+        .and_then(|t| reader.finish().map(|()| t))
+        .map_err(|e| bad_data(format!("worker {index}: bad hello frame: {e}")))?;
+    match (expected, token) {
+        (None, _) => Ok(()),
+        (Some(want), Some(got)) if got == want => Ok(()),
+        (Some(_), Some(_)) => Err(denied(format!(
+            "worker {index} presented a mismatched auth token"
+        ))),
+        (Some(_), None) => Err(denied(format!(
+            "worker {index} presented no auth token, but this coordinator requires one"
+        ))),
+    }
+}
+
 /// Ships the epoch-stamped handshake down one connection: the [`JobSpec`]
 /// (with the per-connection `index` and global `vertices` filled in) followed
 /// by the fragment itself as a [`TAG_FRAGMENT`] frame.
-fn ship_job<S: SplitStream>(
+fn ship_job<S, V, E>(
     stream: &mut S,
     job: &JobSpec,
     index: usize,
     epoch: u32,
     vertices: u64,
-    fragment: &Fragment<(), f64>,
-) -> io::Result<()> {
+    fragment: &Fragment<V, E>,
+) -> io::Result<()>
+where
+    S: SplitStream,
+    V: Wire + Clone,
+    E: Wire + Clone,
+{
     let mut spec = job.clone();
     spec.index = index as u32;
     spec.vertices = vertices;
@@ -503,8 +935,9 @@ fn ship_job<S: SplitStream>(
 }
 
 /// Runs the coordinator over `streams` (one accepted connection per worker,
-/// in fragment order): ships each worker its [`JobSpec`] and fragment, drives
-/// the BSP fixpoint, and collects the result digests.
+/// in fragment order): authenticates each worker's hello, ships each its
+/// [`JobSpec`] and fragment, drives the BSP fixpoint, and collects the
+/// result digests.
 pub fn run_coordinator_connections<S: SplitStream>(
     job: &JobSpec,
     streams: Vec<S>,
@@ -513,9 +946,10 @@ pub fn run_coordinator_connections<S: SplitStream>(
 }
 
 /// Like [`run_coordinator_connections`], with an explicit [`EngineConfig`]:
-/// in particular [`EngineConfig::read_timeout`] bounds every receive, so a
-/// silent worker surfaces as a typed
-/// [`grape_core::TransportError::WorkerLost`] instead of a hang.
+/// [`EngineConfig::read_timeout`] bounds every receive (a silent worker
+/// surfaces as a typed [`grape_core::TransportError::WorkerLost`] instead of
+/// a hang) and [`EngineConfig::auth_token`] is enforced against every
+/// worker's hello frame.
 pub fn run_coordinator_connections_with<S: SplitStream>(
     job: &JobSpec,
     streams: Vec<S>,
@@ -525,11 +959,13 @@ pub fn run_coordinator_connections_with<S: SplitStream>(
 }
 
 /// Like [`run_coordinator_connections_with`], but the run survives worker
-/// loss: `respawn(worker)` must produce a fresh accepted connection to a
-/// replacement worker process, which is handed the lost fragment and the last
-/// checkpoint at a bumped epoch, after which the in-flight superstep is
-/// replayed. Checkpointing is forced on ([`JobSpec::checkpoints`]) — there is
-/// no recovery without state to recover.
+/// loss — including several workers in the same superstep, and replacements
+/// that die again mid-replay: `respawn(worker)` must produce a fresh
+/// accepted connection to a replacement worker process, which is handed the
+/// lost fragment and the last checkpoint at a bumped epoch, after which the
+/// commands since that checkpoint are replayed. A [`JobSpec::checkpoint_every`]
+/// of 0 is forced to 1 — recovery without snapshots would mean replaying the
+/// whole run's lineage on every loss.
 pub fn run_coordinator_connections_recoverable<S: SplitStream>(
     job: &JobSpec,
     streams: Vec<S>,
@@ -537,13 +973,15 @@ pub fn run_coordinator_connections_recoverable<S: SplitStream>(
     respawn: &mut dyn FnMut(usize) -> io::Result<S>,
 ) -> io::Result<JobOutcome> {
     let mut job = job.clone();
-    job.checkpoints = true;
+    if job.checkpoint_every == 0 {
+        job.checkpoint_every = 1;
+    }
     run_coordinator_connections_inner(&job, streams, config, Some(respawn))
 }
 
 fn run_coordinator_connections_inner<S: SplitStream>(
     job: &JobSpec,
-    mut streams: Vec<S>,
+    streams: Vec<S>,
     config: &EngineConfig,
     respawn: Option<&mut dyn FnMut(usize) -> io::Result<S>>,
 ) -> io::Result<JobOutcome> {
@@ -554,124 +992,205 @@ fn run_coordinator_connections_inner<S: SplitStream>(
             job.workers
         )));
     }
-    let (graph, fragments) = job_fragments(job)?;
-    let vertices = graph.num_vertices() as u64;
-    for (index, stream) in streams.iter_mut().enumerate() {
-        // A connection dead before the handshake is a startup failure, not a
-        // recoverable mid-run loss — but phrase it as the loss it is.
-        ship_job(stream, job, index, 0, vertices, &fragments[index])
-            .map_err(|e| io::Error::other(format!("worker {index} lost during handshake: {e}")))?;
-    }
     let stats = Arc::new(CommStats::new());
-
-    #[allow(clippy::too_many_arguments)]
-    fn coordinate<P, S>(
-        program: P,
-        job: &JobSpec,
-        fragments: &[Fragment<(), f64>],
-        streams: Vec<S>,
-        stats: Arc<CommStats>,
-        config: &EngineConfig,
-        respawn: Option<&mut dyn FnMut(usize) -> io::Result<S>>,
-        vertices: u64,
-    ) -> io::Result<JobOutcome>
-    where
-        P: PieProgram<VertexData = (), EdgeData = f64>,
-        S: SplitStream,
-    {
-        let n = streams.len();
-        let transport = FramedStreamCoord::<P::Value>::new(streams, stats)?
-            .with_read_timeout(config.read_timeout);
-        let engine = GrapeEngine::new(program).with_config(*config);
-        let stats_out = match respawn {
-            None => engine.run_coordinator(fragments, &transport),
-            Some(respawn) => {
-                // Recovery glue: a fresh connection, the same fragment at the
-                // new epoch, and the transport's writer/reader swapped under it.
-                let mut recover = |worker: usize, epoch: u32| -> Result<(), String> {
-                    let mut stream =
-                        respawn(worker).map_err(|e| format!("respawn worker {worker}: {e}"))?;
-                    ship_job(
-                        &mut stream,
-                        job,
-                        worker,
-                        epoch,
-                        vertices,
-                        &fragments[worker],
-                    )
-                    .map_err(|e| format!("re-ship fragment {worker}: {e}"))?;
-                    transport
-                        .replace_worker(worker, stream, epoch)
-                        .map_err(|e| format!("replace worker {worker}: {e}"))
-                };
-                engine.run_coordinator_recoverable(fragments, &transport, &mut recover)
+    match job_fragments(job)? {
+        JobGraph::Weighted(graph, fragments) => {
+            let vertices = graph.num_vertices() as u64;
+            match job.algo.as_str() {
+                "sssp" => coordinate(
+                    SsspProgram,
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                "cc" => coordinate(
+                    CcProgram, job, &fragments, streams, stats, config, respawn, vertices,
+                ),
+                "pagerank" => coordinate(
+                    PageRankProgram::new(graph.num_vertices()),
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                "cf" => coordinate(
+                    CfProgram::new(cf_num_users(vertices)),
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                other => unreachable!("job_fragments admitted weighted algo {other:?}"),
             }
         }
-        .map_err(|e| io::Error::other(e.to_string()))?;
-        let mut digests = vec![0u64; n];
-        for _ in 0..n {
-            let (from, tag, body) = transport
-                .recv_oob_blocking()
-                .ok_or_else(|| bad_data("a worker closed before sending its digest"))?;
-            if tag != TAG_DIGEST {
-                return Err(bad_data(format!("expected digest frame, got {tag:#04x}")));
+        JobGraph::Labeled(graph, fragments) => {
+            let vertices = graph.num_vertices() as u64;
+            match job.algo.as_str() {
+                "sim" => coordinate(
+                    SimProgram, job, &fragments, streams, stats, config, respawn, vertices,
+                ),
+                "subiso" => coordinate(
+                    SubIsoProgram,
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                "keyword" => coordinate(
+                    KeywordProgram,
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                "marketing" => coordinate(
+                    MarketingProgram,
+                    job,
+                    &fragments,
+                    streams,
+                    stats,
+                    config,
+                    respawn,
+                    vertices,
+                ),
+                other => unreachable!("job_fragments admitted labeled algo {other:?}"),
             }
-            let mut reader = WireReader::new(&body);
-            digests[from] = u64::decode(&mut reader)
-                .and_then(|d| reader.finish().map(|()| d))
-                .map_err(|e| bad_data(format!("bad digest frame: {e}")))?;
         }
-        Ok(JobOutcome {
-            stats: stats_out,
-            digests,
-        })
-    }
-
-    match job.algo.as_str() {
-        "sssp" => coordinate(
-            SsspProgram,
-            job,
-            &fragments,
-            streams,
-            stats,
-            config,
-            respawn,
-            vertices,
-        ),
-        "cc" => coordinate(
-            CcProgram, job, &fragments, streams, stats, config, respawn, vertices,
-        ),
-        "pagerank" => {
-            let program = PageRankProgram::new(graph.num_vertices());
-            coordinate(
-                program, job, &fragments, streams, stats, config, respawn, vertices,
-            )
-        }
-        other => Err(bad_data(format!("unknown algorithm {other:?}"))),
     }
 }
+
+/// The coordinator's session over authenticated connections — generic over
+/// the program, so all eight query classes share this path.
+#[allow(clippy::too_many_arguments)]
+fn coordinate<P, S>(
+    program: P,
+    job: &JobSpec,
+    fragments: &[Fragment<P::VertexData, P::EdgeData>],
+    mut streams: Vec<S>,
+    stats: Arc<CommStats>,
+    config: &EngineConfig,
+    respawn: Option<&mut dyn FnMut(usize) -> io::Result<S>>,
+    vertices: u64,
+) -> io::Result<JobOutcome>
+where
+    P: PieProgram,
+    P::VertexData: Wire,
+    P::EdgeData: Wire,
+    S: SplitStream,
+{
+    let n = streams.len();
+    // Authenticate, then ship. The shipped spec carries the coordinator's
+    // token so the job-spec frame records which credential the session was
+    // established under.
+    let mut job = job.clone();
+    job.token = config.auth_token.clone();
+    for (index, stream) in streams.iter_mut().enumerate() {
+        expect_hello(
+            stream,
+            config.auth_token.as_deref(),
+            index,
+            config.read_timeout,
+        )?;
+        // A connection dead before the handshake completes is a startup
+        // failure, not a recoverable mid-run loss.
+        ship_job(stream, &job, index, 0, vertices, &fragments[index])
+            .map_err(|e| io::Error::other(format!("worker {index} lost during handshake: {e}")))?;
+    }
+    let transport =
+        FramedStreamCoord::<P::Value>::new(streams, stats)?.with_read_timeout(config.read_timeout);
+    let engine = GrapeEngine::new(program).with_config(config.clone());
+    let stats_out = match respawn {
+        None => engine.run_coordinator(fragments, &transport),
+        Some(respawn) => {
+            // Recovery glue: a fresh authenticated connection, the same
+            // fragment at the new epoch, and the transport's writer/reader
+            // swapped under it.
+            let mut recover = |worker: usize, epoch: u32| -> Result<(), String> {
+                let mut stream =
+                    respawn(worker).map_err(|e| format!("respawn worker {worker}: {e}"))?;
+                expect_hello(
+                    &mut stream,
+                    config.auth_token.as_deref(),
+                    worker,
+                    config.read_timeout,
+                )
+                .map_err(|e| format!("replacement handshake {worker}: {e}"))?;
+                ship_job(
+                    &mut stream,
+                    &job,
+                    worker,
+                    epoch,
+                    vertices,
+                    &fragments[worker],
+                )
+                .map_err(|e| format!("re-ship fragment {worker}: {e}"))?;
+                transport
+                    .replace_worker(worker, stream, epoch)
+                    .map_err(|e| format!("replace worker {worker}: {e}"))
+            };
+            engine.run_coordinator_recoverable(fragments, &transport, &mut recover)
+        }
+    }
+    .map_err(|e| io::Error::other(e.to_string()))?;
+    let mut digests = vec![0u64; n];
+    for _ in 0..n {
+        let (from, tag, body) = transport
+            .recv_oob_blocking()
+            .ok_or_else(|| bad_data("a worker closed before sending its digest"))?;
+        if tag != TAG_DIGEST {
+            return Err(bad_data(format!("expected digest frame, got {tag:#04x}")));
+        }
+        let mut reader = WireReader::new(&body);
+        digests[from] = u64::decode(&mut reader)
+            .and_then(|d| reader.finish().map(|()| d))
+            .map_err(|e| bad_data(format!("bad digest frame: {e}")))?;
+    }
+    Ok(JobOutcome {
+        stats: stats_out,
+        digests,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// In-process reference + recovery drills
+// ---------------------------------------------------------------------------
 
 /// Runs the identical job fully in-process over the framed *channel*
 /// transport: the reference the multi-process path must match bit for bit
 /// (digests, supersteps, message counts). Also doubles as an executable
 /// example of the public transport API.
 pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
-    let (graph, fragments) = job_fragments(job)?;
     let stats = Arc::new(CommStats::new());
     let threads = job.resolved_threads();
-    let checkpoints = job.checkpoints;
+    let ck = job.checkpoint_every as usize;
 
     fn local<P>(
         program: P,
         query: &P::Query,
-        fragments: &[Fragment<(), f64>],
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
         stats: Arc<CommStats>,
         threads: usize,
-        checkpoints: bool,
+        checkpoint_every: usize,
         to_digest: impl Fn(P::Output) -> u64 + Sync,
     ) -> io::Result<JobOutcome>
     where
-        P: PieProgram<VertexData = (), EdgeData = f64> + Clone,
+        P: PieProgram + Clone,
     {
         let n = fragments.len();
         let (coord, worker_transports) = framed_channel_pair::<P::Value>(n, stats);
@@ -689,7 +1208,7 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
                             fragment,
                             &wt,
                             threads,
-                            checkpoints,
+                            checkpoint_every,
                         )
                         .expect("in-process worker ran PEval");
                         to_digest(program_ref.assemble(vec![partial]))
@@ -710,64 +1229,132 @@ pub fn run_local_framed(job: &JobSpec) -> io::Result<JobOutcome> {
         })
     }
 
-    match job.algo.as_str() {
-        "sssp" => local(
-            SsspProgram,
-            &SsspQuery::new(job.source),
-            &fragments,
-            stats,
-            threads,
-            checkpoints,
-            |out| digest_f64_map(&out),
-        ),
-        "cc" => local(
-            CcProgram,
-            &CcQuery,
-            &fragments,
-            stats,
-            threads,
-            checkpoints,
-            |out| digest_u64_map(&out),
-        ),
-        "pagerank" => {
-            let program = PageRankProgram::new(graph.num_vertices());
-            local(
-                program,
+    match job_fragments(job)? {
+        JobGraph::Weighted(graph, fragments) => match job.algo.as_str() {
+            "sssp" => local(
+                SsspProgram,
+                &SsspQuery::new(job.source),
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_f64_map(&out),
+            ),
+            "cc" => local(CcProgram, &CcQuery, &fragments, stats, threads, ck, |out| {
+                digest_u64_map(&out)
+            }),
+            "pagerank" => local(
+                PageRankProgram::new(graph.num_vertices()),
                 &PageRankQuery::default(),
                 &fragments,
                 stats,
                 threads,
-                checkpoints,
+                ck,
                 |out| digest_f64_map(&out),
-            )
-        }
-        other => Err(bad_data(format!("unknown algorithm {other:?}"))),
+            ),
+            "cf" => local(
+                CfProgram::new(cf_num_users(graph.num_vertices() as u64)),
+                &cf_query(),
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_cf(&out),
+            ),
+            other => unreachable!("job_fragments admitted weighted algo {other:?}"),
+        },
+        JobGraph::Labeled(_, fragments) => match job.algo.as_str() {
+            "sim" => local(
+                SimProgram,
+                &sim_query(),
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_sim(&out),
+            ),
+            "subiso" => local(
+                SubIsoProgram,
+                &subiso_query(),
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_embeddings(&out),
+            ),
+            "keyword" => local(
+                KeywordProgram,
+                &keyword_query(),
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_keyword(&out),
+            ),
+            "marketing" => local(
+                MarketingProgram,
+                &marketing_query(job)?,
+                &fragments,
+                stats,
+                threads,
+                ck,
+                |out| digest_prospects(&out),
+            ),
+            other => unreachable!("job_fragments admitted labeled algo {other:?}"),
+        },
     }
 }
 
 /// Runs `job` over real TCP sockets with worker threads in this process, one
 /// of which is killed — its socket torn down, the SIGKILL event at the
 /// transport level — upon receiving command `kill_at`. The coordinator
-/// recovers via [`run_coordinator_connections_recoverable`]: fresh
-/// connection, re-shipped fragment at a bumped epoch, replayed superstep.
-/// This is the deterministic in-process recovery drill the chaos tests and
-/// the `recovery_ms` benchmark column share.
+/// recovers via [`run_coordinator_connections_recoverable`]. This is the
+/// deterministic in-process recovery drill the chaos tests and the
+/// `recovery_ms` benchmark column share.
 pub fn run_local_recoverable_tcp(
     job: &JobSpec,
     kill_worker: usize,
     kill_at: usize,
 ) -> io::Result<JobOutcome> {
+    run_local_recoverable_tcp_plan(job, &[(kill_worker, kill_at)], &[])
+}
+
+/// The multi-victim, cascading form of [`run_local_recoverable_tcp`]:
+/// `kills` schedules `(worker, kill_at)` deaths for the initial workers
+/// (several entries with the same `kill_at` exercise same-superstep batch
+/// recovery), and each `replacement_kills` entry `(worker, kill_at)` is
+/// consumed by one respawn of that worker, whose *replacement* then dies at
+/// its own command index — cascading failure mid-replay. Repeat a worker in
+/// `replacement_kills` to drive it into its crash-loop budget.
+pub fn run_local_recoverable_tcp_plan(
+    job: &JobSpec,
+    kills: &[(usize, usize)],
+    replacement_kills: &[(usize, usize)],
+) -> io::Result<JobOutcome> {
     use std::net::{Shutdown, TcpListener, TcpStream};
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let mut job = job.clone();
-    job.checkpoints = true;
-    let n = job.workers as usize;
-    if kill_worker >= n {
-        return Err(bad_data(format!(
-            "kill_worker {kill_worker} out of range for {n} workers"
-        )));
+    if job.checkpoint_every == 0 {
+        job.checkpoint_every = 1;
     }
+    let n = job.workers as usize;
+    for &(worker, _) in kills.iter().chain(replacement_kills) {
+        if worker >= n {
+            return Err(bad_data(format!(
+                "kill schedule names worker {worker}, but the job has {n} workers"
+            )));
+        }
+    }
+    let socket_kill = |stream: &TcpStream, kill_at: usize| -> io::Result<KillPlan> {
+        let victim = stream.try_clone()?;
+        Ok((
+            kill_at,
+            Box::new(move || {
+                let _ = victim.shutdown(Shutdown::Both);
+            }),
+        ))
+    };
     std::thread::scope(|scope| {
         // Connect + accept strictly in sequence so accepted-stream order is
         // fragment order — the index mapping must be deterministic.
@@ -775,30 +1362,31 @@ pub fn run_local_recoverable_tcp(
         for index in 0..n {
             let connect = TcpStream::connect(addr)?;
             let (accepted, _) = listener.accept()?;
-            let kill: Option<KillPlan> = if index == kill_worker {
-                let victim = connect.try_clone()?;
-                Some((
-                    kill_at,
-                    Box::new(move || {
-                        let _ = victim.shutdown(Shutdown::Both);
-                    }),
-                ))
-            } else {
-                None
+            let kill = match kills.iter().find(|&&(worker, _)| worker == index) {
+                Some(&(_, kill_at)) => Some(socket_kill(&connect, kill_at)?),
+                None => None,
             };
             scope.spawn(move || {
-                // The killed worker exits with a torn-down connection; the
+                // A killed worker exits with a torn-down connection; the
                 // replacement (respawned below) reports in its stead.
                 let _ = run_worker_connection_with(connect, None, kill);
             });
             streams.push(accepted);
         }
         let listener = &listener;
-        let mut respawn = |_worker: usize| -> io::Result<TcpStream> {
+        let mut pending: Vec<(usize, usize)> = replacement_kills.to_vec();
+        let mut respawn = |worker: usize| -> io::Result<TcpStream> {
             let connect = TcpStream::connect(addr)?;
             let (accepted, _) = listener.accept()?;
+            let kill = match pending.iter().position(|&(w, _)| w == worker) {
+                Some(i) => {
+                    let (_, kill_at) = pending.remove(i);
+                    Some(socket_kill(&connect, kill_at)?)
+                }
+                None => None,
+            };
             scope.spawn(move || {
-                let _ = run_worker_connection_with(connect, None, None);
+                let _ = run_worker_connection_with(connect, None, kill);
             });
             Ok(accepted)
         };
@@ -866,25 +1454,41 @@ mod tests {
 
     #[test]
     fn job_spec_wire_roundtrip() {
-        let job = JobSpec {
-            algo: "sssp".into(),
-            graph: GraphSpec::Road {
-                width: 12,
-                height: 9,
-                seed: 7,
-            },
-            strategy: "hash".into(),
-            workers: 4,
-            index: 2,
-            source: 0,
-            threads: 2,
-            vertices: 108,
-            checkpoints: true,
-        };
-        let bytes = job.encode_to_vec();
-        let mut reader = WireReader::new(&bytes);
-        assert_eq!(JobSpec::decode(&mut reader).unwrap(), job);
-        reader.finish().unwrap();
+        for (graph, token) in [
+            (
+                GraphSpec::Road {
+                    width: 12,
+                    height: 9,
+                    seed: 7,
+                },
+                None,
+            ),
+            (
+                GraphSpec::Social {
+                    persons: 40,
+                    products: 5,
+                    seed: 21,
+                },
+                Some("secret".to_string()),
+            ),
+        ] {
+            let job = JobSpec {
+                algo: "sssp".into(),
+                graph,
+                strategy: "hash".into(),
+                workers: 4,
+                index: 2,
+                source: 0,
+                threads: 2,
+                vertices: 108,
+                checkpoint_every: 3,
+                token,
+            };
+            let bytes = job.encode_to_vec();
+            let mut reader = WireReader::new(&bytes);
+            assert_eq!(JobSpec::decode(&mut reader).unwrap(), job);
+            reader.finish().unwrap();
+        }
     }
 
     #[test]
@@ -905,8 +1509,47 @@ mod tests {
                 seed: 11
             }
         );
+        assert_eq!(
+            GraphSpec::parse("social:80:6:21").unwrap(),
+            GraphSpec::Social {
+                persons: 80,
+                products: 6,
+                seed: 21
+            }
+        );
         assert!(GraphSpec::parse("road:12:7").is_err());
         assert!(GraphSpec::parse("lattice:3").is_err());
+    }
+
+    #[test]
+    fn mismatched_algo_and_graph_families_are_rejected() {
+        let mut job = JobSpec {
+            algo: "sim".into(),
+            graph: GraphSpec::Road {
+                width: 4,
+                height: 4,
+                seed: 1,
+            },
+            strategy: "hash".into(),
+            workers: 2,
+            index: 0,
+            source: 0,
+            threads: 1,
+            vertices: 0,
+            checkpoint_every: 0,
+            token: None,
+        };
+        assert!(run_local_framed(&job).is_err(), "sim needs a social graph");
+        job.algo = "sssp".into();
+        job.graph = GraphSpec::Social {
+            persons: 20,
+            products: 3,
+            seed: 1,
+        };
+        assert!(
+            run_local_framed(&job).is_err(),
+            "sssp needs a weighted graph"
+        );
     }
 
     #[test]
@@ -922,26 +1565,50 @@ mod tests {
         assert_ne!(digest_f64_map(&a), digest_f64_map(&b));
     }
 
+    fn weighted_job(algo: &str) -> JobSpec {
+        JobSpec {
+            algo: algo.into(),
+            graph: GraphSpec::Ba {
+                n: 200,
+                m: 3,
+                seed: 5,
+            },
+            strategy: "hash".into(),
+            workers: 3,
+            index: 0,
+            source: 0,
+            threads: 1,
+            vertices: 0,
+            checkpoint_every: 0,
+            token: None,
+        }
+    }
+
+    fn labeled_job(algo: &str) -> JobSpec {
+        JobSpec {
+            algo: algo.into(),
+            graph: GraphSpec::Social {
+                persons: 60,
+                products: 6,
+                seed: 21,
+            },
+            strategy: "hash".into(),
+            workers: 3,
+            index: 0,
+            source: 0,
+            threads: 1,
+            vertices: 0,
+            checkpoint_every: 0,
+            token: None,
+        }
+    }
+
     #[test]
     fn local_framed_runs_agree_across_algorithms() {
-        // The in-process framed reference itself must be deterministic and
-        // match the plain engine's superstep counts.
-        for algo in ["sssp", "cc", "pagerank"] {
-            let job = JobSpec {
-                algo: algo.into(),
-                graph: GraphSpec::Ba {
-                    n: 200,
-                    m: 3,
-                    seed: 5,
-                },
-                strategy: "hash".into(),
-                workers: 3,
-                index: 0,
-                source: 0,
-                threads: 1,
-                vertices: 0,
-                checkpoints: false,
-            };
+        // The in-process framed reference itself must be deterministic for
+        // every query class, on both graph families.
+        for algo in ["sssp", "cc", "pagerank", "cf"] {
+            let job = weighted_job(algo);
             let first = run_local_framed(&job).unwrap();
             let second = run_local_framed(&job).unwrap();
             assert_eq!(first.digests, second.digests, "{algo}");
@@ -949,31 +1616,49 @@ mod tests {
             assert_eq!(first.stats.messages, second.stats.messages, "{algo}");
             assert!(first.stats.bytes > 0);
         }
+        for algo in ["sim", "subiso", "keyword", "marketing"] {
+            let job = labeled_job(algo);
+            let first = run_local_framed(&job).unwrap();
+            let second = run_local_framed(&job).unwrap();
+            assert_eq!(first.digests, second.digests, "{algo}");
+            assert_eq!(first.stats.supersteps, second.stats.supersteps, "{algo}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_does_not_change_results() {
+        // Checkpoints ride on report frames; the answer and the superstep
+        // count are invariant under any cadence.
+        for algo in ["sssp", "sim"] {
+            let mut job = if algo == "sssp" {
+                weighted_job(algo)
+            } else {
+                labeled_job(algo)
+            };
+            let reference = run_local_framed(&job).unwrap();
+            for k in [1u32, 2, 4] {
+                job.checkpoint_every = k;
+                let run = run_local_framed(&job).unwrap();
+                assert_eq!(run.digests, reference.digests, "{algo} k={k}");
+                assert_eq!(
+                    run.stats.supersteps, reference.stats.supersteps,
+                    "{algo} k={k}"
+                );
+            }
+        }
     }
 
     #[test]
     fn recovered_tcp_runs_match_the_undisturbed_reference() {
-        // One in-process drill per algorithm with snapshot support: kill
-        // worker 1 at its second command, recover, and pin the digests and
-        // superstep count against an undisturbed framed run of the same job.
-        for algo in ["sssp", "cc"] {
-            let job = JobSpec {
-                algo: algo.into(),
-                graph: GraphSpec::Road {
-                    width: 10,
-                    height: 10,
-                    seed: 3,
-                },
-                strategy: "hash".into(),
-                workers: 3,
-                index: 0,
-                source: 0,
-                threads: 1,
-                vertices: 0,
-                checkpoints: true,
-            };
+        // One in-process drill per graph family: kill worker 1 at its second
+        // command, recover, and pin the digests and superstep count against
+        // an undisturbed framed run of the same job.
+        for (algo, job) in [("sssp", weighted_job("sssp")), ("sim", labeled_job("sim"))] {
             let reference = run_local_framed(&job).unwrap();
-            let recovered = run_local_recoverable_tcp(&job, 1, 2).unwrap();
+            // Kill on the last evaluation command the worker will receive,
+            // so the schedule fires whatever the algorithm's depth.
+            let kill_at = (reference.stats.supersteps - 1).min(2);
+            let recovered = run_local_recoverable_tcp(&job, 1, kill_at).unwrap();
             assert_eq!(recovered.digests, reference.digests, "{algo}");
             assert_eq!(
                 recovered.stats.supersteps, reference.stats.supersteps,
@@ -981,6 +1666,22 @@ mod tests {
             );
             assert!(recovered.stats.recoveries >= 1, "{algo}: a kill happened");
         }
+    }
+
+    #[test]
+    fn a_crash_looping_worker_exhausts_its_recovery_budget() {
+        // Worker 1 dies, and every replacement dies again on its first
+        // command: after the per-worker budget the coordinator gives up with
+        // a typed crash-loop error instead of respawning forever.
+        let job = weighted_job("sssp");
+        let replacement_kills = [(1usize, 0usize); 8];
+        let err = run_local_recoverable_tcp_plan(&job, &[(1, 1)], &replacement_kills)
+            .expect_err("a crash-looping worker must exhaust its budget");
+        let message = err.to_string();
+        assert!(
+            message.contains("crash-loop budget"),
+            "expected a crash-loop budget error, got: {message}"
+        );
     }
 
     #[test]

@@ -6,28 +6,36 @@
 //! ```text
 //! grape-worker serve --listen 127.0.0.1:4817 --workers 4 \
 //!     --algo sssp --graph road:64x64:7 --strategy hash --source 0 \
-//!     [--spawn] [--verify] [--chaos KILL_AT]
+//!     [--checkpoint-every K] [--token SECRET] [--spawn] [--verify] \
+//!     [--chaos KILL_AT[,KILL_AT2,...]]
 //! ```
 //!
 //! Worker (connects, receives its fragment on the wire, evaluates):
 //!
 //! ```text
-//! grape-worker connect 127.0.0.1:4817 [--timeout SECS] [--kill-at N]
+//! grape-worker connect 127.0.0.1:4817 [--timeout SECS] [--token SECRET] [--kill-at N]
 //! grape-worker connect-uds /tmp/grape.sock        # Unix-domain variant
 //! ```
+//!
+//! Algorithms: `sssp`, `cc`, `pagerank`, `cf` on weighted graphs
+//! (`road:WxH:SEED`, `ba:N:M:SEED`); `sim`, `subiso`, `keyword`, `marketing`
+//! on labeled social graphs (`social:PERSONS:PRODUCTS:SEED`).
 //!
 //! `--spawn` makes the coordinator fork the workers itself (k child
 //! processes of this same binary) — the one-command demo. `--verify` reruns
 //! the job in-process over the framed channel transport and asserts the
-//! digests and superstep count match bit for bit. `--chaos KILL_AT` (requires
-//! `--spawn`) is the fault drill: worker 0 SIGKILLs itself upon receiving its
-//! KILL_AT-th command, and the coordinator recovers — respawn, re-ship,
-//! replay — with `--verify` still holding.
+//! digests and superstep count match bit for bit. `--chaos K[,K2,...]`
+//! (requires `--spawn`) is the fault drill: worker i SIGKILLs itself upon
+//! receiving its Ki-th command — several victims exercise concurrent
+//! failure — and the coordinator recovers every one (respawn, re-ship,
+//! replay) with `--verify` still holding. `--token` makes the coordinator
+//! require (and the spawned workers present) the given auth token in the
+//! session handshake.
 
 use grape_core::EngineConfig;
 use grape_worker::{
     kill_self, run_coordinator_connections_recoverable, run_coordinator_connections_with,
-    run_local_framed, run_worker_connection_with, GraphSpec, JobSpec, KillPlan, UdsPathGuard,
+    run_local_framed, run_worker_connection_opts, GraphSpec, JobSpec, UdsPathGuard, WorkerOptions,
 };
 use std::net::{TcpListener, TcpStream};
 use std::process::{Command, Stdio};
@@ -35,12 +43,14 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  grape-worker serve --listen ADDR [--uds PATH] --workers K --algo \
-         sssp|cc|pagerank\n      --graph road:WxH:SEED|ba:N:M:SEED [--strategy NAME] \
-         [--source V] [--threads T] [--timeout SECS] [--checkpoints] [--spawn] [--verify]\n      \
-         [--chaos KILL_AT]   (requires --spawn: worker 0 SIGKILLs itself, run recovers)\n  \
-         grape-worker connect ADDR [--timeout SECS] [--kill-at N]\n  grape-worker connect-uds \
-         PATH [--timeout SECS] [--kill-at N]"
+        "usage:\n  grape-worker serve --listen ADDR [--uds PATH] --workers K\n      --algo \
+         sssp|cc|pagerank|cf|sim|subiso|keyword|marketing\n      --graph \
+         road:WxH:SEED|ba:N:M:SEED|social:P:R:SEED [--strategy NAME]\n      [--source V] \
+         [--threads T] [--timeout SECS] [--checkpoint-every K] [--token SECRET]\n      [--spawn] \
+         [--verify] [--chaos KILL_AT[,KILL_AT2,...]]\n        (--chaos requires --spawn: worker i \
+         SIGKILLs itself at its i-th schedule entry, run recovers)\n  grape-worker connect ADDR \
+         [--timeout SECS] [--token SECRET] [--kill-at N]\n  grape-worker connect-uds PATH \
+         [--timeout SECS] [--token SECRET] [--kill-at N]"
     );
     std::process::exit(2);
 }
@@ -52,14 +62,19 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
 }
 
 /// The worker-side knobs shared by `connect` and `connect-uds`.
-fn worker_knobs(args: &[String]) -> (Option<Duration>, Option<KillPlan>) {
-    let timeout = arg_value(args, "--timeout")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs);
-    let kill: Option<KillPlan> = arg_value(args, "--kill-at")
-        .and_then(|v| v.parse::<usize>().ok())
-        .map(|at| (at, Box::new(kill_self) as Box<dyn FnMut() + Send>));
-    (timeout, kill)
+fn worker_knobs(args: &[String]) -> WorkerOptions {
+    let mut options = WorkerOptions {
+        read_timeout: arg_value(args, "--timeout")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs),
+        token: arg_value(args, "--token"),
+        ..Default::default()
+    };
+    if let Some(at) = arg_value(args, "--kill-at").and_then(|v| v.parse::<usize>().ok()) {
+        options.chaos.kill_at = Some(at);
+        options.on_kill = Some(Box::new(kill_self));
+    }
+    options
 }
 
 fn main() {
@@ -68,17 +83,17 @@ fn main() {
     let result = match mode {
         Some("connect") => {
             let addr = args.get(1).cloned().unwrap_or_else(|| usage());
-            let (timeout, kill) = worker_knobs(&args[1..]);
+            let options = worker_knobs(&args[1..]);
             TcpStream::connect(&addr)
-                .and_then(|s| run_worker_connection_with(s, timeout, kill))
+                .and_then(|s| run_worker_connection_opts(s, options))
                 .map(|digest| println!("worker done, digest {digest:#018x}"))
         }
         #[cfg(unix)]
         Some("connect-uds") => {
             let path = args.get(1).cloned().unwrap_or_else(|| usage());
-            let (timeout, kill) = worker_knobs(&args[1..]);
+            let options = worker_knobs(&args[1..]);
             std::os::unix::net::UnixStream::connect(&path)
-                .and_then(|s| run_worker_connection_with(s, timeout, kill))
+                .and_then(|s| run_worker_connection_opts(s, options))
                 .map(|digest| println!("worker done, digest {digest:#018x}"))
         }
         Some("serve") => serve(&args[1..]),
@@ -102,10 +117,30 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         });
     let spawn = args.iter().any(|a| a == "--spawn");
     let verify = args.iter().any(|a| a == "--verify");
-    let chaos = arg_value(args, "--chaos").and_then(|v| v.parse::<usize>().ok());
-    if chaos.is_some() && !spawn {
-        eprintln!("grape-worker: --chaos requires --spawn (the coordinator respawns the victim)");
-        std::process::exit(2);
+    let token = arg_value(args, "--token");
+    // The kill schedule: entry i is worker i's --kill-at. Several entries
+    // exercise concurrent (same-run, possibly same-superstep) failures.
+    let chaos: Option<Vec<usize>> = arg_value(args, "--chaos").map(|v| {
+        v.split(',')
+            .map(|part| {
+                part.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("grape-worker: bad --chaos entry {part:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    });
+    if let Some(victims) = &chaos {
+        if !spawn {
+            eprintln!(
+                "grape-worker: --chaos requires --spawn (the coordinator respawns the victims)"
+            );
+            std::process::exit(2);
+        }
+        if victims.is_empty() || victims.len() > workers as usize {
+            eprintln!("grape-worker: --chaos needs 1..={workers} kill entries");
+            std::process::exit(2);
+        }
     }
     let job = JobSpec {
         algo,
@@ -120,7 +155,10 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
         vertices: 0, // filled per connection by the coordinator
-        checkpoints: chaos.is_some() || args.iter().any(|a| a == "--checkpoints"),
+        checkpoint_every: arg_value(args, "--checkpoint-every")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if chaos.is_some() { 1 } else { 0 }),
+        token: None, // stamped by the coordinator from the engine config
     };
     let timeout_secs = arg_value(args, "--timeout").and_then(|v| v.parse::<u64>().ok());
     let config = EngineConfig {
@@ -129,13 +167,17 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 .map(Duration::from_secs)
                 .unwrap_or(grape_core::transport::DEFAULT_READ_TIMEOUT),
         ),
+        auth_token: token.clone(),
         ..Default::default()
     };
-    // Both endpoints run the same timeout: the flag is forwarded to spawned
-    // workers so a vanished coordinator is detected symmetrically.
-    let timeout_args: Vec<String> = timeout_secs
+    // Both endpoints run the same timeout and token: the flags are forwarded
+    // to spawned workers so detection and auth are symmetric.
+    let mut shared_args: Vec<String> = timeout_secs
         .map(|s| vec!["--timeout".into(), s.to_string()])
         .unwrap_or_default();
+    if let Some(token) = &token {
+        shared_args.extend(["--token".into(), token.clone()]);
+    }
 
     let outcome = if let Some(path) = arg_value(args, "--uds") {
         #[cfg(unix)]
@@ -146,13 +188,13 @@ fn serve(args: &[String]) -> std::io::Result<()> {
             let listener = std::os::unix::net::UnixListener::bind(guard.path())?;
             eprintln!("coordinator listening on {path}");
             let mut connect_args = vec!["connect-uds".to_string(), path.clone()];
-            connect_args.extend(timeout_args.iter().cloned());
-            let children = maybe_spawn(spawn, workers, chaos, &connect_args)?;
+            connect_args.extend(shared_args.iter().cloned());
+            let children = maybe_spawn(spawn, workers, chaos.as_deref(), &connect_args)?;
             let streams = (0..workers)
                 .map(|_| listener.accept().map(|(s, _)| s))
                 .collect::<std::io::Result<Vec<_>>>()?;
             let replacements = std::cell::RefCell::new(Vec::new());
-            let outcome = match chaos {
+            let outcome = match &chaos {
                 None => run_coordinator_connections_with(&job, streams, &config)?,
                 Some(_) => {
                     let mut respawn = |_worker: usize| {
@@ -162,8 +204,8 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                     run_coordinator_connections_recoverable(&job, streams, &config, &mut respawn)?
                 }
             };
-            reap(children, chaos.is_some())?;
-            reap(replacements.into_inner(), false)?;
+            reap(children, chaos.as_ref().map_or(0, Vec::len))?;
+            reap(replacements.into_inner(), 0)?;
             outcome
         }
         #[cfg(not(unix))]
@@ -177,13 +219,13 @@ fn serve(args: &[String]) -> std::io::Result<()> {
         let addr = listener.local_addr()?.to_string();
         eprintln!("coordinator listening on {addr}");
         let mut connect_args = vec!["connect".to_string(), addr.clone()];
-        connect_args.extend(timeout_args.iter().cloned());
-        let children = maybe_spawn(spawn, workers, chaos, &connect_args)?;
+        connect_args.extend(shared_args.iter().cloned());
+        let children = maybe_spawn(spawn, workers, chaos.as_deref(), &connect_args)?;
         let streams = (0..workers)
             .map(|_| listener.accept().map(|(s, _)| s))
             .collect::<std::io::Result<Vec<_>>>()?;
         let replacements = std::cell::RefCell::new(Vec::new());
-        let outcome = match chaos {
+        let outcome = match &chaos {
             None => run_coordinator_connections_with(&job, streams, &config)?,
             Some(_) => {
                 let mut respawn = |_worker: usize| {
@@ -193,8 +235,8 @@ fn serve(args: &[String]) -> std::io::Result<()> {
                 run_coordinator_connections_recoverable(&job, streams, &config, &mut respawn)?
             }
         };
-        reap(children, chaos.is_some())?;
-        reap(replacements.into_inner(), false)?;
+        reap(children, chaos.as_ref().map_or(0, Vec::len))?;
+        reap(replacements.into_inner(), 0)?;
         outcome
     };
 
@@ -212,11 +254,14 @@ fn serve(args: &[String]) -> std::io::Result<()> {
     }
 
     if verify {
-        // Recovery replays a superstep, so message counts legitimately
-        // exceed the reference after a kill; digests and superstep count
-        // must still match bit for bit.
+        // Recovery replays supersteps, so message counts legitimately exceed
+        // the reference after a kill; digests and superstep count must still
+        // match bit for bit. The recoverable path forces checkpoints on, so
+        // the reference must run the same cadence.
         let mut reference_job = job.clone();
-        reference_job.checkpoints = job.checkpoints || chaos.is_some();
+        if chaos.is_some() && reference_job.checkpoint_every == 0 {
+            reference_job.checkpoint_every = 1;
+        }
         let reference = run_local_framed(&reference_job)?;
         let messages_diverge =
             chaos.is_none() && reference.stats.messages != outcome.stats.messages;
@@ -250,11 +295,11 @@ fn spawn_worker(connect_args: &[String]) -> std::io::Result<std::process::Child>
 }
 
 /// Spawns `workers` copies of this binary in worker mode when `spawn` is
-/// set. Under `--chaos KILL_AT`, worker 0 gets the kill schedule.
+/// set. Under `--chaos`, victim worker i gets kill schedule entry i.
 fn maybe_spawn(
     spawn: bool,
     workers: u32,
-    chaos: Option<usize>,
+    chaos: Option<&[usize]>,
     connect_args: &[String],
 ) -> std::io::Result<Vec<std::process::Child>> {
     if !spawn {
@@ -263,25 +308,24 @@ fn maybe_spawn(
     (0..workers)
         .map(|index| {
             let mut args = connect_args.to_vec();
-            if index == 0 {
-                if let Some(kill_at) = chaos {
-                    args.extend(["--kill-at".to_string(), kill_at.to_string()]);
-                }
+            if let Some(kill_at) = chaos.and_then(|victims| victims.get(index as usize)) {
+                args.extend(["--kill-at".to_string(), kill_at.to_string()]);
             }
             spawn_worker(&args)
         })
         .collect()
 }
 
-/// Waits for the spawned workers. Under chaos one child was SIGKILLed on
-/// purpose; exactly that many non-success exits are tolerated.
-fn reap(children: Vec<std::process::Child>, chaos: bool) -> std::io::Result<()> {
+/// Waits for the spawned workers. Under chaos, `expected_kills` children
+/// were SIGKILLed on purpose; exactly that many non-success exits are
+/// tolerated.
+fn reap(children: Vec<std::process::Child>, expected_kills: usize) -> std::io::Result<()> {
     let mut failures = 0usize;
     for mut child in children {
         let status = child.wait()?;
         if !status.success() {
             failures += 1;
-            if !chaos || failures > 1 {
+            if failures > expected_kills {
                 return Err(std::io::Error::other(format!(
                     "worker process exited with {status}"
                 )));

@@ -16,12 +16,21 @@ fn worker_bin() -> &'static str {
 }
 
 fn job(algo: &str, workers: u32) -> JobSpec {
+    let labeled = matches!(algo, "sim" | "subiso" | "keyword" | "marketing");
     JobSpec {
         algo: algo.into(),
-        graph: GraphSpec::Road {
-            width: 14,
-            height: 14,
-            seed: 7,
+        graph: if labeled {
+            GraphSpec::Social {
+                persons: 40,
+                products: 5,
+                seed: 7,
+            }
+        } else {
+            GraphSpec::Road {
+                width: 14,
+                height: 14,
+                seed: 7,
+            }
         },
         strategy: "hash".into(),
         workers,
@@ -29,7 +38,8 @@ fn job(algo: &str, workers: u32) -> JobSpec {
         source: 0,
         threads: 1,
         vertices: 0,
-        checkpoints: false,
+        checkpoint_every: 0,
+        token: None,
     }
 }
 
@@ -61,7 +71,16 @@ fn reap(children: Vec<Child>) {
 
 #[test]
 fn tcp_workers_match_the_in_process_reference() {
-    for algo in ["sssp", "cc", "pagerank"] {
+    for algo in [
+        "sssp",
+        "cc",
+        "pagerank",
+        "cf",
+        "sim",
+        "subiso",
+        "keyword",
+        "marketing",
+    ] {
         let job = job(algo, 3);
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr").to_string();
@@ -144,7 +163,7 @@ fn silent_workers_fail_the_run_with_a_typed_timeout_error() {
     );
     let message = err.to_string();
     assert!(
-        message.contains("worker lost") && message.contains("read timeout"),
+        message.contains("lost") && message.contains("read timeout"),
         "expected a typed worker-lost timeout error, got: {message}"
     );
     drop(held_clients);
@@ -186,6 +205,67 @@ fn a_killed_worker_surfaces_a_typed_error_quickly() {
         let _ = child.kill();
         let _ = child.wait();
     }
+}
+
+#[test]
+fn mismatched_or_missing_auth_tokens_are_rejected() {
+    // A coordinator with an auth token must refuse workers presenting the
+    // wrong token — or none — with a typed PermissionDenied error, before
+    // any job state is shipped.
+    for wrong_args in [
+        vec!["--token", "not-the-secret"], // mismatched
+        vec![],                            // missing entirely
+    ] {
+        let job = job("sssp", 1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let mut args = vec!["connect", &addr];
+        args.extend(wrong_args.iter());
+        let children = spawn_workers(&args, 1);
+        let streams = vec![listener.accept().expect("accept").0];
+        let config = EngineConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            auth_token: Some("the-secret".into()),
+            ..Default::default()
+        };
+        let err = run_coordinator_connections_with(&job, streams, &config)
+            .expect_err("a wrong token must be rejected");
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::PermissionDenied,
+            "want a typed PermissionDenied, got: {err}"
+        );
+        assert!(
+            err.to_string().contains("auth token"),
+            "unhelpful auth error: {err}"
+        );
+        // The rejected worker never gets a job and exits with an error of
+        // its own; just make sure it is gone.
+        for mut child in children {
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn matching_auth_tokens_run_to_completion() {
+    let job = job("sssp", 2);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let children = spawn_workers(&["connect", &addr, "--token", "the-secret"], job.workers);
+    let streams = (0..job.workers)
+        .map(|_| listener.accept().expect("accept").0)
+        .collect();
+    let config = EngineConfig {
+        auth_token: Some("the-secret".into()),
+        ..Default::default()
+    };
+    let remote =
+        run_coordinator_connections_with(&job, streams, &config).expect("authenticated run");
+    reap(children);
+    let reference = run_local_framed(&job).expect("local run");
+    assert_eq!(remote.digests, reference.digests);
+    assert_eq!(remote.stats.supersteps, reference.stats.supersteps);
 }
 
 #[test]

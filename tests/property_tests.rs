@@ -276,19 +276,19 @@ proptest! {
                     ..Default::default()
                 };
                 let sssp = GrapeEngine::new(SsspProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
                     .unwrap();
                 let cc = GrapeEngine::new(CcProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&CcQuery, &graph, &assignment)
                     .unwrap();
                 let pr = GrapeEngine::new(PageRankProgram::new(pr_n))
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&pr_query, &graph, &assignment)
                     .unwrap();
                 let cf = GrapeEngine::new(CfProgram::new(pr_n / 2))
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&cf_query, &graph, &assignment)
                     .unwrap();
                 (sssp, cc, pr, cf)
@@ -374,19 +374,19 @@ proptest! {
                     ..Default::default()
                 };
                 let sssp = GrapeEngine::new(SsspProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
                     .unwrap();
                 let cc = GrapeEngine::new(CcProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&CcQuery, &graph, &assignment)
                     .unwrap();
                 let pr = GrapeEngine::new(PageRankProgram::new(n))
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&pr_query, &graph, &assignment)
                     .unwrap();
                 let cf = GrapeEngine::new(CfProgram::new(n / 2))
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&cf_query, &graph, &assignment)
                     .unwrap();
                 (sssp, cc, pr, cf)
@@ -541,19 +541,19 @@ proptest! {
                     ..Default::default()
                 };
                 let sim = GrapeEngine::new(SimProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
                     .unwrap();
                 let sub = GrapeEngine::new(SubIsoProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
                     .unwrap();
                 let kw = GrapeEngine::new(KeywordProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&kq, &graph, &assignment)
                     .unwrap();
                 let mk = GrapeEngine::new(MarketingProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&mq, &graph, &assignment)
                     .unwrap();
                 (sim, sub, kw, mk)
@@ -624,15 +624,15 @@ proptest! {
                     ..Default::default()
                 };
                 let sim = GrapeEngine::new(SimProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
                     .unwrap();
                 let sub = GrapeEngine::new(SubIsoProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&SubIsoQuery::new(pattern.clone()), &graph, &assignment)
                     .unwrap();
                 let kw = GrapeEngine::new(KeywordProgram)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .run_on_graph(&kq, &graph, &assignment)
                     .unwrap();
                 (sim, sub, kw)
@@ -661,5 +661,91 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// Round-trips every fragment's PEval partial through the checkpoint codec
+/// ([`snapshot_partial`](grape::core::PieProgram::snapshot_partial) /
+/// `restore_partial`) and asserts the re-snapshot of the restored partial is
+/// byte-identical — the bit-exactness recovery relies on — and that
+/// truncated snapshots are rejected instead of misread.
+fn audit_snapshot_roundtrip<P: grape::core::PieProgram>(
+    program: &P,
+    query: &P::Query,
+    fragments: &[Fragment<P::VertexData, P::EdgeData>],
+) {
+    use grape::core::PieContext;
+    for fragment in fragments {
+        let mut ctx = PieContext::new();
+        let slots: Vec<u32> = (0..fragment.border_vertices().len() as u32).collect();
+        ctx.configure_borders(fragment.border_vertices(), &slots);
+        let partial = program.peval(query, fragment, &mut ctx);
+        let bytes = program
+            .snapshot_partial(&partial)
+            .expect("every query class snapshots its partial");
+        let restored = program.restore_partial(&bytes).expect("snapshot restores");
+        let again = program
+            .snapshot_partial(&restored)
+            .expect("restored partial re-snapshots");
+        assert_eq!(
+            bytes,
+            again,
+            "{}: restored partial re-snapshots differently",
+            program.name()
+        );
+        if !bytes.is_empty() {
+            assert!(
+                program.restore_partial(&bytes[..bytes.len() - 1]).is_none(),
+                "{}: truncated snapshot must be rejected",
+                program.name()
+            );
+        }
+    }
+}
+
+// Snapshot audit: recovery restores lost workers from these bytes, so every
+// query class's partial must survive the checkpoint codec bit-exactly on
+// arbitrary graphs, not just the unit-test fixtures.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pattern_partial_snapshots_roundtrip_bit_identically(
+        graph in arb_labeled_graph(32, 120),
+        k in 2usize..5,
+    ) {
+        let pattern = chain_pattern();
+        let assignment = BuiltinStrategy::Hash.partition(&graph, k);
+        let fragments = build_fragments(&graph, &assignment);
+        audit_snapshot_roundtrip(&SimProgram, &SimQuery::new(pattern.clone()), &fragments);
+        audit_snapshot_roundtrip(&SubIsoProgram, &SubIsoQuery::new(pattern.clone()), &fragments);
+        audit_snapshot_roundtrip(
+            &KeywordProgram,
+            &KeywordQuery::new(["phone", "laptop"], 6.0),
+            &fragments,
+        );
+        audit_snapshot_roundtrip(&MarketingProgram, &MarketingQuery::new(0), &fragments);
+    }
+
+    #[test]
+    fn numeric_partial_snapshots_roundtrip_bit_identically(
+        graph in arb_graph(32, 120),
+        k in 2usize..5,
+    ) {
+        let assignment = BuiltinStrategy::Hash.partition(&graph, k);
+        let fragments = build_fragments(&graph, &assignment);
+        let n = graph.num_vertices();
+        audit_snapshot_roundtrip(&SsspProgram, &SsspQuery::new(0), &fragments);
+        audit_snapshot_roundtrip(&CcProgram, &CcQuery, &fragments);
+        audit_snapshot_roundtrip(
+            &PageRankProgram { global_vertices: n },
+            &PageRankQuery::default(),
+            &fragments,
+        );
+        audit_snapshot_roundtrip(
+            &CfProgram::new(n / 2),
+            &CfQuery { rank: 3, epochs: 3, ..Default::default() },
+            &fragments,
+        );
     }
 }
