@@ -63,7 +63,7 @@ impl Default for CfQuery {
 }
 
 /// The learned model: a factor vector per vertex (users and items alike).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CfModel {
     /// Factor vectors keyed by vertex id.
     pub factors: HashMap<VertexId, Vec<f64>>,

@@ -28,6 +28,7 @@ pub mod cf;
 pub mod keyword;
 pub mod marketing;
 pub mod pagerank;
+pub mod query;
 pub mod sim;
 pub mod sssp;
 pub mod subiso;
@@ -37,6 +38,10 @@ pub use cf::{CfModel, CfProgram, CfQuery};
 pub use keyword::{KeywordAnswer, KeywordProgram, KeywordQuery};
 pub use marketing::{Gpar, MarketingProgram, MarketingQuery, Prospect};
 pub use pagerank::{PageRankProgram, PageRankQuery};
+pub use query::{
+    digest_cf, digest_embeddings, digest_f64_map, digest_keyword, digest_prospects, digest_sim,
+    digest_u64_map, Query, QueryClass, QueryResult,
+};
 pub use sim::{SimMatches, SimProgram, SimQuery, SimQueryError};
 pub use sssp::{SsspProgram, SsspQuery};
 pub use subiso::{Embeddings, SubIsoProgram, SubIsoQuery};

@@ -23,14 +23,19 @@ use std::process::ExitCode;
 
 /// Gated / reported metrics, in table order. `recovery_ms` (checkpoint
 /// cadence 1) and `recovery_k4_ms` (cadence 4) only exist on the
-/// single-threaded recovery-drill rows; rows without them simply have no
-/// entry (and a baseline without them reports "new metric (not gated)").
-const METRICS: [&str; 5] = [
+/// single-threaded recovery-drill rows; `service_p50_ms` / `service_p99_ms`
+/// (per-query latency through a resident query-service session) likewise
+/// only on the single-threaded SSSP/CC/PageRank rows. Rows without them
+/// simply have no entry (and a baseline without them reports "new metric
+/// (not gated)").
+const METRICS: [&str; 7] = [
     "wall_ms",
     "coord_ms",
     "framed_wall_ms",
     "recovery_ms",
     "recovery_k4_ms",
+    "service_p50_ms",
+    "service_p99_ms",
 ];
 
 struct BenchRow {

@@ -3,7 +3,7 @@
 //! Keyword, CF) on a labeled social graph and a bipartite rating graph —
 //! all through the full PIE engine, on both transport backends.
 //!
-//! Writes `BENCH_pr8.json` (or `BENCH_pr8_smoke.json` with `--smoke`) in the
+//! Writes `BENCH_pr9.json` (or `BENCH_pr9_smoke.json` with `--smoke`) in the
 //! current directory, one machine-readable row per `(algo, graph)` pair:
 //!
 //! ```json
@@ -31,11 +31,20 @@
 //! commands). The recovered digests are asserted bit-identical to the
 //! undisturbed run before the timing is accepted.
 //!
+//! `service_p50_ms` / `service_p99_ms` (single-threaded SSSP/CC/PageRank
+//! rows) are per-query latency percentiles through the resident query
+//! service: one `GrapeService` daemon over framed TCP, fragments loaded
+//! once, then a stream of identical queries submitted through a `Session` —
+//! each query paying connection setup, the BSP fixpoint and result
+//! assembly, but *not* partitioning or fragment shipping.
+//!
 //! Pass `--smoke` for a small configuration suitable for CI: same format,
 //! seconds instead of minutes. CI regression-gates `wall_ms` / `coord_ms` /
-//! `framed_wall_ms` / `recovery_ms` of the smoke artifact against the
-//! committed baseline via the `bench_gate` binary.
+//! `framed_wall_ms` / `recovery_ms` / `service_p50_ms` / `service_p99_ms`
+//! of the smoke artifact against the committed baseline via the
+//! `bench_gate` binary.
 
+use grape_algo::Query;
 use grape_algo::{
     CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, PageRankProgram,
     PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
@@ -48,8 +57,12 @@ use grape_graph::generators::{
 };
 use grape_graph::labels::PatternGraph;
 use grape_graph::CsrGraph;
+use grape_partition::BuiltinStrategy;
 use grape_partition::{HashPartitioner, Partitioner};
-use grape_worker::{run_local_framed, run_local_recoverable_tcp, GraphSpec, JobSpec};
+use grape_worker::{
+    run_local_framed, run_local_recoverable_tcp, GrapeService, GraphSpec, JobSpec, ServiceOptions,
+    Session, SessionConfig, SessionGraph,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -75,6 +88,10 @@ struct Row {
     /// The same recovery drill at checkpoint cadence 4: bounded replay of up
     /// to 4 commands since the last snapshot.
     recovery_k4_ms: Option<f64>,
+    /// Median per-query latency through a resident TCP query service.
+    service_p50_ms: Option<f64>,
+    /// Tail (p99) per-query latency through the same resident service.
+    service_p99_ms: Option<f64>,
 }
 
 impl Row {
@@ -99,6 +116,12 @@ impl Row {
             .unwrap_or_default();
         if let Some(ms) = self.recovery_k4_ms {
             let _ = write!(recovery, ", \"recovery_k4_ms\": {ms:.3}");
+        }
+        if let Some(ms) = self.service_p50_ms {
+            let _ = write!(recovery, ", \"service_p50_ms\": {ms:.3}");
+        }
+        if let Some(ms) = self.service_p99_ms {
+            let _ = write!(recovery, ", \"service_p99_ms\": {ms:.3}");
         }
         format!(
             "{{\"algo\": \"{}\", \"graph\": \"{}\", \"n\": {}, \"m\": {}, \"k\": {}, \
@@ -168,17 +191,16 @@ where
     let fragments = grape_partition::build_fragments(graph, &assignment);
     let pinned = ThreadCount::Fixed(threads as u32);
 
-    let engine = GrapeEngine::new(program.clone()).with_config(EngineConfig {
-        threads_per_worker: pinned,
-        ..Default::default()
-    });
+    let engine = GrapeEngine::new(program.clone())
+        .with_config(EngineConfig::builder().threads_per_worker(pinned).build());
     let (wall_ms, stats) = best_run(&engine, query, &fragments, reps);
 
-    let framed_engine = GrapeEngine::new(program).with_config(EngineConfig {
-        transport: TransportKind::Framed,
-        threads_per_worker: pinned,
-        ..Default::default()
-    });
+    let framed_engine = GrapeEngine::new(program).with_config(
+        EngineConfig::builder()
+            .transport(TransportKind::Framed)
+            .threads_per_worker(pinned)
+            .build(),
+    );
     let (framed_wall_ms, framed_stats) = best_run(&framed_engine, query, &fragments, reps);
 
     let row = Row {
@@ -195,6 +217,8 @@ where
         wire_bytes: framed_stats.bytes,
         recovery_ms: None,
         recovery_k4_ms: None,
+        service_p50_ms: None,
+        service_p99_ms: None,
     };
     eprintln!(
         "{:>8} on {:<5}: n={} m={} k={} t={} wall={:.2}ms peval={:.2}ms inceval={:.2}ms \
@@ -264,15 +288,56 @@ fn recovery_best_ms(
     best
 }
 
+/// Per-query latency percentiles through a resident query service: one TCP
+/// daemon, fragments loaded once, then `queries` identical submissions
+/// measured individually. Returns `(p50, p99)` in milliseconds.
+fn service_percentiles(
+    graph: &CsrGraph<(), f64>,
+    algo: &str,
+    k: usize,
+    queries: usize,
+) -> (f64, f64) {
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind service")
+        .spawn()
+        .expect("spawn service");
+    let session = Session::connect(SessionConfig::remote(k, vec![daemon.endpoint().clone()]))
+        .expect("connect session");
+    session
+        .load(&SessionGraph::from(graph.clone()), BuiltinStrategy::Hash)
+        .expect("load graph");
+    let query = match algo {
+        "sssp" => Query::sssp(0),
+        "cc" => Query::cc(),
+        "pagerank" => Query::pagerank(),
+        other => unreachable!("no service row for {other}"),
+    };
+    let mut latencies = Vec::with_capacity(queries);
+    for _ in 0..queries.max(2) {
+        let t0 = Instant::now();
+        session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("service query");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    daemon.shutdown().expect("shutdown service");
+    latencies.sort_by(f64::total_cmp);
+    let pick = |q: f64| latencies[((latencies.len() as f64 - 1.0) * q).round() as usize];
+    (pick(0.50), pick(0.99))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let k = 4;
     let reps = if smoke { 2 } else { 3 };
     let out_file = if smoke {
-        "BENCH_pr8_smoke.json"
+        "BENCH_pr9_smoke.json"
     } else {
-        "BENCH_pr8.json"
+        "BENCH_pr9.json"
     };
+    let service_queries = if smoke { 10 } else { 30 };
     // The thread axis: the four ported hot loops run once single-threaded
     // and once on a 4-thread pool (results are bit-identical; only the wall
     // clock may differ). The remaining classes stay single-threaded rows.
@@ -320,12 +385,18 @@ fn main() {
             if threads == 1 {
                 sssp.recovery_ms = Some(recovery_best_ms("sssp", spec, k as u32, 1, reps));
                 sssp.recovery_k4_ms = Some(recovery_best_ms("sssp", spec, k as u32, 4, reps));
+                let (p50, p99) = service_percentiles(g, "sssp", k, service_queries);
+                sssp.service_p50_ms = Some(p50);
+                sssp.service_p99_ms = Some(p99);
             }
             rows.push(sssp);
             let mut cc = run_case("cc", graph_name, CcProgram, &CcQuery, g, k, threads, reps);
             if threads == 1 {
                 cc.recovery_ms = Some(recovery_best_ms("cc", spec, k as u32, 1, reps));
                 cc.recovery_k4_ms = Some(recovery_best_ms("cc", spec, k as u32, 4, reps));
+                let (p50, p99) = service_percentiles(g, "cc", k, service_queries);
+                cc.service_p50_ms = Some(p50);
+                cc.service_p99_ms = Some(p99);
             }
             rows.push(cc);
             let mut pagerank = run_case(
@@ -342,6 +413,9 @@ fn main() {
                 pagerank.recovery_ms = Some(recovery_best_ms("pagerank", spec, k as u32, 1, reps));
                 pagerank.recovery_k4_ms =
                     Some(recovery_best_ms("pagerank", spec, k as u32, 4, reps));
+                let (p50, p99) = service_percentiles(g, "pagerank", k, service_queries);
+                pagerank.service_p50_ms = Some(p50);
+                pagerank.service_p99_ms = Some(p99);
             }
             rows.push(pagerank);
         }

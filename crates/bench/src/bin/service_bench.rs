@@ -1,0 +1,182 @@
+//! Query-service throughput/latency benchmark.
+//!
+//! Spins up one resident `GrapeService` daemon over framed TCP, loads a
+//! graph once, then fires `--clients` concurrent client threads at it —
+//! each submitting `--queries` queries round-robin over the weighted query
+//! classes (SSSP, CC, PageRank) through a shared `Session`. Every query
+//! pays connection setup, the BSP fixpoint and result assembly, but the
+//! partition and fragments stay resident across the whole run.
+//!
+//! Reports per-class and overall latency percentiles (p50/p95/p99) plus
+//! aggregate throughput, as a markdown table on stdout:
+//!
+//! ```text
+//! service_bench [--smoke] [--clients N] [--queries Q] [--workers K] \
+//!               [--graph SPEC]
+//! ```
+//!
+//! `--smoke` shrinks the workload for CI (small graph, 4 clients × 6
+//! queries); without it the defaults are 8 clients × 25 queries over a
+//! 20k-vertex Barabási–Albert graph. Digests of every response are checked
+//! against a cold one-shot reference, so a throughput number from a wrong
+//! answer cannot be reported.
+
+use grape_algo::Query;
+use grape_partition::BuiltinStrategy;
+use grape_worker::{GrapeService, GraphSpec, ServiceOptions, Session, SessionConfig, SessionGraph};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() as f64 - 1.0) * q).round() as usize]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let clients: usize = arg_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 4 } else { 8 });
+    let queries_per_client: usize = arg_value(&args, "--queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 6 } else { 25 });
+    let workers: usize = arg_value(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let spec_text = arg_value(&args, "--graph").unwrap_or_else(|| {
+        if smoke {
+            "ba:2000:3:11"
+        } else {
+            "ba:20000:3:11"
+        }
+        .into()
+    });
+
+    let spec = GraphSpec::parse(&spec_text).expect("graph spec");
+    let graph = SessionGraph::generate(&spec).expect("generator");
+    let classes = [Query::sssp(0), Query::cc(), Query::pagerank()];
+
+    // Cold one-shot digests: the correctness reference for every response.
+    let reference: Vec<u64> = classes
+        .iter()
+        .map(|query| {
+            let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+            session.load(&graph, BuiltinStrategy::Hash).expect("load");
+            session
+                .submit(query.clone())
+                .expect("submit")
+                .join()
+                .expect("cold run")
+                .result
+                .digest()
+        })
+        .collect();
+
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    eprintln!("daemon listening on {}", daemon.endpoint());
+
+    let session = Session::connect(SessionConfig::remote(
+        workers,
+        vec![daemon.endpoint().clone()],
+    ))
+    .expect("connect");
+    session.load(&graph, BuiltinStrategy::Hash).expect("load");
+
+    // Warm-up: one query per class, unmeasured.
+    for query in &classes {
+        session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("warm-up");
+    }
+
+    let classes = Arc::new(classes);
+    let reference = Arc::new(reference);
+    let wall = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|client| {
+            let session = session.clone();
+            let classes = Arc::clone(&classes);
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut latencies: Vec<(&'static str, f64)> =
+                    Vec::with_capacity(queries_per_client);
+                for i in 0..queries_per_client {
+                    let which = (client + i) % classes.len();
+                    let query = classes[which].clone();
+                    let name = match which {
+                        0 => "sssp",
+                        1 => "cc",
+                        _ => "pagerank",
+                    };
+                    let t0 = Instant::now();
+                    let outcome = session
+                        .submit(query)
+                        .expect("submit")
+                        .join()
+                        .expect("service query");
+                    latencies.push((name, t0.elapsed().as_secs_f64() * 1e3));
+                    assert_eq!(
+                        outcome.result.digest(),
+                        reference[which],
+                        "client {client} query {i} ({name}): digest mismatch vs cold run"
+                    );
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut by_class: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for thread in threads {
+        for (name, ms) in thread.join().expect("client thread") {
+            by_class.entry(name).or_default().push(ms);
+        }
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    daemon.shutdown().expect("shutdown");
+
+    let total = clients * queries_per_client;
+    println!(
+        "\n## service_bench — {spec_text}, {workers} workers, {clients} clients × {queries_per_client} queries\n"
+    );
+    println!("| class | queries | p50 ms | p95 ms | p99 ms | max ms |");
+    println!("|---|---|---|---|---|---|");
+    let mut all: Vec<f64> = Vec::with_capacity(total);
+    for (name, latencies) in &mut by_class {
+        latencies.sort_by(f64::total_cmp);
+        all.extend_from_slice(latencies);
+        println!(
+            "| {name} | {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            latencies.len(),
+            percentile(latencies, 0.50),
+            percentile(latencies, 0.95),
+            percentile(latencies, 0.99),
+            latencies.last().copied().unwrap_or(f64::NAN),
+        );
+    }
+    all.sort_by(f64::total_cmp);
+    println!(
+        "| **all** | {total} | {:.2} | {:.2} | {:.2} | {:.2} |",
+        percentile(&all, 0.50),
+        percentile(&all, 0.95),
+        percentile(&all, 0.99),
+        all.last().copied().unwrap_or(f64::NAN),
+    );
+    println!(
+        "\nthroughput: {:.1} queries/s over {:.2} s wall (all digests verified)",
+        total as f64 / wall_s,
+        wall_s
+    );
+}

@@ -56,6 +56,28 @@ pub const VERSION: u8 = 2;
 /// than BSP traffic.
 pub const TAG_HELLO: u8 = 0x05;
 
+/// Frame tag of a client→service **graph load** request: the payload names a
+/// graph id, the payload family and one fragment index, and the next frame on
+/// the connection is the fragment itself. The service keeps the decoded
+/// fragment resident, so later queries against the same graph id never re-ship
+/// graph bytes.
+pub const TAG_LOAD: u8 = 0x30;
+
+/// Frame tag of the service→client **load acknowledgement**: the graph id the
+/// fragment was stored under. Sent once per [`TAG_LOAD`] request.
+pub const TAG_LOADED: u8 = 0x31;
+
+/// Frame tag of a client→service **query submission** against a resident
+/// graph. The frame's epoch field carries the query's *run id*, which fences
+/// the whole BSP exchange of that query: every frame of the run is stamped
+/// with it, and recovery bumps it exactly like the one-shot epoch path.
+pub const TAG_QUERY: u8 = 0x32;
+
+/// Frame tag of the service→client **query result**: the fragment's result
+/// digest plus its snapshot-encoded partial result, from which the client
+/// reassembles the full typed answer.
+pub const TAG_RESULT: u8 = 0x33;
+
 /// Size of the frame header: magic (2) + version (1) + tag (1) + epoch (4) +
 /// length (4).
 pub const HEADER_LEN: usize = 12;

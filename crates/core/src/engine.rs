@@ -550,6 +550,13 @@ pub struct EngineConfig {
     /// coordinator ships them a job; mismatched or missing tokens are
     /// rejected with a typed error. `None` accepts every connection.
     pub auth_token: Option<String>,
+    /// The query's run id, stamped into [`RunStats::run_id`] and used as the
+    /// starting wire epoch of the run: stream frames carry it in their
+    /// header, so a service multiplexing queries over resident workers can
+    /// fence each query's traffic by its own id (recovery still bumps the
+    /// epoch per recovered worker, starting from this base). One-shot runs
+    /// keep the default `0`.
+    pub run_id: u32,
 }
 
 impl Default for EngineConfig {
@@ -563,7 +570,98 @@ impl Default for EngineConfig {
             read_timeout: Some(transport::DEFAULT_READ_TIMEOUT),
             checkpoint_every: 0,
             auth_token: None,
+            run_id: 0,
         }
+    }
+}
+
+impl EngineConfig {
+    /// A typed builder starting from the defaults — the preferred way to
+    /// construct a configuration (the struct fields stay public for now, but
+    /// new call sites should go through the builder).
+    ///
+    /// ```
+    /// use grape_core::{EngineConfig, ExecutionMode};
+    ///
+    /// let config = EngineConfig::builder()
+    ///     .execution(ExecutionMode::Inline)
+    ///     .checkpoint_every(3)
+    ///     .build();
+    /// assert_eq!(config.checkpoint_every, 3);
+    /// ```
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Typed builder for [`EngineConfig`], created by [`EngineConfig::builder`].
+/// Every setter has the same name and semantics as the field it sets;
+/// unset knobs keep their [`EngineConfig::default`] values.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets [`EngineConfig::max_supersteps`].
+    pub fn max_supersteps(mut self, max_supersteps: usize) -> Self {
+        self.config.max_supersteps = max_supersteps;
+        self
+    }
+
+    /// Sets [`EngineConfig::check_monotonicity`].
+    pub fn check_monotonicity(mut self, check: bool) -> Self {
+        self.config.check_monotonicity = check;
+        self
+    }
+
+    /// Sets [`EngineConfig::execution`].
+    pub fn execution(mut self, execution: ExecutionMode) -> Self {
+        self.config.execution = execution;
+        self
+    }
+
+    /// Sets [`EngineConfig::transport`].
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.config.transport = transport;
+        self
+    }
+
+    /// Sets [`EngineConfig::threads_per_worker`].
+    pub fn threads_per_worker(mut self, threads: ThreadCount) -> Self {
+        self.config.threads_per_worker = threads;
+        self
+    }
+
+    /// Sets [`EngineConfig::read_timeout`].
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.read_timeout = timeout;
+        self
+    }
+
+    /// Sets [`EngineConfig::checkpoint_every`].
+    pub fn checkpoint_every(mut self, cadence: usize) -> Self {
+        self.config.checkpoint_every = cadence;
+        self
+    }
+
+    /// Sets [`EngineConfig::auth_token`].
+    pub fn auth_token(mut self, token: impl Into<String>) -> Self {
+        self.config.auth_token = Some(token.into());
+        self
+    }
+
+    /// Sets [`EngineConfig::run_id`].
+    pub fn run_id(mut self, run_id: u32) -> Self {
+        self.config.run_id = run_id;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -731,6 +829,7 @@ impl<P: PieProgram> GrapeEngine<P> {
 
         let (partials, mut stats_out) = run_result?;
         let output = self.program.assemble(partials);
+        stats_out.run_id = self.config.run_id;
         stats_out.wall_time = started.elapsed();
         Ok(GrapeResult {
             output,
@@ -791,6 +890,7 @@ impl<P: PieProgram> GrapeEngine<P> {
         let mut stats_out = coordination?;
         stats_out.num_workers = n;
         stats_out.program = program.name().to_string();
+        stats_out.run_id = self.config.run_id;
         stats_out.wall_time = started.elapsed();
         Ok(stats_out)
     }
@@ -838,7 +938,7 @@ impl<P: PieProgram> GrapeEngine<P> {
             checkpoints: (0..n).map(|_| None).collect(),
             log: (0..n).map(|_| Vec::new()).collect(),
             attempts: vec![0; n],
-            epoch: 0,
+            epoch: self.config.run_id,
             recoveries: 0,
             recover,
         };
@@ -872,6 +972,7 @@ impl<P: PieProgram> GrapeEngine<P> {
         stats_out.recoveries = rec.recoveries;
         stats_out.num_workers = n;
         stats_out.program = program.name().to_string();
+        stats_out.run_id = self.config.run_id;
         stats_out.wall_time = started.elapsed();
         Ok(stats_out)
     }

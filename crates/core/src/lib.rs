@@ -39,16 +39,21 @@ pub mod engine;
 pub mod message;
 pub mod par;
 pub mod program;
+pub mod scratch;
 pub mod ship;
 pub mod stats;
 pub mod transport;
 
 pub use chaos::{ChaosConfig, ChaosCoordTransport, ChaosWorkerTransport, DeterministicRng};
 pub use context::PieContext;
-pub use engine::{run_worker, EngineConfig, ExecutionMode, GrapeEngine, GrapeResult, RunError};
+pub use engine::{
+    run_worker, EngineConfig, EngineConfigBuilder, ExecutionMode, GrapeEngine, GrapeResult,
+    RunError,
+};
 pub use message::VertexValue;
 pub use par::{ThreadCount, ThreadPool};
 pub use program::PieProgram;
+pub use scratch::ScratchPool;
 pub use ship::{
     decode_fragment, decode_fragment_parts, encode_fragment, encode_fragment_epoch,
     encode_fragment_parts, TAG_FRAGMENT,

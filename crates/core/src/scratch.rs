@@ -1,0 +1,121 @@
+//! Per-query scratch-buffer recycling for resident sessions.
+//!
+//! One-shot runs could lean on process teardown to reclaim encode buffers; a
+//! resident service cannot — its workers serve an unbounded query stream, so
+//! scratch state must be recycled *and provably clean* between queries. A
+//! [`ScratchPool`] keys recycled byte buffers by query id (the run id of the
+//! query that used them) and asserts on every acquire that a recycled buffer
+//! comes back empty: a dirty buffer means some code path released scratch
+//! without resetting it, exactly the class of cross-query leak that would
+//! corrupt a later query's frames.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A pool of recycled byte buffers, keyed by query (run) id.
+///
+/// The discipline is deliberate:
+///
+/// * [`ScratchPool::release`] stores the buffer **verbatim** — it does not
+///   clear it for the caller. Resetting scratch is the releasing code path's
+///   job, which keeps the pool an effective leak detector instead of a
+///   blanket absolution.
+/// * [`ScratchPool::acquire`] `debug_assert!`s that every recycled buffer is
+///   empty, so a forgotten reset fails loudly in debug/test builds instead
+///   of silently prefixing the next query's bytes with the last query's.
+/// * [`ScratchPool::retire`] drops a finished query's buffers so a resident
+///   process does not accumulate scratch for every query it ever served.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<HashMap<u32, Vec<Vec<u8>>>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a buffer for `query_id`: a recycled one when available
+    /// (asserting it was released clean), a fresh one otherwise.
+    pub fn acquire(&self, query_id: u32) -> Vec<u8> {
+        let mut free = self.free.lock().unwrap();
+        match free.get_mut(&query_id).and_then(Vec::pop) {
+            Some(buf) => {
+                debug_assert!(
+                    buf.is_empty(),
+                    "scratch leak: buffer for query {query_id} recycled with {} stale bytes",
+                    buf.len()
+                );
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns `buf` to `query_id`'s free list, verbatim. Callers must clear
+    /// the buffer first (keeping its capacity); [`ScratchPool::acquire`]
+    /// asserts on that.
+    pub fn release(&self, query_id: u32, buf: Vec<u8>) {
+        self.free
+            .lock()
+            .unwrap()
+            .entry(query_id)
+            .or_default()
+            .push(buf);
+    }
+
+    /// Drops every buffer held for `query_id` (the query finished).
+    pub fn retire(&self, query_id: u32) {
+        self.free.lock().unwrap().remove(&query_id);
+    }
+
+    /// Buffers currently pooled for `query_id`.
+    pub fn pooled(&self, query_id: u32) -> usize {
+        self.free.lock().unwrap().get(&query_id).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity_per_query() {
+        let pool = ScratchPool::new();
+        let mut buf = pool.acquire(7);
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = buf.capacity();
+        buf.clear();
+        pool.release(7, buf);
+        assert_eq!(pool.pooled(7), 1);
+
+        // Another query's id never sees query 7's buffers.
+        assert_eq!(pool.acquire(8).capacity(), 0);
+
+        let recycled = pool.acquire(7);
+        assert_eq!(recycled.capacity(), cap);
+        assert!(recycled.is_empty());
+        assert_eq!(pool.pooled(7), 0);
+    }
+
+    #[test]
+    fn retire_drops_a_querys_buffers() {
+        let pool = ScratchPool::new();
+        pool.release(3, Vec::with_capacity(64));
+        pool.release(3, Vec::with_capacity(64));
+        assert_eq!(pool.pooled(3), 2);
+        pool.retire(3);
+        assert_eq!(pool.pooled(3), 0);
+        assert_eq!(pool.acquire(3).capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch leak")]
+    #[cfg(debug_assertions)]
+    fn dirty_release_is_caught_on_acquire() {
+        let pool = ScratchPool::new();
+        pool.release(1, vec![0xde, 0xad]);
+        let _ = pool.acquire(1);
+    }
+}

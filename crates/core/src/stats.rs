@@ -34,16 +34,22 @@ pub struct SuperstepTrace {
     pub bytes: u64,
 }
 
-/// Statistics of one [`crate::GrapeEngine::run`] invocation.
+/// Statistics of one query — a [`crate::GrapeEngine::run`] invocation, or
+/// one submitted query of a resident service session (which runs many of
+/// these over the same fragments, one per query).
 #[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Name of the PIE program that ran.
     pub program: String,
+    /// The query's run id ([`crate::EngineConfig::run_id`]): the base wire
+    /// epoch its stream frames carried, letting service sessions match
+    /// per-query stats to submitted queries. `0` for one-shot runs.
+    pub run_id: u32,
     /// Number of fragments / workers.
     pub num_workers: usize,
     /// Number of supersteps executed (PEval counts as one).
     pub supersteps: usize,
-    /// Wall-clock duration of the whole run, including assemble.
+    /// Wall-clock duration of the whole query, including assemble.
     pub wall_time: Duration,
     /// Wall-clock seconds spent in PEval (critical path: the slowest worker
     /// per superstep under threaded execution, the summed worker time when
@@ -102,6 +108,7 @@ mod tests {
     fn derived_quantities() {
         let stats = RunStats {
             program: "sssp".into(),
+            run_id: 0,
             num_workers: 4,
             supersteps: 3,
             wall_time: Duration::from_millis(1500),

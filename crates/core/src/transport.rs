@@ -450,6 +450,21 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
     /// order), spawning a reader thread per connection. All connections
     /// start at epoch 0.
     pub fn new<S: SplitStream>(streams: Vec<S>, stats: Arc<CommStats>) -> io::Result<Self> {
+        Self::new_at_epoch(streams, stats, 0)
+    }
+
+    /// [`FramedStreamCoord::new`] with every connection starting at `epoch`
+    /// instead of 0 — the service path, where each query's connections are
+    /// fenced by its own run id. The epoch must be a constructor parameter
+    /// (not a post-hoc setter) because each reader thread captures it for
+    /// the [`StreamEvent::Disconnected`] it emits: a reader spawned at the
+    /// wrong epoch would report a loss the coordinator then ignores as
+    /// stale, turning a fast worker-loss signal into a read-timeout stall.
+    pub fn new_at_epoch<S: SplitStream>(
+        streams: Vec<S>,
+        stats: Arc<CommStats>,
+        epoch: u32,
+    ) -> io::Result<Self> {
         let (tx, rx) = std::sync::mpsc::channel();
         let n = streams.len();
         let coord = Self {
@@ -458,7 +473,7 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
             tx,
             oob: Mutex::new(Vec::new()),
             failures: Mutex::new(Vec::new()),
-            epochs: (0..n).map(|_| Arc::new(AtomicU32::new(0))).collect(),
+            epochs: (0..n).map(|_| Arc::new(AtomicU32::new(epoch))).collect(),
             fenced: Arc::new(AtomicU64::new(0)),
             live: Arc::new(AtomicUsize::new(0)),
             read_timeout: Some(DEFAULT_READ_TIMEOUT),
@@ -470,7 +485,7 @@ impl<V: Wire + Send + 'static> FramedStreamCoord<V> {
             coord.writers.push(Mutex::new(BufWriter::new(
                 Box::new(write_half) as Box<dyn Write + Send>
             )));
-            coord.spawn_reader(worker, read_half, 0);
+            coord.spawn_reader(worker, read_half, epoch);
         }
         Ok(coord)
     }

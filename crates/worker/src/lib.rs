@@ -51,9 +51,9 @@
 #![warn(missing_docs)]
 
 use grape_algo::{
-    CcProgram, CcQuery, CfModel, CfProgram, CfQuery, Embeddings, KeywordAnswer, KeywordProgram,
-    KeywordQuery, MarketingProgram, MarketingQuery, PageRankProgram, PageRankQuery, Prospect,
-    SimMatches, SimProgram, SimQuery, SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
+    CcProgram, CcQuery, CfProgram, CfQuery, KeywordProgram, KeywordQuery, MarketingProgram,
+    MarketingQuery, PageRankProgram, PageRankQuery, SimProgram, SimQuery, SsspProgram, SsspQuery,
+    SubIsoProgram, SubIsoQuery,
 };
 use grape_comm::wire::{self, Wire, WireError, WireReader, TAG_HELLO};
 use grape_comm::CommStats;
@@ -70,13 +70,19 @@ use grape_core::{
 use grape_graph::generators::{
     barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
 };
-use grape_graph::labels::{LabeledGraph, LabeledVertex, PatternGraph};
-use grape_graph::{VertexId, WeightedGraph};
+use grape_graph::labels::{LabeledGraph, LabeledVertex};
+use grape_graph::WeightedGraph;
 use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
-use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
 use std::time::Duration;
+
+pub mod service;
+
+pub use service::{
+    Endpoint, GrapeService, QueryHandle, QueryOutcome, ServiceHandle, ServiceOptions, Session,
+    SessionConfig, SessionGraph,
+};
 
 /// Frame tag of the coordinator→worker [`JobSpec`] handshake.
 pub const TAG_JOB: u8 = 0x20;
@@ -290,7 +296,7 @@ pub fn strategy_by_name(name: &str) -> Option<BuiltinStrategy> {
         .find(|s| s.name() == name)
 }
 
-fn bad_data(message: impl Into<String>) -> io::Error {
+pub(crate) fn bad_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
 
@@ -302,71 +308,13 @@ fn denied(message: impl Into<String>) -> io::Error {
 // Result digests
 // ---------------------------------------------------------------------------
 
-/// Order-independent FNV-1a digest over canonically encoded items: XOR of
-/// per-item hashes, so iteration order (HashMap, HashSet, process) cannot
-/// leak in, while every bit of every item still matters.
-fn digest_items<T: Wire>(items: impl Iterator<Item = T>) -> u64 {
-    let mut acc = 0u64;
-    for item in items {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        for b in item.encode_to_vec() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        acc ^= h;
-    }
-    acc
-}
-
-/// Digest of a vertex→`f64` result map (bit-exact on the values).
-pub fn digest_f64_map(map: &HashMap<VertexId, f64>) -> u64 {
-    digest_items(map.iter().map(|(&k, &v)| (k, v.to_bits())))
-}
-
-/// Digest of a vertex→vertex result map.
-pub fn digest_u64_map(map: &HashMap<VertexId, VertexId>) -> u64 {
-    digest_items(map.iter().map(|(&k, &v)| (k, v)))
-}
-
-/// Digest of a simulation match relation: every `(pattern vertex, data
-/// vertex)` pair, independent of set order.
-pub fn digest_sim(matches: &SimMatches) -> u64 {
-    digest_items(
-        matches
-            .iter()
-            .enumerate()
-            .flat_map(|(u, bucket)| bucket.iter().map(move |&v| (u as u64, v))),
-    )
-}
-
-/// Digest of a set of subgraph-isomorphism embeddings.
-pub fn digest_embeddings(embeddings: &Embeddings) -> u64 {
-    digest_items(embeddings.iter().cloned())
-}
-
-/// Digest of ranked keyword-search answers (roots, per-keyword distances
-/// and totals, all bit-exact).
-pub fn digest_keyword(answers: &[KeywordAnswer]) -> u64 {
-    digest_items(
-        answers
-            .iter()
-            .map(|a| (a.root, a.distances.clone(), a.total)),
-    )
-}
-
-/// Digest of a collaborative-filtering model: every factor vector, bit-exact.
-pub fn digest_cf(model: &CfModel) -> u64 {
-    digest_items(model.factors.iter().map(|(&v, f)| (v, f.clone())))
-}
-
-/// Digest of the marketing prospects list.
-pub fn digest_prospects(prospects: &[Prospect]) -> u64 {
-    digest_items(
-        prospects
-            .iter()
-            .map(|p| (p.person, p.recommend_ratio, p.followees)),
-    )
-}
+// The order-independent FNV digests moved next to the query/result types in
+// `grape_algo::query` (the service path digests on both ends of the wire);
+// re-exported here so existing `grape_worker::digest_*` callers keep working.
+pub use grape_algo::{
+    digest_cf, digest_embeddings, digest_f64_map, digest_keyword, digest_prospects, digest_sim,
+    digest_u64_map,
+};
 
 // ---------------------------------------------------------------------------
 // Canonical queries
@@ -374,7 +322,9 @@ pub fn digest_prospects(prospects: &[Prospect]) -> u64 {
 //
 // Workers and the coordinator derive the query from the JobSpec alone, so
 // both endpoints must construct *exactly* the same query object. These
-// helpers are that shared definition.
+// helpers delegate to the canonical [`grape_algo::Query`] constructors — the
+// service path ships those same values over the wire, so one definition
+// serves both the one-shot job protocol and resident sessions.
 
 /// Whether `algo` runs on a labeled social graph (`true`) or a weighted
 /// graph (`false`); `None` for unknown algorithms.
@@ -389,25 +339,24 @@ fn algo_is_labeled(algo: &str) -> Option<bool> {
 /// The chain pattern of Fig. 4: person →`follows` person →`recommends`
 /// product. Used by `sim`.
 fn sim_query() -> SimQuery {
-    SimQuery::new(
-        PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
-            .edge_labeled(0, 1, "follows")
-            .edge_labeled(1, 2, "recommends"),
-    )
+    grape_algo::Query::canonical_sim()
+        .to_sim()
+        .expect("canonical_sim builds a Sim query")
+        .expect("the canonical chain pattern is valid")
 }
 
 /// A radius-1 star for `subiso`: with radius ≥ 2 the protocol replicates
 /// whole 2-hop neighbourhoods of a hubby social graph per border vertex.
 fn subiso_query() -> SubIsoQuery {
-    SubIsoQuery::new(
-        PatternGraph::new(vec!["person".into(), "person".into(), "product".into()])
-            .edge_labeled(0, 1, "follows")
-            .edge_labeled(0, 2, "recommends"),
-    )
+    grape_algo::Query::canonical_subiso()
+        .to_subiso()
+        .expect("canonical_subiso builds a SubIso query")
 }
 
 fn keyword_query() -> KeywordQuery {
-    KeywordQuery::new(["phone", "laptop"], f64::INFINITY)
+    grape_algo::Query::canonical_keyword()
+        .to_keyword()
+        .expect("canonical_keyword builds a Keyword query")
 }
 
 /// The promoted product for `marketing`: [`JobSpec::source`] when set, else
@@ -418,20 +367,20 @@ fn marketing_query(job: &JobSpec) -> io::Result<MarketingQuery> {
         (0, _) => return Err(bad_data("marketing needs a social graph or --source")),
         (source, _) => source,
     };
-    Ok(MarketingQuery::new(product))
+    Ok(grape_algo::Query::marketing(product)
+        .to_marketing()
+        .expect("marketing builds a Marketing query"))
 }
 
 fn cf_query() -> CfQuery {
-    CfQuery {
-        rank: 4,
-        epochs: 4,
-        ..Default::default()
-    }
+    grape_algo::Query::cf()
+        .to_cf()
+        .expect("cf builds a Cf query")
 }
 
 /// CF's user/item split on a generic weighted graph: the lower half of the
 /// id space plays the users.
-fn cf_num_users(vertices: u64) -> usize {
+pub(crate) fn cf_num_users(vertices: u64) -> usize {
     ((vertices / 2) as usize).max(1)
 }
 
@@ -567,6 +516,11 @@ pub struct WorkerOptions {
 /// [`TAG_HELLO`] greeting, reads the epoch-stamped [`JobSpec`] frame and the
 /// shipped [`TAG_FRAGMENT`] frame, serves the BSP loop at that epoch, sends
 /// the digest, and returns it.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `run_worker_connection_opts` (one-shot jobs) or a resident \
+            `service::GrapeService` daemon instead"
+)]
 pub fn run_worker_connection<S: SplitStream>(stream: S) -> io::Result<u64> {
     run_worker_connection_opts(stream, WorkerOptions::default())
 }
@@ -860,7 +814,7 @@ where
 /// Reads and validates a worker's [`TAG_HELLO`] greeting. `expected = None`
 /// accepts any greeting; otherwise the presented token must match, and a
 /// mismatched or missing token is a typed `PermissionDenied` error.
-fn expect_hello<S: SplitStream>(
+pub(crate) fn expect_hello<S: SplitStream>(
     stream: &mut S,
     expected: Option<&str>,
     index: usize,
@@ -938,6 +892,11 @@ where
 /// in fragment order): authenticates each worker's hello, ships each its
 /// [`JobSpec`] and fragment, drives the BSP fixpoint, and collects the
 /// result digests.
+#[deprecated(
+    since = "0.9.0",
+    note = "use `run_coordinator_connections_with` (one-shot jobs) or a \
+            resident `service::Session` instead"
+)]
 pub fn run_coordinator_connections<S: SplitStream>(
     job: &JobSpec,
     streams: Vec<S>,
@@ -1550,19 +1509,6 @@ mod tests {
             run_local_framed(&job).is_err(),
             "sssp needs a weighted graph"
         );
-    }
-
-    #[test]
-    fn digests_are_order_independent_and_value_sensitive() {
-        let mut a = HashMap::new();
-        a.insert(1u64, 1.5f64);
-        a.insert(2, 2.5);
-        let mut b = HashMap::new();
-        b.insert(2u64, 2.5f64);
-        b.insert(1, 1.5);
-        assert_eq!(digest_f64_map(&a), digest_f64_map(&b));
-        b.insert(1, 1.5000001);
-        assert_ne!(digest_f64_map(&a), digest_f64_map(&b));
     }
 
     fn weighted_job(algo: &str) -> JobSpec {

@@ -31,11 +31,21 @@
 //! replay) with `--verify` still holding. `--token` makes the coordinator
 //! require (and the spawned workers present) the given auth token in the
 //! session handshake.
+//!
+//! Resident query-service daemon (fragments loaded once, then an unbounded
+//! stream of queries served over them — connect with
+//! `grape_worker::Session`):
+//!
+//! ```text
+//! grape-worker daemon --listen 127.0.0.1:4817 [--token SECRET]
+//! grape-worker daemon --uds /tmp/grape.sock   [--token SECRET]
+//! ```
 
 use grape_core::EngineConfig;
 use grape_worker::{
     kill_self, run_coordinator_connections_recoverable, run_coordinator_connections_with,
-    run_local_framed, run_worker_connection_opts, GraphSpec, JobSpec, UdsPathGuard, WorkerOptions,
+    run_local_framed, run_worker_connection_opts, GrapeService, GraphSpec, JobSpec, ServiceOptions,
+    UdsPathGuard, WorkerOptions,
 };
 use std::net::{TcpListener, TcpStream};
 use std::process::{Command, Stdio};
@@ -50,7 +60,9 @@ fn usage() -> ! {
          [--verify] [--chaos KILL_AT[,KILL_AT2,...]]\n        (--chaos requires --spawn: worker i \
          SIGKILLs itself at its i-th schedule entry, run recovers)\n  grape-worker connect ADDR \
          [--timeout SECS] [--token SECRET] [--kill-at N]\n  grape-worker connect-uds PATH \
-         [--timeout SECS] [--token SECRET] [--kill-at N]"
+         [--timeout SECS] [--token SECRET] [--kill-at N]\n  grape-worker daemon [--listen ADDR | \
+         --uds PATH] [--token SECRET] [--handshake-timeout SECS]\n        (resident query service: \
+         load fragments once, serve concurrent queries; see grape_worker::Session)"
     );
     std::process::exit(2);
 }
@@ -97,12 +109,39 @@ fn main() {
                 .map(|digest| println!("worker done, digest {digest:#018x}"))
         }
         Some("serve") => serve(&args[1..]),
+        Some("daemon") => daemon(&args[1..]),
         _ => usage(),
     };
     if let Err(err) = result {
         eprintln!("grape-worker: {err}");
         std::process::exit(1);
     }
+}
+
+/// Runs the resident query-service daemon until killed.
+fn daemon(args: &[String]) -> std::io::Result<()> {
+    let options = ServiceOptions {
+        token: arg_value(args, "--token"),
+        handshake_timeout: arg_value(args, "--handshake-timeout")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs),
+    };
+    let service = if let Some(path) = arg_value(args, "--uds") {
+        #[cfg(unix)]
+        {
+            GrapeService::bind_uds(&path, options)?
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err(std::io::Error::other("--uds requires a unix platform"));
+        }
+    } else {
+        let listen = arg_value(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+        GrapeService::bind(&listen, options)?
+    };
+    eprintln!("service listening on {}", service.endpoint()?);
+    service.serve()
 }
 
 fn serve(args: &[String]) -> std::io::Result<()> {

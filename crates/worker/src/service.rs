@@ -1,0 +1,1650 @@
+//! Query-service mode: resident fragments, a unified session API, and
+//! concurrent-query serving.
+//!
+//! The one-shot pipeline (build fragments → spin up workers → one fixpoint →
+//! tear everything down) pays the whole load/partition/ship cost per query.
+//! This module keeps everything resident instead, the way GRAPE's production
+//! descendants run:
+//!
+//! * [`GrapeService`] is the daemon: it accepts framed TCP (or Unix-domain)
+//!   connections, loads shipped fragments **once** into a registry keyed by
+//!   graph id, and then serves a stream of typed [`Query`] submissions over
+//!   those resident fragments — each query a fresh BSP session fenced by its
+//!   own run id in the wire epoch header, with per-query scratch buffers
+//!   recycled through a [`ScratchPool`].
+//! * [`Session`] is the client facade that collapses the entry-point sprawl
+//!   (`run`, `run_on_graph`, `run_coordinator`, …) into
+//!   `connect → load → submit`: [`Session::connect`] picks the backend
+//!   (in-process resident engine, or remote daemons), [`Session::load`]
+//!   partitions and ships a graph once, and [`Session::submit`] returns a
+//!   [`QueryHandle`] whose [`QueryHandle::join`] yields the typed
+//!   [`QueryResult`] plus per-query [`RunStats`]. Queries of different
+//!   classes run concurrently over the same loaded fragments; results are
+//!   bit-identical to cold one-shot runs.
+//!
+//! ## Service protocol
+//!
+//! On top of the session handshake of the crate root ([`TAG_HELLO`] with the
+//! auth token, validated before anything else):
+//!
+//! 1. `TAG_LOAD` carries a [`LoadSpec`] naming the graph id, payload family,
+//!    fragment index and global vertex count, immediately followed by one
+//!    [`TAG_FRAGMENT`] frame at the same epoch shipping the fragment itself.
+//!    The daemon stores the fragment in its registry and acks with
+//!    `TAG_LOADED`.
+//! 2. `TAG_QUERY` carries a [`QueryJob`] — the typed query plus its run id —
+//!    stamped with that run id as the frame epoch. The daemon resolves the
+//!    resident fragment and enters the ordinary BSP worker loop at that
+//!    epoch; the client drives the ordinary coordinator fixpoint over a
+//!    per-query slot table.
+//! 3. After `Finish`, the worker answers with one `TAG_RESULT` frame: the
+//!    order-independent digest of its assembled partial plus the
+//!    snapshot-encoded partial itself, which the client restores and
+//!    assembles into the typed output.
+//!
+//! Recovery (PR 7–8) is intact: with a checkpoint cadence set, a worker lost
+//! mid-query is replaced by a *fresh connection to the same daemon* — the
+//! resident fragment is **not** re-shipped — resumed from its checkpoint at
+//! a bumped epoch, and replayed. Other in-flight queries run on their own
+//! connections and epochs and are never disturbed.
+
+use crate::{bad_data, cf_num_users, expect_hello, UdsPathGuard};
+use grape_algo::{
+    digest_cf, digest_embeddings, digest_f64_map, digest_keyword, digest_prospects, digest_sim,
+    digest_u64_map,
+};
+use grape_algo::{
+    CcProgram, CfProgram, KeywordProgram, MarketingProgram, PageRankProgram, Query, QueryResult,
+    SimProgram, SsspProgram, SubIsoProgram,
+};
+use grape_comm::wire::{
+    self, Wire, WireError, WireReader, TAG_HELLO, TAG_LOAD, TAG_LOADED, TAG_QUERY, TAG_RESULT,
+};
+use grape_comm::CommStats;
+use grape_core::chaos::{ChaosConfig, ChaosWorkerTransport};
+use grape_core::engine::run_worker_with;
+use grape_core::par::ThreadCount;
+use grape_core::scratch::ScratchPool;
+use grape_core::transport::{FramedStreamCoord, FramedStreamWorker, SplitStream};
+use grape_core::{
+    decode_fragment, encode_fragment_epoch, EngineConfig, GrapeEngine, PieProgram, RunStats,
+    TAG_FRAGMENT,
+};
+use grape_graph::generators::{
+    barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
+};
+use grape_graph::labels::{LabeledGraph, LabeledVertex};
+use grape_graph::WeightedGraph;
+use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Endpoints and sockets
+// ---------------------------------------------------------------------------
+
+/// Where a [`GrapeService`] daemon listens / where a [`Session`] connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:4817`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Uds(std::path::PathBuf),
+}
+
+impl Endpoint {
+    /// Parses `uds:PATH` as a Unix-domain endpoint, anything else as TCP.
+    pub fn parse(text: &str) -> Endpoint {
+        #[cfg(unix)]
+        if let Some(path) = text.strip_prefix("uds:") {
+            return Endpoint::Uds(path.into());
+        }
+        Endpoint::Tcp(text.to_string())
+    }
+
+    /// Opens a connection to the endpoint.
+    pub fn connect(&self) -> io::Result<ServiceSocket> {
+        match self {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(ServiceSocket::Tcp),
+            #[cfg(unix)]
+            Endpoint::Uds(path) => {
+                std::os::unix::net::UnixStream::connect(path).map(ServiceSocket::Uds)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            #[cfg(unix)]
+            Endpoint::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// A connected service socket of either transport, so one coordinator can
+/// drive a mixed fleet of TCP and Unix-domain daemons.
+#[derive(Debug)]
+pub enum ServiceSocket {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    #[cfg(unix)]
+    Uds(std::os::unix::net::UnixStream),
+}
+
+impl Read for ServiceSocket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ServiceSocket::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServiceSocket {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ServiceSocket::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ServiceSocket::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => s.flush(),
+        }
+    }
+}
+
+impl SplitStream for ServiceSocket {
+    fn split(self) -> io::Result<(Self, Self)> {
+        match self {
+            ServiceSocket::Tcp(s) => {
+                let (r, w) = s.split()?;
+                Ok((ServiceSocket::Tcp(r), ServiceSocket::Tcp(w)))
+            }
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => {
+                let (r, w) = s.split()?;
+                Ok((ServiceSocket::Uds(r), ServiceSocket::Uds(w)))
+            }
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            ServiceSocket::Tcp(s) => SplitStream::set_read_timeout(s, timeout),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => SplitStream::set_read_timeout(s, timeout),
+        }
+    }
+}
+
+/// A [`SplitStream`] whose connection can additionally be aliased
+/// (`try_clone`) and torn down — what a resident connection needs so one
+/// query's BSP transport can borrow the socket while the outer serve loop
+/// keeps it, and so kill drills can sever it mid-query.
+pub trait ServiceStream: SplitStream {
+    /// A second owned handle to the same connection.
+    fn try_clone_stream(&self) -> io::Result<Self>;
+
+    /// Severs the connection in both directions — the transport-level
+    /// equivalent of SIGKILLing the worker that owns it.
+    fn shutdown_both(&self) -> io::Result<()>;
+}
+
+impl ServiceStream for TcpStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+#[cfg(unix)]
+impl ServiceStream for std::os::unix::net::UnixStream {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        self.shutdown(std::net::Shutdown::Both)
+    }
+}
+
+impl ServiceStream for ServiceSocket {
+    fn try_clone_stream(&self) -> io::Result<Self> {
+        match self {
+            ServiceSocket::Tcp(s) => s.try_clone().map(ServiceSocket::Tcp),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => s.try_clone().map(ServiceSocket::Uds),
+        }
+    }
+
+    fn shutdown_both(&self) -> io::Result<()> {
+        match self {
+            ServiceSocket::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            ServiceSocket::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// Payload of a [`TAG_LOAD`] frame: which graph the fragment that follows
+/// belongs to, and where it fits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Session-unique graph id; queries name the resident graph by it.
+    pub graph_id: u64,
+    /// Payload family: 0 = weighted (`(), f64`), 1 = labeled
+    /// (`LabeledVertex, String`).
+    pub family: u8,
+    /// Fragment index the following [`TAG_FRAGMENT`] frame carries.
+    pub index: u32,
+    /// Total number of fragments/workers of the graph.
+    pub workers: u32,
+    /// Global vertex count (PageRank and CF need |V|).
+    pub vertices: u64,
+}
+
+impl Wire for LoadSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.graph_id.encode(out);
+        self.family.encode(out);
+        self.index.encode(out);
+        self.workers.encode(out);
+        self.vertices.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(LoadSpec {
+            graph_id: reader.u64()?,
+            family: reader.u8()?,
+            index: reader.u32()?,
+            workers: reader.u32()?,
+            vertices: reader.u64()?,
+        })
+    }
+}
+
+/// Payload of a [`TAG_QUERY`] frame: one typed query submission against a
+/// resident graph. The frame's epoch must equal [`QueryJob::run_id`] — the
+/// query's fencing epoch for its whole BSP session (recovery bumps it per
+/// replaced worker, starting from this base).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryJob {
+    /// The resident graph to query.
+    pub graph_id: u64,
+    /// Which fragment this connection serves.
+    pub index: u32,
+    /// Total number of workers of the query.
+    pub workers: u32,
+    /// The query's run id — also the wire epoch of this submission.
+    pub run_id: u32,
+    /// Intra-worker threads (0 = auto).
+    pub threads: u32,
+    /// Checkpoint cadence for recoverable queries (0 = no checkpoints).
+    pub checkpoint_every: u32,
+    /// The typed query itself.
+    pub query: Query,
+    /// Chaos drill: sever the connection upon receiving this command index.
+    pub kill_at: Option<u32>,
+}
+
+impl Wire for QueryJob {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.graph_id.encode(out);
+        self.index.encode(out);
+        self.workers.encode(out);
+        self.run_id.encode(out);
+        self.threads.encode(out);
+        self.checkpoint_every.encode(out);
+        self.query.encode(out);
+        self.kill_at.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(QueryJob {
+            graph_id: reader.u64()?,
+            index: reader.u32()?,
+            workers: reader.u32()?,
+            run_id: reader.u32()?,
+            threads: reader.u32()?,
+            checkpoint_every: reader.u32()?,
+            query: Query::decode(reader)?,
+            kill_at: Option::<u32>::decode(reader)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graphs a session can load
+// ---------------------------------------------------------------------------
+
+/// A graph in one of the two payload families the engine serves.
+#[derive(Debug, Clone)]
+pub enum SessionGraph {
+    /// Unit vertices, `f64` edge weights: `sssp`, `cc`, `pagerank`, `cf`.
+    Weighted(WeightedGraph),
+    /// Labeled vertices, relation-typed edges: `sim`, `subiso`, `keyword`,
+    /// `marketing`.
+    Labeled(LabeledGraph),
+}
+
+impl From<WeightedGraph> for SessionGraph {
+    fn from(graph: WeightedGraph) -> Self {
+        SessionGraph::Weighted(graph)
+    }
+}
+
+impl From<LabeledGraph> for SessionGraph {
+    fn from(graph: LabeledGraph) -> Self {
+        SessionGraph::Labeled(graph)
+    }
+}
+
+impl SessionGraph {
+    /// Generates the deterministic graph a [`crate::GraphSpec`] recipe
+    /// describes: `road`/`ba` specs yield weighted graphs, `social` specs
+    /// labeled ones — the same generators and defaults the one-shot job path
+    /// uses, so service and cold runs see bit-identical inputs.
+    pub fn generate(spec: &crate::GraphSpec) -> io::Result<SessionGraph> {
+        match spec {
+            crate::GraphSpec::Road {
+                width,
+                height,
+                seed,
+            } => road_network(
+                RoadNetworkConfig {
+                    width: *width as usize,
+                    height: *height as usize,
+                    ..Default::default()
+                },
+                *seed as u64,
+            )
+            .map(SessionGraph::Weighted)
+            .map_err(|e| bad_data(format!("bad road spec: {e}"))),
+            crate::GraphSpec::Ba { n, m, seed } => {
+                barabasi_albert(*n as usize, *m as usize, *seed as u64)
+                    .map(SessionGraph::Weighted)
+                    .map_err(|e| bad_data(format!("bad BA spec: {e}")))
+            }
+            crate::GraphSpec::Social {
+                persons,
+                products,
+                seed,
+            } => labeled_social(
+                SocialGraphConfig {
+                    num_persons: *persons as usize,
+                    num_products: *products as usize,
+                    ..Default::default()
+                },
+                *seed as u64,
+            )
+            .map(SessionGraph::Labeled)
+            .map_err(|e| bad_data(format!("bad social spec: {e}"))),
+        }
+    }
+
+    /// Global vertex count.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            SessionGraph::Weighted(g) => g.num_vertices(),
+            SessionGraph::Labeled(g) => g.num_vertices(),
+        }
+    }
+}
+
+/// Built fragments of a loaded graph, per family.
+enum SessionFragments {
+    Weighted(Vec<Fragment<(), f64>>),
+    Labeled(Vec<Fragment<LabeledVertex, String>>),
+}
+
+impl SessionFragments {
+    fn family(&self) -> u8 {
+        match self {
+            SessionFragments::Weighted(_) => 0,
+            SessionFragments::Labeled(_) => 1,
+        }
+    }
+}
+
+/// A graph made resident by [`Session::load`].
+struct LoadedGraph {
+    graph_id: u64,
+    vertices: u64,
+    fragments: Arc<SessionFragments>,
+}
+
+// ---------------------------------------------------------------------------
+// The daemon: GrapeService
+// ---------------------------------------------------------------------------
+
+/// Fragments resident in a daemon, per family, one slot per fragment index.
+enum ResidentFragments {
+    Weighted(Vec<Option<Arc<Fragment<(), f64>>>>),
+    Labeled(Vec<Option<Arc<Fragment<LabeledVertex, String>>>>),
+}
+
+impl ResidentFragments {
+    fn family(&self) -> u8 {
+        match self {
+            ResidentFragments::Weighted(_) => 0,
+            ResidentFragments::Labeled(_) => 1,
+        }
+    }
+}
+
+/// One graph resident in a daemon.
+struct ResidentGraph {
+    workers: u32,
+    vertices: u64,
+    fragments: ResidentFragments,
+}
+
+/// Daemon knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceOptions {
+    /// Required client auth token; `None` accepts every connection.
+    pub token: Option<String>,
+    /// Read timeout on the hello handshake (resident connections block
+    /// indefinitely between frames afterwards; their lifetime is the
+    /// client's).
+    pub handshake_timeout: Option<Duration>,
+}
+
+/// Daemon-wide shared state.
+struct ServiceState {
+    registry: Mutex<HashMap<u64, ResidentGraph>>,
+    scratch: ScratchPool,
+    options: ServiceOptions,
+    stop: AtomicBool,
+}
+
+/// The listening half of a daemon.
+enum ServiceListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(std::os::unix::net::UnixListener, UdsPathGuard),
+}
+
+/// The resident query daemon: loads shipped fragments once, then serves an
+/// unbounded stream of typed queries over them (see the module docs for the
+/// protocol). One daemon process can host any number of graphs and fragment
+/// indexes; each accepted connection is served on its own thread, so
+/// concurrent queries — of the same or different classes — multiplex freely
+/// over the same resident fragments.
+pub struct GrapeService {
+    listener: ServiceListener,
+    state: Arc<ServiceState>,
+}
+
+impl GrapeService {
+    /// Binds a TCP daemon on `addr` (e.g. `127.0.0.1:0` for an ephemeral
+    /// port).
+    pub fn bind(addr: &str, options: ServiceOptions) -> io::Result<GrapeService> {
+        Ok(GrapeService {
+            listener: ServiceListener::Tcp(TcpListener::bind(addr)?),
+            state: Arc::new(ServiceState {
+                registry: Mutex::new(HashMap::new()),
+                scratch: ScratchPool::new(),
+                options,
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Binds a Unix-domain daemon on `path`, reclaiming a stale socket left
+    /// by a dead daemon (see [`UdsPathGuard`]).
+    #[cfg(unix)]
+    pub fn bind_uds(
+        path: impl Into<std::path::PathBuf>,
+        options: ServiceOptions,
+    ) -> io::Result<GrapeService> {
+        let guard = UdsPathGuard::claim(path)?;
+        let listener = std::os::unix::net::UnixListener::bind(guard.path())?;
+        Ok(GrapeService {
+            listener: ServiceListener::Uds(listener, guard),
+            state: Arc::new(ServiceState {
+                registry: Mutex::new(HashMap::new()),
+                scratch: ScratchPool::new(),
+                options,
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The endpoint clients should connect to.
+    pub fn endpoint(&self) -> io::Result<Endpoint> {
+        match &self.listener {
+            ServiceListener::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            ServiceListener::Uds(_, guard) => Ok(Endpoint::Uds(guard.path().to_path_buf())),
+        }
+    }
+
+    /// Serves connections until shut down (blocking). Each accepted
+    /// connection runs on its own thread; a connection error tears down that
+    /// connection only, never the daemon.
+    pub fn serve(self) -> io::Result<()> {
+        loop {
+            let socket = match &self.listener {
+                ServiceListener::Tcp(l) => l.accept().map(|(s, _)| ServiceSocket::Tcp(s)),
+                #[cfg(unix)]
+                ServiceListener::Uds(l, _) => l.accept().map(|(s, _)| ServiceSocket::Uds(s)),
+            };
+            if self.state.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let socket = socket?;
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || {
+                if let Err(err) = serve_connection(socket, &state) {
+                    eprintln!("grape service: connection error: {err}");
+                }
+            });
+        }
+    }
+
+    /// Runs [`GrapeService::serve`] on a background thread and returns a
+    /// handle that can shut the daemon down.
+    pub fn spawn(self) -> io::Result<ServiceHandle> {
+        let endpoint = self.endpoint()?;
+        let state = Arc::clone(&self.state);
+        let thread = std::thread::spawn(move || self.serve());
+        Ok(ServiceHandle {
+            endpoint,
+            state,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a daemon spawned with [`GrapeService::spawn`].
+pub struct ServiceHandle {
+    endpoint: Endpoint,
+    state: Arc<ServiceState>,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl ServiceHandle {
+    /// The endpoint clients should connect to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Stops accepting connections and joins the daemon thread. In-flight
+    /// connections finish on their own threads.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the stop flag.
+        let _ = self.endpoint.connect();
+        match self.thread.take() {
+            Some(thread) => thread
+                .join()
+                .map_err(|_| io::Error::other("service thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+/// One accepted connection's life: authenticate, then serve `TAG_LOAD` and
+/// `TAG_QUERY` frames until the client closes.
+fn serve_connection<S: ServiceStream>(mut stream: S, state: &ServiceState) -> io::Result<()> {
+    expect_hello(
+        &mut stream,
+        state.options.token.as_deref(),
+        0,
+        state.options.handshake_timeout,
+    )?;
+    loop {
+        let Some((tag, epoch, body)) = wire::read_frame_io_epoch(&mut stream)? else {
+            return Ok(()); // Client done with this connection.
+        };
+        match tag {
+            TAG_LOAD => {
+                let mut reader = WireReader::new(&body);
+                let spec = LoadSpec::decode(&mut reader)
+                    .and_then(|s| reader.finish().map(|()| s))
+                    .map_err(|e| bad_data(format!("bad load spec: {e}")))?;
+                load_fragment(&mut stream, spec, epoch, state)?;
+            }
+            TAG_QUERY => {
+                let mut reader = WireReader::new(&body);
+                let job = QueryJob::decode(&mut reader)
+                    .and_then(|j| reader.finish().map(|()| j))
+                    .map_err(|e| bad_data(format!("bad query job: {e}")))?;
+                if epoch != job.run_id {
+                    return Err(bad_data(format!(
+                        "query frame at epoch {epoch} but run id {}",
+                        job.run_id
+                    )));
+                }
+                serve_query(&stream, job, state)?;
+            }
+            other => {
+                return Err(bad_data(format!(
+                    "unexpected frame tag {other:#04x} on a service connection"
+                )))
+            }
+        }
+    }
+}
+
+/// Handles one `TAG_LOAD`: reads the following fragment frame, stores the
+/// fragment in the registry, and acks.
+fn load_fragment<S: ServiceStream>(
+    stream: &mut S,
+    spec: LoadSpec,
+    epoch: u32,
+    state: &ServiceState,
+) -> io::Result<()> {
+    let (ftag, fepoch, fbody) = wire::read_frame_io_epoch(stream)?
+        .ok_or_else(|| bad_data("connection closed before the fragment"))?;
+    if ftag != TAG_FRAGMENT {
+        return Err(bad_data(format!(
+            "expected fragment frame after load spec, got tag {ftag:#04x}"
+        )));
+    }
+    if fepoch != epoch {
+        return Err(bad_data(format!(
+            "fragment frame at epoch {fepoch}, load spec at epoch {epoch}"
+        )));
+    }
+    if spec.index >= spec.workers {
+        return Err(bad_data(format!(
+            "fragment index {} out of range for {} workers",
+            spec.index, spec.workers
+        )));
+    }
+
+    fn store<V, E>(
+        slots: &mut [Option<Arc<Fragment<V, E>>>],
+        tag: u8,
+        body: &[u8],
+        index: u32,
+    ) -> io::Result<()>
+    where
+        V: Wire + Clone + Default,
+        E: Wire + Clone,
+    {
+        let fragment: Fragment<V, E> =
+            decode_fragment(tag, body).map_err(|e| bad_data(format!("bad fragment frame: {e}")))?;
+        if fragment.id != index as usize {
+            return Err(bad_data(format!(
+                "shipped fragment {} under load index {index}",
+                fragment.id
+            )));
+        }
+        slots[index as usize] = Some(Arc::new(fragment));
+        Ok(())
+    }
+
+    {
+        let mut registry = state.registry.lock().unwrap();
+        let entry = registry.entry(spec.graph_id).or_insert_with(|| {
+            let n = spec.workers as usize;
+            ResidentGraph {
+                workers: spec.workers,
+                vertices: spec.vertices,
+                fragments: match spec.family {
+                    0 => ResidentFragments::Weighted(vec![None; n]),
+                    _ => ResidentFragments::Labeled(vec![None; n]),
+                },
+            }
+        });
+        if entry.workers != spec.workers
+            || entry.vertices != spec.vertices
+            || entry.fragments.family() != spec.family
+            || spec.family > 1
+        {
+            return Err(bad_data(format!(
+                "load spec for graph {} conflicts with its resident shape",
+                spec.graph_id
+            )));
+        }
+        match &mut entry.fragments {
+            ResidentFragments::Weighted(slots) => store(slots, ftag, &fbody, spec.index)?,
+            ResidentFragments::Labeled(slots) => store(slots, ftag, &fbody, spec.index)?,
+        }
+    }
+
+    // Ack through the per-load scratch buffer: recycled clean or not at all.
+    let mut buf = state.scratch.acquire(epoch);
+    wire::encode_frame_epoch(TAG_LOADED, epoch, &spec.graph_id, &mut buf);
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    buf.clear();
+    state.scratch.release(epoch, buf);
+    Ok(())
+}
+
+/// Handles one `TAG_QUERY`: resolves the resident fragment and runs the BSP
+/// worker loop for it at the query's epoch, then ships the result home.
+fn serve_query<S: ServiceStream>(
+    stream: &S,
+    job: QueryJob,
+    state: &ServiceState,
+) -> io::Result<()> {
+    // Clone the fragment handle out and release the lock before evaluating:
+    // concurrent queries must not serialize on the registry.
+    let (fragment_slot, vertices) = {
+        let registry = state.registry.lock().unwrap();
+        let resident = registry.get(&job.graph_id).ok_or_else(|| {
+            bad_data(format!(
+                "graph {} is not resident in this service",
+                job.graph_id
+            ))
+        })?;
+        if job.index >= resident.workers || job.workers != resident.workers {
+            return Err(bad_data(format!(
+                "query names worker {}/{} but graph {} is cut into {} fragments",
+                job.index, job.workers, job.graph_id, resident.workers
+            )));
+        }
+        let slot = match &resident.fragments {
+            ResidentFragments::Weighted(slots) => slots[job.index as usize]
+                .clone()
+                .map(FragmentHandle::Weighted),
+            ResidentFragments::Labeled(slots) => slots[job.index as usize]
+                .clone()
+                .map(FragmentHandle::Labeled),
+        };
+        (slot, resident.vertices)
+    };
+    let Some(fragment) = fragment_slot else {
+        return Err(bad_data(format!(
+            "fragment {} of graph {} was never loaded",
+            job.index, job.graph_id
+        )));
+    };
+
+    let threads = if job.threads == 0 {
+        ThreadCount::Auto
+    } else {
+        ThreadCount::Fixed(job.threads)
+    }
+    .resolve(job.workers as usize, false);
+    let ck = job.checkpoint_every as usize;
+    let run_id = job.run_id;
+    let kill_at = job.kill_at.map(|at| at as usize);
+
+    match (&fragment, &job.query) {
+        (FragmentHandle::Weighted(f), Query::Sssp { .. }) => {
+            let q = job.query.to_sssp().expect("matched sssp");
+            answer(
+                SsspProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_f64_map(&o),
+            )
+        }
+        (FragmentHandle::Weighted(f), Query::Cc) => {
+            let q = grape_algo::CcQuery;
+            answer(
+                CcProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_u64_map(&o),
+            )
+        }
+        (FragmentHandle::Weighted(f), Query::PageRank { .. }) => {
+            let q = job.query.to_pagerank().expect("matched pagerank");
+            answer(
+                PageRankProgram::new(vertices as usize),
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_f64_map(&o),
+            )
+        }
+        (FragmentHandle::Weighted(f), Query::Cf { .. }) => {
+            let q = job.query.to_cf().expect("matched cf");
+            answer(
+                CfProgram::new(cf_num_users(vertices)),
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_cf(&o),
+            )
+        }
+        (FragmentHandle::Labeled(f), Query::Sim { .. }) => {
+            let q = job
+                .query
+                .to_sim()
+                .expect("matched sim")
+                .map_err(|e| bad_data(format!("bad sim pattern: {e}")))?;
+            answer(
+                SimProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_sim(&o),
+            )
+        }
+        (FragmentHandle::Labeled(f), Query::SubIso { .. }) => {
+            let q = job.query.to_subiso().expect("matched subiso");
+            answer(
+                SubIsoProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_embeddings(&o),
+            )
+        }
+        (FragmentHandle::Labeled(f), Query::Keyword { .. }) => {
+            let q = job.query.to_keyword().expect("matched keyword");
+            answer(
+                KeywordProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_keyword(&o),
+            )
+        }
+        (FragmentHandle::Labeled(f), Query::Marketing { .. }) => {
+            let q = job.query.to_marketing().expect("matched marketing");
+            answer(
+                MarketingProgram,
+                &q,
+                f,
+                stream,
+                state,
+                run_id,
+                threads,
+                ck,
+                kill_at,
+                |o| digest_prospects(&o),
+            )
+        }
+        _ => Err(bad_data(format!(
+            "query class {:?} does not run on the loaded graph family",
+            job.query.class()
+        ))),
+    }
+}
+
+/// A resident fragment checked out of the registry for one query.
+enum FragmentHandle {
+    Weighted(Arc<Fragment<(), f64>>),
+    Labeled(Arc<Fragment<LabeledVertex, String>>),
+}
+
+/// One query's BSP session over a borrowed resident connection — generic
+/// over the program, so all eight query classes share this path. The BSP
+/// transport runs on an alias (`try_clone`) of the connection at the query's
+/// epoch; the outer serve loop keeps the original for the next frame, which
+/// is safe because the protocol is strictly request-response (the client
+/// sends nothing after `Finish` until it has our `TAG_RESULT`).
+#[allow(clippy::too_many_arguments)]
+fn answer<P, S>(
+    program: P,
+    query: &P::Query,
+    fragment: &Fragment<P::VertexData, P::EdgeData>,
+    stream: &S,
+    state: &ServiceState,
+    run_id: u32,
+    threads: usize,
+    checkpoint_every: usize,
+    kill_at: Option<usize>,
+    to_digest: impl Fn(P::Output) -> u64,
+) -> io::Result<()>
+where
+    P: PieProgram,
+    S: ServiceStream,
+{
+    let stats = Arc::new(CommStats::new());
+    let bsp = stream.try_clone_stream()?;
+    let transport = FramedStreamWorker::<P::Value>::new(bsp, stats)?.with_epoch(run_id);
+    let (partial, transport) = match kill_at {
+        Some(at) => {
+            let victim = stream.try_clone_stream()?;
+            let chaos = ChaosConfig {
+                kill_at: Some(at),
+                ..Default::default()
+            };
+            let wrapped = ChaosWorkerTransport::new(
+                transport,
+                chaos,
+                Box::new(move || {
+                    let _ = victim.shutdown_both();
+                }),
+            );
+            let partial = run_worker_with(
+                &program,
+                query,
+                fragment,
+                &wrapped,
+                threads,
+                checkpoint_every,
+            );
+            (partial, wrapped.into_inner())
+        }
+        None => (
+            run_worker_with(
+                &program,
+                query,
+                fragment,
+                &transport,
+                threads,
+                checkpoint_every,
+            ),
+            transport,
+        ),
+    };
+    if let Some(reason) = transport.disconnect_reason() {
+        return Err(io::Error::other(format!(
+            "query {run_id} torn down: {reason}"
+        )));
+    }
+    let Some(partial) = partial else {
+        return Err(io::Error::other(format!(
+            "query {run_id} torn down before PEval"
+        )));
+    };
+    // The result goes home as (digest, snapshot-encoded partial): the digest
+    // for cheap verification, the snapshot so the client can restore and
+    // assemble the typed answer. Snapshot before assemble — assemble
+    // consumes the partial.
+    let snapshot = program
+        .snapshot_partial(&partial)
+        .ok_or_else(|| io::Error::other("program cannot snapshot its partial result"))?;
+    let digest = to_digest(program.assemble(vec![partial]));
+    let mut buf = state.scratch.acquire(run_id);
+    wire::encode_frame_with_epoch(TAG_RESULT, run_id, &mut buf, |out| {
+        digest.encode(out);
+        snapshot.encode(out);
+    });
+    let mut writer = stream.try_clone_stream()?;
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    buf.clear();
+    state.scratch.release(run_id, buf);
+    state.scratch.retire(run_id);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The client: Session
+// ---------------------------------------------------------------------------
+
+/// Where a session's workers live.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Number of fragments/workers.
+    pub workers: usize,
+    /// Daemon endpoints; worker `i` is served by `endpoints[i % len]`, so a
+    /// single daemon can host the whole fleet. Empty = resident in-process
+    /// workers (the engine's `Threads`/`Inline` scheduling).
+    pub endpoints: Vec<Endpoint>,
+    /// Per-query engine knobs (transport read timeout, checkpoint cadence,
+    /// auth token, execution mode, …). [`EngineConfig::run_id`] is stamped
+    /// per query by the session and need not be set here.
+    pub engine: EngineConfig,
+}
+
+impl SessionConfig {
+    /// A session whose workers are resident in this process.
+    pub fn in_process(workers: usize) -> SessionConfig {
+        SessionConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// A session served by remote daemons.
+    pub fn remote(workers: usize, endpoints: Vec<Endpoint>) -> SessionConfig {
+        SessionConfig {
+            workers,
+            endpoints,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> SessionConfig {
+        self.engine = engine;
+        self
+    }
+}
+
+/// The unified entry point of the engine: `connect → load → submit`.
+///
+/// A session holds a graph resident — partitioned once, fragments kept by
+/// in-process workers or shipped once to remote [`GrapeService`] daemons —
+/// and serves a stream of typed queries over it. Each submitted query gets a
+/// fresh run id (its wire epoch), its own slot table, and its own
+/// [`RunStats`]; queries run concurrently on their own threads and
+/// connections, so two in-flight queries of different classes never share
+/// mutable state. Cloning a [`Session`] yields another handle to the same
+/// resident graph (for multi-client drivers).
+///
+/// ```no_run
+/// use grape_worker::service::{Session, SessionConfig, SessionGraph};
+/// use grape_worker::GraphSpec;
+/// use grape_algo::Query;
+/// use grape_partition::BuiltinStrategy;
+///
+/// let session = Session::connect(SessionConfig::in_process(4))?;
+/// let graph = SessionGraph::generate(&GraphSpec::parse("ba:3000:3:11").unwrap())?;
+/// session.load(&graph, BuiltinStrategy::Hash)?;
+/// let sssp = session.submit(Query::sssp(0))?;
+/// let ranks = session.submit(Query::pagerank())?; // concurrent with sssp
+/// println!("{:?}", sssp.join()?.result);
+/// println!("{:?}", ranks.join()?.result);
+/// # std::io::Result::Ok(())
+/// ```
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<SessionInner>,
+}
+
+struct SessionInner {
+    config: SessionConfig,
+    graph: Mutex<Option<LoadedGraph>>,
+    next_run_id: AtomicU32,
+    scratch: ScratchPool,
+}
+
+/// Process-wide graph id sequence; combined with the pid so ids from
+/// different client processes sharing one daemon cannot collide.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_graph_id() -> u64 {
+    ((std::process::id() as u64) << 32) | NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The answer of one submitted query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The typed result, bit-identical to a cold one-shot run of the same
+    /// query.
+    pub result: QueryResult,
+    /// Per-query statistics ([`RunStats::run_id`] names the query).
+    pub stats: RunStats,
+}
+
+/// Handle to one in-flight query; [`QueryHandle::join`] blocks for its
+/// outcome.
+pub struct QueryHandle {
+    run_id: u32,
+    class: grape_algo::QueryClass,
+    rx: mpsc::Receiver<io::Result<QueryOutcome>>,
+}
+
+impl QueryHandle {
+    /// The query's run id (its wire epoch; also [`RunStats::run_id`]).
+    pub fn run_id(&self) -> u32 {
+        self.run_id
+    }
+
+    /// The submitted query's class.
+    pub fn class(&self) -> grape_algo::QueryClass {
+        self.class
+    }
+
+    /// Waits for the query to finish.
+    pub fn join(self) -> io::Result<QueryOutcome> {
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::other("query thread vanished before reporting"))?
+    }
+}
+
+impl Session {
+    /// Opens a session. Remote endpoints are probed (connect + hello) so a
+    /// dead daemon fails here, not on the first query.
+    pub fn connect(config: SessionConfig) -> io::Result<Session> {
+        if config.workers == 0 {
+            return Err(bad_data("a session needs at least one worker"));
+        }
+        for endpoint in &config.endpoints {
+            let mut stream = endpoint.connect().map_err(|e| {
+                io::Error::other(format!("service endpoint {endpoint} unreachable: {e}"))
+            })?;
+            wire::write_frame_io_epoch(&mut stream, TAG_HELLO, 0, &config.engine.auth_token)?;
+            stream.flush()?;
+        }
+        Ok(Session {
+            inner: Arc::new(SessionInner {
+                config,
+                graph: Mutex::new(None),
+                next_run_id: AtomicU32::new(1),
+                scratch: ScratchPool::new(),
+            }),
+        })
+    }
+
+    /// Partitions `graph` with `strategy` and makes it resident: fragments
+    /// are built once, kept for every subsequent query's slot table, and —
+    /// for remote sessions — shipped once to the daemons. Loading a new
+    /// graph replaces the previous one for future queries; in-flight queries
+    /// keep the fragments they started with.
+    pub fn load(&self, graph: &SessionGraph, strategy: BuiltinStrategy) -> io::Result<()> {
+        let n = self.inner.config.workers;
+        let graph_id = fresh_graph_id();
+        let vertices = graph.num_vertices() as u64;
+        let fragments = match graph {
+            SessionGraph::Weighted(g) => {
+                let assignment = strategy.partition(g, n);
+                SessionFragments::Weighted(build_fragments(g, &assignment))
+            }
+            SessionGraph::Labeled(g) => {
+                let assignment = strategy.partition(g, n);
+                SessionFragments::Labeled(build_fragments(g, &assignment))
+            }
+        };
+        if !self.inner.config.endpoints.is_empty() {
+            for index in 0..n {
+                let spec = LoadSpec {
+                    graph_id,
+                    family: fragments.family(),
+                    index: index as u32,
+                    workers: n as u32,
+                    vertices,
+                };
+                match &fragments {
+                    SessionFragments::Weighted(frags) => {
+                        self.inner.ship_fragment(&spec, &frags[index])?
+                    }
+                    SessionFragments::Labeled(frags) => {
+                        self.inner.ship_fragment(&spec, &frags[index])?
+                    }
+                }
+            }
+        }
+        *self.inner.graph.lock().unwrap() = Some(LoadedGraph {
+            graph_id,
+            vertices,
+            fragments: Arc::new(fragments),
+        });
+        Ok(())
+    }
+
+    /// Submits one query; returns immediately with a handle. The query runs
+    /// on its own thread (and, for remote sessions, its own connections),
+    /// concurrently with every other in-flight query.
+    pub fn submit(&self, query: Query) -> io::Result<QueryHandle> {
+        self.submit_inner(query, None)
+    }
+
+    /// [`Session::submit`] with a chaos schedule: worker `kill_worker`'s
+    /// connection is severed upon receiving command `kill_at` — the
+    /// transport-level SIGKILL of the recovery drills. Forces a checkpoint
+    /// cadence of at least 1 so the query recovers; remote sessions only.
+    pub fn submit_with_kill(
+        &self,
+        query: Query,
+        kill_worker: usize,
+        kill_at: usize,
+    ) -> io::Result<QueryHandle> {
+        if self.inner.config.endpoints.is_empty() {
+            return Err(bad_data("kill drills need a remote service session"));
+        }
+        if kill_worker >= self.inner.config.workers {
+            return Err(bad_data(format!(
+                "kill drill names worker {kill_worker}, but the session has {} workers",
+                self.inner.config.workers
+            )));
+        }
+        self.submit_inner(query, Some((kill_worker, kill_at)))
+    }
+
+    /// Submits a batch with co-scheduled admission: queries of the same
+    /// class form one admission wave sharing a submission thread (amortizing
+    /// program setup back-to-back over the same resident fragments), and the
+    /// waves of different classes run concurrently. Handles come back in
+    /// submission order.
+    pub fn submit_batch(&self, queries: Vec<Query>) -> io::Result<Vec<QueryHandle>> {
+        type Wave = Vec<(Query, u32, mpsc::Sender<io::Result<QueryOutcome>>)>;
+        let mut waves: Vec<(grape_algo::QueryClass, Wave)> = Vec::new();
+        let mut handles = Vec::with_capacity(queries.len());
+        for query in queries {
+            let run_id = self.inner.next_run_id.fetch_add(1, Ordering::Relaxed);
+            let class = query.class();
+            let (tx, rx) = mpsc::channel();
+            handles.push(QueryHandle { run_id, class, rx });
+            match waves.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, wave)) => wave.push((query, run_id, tx)),
+                None => waves.push((class, vec![(query, run_id, tx)])),
+            }
+        }
+        for (_, wave) in waves {
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || {
+                for (query, run_id, tx) in wave {
+                    let _ = tx.send(inner.run_query(&query, run_id, None));
+                }
+            });
+        }
+        Ok(handles)
+    }
+
+    fn submit_inner(&self, query: Query, kill: Option<(usize, usize)>) -> io::Result<QueryHandle> {
+        let run_id = self.inner.next_run_id.fetch_add(1, Ordering::Relaxed);
+        let class = query.class();
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::clone(&self.inner);
+        std::thread::spawn(move || {
+            let outcome = inner.run_query(&query, run_id, kill);
+            let _ = tx.send(outcome);
+        });
+        Ok(QueryHandle { run_id, class, rx })
+    }
+}
+
+impl SessionInner {
+    /// Ships one fragment to its daemon: hello, `TAG_LOAD`, the fragment
+    /// frame, then waits for the `TAG_LOADED` ack.
+    fn ship_fragment<V, E>(&self, spec: &LoadSpec, fragment: &Fragment<V, E>) -> io::Result<()>
+    where
+        V: Wire + Clone + Default,
+        E: Wire + Clone,
+    {
+        let endpoint = &self.config.endpoints[spec.index as usize % self.config.endpoints.len()];
+        let mut stream = endpoint.connect()?;
+        wire::write_frame_io_epoch(&mut stream, TAG_HELLO, 0, &self.config.engine.auth_token)?;
+        wire::write_frame_io_epoch(&mut stream, TAG_LOAD, 0, spec)?;
+        let mut frame = self.scratch.acquire(0);
+        encode_fragment_epoch(fragment, 0, &mut frame);
+        stream.write_all(&frame)?;
+        stream.flush()?;
+        frame.clear();
+        self.scratch.release(0, frame);
+        let (tag, _epoch, payload) = wire::read_frame_io_epoch(&mut stream)?.ok_or_else(|| {
+            io::Error::other(format!(
+                "daemon {endpoint} closed the connection before acking fragment {}",
+                spec.index
+            ))
+        })?;
+        if tag != TAG_LOADED {
+            return Err(bad_data(format!(
+                "expected TAG_LOADED ack for fragment {}, got tag {tag:#04x}",
+                spec.index
+            )));
+        }
+        let mut reader = WireReader::new(&payload);
+        let acked = u64::decode(&mut reader).map_err(|e| bad_data(e.to_string()))?;
+        reader.finish().map_err(|e| bad_data(e.to_string()))?;
+        if acked != spec.graph_id {
+            return Err(bad_data(format!(
+                "daemon acked graph {acked:#x}, expected {:#x}",
+                spec.graph_id
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs one submitted query to completion over the resident graph.
+    fn run_query(
+        &self,
+        query: &Query,
+        run_id: u32,
+        kill: Option<(usize, usize)>,
+    ) -> io::Result<QueryOutcome> {
+        let (graph_id, vertices, fragments) = {
+            let guard = self.graph.lock().unwrap();
+            let loaded = guard
+                .as_ref()
+                .ok_or_else(|| bad_data("no graph loaded: call Session::load first"))?;
+            (
+                loaded.graph_id,
+                loaded.vertices,
+                Arc::clone(&loaded.fragments),
+            )
+        };
+        match (&*fragments, query) {
+            (SessionFragments::Weighted(frags), Query::Sssp { source }) => self.run_class(
+                SsspProgram,
+                &grape_algo::SsspQuery::new(*source),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Distances,
+            ),
+            (SessionFragments::Weighted(frags), Query::Cc) => self.run_class(
+                CcProgram,
+                &grape_algo::CcQuery,
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Components,
+            ),
+            (SessionFragments::Weighted(frags), Query::PageRank { .. }) => self.run_class(
+                PageRankProgram::new(vertices as usize),
+                &query.to_pagerank().expect("variant checked"),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Ranks,
+            ),
+            (SessionFragments::Weighted(frags), Query::Cf { .. }) => self.run_class(
+                CfProgram::new(cf_num_users(vertices)),
+                &query.to_cf().expect("variant checked"),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Model,
+            ),
+            (SessionFragments::Labeled(frags), Query::Sim { .. }) => {
+                let typed = query
+                    .to_sim()
+                    .expect("variant checked")
+                    .map_err(|e| bad_data(format!("invalid simulation pattern: {e}")))?;
+                self.run_class(
+                    SimProgram,
+                    &typed,
+                    query,
+                    frags,
+                    graph_id,
+                    run_id,
+                    kill,
+                    QueryResult::Matches,
+                )
+            }
+            (SessionFragments::Labeled(frags), Query::SubIso { .. }) => self.run_class(
+                SubIsoProgram,
+                &query.to_subiso().expect("variant checked"),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Embeddings,
+            ),
+            (SessionFragments::Labeled(frags), Query::Keyword { .. }) => self.run_class(
+                KeywordProgram,
+                &query.to_keyword().expect("variant checked"),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Answers,
+            ),
+            (SessionFragments::Labeled(frags), Query::Marketing { .. }) => self.run_class(
+                MarketingProgram,
+                &query.to_marketing().expect("variant checked"),
+                query,
+                frags,
+                graph_id,
+                run_id,
+                kill,
+                QueryResult::Prospects,
+            ),
+            (fragments, query) => Err(bad_data(format!(
+                "query class {:?} does not run on the loaded graph family ({})",
+                query.class(),
+                match fragments {
+                    SessionFragments::Weighted(_) => "weighted",
+                    SessionFragments::Labeled(_) => "labeled",
+                }
+            ))),
+        }
+    }
+
+    /// Drives one typed query class: in-process over the resident fragments,
+    /// or as a coordinator over per-query daemon connections.
+    #[allow(clippy::too_many_arguments)]
+    fn run_class<P>(
+        &self,
+        program: P,
+        typed: &P::Query,
+        wire_query: &Query,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+        graph_id: u64,
+        run_id: u32,
+        kill: Option<(usize, usize)>,
+        wrap: impl Fn(P::Output) -> QueryResult,
+    ) -> io::Result<QueryOutcome>
+    where
+        P: PieProgram,
+        P::VertexData: Wire + Clone + Default,
+        P::EdgeData: Wire + Clone,
+    {
+        let mut config = self.config.engine.clone();
+        config.run_id = run_id;
+        if kill.is_some() && config.checkpoint_every == 0 {
+            config.checkpoint_every = 1;
+        }
+
+        if self.config.endpoints.is_empty() {
+            if kill.is_some() {
+                return Err(bad_data("kill drills need a remote service session"));
+            }
+            let engine = GrapeEngine::new(program).with_config(config);
+            let result = engine
+                .run(typed, fragments)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            return Ok(QueryOutcome {
+                result: wrap(result.output),
+                stats: result.stats,
+            });
+        }
+
+        let n = fragments.len();
+        let open = |worker: usize, epoch: u32, kill_at: Option<u32>| -> io::Result<ServiceSocket> {
+            let endpoint = &self.config.endpoints[worker % self.config.endpoints.len()];
+            let mut stream = endpoint.connect()?;
+            wire::write_frame_io_epoch(&mut stream, TAG_HELLO, 0, &config.auth_token)?;
+            let job = QueryJob {
+                graph_id,
+                index: worker as u32,
+                workers: n as u32,
+                run_id: epoch,
+                threads: match config.threads_per_worker {
+                    ThreadCount::Auto => 0,
+                    ThreadCount::Fixed(t) => t,
+                },
+                checkpoint_every: config.checkpoint_every as u32,
+                query: wire_query.clone(),
+                kill_at,
+            };
+            let mut frame = self.scratch.acquire(run_id);
+            wire::encode_frame_epoch(TAG_QUERY, epoch, &job, &mut frame);
+            stream.write_all(&frame)?;
+            stream.flush()?;
+            frame.clear();
+            self.scratch.release(run_id, frame);
+            Ok(stream)
+        };
+
+        let mut streams = Vec::with_capacity(n);
+        for worker in 0..n {
+            let kill_at = kill.and_then(|(w, at)| (w == worker).then_some(at as u32));
+            streams.push(open(worker, run_id, kill_at)?);
+        }
+        let comm_stats = Arc::new(CommStats::new());
+        let transport = FramedStreamCoord::<P::Value>::new_at_epoch(streams, comm_stats, run_id)?
+            .with_read_timeout(config.read_timeout);
+
+        let engine = GrapeEngine::new(program).with_config(config.clone());
+        let stats = if config.checkpoint_every > 0 {
+            // Recovery glue for the service path: a fresh connection to the
+            // same daemon re-enters the query at the bumped epoch; the
+            // resident fragment is *not* re-shipped.
+            let mut recover = |worker: usize, epoch: u32| -> Result<(), String> {
+                let stream = open(worker, epoch, None)
+                    .map_err(|e| format!("reconnect worker {worker}: {e}"))?;
+                transport
+                    .replace_worker(worker, stream, epoch)
+                    .map_err(|e| format!("replace worker {worker}: {e}"))
+            };
+            engine.run_coordinator_recoverable(fragments, &transport, &mut recover)
+        } else {
+            engine.run_coordinator(fragments, &transport)
+        }
+        .map_err(|e| io::Error::other(e.to_string()))?;
+
+        // Collect one TAG_RESULT per worker (any order).
+        let mut results: Vec<Option<(u64, Vec<u8>)>> = (0..n).map(|_| None).collect();
+        while results.iter().any(Option::is_none) {
+            let (from, tag, payload) = transport.recv_oob_blocking().ok_or_else(|| {
+                io::Error::other("service connection closed before every worker reported a result")
+            })?;
+            if tag != TAG_RESULT {
+                return Err(bad_data(format!(
+                    "expected TAG_RESULT from worker {from}, got tag {tag:#04x}"
+                )));
+            }
+            let mut reader = WireReader::new(&payload);
+            let decoded = u64::decode(&mut reader)
+                .and_then(|digest| Vec::<u8>::decode(&mut reader).map(|snap| (digest, snap)))
+                .and_then(|pair| reader.finish().map(|()| pair))
+                .map_err(|e| bad_data(format!("bad result frame: {e}")))?;
+            results[from] = Some(decoded);
+        }
+
+        let mut partials = Vec::with_capacity(n);
+        for (worker, slot) in results.into_iter().enumerate() {
+            let (_digest, snapshot) = slot.expect("all slots filled above");
+            let partial = engine.program().restore_partial(&snapshot).ok_or_else(|| {
+                bad_data(format!(
+                    "worker {worker} returned an undecodable result snapshot"
+                ))
+            })?;
+            partials.push(partial);
+        }
+        let output = engine.program().assemble(partials);
+        self.scratch.retire(run_id);
+        Ok(QueryOutcome {
+            result: wrap(output),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        let mut reader = WireReader::new(&buf);
+        let back = T::decode(&mut reader).expect("decodes");
+        reader.finish().expect("no trailing bytes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn load_spec_wire_roundtrip() {
+        roundtrip(&LoadSpec {
+            graph_id: 0xdead_beef_0000_0001,
+            family: 1,
+            index: 3,
+            workers: 4,
+            vertices: 5000,
+        });
+    }
+
+    #[test]
+    fn query_job_wire_roundtrip() {
+        roundtrip(&QueryJob {
+            graph_id: 42,
+            index: 1,
+            workers: 3,
+            run_id: 17,
+            threads: 2,
+            checkpoint_every: 1,
+            query: Query::sssp(7),
+            kill_at: Some(4),
+        });
+        roundtrip(&QueryJob {
+            graph_id: 42,
+            index: 0,
+            workers: 1,
+            run_id: 1,
+            threads: 0,
+            checkpoint_every: 0,
+            query: Query::canonical_keyword(),
+            kill_at: None,
+        });
+    }
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        let tcp = Endpoint::parse("127.0.0.1:4817");
+        assert_eq!(tcp, Endpoint::Tcp("127.0.0.1:4817".into()));
+        assert_eq!(tcp.to_string(), "127.0.0.1:4817");
+        #[cfg(unix)]
+        {
+            let uds = Endpoint::parse("uds:/tmp/grape.sock");
+            assert_eq!(uds, Endpoint::Uds("/tmp/grape.sock".into()));
+            assert_eq!(uds.to_string(), "uds:/tmp/grape.sock");
+        }
+    }
+
+    #[test]
+    fn graph_ids_are_process_unique() {
+        let a = fresh_graph_id();
+        let b = fresh_graph_id();
+        assert_ne!(a, b);
+        assert_eq!(a >> 32, std::process::id() as u64);
+    }
+}

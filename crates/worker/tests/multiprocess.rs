@@ -3,10 +3,7 @@
 //! bit-identical to the in-process framed reference.
 
 use grape_core::EngineConfig;
-use grape_worker::{
-    run_coordinator_connections, run_coordinator_connections_with, run_local_framed, GraphSpec,
-    JobSpec,
-};
+use grape_worker::{run_coordinator_connections_with, run_local_framed, GraphSpec, JobSpec};
 use std::net::TcpListener;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -88,7 +85,8 @@ fn tcp_workers_match_the_in_process_reference() {
         let streams = (0..job.workers)
             .map(|_| listener.accept().expect("accept").0)
             .collect();
-        let remote = run_coordinator_connections(&job, streams).expect("remote run");
+        let remote = run_coordinator_connections_with(&job, streams, &EngineConfig::default())
+            .expect("remote run");
         reap(children);
 
         let reference = run_local_framed(&job).expect("local run");
@@ -123,7 +121,8 @@ fn unix_domain_workers_match_the_in_process_reference() {
     let streams = (0..job.workers)
         .map(|_| listener.accept().expect("accept").0)
         .collect();
-    let remote = run_coordinator_connections(&job, streams).expect("remote run");
+    let remote = run_coordinator_connections_with(&job, streams, &EngineConfig::default())
+        .expect("remote run");
     reap(children);
     let _ = std::fs::remove_file(&path);
 

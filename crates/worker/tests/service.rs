@@ -1,0 +1,296 @@
+//! Service-mode integration: resident fragments served over framed TCP/UDS
+//! must answer every query class bit-identically to cold one-shot runs,
+//! multiplex different classes in flight, and survive a worker kill
+//! mid-query-stream without disturbing concurrent queries.
+
+use grape_algo::{Query, QueryResult};
+use grape_core::EngineConfig;
+use grape_partition::BuiltinStrategy;
+use grape_worker::{
+    GrapeService, GraphSpec, QueryOutcome, ServiceOptions, Session, SessionConfig, SessionGraph,
+};
+
+fn weighted_graph() -> SessionGraph {
+    SessionGraph::generate(&GraphSpec::parse("ba:160:3:5").expect("spec")).expect("generator")
+}
+
+fn labeled_graph() -> SessionGraph {
+    SessionGraph::generate(&GraphSpec::parse("social:60:6:21").expect("spec")).expect("generator")
+}
+
+/// Queries that run on a weighted graph.
+fn weighted_queries() -> Vec<Query> {
+    vec![Query::sssp(0), Query::cc(), Query::pagerank(), Query::cf()]
+}
+
+/// Queries that run on a labeled social graph (the promoted product is the
+/// first product vertex: id = number of persons).
+fn labeled_queries() -> Vec<Query> {
+    vec![
+        Query::canonical_sim(),
+        Query::canonical_subiso(),
+        Query::canonical_keyword(),
+        Query::marketing(60),
+    ]
+}
+
+/// A cold one-shot run: a fresh in-process session per query, so nothing is
+/// resident or recycled between calls.
+fn cold_run(
+    graph: &SessionGraph,
+    strategy: BuiltinStrategy,
+    workers: usize,
+    query: Query,
+) -> QueryOutcome {
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session.load(graph, strategy).expect("load");
+    session
+        .submit(query)
+        .expect("submit")
+        .join()
+        .expect("cold query")
+}
+
+#[test]
+fn every_class_is_bit_identical_through_the_service_path() {
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+
+    for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+        for workers in [2usize, 3] {
+            for (graph, queries) in [
+                (weighted_graph(), weighted_queries()),
+                (labeled_graph(), labeled_queries()),
+            ] {
+                let session =
+                    Session::connect(SessionConfig::remote(workers, vec![endpoint.clone()]))
+                        .expect("connect");
+                session.load(&graph, strategy).expect("load");
+                for query in queries {
+                    let label = format!("{:?}/{}/{workers}", query.class(), strategy.name());
+                    let remote = session
+                        .submit(query.clone())
+                        .expect("submit")
+                        .join()
+                        .unwrap_or_else(|e| panic!("{label}: service query failed: {e}"));
+                    let cold = cold_run(&graph, strategy, workers, query);
+                    assert_eq!(
+                        remote.result, cold.result,
+                        "{label}: service result differs from the cold run"
+                    );
+                    assert_eq!(
+                        remote.result.digest(),
+                        cold.result.digest(),
+                        "{label}: digests differ"
+                    );
+                    assert_eq!(
+                        remote.stats.supersteps, cold.stats.supersteps,
+                        "{label}: superstep counts differ"
+                    );
+                }
+            }
+        }
+    }
+    daemon.shutdown().expect("shutdown");
+}
+
+#[cfg(unix)]
+#[test]
+fn interleaved_classes_share_resident_fragments_over_uds() {
+    let path = std::env::temp_dir().join(format!("grape-service-{}.sock", std::process::id()));
+    let daemon = GrapeService::bind_uds(&path, ServiceOptions::default())
+        .expect("bind uds")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+    let workers = 3;
+
+    let graph = labeled_graph();
+    let session =
+        Session::connect(SessionConfig::remote(workers, vec![endpoint])).expect("connect");
+    session.load(&graph, BuiltinStrategy::Hash).expect("load");
+
+    // Two different classes in flight at once over the same loaded
+    // fragments: submit both before joining either.
+    let sim = session.submit(Query::canonical_sim()).expect("submit sim");
+    let keyword = session
+        .submit(Query::canonical_keyword())
+        .expect("submit keyword");
+    assert_ne!(sim.run_id(), keyword.run_id(), "run ids must be distinct");
+    let sim = sim.join().expect("sim");
+    let keyword = keyword.join().expect("keyword");
+
+    assert_eq!(
+        sim.result,
+        cold_run(
+            &graph,
+            BuiltinStrategy::Hash,
+            workers,
+            Query::canonical_sim()
+        )
+        .result,
+        "interleaved sim diverged"
+    );
+    assert_eq!(
+        keyword.result,
+        cold_run(
+            &graph,
+            BuiltinStrategy::Hash,
+            workers,
+            Query::canonical_keyword()
+        )
+        .result,
+        "interleaved keyword diverged"
+    );
+
+    // Batch admission: same-class queries form one wave, classes run
+    // concurrently; handles come back in submission order.
+    let handles = session
+        .submit_batch(vec![
+            Query::canonical_sim(),
+            Query::marketing(60),
+            Query::canonical_sim(),
+        ])
+        .expect("batch");
+    let outcomes: Vec<QueryOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("batch query"))
+        .collect();
+    assert!(matches!(outcomes[0].result, QueryResult::Matches(_)));
+    assert!(matches!(outcomes[1].result, QueryResult::Prospects(_)));
+    assert_eq!(
+        outcomes[0].result, outcomes[2].result,
+        "same query in one batch must agree with itself"
+    );
+    daemon.shutdown().expect("shutdown");
+}
+
+#[test]
+fn worker_kill_mid_stream_leaves_the_concurrent_query_undisturbed() {
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+    let workers = 3;
+
+    let graph = weighted_graph();
+    let config = SessionConfig::remote(workers, vec![endpoint])
+        .with_engine(EngineConfig::builder().checkpoint_every(1).build());
+    let session = Session::connect(config).expect("connect");
+    session.load(&graph, BuiltinStrategy::Hash).expect("load");
+
+    // The drill: worker 1's connection is severed upon its 2nd command,
+    // while a PageRank query runs concurrently on its own connections.
+    let killed = session
+        .submit_with_kill(Query::sssp(0), 1, 2)
+        .expect("submit kill drill");
+    let concurrent = session.submit(Query::pagerank()).expect("submit pagerank");
+
+    let killed = killed.join().expect("killed query must recover");
+    let concurrent = concurrent.join().expect("concurrent query");
+
+    assert!(
+        killed.stats.recoveries >= 1,
+        "the kill drill must actually trigger a recovery"
+    );
+    assert_eq!(
+        killed.result,
+        cold_run(&graph, BuiltinStrategy::Hash, workers, Query::sssp(0)).result,
+        "recovered query diverged from the cold run"
+    );
+    assert_eq!(
+        concurrent.stats.recoveries, 0,
+        "the concurrent query must not observe the other query's kill"
+    );
+    assert_eq!(
+        concurrent.result,
+        cold_run(&graph, BuiltinStrategy::Hash, workers, Query::pagerank()).result,
+        "concurrent query diverged from the cold run"
+    );
+    daemon.shutdown().expect("shutdown");
+}
+
+#[test]
+fn resubmitting_a_query_yields_identical_results_and_stats() {
+    // Per-query scratch state on the resident workers must reset fully
+    // between queries: the second run of the same query sees the same
+    // supersteps, messages, and wire bytes as the first, not residue.
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+    let session = Session::connect(SessionConfig::remote(3, vec![endpoint])).expect("connect");
+    session
+        .load(&weighted_graph(), BuiltinStrategy::Hash)
+        .expect("load");
+
+    let first = session
+        .submit(Query::sssp(0))
+        .expect("submit")
+        .join()
+        .expect("first run");
+    let second = session
+        .submit(Query::sssp(0))
+        .expect("submit")
+        .join()
+        .expect("second run");
+
+    assert_eq!(first.result, second.result, "results differ across reruns");
+    assert_ne!(
+        first.stats.run_id, second.stats.run_id,
+        "each submission gets its own run id"
+    );
+    assert_eq!(first.stats.supersteps, second.stats.supersteps);
+    assert_eq!(first.stats.messages, second.stats.messages);
+    assert_eq!(first.stats.bytes, second.stats.bytes);
+    assert_eq!(first.stats.recoveries, second.stats.recoveries);
+    daemon.shutdown().expect("shutdown");
+}
+
+#[test]
+fn the_daemon_enforces_its_auth_token() {
+    let daemon = GrapeService::bind(
+        "127.0.0.1:0",
+        ServiceOptions {
+            token: Some("sesame".into()),
+            ..Default::default()
+        },
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+
+    // No token: the daemon drops the connection before acking the load.
+    let anon = Session::connect(SessionConfig::remote(2, vec![endpoint.clone()]))
+        .expect("probe succeeds before auth is checked");
+    assert!(
+        anon.load(&weighted_graph(), BuiltinStrategy::Hash).is_err(),
+        "an unauthenticated load must fail"
+    );
+
+    // Matching token: full query round trip.
+    let config = SessionConfig::remote(2, vec![endpoint]).with_engine(
+        EngineConfig::builder()
+            .auth_token("sesame".to_string())
+            .build(),
+    );
+    let session = Session::connect(config).expect("connect");
+    let graph = weighted_graph();
+    session.load(&graph, BuiltinStrategy::Hash).expect("load");
+    let outcome = session
+        .submit(Query::cc())
+        .expect("submit")
+        .join()
+        .expect("query");
+    assert_eq!(
+        outcome.result,
+        cold_run(&graph, BuiltinStrategy::Hash, 2, Query::cc()).result
+    );
+    daemon.shutdown().expect("shutdown");
+}

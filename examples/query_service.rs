@@ -1,0 +1,69 @@
+//! Query-service mode: one resident graph, a stream of concurrent queries.
+//!
+//! Demonstrates the unified `Session` facade twice over the same workload —
+//! first with in-process resident workers, then against a real
+//! `GrapeService` daemon over framed TCP (spawned in this process for the
+//! example's sake; `grape-worker daemon --listen …` runs the same thing
+//! stand-alone). Both paths produce bit-identical results.
+//!
+//! Run with: `cargo run --example query_service`
+
+use grape::prelude::*;
+use grape::{GrapeService, Query, ServiceOptions, SessionConfig, SessionGraph};
+
+fn main() -> std::io::Result<()> {
+    let workers = 4;
+    let graph = grape::graph::generators::labeled_social(
+        grape::graph::generators::SocialGraphConfig {
+            num_persons: 400,
+            num_products: 40,
+            ..Default::default()
+        },
+        21,
+    )
+    .expect("generator");
+
+    // --- In-process session: load once, submit a batch of mixed classes. ---
+    let session = Session::connect(SessionConfig::in_process(workers))?;
+    session.load(&SessionGraph::from(graph.clone()), BuiltinStrategy::Hash)?;
+
+    let handles = session.submit_batch(vec![
+        Query::canonical_sim(),
+        Query::canonical_keyword(),
+        Query::marketing(400),
+    ])?;
+    let mut local_results = Vec::new();
+    for handle in handles {
+        let outcome = handle.join()?;
+        println!("[in-process] {}", outcome.stats.summary());
+        local_results.push(outcome.result);
+    }
+
+    // --- The same queries through a resident TCP daemon. ---
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())?.spawn()?;
+    let endpoint = daemon.endpoint().clone();
+    println!("daemon listening on {endpoint}");
+
+    let remote = Session::connect(SessionConfig::remote(workers, vec![endpoint]))?;
+    remote.load(&SessionGraph::from(graph), BuiltinStrategy::Hash)?;
+
+    // Different query classes in flight at once, multiplexed over the same
+    // resident fragments.
+    let sim = remote.submit(Query::canonical_sim())?;
+    let keyword = remote.submit(Query::canonical_keyword())?;
+    let marketing = remote.submit(Query::marketing(400))?;
+    let remote_results = vec![
+        sim.join()?.result,
+        keyword.join()?.result,
+        marketing.join()?.result,
+    ];
+
+    assert_eq!(
+        local_results, remote_results,
+        "service results must be bit-identical to the in-process reference"
+    );
+    println!("verified: remote session results bit-identical to in-process");
+
+    daemon.shutdown()?;
+    Ok(())
+}

@@ -33,10 +33,8 @@ fn main() {
     println!("partition: {}", quality.summary());
 
     // 3. Plug in the PIE program and run the query.
-    let engine = GrapeEngine::new(SsspProgram).with_config(EngineConfig {
-        check_monotonicity: true,
-        ..Default::default()
-    });
+    let engine = GrapeEngine::new(SsspProgram)
+        .with_config(EngineConfig::builder().check_monotonicity(true).build());
     let query = SsspQuery::new(0);
     let result = engine
         .run_on_graph(&query, &graph, &assignment)

@@ -18,8 +18,37 @@
 //!   Keyword, CF and the GPAR marketing use case.
 //! * [`baseline`] — the Table 1 comparators: Pregel-like, GAS and Blogel-like
 //!   engines.
+//! * [`worker`] — multi-process workers over the framed wire protocol, and
+//!   the resident query service ([`Session`] / [`GrapeService`]).
 //!
-//! ## Quickstart
+//! ## Quickstart — a resident session
+//!
+//! [`Session`] is the unified entry point: load a graph once, keep the
+//! fragments resident, and serve a stream of typed queries — concurrently,
+//! bit-identical to cold one-shot runs:
+//!
+//! ```
+//! use grape::prelude::*;
+//! use grape::{Query, Session, SessionConfig, SessionGraph};
+//!
+//! let graph = grape::graph::generators::barabasi_albert(300, 2, 7).unwrap();
+//! let session = Session::connect(SessionConfig::in_process(4))?;
+//! session.load(&SessionGraph::from(graph), BuiltinStrategy::Hash)?;
+//!
+//! let sssp = session.submit(Query::sssp(0))?;   // two classes in flight
+//! let ranks = session.submit(Query::pagerank())?; // over the same fragments
+//! println!("{}", sssp.join()?.stats.summary());
+//! println!("{}", ranks.join()?.stats.summary());
+//! # std::io::Result::Ok(())
+//! ```
+//!
+//! Pass [`SessionConfig::remote`] with daemon endpoints (`grape-worker
+//! daemon --listen …`) to serve the same session over framed TCP or
+//! Unix-domain sockets, with checkpoint-based worker recovery intact.
+//!
+//! ## Quickstart — one-shot engine
+//!
+//! The engine layer remains available for single fixpoints:
 //!
 //! ```
 //! use grape::prelude::*;
@@ -49,6 +78,17 @@ pub use grape_core as core;
 pub use grape_graph as graph;
 pub use grape_partition as partition;
 pub use grape_storage as storage;
+pub use grape_worker as worker;
+
+// The coherent public surface of the service mode, re-exported at the root:
+// one import path for connect → load → submit plus the knobs it takes.
+pub use grape_algo::{Query, QueryClass, QueryResult};
+pub use grape_core::{EngineConfig, EngineConfigBuilder, ExecutionMode, RunStats};
+pub use grape_partition::BuiltinStrategy;
+pub use grape_worker::{
+    Endpoint, GrapeService, QueryHandle, QueryOutcome, ServiceHandle, ServiceOptions, Session,
+    SessionConfig, SessionGraph,
+};
 
 /// The most frequently used items, importable with `use grape::prelude::*`.
 pub mod prelude {
@@ -57,10 +97,11 @@ pub mod prelude {
         MarketingProgram, MarketingQuery, PageRankProgram, PageRankQuery, SimProgram, SimQuery,
         SsspProgram, SsspQuery, SubIsoProgram, SubIsoQuery,
     };
+    pub use grape_algo::{Query, QueryClass, QueryResult};
     pub use grape_baseline::{BlogelEngine, GasEngine, PregelEngine};
     pub use grape_core::{
-        build_fragments, EngineConfig, ExecutionMode, Fragment, GrapeEngine, GrapeResult,
-        PieContext, PieProgram, RunStats, TransportKind, VertexId,
+        build_fragments, EngineConfig, EngineConfigBuilder, ExecutionMode, Fragment, GrapeEngine,
+        GrapeResult, PieContext, PieProgram, RunStats, TransportKind, VertexId,
     };
     pub use grape_graph::{
         CsrGraph, DenseBitset, GraphBuilder, LabeledGraph, VertexDenseMap, WeightedGraph,
@@ -69,6 +110,7 @@ pub mod prelude {
         BuiltinStrategy, HashPartitioner, MetisLikePartitioner, PartitionAssignment, Partitioner,
     };
     pub use grape_storage::{FragmentStore, IndexManager};
+    pub use grape_worker::{QueryHandle, QueryOutcome, Session, SessionConfig, SessionGraph};
 }
 
 #[cfg(test)]

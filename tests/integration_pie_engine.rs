@@ -137,11 +137,12 @@ fn framed_transport_is_bit_identical_for_every_query_class() {
     ) -> (GrapeResult<P::Output>, GrapeResult<P::Output>) {
         let run = |transport| {
             GrapeEngine::new(make())
-                .with_config(EngineConfig {
-                    execution: ExecutionMode::Inline,
-                    transport,
-                    ..Default::default()
-                })
+                .with_config(
+                    EngineConfig::builder()
+                        .execution(ExecutionMode::Inline)
+                        .transport(transport)
+                        .build(),
+                )
                 .run_on_graph(query, graph, assignment)
                 .unwrap()
         };

@@ -270,11 +270,10 @@ proptest! {
         for strategy in BuiltinStrategy::all() {
             let assignment = strategy.partition(&graph, k);
             let run = |transport: TransportKind| {
-                let config = EngineConfig {
-                    execution: ExecutionMode::Inline,
-                    transport,
-                    ..Default::default()
-                };
+                let config = EngineConfig::builder()
+                    .execution(ExecutionMode::Inline)
+                    .transport(transport)
+                    .build();
                 let sssp = GrapeEngine::new(SsspProgram)
                     .with_config(config.clone())
                     .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
@@ -367,12 +366,11 @@ proptest! {
         for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
             let assignment = strategy.partition(&graph, k);
             let run = |threads: u32, transport: TransportKind| {
-                let config = EngineConfig {
-                    execution: ExecutionMode::Inline,
-                    transport,
-                    threads_per_worker: ThreadCount::Fixed(threads),
-                    ..Default::default()
-                };
+                let config = EngineConfig::builder()
+                    .execution(ExecutionMode::Inline)
+                    .transport(transport)
+                    .threads_per_worker(ThreadCount::Fixed(threads))
+                    .build();
                 let sssp = GrapeEngine::new(SsspProgram)
                     .with_config(config.clone())
                     .run_on_graph(&SsspQuery::new(0), &graph, &assignment)
@@ -534,12 +532,11 @@ proptest! {
         for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
             let assignment = strategy.partition(&graph, k);
             let run = |threads: u32, transport: TransportKind| {
-                let config = EngineConfig {
-                    execution: ExecutionMode::Inline,
-                    transport,
-                    threads_per_worker: ThreadCount::Fixed(threads),
-                    ..Default::default()
-                };
+                let config = EngineConfig::builder()
+                    .execution(ExecutionMode::Inline)
+                    .transport(transport)
+                    .threads_per_worker(ThreadCount::Fixed(threads))
+                    .build();
                 let sim = GrapeEngine::new(SimProgram)
                     .with_config(config.clone())
                     .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)
@@ -618,11 +615,10 @@ proptest! {
         for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
             let assignment = strategy.partition(&graph, k);
             let run = |transport: TransportKind| {
-                let config = EngineConfig {
-                    execution: ExecutionMode::Inline,
-                    transport,
-                    ..Default::default()
-                };
+                let config = EngineConfig::builder()
+                    .execution(ExecutionMode::Inline)
+                    .transport(transport)
+                    .build();
                 let sim = GrapeEngine::new(SimProgram)
                     .with_config(config.clone())
                     .run_on_graph(&SimQuery::new(pattern.clone()), &graph, &assignment)

@@ -1,0 +1,87 @@
+//! Property test: the resident `Session` facade answers every query class
+//! bit-identically to a cold one-shot engine run, across random graphs,
+//! partition strategies and worker counts — the service-mode face of the
+//! Assurance Theorem's observable consequence.
+
+use grape::prelude::*;
+use grape::{Query, SessionGraph};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Strategy: a random weighted edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = WeightedGraph> {
+    (2..max_n, 1..max_m).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec((0..n as u64, 0..n as u64, 1u32..20), 1..m.max(2));
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::<(), f64>::new();
+            for v in 0..n as u64 {
+                b.ensure_vertex(v);
+            }
+            for (s, d, w) in edges {
+                b.add_edge(s, d, w as f64 / 2.0);
+            }
+            b.build().expect("valid edges")
+        })
+    })
+}
+
+/// The cold reference: a one-shot engine run of the same query class over
+/// the same partition, no resident state anywhere.
+fn cold_sssp(graph: &WeightedGraph, assignment: &PartitionAssignment) -> HashMap<VertexId, f64> {
+    GrapeEngine::new(SsspProgram)
+        .run_on_graph(&SsspQuery::new(0), graph, assignment)
+        .expect("cold sssp")
+        .output
+}
+
+fn cold_cc(graph: &WeightedGraph, assignment: &PartitionAssignment) -> HashMap<VertexId, VertexId> {
+    GrapeEngine::new(CcProgram)
+        .run_on_graph(&CcQuery, graph, assignment)
+        .expect("cold cc")
+        .output
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// One resident session serving several query classes in sequence and
+    /// concurrently must agree with per-query cold runs, for every builtin
+    /// strategy and 2–4 workers.
+    #[test]
+    fn resident_session_matches_cold_runs(
+        graph in arb_graph(60, 160),
+        k in 2usize..5,
+        strategy_index in 0usize..6,
+    ) {
+        let strategy = BuiltinStrategy::all()[strategy_index % BuiltinStrategy::all().len()];
+        let assignment = strategy.partition(&graph, k);
+
+        let session = Session::connect(SessionConfig::in_process(k)).expect("connect");
+        session
+            .load(&SessionGraph::from(graph.clone()), strategy)
+            .expect("load");
+
+        // Two classes in flight at once over the same resident fragments.
+        let sssp = session.submit(Query::sssp(0)).expect("submit sssp");
+        let cc = session.submit(Query::cc()).expect("submit cc");
+        let sssp = sssp.join().expect("sssp");
+        let cc = cc.join().expect("cc");
+
+        match sssp.result {
+            QueryResult::Distances(map) => prop_assert_eq!(map, cold_sssp(&graph, &assignment)),
+            other => prop_assert!(false, "sssp returned {:?}", other.class()),
+        }
+        match cc.result {
+            QueryResult::Components(map) => prop_assert_eq!(map, cold_cc(&graph, &assignment)),
+            other => prop_assert!(false, "cc returned {:?}", other.class()),
+        }
+
+        // Resubmitting on the same resident session leaves no residue: the
+        // digest and stats of a rerun are identical.
+        let first = session.submit(Query::sssp(0)).expect("submit").join().expect("first");
+        let second = session.submit(Query::sssp(0)).expect("submit").join().expect("second");
+        prop_assert_eq!(first.result.digest(), second.result.digest());
+        prop_assert_eq!(first.stats.supersteps, second.stats.supersteps);
+        prop_assert_eq!(first.stats.messages, second.stats.messages);
+    }
+}
