@@ -89,6 +89,12 @@ impl DenseUnionFind {
         }
     }
 
+    /// Adopts an existing parent array (e.g. a canonicalized component map
+    /// from an earlier run) as the starting forest.
+    pub fn from_parents(parent: Vec<u32>) -> Self {
+        Self { parent }
+    }
+
     /// Finds the representative of `i` with path halving.
     #[inline]
     pub fn find(&mut self, mut i: u32) -> u32 {
@@ -363,6 +369,72 @@ impl PieProgram for CcProgram {
         Some(CcPartial {
             labels: VertexDenseMap::from_vec(labels),
             vertex_ids,
+            comp,
+            comp_label,
+        })
+    }
+
+    fn incremental_eligible(&self, profile: &grape_core::MutationProfile) -> bool {
+        // Insertions only merge components, so old labels stay valid upper
+        // bounds in the min-label order. Deletions can split components,
+        // which min-propagation cannot undo — those fall back cold.
+        profile.insert_only()
+    }
+
+    fn seed_partial(
+        &self,
+        _query: &CcQuery,
+        fragment: &Fragment<(), f64>,
+        snapshot: &[u8],
+        dirty: &[VertexId],
+        _profile: &grape_core::MutationProfile,
+        ctx: &mut PieContext<VertexId>,
+    ) -> Option<CcPartial> {
+        let old = self.restore_partial(snapshot)?;
+        // The old converged labels — global minima of the old components —
+        // fold straight into the new roots: under insert-only updates every
+        // old component is a subset of a new one, so its old label is a valid
+        // (often already final) upper bound. The warm run skips the
+        // cross-fragment min propagation, which dominates the supersteps of a
+        // cold run.
+        let pool = std::sync::Arc::clone(ctx.pool());
+        let g = &fragment.graph;
+        let n = g.num_vertices();
+        let comp = if old.vertex_ids == g.vertex_ids() {
+            // Edge-only batches keep the fragment's dense-index space, so the
+            // old canonicalized component map is a valid forest over the new
+            // graph minus the inserted edges — and every inserted edge has a
+            // dirty source, so folding the out-edges of the dirty vertices
+            // into it reconnects exactly what changed. This skips the
+            // whole-fragment union-find rebuild of PEval.
+            let mut uf = DenseUnionFind::from_parents(old.comp.clone());
+            for &v in dirty {
+                if let Some(i) = g.dense_index(v) {
+                    for &w in g.out_neighbors_dense(i) {
+                        uf.union(i, w);
+                    }
+                }
+            }
+            (0..n as u32).map(|i| uf.find(i)).collect()
+        } else {
+            // The local vertex set moved (new mirrors or inserted vertices):
+            // dense indices shifted, rebuild from the edges.
+            local_components(&pool, g)
+        };
+        let mut comp_label: Vec<VertexId> = (0..n as u32).map(|i| g.vertex_of(i)).collect();
+        for (&v, &label) in old.vertex_ids.iter().zip(old.labels.as_slice()) {
+            if let Some(i) = g.dense_index(v) {
+                let r = comp[i as usize] as usize;
+                if label < comp_label[r] {
+                    comp_label[r] = label;
+                }
+            }
+        }
+        let labels = VertexDenseMap::from_fn(n, |i| comp_label[comp[i as usize] as usize]);
+        Self::publish_borders(fragment, &labels, ctx);
+        Some(CcPartial {
+            labels,
+            vertex_ids: g.vertex_ids().to_vec(),
             comp,
             comp_label,
         })

@@ -26,9 +26,10 @@
 //! keyed by the local graph's dense CSR indices; the relaxation loops run
 //! over the flat CSR in-neighbour slices and never touch a `HashMap`.
 
+use grape_core::par::{map_chunks, ThreadPool};
 use grape_core::{Fragment, PieContext, PieProgram, VertexId};
 use grape_graph::labels::LabeledVertex;
-use grape_graph::{CsrGraph, VertexDenseMap};
+use grape_graph::{CsrGraph, DenseBitset, VertexDenseMap};
 use std::collections::{BinaryHeap, HashMap};
 
 /// A keyword-search query.
@@ -240,6 +241,75 @@ impl KeywordProgram {
         changed
     }
 
+    /// [`Self::relax_keyword`] with an intra-fragment thread pool: a
+    /// single-threaded pool takes the sequential backward Dijkstra unchanged;
+    /// a larger pool runs chunked frontier rounds (`map_chunks` over the
+    /// frontier's index list, candidates applied in fixed chunk order)
+    /// relaxing over the flat CSR *in*-neighbour slices with hop weight 1.
+    /// Hop distances are small integers, exactly representable in f64, so
+    /// both schedules converge to the same least fixpoint with **identical
+    /// bits** for every thread count. The returned change count is
+    /// schedule-dependent; callers only branch on `changed == 0`.
+    fn relax_keyword_par(
+        pool: &ThreadPool,
+        graph: &CsrGraph<LabeledVertex, String>,
+        dist: &mut VertexDenseMap<f64>,
+        seeds: &[(u32, f64)],
+    ) -> usize {
+        if pool.threads() <= 1 {
+            return Self::relax_keyword(graph, dist, seeds);
+        }
+        let n = graph.num_vertices();
+        let mut changed = 0usize;
+        let mut in_frontier = DenseBitset::new(n);
+        let mut frontier: Vec<u32> = Vec::new();
+        for &(v, d) in seeds {
+            if d < dist[v] {
+                dist[v] = d;
+                changed += 1;
+                if !in_frontier.contains(v) {
+                    in_frontier.set(v);
+                    frontier.push(v);
+                }
+            }
+        }
+        frontier.sort_unstable();
+        let mut next: Vec<u32> = Vec::new();
+        while !frontier.is_empty() {
+            let snapshot: &VertexDenseMap<f64> = dist;
+            let frontier_ref: &[u32] = &frontier;
+            let candidates =
+                map_chunks(pool, frontier.len(), |range, out: &mut Vec<(u32, f64)>| {
+                    for &v in &frontier_ref[range] {
+                        let nd = snapshot[v] + 1.0;
+                        for &u in graph.in_neighbors_dense(v) {
+                            if nd < snapshot[u] {
+                                out.push((u, nd));
+                            }
+                        }
+                    }
+                });
+            for &v in &frontier {
+                in_frontier.clear(v);
+            }
+            next.clear();
+            for chunk in &candidates {
+                for &(u, nd) in chunk {
+                    if nd < dist[u] {
+                        dist[u] = nd;
+                        changed += 1;
+                        if !in_frontier.contains(u) {
+                            in_frontier.set(u);
+                            next.push(u);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        changed
+    }
+
     /// Publishes the distance vector of every border vertex that is already
     /// reachable for at least one keyword. Position-addressed via the border
     /// tables — an indexed gather per vertex, no lookup.
@@ -278,12 +348,13 @@ impl PieProgram for KeywordProgram {
             vertex_ids: g.vertex_ids().to_vec(),
             max_total_distance: query.max_total_distance,
         };
+        let pool = std::sync::Arc::clone(ctx.pool());
         for (k, keyword) in query.keywords.iter().enumerate() {
             let sources: Vec<(u32, f64)> = (0..n as u32)
                 .filter(|&i| g.vertex_data_at(i).has_keyword(keyword))
                 .map(|i| (i, 0.0))
                 .collect();
-            Self::relax_keyword(g, &mut partial.dist[k], &sources);
+            Self::relax_keyword_par(&pool, g, &mut partial.dist[k], &sources);
         }
         Self::publish_borders(fragment, &partial, ctx);
         partial
@@ -308,6 +379,7 @@ impl PieProgram for KeywordProgram {
                     .map(|pos| (fragment.border_dense_indices()[pos as usize], vec))
             })
             .collect();
+        let pool = std::sync::Arc::clone(ctx.pool());
         let mut total_changed = 0usize;
         for k in 0..query.keywords.len() {
             let seeds: Vec<(u32, f64)> = dense_messages
@@ -318,7 +390,7 @@ impl PieProgram for KeywordProgram {
             if seeds.is_empty() {
                 continue;
             }
-            total_changed += Self::relax_keyword(g, &mut partial.dist[k], &seeds);
+            total_changed += Self::relax_keyword_par(&pool, g, &mut partial.dist[k], &seeds);
         }
         if total_changed == 0 {
             return;
@@ -547,6 +619,49 @@ mod tests {
             // regression test would be vacuous).
             if bound < 5.0 {
                 assert!(reference.len() < unbounded.len());
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_sweeps_are_bit_identical_across_thread_counts() {
+        let g = labeled_social(
+            SocialGraphConfig {
+                num_persons: 300,
+                num_products: 12,
+                ..Default::default()
+            },
+            77,
+        )
+        .unwrap();
+        let assignment = BuiltinStrategy::Hash.partition(&g, 1);
+        let frags = grape_partition::build_fragments(&g, &assignment);
+        let local = &frags[0].graph;
+        let n = local.num_vertices();
+        for keyword in ["phone", "laptop"] {
+            let sources: Vec<(u32, f64)> = (0..n as u32)
+                .filter(|&i| local.vertex_data_at(i).has_keyword(keyword))
+                .map(|i| (i, 0.0))
+                .collect();
+            assert!(!sources.is_empty(), "keyword {keyword} must have holders");
+            let mut reference = VertexDenseMap::new(n, f64::INFINITY);
+            KeywordProgram::relax_keyword(local, &mut reference, &sources);
+            for threads in [1usize, 2, 4, 8] {
+                let pool = grape_core::par::ThreadPool::new(threads);
+                let mut dist = VertexDenseMap::new(n, f64::INFINITY);
+                let changed = KeywordProgram::relax_keyword_par(&pool, local, &mut dist, &sources);
+                assert!(changed > 0);
+                for (i, (d, r)) in dist.as_slice().iter().zip(reference.as_slice()).enumerate() {
+                    assert!(
+                        d.to_bits() == r.to_bits(),
+                        "keyword {keyword}, threads {threads}, dense index {i}: {d} vs {r}"
+                    );
+                }
+                // Idempotent under re-seeding, like the sequential path.
+                assert_eq!(
+                    KeywordProgram::relax_keyword_par(&pool, local, &mut dist, &sources),
+                    0
+                );
             }
         }
     }

@@ -57,6 +57,25 @@ impl Default for PageRankQuery {
     }
 }
 
+impl PageRankQuery {
+    /// Radius of the quantized-fixpoint cluster: any two self-consistent
+    /// solutions of the tolerance-grid equations — e.g. a warm (incremental)
+    /// run seeded from an old fixpoint and a cold run started from the
+    /// uniform prior — differ per vertex by at most this much.
+    ///
+    /// The quantized Jacobi operator is a contraction only up to the grid
+    /// resolution: around short cycles (a self-loop in the extreme) the
+    /// condition `|S − (1−d)·g| < tol/2` admits `O(1/(1−d))` adjacent grid
+    /// values, so the fixpoint is a *cluster*, not a point. Each of the `m`
+    /// quantizations contributes at most `tol/2` of slack and the leaky
+    /// system amplifies ℓ₁ differences by `d/(1−d)`, giving the (pessimistic)
+    /// bound `d·tol·m/(1−d)` on any per-vertex gap, which survives the final
+    /// normalization up to a factor absorbed by the slack in the ℓ₁ argument.
+    pub fn fixpoint_cluster_radius(&self, num_edges: usize) -> f64 {
+        self.damping * self.tolerance * num_edges.max(1) as f64 / (1.0 - self.damping)
+    }
+}
+
 /// Sequential PageRank over a whole graph — the reference implementation.
 ///
 /// The rank mass of dangling vertices (no out-edges) is redistributed
@@ -152,6 +171,18 @@ impl PageRankProgram {
 
     /// The contribution a local vertex feeds each of its out-edges: rank
     /// share for inner vertices, owner-published share for mirrors.
+    ///
+    /// Inner shares are *quantized to the tolerance grid* — the same grid
+    /// [`PageRankProgram::emit_shares`] publishes on — so the contribution a
+    /// vertex feeds its local out-neighbours is bitwise the one its mirrors
+    /// feed theirs. That makes every in-contribution a grid value,
+    /// independent of whether the contributor is inner or mirrored, which is
+    /// what makes a run deterministic given its start point: the trajectory
+    /// depends only on the grid equations and the initial ranks. The grid
+    /// equations themselves admit a *cluster* of self-consistent solutions
+    /// (see [`PageRankQuery::fixpoint_cluster_radius`]), so different starts
+    /// — warm from an old fixpoint vs cold from the uniform prior — may
+    /// settle on different members of that cluster.
     #[inline]
     fn contribution_of(
         &self,
@@ -165,7 +196,7 @@ impl PageRankProgram {
             if out == 0 {
                 0.0
             } else {
-                query.damping * partial.rank[i] / out as f64
+                query.damping * quantize(partial.rank[i] / out as f64, query.tolerance)
             }
         } else {
             query.damping * partial.mirror_share[i]
@@ -215,30 +246,34 @@ impl PageRankProgram {
                     }
                 }
             });
-            // Apply in chunk order (ascending frontier order) so the delta
-            // accumulation and the next frontier are schedule-independent.
-            let mut delta = 0.0f64;
-            let mut any = false;
+            // Apply in chunk order (ascending frontier order) so the next
+            // frontier is schedule-independent. A neighbour is requeued only
+            // when the *quantized contribution* moved bits: rank drift below
+            // the grid resolution feeds out-neighbours the same inputs, so
+            // skipping them cannot change anything. The sweep terminates
+            // exactly when the frontier empties (contributions frozen on the
+            // grid), making the converged state independent of thread count
+            // and chunking — there is no early exit on a residual norm. It
+            // still depends on the *start point*: see `contribution_of` on
+            // the fixpoint cluster.
             for chunk in &updates {
                 for &(v, new) in chunk {
-                    any = true;
-                    delta += (new - partial.rank[v]).abs();
                     partial.rank[v] = new;
                     let out = g.out_degree_dense(v);
-                    partial.contrib[v] = if out == 0 {
+                    let contrib = if out == 0 {
                         0.0
                     } else {
-                        query.damping * new / out as f64
+                        query.damping * quantize(new / out as f64, query.tolerance)
                     };
-                    for &w in g.out_neighbors_dense(v) {
-                        if fragment.is_inner_dense(w) {
-                            partial.pending.set(w);
+                    if contrib.to_bits() != partial.contrib[v].to_bits() {
+                        partial.contrib[v] = contrib;
+                        for &w in g.out_neighbors_dense(v) {
+                            if fragment.is_inner_dense(w) {
+                                partial.pending.set(w);
+                            }
                         }
                     }
                 }
-            }
-            if !any || delta < query.tolerance {
-                break;
             }
         }
     }
@@ -420,6 +455,83 @@ impl PieProgram for PageRankProgram {
             contrib: VertexDenseMap::from_vec(contrib),
             pending,
         })
+    }
+
+    fn incremental_eligible(&self, _profile: &grape_core::MutationProfile) -> bool {
+        // Any mutation batch can be answered from the old converged ranks:
+        // seeding from them converges to a valid quantized fixpoint. Unlike
+        // SSSP/CC (unique fixpoints), the grid equations admit a cluster of
+        // solutions, so a warm answer may differ from a cold run on the
+        // updated graph — by at most
+        // `PageRankQuery::fixpoint_cluster_radius(num_edges)` per vertex.
+        true
+    }
+
+    fn seed_partial(
+        &self,
+        query: &PageRankQuery,
+        fragment: &Fragment<(), f64>,
+        snapshot: &[u8],
+        dirty: &[VertexId],
+        profile: &grape_core::MutationProfile,
+        ctx: &mut PieContext<f64>,
+    ) -> Option<PageRankPartial> {
+        let old = self.restore_partial(snapshot)?;
+        let pool = std::sync::Arc::clone(ctx.pool());
+        let n = self.global_vertices.max(1) as f64;
+        let g = &fragment.graph;
+        let n_local = g.num_vertices();
+        let mut partial = PageRankPartial {
+            rank: VertexDenseMap::for_graph(g, 1.0 / n),
+            mirror_share: VertexDenseMap::for_graph(g, 0.0),
+            inner_ids: fragment.inner_vertices().to_vec(),
+            inner_dense: fragment.inner_dense_indices().to_vec(),
+            contrib: VertexDenseMap::new(n_local, 0.0),
+            pending: DenseBitset::new(n_local),
+        };
+        // Carry the old converged inner ranks over by global id; vertices
+        // inserted since start at the uniform prior like a cold run. Mirror
+        // shares start at 0 exactly as in PEval — superstep-0 publications
+        // re-deliver every owner share in round 1 and requeue the cones.
+        let old_rank: std::collections::HashMap<VertexId, f64> = old
+            .inner_ids
+            .iter()
+            .zip(&old.inner_dense)
+            .map(|(&v, &i)| (v, old.rank[i]))
+            .collect();
+        for (&v, &i) in partial.inner_ids.iter().zip(&partial.inner_dense) {
+            if let Some(&r) = old_rank.get(&v) {
+                partial.rank[i] = r;
+            }
+        }
+        for i in 0..n_local as u32 {
+            partial.contrib[i] = self.contribution_of(query, fragment, &partial, i);
+        }
+        if profile.vertex_set_changed() {
+            // The teleport base (1-d)/n changed for everyone: full frontier.
+            for &i in fragment.inner_dense_indices() {
+                partial.pending.set(i);
+            }
+        } else {
+            // Only vertices whose in-contributions can differ from the old
+            // fixpoint need a first look: the dirty vertices themselves
+            // (their in-edge sets may have changed) and their out-neighbours
+            // (a changed out-degree moves the per-edge share).
+            for &v in dirty {
+                let Some(i) = g.dense_index(v) else { continue };
+                if fragment.is_inner_dense(i) {
+                    partial.pending.set(i);
+                }
+                for &w in g.out_neighbors_dense(i) {
+                    if fragment.is_inner_dense(w) {
+                        partial.pending.set(w);
+                    }
+                }
+            }
+        }
+        self.local_iterate(query, fragment, &mut partial, &pool);
+        self.emit_shares(query, fragment, &partial, ctx);
+        Some(partial)
     }
 
     fn name(&self) -> &str {
@@ -655,28 +767,29 @@ mod tests {
         let base = (1.0 - query.damping) / n as f64;
         let mut rank = vec![1.0 / n as f64; n];
         for _ in 0..query.max_local_iterations {
+            // Same grid equations as the program: quantized per-edge shares.
             let contrib: Vec<f64> = (0..n as u32)
                 .map(|i| {
                     let out = fg.out_degree_dense(i);
                     if out == 0 {
                         0.0
                     } else {
-                        query.damping * rank[i as usize] / out as f64
+                        query.damping * quantize(rank[i as usize] / out as f64, query.tolerance)
                     }
                 })
                 .collect();
             let mut next = vec![0.0f64; n];
-            let mut delta = 0.0f64;
+            let mut moved = false;
             for v in 0..n as u32 {
                 let mut new = base;
                 for &u in fg.in_neighbors_dense(v) {
                     new += contrib[u as usize];
                 }
-                delta += (new - rank[v as usize]).abs();
+                moved |= new.to_bits() != rank[v as usize].to_bits();
                 next[v as usize] = new;
             }
             rank = next;
-            if delta < query.tolerance {
+            if !moved {
                 break;
             }
         }

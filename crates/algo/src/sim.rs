@@ -500,6 +500,64 @@ impl PieProgram for SimProgram {
         })
     }
 
+    fn incremental_eligible(&self, profile: &grape_core::MutationProfile) -> bool {
+        // The greatest simulation only shrinks when edges disappear, so the
+        // old fixpoint is a valid superset to refine down from. Insertions
+        // could *add* matches (grow masks), which the decreasing worklist
+        // cannot do — those fall back cold.
+        profile.delete_only()
+    }
+
+    fn seed_partial(
+        &self,
+        query: &SimQuery,
+        fragment: &Fragment<LabeledVertex, String>,
+        snapshot: &[u8],
+        dirty: &[VertexId],
+        _profile: &grape_core::MutationProfile,
+        ctx: &mut PieContext<u64>,
+    ) -> Option<SimPartial> {
+        let old = self.restore_partial(snapshot)?;
+        let g = &fragment.graph;
+        // Mirrors restart at the optimistic label masks exactly like PEval —
+        // owners re-publish their authoritative masks in round 1 — while
+        // inner vertices resume from the old converged masks (by global id;
+        // delete-only updates never add vertices). The greatest simulation of
+        // the pruned graph is a subset of the old one, and the decreasing
+        // worklist converges to it from any superset, so only the deletion
+        // sites need a first look: everything else still has every witness
+        // it had at the old fixpoint.
+        let mut partial = SimPartial {
+            masks: initial_masks(&query.pattern, g),
+            inner_ids: fragment.inner_vertices().to_vec(),
+            inner_dense: fragment.inner_dense_indices().to_vec(),
+            pattern_width: query.pattern.num_vertices(),
+        };
+        let old_mask: std::collections::HashMap<VertexId, u64> = old
+            .inner_ids
+            .iter()
+            .zip(&old.inner_dense)
+            .map(|(&v, &i)| (v, old.masks[i]))
+            .collect();
+        for (&v, &i) in partial.inner_ids.iter().zip(&partial.inner_dense) {
+            if let Some(&mask) = old_mask.get(&v) {
+                partial.masks[i] = mask;
+            }
+        }
+        let seeds: Vec<u32> = dirty.iter().filter_map(|&v| g.dense_index(v)).collect();
+        let pool = std::sync::Arc::clone(ctx.pool());
+        refine_par(
+            &pool,
+            &query.pattern,
+            g,
+            &mut partial.masks,
+            fragment.inner_bitset(),
+            seeds,
+        );
+        Self::publish_borders(fragment, &partial, ctx);
+        Some(partial)
+    }
+
     fn name(&self) -> &str {
         "sim"
     }

@@ -429,6 +429,72 @@ impl PieProgram for SsspProgram {
         })
     }
 
+    fn incremental_eligible(&self, profile: &grape_core::MutationProfile) -> bool {
+        // Distances only tighten under insertions, so the old fixpoint is a
+        // valid upper bound to relax down from. Deletions could *lengthen*
+        // paths, which min-relaxation cannot undo — those fall back cold.
+        profile.insert_only()
+    }
+
+    fn seed_partial(
+        &self,
+        query: &SsspQuery,
+        fragment: &Fragment<(), Distance>,
+        snapshot: &[u8],
+        dirty: &[VertexId],
+        _profile: &grape_core::MutationProfile,
+        ctx: &mut PieContext<Distance>,
+    ) -> Option<SsspPartial> {
+        let old = self.restore_partial(snapshot)?;
+        let g = &fragment.graph;
+        // Carry the converged distances over by global id (dense indices may
+        // have shifted); inserted vertices start unreached like a cold run.
+        let mut dist = VertexDenseMap::for_graph(g, Distance::INFINITY);
+        for (&v, &d) in old.vertex_ids.iter().zip(old.dist.as_slice()) {
+            if let Some(i) = g.dense_index(v) {
+                dist[i] = d;
+            }
+        }
+        // Every path the update can improve starts by crossing an edge out
+        // of a dirty vertex, so relaxing each dirty vertex's out-edges from
+        // its settled distance is a complete seed set. Re-seeding the source
+        // covers the fragment that just gained it. Min-relaxation converges
+        // to the unique least fixpoint from any upper bound, and equal
+        // nonnegative f64s share one bit pattern — hence bit-identity with a
+        // cold run on the updated graph.
+        let mut seeds: Vec<(u32, Distance)> = Vec::new();
+        if let Some(src) = g.dense_index(query.source) {
+            seeds.push((src, 0.0));
+        }
+        for &v in dirty {
+            let Some(u) = g.dense_index(v) else { continue };
+            let d = dist[u];
+            if !d.is_finite() {
+                continue;
+            }
+            for (&w_idx, &w) in g
+                .out_neighbors_dense(u)
+                .iter()
+                .zip(g.out_edge_data_dense(u))
+            {
+                seeds.push((w_idx, d + w));
+            }
+        }
+        let pool = std::sync::Arc::clone(ctx.pool());
+        dense_relax_par(&pool, g, &mut dist, &seeds);
+        for (pos, &i) in fragment.border_dense_indices().iter().enumerate() {
+            let d = dist[i];
+            if d.is_finite() {
+                ctx.update_at(pos as u32, d);
+            }
+        }
+        Some(SsspPartial {
+            dist,
+            vertex_ids: g.vertex_ids().to_vec(),
+            inceval_changes: 0,
+        })
+    }
+
     fn name(&self) -> &str {
         "sssp"
     }

@@ -10,12 +10,16 @@
 //! ```
 //!
 //! Rows are matched on `(algo, graph, n, m, k)` — a smoke artifact is never
-//! compared against a full-size one. The gated metrics are `wall_ms`,
-//! `coord_ms` and `framed_wall_ms`; a metric is only *gated* when its
+//! compared against a full-size one. A metric is only *gated* when its
 //! baseline is at least `--min-ms` (sub-millisecond smoke numbers are pure
 //! noise at any threshold — they are still shown, as informational rows).
 //! The full diff table is written as GitHub-flavoured markdown to
 //! `--summary` (appended, so it lands in the job summary) and to stdout.
+//!
+//! Exit codes are typed: `0` clean, `1` at least one metric regressed, `2`
+//! malformed invocation or artifact, `3` a matched baseline row is missing a
+//! gated column the current artifact reports (a stale baseline silently
+//! un-gates the metric — regenerate and commit the baseline instead).
 
 use serde_json::Value;
 use std::fmt::Write as _;
@@ -25,10 +29,12 @@ use std::process::ExitCode;
 /// cadence 1) and `recovery_k4_ms` (cadence 4) only exist on the
 /// single-threaded recovery-drill rows; `service_p50_ms` / `service_p99_ms`
 /// (per-query latency through a resident query-service session) likewise
-/// only on the single-threaded SSSP/CC/PageRank rows. Rows without them
-/// simply have no entry (and a baseline without them reports "new metric
-/// (not gated)").
-const METRICS: [&str; 7] = [
+/// only on the single-threaded SSSP/CC/PageRank rows; `inc_ms` (incremental
+/// re-answer after a mutation batch, vs `wall_ms` cold) only on the
+/// single-threaded incremental rows. Rows without them simply have no entry;
+/// a *matched* baseline row lacking a column the current row reports is a
+/// typed error (see the module docs).
+const METRICS: [&str; 8] = [
     "wall_ms",
     "coord_ms",
     "framed_wall_ms",
@@ -36,7 +42,42 @@ const METRICS: [&str; 7] = [
     "recovery_k4_ms",
     "service_p50_ms",
     "service_p99_ms",
+    "inc_ms",
 ];
+
+/// A typed gate failure that is not a performance regression.
+#[derive(Debug, PartialEq)]
+enum GateError {
+    /// The baseline row matched on `key` but carries no entry for `metric`,
+    /// so the metric would never be gated against it.
+    MissingGatedColumn { key: String, metric: String },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::MissingGatedColumn { key, metric } => write!(
+                f,
+                "baseline row {key:?} is missing gated column {metric:?} — \
+                 regenerate the committed baseline"
+            ),
+        }
+    }
+}
+
+/// Every gated column the current row reports that its matched baseline row
+/// does not — each one is a [`GateError::MissingGatedColumn`].
+fn missing_gated_columns(base: &BenchRow, current: &BenchRow) -> Vec<GateError> {
+    current
+        .metrics
+        .iter()
+        .filter(|(name, _)| !base.metrics.iter().any(|(b, _)| b == name))
+        .map(|(name, _)| GateError::MissingGatedColumn {
+            key: current.key.clone(),
+            metric: name.clone(),
+        })
+        .collect()
+}
 
 struct BenchRow {
     key: String,
@@ -182,6 +223,7 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut errors: Vec<GateError> = Vec::new();
     for row in &current {
         let base_row = baseline.iter().find(|b| b.key == row.key);
         match base_row {
@@ -194,11 +236,12 @@ fn main() -> ExitCode {
                 .unwrap();
             }
             Some(base_row) => {
+                errors.extend(missing_gated_columns(base_row, row));
                 for (name, cur) in &row.metrics {
                     let Some((_, base)) = base_row.metrics.iter().find(|(n, _)| n == name) else {
                         writeln!(
                             table,
-                            "| {} | {} | {name} | — | {cur:.2} | — | new metric (not gated) |",
+                            "| {} | {} | {name} | — | {cur:.2} | — | ❌ missing baseline column |",
                             row.algo, row.graph
                         )
                         .unwrap();
@@ -250,6 +293,12 @@ fn main() -> ExitCode {
         }
     }
 
+    if !errors.is_empty() {
+        for err in &errors {
+            eprintln!("bench_gate: {err}");
+        }
+        return ExitCode::from(3);
+    }
     if regressions > 0 {
         eprintln!(
             "bench_gate: {regressions} metric(s) regressed more than {:.0}%",
@@ -263,10 +312,49 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_flag;
+    use super::{missing_gated_columns, parse_flag, BenchRow, GateError};
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn row(key: &str, metrics: &[(&str, f64)]) -> BenchRow {
+        BenchRow {
+            key: key.into(),
+            algo: "sssp".into(),
+            graph: "ba".into(),
+            metrics: metrics.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn a_baseline_missing_a_gated_column_is_a_typed_error() {
+        let base = row("sssp|ba|100|200|4|t1", &[("wall_ms", 3.0)]);
+        let current = row("sssp|ba|100|200|4|t1", &[("wall_ms", 3.1), ("inc_ms", 0.4)]);
+        assert_eq!(
+            missing_gated_columns(&base, &current),
+            vec![GateError::MissingGatedColumn {
+                key: "sssp|ba|100|200|4|t1".into(),
+                metric: "inc_ms".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn matching_columns_produce_no_errors() {
+        let base = row("k", &[("wall_ms", 3.0), ("inc_ms", 0.5)]);
+        let current = row("k", &[("wall_ms", 3.1), ("inc_ms", 0.4)]);
+        assert!(missing_gated_columns(&base, &current).is_empty());
+    }
+
+    #[test]
+    fn a_column_only_the_baseline_has_is_not_an_error() {
+        // The current artifact dropping a metric is a different (visible)
+        // situation: its rows simply shrink; the gate only defends against
+        // stale baselines silently un-gating *reported* metrics.
+        let base = row("k", &[("wall_ms", 3.0), ("recovery_ms", 9.0)]);
+        let current = row("k", &[("wall_ms", 3.1)]);
+        assert!(missing_gated_columns(&base, &current).is_empty());
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub const TAG_QUERY: u8 = 0x32;
 /// reassembles the full typed answer.
 pub const TAG_RESULT: u8 = 0x33;
 
+/// Frame tag of a client→service **graph update**: a resolved mutation batch
+/// targeting one resident fragment, versioned so retries are idempotent. The
+/// frame's epoch carries the target version (mod 2^32) as a fence.
+pub const TAG_UPDATE: u8 = 0x34;
+
+/// Frame tag of the service→client **update acknowledgement**: the graph id
+/// and the fragment's version after applying (or idempotently skipping) the
+/// batch. Sent once per [`TAG_UPDATE`] request.
+pub const TAG_UPDATED: u8 = 0x35;
+
 /// Size of the frame header: magic (2) + version (1) + tag (1) + epoch (4) +
 /// length (4).
 pub const HEADER_LEN: usize = 12;

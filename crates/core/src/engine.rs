@@ -29,6 +29,7 @@
 //! vice versa), so the steady-state superstep path allocates nothing.
 
 use crate::context::PieContext;
+use crate::converged::Seeded;
 use crate::message::{CheckpointState, CoordCommand, WorkerReport};
 use crate::par::{ThreadCount, ThreadPool};
 use crate::program::PieProgram;
@@ -37,6 +38,7 @@ use crate::transport::{
     self, CoordTransport, DrainableWorkerTransport, TransportError, TransportKind, WorkerTransport,
 };
 use grape_comm::CommStats;
+use grape_graph::delta::MutationProfile;
 use grape_graph::{CsrGraph, VertexId};
 use grape_partition::{build_fragments, Fragment, PartitionAssignment};
 use std::collections::HashMap;
@@ -557,6 +559,13 @@ pub struct EngineConfig {
     /// epoch per recovered worker, starting from this base). One-shot runs
     /// keep the default `0`.
     pub run_id: u32,
+    /// When set, [`GrapeEngine::run`] snapshots every fragment's converged
+    /// partial ([`PieProgram::snapshot_partial`]) right before Assemble and
+    /// returns them in [`GrapeResult::converged`] — the raw material of a
+    /// [`crate::converged::ConvergedState`] that can seed a later
+    /// [`GrapeEngine::run_incremental`] after graph mutations. Off by
+    /// default; programs without snapshot support yield `None` regardless.
+    pub capture_converged: bool,
 }
 
 impl Default for EngineConfig {
@@ -571,6 +580,7 @@ impl Default for EngineConfig {
             checkpoint_every: 0,
             auth_token: None,
             run_id: 0,
+            capture_converged: false,
         }
     }
 }
@@ -656,6 +666,12 @@ impl EngineConfigBuilder {
     /// Sets [`EngineConfig::run_id`].
     pub fn run_id(mut self, run_id: u32) -> Self {
         self.config.run_id = run_id;
+        self
+    }
+
+    /// Sets [`EngineConfig::capture_converged`].
+    pub fn capture_converged(mut self, capture: bool) -> Self {
+        self.config.capture_converged = capture;
         self
     }
 
@@ -759,6 +775,10 @@ pub struct GrapeResult<O> {
     pub output: O,
     /// Timing / communication statistics.
     pub stats: RunStats,
+    /// Per-fragment converged partial snapshots, captured right before
+    /// Assemble when [`EngineConfig::capture_converged`] is set and the
+    /// program supports [`PieProgram::snapshot_partial`]; `None` otherwise.
+    pub converged: Option<Vec<Vec<u8>>>,
 }
 
 /// The parallel query engine: wraps a [`PieProgram`] and executes it over
@@ -828,13 +848,63 @@ impl<P: PieProgram> GrapeEngine<P> {
         };
 
         let (partials, mut stats_out) = run_result?;
+        let converged = if self.config.capture_converged {
+            let mut snaps = Vec::with_capacity(partials.len());
+            for partial in &partials {
+                match self.program.snapshot_partial(partial) {
+                    Some(bytes) => snaps.push(bytes),
+                    None => {
+                        snaps.clear();
+                        break;
+                    }
+                }
+            }
+            (snaps.len() == partials.len()).then_some(snaps)
+        } else {
+            None
+        };
         let output = self.program.assemble(partials);
         stats_out.run_id = self.config.run_id;
         stats_out.wall_time = started.elapsed();
         Ok(GrapeResult {
             output,
             stats: stats_out,
+            converged,
         })
+    }
+
+    /// Runs the fixpoint *warm*: instead of a cold PEval, each fragment with
+    /// a seed in `seeds` (its snapshot from a previous converged run on the
+    /// pre-mutation graph, indexed by fragment id) is restored via
+    /// [`PieProgram::seed_partial`] and re-evaluated only from the `dirty`
+    /// vertices of the mutations applied since — see [`crate::converged`].
+    ///
+    /// Falls back to a cold [`GrapeEngine::run`] when the program rejects
+    /// the mutation `profile` ([`PieProgram::incremental_eligible`]); a
+    /// fragment whose seed is `None` (or whose `seed_partial` declines) runs
+    /// the cold PEval individually. For eligible profiles the result is
+    /// bit-identical to the cold run on the mutated fragments.
+    pub fn run_incremental(
+        &self,
+        query: &P::Query,
+        fragments: &[Fragment<P::VertexData, P::EdgeData>],
+        seeds: Vec<Option<Vec<u8>>>,
+        dirty: &[VertexId],
+        profile: &MutationProfile,
+    ) -> Result<GrapeResult<P::Output>, RunError> {
+        if !self.program.incremental_eligible(profile) {
+            return self.run(query, fragments);
+        }
+        let seeded = GrapeEngine {
+            program: Arc::new(Seeded::new(
+                Arc::clone(&self.program),
+                seeds,
+                dirty.to_vec(),
+                *profile,
+            )),
+            config: self.config.clone(),
+        };
+        seeded.run(query, fragments)
     }
 
     /// Runs only the coordinator half of the fixpoint over an external

@@ -35,6 +35,7 @@
 
 pub mod chaos;
 pub mod context;
+pub mod converged;
 pub mod engine;
 pub mod message;
 pub mod par;
@@ -46,6 +47,7 @@ pub mod transport;
 
 pub use chaos::{ChaosConfig, ChaosCoordTransport, ChaosWorkerTransport, DeterministicRng};
 pub use context::PieContext;
+pub use converged::{ConvergedState, DeltaLog, Seeded};
 pub use engine::{
     run_worker, EngineConfig, EngineConfigBuilder, ExecutionMode, GrapeEngine, GrapeResult,
     RunError,
@@ -63,6 +65,7 @@ pub use transport::{CoordTransport, TransportError, TransportKind, WorkerTranspo
 
 // Re-exports used by almost every PIE program.
 pub use grape_comm::{MessageSize, Wire, WireError, WireReader};
+pub use grape_graph::delta::MutationProfile;
 pub use grape_graph::VertexId;
 pub use grape_partition::{
     build_fragments, Fragment, FragmentId, FragmentParts, PartitionAssignment,

@@ -2,6 +2,7 @@
 
 use crate::context::PieContext;
 use grape_comm::{MessageSize, Wire};
+use grape_graph::delta::MutationProfile;
 use grape_graph::VertexId;
 use grape_partition::Fragment;
 use std::fmt::Debug;
@@ -84,6 +85,38 @@ pub trait PieProgram: Send + Sync {
     /// to `p` for all subsequent IncEval calls. The default `None` matches
     /// the default non-recoverable `snapshot_partial`.
     fn restore_partial(&self, _bytes: &[u8]) -> Option<Self::Partial> {
+        None
+    }
+
+    /// Whether a converged partial of a *previous* run may seed a warm
+    /// (incremental) run after a mutation batch with the given profile.
+    /// Programs opt in per profile — e.g. SSSP and CC only for insert-only
+    /// batches (their orders only tighten under insertions), graph simulation
+    /// only for delete-only batches. The default `false` makes every update
+    /// fall back to a cold PEval, which is always correct.
+    fn incremental_eligible(&self, _profile: &MutationProfile) -> bool {
+        false
+    }
+
+    /// Warm-start replacement for [`PieProgram::peval`]: rebuild a partial
+    /// from the `snapshot` bytes of the previous run's converged partial
+    /// (same fragment, pre-mutation), re-evaluate only from the
+    /// update-induced `dirty` vertices, and declare border values through
+    /// `ctx` exactly as PEval would. Returning `None` (the default) tells the
+    /// engine to run the cold `peval` for this fragment instead.
+    ///
+    /// Contract: for profiles accepted by
+    /// [`PieProgram::incremental_eligible`], the fixpoint reached from this
+    /// seed must be bit-identical to a cold run on the mutated graph.
+    fn seed_partial(
+        &self,
+        _query: &Self::Query,
+        _fragment: &Fragment<Self::VertexData, Self::EdgeData>,
+        _snapshot: &[u8],
+        _dirty: &[VertexId],
+        _profile: &MutationProfile,
+        _ctx: &mut PieContext<Self::Value>,
+    ) -> Option<Self::Partial> {
         None
     }
 

@@ -11,6 +11,10 @@
 //!   data.
 //! * [`GraphBuilder`] — an edge-at-a-time builder that produces a
 //!   [`CsrGraph`].
+//! * [`delta`] — a mutation overlay ([`DeltaGraph`]) that makes the immutable
+//!   CSR updatable: edge/vertex insert + delete with tombstones, stable dense
+//!   indices, and threshold-triggered compaction — the substrate of the
+//!   cross-run incremental (streaming-update) path.
 //! * [`dense`] — flat per-vertex state keyed by the dense `0..n` CSR indices
 //!   ([`VertexDenseMap`], [`DenseBitset`]), the fast path used by the hot
 //!   algorithm loops instead of `HashMap<VertexId, T>`.
@@ -31,6 +35,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod dense;
 pub mod generators;
 pub mod io;
@@ -40,6 +45,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::{AppliedBatch, DeltaGraph, GraphMutation, MutationProfile, NetMutations};
 pub use dense::{DenseBitset, VertexDenseMap};
 pub use labels::{LabeledGraph, VertexLabel};
 pub use types::{Direction, EdgeId, GraphError, VertexId, INVALID_VERTEX};

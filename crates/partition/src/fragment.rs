@@ -415,7 +415,7 @@ pub fn build_fragments<V: Clone + Default, E: Clone>(
 /// coordinator-side cut) and [`Fragment::from_parts`] (a shipped fragment
 /// rebuilt on a remote worker), so both construction paths are one code path
 /// and the results are bit-identical.
-fn assemble_fragment<V: Clone, E: Clone>(
+pub(crate) fn assemble_fragment<V: Clone, E: Clone>(
     id: FragmentId,
     num_fragments: usize,
     local_graph: CsrGraph<V, E>,

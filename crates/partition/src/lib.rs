@@ -17,6 +17,7 @@
 pub mod assignment;
 pub mod fragment;
 pub mod multilevel;
+pub mod mutate;
 pub mod quality;
 pub mod strategy;
 pub mod streaming;
@@ -24,8 +25,11 @@ pub mod streaming;
 pub use assignment::{FragmentId, PartitionAssignment};
 pub use fragment::{build_fragments, Fragment, FragmentParts};
 pub use multilevel::MetisLikePartitioner;
+pub use mutate::{resolve_net_mutations, ResolvedMutations};
 pub use quality::{evaluate_partition, PartitionQuality};
-pub use strategy::{Grid2DPartitioner, HashPartitioner, Partitioner, RangePartitioner};
+pub use strategy::{
+    hash_fragment_of, Grid2DPartitioner, HashPartitioner, Partitioner, RangePartitioner,
+};
 pub use streaming::{FennelPartitioner, LdgPartitioner};
 
 /// The built-in strategies, in the order they appear in the demo UI.

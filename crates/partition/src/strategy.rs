@@ -4,8 +4,20 @@
 //! They ignore the edge structure entirely and therefore serve as the
 //! baseline that the streaming and multilevel strategies improve upon.
 
-use crate::assignment::PartitionAssignment;
-use grape_graph::CsrGraph;
+use crate::assignment::{FragmentId, PartitionAssignment};
+use grape_graph::{CsrGraph, VertexId};
+
+/// The fragment the hash rule places a vertex on: Fibonacci hashing of the
+/// 64-bit id for good spread even when ids are consecutive integers.
+///
+/// Exposed standalone because it is also the placement rule for vertices
+/// *inserted after* partitioning (mutation batches on a resident graph):
+/// new vertices land where a fresh hash partition would have put them, so a
+/// hash-partitioned graph keeps its invariant across updates.
+pub fn hash_fragment_of(v: VertexId, k: usize) -> FragmentId {
+    let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h % k.max(1) as u64) as usize
+}
 
 /// A graph-partition strategy: maps every vertex of a graph to one of `k`
 /// fragments.
@@ -37,10 +49,7 @@ impl Partitioner for HashPartitioner {
         let k = k.max(1);
         let mut assignment = PartitionAssignment::new(k);
         for v in graph.vertices() {
-            // Fibonacci hashing of the 64-bit id for good spread even when
-            // ids are consecutive integers.
-            let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            assignment.assign(v, (h % k as u64) as usize);
+            assignment.assign(v, hash_fragment_of(v, k));
         }
         assignment
     }

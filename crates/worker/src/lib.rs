@@ -80,8 +80,8 @@ use std::time::Duration;
 pub mod service;
 
 pub use service::{
-    Endpoint, GrapeService, QueryHandle, QueryOutcome, ServiceHandle, ServiceOptions, Session,
-    SessionConfig, SessionGraph,
+    Endpoint, GrapeService, IncrementalSeed, QueryHandle, QueryOutcome, ServiceHandle,
+    ServiceOptions, Session, SessionConfig, SessionGraph, SessionUpdate, UpdateReceipt, UpdateSpec,
 };
 
 /// Frame tag of the coordinator→worker [`JobSpec`] handshake.

@@ -59,6 +59,7 @@ use grape_algo::{
 };
 use grape_comm::wire::{
     self, Wire, WireError, WireReader, TAG_HELLO, TAG_LOAD, TAG_LOADED, TAG_QUERY, TAG_RESULT,
+    TAG_UPDATE, TAG_UPDATED,
 };
 use grape_comm::CommStats;
 use grape_core::chaos::{ChaosConfig, ChaosWorkerTransport};
@@ -67,15 +68,19 @@ use grape_core::par::ThreadCount;
 use grape_core::scratch::ScratchPool;
 use grape_core::transport::{FramedStreamCoord, FramedStreamWorker, SplitStream};
 use grape_core::{
-    decode_fragment, encode_fragment_epoch, EngineConfig, GrapeEngine, PieProgram, RunStats,
-    TAG_FRAGMENT,
+    decode_fragment, encode_fragment_epoch, ConvergedState, DeltaLog, EngineConfig, GrapeEngine,
+    MutationProfile, PieProgram, RunStats, Seeded, VertexId, TAG_FRAGMENT,
 };
+use grape_graph::delta::GraphMutation;
 use grape_graph::generators::{
     barabasi_albert, labeled_social, road_network, RoadNetworkConfig, SocialGraphConfig,
 };
 use grape_graph::labels::{LabeledGraph, LabeledVertex};
-use grape_graph::WeightedGraph;
-use grape_partition::{build_fragments, BuiltinStrategy, Fragment};
+use grape_graph::{DeltaGraph, WeightedGraph};
+use grape_partition::{
+    build_fragments, resolve_net_mutations, BuiltinStrategy, Fragment, PartitionAssignment,
+    ResolvedMutations,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -308,6 +313,10 @@ pub struct QueryJob {
     pub query: Query,
     /// Chaos drill: sever the connection upon receiving this command index.
     pub kill_at: Option<u32>,
+    /// Warm start: the worker's converged partial from a previous run of the
+    /// same query, plus the dirty set of the updates applied since. `None`
+    /// runs the ordinary cold PEval.
+    pub seed: Option<IncrementalSeed>,
 }
 
 impl Wire for QueryJob {
@@ -320,6 +329,7 @@ impl Wire for QueryJob {
         self.checkpoint_every.encode(out);
         self.query.encode(out);
         self.kill_at.encode(out);
+        self.seed.encode(out);
     }
 
     fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -332,6 +342,78 @@ impl Wire for QueryJob {
             checkpoint_every: reader.u32()?,
             query: Query::decode(reader)?,
             kill_at: Option::<u32>::decode(reader)?,
+            seed: Option::<IncrementalSeed>::decode(reader)?,
+        })
+    }
+}
+
+/// Warm-start payload riding on a [`QueryJob`]: the worker's snapshot-encoded
+/// converged partial from the previous run of the same query, and the merged
+/// dirty set + mutation profile of every update applied since it converged.
+/// The worker seeds IncEval from it instead of running PEval cold; programs
+/// that cannot seed under the profile fall back to cold automatically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalSeed {
+    /// Snapshot-encoded converged partial of this worker's fragment.
+    pub snapshot: Vec<u8>,
+    /// Union of the dirty sets of the updates applied since the snapshot
+    /// converged (global ids, sorted).
+    pub dirty: Vec<VertexId>,
+    /// Merged shape of those updates.
+    pub profile: MutationProfile,
+}
+
+impl Wire for IncrementalSeed {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.snapshot.encode(out);
+        self.dirty.encode(out);
+        self.profile.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(IncrementalSeed {
+            snapshot: Vec::decode(reader)?,
+            dirty: Vec::decode(reader)?,
+            profile: MutationProfile::decode(reader)?,
+        })
+    }
+}
+
+/// Header of a [`TAG_UPDATE`] frame: which resident fragment the resolved
+/// mutation batch that follows (in the same frame body) targets, and the
+/// fragment version the batch advances it to. Versions make retries
+/// idempotent: a daemon that already sits at `version` acks without
+/// re-applying; a gap is a protocol error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateSpec {
+    /// The resident graph to mutate.
+    pub graph_id: u64,
+    /// Payload family of the batch (must match the resident graph's).
+    pub family: u8,
+    /// Fragment index the batch targets.
+    pub index: u32,
+    /// Version the fragment reaches after this batch (first update = 1).
+    pub version: u64,
+    /// Global vertex count after the update (PageRank and CF need |V|).
+    pub vertices: u64,
+}
+
+impl Wire for UpdateSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.graph_id.encode(out);
+        self.family.encode(out);
+        self.index.encode(out);
+        self.version.encode(out);
+        self.vertices.encode(out);
+    }
+
+    fn decode(reader: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(UpdateSpec {
+            graph_id: reader.u64()?,
+            family: reader.u8()?,
+            index: reader.u32()?,
+            version: reader.u64()?,
+            vertices: reader.u64()?,
         })
     }
 }
@@ -429,11 +511,66 @@ impl SessionFragments {
     }
 }
 
-/// A graph made resident by [`Session::load`].
+/// The loaded graph's delta overlay, per family — the session's source of
+/// truth for the live graph, mutated by [`Session::update`].
+enum SessionDelta {
+    Weighted(DeltaGraph<(), f64>),
+    Labeled(DeltaGraph<LabeledVertex, String>),
+}
+
+/// A mutation batch submitted through [`Session::update`], in the family of
+/// the loaded graph.
+#[derive(Debug, Clone)]
+pub enum SessionUpdate {
+    /// Mutations of a weighted graph.
+    Weighted(Vec<GraphMutation<(), f64>>),
+    /// Mutations of a labeled graph.
+    Labeled(Vec<GraphMutation<LabeledVertex, String>>),
+}
+
+impl From<Vec<GraphMutation<(), f64>>> for SessionUpdate {
+    fn from(batch: Vec<GraphMutation<(), f64>>) -> Self {
+        SessionUpdate::Weighted(batch)
+    }
+}
+
+impl From<Vec<GraphMutation<LabeledVertex, String>>> for SessionUpdate {
+    fn from(batch: Vec<GraphMutation<LabeledVertex, String>>) -> Self {
+        SessionUpdate::Labeled(batch)
+    }
+}
+
+/// Receipt of one applied [`Session::update`] batch.
+#[derive(Debug, Clone)]
+pub struct UpdateReceipt {
+    /// The graph version the batch advanced the session to (first update = 1).
+    pub version: u64,
+    /// Number of live vertices whose neighbourhood the batch changed.
+    pub dirty: usize,
+    /// Shape of the batch.
+    pub profile: MutationProfile,
+}
+
+/// A graph made resident by [`Session::load`] and kept live across
+/// [`Session::update`] batches.
 struct LoadedGraph {
     graph_id: u64,
     vertices: u64,
     fragments: Arc<SessionFragments>,
+    /// Delta overlay over the loaded graph — the live global view updates
+    /// are applied to (and the payload source for resolving them).
+    delta: SessionDelta,
+    /// The partition assignment, extended in place as updates insert
+    /// vertices, so incremental fragments and a fresh cut agree on ownership.
+    assignment: PartitionAssignment,
+    /// Update history: per-version dirty sets + profiles, so a converged
+    /// state cached at version `v` can be re-seeded across any number of
+    /// later updates.
+    log: DeltaLog,
+    /// Converged states keyed by the query's wire encoding: the per-fragment
+    /// snapshot-encoded partials of the last completed run of that query,
+    /// and the graph version they converged at.
+    converged: HashMap<Vec<u8>, ConvergedState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -460,6 +597,10 @@ struct ResidentGraph {
     workers: u32,
     vertices: u64,
     fragments: ResidentFragments,
+    /// Per-fragment update version (how many batches each slot has applied).
+    /// Kept per slot because one daemon may host several fragments of the
+    /// same graph, each updated over its own connection.
+    versions: Vec<u64>,
 }
 
 /// Daemon knobs.
@@ -642,6 +783,18 @@ fn serve_connection<S: ServiceStream>(mut stream: S, state: &ServiceState) -> io
                 }
                 serve_query(&stream, job, state)?;
             }
+            TAG_UPDATE => {
+                let mut reader = WireReader::new(&body);
+                let spec = UpdateSpec::decode(&mut reader)
+                    .map_err(|e| bad_data(format!("bad update spec: {e}")))?;
+                if epoch != spec.version as u32 {
+                    return Err(bad_data(format!(
+                        "update frame at epoch {epoch} but version {}",
+                        spec.version
+                    )));
+                }
+                apply_update(&mut stream, spec, reader, state)?;
+            }
             other => {
                 return Err(bad_data(format!(
                     "unexpected frame tag {other:#04x} on a service connection"
@@ -711,6 +864,7 @@ fn load_fragment<S: ServiceStream>(
                     0 => ResidentFragments::Weighted(vec![None; n]),
                     _ => ResidentFragments::Labeled(vec![None; n]),
                 },
+                versions: vec![0; n],
             }
         });
         if entry.workers != spec.workers
@@ -732,6 +886,95 @@ fn load_fragment<S: ServiceStream>(
     // Ack through the per-load scratch buffer: recycled clean or not at all.
     let mut buf = state.scratch.acquire(epoch);
     wire::encode_frame_epoch(TAG_LOADED, epoch, &spec.graph_id, &mut buf);
+    stream.write_all(&buf)?;
+    stream.flush()?;
+    buf.clear();
+    state.scratch.release(epoch, buf);
+    Ok(())
+}
+
+/// Handles one `TAG_UPDATE`: applies the resolved mutation batch that
+/// follows the spec in the frame body to the targeted resident fragment,
+/// version-fenced so retries are idempotent, and acks with `TAG_UPDATED`.
+fn apply_update<S: ServiceStream>(
+    stream: &mut S,
+    spec: UpdateSpec,
+    reader: WireReader<'_>,
+    state: &ServiceState,
+) -> io::Result<()> {
+    fn mutate<V, E>(
+        slots: &mut [Option<Arc<Fragment<V, E>>>],
+        mut reader: WireReader<'_>,
+        index: usize,
+    ) -> io::Result<()>
+    where
+        V: Wire + Clone + Default,
+        E: Wire + Clone,
+    {
+        let resolved = ResolvedMutations::<V, E>::decode(&mut reader)
+            .and_then(|r| reader.finish().map(|()| r))
+            .map_err(|e| bad_data(format!("bad update batch: {e}")))?;
+        let Some(fragment) = &slots[index] else {
+            return Err(bad_data(format!(
+                "update targets fragment {index}, which was never loaded"
+            )));
+        };
+        let updated = fragment
+            .apply_mutations(&resolved)
+            .map_err(|e| bad_data(format!("update failed on fragment {index}: {e}")))?;
+        slots[index] = Some(Arc::new(updated));
+        Ok(())
+    }
+
+    let acked_version = {
+        let mut registry = state.registry.lock().unwrap();
+        let resident = registry.get_mut(&spec.graph_id).ok_or_else(|| {
+            bad_data(format!(
+                "graph {} is not resident in this service",
+                spec.graph_id
+            ))
+        })?;
+        if spec.index >= resident.workers {
+            return Err(bad_data(format!(
+                "update targets fragment {}/{} of graph {}",
+                spec.index, resident.workers, spec.graph_id
+            )));
+        }
+        if resident.fragments.family() != spec.family {
+            return Err(bad_data(format!(
+                "update family {} conflicts with the resident graph's",
+                spec.family
+            )));
+        }
+        let index = spec.index as usize;
+        let current = resident.versions[index];
+        if spec.version <= current {
+            // Already applied (a retry after a lost ack) — idempotent skip.
+            current
+        } else if spec.version == current + 1 {
+            match &mut resident.fragments {
+                ResidentFragments::Weighted(slots) => mutate(slots, reader, index)?,
+                ResidentFragments::Labeled(slots) => mutate(slots, reader, index)?,
+            }
+            resident.versions[index] = spec.version;
+            resident.vertices = spec.vertices;
+            spec.version
+        } else {
+            return Err(bad_data(format!(
+                "update jumps fragment {index} of graph {} from version {current} to {}",
+                spec.graph_id, spec.version
+            )));
+        }
+    };
+
+    let epoch = spec.version as u32;
+    let mut buf = state.scratch.acquire(epoch);
+    wire::encode_frame_epoch(
+        TAG_UPDATED,
+        epoch,
+        &(spec.graph_id, acked_version),
+        &mut buf,
+    );
     stream.write_all(&buf)?;
     stream.flush()?;
     buf.clear();
@@ -788,6 +1031,7 @@ fn serve_query<S: ServiceStream>(
     let ck = job.checkpoint_every as usize;
     let run_id = job.run_id;
     let kill_at = job.kill_at.map(|at| at as usize);
+    let seed = job.seed.clone();
 
     match (&fragment, &job.query) {
         (FragmentHandle::Weighted(f), Query::Sssp { .. }) => {
@@ -802,6 +1046,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_f64_map(&o),
             )
         }
@@ -817,6 +1062,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_u64_map(&o),
             )
         }
@@ -832,6 +1078,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_f64_map(&o),
             )
         }
@@ -847,6 +1094,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_cf(&o),
             )
         }
@@ -866,6 +1114,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_sim(&o),
             )
         }
@@ -881,6 +1130,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_embeddings(&o),
             )
         }
@@ -896,6 +1146,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_keyword(&o),
             )
         }
@@ -911,6 +1162,7 @@ fn serve_query<S: ServiceStream>(
                 threads,
                 ck,
                 kill_at,
+                seed,
                 |o| digest_prospects(&o),
             )
         }
@@ -928,13 +1180,70 @@ enum FragmentHandle {
 }
 
 /// One query's BSP session over a borrowed resident connection — generic
-/// over the program, so all eight query classes share this path. The BSP
-/// transport runs on an alias (`try_clone`) of the connection at the query's
-/// epoch; the outer serve loop keeps the original for the next frame, which
-/// is safe because the protocol is strictly request-response (the client
-/// sends nothing after `Finish` until it has our `TAG_RESULT`).
+/// over the program, so all eight query classes share this path. When the
+/// job carries an [`IncrementalSeed`] and the program can seed under its
+/// mutation profile, the program is wrapped in [`Seeded`] so PEval warm-starts
+/// from the shipped converged partial; otherwise (no seed, ineligible
+/// profile, or the program declines at seed time) the cold path runs
+/// unchanged.
 #[allow(clippy::too_many_arguments)]
 fn answer<P, S>(
+    program: P,
+    query: &P::Query,
+    fragment: &Fragment<P::VertexData, P::EdgeData>,
+    stream: &S,
+    state: &ServiceState,
+    run_id: u32,
+    threads: usize,
+    checkpoint_every: usize,
+    kill_at: Option<usize>,
+    seed: Option<IncrementalSeed>,
+    to_digest: impl Fn(P::Output) -> u64,
+) -> io::Result<()>
+where
+    P: PieProgram,
+    S: ServiceStream,
+{
+    match seed {
+        Some(s) if program.incremental_eligible(&s.profile) => {
+            let mut seeds: Vec<Option<Vec<u8>>> = vec![None; fragment.id + 1];
+            seeds[fragment.id] = Some(s.snapshot);
+            let seeded = Seeded::new(Arc::new(program), seeds, s.dirty, s.profile);
+            answer_run(
+                seeded,
+                query,
+                fragment,
+                stream,
+                state,
+                run_id,
+                threads,
+                checkpoint_every,
+                kill_at,
+                to_digest,
+            )
+        }
+        _ => answer_run(
+            program,
+            query,
+            fragment,
+            stream,
+            state,
+            run_id,
+            threads,
+            checkpoint_every,
+            kill_at,
+            to_digest,
+        ),
+    }
+}
+
+/// The BSP session body of [`answer`]: the transport runs on an alias
+/// (`try_clone`) of the connection at the query's epoch; the outer serve
+/// loop keeps the original for the next frame, which is safe because the
+/// protocol is strictly request-response (the client sends nothing after
+/// `Finish` until it has our `TAG_RESULT`).
+#[allow(clippy::too_many_arguments)]
+fn answer_run<P, S>(
     program: P,
     query: &P::Query,
     fragment: &Fragment<P::VertexData, P::EdgeData>,
@@ -1181,14 +1490,22 @@ impl Session {
         let n = self.inner.config.workers;
         let graph_id = fresh_graph_id();
         let vertices = graph.num_vertices() as u64;
-        let fragments = match graph {
+        let (fragments, delta, assignment) = match graph {
             SessionGraph::Weighted(g) => {
                 let assignment = strategy.partition(g, n);
-                SessionFragments::Weighted(build_fragments(g, &assignment))
+                (
+                    SessionFragments::Weighted(build_fragments(g, &assignment)),
+                    SessionDelta::Weighted(DeltaGraph::new(g.clone())),
+                    assignment,
+                )
             }
             SessionGraph::Labeled(g) => {
                 let assignment = strategy.partition(g, n);
-                SessionFragments::Labeled(build_fragments(g, &assignment))
+                (
+                    SessionFragments::Labeled(build_fragments(g, &assignment)),
+                    SessionDelta::Labeled(DeltaGraph::new(g.clone())),
+                    assignment,
+                )
             }
         };
         if !self.inner.config.endpoints.is_empty() {
@@ -1214,8 +1531,27 @@ impl Session {
             graph_id,
             vertices,
             fragments: Arc::new(fragments),
+            delta,
+            assignment,
+            log: DeltaLog::new(),
+            converged: HashMap::new(),
         });
         Ok(())
+    }
+
+    /// Applies a mutation batch to the resident graph, atomically for every
+    /// subsequent query: the session's delta overlay, the resident fragments
+    /// (in place, via the resolved-batch path — bit-identical to re-cutting
+    /// the updated graph), and, for remote sessions, every daemon's resident
+    /// fragment over versioned `TAG_UPDATE` frames. Queries already in
+    /// flight keep the fragments they started with.
+    ///
+    /// Subsequent [`Session::submit`] calls of a query class that has already
+    /// converged on this session are transparently **incremental**: they
+    /// re-seed IncEval from the cached converged state and the batch's dirty
+    /// set instead of re-running PEval cold, with bit-identical results.
+    pub fn update(&self, batch: impl Into<SessionUpdate>) -> io::Result<UpdateReceipt> {
+        self.inner.apply_session_update(batch.into())
     }
 
     /// Submits one query; returns immediately with a handle. The query runs
@@ -1291,6 +1627,147 @@ impl Session {
 }
 
 impl SessionInner {
+    /// Applies one update batch end to end; see [`Session::update`].
+    fn apply_session_update(&self, batch: SessionUpdate) -> io::Result<UpdateReceipt> {
+        /// Family-generic core: mutate the overlay, resolve against the
+        /// assignment, and apply to every resident fragment.
+        #[allow(clippy::type_complexity)]
+        fn mutate<V, E>(
+            delta: &mut DeltaGraph<V, E>,
+            assignment: &mut PartitionAssignment,
+            fragments: &[Fragment<V, E>],
+            batch: &[GraphMutation<V, E>],
+        ) -> io::Result<(
+            Vec<VertexId>,
+            MutationProfile,
+            ResolvedMutations<V, E>,
+            Vec<Fragment<V, E>>,
+        )>
+        where
+            V: Wire + Clone + Default,
+            E: Wire + Clone,
+        {
+            let receipt = delta
+                .apply(batch)
+                .map_err(|e| bad_data(format!("bad update batch: {e}")))?;
+            let resolved =
+                resolve_net_mutations(receipt.net, assignment, |v| delta.vertex_data(v).cloned());
+            let updated = fragments
+                .iter()
+                .map(|f| f.apply_mutations(&resolved))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| bad_data(format!("fragment update failed: {e}")))?;
+            Ok((receipt.dirty, receipt.profile, resolved, updated))
+        }
+
+        let mut guard = self.graph.lock().unwrap();
+        let loaded = guard
+            .as_mut()
+            .ok_or_else(|| bad_data("no graph loaded: call Session::load first"))?;
+        let version = loaded.log.version() + 1;
+        let (dirty, profile) = match (&mut loaded.delta, &batch) {
+            (SessionDelta::Weighted(delta), SessionUpdate::Weighted(muts)) => {
+                let SessionFragments::Weighted(frags) = &*loaded.fragments else {
+                    return Err(bad_data("resident fragments lost their family"));
+                };
+                let (dirty, profile, resolved, updated) =
+                    mutate(delta, &mut loaded.assignment, frags, muts)?;
+                loaded.vertices = delta.num_vertices() as u64;
+                self.ship_updates(loaded.graph_id, 0, version, loaded.vertices, &resolved)?;
+                loaded.fragments = Arc::new(SessionFragments::Weighted(updated));
+                (dirty, profile)
+            }
+            (SessionDelta::Labeled(delta), SessionUpdate::Labeled(muts)) => {
+                let SessionFragments::Labeled(frags) = &*loaded.fragments else {
+                    return Err(bad_data("resident fragments lost their family"));
+                };
+                let (dirty, profile, resolved, updated) =
+                    mutate(delta, &mut loaded.assignment, frags, muts)?;
+                loaded.vertices = delta.num_vertices() as u64;
+                self.ship_updates(loaded.graph_id, 1, version, loaded.vertices, &resolved)?;
+                loaded.fragments = Arc::new(SessionFragments::Labeled(updated));
+                (dirty, profile)
+            }
+            _ => {
+                return Err(bad_data(
+                    "update family does not match the loaded graph's family",
+                ))
+            }
+        };
+        let recorded = loaded.log.record(dirty.clone(), profile);
+        debug_assert_eq!(recorded, version);
+        Ok(UpdateReceipt {
+            version,
+            dirty: dirty.len(),
+            profile,
+        })
+    }
+
+    /// Ships one resolved batch to every daemon-resident fragment (no-op for
+    /// in-process sessions): per worker, a versioned `TAG_UPDATE` frame
+    /// answered by `TAG_UPDATED`. The version fence makes retries after a
+    /// lost ack idempotent on the daemon.
+    fn ship_updates<V, E>(
+        &self,
+        graph_id: u64,
+        family: u8,
+        version: u64,
+        vertices: u64,
+        resolved: &ResolvedMutations<V, E>,
+    ) -> io::Result<()>
+    where
+        V: Wire + Clone + Default,
+        E: Wire + Clone,
+    {
+        if self.config.endpoints.is_empty() {
+            return Ok(());
+        }
+        let epoch = version as u32;
+        for index in 0..self.config.workers {
+            let spec = UpdateSpec {
+                graph_id,
+                family,
+                index: index as u32,
+                version,
+                vertices,
+            };
+            let endpoint = &self.config.endpoints[index % self.config.endpoints.len()];
+            let mut stream = endpoint.connect()?;
+            wire::write_frame_io_epoch(&mut stream, TAG_HELLO, 0, &self.config.engine.auth_token)?;
+            let mut frame = self.scratch.acquire(epoch);
+            wire::encode_frame_with_epoch(TAG_UPDATE, epoch, &mut frame, |out| {
+                spec.encode(out);
+                resolved.encode(out);
+            });
+            stream.write_all(&frame)?;
+            stream.flush()?;
+            frame.clear();
+            self.scratch.release(epoch, frame);
+            let (tag, _epoch, payload) =
+                wire::read_frame_io_epoch(&mut stream)?.ok_or_else(|| {
+                    io::Error::other(format!(
+                        "daemon {endpoint} closed the connection before acking update {version}"
+                    ))
+                })?;
+            if tag != TAG_UPDATED {
+                return Err(bad_data(format!(
+                    "expected TAG_UPDATED ack for fragment {index}, got tag {tag:#04x}"
+                )));
+            }
+            let mut reader = WireReader::new(&payload);
+            let (acked_graph, acked_version) = <(u64, u64)>::decode(&mut reader)
+                .and_then(|pair| reader.finish().map(|()| pair))
+                .map_err(|e| bad_data(e.to_string()))?;
+            if acked_graph != graph_id || acked_version != version {
+                return Err(bad_data(format!(
+                    "daemon acked graph {acked_graph:#x} at version {acked_version}, \
+                     expected {graph_id:#x} at {version}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Ships one fragment to its daemon: hello, `TAG_LOAD`, the fragment
     /// frame, then waits for the `TAG_LOADED` ack.
     fn ship_fragment<V, E>(&self, spec: &LoadSpec, fragment: &Fragment<V, E>) -> io::Result<()>
@@ -1339,17 +1816,44 @@ impl SessionInner {
         run_id: u32,
         kill: Option<(usize, usize)>,
     ) -> io::Result<QueryOutcome> {
-        let (graph_id, vertices, fragments) = {
+        let (graph_id, vertices, fragments, warm) = {
             let guard = self.graph.lock().unwrap();
             let loaded = guard
                 .as_ref()
                 .ok_or_else(|| bad_data("no graph loaded: call Session::load first"))?;
+            let mut key = Vec::new();
+            query.encode(&mut key);
+            // Warm-start plan: the cached converged state of this exact
+            // query (if any), re-based across every update applied since it
+            // converged. Only built when updates actually happened — a plain
+            // resubmission stays cold, so its stats (supersteps, messages)
+            // reproduce exactly.
+            let plan = loaded
+                .converged
+                .get(&key)
+                .filter(|entry| entry.version < loaded.log.version())
+                .and_then(|entry| {
+                    loaded
+                        .log
+                        .since(entry.version)
+                        .map(|(dirty, profile)| IncrementalPlan {
+                            partials: entry.partials.clone(),
+                            dirty,
+                            profile,
+                        })
+                });
             (
                 loaded.graph_id,
                 loaded.vertices,
                 Arc::clone(&loaded.fragments),
+                WarmContext {
+                    cache_key: key,
+                    version: loaded.log.version(),
+                    plan,
+                },
             )
         };
+        let warm = &warm;
         match (&*fragments, query) {
             (SessionFragments::Weighted(frags), Query::Sssp { source }) => self.run_class(
                 SsspProgram,
@@ -1358,6 +1862,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Distances,
             ),
@@ -1368,6 +1873,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Components,
             ),
@@ -1378,6 +1884,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Ranks,
             ),
@@ -1388,6 +1895,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Model,
             ),
@@ -1403,6 +1911,7 @@ impl SessionInner {
                     frags,
                     graph_id,
                     run_id,
+                    warm,
                     kill,
                     QueryResult::Matches,
                 )
@@ -1414,6 +1923,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Embeddings,
             ),
@@ -1424,6 +1934,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Answers,
             ),
@@ -1434,6 +1945,7 @@ impl SessionInner {
                 frags,
                 graph_id,
                 run_id,
+                warm,
                 kill,
                 QueryResult::Prospects,
             ),
@@ -1449,7 +1961,11 @@ impl SessionInner {
     }
 
     /// Drives one typed query class: in-process over the resident fragments,
-    /// or as a coordinator over per-query daemon connections.
+    /// or as a coordinator over per-query daemon connections. With a warm
+    /// plan whose profile the program can seed under, the run is
+    /// incremental — PEval warm-starts from the cached converged partials
+    /// and the dirty set of the updates applied since; either way the
+    /// converged partials of this run are cached for the next submission.
     #[allow(clippy::too_many_arguments)]
     fn run_class<P>(
         &self,
@@ -1459,6 +1975,7 @@ impl SessionInner {
         fragments: &[Fragment<P::VertexData, P::EdgeData>],
         graph_id: u64,
         run_id: u32,
+        warm: &WarmContext,
         kill: Option<(usize, usize)>,
         wrap: impl Fn(P::Output) -> QueryResult,
     ) -> io::Result<QueryOutcome>
@@ -1472,15 +1989,34 @@ impl SessionInner {
         if kill.is_some() && config.checkpoint_every == 0 {
             config.checkpoint_every = 1;
         }
+        // Only seed when the program can replay this update shape from its
+        // old fixpoint; everything else runs cold (and still refreshes the
+        // converged cache).
+        let plan = warm
+            .plan
+            .as_ref()
+            .filter(|p| program.incremental_eligible(&p.profile));
 
         if self.config.endpoints.is_empty() {
             if kill.is_some() {
                 return Err(bad_data("kill drills need a remote service session"));
             }
+            config.capture_converged = true;
             let engine = GrapeEngine::new(program).with_config(config);
-            let result = engine
-                .run(typed, fragments)
-                .map_err(|e| io::Error::other(e.to_string()))?;
+            let result = match plan {
+                Some(p) => engine.run_incremental(
+                    typed,
+                    fragments,
+                    p.partials.iter().cloned().map(Some).collect(),
+                    &p.dirty,
+                    &p.profile,
+                ),
+                None => engine.run(typed, fragments),
+            }
+            .map_err(|e| io::Error::other(e.to_string()))?;
+            if let Some(partials) = result.converged {
+                self.store_converged(graph_id, warm, partials);
+            }
             return Ok(QueryOutcome {
                 result: wrap(result.output),
                 stats: result.stats,
@@ -1504,6 +2040,15 @@ impl SessionInner {
                 checkpoint_every: config.checkpoint_every as u32,
                 query: wire_query.clone(),
                 kill_at,
+                // The seed rides on the job itself, so a worker replaced
+                // mid-run re-enters with the same warm start.
+                seed: plan.and_then(|p| {
+                    p.partials.get(worker).map(|snapshot| IncrementalSeed {
+                        snapshot: snapshot.clone(),
+                        dirty: p.dirty.clone(),
+                        profile: p.profile,
+                    })
+                }),
             };
             let mut frame = self.scratch.acquire(run_id);
             wire::encode_frame_epoch(TAG_QUERY, epoch, &job, &mut frame);
@@ -1561,6 +2106,7 @@ impl SessionInner {
         }
 
         let mut partials = Vec::with_capacity(n);
+        let mut snapshots = Vec::with_capacity(n);
         for (worker, slot) in results.into_iter().enumerate() {
             let (_digest, snapshot) = slot.expect("all slots filled above");
             let partial = engine.program().restore_partial(&snapshot).ok_or_else(|| {
@@ -1569,14 +2115,63 @@ impl SessionInner {
                 ))
             })?;
             partials.push(partial);
+            snapshots.push(snapshot);
         }
         let output = engine.program().assemble(partials);
+        // The result snapshots *are* the converged partials — cache them for
+        // the next submission of this query.
+        self.store_converged(graph_id, warm, snapshots);
         self.scratch.retire(run_id);
         Ok(QueryOutcome {
             result: wrap(output),
             stats,
         })
     }
+
+    /// Caches a run's converged partials under its query key, stamped with
+    /// the graph version the run started at — so later submissions re-seed
+    /// across exactly the updates applied since. Never replaces a fresher
+    /// entry (a concurrent query may have finished on newer fragments), and
+    /// drops the write if the graph was replaced mid-run.
+    fn store_converged(&self, graph_id: u64, warm: &WarmContext, partials: Vec<Vec<u8>>) {
+        let mut guard = self.graph.lock().unwrap();
+        let Some(loaded) = guard.as_mut() else { return };
+        if loaded.graph_id != graph_id {
+            return;
+        }
+        match loaded.converged.get(&warm.cache_key) {
+            Some(existing) if existing.version > warm.version => {}
+            _ => {
+                loaded.converged.insert(
+                    warm.cache_key.clone(),
+                    ConvergedState {
+                        version: warm.version,
+                        partials,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Context a query carries for the converged-state cache: its cache key, the
+/// graph version its fragments correspond to, and — on a cache hit — the
+/// warm-start plan.
+struct WarmContext {
+    /// The query's wire encoding: one cache slot per distinct query.
+    cache_key: Vec<u8>,
+    /// Graph version of the fragments this query runs on.
+    version: u64,
+    /// Cached converged state re-based to this version, if any.
+    plan: Option<IncrementalPlan>,
+}
+
+/// A warm-start plan: the cached per-fragment converged partials plus the
+/// merged dirty set and profile of every update applied since they converged.
+struct IncrementalPlan {
+    partials: Vec<Vec<u8>>,
+    dirty: Vec<VertexId>,
+    profile: MutationProfile,
 }
 
 #[cfg(test)]
@@ -1614,6 +2209,7 @@ mod tests {
             checkpoint_every: 1,
             query: Query::sssp(7),
             kill_at: Some(4),
+            seed: None,
         });
         roundtrip(&QueryJob {
             graph_id: 42,
@@ -1624,6 +2220,25 @@ mod tests {
             checkpoint_every: 0,
             query: Query::canonical_keyword(),
             kill_at: None,
+            seed: Some(IncrementalSeed {
+                snapshot: vec![1, 2, 3, 250],
+                dirty: vec![7, 9],
+                profile: MutationProfile {
+                    edge_inserts: 2,
+                    ..Default::default()
+                },
+            }),
+        });
+    }
+
+    #[test]
+    fn update_spec_wire_roundtrip() {
+        roundtrip(&UpdateSpec {
+            graph_id: 0xfeed_0000_0000_0007,
+            family: 0,
+            index: 2,
+            version: 5,
+            vertices: 1234,
         });
     }
 

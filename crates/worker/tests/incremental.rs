@@ -1,0 +1,475 @@
+//! Mutable fragments + cross-run incremental IncEval through the service:
+//! after [`Session::update`] the next submission of an already-answered query
+//! warm-starts from the cached fixpoint (when the algorithm is eligible for
+//! the batch shape) and must be bit-identical to a cold run on the updated
+//! graph — in-process and remote, across stacked update batches, and across
+//! a worker kill mid-incremental-run.
+
+use grape_algo::Query;
+use grape_core::EngineConfig;
+use grape_graph::labels::LabeledVertex;
+use grape_graph::{DeltaGraph, GraphMutation};
+use grape_partition::BuiltinStrategy;
+use grape_worker::{
+    GrapeService, GraphSpec, QueryOutcome, ServiceOptions, Session, SessionConfig, SessionGraph,
+};
+use std::collections::HashSet;
+
+fn weighted_graph() -> SessionGraph {
+    SessionGraph::generate(&GraphSpec::parse("ba:160:3:5").expect("spec")).expect("generator")
+}
+
+fn labeled_graph() -> SessionGraph {
+    SessionGraph::generate(&GraphSpec::parse("social:60:6:21").expect("spec")).expect("generator")
+}
+
+/// PageRank with a local-iteration budget generous enough that every local
+/// sweep drains its frontier before the cap — on the quantized grid the
+/// fixpoint is then start-point independent, so warm and cold runs land on
+/// identical bits.
+fn patient_pagerank() -> Query {
+    Query::PageRank {
+        damping: 0.85,
+        max_local_iterations: 200,
+        tolerance: 1e-6,
+    }
+}
+
+/// Insert-only batch on the BA graph: new edges between residents plus one
+/// brand-new vertex wired in both directions, so ownership of an inserted
+/// vertex and dense-index shifts are both exercised.
+fn weighted_inserts() -> Vec<GraphMutation<(), f64>> {
+    vec![
+        GraphMutation::AddEdge {
+            src: 0,
+            dst: 155,
+            data: 0.25,
+        },
+        GraphMutation::AddEdge {
+            src: 155,
+            dst: 3,
+            data: 0.5,
+        },
+        GraphMutation::AddVertex { id: 500, data: () },
+        GraphMutation::AddEdge {
+            src: 2,
+            dst: 500,
+            data: 1.0,
+        },
+        GraphMutation::AddEdge {
+            src: 500,
+            dst: 7,
+            data: 1.5,
+        },
+    ]
+}
+
+/// A second batch stacked on the first, so a converged state cached at
+/// version 1 has to be re-seeded across the merged delta log.
+fn weighted_inserts_round_two() -> Vec<GraphMutation<(), f64>> {
+    vec![
+        GraphMutation::AddEdge {
+            src: 500,
+            dst: 0,
+            data: 0.75,
+        },
+        GraphMutation::AddEdge {
+            src: 9,
+            dst: 120,
+            data: 0.3,
+        },
+    ]
+}
+
+/// Delete-only batch on the social graph: the first `count` distinct live
+/// `(src, dst)` pairs (RemoveEdge drops all parallel copies at once, so the
+/// pairs must be distinct within one batch).
+fn labeled_deletes(
+    graph: &SessionGraph,
+    count: usize,
+) -> Vec<GraphMutation<LabeledVertex, String>> {
+    let SessionGraph::Labeled(g) = graph else {
+        panic!("labeled graph expected")
+    };
+    let mut seen = HashSet::new();
+    let mut batch = Vec::new();
+    for (src, dst, _) in g.edges() {
+        if seen.insert((src, dst)) {
+            batch.push(GraphMutation::RemoveEdge { src, dst });
+            if batch.len() == count {
+                break;
+            }
+        }
+    }
+    assert_eq!(batch.len(), count, "graph too small for the delete batch");
+    batch
+}
+
+/// The updated graph a cold reference run sees: the same batches applied to
+/// an out-of-band delta overlay over the same base, then materialized.
+fn updated_weighted(graph: &SessionGraph, batches: &[Vec<GraphMutation<(), f64>>]) -> SessionGraph {
+    let SessionGraph::Weighted(g) = graph else {
+        panic!("weighted graph expected")
+    };
+    let mut delta = DeltaGraph::new(g.clone());
+    for batch in batches {
+        delta.apply(batch).expect("reference apply");
+    }
+    SessionGraph::Weighted(delta.snapshot(g.has_reverse()))
+}
+
+fn updated_labeled(
+    graph: &SessionGraph,
+    batches: &[Vec<GraphMutation<LabeledVertex, String>>],
+) -> SessionGraph {
+    let SessionGraph::Labeled(g) = graph else {
+        panic!("labeled graph expected")
+    };
+    let mut delta = DeltaGraph::new(g.clone());
+    for batch in batches {
+        delta.apply(batch).expect("reference apply");
+    }
+    SessionGraph::Labeled(delta.snapshot(g.has_reverse()))
+}
+
+/// A cold one-shot run: a fresh in-process session per query, so nothing is
+/// resident, cached, or warm-started.
+fn cold_run(
+    graph: &SessionGraph,
+    strategy: BuiltinStrategy,
+    workers: usize,
+    query: Query,
+) -> QueryOutcome {
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session.load(graph, strategy).expect("load");
+    session
+        .submit(query)
+        .expect("submit")
+        .join()
+        .expect("cold query")
+}
+
+/// The canonical cold reference for a warm resubmission: a fresh session
+/// that replays the same update batches and then answers the query for the
+/// first time — identical incrementally-updated fragments, no converged
+/// cache, so PEval runs cold. (A from-scratch cut of the updated graph is
+/// only bit-comparable under hash partitioning, where ownership is a pure
+/// function of the vertex id — see `hash_cut_of_the_updated_graph_agrees`.)
+fn cold_after_weighted_updates(
+    graph: &SessionGraph,
+    batches: &[Vec<GraphMutation<(), f64>>],
+    strategy: BuiltinStrategy,
+    workers: usize,
+    query: Query,
+) -> QueryOutcome {
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session.load(graph, strategy).expect("load");
+    for batch in batches {
+        session.update(batch.clone()).expect("replay update");
+    }
+    session
+        .submit(query)
+        .expect("submit")
+        .join()
+        .expect("cold query")
+}
+
+fn cold_after_labeled_updates(
+    graph: &SessionGraph,
+    batches: &[Vec<GraphMutation<LabeledVertex, String>>],
+    strategy: BuiltinStrategy,
+    workers: usize,
+    query: Query,
+) -> QueryOutcome {
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session.load(graph, strategy).expect("load");
+    for batch in batches {
+        session.update(batch.clone()).expect("replay update");
+    }
+    session
+        .submit(query)
+        .expect("submit")
+        .join()
+        .expect("cold query")
+}
+
+/// The drill every transport runs: load, answer once (populating the
+/// converged cache), update, answer again, and demand bit-identity with a
+/// cold run on the updated graph — then stack a second update and repeat.
+fn drill_weighted(session: &Session, strategy: BuiltinStrategy, workers: usize) {
+    let graph = weighted_graph();
+    session.load(&graph, strategy).expect("load");
+    let queries = vec![Query::sssp(0), Query::cc(), patient_pagerank(), Query::cf()];
+
+    for query in &queries {
+        session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("first run");
+    }
+
+    let receipt = session.update(weighted_inserts()).expect("update");
+    assert_eq!(receipt.version, 1);
+    assert!(receipt.profile.insert_only());
+    assert_eq!(receipt.profile.edge_inserts, 4);
+    assert_eq!(receipt.profile.vertex_inserts, 1);
+    assert!(receipt.dirty > 0, "inserts must dirty their endpoints");
+
+    let round_one = [weighted_inserts()];
+    for query in &queries {
+        let label = format!("{:?}/{}/v1", query.class(), strategy.name());
+        let warm = session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .unwrap_or_else(|e| panic!("{label}: post-update query failed: {e}"));
+        let cold =
+            cold_after_weighted_updates(&graph, &round_one, strategy, workers, query.clone());
+        assert_eq!(
+            warm.result, cold.result,
+            "{label}: post-update answer differs from a cold run on the updated graph"
+        );
+        assert_eq!(
+            warm.result.digest(),
+            cold.result.digest(),
+            "{label}: digests differ"
+        );
+    }
+
+    let receipt = session
+        .update(weighted_inserts_round_two())
+        .expect("update");
+    assert_eq!(receipt.version, 2);
+
+    let round_two = [weighted_inserts(), weighted_inserts_round_two()];
+    for query in &queries {
+        let label = format!("{:?}/{}/v2", query.class(), strategy.name());
+        let warm = session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .unwrap_or_else(|e| panic!("{label}: post-update query failed: {e}"));
+        let cold =
+            cold_after_weighted_updates(&graph, &round_two, strategy, workers, query.clone());
+        assert_eq!(
+            warm.result, cold.result,
+            "{label}: answer after two stacked updates differs from cold"
+        );
+    }
+}
+
+/// Same drill for the labeled family: simulation is delete-eligible (the old
+/// fixpoint is a superset to refine down from), keyword falls back cold —
+/// both must agree with a cold run on the shrunk graph.
+fn drill_labeled(session: &Session, strategy: BuiltinStrategy, workers: usize) {
+    let graph = labeled_graph();
+    session.load(&graph, strategy).expect("load");
+    let queries = vec![Query::canonical_sim(), Query::canonical_keyword()];
+
+    for query in &queries {
+        session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("first run");
+    }
+
+    let batch = labeled_deletes(&graph, 6);
+    let receipt = session.update(batch.clone()).expect("update");
+    assert_eq!(receipt.version, 1);
+    assert!(receipt.profile.delete_only());
+    assert_eq!(receipt.profile.edge_deletes, 6);
+
+    let batches = [batch];
+    for query in &queries {
+        let label = format!("{:?}/{}", query.class(), strategy.name());
+        let warm = session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .unwrap_or_else(|e| panic!("{label}: post-update query failed: {e}"));
+        let cold = cold_after_labeled_updates(&graph, &batches, strategy, workers, query.clone());
+        assert_eq!(
+            warm.result, cold.result,
+            "{label}: post-delete answer differs from a cold run on the shrunk graph"
+        );
+        assert_eq!(
+            warm.result.digest(),
+            cold.result.digest(),
+            "{label}: digests differ"
+        );
+    }
+}
+
+#[test]
+fn hash_cut_of_the_updated_graph_agrees_with_the_incremental_session() {
+    // Under hash partitioning ownership is a pure function of the vertex id,
+    // so a brand-new session loading the *updated* graph cuts it exactly as
+    // the live session extended its fragments — the strongest end-to-end
+    // check that `Session::update` and a from-scratch load are one graph.
+    let workers = 2;
+    let weighted = weighted_graph();
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session
+        .load(&weighted, BuiltinStrategy::Hash)
+        .expect("load");
+    for query in [Query::sssp(0), Query::cc(), patient_pagerank(), Query::cf()] {
+        session
+            .submit(query)
+            .expect("submit")
+            .join()
+            .expect("first run");
+    }
+    session.update(weighted_inserts()).expect("update");
+    let fresh = updated_weighted(&weighted, &[weighted_inserts()]);
+    for query in [Query::sssp(0), Query::cc(), patient_pagerank(), Query::cf()] {
+        let warm = session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("post-update run");
+        let cold = cold_run(&fresh, BuiltinStrategy::Hash, workers, query.clone());
+        assert_eq!(
+            warm.result,
+            cold.result,
+            "{:?}: live session diverged from a fresh load of the updated graph",
+            query.class()
+        );
+    }
+
+    let labeled = labeled_graph();
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session.load(&labeled, BuiltinStrategy::Hash).expect("load");
+    for query in [Query::canonical_sim(), Query::canonical_keyword()] {
+        session
+            .submit(query)
+            .expect("submit")
+            .join()
+            .expect("first run");
+    }
+    let batch = labeled_deletes(&labeled, 6);
+    session.update(batch.clone()).expect("update");
+    let fresh = updated_labeled(&labeled, &[batch]);
+    for query in [Query::canonical_sim(), Query::canonical_keyword()] {
+        let warm = session
+            .submit(query.clone())
+            .expect("submit")
+            .join()
+            .expect("post-update run");
+        let cold = cold_run(&fresh, BuiltinStrategy::Hash, workers, query.clone());
+        assert_eq!(
+            warm.result,
+            cold.result,
+            "{:?}: live session diverged from a fresh load of the shrunk graph",
+            query.class()
+        );
+    }
+}
+
+#[test]
+fn updates_then_queries_match_cold_runs_in_process() {
+    let workers = 2;
+    for strategy in [BuiltinStrategy::Hash, BuiltinStrategy::MetisLike] {
+        let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+        drill_weighted(&session, strategy, workers);
+        let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+        drill_labeled(&session, strategy, workers);
+    }
+}
+
+#[test]
+fn updates_then_queries_match_cold_runs_over_the_wire() {
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+    let workers = 3;
+
+    let session =
+        Session::connect(SessionConfig::remote(workers, vec![endpoint.clone()])).expect("connect");
+    drill_weighted(&session, BuiltinStrategy::Hash, workers);
+
+    let session =
+        Session::connect(SessionConfig::remote(workers, vec![endpoint])).expect("connect");
+    drill_labeled(&session, BuiltinStrategy::MetisLike, workers);
+
+    daemon.shutdown().expect("shutdown");
+}
+
+#[test]
+fn a_worker_kill_mid_incremental_run_recovers_to_the_updated_answer() {
+    let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let endpoint = daemon.endpoint().clone();
+    let workers = 3;
+
+    let graph = weighted_graph();
+    let config = SessionConfig::remote(workers, vec![endpoint])
+        .with_engine(EngineConfig::builder().checkpoint_every(1).build());
+    let session = Session::connect(config).expect("connect");
+    session.load(&graph, BuiltinStrategy::Hash).expect("load");
+
+    // Converge once so the update's resubmission takes the warm path, then
+    // sever worker 1 mid-incremental-run: recovery replays the job — seed
+    // included, since it rides on the job spec — and the answer must still
+    // be bit-identical to a cold run on the updated graph.
+    session
+        .submit(Query::sssp(0))
+        .expect("submit")
+        .join()
+        .expect("first run");
+    session.update(weighted_inserts()).expect("update");
+
+    let killed = session
+        .submit_with_kill(Query::sssp(0), 1, 2)
+        .expect("submit kill drill")
+        .join()
+        .expect("killed query must recover");
+    assert!(
+        killed.stats.recoveries >= 1,
+        "the kill drill must actually trigger a recovery"
+    );
+
+    let once = updated_weighted(&graph, &[weighted_inserts()]);
+    let cold = cold_run(&once, BuiltinStrategy::Hash, workers, Query::sssp(0));
+    assert_eq!(
+        killed.result, cold.result,
+        "recovered incremental run diverged from a cold run on the updated graph"
+    );
+    assert_eq!(killed.result.digest(), cold.result.digest());
+    daemon.shutdown().expect("shutdown");
+}
+
+#[test]
+fn updates_reject_family_mismatches_and_advance_versions() {
+    let session = Session::connect(SessionConfig::in_process(2)).expect("connect");
+    session
+        .load(&weighted_graph(), BuiltinStrategy::Hash)
+        .expect("load");
+
+    // A labeled batch against a weighted graph is refused outright.
+    let err = session
+        .update(labeled_deletes(&labeled_graph(), 1))
+        .expect_err("family mismatch must fail");
+    assert!(
+        err.to_string().contains("family"),
+        "unexpected error: {err}"
+    );
+
+    // Versions advance one per accepted batch, mismatches notwithstanding.
+    assert_eq!(
+        session.update(weighted_inserts()).expect("update").version,
+        1
+    );
+    assert_eq!(
+        session
+            .update(weighted_inserts_round_two())
+            .expect("update")
+            .version,
+        2
+    );
+}

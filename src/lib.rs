@@ -84,10 +84,11 @@ pub use grape_worker as worker;
 // one import path for connect → load → submit plus the knobs it takes.
 pub use grape_algo::{Query, QueryClass, QueryResult};
 pub use grape_core::{EngineConfig, EngineConfigBuilder, ExecutionMode, RunStats};
+pub use grape_graph::GraphMutation;
 pub use grape_partition::BuiltinStrategy;
 pub use grape_worker::{
     Endpoint, GrapeService, QueryHandle, QueryOutcome, ServiceHandle, ServiceOptions, Session,
-    SessionConfig, SessionGraph,
+    SessionConfig, SessionGraph, SessionUpdate, UpdateReceipt,
 };
 
 /// The most frequently used items, importable with `use grape::prelude::*`.
@@ -104,13 +105,17 @@ pub mod prelude {
         GrapeResult, PieContext, PieProgram, RunStats, TransportKind, VertexId,
     };
     pub use grape_graph::{
-        CsrGraph, DenseBitset, GraphBuilder, LabeledGraph, VertexDenseMap, WeightedGraph,
+        CsrGraph, DeltaGraph, DenseBitset, GraphBuilder, GraphMutation, LabeledGraph,
+        MutationProfile, VertexDenseMap, WeightedGraph,
     };
     pub use grape_partition::{
         BuiltinStrategy, HashPartitioner, MetisLikePartitioner, PartitionAssignment, Partitioner,
     };
     pub use grape_storage::{FragmentStore, IndexManager};
-    pub use grape_worker::{QueryHandle, QueryOutcome, Session, SessionConfig, SessionGraph};
+    pub use grape_worker::{
+        QueryHandle, QueryOutcome, Session, SessionConfig, SessionGraph, SessionUpdate,
+        UpdateReceipt,
+    };
 }
 
 #[cfg(test)]

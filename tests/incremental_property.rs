@@ -1,0 +1,269 @@
+//! Property test for cross-run incremental IncEval: after random mutation
+//! batches (inserts, then deletes) on a resident session, resubmitted queries
+//! must match a cold session that replays the same batches and answers from
+//! scratch — across partition strategies, worker counts and all three
+//! transports (in-process, TCP, Unix-domain sockets). SSSP and CC have unique
+//! fixpoints, so their answers must be bit-identical; PageRank's quantized
+//! grid admits a cluster of fixpoints, so warm answers must land within the
+//! documented cluster radius of the cold one.
+
+use grape::prelude::*;
+use grape::{GrapeService, Query, ServiceOptions, Session, SessionConfig, SessionGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Strategy: a random weighted edge list over `n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = WeightedGraph> {
+    (2..max_n, 1..max_m).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec((0..n as u64, 0..n as u64, 1u32..20), 1..m.max(2));
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::<(), f64>::new();
+            for v in 0..n as u64 {
+                b.ensure_vertex(v);
+            }
+            for (s, d, w) in edges {
+                b.add_edge(s, d, w as f64 / 2.0);
+            }
+            b.build().expect("valid edges")
+        })
+    })
+}
+
+/// PageRank whose local sweeps always drain their frontier, so each run is
+/// fully deterministic given its start point. Warm and cold starts may still
+/// settle on different members of the quantized-fixpoint cluster; the test
+/// checks the documented per-vertex radius instead of bit equality.
+fn patient_pagerank() -> Query {
+    Query::PageRank {
+        damping: 0.85,
+        max_local_iterations: 400,
+        tolerance: 1e-6,
+    }
+}
+
+/// The query parameters of [`patient_pagerank`], for the cluster radius.
+fn patient_pagerank_query() -> PageRankQuery {
+    PageRankQuery {
+        damping: 0.85,
+        max_local_iterations: 400,
+        tolerance: 1e-6,
+    }
+}
+
+/// Asserts a warm answer matches the cold reference: bit-identical result and
+/// digest for the unique-fixpoint classes (SSSP, CC), same vertex set and
+/// per-vertex gap within the fixpoint cluster radius for PageRank.
+fn assert_matches_cold(
+    query: &Query,
+    warm: &QueryOutcome,
+    cold: &QueryOutcome,
+    num_edges: usize,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    if matches!(query, Query::PageRank { .. }) {
+        let radius = patient_pagerank_query().fixpoint_cluster_radius(num_edges);
+        let (QueryResult::Ranks(w), QueryResult::Ranks(c)) = (&warm.result, &cold.result) else {
+            return Err(TestCaseError::fail(format!(
+                "{context}: pagerank returned a non-rank result"
+            )));
+        };
+        prop_assert_eq!(w.len(), c.len(), "{}: rank vertex sets differ", context);
+        for (v, r) in c {
+            let wv = w.get(v).copied();
+            prop_assert!(
+                wv.is_some(),
+                "{}: vertex {} missing from warm ranks",
+                context,
+                v
+            );
+            let gap = (wv.unwrap() - r).abs();
+            prop_assert!(
+                gap <= radius,
+                "{}: rank of vertex {} off by {:e} > cluster radius {:e}",
+                context,
+                v,
+                gap,
+                radius
+            );
+        }
+    } else {
+        prop_assert_eq!(&warm.result, &cold.result, "{}: answer diverged", context);
+        prop_assert_eq!(warm.result.digest(), cold.result.digest());
+    }
+    Ok(())
+}
+
+/// The cold reference: a fresh in-process session that replays the same
+/// update batches and then answers for the first time — identical
+/// incrementally-updated fragments, empty converged cache.
+fn replay_cold(
+    graph: &WeightedGraph,
+    batches: &[Vec<GraphMutation<(), f64>>],
+    strategy: BuiltinStrategy,
+    workers: usize,
+    query: Query,
+) -> QueryOutcome {
+    let session = Session::connect(SessionConfig::in_process(workers)).expect("connect");
+    session
+        .load(&SessionGraph::from(graph.clone()), strategy)
+        .expect("load");
+    for batch in batches {
+        session.update(batch.clone()).expect("replay update");
+    }
+    session
+        .submit(query)
+        .expect("submit")
+        .join()
+        .expect("cold query")
+}
+
+/// Monotonically increasing suffix so concurrent / repeated cases never
+/// collide on a Unix socket path.
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Insert batch → resubmit (sssp/cc/pagerank all warm-eligible), then
+    /// delete batch → resubmit (sssp/cc fall back cold, pagerank stays
+    /// warm): every answer equals the replayed cold run bit for bit.
+    #[test]
+    fn incremental_resubmissions_match_cold_replays(
+        graph in arb_graph(40, 100),
+        inserts in proptest::collection::vec((0u64..1000, 0u64..1000, 1u32..20), 1..8),
+        new_vertices in 0usize..3,
+        delete_picks in proptest::collection::vec(0usize..10_000, 1..6),
+        k in 2usize..5,
+        strategy_index in 0usize..8,
+        transport in 0usize..3,
+    ) {
+        let n = graph.num_vertices() as u64;
+        let strategy = BuiltinStrategy::all()[strategy_index % BuiltinStrategy::all().len()];
+
+        // Insert-only batch: random edges between residents, plus up to two
+        // brand-new vertices wired into the graph.
+        let mut insert_batch: Vec<GraphMutation<(), f64>> = inserts
+            .iter()
+            .map(|&(s, d, w)| GraphMutation::AddEdge {
+                src: s % n,
+                dst: d % n,
+                data: w as f64 / 4.0,
+            })
+            .collect();
+        for i in 0..new_vertices {
+            let id = 1_000 + i as u64;
+            insert_batch.push(GraphMutation::AddVertex { id, data: () });
+            insert_batch.push(GraphMutation::AddEdge {
+                src: i as u64 % n,
+                dst: id,
+                data: 1.5,
+            });
+        }
+
+        // Delete batch: distinct live (src, dst) pairs of the inserted graph
+        // (RemoveEdge drops all parallel copies of a pair at once).
+        let mut delta = DeltaGraph::new(graph.clone());
+        delta.apply(&insert_batch).expect("insert batch applies");
+        let mid = delta.snapshot(graph.has_reverse());
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        let mut seen = HashSet::new();
+        for (s, d, _) in mid.edges() {
+            if seen.insert((s, d)) {
+                pairs.push((s, d));
+            }
+        }
+        let mut chosen = HashSet::new();
+        let delete_batch: Vec<GraphMutation<(), f64>> = delete_picks
+            .iter()
+            .filter_map(|&p| {
+                let (s, d) = pairs[p % pairs.len()];
+                chosen.insert((s, d)).then_some(GraphMutation::RemoveEdge { src: s, dst: d })
+            })
+            .collect();
+
+        // The session under test, on one of the three transports.
+        let mut tcp_daemon = None;
+        #[cfg(unix)]
+        let mut uds = None;
+        let config = match transport {
+            1 => {
+                let daemon = GrapeService::bind("127.0.0.1:0", ServiceOptions::default())
+                    .expect("bind")
+                    .spawn()
+                    .expect("spawn");
+                let config = SessionConfig::remote(k, vec![daemon.endpoint().clone()]);
+                tcp_daemon = Some(daemon);
+                config
+            }
+            #[cfg(unix)]
+            2 => {
+                let path = std::env::temp_dir().join(format!(
+                    "grape-incprop-{}-{}.sock",
+                    std::process::id(),
+                    CASE.fetch_add(1, Ordering::Relaxed)
+                ));
+                let daemon = GrapeService::bind_uds(&path, ServiceOptions::default())
+                    .expect("bind uds")
+                    .spawn()
+                    .expect("spawn");
+                let config = SessionConfig::remote(k, vec![daemon.endpoint().clone()]);
+                uds = Some(daemon);
+                config
+            }
+            _ => SessionConfig::in_process(k),
+        };
+        let session = Session::connect(config).expect("connect");
+        session
+            .load(&SessionGraph::from(graph.clone()), strategy)
+            .expect("load");
+
+        let queries = [Query::sssp(0), Query::cc(), patient_pagerank()];
+        for query in &queries {
+            session.submit(query.clone()).expect("submit").join().expect("prime run");
+        }
+
+        session.update(insert_batch.clone()).expect("insert update");
+        let after_inserts = [insert_batch.clone()];
+        let mid_edges = mid.edges().count();
+        for query in &queries {
+            let warm = session.submit(query.clone()).expect("submit").join().expect("warm run");
+            let cold = replay_cold(&graph, &after_inserts, strategy, k, query.clone());
+            let context = format!(
+                "{:?}/{}/k={}/t={} post-insert",
+                query.class(),
+                strategy.name(),
+                k,
+                transport
+            );
+            assert_matches_cold(query, &warm, &cold, mid_edges, &context)?;
+        }
+
+        if !delete_batch.is_empty() {
+            session.update(delete_batch.clone()).expect("delete update");
+            delta.apply(&delete_batch).expect("delete batch applies");
+            let final_edges = delta.snapshot(graph.has_reverse()).edges().count();
+            let after_deletes = [insert_batch.clone(), delete_batch.clone()];
+            for query in &queries {
+                let warm = session.submit(query.clone()).expect("submit").join().expect("warm run");
+                let cold = replay_cold(&graph, &after_deletes, strategy, k, query.clone());
+                let context = format!(
+                    "{:?}/{}/k={}/t={} post-delete",
+                    query.class(),
+                    strategy.name(),
+                    k,
+                    transport
+                );
+                assert_matches_cold(query, &warm, &cold, final_edges, &context)?;
+            }
+        }
+
+        if let Some(daemon) = tcp_daemon {
+            daemon.shutdown().expect("shutdown");
+        }
+        #[cfg(unix)]
+        if let Some(daemon) = uds {
+            daemon.shutdown().expect("shutdown");
+        }
+    }
+}
